@@ -1,0 +1,25 @@
+//! Ablation benches (DESIGN.md §6): analysis cost under different
+//! coalescing rule sets.
+
+use bec_core::{BecAnalysis, BecOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_rule_sets(c: &mut Criterion) {
+    let program = bec_suite::benchmark("aes").unwrap().compile().unwrap();
+    let mut group = c.benchmark_group("rule_sets_aes");
+    group.sample_size(10);
+    let variants: [(&str, BecOptions); 3] = [
+        ("branches_only", BecOptions::branches_only()),
+        ("paper", BecOptions::paper()),
+        ("extended", BecOptions::extended()),
+    ];
+    for (name, opts) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| BecAnalysis::analyze(std::hint::black_box(&program), &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_sets);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Analysis-cost benches: the paper claims "no significant compile-time
+//! overhead" (§V); these measure the BEC analysis per benchmark.
+
+use bec_core::{BecAnalysis, BecOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bec_analysis");
+    group.sample_size(10);
+    for b in bec_suite::all() {
+        let program = b.compile().expect("compiles");
+        group.bench_function(b.name, |bencher| {
+            bencher.iter(|| BecAnalysis::analyze(std::hint::black_box(&program), &BecOptions::paper()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_phases(c: &mut Criterion) {
+    // Phase split on one representative benchmark.
+    let program = bec_suite::benchmark("sha").unwrap().compile().unwrap();
+    let mut group = c.benchmark_group("analysis_phases_sha");
+    group.sample_size(10);
+    group.bench_function("defuse", |bencher| {
+        bencher.iter(|| {
+            for f in &program.functions {
+                std::hint::black_box(bec_ir::DefUse::compute(f, &program));
+            }
+        })
+    });
+    group.bench_function("liveness", |bencher| {
+        bencher.iter(|| {
+            for f in &program.functions {
+                std::hint::black_box(bec_ir::Liveness::compute(f, &program));
+            }
+        })
+    });
+    group.bench_function("full", |bencher| {
+        bencher.iter(|| BecAnalysis::analyze(&program, &BecOptions::paper()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis, bench_phases);
+criterion_main!(benches);

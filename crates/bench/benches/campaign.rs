@@ -1,0 +1,30 @@
+//! Campaign benches: end-to-end fault-injection cost with and without BEC
+//! pruning — the practical payoff of use case 1.
+
+use bec_core::{BecAnalysis, BecOptions};
+use bec_sim::campaign::{bit_level_faults, run_campaign, value_level_faults, CampaignKind};
+use bec_sim::Simulator;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_campaigns(c: &mut Criterion) {
+    let bench = bec_suite::crc32::scaled(1);
+    let program = bench.compile().expect("compiles");
+    let bec = BecAnalysis::analyze(&program, &BecOptions::paper());
+    let sim = Simulator::new(&program);
+    let golden = sim.run_golden();
+    let value = value_level_faults(&program, &bec, &golden);
+    let bits = bit_level_faults(&program, &bec, &golden);
+
+    let mut group = c.benchmark_group("fi_campaign_crc32_tiny");
+    group.sample_size(10);
+    group.bench_function("inject_on_read", |b| {
+        b.iter(|| run_campaign(&sim, &golden, &value, CampaignKind::ValueLevel, 4))
+    });
+    group.bench_function("bec_pruned", |b| {
+        b.iter(|| run_campaign(&sim, &golden, &bits, CampaignKind::BitLevel, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaigns);
+criterion_main!(benches);

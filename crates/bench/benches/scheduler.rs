@@ -1,0 +1,19 @@
+//! Scheduler benches: cost of vulnerability-aware list scheduling.
+
+use bec_sched::{schedule_program, Criterion as SchedCriterion};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_program");
+    group.sample_size(10);
+    for name in ["aes", "sha"] {
+        let program = bec_suite::benchmark(name).unwrap().compile().unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| schedule_program(std::hint::black_box(&program), SchedCriterion::BestReliability))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

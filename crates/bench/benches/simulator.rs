@@ -1,0 +1,20 @@
+//! Simulator throughput: golden-run cycles per second per benchmark.
+
+use bec_sim::{SimLimits, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_golden_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("golden_run");
+    group.sample_size(10);
+    for b in bec_suite::all() {
+        let program = b.compile().expect("compiles");
+        let sim = Simulator::with_limits(&program, SimLimits { max_cycles: 10_000_000 });
+        let cycles = sim.run_golden().cycles();
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_function(b.name, |bencher| bencher.iter(|| sim.run_golden()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_golden_runs);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation study over the coalescing rule set (DESIGN.md §6): how much of
+//! the pruning comes from branch rules alone, the paper's rule set, and the
+//! two sound extensions (golden masking, cross-operand eval-equivalence).
+//!
+//! ```text
+//! cargo run -p bec-bench --release --bin ablation
+//! ```
+
+use bec_bench::{prepare, pruning_row};
+use bec_core::report::format_table;
+use bec_core::BecOptions;
+
+fn main() {
+    let variants: [(&str, BecOptions); 3] = [
+        ("branches-only", BecOptions::branches_only()),
+        ("paper", BecOptions::paper()),
+        ("extended", BecOptions::extended()),
+    ];
+    let benchmarks = bec_suite::all();
+    let mut rows = Vec::new();
+    for b in &benchmarks {
+        let mut cells = vec![b.name.to_owned()];
+        for (_, opts) in &variants {
+            let p = prepare(b, opts);
+            let r = pruning_row(&p);
+            cells.push(format!("{:.2}%", r.pruned_pct()));
+        }
+        rows.push(cells);
+    }
+    println!("ABLATION: FI runs pruned under different coalescing rule sets\n");
+    let headers = ["", "branches-only", "paper rules", "+extensions"];
+    print!("{}", format_table(&headers, &rows));
+    println!("\nbranches-only: no eval-equivalence on slt/sltu/seqz/snez");
+    println!("+extensions:   golden-outcome masking and cross-operand equivalence");
+}

@@ -1,0 +1,71 @@
+//! Diagnostic: prints the fault-site classes whose members produce
+//! different traces (development tool for the validation suite).
+
+use bec_core::{BecAnalysis, BecOptions};
+use bec_ir::{PointLayout, Reg};
+use bec_sim::campaign::occurrence_map;
+use bec_sim::{FaultSpec, Simulator};
+use std::collections::HashMap;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "rsa".to_owned());
+    let b = bec_suite::tiny()
+        .into_iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("no tiny benchmark {name}"));
+    let program = b.compile().expect("compiles");
+    let bec = BecAnalysis::analyze(&program, &BecOptions::paper());
+    let sim = Simulator::new(&program);
+    let golden = sim.run_golden();
+    let occs = occurrence_map(&golden);
+
+    let mut shown = 0;
+    for (fi, fa) in bec.functions().iter().enumerate() {
+        let func = &program.functions[fi];
+        let layout = PointLayout::of(func);
+        let s0 = fa.coalescing.s0_class();
+        // Group value-live site bits by class.
+        let mut classes: HashMap<usize, Vec<(bec_ir::PointId, Reg, u32)>> = HashMap::new();
+        for (p, r) in fa.coalescing.nodes().site_pairs() {
+            if !fa.liveness.is_live_after(p, r) {
+                continue;
+            }
+            for bit in 0..program.config.xlen {
+                let c = fa.coalescing.class_of(p, r, bit).unwrap();
+                if c != s0 {
+                    classes.entry(c).or_default().push((p, r, bit));
+                }
+            }
+        }
+        for (c, members) in classes {
+            if members.len() < 2 {
+                continue;
+            }
+            // Compare occurrence 0 of every member.
+            let mut digests = Vec::new();
+            for &(p, r, bit) in &members {
+                let Some(cycles) = occs.get(&(fi, p)) else { continue };
+                let Some(&cy) = cycles.first() else { continue };
+                let run = sim.run_with_fault(FaultSpec { cycle: cy + 1, reg: r, bit });
+                digests.push((p, r, bit, run.hash.digest()));
+            }
+            if digests.len() >= 2 && digests.iter().any(|d| d.3 != digests[0].3) {
+                println!("== function @{} class c{c} DISAGREES ==", fa.name);
+                for (p, r, bit, d) in &digests {
+                    let pi = layout.resolve(func, *p);
+                    let desc = match (pi.as_inst(), pi.as_term()) {
+                        (Some(i), _) => i.to_string(),
+                        (_, Some(t)) => format!("{t:?}"),
+                        _ => unreachable!(),
+                    };
+                    println!("   {p}:{desc:<28} {r}^{bit}  trace {d:032x}");
+                }
+                shown += 1;
+                if shown >= 6 {
+                    return;
+                }
+            }
+        }
+    }
+    println!("({shown} disagreeing classes shown)");
+}

@@ -1,0 +1,129 @@
+//! The BEC analysis orchestrator: per-function bit-value analysis plus
+//! fault-index coalescing, with the paper's optional rule extensions.
+
+use crate::bitvalue::BitValues;
+use crate::coalesce::Coalescing;
+use bec_ir::{DefUse, Liveness, PointLayout, Program};
+
+/// Toggles for the coalescing rule set.
+///
+/// The defaults match the paper: `eval`-equivalence runs on branches and the
+/// compare-like operations (`slt`, `sltu`, `seqz`, `snez` — Algorithm 3,
+/// line 36), and both extensions beyond the paper are off. The extensions
+/// are sound and are measured separately by the ablation benches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BecOptions {
+    /// Apply `eval`-equivalence to compare-like ops in addition to branches.
+    pub eval_compare_ops: bool,
+    /// Extension: a flip that provably reproduces the golden outcome of a
+    /// branch/compare is masked through that use.
+    pub golden_masking: bool,
+    /// Extension: `eval`-equivalence across the two operands of a branch
+    /// (the paper restricts equivalence to bits of the same operand).
+    pub cross_operand_eval: bool,
+}
+
+impl Default for BecOptions {
+    fn default() -> Self {
+        BecOptions { eval_compare_ops: true, golden_masking: false, cross_operand_eval: false }
+    }
+}
+
+impl BecOptions {
+    /// The paper's rule set (same as `default`).
+    pub fn paper() -> BecOptions {
+        BecOptions::default()
+    }
+
+    /// All sound extensions enabled (upper bound for the ablation study).
+    pub fn extended() -> BecOptions {
+        BecOptions { eval_compare_ops: true, golden_masking: true, cross_operand_eval: true }
+    }
+
+    /// Value-level degenerate mode used as an ablation data point: no
+    /// eval-equivalence on compare-like ops.
+    pub fn branches_only() -> BecOptions {
+        BecOptions { eval_compare_ops: false, golden_masking: false, cross_operand_eval: false }
+    }
+}
+
+/// Analysis results for one function.
+#[derive(Clone, Debug)]
+pub struct FunctionAnalysis {
+    /// The function's name.
+    pub name: String,
+    /// Point numbering.
+    pub layout: PointLayout,
+    /// Per-point liveness.
+    pub liveness: Liveness,
+    /// Def–use chains (`def(p, v)` and `use(p, v)` of §II).
+    pub defuse: DefUse,
+    /// Global abstract bit values `k(p, v)` (Algorithm 1).
+    pub values: BitValues,
+    /// Fault-index coalescing result (Algorithms 2–3).
+    pub coalescing: Coalescing,
+}
+
+/// Whole-program BEC analysis results.
+#[derive(Clone, Debug)]
+pub struct BecAnalysis {
+    functions: Vec<FunctionAnalysis>,
+    options: BecOptions,
+}
+
+impl BecAnalysis {
+    /// Analyzes every function of `program`.
+    ///
+    /// The program must be a verified machine program
+    /// ([`bec_ir::verify_program`]); virtual registers or dangling calls
+    /// make the underlying analyses panic.
+    pub fn analyze(program: &Program, options: &BecOptions) -> BecAnalysis {
+        let functions = program
+            .functions
+            .iter()
+            .map(|f| {
+                let layout = PointLayout::of(f);
+                let liveness = Liveness::compute(f, program);
+                let defuse = DefUse::compute(f, program);
+                let values = BitValues::compute(program, f, &defuse);
+                let coalescing =
+                    Coalescing::compute(program, f, &layout, &liveness, &defuse, &values, options);
+                FunctionAnalysis {
+                    name: f.name.clone(),
+                    layout,
+                    liveness,
+                    defuse,
+                    values,
+                    coalescing,
+                }
+            })
+            .collect();
+        BecAnalysis { functions, options: *options }
+    }
+
+    /// Per-function results, in program order.
+    pub fn functions(&self) -> &[FunctionAnalysis] {
+        &self.functions
+    }
+
+    /// Results for the function named `name`.
+    pub fn function_by_name(&self, name: &str) -> Option<&FunctionAnalysis> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Results for the `i`-th function.
+    pub fn function(&self, i: usize) -> &FunctionAnalysis {
+        &self.functions[i]
+    }
+
+    /// The options the analysis ran with.
+    pub fn options(&self) -> &BecOptions {
+        &self.options
+    }
+
+    /// Total number of equivalence classes across all functions (including
+    /// each function's `[s0]`).
+    pub fn class_count(&self) -> usize {
+        self.functions.iter().map(|f| f.coalescing.class_count()).sum()
+    }
+}

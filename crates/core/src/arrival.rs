@@ -1,0 +1,385 @@
+//! Intra-instruction coalescing rules (Algorithm 3 of the paper).
+//!
+//! For every read `(q, x)` and bit `i`, the *arrival* node `arr(q, x, i)`
+//! stands for the effect — through `q`'s computation only — of bit `x^i`
+//! being corrupted when `q` reads it. The rules below merge arrivals with:
+//!
+//! * `s0` when the corruption is masked by the operation (`and` with a known
+//!   zero, `or` with a known one, a bit shifted out, a write to the zero
+//!   register);
+//! * the output fault site `(q, z^j)` when the corruption relocates to a
+//!   single result bit (`mv`, `xor`, `and`/`or` with a known bit, constant
+//!   shifts);
+//! * each other, when the paper's `eval` shows two bit flips force the same
+//!   observable outcome (branches and the compare-like ops `slt`, `sltu`,
+//!   `seqz`, `snez`).
+//!
+//! Arrival merges are local to their read and therefore globally sound;
+//! they realize the paper's temporary relation `R′` without copying `R`
+//! (DESIGN.md §2).
+
+use crate::analysis::BecOptions;
+use crate::bitvalue::{cond_transfer, BitValues};
+use crate::fault::{NodeTable, S0};
+use bec_dataflow::{AbsValue, BitValue};
+use bec_ir::{AluOp, Cond, Function, Inst, MachineConfig, PointId, PointLayout, Program, Reg, Terminator};
+
+/// Context for emitting the intra-instruction merges of one function.
+pub struct IntraRules<'a> {
+    /// The program (for machine config and call signatures).
+    pub program: &'a Program,
+    /// The function under analysis.
+    pub func: &'a Function,
+    /// Its point layout.
+    pub layout: &'a PointLayout,
+    /// Bit-value analysis results (`k(p, v)`).
+    pub values: &'a BitValues,
+    /// Node numbering.
+    pub nodes: &'a NodeTable,
+    /// Analysis options (extension toggles).
+    pub options: &'a BecOptions,
+}
+
+impl<'a> IntraRules<'a> {
+    /// Emits every intra-instruction merge through `merge(a, b)`.
+    pub fn apply(&self, merge: &mut impl FnMut(usize, usize)) {
+        for p in self.layout.iter() {
+            self.apply_point(p, merge);
+        }
+    }
+
+    fn config(&self) -> &MachineConfig {
+        &self.program.config
+    }
+
+    /// Node for output bit `(p, rd, i)`, or `s0` when `rd` is the hardwired
+    /// zero register (the write vanishes, so the corruption is masked).
+    fn out(&self, p: PointId, rd: Reg, i: u32) -> usize {
+        if self.config().is_zero_reg(rd) {
+            return S0;
+        }
+        self.nodes.site(p, rd, i).expect("written register has a site")
+    }
+
+    fn arr(&self, p: PointId, rs: Reg, i: u32) -> Option<usize> {
+        if self.config().is_zero_reg(rs) {
+            return None; // no storage element to corrupt
+        }
+        self.nodes.arrival(p, rs, i)
+    }
+
+    fn k_in(&self, p: PointId, r: Reg) -> AbsValue {
+        if self.config().is_zero_reg(r) {
+            AbsValue::constant(self.config().xlen, 0)
+        } else {
+            self.values.value_in(p, r)
+        }
+    }
+
+    fn apply_point(&self, p: PointId, merge: &mut impl FnMut(usize, usize)) {
+        let w = self.config().xlen;
+        let pi = self.layout.resolve(self.func, p);
+        if let Some(t) = pi.as_term() {
+            if let Terminator::Branch { cond, rs1, rs2, .. } = t {
+                self.branch_rules(p, *cond, *rs1, *rs2, merge);
+            }
+            return;
+        }
+        let inst = pi.as_inst().expect("non-terminator point");
+        match inst {
+            Inst::Mv { rd, rs } => {
+                for i in 0..w {
+                    if let Some(a) = self.arr(p, *rs, i) {
+                        merge(a, self.out(p, *rd, i));
+                    }
+                }
+            }
+            Inst::Alu { op: AluOp::Xor, rd, rs1, rs2 } => {
+                if rs1 == rs2 {
+                    // xor z, x, x ≡ 0: a flip hits both operands and cancels.
+                    for i in 0..w {
+                        if let Some(a) = self.arr(p, *rs1, i) {
+                            merge(a, S0);
+                        }
+                    }
+                } else {
+                    for i in 0..w {
+                        for rs in [rs1, rs2] {
+                            if let Some(a) = self.arr(p, *rs, i) {
+                                merge(a, self.out(p, *rd, i));
+                            }
+                        }
+                    }
+                }
+            }
+            Inst::AluImm { op: AluOp::Xor, rd, rs1, .. } => {
+                // xor with a constant flips deterministically: corruption
+                // propagates bit-for-bit (this covers `not`).
+                for i in 0..w {
+                    if let Some(a) = self.arr(p, *rs1, i) {
+                        merge(a, self.out(p, *rd, i));
+                    }
+                }
+            }
+            Inst::Alu { op: op @ (AluOp::And | AluOp::Or), rd, rs1, rs2 } if rs1 != rs2 => {
+                let kx = self.k_in(p, *rs1);
+                let ky = self.k_in(p, *rs2);
+                self.and_or_rules(p, *op, *rd, *rs1, &ky, merge);
+                self.and_or_rules(p, *op, *rd, *rs2, &kx, merge);
+            }
+            Inst::AluImm { op: op @ (AluOp::And | AluOp::Or), rd, rs1, imm } => {
+                let kimm = AbsValue::constant(w, *imm as u64);
+                self.and_or_rules(p, *op, *rd, *rs1, &kimm, merge);
+            }
+            Inst::Alu { op: op @ (AluOp::Sll | AluOp::Srl | AluOp::Sra), rd, rs1, rs2 }
+                if rs1 != rs2 =>
+            {
+                let kamt = self.k_in(p, *rs2);
+                self.shift_rules(p, *op, *rd, *rs1, &kamt, merge);
+            }
+            Inst::AluImm { op: op @ (AluOp::Sll | AluOp::Srl | AluOp::Sra), rd, rs1, imm } => {
+                let kamt = AbsValue::constant(w, *imm as u64);
+                self.shift_rules(p, *op, *rd, *rs1, &kamt, merge);
+            }
+            Inst::Alu { op: op @ (AluOp::Slt | AluOp::Sltu), rd: _, rs1, rs2 } => {
+                if self.options.eval_compare_ops {
+                    let signed = *op == AluOp::Slt;
+                    let a = self.k_in(p, *rs1);
+                    let b = self.k_in(p, *rs2);
+                    let eval = |fa: &AbsValue, fb: &AbsValue| {
+                        if signed { fa.lt_s(fb) } else { fa.lt_u(fb) }
+                    };
+                    self.eval_equivalence(p, &[(*rs1, true), (*rs2, false)], &a, &b, eval, merge);
+                }
+            }
+            Inst::AluImm { op: op @ (AluOp::Slt | AluOp::Sltu), rd: _, rs1, imm } => {
+                if self.options.eval_compare_ops {
+                    let signed = *op == AluOp::Slt;
+                    let a = self.k_in(p, *rs1);
+                    let b = AbsValue::constant(w, *imm as u64);
+                    let eval = |fa: &AbsValue, fb: &AbsValue| {
+                        if signed { fa.lt_s(fb) } else { fa.lt_u(fb) }
+                    };
+                    self.eval_equivalence(p, &[(*rs1, true)], &a, &b, eval, merge);
+                }
+            }
+            Inst::Seqz { rd: _, rs } | Inst::Snez { rd: _, rs } => {
+                if self.options.eval_compare_ops {
+                    let neg = matches!(inst, Inst::Snez { .. });
+                    let a = self.k_in(p, *rs);
+                    let b = AbsValue::constant(w, 0);
+                    let eval = move |fa: &AbsValue, _fb: &AbsValue| {
+                        let z = fa.is_zero();
+                        if neg { z.not() } else { z }
+                    };
+                    self.eval_equivalence(p, &[(*rs, true)], &a, &b, eval, merge);
+                }
+            }
+            // No intra rules: arithmetic (carry-coupled), memory (unmodeled),
+            // calls and prints (externally observable), nop/li/la (no reads).
+            _ => {}
+        }
+    }
+
+    /// Rules for `and`/`or` on the arrival side of operand `x`, conditioned
+    /// on the *other* operand's known bits (Algorithm 3, lines 8–25).
+    fn and_or_rules(
+        &self,
+        p: PointId,
+        op: AluOp,
+        rd: Reg,
+        x: Reg,
+        other: &AbsValue,
+        merge: &mut impl FnMut(usize, usize),
+    ) {
+        let w = self.config().xlen;
+        // For `and`, a known-zero other bit masks; known-one propagates.
+        // For `or` it is the mirror image.
+        let (mask_on, pass_on) = match op {
+            AluOp::And => (BitValue::Zero, BitValue::One),
+            AluOp::Or => (BitValue::One, BitValue::Zero),
+            _ => unreachable!("and_or_rules only handles and/or"),
+        };
+        for i in 0..w {
+            let Some(a) = self.arr(p, x, i) else { continue };
+            let o = other.bit(i);
+            if o == mask_on {
+                merge(a, S0);
+            } else if o == pass_on {
+                merge(a, self.out(p, rd, i));
+            }
+        }
+    }
+
+    /// Rules for shifts (Algorithm 3, lines 26–35): bits provably shifted
+    /// out are masked; constant shifts relocate bits to a single output
+    /// position. The `sra` sign bit replicates and is therefore only
+    /// relocatable by a zero shift.
+    fn shift_rules(
+        &self,
+        p: PointId,
+        op: AluOp,
+        rd: Reg,
+        x: Reg,
+        kamt: &AbsValue,
+        merge: &mut impl FnMut(usize, usize),
+    ) {
+        let w = self.config().xlen;
+        let min_shamt = self.min_shamt(kamt);
+        let const_shamt = kamt.as_const().map(|v| self.config().shamt(v));
+        for i in 0..w {
+            let Some(a) = self.arr(p, x, i) else { continue };
+            match op {
+                AluOp::Sll => {
+                    if i + min_shamt >= w {
+                        merge(a, S0);
+                    } else if let Some(k) = const_shamt {
+                        if i + k < w {
+                            merge(a, self.out(p, rd, i + k));
+                        }
+                    }
+                }
+                AluOp::Srl => {
+                    if i < min_shamt {
+                        merge(a, S0);
+                    } else if let Some(k) = const_shamt {
+                        if i >= k {
+                            merge(a, self.out(p, rd, i - k));
+                        }
+                    }
+                }
+                AluOp::Sra => {
+                    if i < w - 1 {
+                        if i < min_shamt {
+                            merge(a, S0);
+                        } else if let Some(k) = const_shamt {
+                            if i >= k {
+                                merge(a, self.out(p, rd, i - k));
+                            }
+                        }
+                    } else if const_shamt == Some(0) {
+                        merge(a, self.out(p, rd, i));
+                    }
+                }
+                _ => unreachable!("shift_rules only handles shifts"),
+            }
+        }
+    }
+
+    /// The smallest shift amount the abstract operand permits (after the
+    /// machine's shift-amount masking).
+    fn min_shamt(&self, kamt: &AbsValue) -> u32 {
+        let w = self.config().xlen;
+        if let Some(v) = kamt.as_const() {
+            return self.config().shamt(v);
+        }
+        if kamt.has_bottom() || !w.is_power_of_two() {
+            return 0; // conservative
+        }
+        // Only the low log2(w) bits matter; unknown bits go to zero for the
+        // minimum.
+        let bits = w.trailing_zeros();
+        let mut min = 0u32;
+        for b in 0..bits {
+            if kamt.bit(b) == BitValue::One {
+                min |= 1 << b;
+            }
+        }
+        min
+    }
+
+    /// Branch rules (Algorithm 3, line 36): two bit flips of the same
+    /// operand with the same determined branch outcome are equivalent.
+    fn branch_rules(
+        &self,
+        p: PointId,
+        cond: Cond,
+        rs1: Reg,
+        rs2: Option<Reg>,
+        merge: &mut impl FnMut(usize, usize),
+    ) {
+        let w = self.config().xlen;
+        let a = self.k_in(p, rs1);
+        let b = match rs2 {
+            Some(r) => self.k_in(p, r),
+            None => AbsValue::constant(w, 0),
+        };
+        let mut operands = vec![(rs1, true)];
+        if let Some(r2) = rs2 {
+            operands.push((r2, false));
+        }
+        let eval = move |fa: &AbsValue, fb: &AbsValue| cond_transfer(cond, fa, fb);
+        self.eval_equivalence(p, &operands, &a, &b, eval, merge);
+    }
+
+    /// Shared `eval`-equivalence machinery for branches and compare-like
+    /// operations. `operands` lists (register, is-lhs); a flip of a register
+    /// that appears as both operands is applied to both (the physical model:
+    /// the bit lives in one register).
+    fn eval_equivalence(
+        &self,
+        p: PointId,
+        operands: &[(Reg, bool)],
+        a: &AbsValue,
+        b: &AbsValue,
+        eval: impl Fn(&AbsValue, &AbsValue) -> BitValue,
+        merge: &mut impl FnMut(usize, usize),
+    ) {
+        let w = self.config().xlen;
+        let golden = eval(a, b);
+        // Deduplicate registers (beq x, x reads one register).
+        let mut regs: Vec<Reg> = Vec::new();
+        for (r, _) in operands {
+            if !regs.contains(r) {
+                regs.push(*r);
+            }
+        }
+        for &r in &regs {
+            let on_lhs = operands.iter().any(|(o, lhs)| *o == r && *lhs);
+            let on_rhs = operands.iter().any(|(o, lhs)| *o == r && !*lhs);
+            let mut outcomes: Vec<(u32, BitValue)> = Vec::new();
+            for i in 0..w {
+                if self.arr(p, r, i).is_none() {
+                    continue;
+                }
+                let fa = if on_lhs { a.flip_bit(i) } else { *a };
+                let fb = if on_rhs { b.flip_bit(i) } else { *b };
+                let out = eval(&fa, &fb);
+                if out.is_known() {
+                    outcomes.push((i, out));
+                }
+            }
+            // Merge bits of the same operand with equal determined outcomes.
+            for (idx, &(i, oi)) in outcomes.iter().enumerate() {
+                for &(j, oj) in &outcomes[..idx] {
+                    if oi == oj {
+                        let (ai, aj) =
+                            (self.arr(p, r, i).unwrap(), self.arr(p, r, j).unwrap());
+                        merge(ai, aj);
+                    }
+                }
+                // Extension (off by default): a flip that provably reproduces
+                // the golden outcome is masked through this use.
+                if self.options.golden_masking && golden.is_known() && oi == golden {
+                    merge(self.arr(p, r, i).unwrap(), S0);
+                }
+            }
+        }
+        // Extension (off by default): cross-operand equivalence.
+        if self.options.cross_operand_eval && regs.len() == 2 {
+            let (r1, r2) = (regs[0], regs[1]);
+            for i in 0..w {
+                for j in 0..w {
+                    let (Some(a1), Some(a2)) = (self.arr(p, r1, i), self.arr(p, r2, j)) else {
+                        continue;
+                    };
+                    let o1 = eval(&a.flip_bit(i), b);
+                    let o2 = eval(a, &b.flip_bit(j));
+                    if o1.is_known() && o1 == o2 {
+                        merge(a1, a2);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Global abstract bit-value analysis (Algorithm 1 of the paper).
+//!
+//! A forward dataflow over [`AbsValue`]s computing `k(p, v)` — the abstract
+//! bit values of data point `v` after program point `p` — for every accessed
+//! `(p, v)` pair. Definitions reaching a read are combined with the meet
+//! operator of Fig. 3b; instruction side effects are evaluated in the
+//! abstract domain (Fig. 3c and friends). The analysis starts optimistically
+//! at ⊥ and rises monotonically, so the fixpoint it reaches is the MFP
+//! solution the paper's §V requires.
+
+use bec_dataflow::{AbsValue, BitValue};
+use bec_ir::semantics::eval_alu;
+use bec_ir::{AluOp, DefUse, Function, Inst, MachineConfig, PointId, PointInst, PointLayout, Program, Reg};
+use std::collections::{HashMap, VecDeque};
+
+/// Results of the bit-value analysis for one function.
+#[derive(Clone, Debug)]
+pub struct BitValues {
+    width: u32,
+    /// Merged incoming value of each register read: `⋀_{o ∈ def(p,u)} k(o, u)`.
+    in_vals: HashMap<(PointId, Reg), AbsValue>,
+    /// Value written at each definition: `k(p, v)` for `v ∈ write(p)`.
+    out_vals: HashMap<(PointId, Reg), AbsValue>,
+}
+
+impl BitValues {
+    /// Runs the analysis on `func` of `program`, using precomputed def–use
+    /// chains.
+    pub fn compute(program: &Program, func: &Function, du: &DefUse) -> BitValues {
+        let config = &program.config;
+        let layout = PointLayout::of(func);
+        let width = config.xlen;
+        let mut bv = BitValues { width, in_vals: HashMap::new(), out_vals: HashMap::new() };
+
+        // Worklist over points, seeded with everything in layout order.
+        let mut queue: VecDeque<PointId> = layout.iter().collect();
+        let mut queued: Vec<bool> = vec![true; layout.len()];
+        while let Some(p) = queue.pop_front() {
+            queued[p.index()] = false;
+            let pi = layout.resolve(func, p);
+
+            // Merge reaching definitions into incoming operand values.
+            let reads = pi.reads(program);
+            for &u in &reads {
+                let v = bv.incoming(config, du, p, u);
+                bv.in_vals.insert((p, u), v);
+            }
+
+            // Evaluate the instruction in the abstract domain.
+            let writes = transfer(config, program, pi, |r| bv.read_val(config, p, r));
+            for (r, val) in writes {
+                if config.is_zero_reg(r) {
+                    continue; // writes to the zero register vanish
+                }
+                let slot = bv.out_vals.entry((p, r)).or_insert_with(|| AbsValue::bottom(width));
+                let new = slot.meet(&val);
+                if new != *slot {
+                    *slot = new;
+                    // Re-queue every reader of this definition.
+                    for &q in du.uses(p, r) {
+                        if !queued[q.index()] {
+                            queued[q.index()] = true;
+                            queue.push_back(q);
+                        }
+                    }
+                }
+            }
+        }
+        bv
+    }
+
+    fn incoming(&self, config: &MachineConfig, du: &DefUse, p: PointId, u: Reg) -> AbsValue {
+        if config.is_zero_reg(u) {
+            return AbsValue::constant(self.width, 0);
+        }
+        let defs = du.defs(p, u);
+        if defs.is_empty() {
+            // Value flows in from outside the function (argument or
+            // uninitialized register): unknown.
+            return AbsValue::top(self.width);
+        }
+        let mut acc = AbsValue::bottom(self.width);
+        for &d in defs {
+            let dv = self.out_vals.get(&(d, u)).copied().unwrap_or_else(|| AbsValue::bottom(self.width));
+            acc = acc.meet(&dv);
+        }
+        acc
+    }
+
+    fn read_val(&self, config: &MachineConfig, p: PointId, r: Reg) -> AbsValue {
+        if config.is_zero_reg(r) {
+            return AbsValue::constant(self.width, 0);
+        }
+        self.in_vals.get(&(p, r)).copied().unwrap_or_else(|| AbsValue::top(self.width))
+    }
+
+    /// `k(p, v)` for `v` read at `p`: the merged incoming value. Unknown
+    /// pairs yield ⊤.
+    pub fn value_in(&self, p: PointId, r: Reg) -> AbsValue {
+        self.in_vals.get(&(p, r)).copied().unwrap_or_else(|| AbsValue::top(self.width))
+    }
+
+    /// `k(p, v)` after `p`: the written value if `v ∈ write(p)`, otherwise
+    /// the incoming value (reads leave the register unchanged).
+    pub fn value_after(&self, p: PointId, r: Reg) -> AbsValue {
+        self.out_vals
+            .get(&(p, r))
+            .or_else(|| self.in_vals.get(&(p, r)))
+            .copied()
+            .unwrap_or_else(|| AbsValue::top(self.width))
+    }
+}
+
+/// Abstract evaluation of one program point. Returns `(reg, value)` for each
+/// written register. `get` supplies incoming operand values.
+pub fn transfer(
+    config: &MachineConfig,
+    program: &Program,
+    pi: PointInst<'_>,
+    get: impl Fn(Reg) -> AbsValue,
+) -> Vec<(Reg, AbsValue)> {
+    let w = config.xlen;
+    let inst = match pi {
+        PointInst::Inst(i) => i,
+        PointInst::Term(_) => return Vec::new(), // terminators write nothing
+    };
+    match inst {
+        Inst::Li { rd, imm } => vec![(*rd, AbsValue::constant(w, *imm as u64))],
+        Inst::La { rd, global } => {
+            let addr = program.global_address(global).unwrap_or(0);
+            vec![(*rd, AbsValue::constant(w, addr))]
+        }
+        Inst::Mv { rd, rs } => vec![(*rd, get(*rs))],
+        Inst::Neg { rd, rs } => vec![(*rd, get(*rs).neg())],
+        Inst::Seqz { rd, rs } => vec![(*rd, AbsValue::bool_word(w, get(*rs).is_zero()))],
+        Inst::Snez { rd, rs } => {
+            let z = get(*rs).is_zero();
+            vec![(*rd, AbsValue::bool_word(w, z.not()))]
+        }
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            vec![(*rd, alu_transfer(config, *op, &get(*rs1), &get(*rs2)))]
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            let b = AbsValue::constant(w, *imm as u64);
+            vec![(*rd, alu_transfer(config, *op, &get(*rs1), &b))]
+        }
+        Inst::Load { rd, .. } => vec![(*rd, AbsValue::top(w))], // memory not modeled
+        Inst::Call { callee } => {
+            // ABI summary: every written/clobbered register becomes unknown.
+            program
+                .call_effects(callee)
+                .writes
+                .into_iter()
+                .map(|r| (r, AbsValue::top(w)))
+                .collect()
+        }
+        Inst::Store { .. } | Inst::Print { .. } | Inst::Nop => Vec::new(),
+    }
+}
+
+/// Abstract ALU transfer. Constants fold through the concrete semantics
+/// ([`bec_ir::semantics::eval_alu`]), so the abstract and concrete worlds
+/// agree by construction.
+pub fn alu_transfer(config: &MachineConfig, op: AluOp, a: &AbsValue, b: &AbsValue) -> AbsValue {
+    let w = config.xlen;
+    if a.has_bottom() || b.has_bottom() {
+        return AbsValue::bottom(w);
+    }
+    if let (Some(ca), Some(cb)) = (a.as_const(), b.as_const()) {
+        return AbsValue::constant(w, eval_alu(config, op, ca, cb));
+    }
+    match op {
+        AluOp::And => a.and(b),
+        AluOp::Or => a.or(b),
+        AluOp::Xor => a.xor(b),
+        AluOp::Add => a.add(b),
+        AluOp::Sub => a.sub(b),
+        AluOp::Mul => a.mul_low(b),
+        AluOp::Sll | AluOp::Srl | AluOp::Sra => match b.as_const() {
+            Some(amt) => {
+                let k = config.shamt(amt);
+                match op {
+                    AluOp::Sll => a.shl_const(k),
+                    AluOp::Srl => a.shr_const(k),
+                    _ => a.sra_const(k),
+                }
+            }
+            // Unknown shift amount: only an all-zero operand survives.
+            None => {
+                if a.as_const() == Some(0) {
+                    AbsValue::constant(w, 0)
+                } else {
+                    AbsValue::top(w)
+                }
+            }
+        },
+        AluOp::Slt => AbsValue::bool_word(w, a.lt_s(b)),
+        AluOp::Sltu => AbsValue::bool_word(w, a.lt_u(b)),
+        AluOp::Mulh | AluOp::Mulhu | AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => {
+            AbsValue::top(w)
+        }
+    }
+}
+
+/// Abstract evaluation of a branch condition on abstract operands; `Zero`
+/// means provably not taken, `One` provably taken.
+pub fn cond_transfer(cond: bec_ir::Cond, a: &AbsValue, b: &AbsValue) -> BitValue {
+    use bec_ir::Cond;
+    match cond {
+        Cond::Eq => a.eq(b),
+        Cond::Ne => a.eq(b).not(),
+        Cond::Lt => a.lt_s(b),
+        Cond::Ge => a.lt_s(b).not(),
+        Cond::Ltu => a.lt_u(b),
+        Cond::Geu => a.lt_u(b).not(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bec_ir::parse_program;
+
+    fn analyze(src: &str) -> (Program, BitValues) {
+        let p = parse_program(src).unwrap();
+        let f = p.entry_function();
+        let du = DefUse::compute(f, &p);
+        let bv = BitValues::compute(&p, f, &du);
+        (p.clone(), bv)
+    }
+
+    #[test]
+    fn constants_propagate_through_straightline() {
+        let (_, bv) = analyze(
+            "func @main(args=0, ret=none) {\nentry:\n    li t0, 5\n    addi t1, t0, 2\n    slli t1, t1, 1\n    print t1\n    exit\n}\n",
+        );
+        assert_eq!(bv.value_after(PointId(1), Reg::T1).as_const(), Some(7));
+        assert_eq!(bv.value_after(PointId(2), Reg::T1).as_const(), Some(14));
+    }
+
+    #[test]
+    fn motivating_example_bit_values() {
+        // Fig. 2b: inside the loop v1 is unknown; andi pins high bits.
+        let (_, bv) = analyze(
+            r#"machine xlen=4 regs=4 zero=none
+func @main(args=0, ret=none) {
+entry:
+    li r0, 0
+    li r1, 7
+    j loop
+loop:
+    andi r2, r1, 1
+    andi r3, r1, 3
+    addi r1, r1, -1
+    seqz r2, r2
+    snez r3, r3
+    and  r2, r2, r3
+    add  r0, r0, r2
+    bnez r1, loop
+exit:
+    ret r0
+}
+"#,
+        );
+        let (r1, r2, r3) = (Reg::phys(1), Reg::phys(2), Reg::phys(3));
+        // k(p1, v1) = 0111 right after the initialization.
+        assert_eq!(bv.value_after(PointId(1), r1).to_string(), "0111");
+        // Inside the loop the induction variable is unknown (p3 = first andi).
+        assert_eq!(bv.value_in(PointId(3), r1).to_string(), "××××");
+        // k(p3, v2) = 000× (Fig. 2b).
+        assert_eq!(bv.value_after(PointId(3), r2).to_string(), "000×");
+        // k(p4, v3) = 00×× after andi r3, r1, 3.
+        assert_eq!(bv.value_after(PointId(4), r3).to_string(), "00××");
+        // seqz and snez produce 000× (boolean with unknown bit 0).
+        assert_eq!(bv.value_after(PointId(6), r2).to_string(), "000×");
+        assert_eq!(bv.value_after(PointId(7), r3).to_string(), "000×");
+    }
+
+    #[test]
+    fn join_meets_disagreeing_constants() {
+        let (_, bv) = analyze(
+            r#"func @main(args=0, ret=none) {
+entry:
+    li t1, 1
+    bnez t1, a, b
+a:
+    li t0, 4
+    j join
+b:
+    li t0, 5
+    j join
+join:
+    print t0
+    exit
+}
+"#,
+        );
+        // At the join, t0 = 4 ∧ 5 = 010× ... 100 meets 101 = 10×.
+        let f = parse_program("func @x(args=0, ret=none) {\ne:\n    exit\n}\n").unwrap();
+        let _ = f;
+        let print_pt = PointId(6); // entry:li,bnez(2) a:li,j(2) b:li,j(2) → join starts at 6
+        let v = bv.value_in(print_pt, Reg::T0);
+        assert_eq!(v.bit(0), BitValue::Top);
+        assert_eq!(v.bit(2), BitValue::One);
+        assert_eq!(v.bit(1), BitValue::Zero);
+    }
+
+    #[test]
+    fn loads_and_calls_clobber_to_top() {
+        let src = r#"
+global g: word[1] = { 42 }
+func @f(args=0, ret=a0) {
+entry:
+    li a0, 1
+    ret a0
+}
+func @main(args=0, ret=none) {
+entry:
+    li t0, 3
+    la t1, @g
+    lw t2, 0(t1)
+    call @f
+    print a0
+    exit
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let f = p.function("main").unwrap();
+        let du = DefUse::compute(f, &p);
+        let bv = BitValues::compute(&p, f, &du);
+        // la produces the known global address.
+        assert_eq!(bv.value_after(PointId(1), Reg::T1).as_const(), Some(bec_ir::program::DATA_BASE));
+        // Loads are unknown.
+        assert_eq!(bv.value_after(PointId(2), Reg::T2), AbsValue::top(32));
+        // The call clobbers t0 (caller-saved).
+        assert_eq!(bv.value_after(PointId(3), Reg::T0), AbsValue::top(32));
+        assert_eq!(bv.value_after(PointId(3), Reg::A0), AbsValue::top(32));
+    }
+
+    #[test]
+    fn x0_reads_are_constant_zero() {
+        let (_, bv) = analyze(
+            "func @main(args=0, ret=none) {\nentry:\n    add t0, zero, zero\n    print t0\n    exit\n}\n",
+        );
+        assert_eq!(bv.value_after(PointId(0), Reg::T0).as_const(), Some(0));
+    }
+
+    #[test]
+    fn unknown_shift_amount_is_top_unless_zero_operand() {
+        let c = MachineConfig::rv32();
+        let top = AbsValue::top(32);
+        let zero = AbsValue::constant(32, 0);
+        assert_eq!(alu_transfer(&c, AluOp::Sll, &zero, &top).as_const(), Some(0));
+        assert_eq!(alu_transfer(&c, AluOp::Sll, &top, &top), AbsValue::top(32));
+    }
+}

@@ -1,0 +1,213 @@
+//! The fault space `F = P × V` and its dense node numbering.
+//!
+//! Following §II of the paper, a *fault site* `(p, vⁱ)` is bit `i` of
+//! register `v` in the time window that opens after program point `p`
+//! executes (where `p` accesses `v`) and closes at the next access of `v`.
+//!
+//! The coalescing analysis additionally materializes one *arrival* node per
+//! `(read point, operand register, bit)`: the effect, through that read's
+//! computation only, of the bit being corrupted when it is read. Arrivals
+//! realize the paper's temporary relation `R′` (Algorithm 3) without copying
+//! the equivalence relation — see DESIGN.md §2.
+
+use bec_ir::{PointId, PointLayout, Program, Reg};
+use std::collections::HashMap;
+
+/// A spatial+temporal fault site within one function: bit `bit` of register
+/// `reg` in the window after point `point`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FaultSite {
+    /// The access point opening the window.
+    pub point: PointId,
+    /// The register holding the bit.
+    pub reg: Reg,
+    /// Bit position (LSB = 0).
+    pub bit: u32,
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}^{})", self.point, self.reg, self.bit)
+    }
+}
+
+/// Dense numbering of coalescing nodes for one function.
+///
+/// Node 0 is `s0` (the intact execution). Sites and arrivals occupy `width`
+/// consecutive ids per (point, register) pair.
+#[derive(Clone, Debug)]
+pub struct NodeTable {
+    width: u32,
+    site_base: HashMap<(PointId, Reg), u32>,
+    arrival_base: HashMap<(PointId, Reg), u32>,
+    /// Reverse map for sites: node base → (point, reg).
+    site_of_base: Vec<(PointId, Reg)>,
+    site_bases_sorted: Vec<u32>,
+    len: usize,
+}
+
+/// The node id of `s0` (intact semantics).
+pub const S0: usize = 0;
+
+impl NodeTable {
+    /// Allocates nodes for every accessed `(point, register)` pair of the
+    /// function (sites for reads and writes, arrivals for reads), skipping
+    /// the hardwired zero register.
+    pub fn build(program: &Program, func: &bec_ir::Function, layout: &PointLayout) -> NodeTable {
+        let width = program.config.xlen;
+        let mut t = NodeTable {
+            width,
+            site_base: HashMap::new(),
+            arrival_base: HashMap::new(),
+            site_of_base: Vec::new(),
+            site_bases_sorted: Vec::new(),
+            len: 1, // node 0 = s0
+        };
+        for p in layout.iter() {
+            let pi = layout.resolve(func, p);
+            let reads = pi.reads(program);
+            let writes = pi.writes(program);
+            let mut accessed: Vec<Reg> = Vec::new();
+            for r in reads.iter().chain(writes.iter()) {
+                if program.config.is_zero_reg(*r) || accessed.contains(r) {
+                    continue;
+                }
+                accessed.push(*r);
+            }
+            for r in accessed {
+                t.site_base.insert((p, r), t.len as u32);
+                t.site_of_base.push((p, r));
+                t.site_bases_sorted.push(t.len as u32);
+                t.len += width as usize;
+            }
+            for r in reads {
+                if program.config.is_zero_reg(r) || t.arrival_base.contains_key(&(p, r)) {
+                    continue;
+                }
+                t.arrival_base.insert((p, r), t.len as u32);
+                t.len += width as usize;
+            }
+        }
+        t
+    }
+
+    /// Total number of nodes including `s0`.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether only `s0` exists.
+    pub fn is_empty(&self) -> bool {
+        self.len <= 1
+    }
+
+    /// The machine word width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Node id of fault site `(p, reg, bit)`, if `reg` is accessed at `p`.
+    pub fn site(&self, p: PointId, reg: Reg, bit: u32) -> Option<usize> {
+        debug_assert!(bit < self.width);
+        self.site_base.get(&(p, reg)).map(|b| *b as usize + bit as usize)
+    }
+
+    /// Node id of the arrival `(q, reg, bit)`, if `reg` is read at `q`.
+    pub fn arrival(&self, q: PointId, reg: Reg, bit: u32) -> Option<usize> {
+        debug_assert!(bit < self.width);
+        self.arrival_base.get(&(q, reg)).map(|b| *b as usize + bit as usize)
+    }
+
+    /// Iterates over all site `(point, reg)` pairs in program order.
+    pub fn site_pairs(&self) -> impl Iterator<Item = (PointId, Reg)> + '_ {
+        let mut pairs: Vec<(PointId, Reg)> = self.site_of_base.clone();
+        pairs.sort();
+        pairs.into_iter()
+    }
+
+    /// Reverse lookup: if `node` is a site node, its fault site.
+    pub fn site_of_node(&self, node: usize) -> Option<FaultSite> {
+        if node == S0 || node >= self.len {
+            return None;
+        }
+        let node = node as u32;
+        // Find the greatest site base ≤ node among site bases.
+        let idx = match self.site_bases_sorted.binary_search(&node) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let base = self.site_bases_sorted[idx];
+        if node < base + self.width {
+            let (point, reg) = self.site_of_base[idx];
+            Some(FaultSite { point, reg, bit: node - base })
+        } else {
+            None // falls into an arrival range
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bec_ir::{parse_program, PointLayout};
+
+    fn table() -> (bec_ir::Program, NodeTable) {
+        let p = parse_program(
+            "machine xlen=4 regs=4 zero=none\nfunc @main(args=0, ret=none) {\nentry:\n    andi r2, r1, 1\n    print r2\n    exit\n}\n",
+        )
+        .unwrap();
+        let f = p.entry_function();
+        let layout = PointLayout::of(f);
+        let t = NodeTable::build(&p, f, &layout);
+        (p.clone(), t)
+    }
+
+    #[test]
+    fn allocates_sites_and_arrivals() {
+        let (_, t) = table();
+        // p0 accesses r2 (write) and r1 (read) → 2 site ranges + 1 arrival.
+        // p1 accesses r2 (read) → 1 site + 1 arrival.
+        // p2 (exit) → nothing.
+        assert_eq!(t.len(), 1 + 5 * 4);
+        let r1 = Reg::phys(1);
+        let r2 = Reg::phys(2);
+        assert!(t.site(PointId(0), r1, 0).is_some());
+        assert!(t.site(PointId(0), r2, 3).is_some());
+        assert!(t.arrival(PointId(0), r1, 0).is_some());
+        assert!(t.arrival(PointId(0), r2, 0).is_none()); // r2 only written
+        assert!(t.site(PointId(1), r2, 0).is_some());
+        assert!(t.arrival(PointId(1), r2, 0).is_some());
+        assert!(t.site(PointId(2), r1, 0).is_none());
+    }
+
+    #[test]
+    fn reverse_lookup_roundtrips() {
+        let (_, t) = table();
+        for (p, r) in t.site_pairs() {
+            for bit in 0..4 {
+                let node = t.site(p, r, bit).unwrap();
+                let fs = t.site_of_node(node).unwrap();
+                assert_eq!((fs.point, fs.reg, fs.bit), (p, r, bit));
+            }
+        }
+        // s0 and arrival nodes are not sites.
+        assert!(t.site_of_node(S0).is_none());
+        let arr = t.arrival(PointId(0), Reg::phys(1), 2).unwrap();
+        assert!(t.site_of_node(arr).is_none());
+    }
+
+    #[test]
+    fn zero_reg_is_excluded() {
+        let p = parse_program(
+            "func @main(args=0, ret=none) {\nentry:\n    mv t0, zero\n    print t0\n    exit\n}\n",
+        )
+        .unwrap();
+        let f = p.entry_function();
+        let layout = PointLayout::of(f);
+        let t = NodeTable::build(&p, f, &layout);
+        assert!(t.site(PointId(0), Reg::ZERO, 0).is_none());
+        assert!(t.arrival(PointId(0), Reg::ZERO, 0).is_none());
+        assert!(t.site(PointId(0), Reg::T0, 0).is_some());
+    }
+}

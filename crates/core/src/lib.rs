@@ -1,0 +1,59 @@
+//! # BEC — bit-level error coalescing static analysis
+//!
+//! The paper's primary contribution (Ko & Burgstaller, CGO 2024, §IV):
+//!
+//! 1. **Global abstract bit-value analysis** (Algorithm 1, [`bitvalue`]) — a
+//!    forward MFP dataflow computing `k(p, v)`, the abstract value of every
+//!    bit of every data point, across basic blocks.
+//! 2. **Fault-index coalescing analysis** (Algorithms 2–3, [`coalesce`] and
+//!    [`arrival`]) — a backward analysis over an equivalence relation that
+//!    classifies which fault sites mask soft errors and which are equivalent
+//!    in effect.
+//!
+//! On top of the analysis sit the two use cases:
+//!
+//! * [`pruning`] — fault-injection campaign pruning accounting (Table III);
+//! * [`surface`] — the live-fault-site ("fault surface") metric driving
+//!   vulnerability-aware instruction scheduling (Table IV).
+//!
+//! ## Example
+//!
+//! ```
+//! use bec_core::{BecAnalysis, BecOptions};
+//! use bec_ir::parse_program;
+//!
+//! let program = parse_program(r#"
+//! machine xlen=4 regs=4 zero=none
+//! func @main(args=0, ret=none) {
+//! entry:
+//!     li   r1, 7
+//!     andi r2, r1, 1
+//!     seqz r2, r2
+//!     print r2
+//!     exit
+//! }
+//! "#)?;
+//! let bec = BecAnalysis::analyze(&program, &BecOptions::default());
+//! let f = bec.function_by_name("main").unwrap();
+//! // r1 is the constant 7, so `andi r2, r1, 1` folds to the constant 1.
+//! assert_eq!(f.values.value_after(bec_ir::PointId(1), bec_ir::Reg::phys(2)).to_string(), "0001");
+//! # Ok::<(), bec_ir::IrError>(())
+//! ```
+
+pub mod analysis;
+pub mod arrival;
+pub mod bitvalue;
+pub mod coalesce;
+pub mod fault;
+pub mod profile;
+pub mod pruning;
+pub mod report;
+pub mod surface;
+
+pub use analysis::{BecAnalysis, BecOptions, FunctionAnalysis};
+pub use bitvalue::BitValues;
+pub use coalesce::Coalescing;
+pub use fault::FaultSite;
+pub use profile::ExecProfile;
+pub use pruning::{PruningReport, PruningRow};
+pub use surface::{SurfaceReport, SurfaceRow};

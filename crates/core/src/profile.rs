@@ -1,0 +1,62 @@
+//! Dynamic execution profiles: how often each program point executed.
+//!
+//! The Table III/IV accountings weight static fault sites by the execution
+//! counts of a golden (fault-free) run. Profiles are produced by the
+//! simulator's golden run ([`bec-sim`]) or constructed by hand in tests.
+
+use bec_ir::PointId;
+use std::collections::HashMap;
+
+/// Execution counts per `(function index, program point)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecProfile {
+    counts: HashMap<(usize, PointId), u64>,
+}
+
+impl ExecProfile {
+    /// An empty profile (all counts zero).
+    pub fn new() -> ExecProfile {
+        ExecProfile::default()
+    }
+
+    /// Adds `n` executions of `point` in function `func`.
+    pub fn add(&mut self, func: usize, point: PointId, n: u64) {
+        *self.counts.entry((func, point)).or_insert(0) += n;
+    }
+
+    /// Sets the count exactly.
+    pub fn set(&mut self, func: usize, point: PointId, n: u64) {
+        self.counts.insert((func, point), n);
+    }
+
+    /// Execution count of `point` in function `func`.
+    pub fn count(&self, func: usize, point: PointId) -> u64 {
+        self.counts.get(&(func, point)).copied().unwrap_or(0)
+    }
+
+    /// Total executed points (the trace length in cycles).
+    pub fn total_cycles(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Iterates over all nonzero entries.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, PointId), u64)> + '_ {
+        self.counts.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_total() {
+        let mut p = ExecProfile::new();
+        p.add(0, PointId(0), 1);
+        p.add(0, PointId(0), 2);
+        p.add(1, PointId(5), 7);
+        assert_eq!(p.count(0, PointId(0)), 3);
+        assert_eq!(p.count(0, PointId(9)), 0);
+        assert_eq!(p.total_cycles(), 10);
+    }
+}

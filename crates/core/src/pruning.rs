@@ -1,0 +1,116 @@
+//! Use case 1: fault-injection campaign pruning accounting (§VI-A,
+//! Table III).
+//!
+//! Definitions (DESIGN.md §2):
+//!
+//! * **Live in values** — the inject-on-read baseline: one injection per bit
+//!   of every *value-live* fault site per dynamic occurrence, i.e.
+//!   `Σ_{(p,v): v live after p} w · exec(p)`.
+//! * **Live in bits** — the BEC campaign: one injection per equivalence
+//!   class per dynamic occurrence; a class is charged the largest execution
+//!   count among its member sites (every temporal window must be covered,
+//!   equivalent windows share one run).
+//! * **Masked bits** — value-live site bits proven equivalent to `s0`.
+//! * **Inferrable bits** — the remainder: runs whose outcome is inferred
+//!   from another class member's run.
+
+use crate::analysis::BecAnalysis;
+use crate::profile::ExecProfile;
+use bec_ir::Program;
+
+/// Pruning statistics for one program (one benchmark = one row of
+/// Table III).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PruningRow {
+    /// Benchmark / program name.
+    pub name: String,
+    /// Fault-injection runs required by value-level (inject-on-read)
+    /// analysis.
+    pub live_values: u64,
+    /// Fault-injection runs required by the BEC bit-level analysis.
+    pub live_bits: u64,
+    /// Runs pruned because the fault is masked.
+    pub masked: u64,
+    /// Runs pruned because the outcome is inferable from an equivalent run.
+    pub inferrable: u64,
+}
+
+impl PruningRow {
+    /// Fraction of fault-injection runs pruned, in percent
+    /// (`1 − live_bits / live_values`).
+    pub fn pruned_pct(&self) -> f64 {
+        if self.live_values == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.live_bits as f64 / self.live_values as f64)
+        }
+    }
+}
+
+/// A collection of [`PruningRow`]s (the full Table III).
+#[derive(Clone, Debug, Default)]
+pub struct PruningReport {
+    /// One row per benchmark.
+    pub rows: Vec<PruningRow>,
+}
+
+impl PruningReport {
+    /// Average pruning percentage across rows (the paper's "13.71 % on
+    /// average").
+    pub fn average_pruned_pct(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(PruningRow::pruned_pct).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Maximum pruning percentage (the paper's "up to 30.04 %").
+    pub fn max_pruned_pct(&self) -> f64 {
+        self.rows.iter().map(PruningRow::pruned_pct).fold(0.0, f64::max)
+    }
+}
+
+/// Computes the pruning statistics of one program under a given execution
+/// profile.
+pub fn pruning_row(
+    name: &str,
+    program: &Program,
+    bec: &BecAnalysis,
+    profile: &ExecProfile,
+) -> PruningRow {
+    let w = program.config.xlen as u64;
+    let mut live_values = 0u64;
+    let mut masked = 0u64;
+    let mut live_bits = 0u64;
+
+    for (fi, fa) in bec.functions().iter().enumerate() {
+        let coal = &fa.coalescing;
+        let s0 = coal.s0_class();
+
+        // Value-level baseline and masked bits, per site.
+        for (p, r) in coal.nodes().site_pairs() {
+            if !fa.liveness.is_live_after(p, r) {
+                continue; // killed: pruned by inject-on-read already
+            }
+            let exec = profile.count(fi, p);
+            live_values += w * exec;
+            for bit in 0..program.config.xlen {
+                if coal.class_of(p, r, bit) == Some(s0) {
+                    masked += exec;
+                }
+            }
+        }
+
+        // Bit-level: one run per class per temporal instance.
+        for (rep, sites) in coal.site_classes() {
+            if rep == s0 {
+                continue;
+            }
+            let runs = sites.iter().map(|s| profile.count(fi, s.point)).max().unwrap_or(0);
+            live_bits += runs;
+        }
+    }
+
+    let inferrable = live_values.saturating_sub(live_bits).saturating_sub(masked);
+    PruningRow { name: name.to_owned(), live_values, live_bits, masked, inferrable }
+}

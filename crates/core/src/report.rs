@@ -1,0 +1,82 @@
+//! Plain-text table rendering for the experiment harnesses.
+
+/// Renders an aligned plain-text table: a header row followed by data rows.
+/// Column widths adapt to the longest cell; the first column is
+/// left-aligned, the rest right-aligned (matching the paper's tables).
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let render = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate().take(ncols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let pad = widths[i].saturating_sub(cell.chars().count());
+            if i == 0 {
+                out.push_str(cell);
+                out.push_str(&" ".repeat(pad));
+            } else {
+                out.push_str(&" ".repeat(pad));
+                out.push_str(cell);
+            }
+        }
+        out.push('\n');
+    };
+    let headers: Vec<String> = headers.iter().map(|s| (*s).to_owned()).collect();
+    render(&mut out, &headers);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        render(&mut out, row);
+    }
+    out
+}
+
+/// Formats a count with thousands separators (`1 026 304` style, as in the
+/// paper's tables).
+pub fn group_digits(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(' ');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_are_grouped() {
+        assert_eq!(group_digits(5), "5");
+        assert_eq!(group_digits(26272), "26 272");
+        assert_eq!(group_digits(2819904), "2 819 904");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = format_table(
+            &["Benchmark", "Runs"],
+            &[
+                vec!["aes".into(), "12".into()],
+                vec!["crc".into(), "1234".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Benchmark"));
+        assert!(lines[2].ends_with("  12"));
+        assert!(lines[3].ends_with("1234"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Use case 2: the fault-surface metric (§III-B, §VI-B, Table IV).
+//!
+//! The *fault surface* of a program run is the number of live fault sites in
+//! bits summed over every executed program point: at each point, every live
+//! register contributes its bits that are not provably masked. A returned
+//! value escapes the function and contributes all its bits at the `ret`
+//! point (this reproduces the paper's 681-site count for Fig. 2b).
+
+use crate::analysis::{BecAnalysis, FunctionAnalysis};
+use crate::profile::ExecProfile;
+use bec_ir::{Cfg, Function, PointId, PointLayout, Program, Reg, Terminator};
+use std::collections::{BTreeSet, HashMap};
+
+/// Fault-surface statistics for one program (one column of Table IV).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SurfaceRow {
+    /// Benchmark / program name.
+    pub name: String,
+    /// Total fault space: trace cycles × register-file bits.
+    pub total_fault_space: u64,
+    /// Live (non-masked) fault sites over the trace — the vulnerability
+    /// metric minimized by reliability-aware scheduling.
+    pub live_sites: u64,
+}
+
+/// A collection of [`SurfaceRow`]s (Table IV rows for one scheduling
+/// policy).
+#[derive(Clone, Debug, Default)]
+pub struct SurfaceReport {
+    /// One row per benchmark.
+    pub rows: Vec<SurfaceRow>,
+}
+
+/// Computes the fault surface of a program under an execution profile.
+pub fn surface_row(
+    name: &str,
+    program: &Program,
+    bec: &BecAnalysis,
+    profile: &ExecProfile,
+) -> SurfaceRow {
+    let mut live_sites = 0u64;
+    for (fi, fa) in bec.functions().iter().enumerate() {
+        let func = &program.functions[fi];
+        live_sites += function_surface(program, func, fa, |p| profile.count(fi, p));
+    }
+    SurfaceRow {
+        name: name.to_owned(),
+        total_fault_space: profile.total_cycles() * program.config.fault_bits(),
+        live_sites,
+    }
+}
+
+/// Fault surface of one function, weighting each point by `exec`.
+pub fn function_surface(
+    program: &Program,
+    func: &Function,
+    fa: &FunctionAnalysis,
+    exec: impl Fn(PointId) -> u64,
+) -> u64 {
+    let w = program.config.xlen;
+    let cover = CoverMap::compute(program, func, &fa.layout);
+    let s0 = fa.coalescing.s0_class();
+    let mut total = 0u64;
+    for p in fa.layout.iter() {
+        let n = exec(p);
+        if n == 0 {
+            continue;
+        }
+        let mut bits_here = 0u64;
+        for v in fa.liveness.live_after(p) {
+            let covering = cover.cover(p, v);
+            if covering.is_empty() {
+                // Live-in value with no access yet (function argument):
+                // nothing is known about masking, count every bit.
+                bits_here += w as u64;
+                continue;
+            }
+            for bit in 0..w {
+                let live = covering
+                    .iter()
+                    .any(|&d| fa.coalescing.class_of(d, v, bit) != Some(s0));
+                if live {
+                    bits_here += 1;
+                }
+            }
+        }
+        // Returned values escape to the caller: their window stays live
+        // through the ret point.
+        if let Some(Terminator::Ret { reads }) = fa.layout.resolve(func, p).as_term() {
+            let distinct: BTreeSet<Reg> = reads.iter().copied().collect();
+            bits_here += w as u64 * distinct.len() as u64;
+        }
+        total += n * bits_here;
+    }
+    total
+}
+
+/// For each `(point, register)`: the access points of the register whose
+/// fault-site window can cover this point (i.e. the most recent accesses on
+/// some access-free path).
+#[derive(Clone, Debug)]
+pub struct CoverMap {
+    map: HashMap<(PointId, Reg), Vec<PointId>>,
+}
+
+impl CoverMap {
+    /// Forward "last access" analysis per register.
+    pub fn compute(program: &Program, func: &Function, layout: &PointLayout) -> CoverMap {
+        let cfg = Cfg::of(func);
+        let zero = program.config.zero_reg;
+
+        // Registers that appear anywhere.
+        let mut regs: BTreeSet<Reg> = BTreeSet::new();
+        for p in layout.iter() {
+            let pi = layout.resolve(func, p);
+            regs.extend(pi.reads(program));
+            regs.extend(pi.writes(program));
+        }
+        if let Some(z) = zero {
+            regs.remove(&z);
+        }
+
+        let nb = func.blocks.len();
+        let mut map = HashMap::new();
+        for &r in &regs {
+            // Block-level fixpoint: set of access points reaching block end.
+            let mut out: Vec<BTreeSet<PointId>> = vec![BTreeSet::new(); nb];
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for &b in cfg.reverse_postorder() {
+                    let mut acc: BTreeSet<PointId> = BTreeSet::new();
+                    for &pr in cfg.predecessors(b) {
+                        acc.extend(out[pr.index()].iter().copied());
+                    }
+                    let blk = func.block(b);
+                    for off in 0..blk.point_count() {
+                        let p = layout.point(b, off);
+                        let pi = layout.resolve(func, p);
+                        if pi.reads(program).contains(&r) || pi.writes(program).contains(&r) {
+                            acc.clear();
+                            acc.insert(p);
+                        }
+                    }
+                    if out[b.index()] != acc {
+                        out[b.index()] = acc;
+                        changed = true;
+                    }
+                }
+            }
+            // Local walk: cover after each point.
+            for (bi, blk) in func.blocks.iter().enumerate() {
+                let b = bec_ir::BlockId(bi as u32);
+                let mut acc: BTreeSet<PointId> = BTreeSet::new();
+                for &pr in cfg.predecessors(b) {
+                    acc.extend(out[pr.index()].iter().copied());
+                }
+                for off in 0..blk.point_count() {
+                    let p = layout.point(b, off);
+                    let pi = layout.resolve(func, p);
+                    if pi.reads(program).contains(&r) || pi.writes(program).contains(&r) {
+                        acc.clear();
+                        acc.insert(p);
+                    }
+                    map.insert((p, r), acc.iter().copied().collect());
+                }
+            }
+        }
+        CoverMap { map }
+    }
+
+    /// The access points covering `(p, v)` (window containing the moment
+    /// right after `p`). Empty for registers never accessed on any path to
+    /// `p`.
+    pub fn cover(&self, p: PointId, v: Reg) -> &[PointId] {
+        self.map.get(&(p, v)).map(Vec::as_slice).unwrap_or(&[])
+    }
+}

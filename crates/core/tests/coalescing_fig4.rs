@@ -1,0 +1,160 @@
+//! Reproduction of the paper's Fig. 4: iterative fault-index coalescing on a
+//! fork-after-join CFG snippet with 4-bit data points.
+//!
+//! Register mapping (paper name → register): `v → r2`, `m → r3`,
+//! `v8 → r4`, `v4 → r5`; the φ inputs `a`/`b` are the two loads of `r2` on
+//! the two branch arms; `r6` holds the (unknown) branch condition and `r7`
+//! the base address.
+
+use bec_core::{BecAnalysis, BecOptions};
+use bec_ir::{parse_program, PointId, Program, Reg};
+
+fn fig4_program() -> Program {
+    parse_program(
+        r#"
+machine xlen=4 regs=8 zero=none
+global data: byte[8]
+func @main(args=0, ret=none) {
+entry:
+    lw   r6, 0(r7)
+    bnez r6, def_a, def_b
+def_a:
+    lw   r2, 0(r7)
+    j    join
+def_b:
+    lw   r2, 4(r7)
+    j    join
+join:
+    andi r3, r2, 1
+    beqz r3, even, odd
+even:
+    slli r4, r2, 3
+    print r4
+    exit
+odd:
+    slli r5, r2, 2
+    print r5
+    exit
+}
+"#,
+    )
+    .unwrap()
+}
+
+// Point layout:
+//  p0 lw r6, p1 bnez       (entry)
+//  p2 lw r2 (def a), p3 j  (def_a)
+//  p4 lw r2 (def b), p5 j  (def_b)
+//  p6 andi r3, p7 beqz     (join)
+//  p8 slli r4, p9 print, p10 exit   (even)
+//  p11 slli r5, p12 print, p13 exit (odd)
+const DEF_A: PointId = PointId(2);
+const ANDI: PointId = PointId(6);
+const BEQZ: PointId = PointId(7);
+const SHL3: PointId = PointId(8);
+const SHL2: PointId = PointId(11);
+
+fn analyze() -> BecAnalysis {
+    BecAnalysis::analyze(&fig4_program(), &BecOptions::paper())
+}
+
+#[test]
+fn def_site_high_bits_coalesce_to_s0() {
+    // Fig. 4c: [s((p2, v^2))] and [s((p2, v^3))] coalesce into [s0]: the
+    // andi masks them, shl-by-3 and shl-by-2 both shift them out.
+    let bec = analyze();
+    let fa = bec.function_by_name("main").unwrap();
+    let v = Reg::phys(2);
+    assert_eq!(fa.coalescing.is_masked(DEF_A, v, 3), Some(true));
+    assert_eq!(fa.coalescing.is_masked(DEF_A, v, 2), Some(true));
+}
+
+#[test]
+fn def_site_low_bits_stay_distinct() {
+    // Fig. 4c: [s((p2, v^0))] and [s((p2, v^1))] remain: their uses map
+    // them to different downstream effects, so the intersection is empty.
+    let bec = analyze();
+    let fa = bec.function_by_name("main").unwrap();
+    let v = Reg::phys(2);
+    assert_eq!(fa.coalescing.is_masked(DEF_A, v, 0), Some(false));
+    assert_eq!(fa.coalescing.is_masked(DEF_A, v, 1), Some(false));
+    let c0 = fa.coalescing.class_of(DEF_A, v, 0).unwrap();
+    let c1 = fa.coalescing.class_of(DEF_A, v, 1).unwrap();
+    assert_ne!(c0, c1);
+}
+
+#[test]
+fn read_window_after_andi_matches_fig4c() {
+    // Sites 17-20 of the figure: v's window after the andi read. Uses are
+    // the two shifts: bits 2 and 3 are masked in both arms (shifted out),
+    // bits 0 and 1 disagree between the arms and stay.
+    let bec = analyze();
+    let fa = bec.function_by_name("main").unwrap();
+    let v = Reg::phys(2);
+    assert_eq!(fa.coalescing.is_masked(ANDI, v, 3), Some(true));
+    assert_eq!(fa.coalescing.is_masked(ANDI, v, 2), Some(true));
+    assert_eq!(fa.coalescing.is_masked(ANDI, v, 1), Some(false));
+    assert_eq!(fa.coalescing.is_masked(ANDI, v, 0), Some(false));
+}
+
+#[test]
+fn beqz_equivalence_merges_known_zero_bits_of_m() {
+    // Fig. 4b: s((p4, m^1)) ∼ s((p4, m^2)) ∼ s((p4, m^3)) — flipping any
+    // known-zero bit of m diverts the branch the same way. The m sites are
+    // the window after the andi writes m.
+    let bec = analyze();
+    let fa = bec.function_by_name("main").unwrap();
+    let m = Reg::phys(3);
+    let c1 = fa.coalescing.class_of(ANDI, m, 1).unwrap();
+    let c2 = fa.coalescing.class_of(ANDI, m, 2).unwrap();
+    let c3 = fa.coalescing.class_of(ANDI, m, 3).unwrap();
+    let c0 = fa.coalescing.class_of(ANDI, m, 0).unwrap();
+    assert_eq!(c1, c2);
+    assert_eq!(c2, c3);
+    assert_ne!(c0, c1);
+    assert_ne!(c1, fa.coalescing.s0_class(), "diverting the branch is not masked");
+    // m dies at the branch: the window after the beqz read is masked.
+    assert_eq!(fa.coalescing.is_masked(BEQZ, m, 0), Some(true));
+}
+
+#[test]
+fn shift_outputs_have_live_low_zero_bits() {
+    // After `slli r4, r2, 3`, bits 0..2 of v8 are known zero but still live
+    // (the print observes them); bit 3 carries v^0.
+    let bec = analyze();
+    let fa = bec.function_by_name("main").unwrap();
+    let v8 = Reg::phys(4);
+    for bit in 0..4 {
+        assert_eq!(fa.coalescing.is_masked(SHL3, v8, bit), Some(false), "bit {bit}");
+    }
+    // k(p5, v8) = ×000 as in the figure.
+    assert_eq!(fa.values.value_after(SHL3, v8).to_string(), "×000");
+    let v4 = Reg::phys(5);
+    assert_eq!(fa.values.value_after(SHL2, v4).to_string(), "××00");
+}
+
+#[test]
+fn phi_defs_on_both_arms_coalesce_identically() {
+    // The a-def (p2) and b-def (p4) have the same uses and the same rules:
+    // their class structure matches bit for bit.
+    let bec = analyze();
+    let fa = bec.function_by_name("main").unwrap();
+    let v = Reg::phys(2);
+    let def_b = PointId(4);
+    for bit in 0..4 {
+        assert_eq!(
+            fa.coalescing.is_masked(DEF_A, v, bit),
+            fa.coalescing.is_masked(def_b, v, bit),
+            "bit {bit}"
+        );
+    }
+}
+
+#[test]
+fn fixpoint_terminates_quickly() {
+    let bec = analyze();
+    let fa = bec.function_by_name("main").unwrap();
+    // The fixpoint needs at least the initial pass plus the stabilizing one.
+    assert!(fa.coalescing.passes() >= 2);
+    assert!(fa.coalescing.passes() <= 10, "suspiciously many passes");
+}

@@ -1,0 +1,172 @@
+//! End-to-end reproduction of the paper's motivating example (Figs. 1–2).
+//!
+//! The paper derives, for `countYears` on a 4-bit machine with the loop
+//! bound 7:
+//!
+//! * value-level (inject-on-read) fault-injection runs: **288**;
+//! * BEC bit-level runs: **225** (21.8 % saved);
+//! * live fault sites (fault surface): **681**;
+//! * after vulnerability-aware rescheduling (Fig. 2c): **576** (−15.4 %),
+//!   with the fault-injection runs unchanged.
+
+use bec_core::{pruning, surface, BecAnalysis, BecOptions, ExecProfile};
+use bec_ir::{parse_program, PointId, PointLayout, Program, Terminator};
+
+fn original() -> Program {
+    parse_program(
+        r#"
+machine xlen=4 regs=4 zero=none
+func @main(args=0, ret=none) {
+entry:
+    li r0, 0
+    li r1, 7
+    j loop
+loop:
+    andi r2, r1, 1
+    andi r3, r1, 3
+    addi r1, r1, -1
+    seqz r2, r2
+    snez r3, r3
+    and  r2, r2, r3
+    add  r0, r0, r2
+    bnez r1, loop
+exit:
+    ret r0
+}
+"#,
+    )
+    .unwrap()
+}
+
+fn rescheduled() -> Program {
+    parse_program(
+        r#"
+machine xlen=4 regs=4 zero=none
+func @main(args=0, ret=none) {
+entry:
+    li r0, 0
+    li r1, 7
+    j loop
+loop:
+    andi r2, r1, 1
+    seqz r2, r2
+    andi r3, r1, 3
+    snez r3, r3
+    and  r2, r2, r3
+    add  r0, r0, r2
+    addi r1, r1, -1
+    bnez r1, loop
+exit:
+    ret r0
+}
+"#,
+    )
+    .unwrap()
+}
+
+/// Execution profile of the golden run: entry once, loop body 7 times, exit
+/// once. Unconditional jumps are zero-cost fallthroughs (DESIGN.md §2), so
+/// the `j loop` terminator gets no executions.
+fn profile(p: &Program) -> ExecProfile {
+    let f = p.entry_function();
+    let layout = PointLayout::of(f);
+    let mut prof = ExecProfile::new();
+    for (bi, block) in f.blocks.iter().enumerate() {
+        let count = if block.label == "loop" { 7 } else { 1 };
+        for off in 0..block.point_count() {
+            let pt = layout.point(bec_ir::BlockId(bi as u32), off);
+            let is_jump = matches!(
+                layout.resolve(f, pt).as_term(),
+                Some(Terminator::Jump { .. })
+            );
+            prof.set(0, pt, if is_jump { 0 } else { count });
+        }
+    }
+    prof
+}
+
+#[test]
+fn value_level_runs_match_paper_288() {
+    let p = original();
+    let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+    let row = pruning::pruning_row("countYears", &p, &bec, &profile(&p));
+    assert_eq!(row.live_values, 288, "paper: 4 + 4 + 7×(4 + 4×4 + 3×4 + 2×4) = 288");
+}
+
+#[test]
+fn bit_level_runs_match_paper_225() {
+    let p = original();
+    let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+    let row = pruning::pruning_row("countYears", &p, &bec, &profile(&p));
+    assert_eq!(row.live_bits, 225, "paper: 4 + 4 + 7×(4 + 4×4 + 2 + 1 + 4 + 3 + 1) = 225");
+    // Per iteration: 3 bits of v2 after seqz and 3 bits of v3 after snez are
+    // masked by the and at p7.
+    assert_eq!(row.masked, 42, "6 masked bits × 7 iterations");
+    assert_eq!(row.inferrable, 21, "3 inferred runs × 7 iterations");
+    let saved = row.pruned_pct();
+    assert!((saved - 21.875).abs() < 0.01, "paper reports 21.8 %, got {saved}");
+}
+
+#[test]
+fn fault_surface_matches_paper_681() {
+    let p = original();
+    let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+    let row = surface::surface_row("countYears", &p, &bec, &profile(&p));
+    assert_eq!(row.live_sites, 681, "paper: 3×4 + 7×(8×4+8×4+4×4+2×1+3×4+1) + 4 = 681");
+    // 59 executed cycles × 16 register-file bits.
+    assert_eq!(row.total_fault_space, 59 * 16);
+}
+
+#[test]
+fn rescheduled_fault_surface_matches_paper_576() {
+    let p = rescheduled();
+    let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+    let row = surface::surface_row("countYears-sched", &p, &bec, &profile(&p));
+    assert_eq!(row.live_sites, 576, "paper: reduction of 15.4 % from 681");
+    let reduction: f64 = 100.0 * (1.0 - 576.0 / 681.0);
+    assert!((reduction - 15.4).abs() < 0.05);
+}
+
+#[test]
+fn rescheduling_leaves_fi_runs_unchanged() {
+    // §III-B: "the number of instructions to be executed and the number of
+    // fault injection runs required remain unchanged".
+    let p = rescheduled();
+    let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+    let row = pruning::pruning_row("countYears-sched", &p, &bec, &profile(&p));
+    assert_eq!(row.live_values, 288);
+    assert_eq!(row.live_bits, 225);
+}
+
+#[test]
+fn seqz_equivalence_covers_bits_1_to_3() {
+    // §III-A: "only one fault injection is required among the bits v2^1,
+    // v2^2, and v2^3 at program point p2".
+    let p = original();
+    let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+    let fa = bec.function_by_name("main").unwrap();
+    let r2 = bec_ir::Reg::phys(2);
+    let andi_v2 = PointId(3); // first loop instruction
+    let c1 = fa.coalescing.class_of(andi_v2, r2, 1).unwrap();
+    let c2 = fa.coalescing.class_of(andi_v2, r2, 2).unwrap();
+    let c3 = fa.coalescing.class_of(andi_v2, r2, 3).unwrap();
+    let c0 = fa.coalescing.class_of(andi_v2, r2, 0).unwrap();
+    assert_eq!(c1, c2);
+    assert_eq!(c2, c3);
+    assert_ne!(c0, c1, "bit 0 decides the test and is not equivalent");
+    assert_ne!(c1, fa.coalescing.s0_class(), "equivalent but not masked");
+}
+
+#[test]
+fn post_seqz_high_bits_are_masked_by_the_and() {
+    // §III-A: fault sites (p5, v2^1..3) are dead — masked by the and at p7.
+    let p = original();
+    let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+    let fa = bec.function_by_name("main").unwrap();
+    let r2 = bec_ir::Reg::phys(2);
+    let seqz = PointId(6);
+    assert_eq!(fa.coalescing.is_masked(seqz, r2, 1), Some(true));
+    assert_eq!(fa.coalescing.is_masked(seqz, r2, 2), Some(true));
+    assert_eq!(fa.coalescing.is_masked(seqz, r2, 3), Some(true));
+    assert_eq!(fa.coalescing.is_masked(seqz, r2, 0), Some(false));
+}

@@ -1,0 +1,562 @@
+//! Abstract machine words: one [`BitValue`] per bit.
+//!
+//! `AbsValue` is the `k(p, v)` of the paper (§II): the compile-time
+//! approximation of a data point's bit values. It is comparable to LLVM's
+//! `KnownBits` and BPF's `tnum`, extended with an explicit ⊥ for
+//! not-yet-defined values so the global analysis can start optimistically.
+
+use crate::bitval::BitValue;
+use std::fmt;
+
+/// An abstract word of up to 64 bits.
+///
+/// Encoding: two bit masks. A bit set in `zeros` means "known zero", in
+/// `ones` "known one"; both clear means ⊤ (unknown); both set means ⊥
+/// (undefined).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AbsValue {
+    width: u32,
+    zeros: u64,
+    ones: u64,
+}
+
+impl AbsValue {
+    fn mask(width: u32) -> u64 {
+        debug_assert!(width >= 1 && width <= 64);
+        if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// All bits ⊥ (undefined).
+    pub fn bottom(width: u32) -> AbsValue {
+        let m = Self::mask(width);
+        AbsValue { width, zeros: m, ones: m }
+    }
+
+    /// All bits ⊤ (unknown).
+    pub fn top(width: u32) -> AbsValue {
+        AbsValue { width, zeros: 0, ones: 0 }
+    }
+
+    /// A fully-known constant.
+    pub fn constant(width: u32, value: u64) -> AbsValue {
+        let m = Self::mask(width);
+        let v = value & m;
+        AbsValue { width, zeros: !v & m, ones: v }
+    }
+
+    /// Builds a word from individual bit values, LSB first.
+    pub fn from_bits(bits: &[BitValue]) -> AbsValue {
+        let mut v = AbsValue::top(bits.len() as u32);
+        for (i, b) in bits.iter().enumerate() {
+            v.set_bit(i as u32, *b);
+        }
+        v
+    }
+
+    /// The word width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The value of bit `i` (LSB = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn bit(&self, i: u32) -> BitValue {
+        assert!(i < self.width);
+        let z = self.zeros >> i & 1 != 0;
+        let o = self.ones >> i & 1 != 0;
+        match (z, o) {
+            (false, false) => BitValue::Top,
+            (true, false) => BitValue::Zero,
+            (false, true) => BitValue::One,
+            (true, true) => BitValue::Bottom,
+        }
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn set_bit(&mut self, i: u32, b: BitValue) {
+        assert!(i < self.width);
+        let bit = 1u64 << i;
+        let (z, o) = match b {
+            BitValue::Top => (false, false),
+            BitValue::Zero => (true, false),
+            BitValue::One => (false, true),
+            BitValue::Bottom => (true, true),
+        };
+        self.zeros = if z { self.zeros | bit } else { self.zeros & !bit };
+        self.ones = if o { self.ones | bit } else { self.ones & !bit };
+    }
+
+    /// Iterates over the bits, LSB first.
+    pub fn bits(&self) -> impl Iterator<Item = BitValue> + '_ {
+        (0..self.width).map(|i| self.bit(i))
+    }
+
+    /// Whether any bit is ⊥.
+    pub fn has_bottom(&self) -> bool {
+        self.zeros & self.ones != 0
+    }
+
+    /// The constant value, if every bit is known.
+    pub fn as_const(&self) -> Option<u64> {
+        let m = Self::mask(self.width);
+        (!self.has_bottom() && self.zeros | self.ones == m).then_some(self.ones)
+    }
+
+    /// Concretization membership: can the word hold concrete value `v`?
+    pub fn admits(&self, v: u64) -> bool {
+        let m = Self::mask(self.width);
+        let v = v & m;
+        !self.has_bottom() && v & self.zeros == 0 && !v & self.ones == 0
+    }
+
+    /// Per-bit meet (`∧` of Fig. 3b); the join direction of Algorithm 1.
+    pub fn meet(&self, other: &AbsValue) -> AbsValue {
+        assert_eq!(self.width, other.width);
+        self.zip(other, BitValue::meet)
+    }
+
+    /// Per-bit lattice ordering: every bit of `self` ≤ the same bit of
+    /// `other`.
+    pub fn le(&self, other: &AbsValue) -> bool {
+        self.width == other.width && self.bits().zip(other.bits()).all(|(a, b)| a.le(b))
+    }
+
+    fn zip(&self, other: &AbsValue, f: impl Fn(BitValue, BitValue) -> BitValue) -> AbsValue {
+        assert_eq!(self.width, other.width);
+        let mut out = AbsValue::top(self.width);
+        for i in 0..self.width {
+            out.set_bit(i, f(self.bit(i), other.bit(i)));
+        }
+        out
+    }
+
+    /// Abstract bitwise and (Fig. 3c, strict on ⊥).
+    pub fn and(&self, other: &AbsValue) -> AbsValue {
+        self.zip(other, BitValue::and)
+    }
+
+    /// Abstract bitwise or.
+    pub fn or(&self, other: &AbsValue) -> AbsValue {
+        self.zip(other, BitValue::or)
+    }
+
+    /// Abstract bitwise exclusive-or.
+    pub fn xor(&self, other: &AbsValue) -> AbsValue {
+        self.zip(other, BitValue::xor)
+    }
+
+    /// Abstract bitwise complement.
+    pub fn not(&self) -> AbsValue {
+        let mut out = *self;
+        let m = Self::mask(self.width);
+        // Swap the masks on non-bottom, non-top bits; ⊥ and ⊤ are fixed
+        // points of complement, and swapping leaves them unchanged anyway.
+        let z = out.zeros;
+        out.zeros = out.ones & m;
+        out.ones = z & m;
+        out
+    }
+
+    /// Abstract addition (carry-chain over abstract bits).
+    ///
+    /// A single unknown bit poisons carries above it, but known low bits
+    /// stay precise — e.g. `xxx0 + xxx0` has a known low bit.
+    pub fn add(&self, other: &AbsValue) -> AbsValue {
+        self.add_with_carry(other, BitValue::Zero)
+    }
+
+    /// Abstract subtraction: `a - b = a + ¬b + 1`.
+    pub fn sub(&self, other: &AbsValue) -> AbsValue {
+        self.add_with_carry(&other.not(), BitValue::One)
+    }
+
+    fn add_with_carry(&self, other: &AbsValue, mut carry: BitValue) -> AbsValue {
+        assert_eq!(self.width, other.width);
+        if self.has_bottom() || other.has_bottom() {
+            return AbsValue::bottom(self.width);
+        }
+        let mut out = AbsValue::top(self.width);
+        for i in 0..self.width {
+            let (a, b) = (self.bit(i), other.bit(i));
+            out.set_bit(i, a.xor(b).xor(carry));
+            // carry' = (a & b) | (carry & (a ^ b))
+            carry = a.and(b).or(carry.and(a.xor(b)));
+        }
+        out
+    }
+
+    /// Abstract arithmetic negation (`0 - x`).
+    pub fn neg(&self) -> AbsValue {
+        AbsValue::constant(self.width, 0).sub(self)
+    }
+
+    /// Logical shift left by a known amount; zeros shift in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= width` (callers mask shift amounts first).
+    pub fn shl_const(&self, k: u32) -> AbsValue {
+        assert!(k < self.width);
+        let mut out = AbsValue::constant(self.width, 0);
+        for i in 0..self.width - k {
+            out.set_bit(i + k, self.bit(i));
+        }
+        out
+    }
+
+    /// Logical shift right by a known amount; zeros shift in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= width`.
+    pub fn shr_const(&self, k: u32) -> AbsValue {
+        assert!(k < self.width);
+        let mut out = AbsValue::constant(self.width, 0);
+        for i in k..self.width {
+            out.set_bit(i - k, self.bit(i));
+        }
+        out
+    }
+
+    /// Arithmetic shift right by a known amount; the sign bit replicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= width`.
+    pub fn sra_const(&self, k: u32) -> AbsValue {
+        assert!(k < self.width);
+        let sign = self.bit(self.width - 1);
+        let mut out = AbsValue::top(self.width);
+        for i in 0..self.width {
+            let src = i + k;
+            out.set_bit(i, if src < self.width { self.bit(src) } else { sign });
+        }
+        out
+    }
+
+    /// Abstract multiplication, low word. The product modulo 2ⁿ depends
+    /// only on the operands modulo 2ⁿ, so `n` consecutive known low bits in
+    /// both operands pin `n` low bits of the product.
+    pub fn mul_low(&self, other: &AbsValue) -> AbsValue {
+        assert_eq!(self.width, other.width);
+        if self.has_bottom() || other.has_bottom() {
+            return AbsValue::bottom(self.width);
+        }
+        if let (Some(a), Some(b)) = (self.as_const(), other.as_const()) {
+            return AbsValue::constant(self.width, a.wrapping_mul(b));
+        }
+        let known_low = |v: &AbsValue| (0..v.width).take_while(|&i| v.bit(i).is_known()).count() as u32;
+        let n = known_low(self).min(known_low(other));
+        let mut out = AbsValue::top(self.width);
+        if n > 0 {
+            let m = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+            let prod = (self.ones & m).wrapping_mul(other.ones & m);
+            for i in 0..n {
+                out.set_bit(i, BitValue::from_bit(prod >> i & 1 != 0));
+            }
+        }
+        out
+    }
+
+    /// Smallest concrete value (unsigned) the word admits, with unknown bits
+    /// taken as zero. Meaningless if the word [`has_bottom`](Self::has_bottom).
+    pub fn min_u(&self) -> u64 {
+        self.ones
+    }
+
+    /// Largest concrete value (unsigned) the word admits.
+    pub fn max_u(&self) -> u64 {
+        Self::mask(self.width) & !self.zeros
+    }
+
+    /// Smallest signed value (two's complement over `width` bits).
+    pub fn min_s(&self) -> i64 {
+        let sign = self.bit(self.width - 1);
+        let v = if sign == BitValue::Zero { self.ones } else { self.ones | 1 << (self.width - 1) };
+        sign_extend(v, self.width)
+    }
+
+    /// Largest signed value (two's complement over `width` bits).
+    pub fn max_s(&self) -> i64 {
+        let sign = self.bit(self.width - 1);
+        let v = if sign == BitValue::One {
+            self.max_u()
+        } else {
+            self.max_u() & !(1 << (self.width - 1))
+        };
+        sign_extend(v, self.width)
+    }
+
+    /// Abstract unsigned less-than: known outcome or ⊤.
+    pub fn lt_u(&self, other: &AbsValue) -> BitValue {
+        if self.has_bottom() || other.has_bottom() {
+            return BitValue::Bottom;
+        }
+        if self.max_u() < other.min_u() {
+            BitValue::One
+        } else if self.min_u() >= other.max_u() {
+            BitValue::Zero
+        } else {
+            BitValue::Top
+        }
+    }
+
+    /// Abstract signed less-than.
+    pub fn lt_s(&self, other: &AbsValue) -> BitValue {
+        if self.has_bottom() || other.has_bottom() {
+            return BitValue::Bottom;
+        }
+        if self.max_s() < other.min_s() {
+            BitValue::One
+        } else if self.min_s() >= other.max_s() {
+            BitValue::Zero
+        } else {
+            BitValue::Top
+        }
+    }
+
+    /// Abstract equality: `One` if both are the same constant, `Zero` if
+    /// some bit is known to differ, `Top` otherwise.
+    pub fn eq(&self, other: &AbsValue) -> BitValue {
+        if self.has_bottom() || other.has_bottom() {
+            return BitValue::Bottom;
+        }
+        // A bit known in both with opposite values proves inequality.
+        if self.zeros & other.ones != 0 || self.ones & other.zeros != 0 {
+            return BitValue::Zero;
+        }
+        match (self.as_const(), other.as_const()) {
+            (Some(a), Some(b)) if a == b => BitValue::One,
+            _ => BitValue::Top,
+        }
+    }
+
+    /// Abstract test-for-zero: `One` if the word is constant 0, `Zero` if
+    /// any bit is known one, `Top` otherwise.
+    pub fn is_zero(&self) -> BitValue {
+        if self.has_bottom() {
+            BitValue::Bottom
+        } else if self.ones != 0 {
+            BitValue::Zero
+        } else if self.as_const() == Some(0) {
+            BitValue::One
+        } else {
+            BitValue::Top
+        }
+    }
+
+    /// A boolean result word: bit 0 set to `b`, upper bits known zero.
+    /// This is the result shape of `slt*`, `seqz` and `snez`.
+    pub fn bool_word(width: u32, b: BitValue) -> AbsValue {
+        let mut out = AbsValue::constant(width, 0);
+        out.set_bit(0, b);
+        out
+    }
+
+    /// The word with bit `i` hit by a soft error (known bits flip, unknown
+    /// bits stay unknown). Used by the coalescing analysis' `eval`.
+    pub fn flip_bit(&self, i: u32) -> AbsValue {
+        let mut out = *self;
+        out.set_bit(i, self.bit(i).flip());
+        out
+    }
+}
+
+fn sign_extend(v: u64, width: u32) -> i64 {
+    if width >= 64 {
+        return v as i64;
+    }
+    let m = (1u64 << width) - 1;
+    let v = v & m;
+    if v & (1 << (width - 1)) != 0 {
+        (v | !m) as i64
+    } else {
+        v as i64
+    }
+}
+
+impl fmt::Debug for AbsValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AbsValue({self})")
+    }
+}
+
+/// Prints MSB-to-LSB in the paper's figure notation, e.g. `00×1`.
+impl fmt::Display for AbsValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width).rev() {
+            write!(f, "{}", self.bit(i))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use BitValue::{Bottom, One, Top, Zero};
+
+    #[test]
+    fn constant_bits_and_display() {
+        let v = AbsValue::constant(4, 0b0111);
+        assert_eq!(v.bit(0), One);
+        assert_eq!(v.bit(3), Zero);
+        assert_eq!(v.to_string(), "0111");
+        assert_eq!(v.as_const(), Some(7));
+    }
+
+    #[test]
+    fn motivating_example_andi_shape() {
+        // k(p2, v2) = andi(⊤⊤⊤⊤, 0001) = 000× as in Fig. 2b.
+        let v1 = AbsValue::top(4);
+        let m = AbsValue::constant(4, 1);
+        let r = v1.and(&m);
+        assert_eq!(r.to_string(), "000×");
+        assert_eq!(r.bit(0), Top);
+        assert_eq!(r.bit(1), Zero);
+    }
+
+    #[test]
+    fn add_keeps_known_low_bits() {
+        // ×××0 + ×××0 = ×××0 (carry cannot reach bit 0).
+        let mut a = AbsValue::top(4);
+        a.set_bit(0, Zero);
+        let r = a.add(&a);
+        assert_eq!(r.bit(0), Zero);
+        assert_eq!(r.bit(1), Top);
+        // Constants fold exactly (with wrapping).
+        let c = AbsValue::constant(4, 9).add(&AbsValue::constant(4, 9));
+        assert_eq!(c.as_const(), Some(2));
+    }
+
+    #[test]
+    fn sub_via_two_complement() {
+        let r = AbsValue::constant(8, 5).sub(&AbsValue::constant(8, 7));
+        assert_eq!(r.as_const(), Some(0xfe));
+        assert_eq!(AbsValue::constant(8, 7).neg().as_const(), Some(0xf9));
+    }
+
+    #[test]
+    fn shifts() {
+        let v = AbsValue::constant(4, 0b0110);
+        assert_eq!(v.shl_const(1).as_const(), Some(0b1100));
+        assert_eq!(v.shr_const(1).as_const(), Some(0b0011));
+        let neg = AbsValue::constant(4, 0b1010);
+        assert_eq!(neg.sra_const(1).as_const(), Some(0b1101));
+        // Unknown sign replicates as unknown.
+        let mut u = AbsValue::constant(4, 0);
+        u.set_bit(3, Top);
+        assert_eq!(u.sra_const(2).bit(3), Top);
+        assert_eq!(u.sra_const(2).bit(2), Top);
+        assert_eq!(u.sra_const(2).bit(1), Top);
+        assert_eq!(u.sra_const(2).bit(0), Zero);
+    }
+
+    #[test]
+    fn mul_low_known_bits() {
+        // Both operands have 2 known low bits: 2 low product bits known.
+        let mut a = AbsValue::top(8);
+        a.set_bit(0, One);
+        a.set_bit(1, Zero);
+        let mut b = AbsValue::top(8);
+        b.set_bit(0, One);
+        b.set_bit(1, One);
+        let r = a.mul_low(&b);
+        assert_eq!(r.bit(0), One); // 1*3 = 3 mod 4
+        assert_eq!(r.bit(1), One);
+        assert_eq!(r.bit(2), Top);
+        assert_eq!(
+            AbsValue::constant(8, 200).mul_low(&AbsValue::constant(8, 3)).as_const(),
+            Some((200u64 * 3) as u8 as u64)
+        );
+    }
+
+    #[test]
+    fn ranges_and_compares() {
+        let v = AbsValue::constant(4, 0b0101);
+        assert_eq!(v.min_u(), 5);
+        assert_eq!(v.max_u(), 5);
+        let mut u = AbsValue::constant(4, 0);
+        u.set_bit(1, Top); // 00×0: {0, 2}
+        assert_eq!(u.min_u(), 0);
+        assert_eq!(u.max_u(), 2);
+        assert_eq!(u.lt_u(&AbsValue::constant(4, 3)), One);
+        assert_eq!(u.lt_u(&AbsValue::constant(4, 0)), Zero);
+        assert_eq!(u.lt_u(&AbsValue::constant(4, 2)), Top);
+        // Signed: 1××× is negative.
+        let mut n = AbsValue::top(4);
+        n.set_bit(3, One);
+        assert_eq!(n.max_s(), -1);
+        assert_eq!(n.min_s(), -8);
+        assert_eq!(n.lt_s(&AbsValue::constant(4, 0)), One);
+    }
+
+    #[test]
+    fn equality_and_zero_tests() {
+        let a = AbsValue::constant(4, 6);
+        assert_eq!(a.eq(&AbsValue::constant(4, 6)), One);
+        assert_eq!(a.eq(&AbsValue::constant(4, 7)), Zero);
+        let mut u = AbsValue::top(4);
+        u.set_bit(2, One);
+        // 0×00 vs x1xx: bit2 differs → not equal? u has bit2=1; b=0100 has bit2=1 → unknown
+        assert_eq!(u.eq(&AbsValue::constant(4, 0b0100)), Top);
+        assert_eq!(u.is_zero(), Zero); // bit 2 known one
+        let z = AbsValue::constant(4, 0);
+        assert_eq!(z.is_zero(), One);
+        assert_eq!(AbsValue::top(4).is_zero(), Top);
+    }
+
+    #[test]
+    fn meet_and_ordering() {
+        let a = AbsValue::constant(4, 0b0101);
+        let b = AbsValue::constant(4, 0b0111);
+        let m = a.meet(&b);
+        assert_eq!(m.to_string(), "01×1");
+        assert!(a.le(&m));
+        assert!(b.le(&m));
+        assert!(AbsValue::bottom(4).le(&a));
+        assert!(a.le(&AbsValue::top(4)));
+        // Meet with bottom is identity.
+        assert_eq!(a.meet(&AbsValue::bottom(4)), a);
+    }
+
+    #[test]
+    fn admits_respects_masks() {
+        let mut v = AbsValue::constant(4, 0b0100);
+        v.set_bit(0, Top);
+        assert!(v.admits(0b0100));
+        assert!(v.admits(0b0101));
+        assert!(!v.admits(0b0110));
+        assert!(!AbsValue::bottom(4).admits(0));
+    }
+
+    #[test]
+    fn flip_bit_models_soft_error() {
+        let v = AbsValue::constant(4, 0b0001);
+        assert_eq!(v.flip_bit(0).as_const(), Some(0));
+        assert_eq!(v.flip_bit(3).as_const(), Some(0b1001));
+        let mut u = AbsValue::top(4);
+        u.set_bit(1, Bottom);
+        assert_eq!(u.flip_bit(0).bit(0), Top);
+        assert_eq!(u.flip_bit(1).bit(1), Bottom);
+    }
+
+    #[test]
+    fn not_swaps_known_bits() {
+        let v = AbsValue::constant(4, 0b0011);
+        assert_eq!(v.not().as_const(), Some(0b1100));
+        assert_eq!(AbsValue::top(4).not(), AbsValue::top(4));
+        assert_eq!(AbsValue::bottom(4).not(), AbsValue::bottom(4));
+    }
+}

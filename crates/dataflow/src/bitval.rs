@@ -1,0 +1,243 @@
+//! The four-point bit lattice of the paper's Fig. 3a.
+
+use std::fmt;
+
+/// Abstract value of a single bit.
+///
+/// The lattice ordering is `Bottom < {Zero, One} < Top` (Fig. 3a):
+/// * `Bottom` (⊥) — undefined, no assignment seen yet (γ(⊥) = ∅);
+/// * `Zero` / `One` — the bit is known to hold that value on every path
+///   considered so far;
+/// * `Top` (⊤, printed `×` in the paper's figures) — the value cannot be
+///   determined at compile time (γ(⊤) = {0, 1}).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum BitValue {
+    /// Undefined (γ = ∅).
+    Bottom,
+    /// Known zero.
+    Zero,
+    /// Known one.
+    One,
+    /// Unknown / overdefined (γ = {0, 1}).
+    #[default]
+    Top,
+}
+
+use BitValue::{Bottom, One, Top, Zero};
+
+impl BitValue {
+    /// Abstraction of a concrete bit.
+    pub fn from_bit(b: bool) -> BitValue {
+        if b {
+            One
+        } else {
+            Zero
+        }
+    }
+
+    /// Whether the bit has a known concrete value.
+    pub fn is_known(self) -> bool {
+        matches!(self, Zero | One)
+    }
+
+    /// The concrete value if known.
+    pub fn known(self) -> Option<bool> {
+        match self {
+            Zero => Some(false),
+            One => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Concretization: does concrete bit `b` belong to γ(self)?
+    pub fn admits(self, b: bool) -> bool {
+        match self {
+            Bottom => false,
+            Zero => !b,
+            One => b,
+            Top => true,
+        }
+    }
+
+    /// The meet operator `∧` of Fig. 3b. `Bottom` is the identity; meeting
+    /// disagreeing known values yields `Top`; `Top` is absorbing.
+    ///
+    /// ```
+    /// use bec_dataflow::BitValue::{self, *};
+    /// assert_eq!(Zero.meet(One), Top);
+    /// assert_eq!(Bottom.meet(One), One);
+    /// assert_eq!(Top.meet(Zero), Top);
+    /// ```
+    pub fn meet(self, other: BitValue) -> BitValue {
+        match (self, other) {
+            (Bottom, x) | (x, Bottom) => x,
+            (Top, _) | (_, Top) => Top,
+            (a, b) if a == b => a,
+            _ => Top,
+        }
+    }
+
+    /// Lattice ordering: is `self` at or below `other`
+    /// (`Bottom ≤ Zero/One ≤ Top`)?
+    pub fn le(self, other: BitValue) -> bool {
+        self == other || self == Bottom || other == Top
+    }
+
+    /// Abstract bitwise and (the sound, strict variant of Fig. 3c: any ⊥
+    /// operand yields ⊥ since γ(⊥) = ∅; the known entries match the paper).
+    pub fn and(self, other: BitValue) -> BitValue {
+        match (self, other) {
+            (Bottom, _) | (_, Bottom) => Bottom,
+            (Zero, _) | (_, Zero) => Zero,
+            (One, One) => One,
+            _ => Top,
+        }
+    }
+
+    /// Abstract bitwise or.
+    pub fn or(self, other: BitValue) -> BitValue {
+        match (self, other) {
+            (Bottom, _) | (_, Bottom) => Bottom,
+            (One, _) | (_, One) => One,
+            (Zero, Zero) => Zero,
+            _ => Top,
+        }
+    }
+
+    /// Abstract bitwise exclusive-or.
+    pub fn xor(self, other: BitValue) -> BitValue {
+        match (self, other) {
+            (Bottom, _) | (_, Bottom) => Bottom,
+            (Zero, x) | (x, Zero) => x,
+            (One, One) => Zero,
+            (One, Top) | (Top, One) => Top,
+            (Top, Top) => Top,
+        }
+    }
+
+    /// Abstract negation of the bit.
+    pub fn not(self) -> BitValue {
+        match self {
+            Bottom => Bottom,
+            Zero => One,
+            One => Zero,
+            Top => Top,
+        }
+    }
+
+    /// The effect of a soft error on the bit: a known value flips, an
+    /// unknown value stays unknown, an undefined value stays undefined.
+    pub fn flip(self) -> BitValue {
+        self.not()
+    }
+}
+
+impl fmt::Display for BitValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `×` is the paper's notation for ⊤ in figures.
+        let s = match self {
+            Bottom => "⊥",
+            Zero => "0",
+            One => "1",
+            Top => "×",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [BitValue; 4] = [Bottom, Zero, One, Top];
+
+    #[test]
+    fn meet_matches_fig3b() {
+        // Fig. 3b table (∧), rows/cols in ⊥ 0 1 ⊤ order.
+        let expect = [
+            [Bottom, Zero, One, Top],
+            [Zero, Zero, Top, Top],
+            [One, Top, One, Top],
+            [Top, Top, Top, Top],
+        ];
+        for (i, a) in ALL.iter().enumerate() {
+            for (j, b) in ALL.iter().enumerate() {
+                assert_eq!(a.meet(*b), expect[i][j], "{a:?} ∧ {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn meet_is_commutative_associative_idempotent() {
+        for a in ALL {
+            assert_eq!(a.meet(a), a);
+            for b in ALL {
+                assert_eq!(a.meet(b), b.meet(a));
+                for c in ALL {
+                    assert_eq!(a.meet(b).meet(c), a.meet(b.meet(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn and_known_entries_match_fig3c() {
+        // The known (non-⊥) entries of Fig. 3c.
+        assert_eq!(Zero.and(Zero), Zero);
+        assert_eq!(Zero.and(One), Zero);
+        assert_eq!(Zero.and(Top), Zero);
+        assert_eq!(One.and(One), One);
+        assert_eq!(One.and(Top), Top);
+        assert_eq!(Top.and(Top), Top);
+        assert_eq!(Top.and(Zero), Zero);
+    }
+
+    #[test]
+    fn ops_are_sound_wrt_concretization() {
+        let bits = [false, true];
+        for a in ALL {
+            for b in ALL {
+                for ca in bits {
+                    for cb in bits {
+                        if a.admits(ca) && b.admits(cb) {
+                            assert!(a.and(b).admits(ca & cb), "{a:?}&{b:?} vs {ca}&{cb}");
+                            assert!(a.or(b).admits(ca | cb));
+                            assert!(a.xor(b).admits(ca ^ cb));
+                        }
+                    }
+                }
+                // meet over-approximates both arguments.
+                for c in bits {
+                    if a.admits(c) || b.admits(c) {
+                        assert!(a.meet(b).admits(c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_is_a_partial_order_with_bottom_and_top() {
+        for a in ALL {
+            assert!(Bottom.le(a));
+            assert!(a.le(Top));
+            assert!(a.le(a));
+        }
+        assert!(!Zero.le(One));
+        assert!(!One.le(Zero));
+    }
+
+    #[test]
+    fn flip_models_a_single_bit_upset() {
+        assert_eq!(Zero.flip(), One);
+        assert_eq!(One.flip(), Zero);
+        assert_eq!(Top.flip(), Top);
+        assert_eq!(Bottom.flip(), Bottom);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(Top.to_string(), "×");
+        assert_eq!(Zero.to_string(), "0");
+    }
+}

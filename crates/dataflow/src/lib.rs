@@ -1,0 +1,30 @@
+//! Dataflow analysis substrate for the BEC analysis.
+//!
+//! Provides the abstract domains and fixpoint machinery of the paper's §IV:
+//!
+//! * [`BitValue`] — the four-point bit lattice of Fig. 3a with the meet
+//!   operator of Fig. 3b;
+//! * [`AbsValue`] — abstract machine words (one [`BitValue`] per bit) with
+//!   sound transfer functions for every IR operation, in the spirit of LLVM
+//!   `KnownBits` / BPF `tnum`;
+//! * [`UnionFind`] — the equivalence-relation representation used by the
+//!   fault-index coalescing analysis (merges only, hence monotone).
+//!
+//! ```
+//! use bec_dataflow::{AbsValue, BitValue};
+//!
+//! let a = AbsValue::constant(8, 0b0000_0111);
+//! let b = AbsValue::top(8);
+//! // Anding with a constant mask pins the high bits to zero.
+//! let r = a.and(&b);
+//! assert_eq!(r.bit(0), BitValue::Top);
+//! assert_eq!(r.bit(3), BitValue::Zero);
+//! ```
+
+pub mod absword;
+pub mod bitval;
+pub mod unionfind;
+
+pub use absword::AbsValue;
+pub use bitval::BitValue;
+pub use unionfind::UnionFind;

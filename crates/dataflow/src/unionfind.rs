@@ -1,0 +1,172 @@
+//! Union-find over dense indices: the equivalence relation `R = S/∼` of the
+//! fault-index coalescing analysis.
+//!
+//! The coalescing analysis only ever *merges* classes, which is exactly the
+//! monotone growth the paper's fixpoint argument (§IV-B) relies on; a
+//! union-find therefore represents `R` without ever copying it.
+
+/// Disjoint-set forest with union by rank and path compression.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    merges: u64,
+}
+
+impl UnionFind {
+    /// `n` singleton classes `{0}, {1}, …, {n-1}`.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n], merges: 0 }
+    }
+
+    /// Number of elements (not classes).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Adds a fresh singleton element, returning its index.
+    pub fn push(&mut self) -> usize {
+        let i = self.parent.len();
+        self.parent.push(i as u32);
+        self.rank.push(0);
+        i
+    }
+
+    /// Canonical representative of `x`'s class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Representative without path compression (no `&mut` needed).
+    pub fn find_imm(&self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        root
+    }
+
+    /// Merges the classes of `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.merges += 1;
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo] = hi as u32;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        true
+    }
+
+    /// Whether `a` and `b` are in the same class.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Total number of successful merges so far (a monotone progress
+    /// counter: the coalescing fixpoint terminates when it stops growing).
+    pub fn merge_count(&self) -> u64 {
+        self.merges
+    }
+
+    /// Number of distinct classes.
+    pub fn class_count(&self) -> usize {
+        self.len() - self.merges as usize
+    }
+
+    /// Groups all elements by class representative. O(n α(n)).
+    pub fn classes(&mut self) -> Vec<Vec<usize>> {
+        use std::collections::HashMap;
+        let mut map: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..self.len() {
+            map.entry(self.find(i)).or_default().push(i);
+        }
+        let mut out: Vec<Vec<usize>> = map.into_values().collect();
+        out.sort_by_key(|c| c[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(1, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.same(0, 2));
+        assert_eq!(uf.class_count(), 2); // {0,1,2,3} {4}
+    }
+
+    #[test]
+    fn classes_group_members() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 2);
+        let classes = uf.classes();
+        assert_eq!(classes.len(), 3);
+        assert!(classes.iter().any(|c| c.contains(&0) && c.contains(&2)));
+    }
+
+    #[test]
+    fn push_extends_universe() {
+        let mut uf = UnionFind::new(1);
+        let x = uf.push();
+        assert_eq!(x, 1);
+        assert!(!uf.same(0, 1));
+        uf.union(0, 1);
+        assert!(uf.same(0, 1));
+    }
+
+    #[test]
+    fn merge_count_tracks_progress() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.merge_count(), 0);
+        uf.union(0, 1);
+        uf.union(0, 1);
+        assert_eq!(uf.merge_count(), 1);
+        uf.union(1, 2);
+        assert_eq!(uf.merge_count(), 2);
+        assert_eq!(uf.class_count(), 1);
+    }
+
+    #[test]
+    fn find_imm_agrees_with_find() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(3, 4);
+        for i in 0..6 {
+            assert_eq!(uf.find_imm(i), uf.find(i));
+        }
+    }
+}

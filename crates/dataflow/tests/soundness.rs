@@ -1,0 +1,144 @@
+//! Property tests: every abstract transfer function over-approximates the
+//! concrete operation (γ-soundness), and the lattice laws hold.
+
+use bec_dataflow::{AbsValue, BitValue};
+use proptest::prelude::*;
+
+/// Strategy: an abstract 8-bit word plus one concrete value it admits.
+fn word_with_member() -> impl Strategy<Value = (AbsValue, u64)> {
+    // For each bit: 0 = known zero, 1 = known one, 2 = unknown.
+    (proptest::collection::vec(0u8..3, 8), any::<u64>()).prop_map(|(kinds, seed)| {
+        let mut v = AbsValue::top(8);
+        let mut concrete = 0u64;
+        for (i, k) in kinds.iter().enumerate() {
+            let i = i as u32;
+            match k {
+                0 => v.set_bit(i, BitValue::Zero),
+                1 => {
+                    v.set_bit(i, BitValue::One);
+                    concrete |= 1 << i;
+                }
+                _ => {
+                    v.set_bit(i, BitValue::Top);
+                    if seed >> i & 1 != 0 {
+                        concrete |= 1 << i;
+                    }
+                }
+            }
+        }
+        (v, concrete)
+    })
+}
+
+proptest! {
+    #[test]
+    fn and_is_sound(((a, ca), (b, cb)) in (word_with_member(), word_with_member())) {
+        prop_assert!(a.and(&b).admits(ca & cb));
+    }
+
+    #[test]
+    fn or_is_sound(((a, ca), (b, cb)) in (word_with_member(), word_with_member())) {
+        prop_assert!(a.or(&b).admits(ca | cb));
+    }
+
+    #[test]
+    fn xor_is_sound(((a, ca), (b, cb)) in (word_with_member(), word_with_member())) {
+        prop_assert!(a.xor(&b).admits(ca ^ cb));
+    }
+
+    #[test]
+    fn not_is_sound((a, ca) in word_with_member()) {
+        prop_assert!(a.not().admits(!ca));
+    }
+
+    #[test]
+    fn add_is_sound(((a, ca), (b, cb)) in (word_with_member(), word_with_member())) {
+        prop_assert!(a.add(&b).admits(ca.wrapping_add(cb)));
+    }
+
+    #[test]
+    fn sub_is_sound(((a, ca), (b, cb)) in (word_with_member(), word_with_member())) {
+        prop_assert!(a.sub(&b).admits(ca.wrapping_sub(cb)));
+    }
+
+    #[test]
+    fn neg_is_sound((a, ca) in word_with_member()) {
+        prop_assert!(a.neg().admits(0u64.wrapping_sub(ca)));
+    }
+
+    #[test]
+    fn mul_low_is_sound(((a, ca), (b, cb)) in (word_with_member(), word_with_member())) {
+        prop_assert!(a.mul_low(&b).admits(ca.wrapping_mul(cb)));
+    }
+
+    #[test]
+    fn shifts_are_sound((a, ca) in word_with_member(), k in 0u32..8) {
+        prop_assert!(a.shl_const(k).admits(ca << k));
+        prop_assert!(a.shr_const(k).admits((ca & 0xff) >> k));
+        // Arithmetic shift over 8 bits.
+        let sa = (ca as u8) as i8;
+        prop_assert!(a.sra_const(k).admits((sa >> k) as u64));
+    }
+
+    #[test]
+    fn ranges_bound_members((a, ca) in word_with_member()) {
+        prop_assert!(a.min_u() <= (ca & 0xff));
+        prop_assert!((ca & 0xff) <= a.max_u());
+        let s = (ca as u8) as i8 as i64;
+        prop_assert!(a.min_s() <= s && s <= a.max_s());
+    }
+
+    #[test]
+    fn compares_are_sound(((a, ca), (b, cb)) in (word_with_member(), word_with_member())) {
+        let ltu = (ca & 0xff) < (cb & 0xff);
+        prop_assert!(a.lt_u(&b).admits(ltu));
+        let lts = ((ca as u8) as i8) < ((cb as u8) as i8);
+        prop_assert!(a.lt_s(&b).admits(lts));
+        prop_assert!(a.eq(&b).admits((ca & 0xff) == (cb & 0xff)));
+        prop_assert!(a.is_zero().admits((ca & 0xff) == 0));
+    }
+
+    #[test]
+    fn meet_over_approximates_both(((a, ca), (b, cb)) in (word_with_member(), word_with_member())) {
+        let m = a.meet(&b);
+        prop_assert!(m.admits(ca));
+        prop_assert!(m.admits(cb));
+        prop_assert!(a.le(&m));
+        prop_assert!(b.le(&m));
+    }
+
+    #[test]
+    fn meet_is_commutative_and_idempotent(((a, _), (b, _)) in (word_with_member(), word_with_member())) {
+        prop_assert_eq!(a.meet(&b), b.meet(&a));
+        prop_assert_eq!(a.meet(&a), a);
+    }
+
+    #[test]
+    fn transfer_functions_are_monotone(((a, _), (b, _), (x, _)) in
+        (word_with_member(), word_with_member(), word_with_member()))
+    {
+        // If a ≤ a⊔b then f(a, x) ≤ f(a⊔b, x) for each transfer f.
+        let am = a.meet(&b);
+        prop_assert!(a.and(&x).le(&am.and(&x)));
+        prop_assert!(a.or(&x).le(&am.or(&x)));
+        prop_assert!(a.xor(&x).le(&am.xor(&x)));
+        prop_assert!(a.add(&x).le(&am.add(&x)));
+        prop_assert!(a.sub(&x).le(&am.sub(&x)));
+        prop_assert!(a.mul_low(&x).le(&am.mul_low(&x)));
+        prop_assert!(a.not().le(&am.not()));
+        for k in 0..8 {
+            prop_assert!(a.shl_const(k).le(&am.shl_const(k)));
+            prop_assert!(a.shr_const(k).le(&am.shr_const(k)));
+            prop_assert!(a.sra_const(k).le(&am.sra_const(k)));
+        }
+    }
+
+    #[test]
+    fn bool_word_shape(b in prop_oneof![Just(BitValue::Zero), Just(BitValue::One), Just(BitValue::Top)]) {
+        let w = AbsValue::bool_word(8, b);
+        prop_assert_eq!(w.bit(0), b);
+        for i in 1..8 {
+            prop_assert_eq!(w.bit(i), BitValue::Zero);
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Programmatic construction of programs and functions.
+//!
+//! The builders are the ergonomic way to write IR in tests, examples and the
+//! `bec-lang` code generator. Branch targets are symbolic labels resolved
+//! when the function is finished.
+//!
+//! ```
+//! use bec_ir::{MachineConfig, ProgramBuilder, Reg, Signature};
+//!
+//! let mut pb = ProgramBuilder::new(MachineConfig::rv32());
+//! let mut fb = pb.function("main", Signature::void(0));
+//! fb.block("entry");
+//! fb.li(Reg::T0, 3);
+//! fb.bnez(Reg::T0, "then", "else");
+//! fb.block("then");
+//! fb.print(Reg::T0);
+//! fb.exit();
+//! fb.block("else");
+//! fb.exit();
+//! fb.finish();
+//! let program = pb.finish();
+//! assert_eq!(program.entry_function().blocks.len(), 3);
+//! ```
+
+use crate::config::MachineConfig;
+use crate::function::{Block, BlockId, Function, Signature, Terminator};
+use crate::inst::{AluOp, Cond, Inst, MemWidth};
+use crate::program::{Global, Program};
+use crate::reg::Reg;
+use std::collections::HashMap;
+
+/// Builds a [`Program`] incrementally.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Starts a program for the given machine.
+    pub fn new(config: MachineConfig) -> ProgramBuilder {
+        ProgramBuilder { program: Program::new(config) }
+    }
+
+    /// Adds a global data object.
+    pub fn global(&mut self, g: Global) -> &mut Self {
+        self.program.globals.push(g);
+        self
+    }
+
+    /// Sets the entry function name (defaults to `main`).
+    pub fn entry(&mut self, name: impl Into<String>) -> &mut Self {
+        self.program.entry = name.into();
+        self
+    }
+
+    /// Starts building a function. Finish it with
+    /// [`FunctionBuilder::finish`] before starting another.
+    pub fn function(&mut self, name: impl Into<String>, sig: Signature) -> FunctionBuilder<'_> {
+        FunctionBuilder {
+            pb: self,
+            name: name.into(),
+            sig,
+            blocks: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// Consumes the builder, returning the program.
+    pub fn finish(self) -> Program {
+        self.program
+    }
+}
+
+/// A terminator template with unresolved label targets.
+#[derive(Clone, Debug)]
+enum TermSpec {
+    Jump(String),
+    Branch { cond: Cond, rs1: Reg, rs2: Option<Reg>, taken: String, fallthrough: String },
+    Ret(Vec<Reg>),
+    Exit,
+}
+
+/// Builds one [`Function`]; obtained from [`ProgramBuilder::function`].
+#[derive(Debug)]
+pub struct FunctionBuilder<'a> {
+    pb: &'a mut ProgramBuilder,
+    name: String,
+    sig: Signature,
+    blocks: Vec<(String, Vec<Inst>, Option<TermSpec>)>,
+    current: Option<usize>,
+}
+
+impl<'a> FunctionBuilder<'a> {
+    /// Opens a new basic block with the given label and makes it current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous block was left without a terminator, or if the
+    /// label is reused.
+    pub fn block(&mut self, label: impl Into<String>) -> &mut Self {
+        let label = label.into();
+        if let Some(cur) = self.current {
+            assert!(
+                self.blocks[cur].2.is_some(),
+                "block `{}` has no terminator before starting `{label}`",
+                self.blocks[cur].0
+            );
+        }
+        assert!(
+            self.blocks.iter().all(|(l, ..)| *l != label),
+            "duplicate block label `{label}`"
+        );
+        self.blocks.push((label, Vec::new(), None));
+        self.current = Some(self.blocks.len() - 1);
+        self
+    }
+
+    /// Appends a raw instruction to the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block is open or the current block is already terminated.
+    pub fn inst(&mut self, i: Inst) -> &mut Self {
+        let cur = self.current.expect("no open block; call block() first");
+        assert!(self.blocks[cur].2.is_none(), "block already terminated");
+        self.blocks[cur].1.push(i);
+        self
+    }
+
+    fn term(&mut self, t: TermSpec) {
+        let cur = self.current.expect("no open block; call block() first");
+        assert!(self.blocks[cur].2.is_none(), "block already terminated");
+        self.blocks[cur].2 = Some(t);
+    }
+
+    // --- ALU helpers -----------------------------------------------------
+
+    /// `op rd, rs1, rs2`.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// `op rd, rs1, imm`.
+    pub fn alu_imm(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.inst(Inst::AluImm { op, rd, rs1, imm })
+    }
+
+    /// `li rd, imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.inst(Inst::Li { rd, imm })
+    }
+
+    /// `la rd, @global`.
+    pub fn la(&mut self, rd: Reg, global: impl Into<String>) -> &mut Self {
+        self.inst(Inst::La { rd, global: global.into() })
+    }
+
+    /// `mv rd, rs`.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.inst(Inst::Mv { rd, rs })
+    }
+
+    /// `neg rd, rs`.
+    pub fn neg(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.inst(Inst::Neg { rd, rs })
+    }
+
+    /// `seqz rd, rs`.
+    pub fn seqz(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.inst(Inst::Seqz { rd, rs })
+    }
+
+    /// `snez rd, rs`.
+    pub fn snez(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.inst(Inst::Snez { rd, rs })
+    }
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs1, rs2)
+    }
+
+    /// `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Sub, rd, rs1, rs2)
+    }
+
+    /// `and rd, rs1, rs2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::And, rd, rs1, rs2)
+    }
+
+    /// `or rd, rs1, rs2`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Or, rd, rs1, rs2)
+    }
+
+    /// `xor rd, rs1, rs2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Xor, rd, rs1, rs2)
+    }
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Add, rd, rs1, imm)
+    }
+
+    /// `andi rd, rs1, imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::And, rd, rs1, imm)
+    }
+
+    /// `ori rd, rs1, imm`.
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Or, rd, rs1, imm)
+    }
+
+    /// `xori rd, rs1, imm`.
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Xor, rd, rs1, imm)
+    }
+
+    /// `slli rd, rs1, imm`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Sll, rd, rs1, imm)
+    }
+
+    /// `srli rd, rs1, imm`.
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Srl, rd, rs1, imm)
+    }
+
+    /// `srai rd, rs1, imm`.
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Sra, rd, rs1, imm)
+    }
+
+    /// `slti rd, rs1, imm`.
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Slt, rd, rs1, imm)
+    }
+
+    /// `sltiu rd, rs1, imm`.
+    pub fn sltiu(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Sltu, rd, rs1, imm)
+    }
+
+    // --- Memory ----------------------------------------------------------
+
+    /// `lw rd, offset(base)`.
+    pub fn lw(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.inst(Inst::Load { rd, base, offset, width: MemWidth::Word, signed: true })
+    }
+
+    /// `sw rs, offset(base)`.
+    pub fn sw(&mut self, rs: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.inst(Inst::Store { rs, base, offset, width: MemWidth::Word })
+    }
+
+    /// `lbu rd, offset(base)`.
+    pub fn lbu(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.inst(Inst::Load { rd, base, offset, width: MemWidth::Byte, signed: false })
+    }
+
+    /// `sb rs, offset(base)`.
+    pub fn sb(&mut self, rs: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.inst(Inst::Store { rs, base, offset, width: MemWidth::Byte })
+    }
+
+    // --- Other -----------------------------------------------------------
+
+    /// `call @callee`.
+    pub fn call(&mut self, callee: impl Into<String>) -> &mut Self {
+        self.inst(Inst::Call { callee: callee.into() })
+    }
+
+    /// `print rs` (observable output).
+    pub fn print(&mut self, rs: Reg) -> &mut Self {
+        self.inst(Inst::Print { rs })
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.inst(Inst::Nop)
+    }
+
+    // --- Terminators -----------------------------------------------------
+
+    /// `j label`.
+    pub fn jump(&mut self, target: impl Into<String>) {
+        self.term(TermSpec::Jump(target.into()));
+    }
+
+    /// Two-register conditional branch.
+    pub fn branch(
+        &mut self,
+        cond: Cond,
+        rs1: Reg,
+        rs2: Reg,
+        taken: impl Into<String>,
+        fallthrough: impl Into<String>,
+    ) {
+        self.term(TermSpec::Branch {
+            cond,
+            rs1,
+            rs2: Some(rs2),
+            taken: taken.into(),
+            fallthrough: fallthrough.into(),
+        });
+    }
+
+    /// Compare-with-zero conditional branch.
+    pub fn branch_zero(
+        &mut self,
+        cond: Cond,
+        rs1: Reg,
+        taken: impl Into<String>,
+        fallthrough: impl Into<String>,
+    ) {
+        self.term(TermSpec::Branch {
+            cond,
+            rs1,
+            rs2: None,
+            taken: taken.into(),
+            fallthrough: fallthrough.into(),
+        });
+    }
+
+    /// `beqz rs, taken, fallthrough`.
+    pub fn beqz(&mut self, rs: Reg, taken: impl Into<String>, fallthrough: impl Into<String>) {
+        self.branch_zero(Cond::Eq, rs, taken, fallthrough);
+    }
+
+    /// `bnez rs, taken, fallthrough`.
+    pub fn bnez(&mut self, rs: Reg, taken: impl Into<String>, fallthrough: impl Into<String>) {
+        self.branch_zero(Cond::Ne, rs, taken, fallthrough);
+    }
+
+    /// `ret` reading the given registers (ABI return registers).
+    pub fn ret(&mut self, reads: Vec<Reg>) {
+        self.term(TermSpec::Ret(reads));
+    }
+
+    /// `exit` (program halt).
+    pub fn exit(&mut self) {
+        self.term(TermSpec::Exit);
+    }
+
+    /// Resolves labels and appends the function to the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unresolved labels or unterminated blocks.
+    pub fn finish(self) {
+        let mut label_ids: HashMap<String, BlockId> = HashMap::new();
+        for (i, (label, ..)) in self.blocks.iter().enumerate() {
+            label_ids.insert(label.clone(), BlockId(i as u32));
+        }
+        let resolve = |l: &str| -> BlockId {
+            *label_ids
+                .get(l)
+                .unwrap_or_else(|| panic!("unresolved label `{l}` in function `{}`", self.name))
+        };
+        let mut f = Function::new(self.name.clone(), self.sig);
+        for (label, insts, term) in self.blocks {
+            let term = term.unwrap_or_else(|| panic!("block `{label}` has no terminator"));
+            let term = match term {
+                TermSpec::Jump(t) => Terminator::Jump { target: resolve(&t) },
+                TermSpec::Branch { cond, rs1, rs2, taken, fallthrough } => Terminator::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    taken: resolve(&taken),
+                    fallthrough: resolve(&fallthrough),
+                },
+                TermSpec::Ret(reads) => Terminator::Ret { reads },
+                TermSpec::Exit => Terminator::Exit,
+            };
+            f.blocks.push(Block { label, insts, term });
+        }
+        self.pb.program.functions.push(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_loop_with_labels() {
+        let mut pb = ProgramBuilder::new(MachineConfig::rv32());
+        let mut fb = pb.function("main", Signature::void(0));
+        fb.block("entry");
+        fb.li(Reg::T0, 7);
+        fb.jump("loop");
+        fb.block("loop");
+        fb.addi(Reg::T0, Reg::T0, -1);
+        fb.bnez(Reg::T0, "loop", "exit");
+        fb.block("exit");
+        fb.exit();
+        fb.finish();
+        let p = pb.finish();
+        let f = p.entry_function();
+        assert_eq!(f.blocks.len(), 3);
+        match &f.block(BlockId(1)).term {
+            Terminator::Branch { taken, fallthrough, .. } => {
+                assert_eq!(*taken, BlockId(1));
+                assert_eq!(*fallthrough, BlockId(2));
+            }
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unresolved label")]
+    fn unresolved_label_panics() {
+        let mut pb = ProgramBuilder::new(MachineConfig::rv32());
+        let mut fb = pb.function("main", Signature::void(0));
+        fb.block("entry");
+        fb.jump("nowhere");
+        fb.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "no terminator")]
+    fn missing_terminator_panics() {
+        let mut pb = ProgramBuilder::new(MachineConfig::rv32());
+        let mut fb = pb.function("main", Signature::void(0));
+        fb.block("entry");
+        fb.nop();
+        fb.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate block label")]
+    fn duplicate_label_panics() {
+        let mut pb = ProgramBuilder::new(MachineConfig::rv32());
+        let mut fb = pb.function("main", Signature::void(0));
+        fb.block("entry");
+        fb.exit();
+        fb.block("entry");
+    }
+}

@@ -1,0 +1,156 @@
+//! Control-flow graph queries: successors, predecessors, reverse postorder.
+
+use crate::function::{BlockId, Function};
+
+/// Precomputed CFG structure of one function.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `f`.
+    pub fn of(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (i, b) in f.blocks.iter().enumerate() {
+            for s in b.term.successors() {
+                succs[i].push(s);
+                preds[s.index()].push(BlockId(i as u32));
+            }
+        }
+        let rpo = reverse_postorder(&succs, n);
+        Cfg { succs, preds, rpo }
+    }
+
+    /// Successor blocks of `b`.
+    pub fn successors(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn predecessors(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks in reverse postorder from the entry. Unreachable blocks are
+    /// appended at the end in index order so analyses still visit them.
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Blocks in postorder (useful for backward analyses).
+    pub fn postorder(&self) -> Vec<BlockId> {
+        self.rpo.iter().rev().copied().collect()
+    }
+
+    /// Whether block `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        // rpo lists reachable blocks first; a block is reachable iff it
+        // appears before any unreachable padding. Simpler: recompute.
+        let mut seen = vec![false; self.succs.len()];
+        let mut stack = vec![BlockId(0)];
+        while let Some(x) = stack.pop() {
+            if std::mem::replace(&mut seen[x.index()], true) {
+                continue;
+            }
+            stack.extend(self.succs[x.index()].iter().copied());
+        }
+        seen[b.index()]
+    }
+}
+
+fn reverse_postorder(succs: &[Vec<BlockId>], n: usize) -> Vec<BlockId> {
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    if n > 0 {
+        // Iterative DFS with explicit successor cursors.
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        visited[0] = true;
+        while let Some((b, cursor)) = stack.last_mut() {
+            let ss = &succs[b.index()];
+            if *cursor < ss.len() {
+                let next = ss[*cursor];
+                *cursor += 1;
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                post.push(*b);
+                stack.pop();
+            }
+        }
+    }
+    let mut rpo: Vec<BlockId> = post.into_iter().rev().collect();
+    for i in 0..n {
+        if !visited[i] {
+            rpo.push(BlockId(i as u32));
+        }
+    }
+    rpo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{Block, Function, Signature, Terminator};
+    use crate::inst::Cond;
+    use crate::reg::Reg;
+
+    /// entry -> (loop | exit); loop -> loop | exit
+    fn diamondish() -> Function {
+        let mut f = Function::new("f", Signature::void(0));
+        let mut entry = Block::new("entry");
+        entry.term = Terminator::Branch {
+            cond: Cond::Ne,
+            rs1: Reg::T0,
+            rs2: None,
+            taken: BlockId(1),
+            fallthrough: BlockId(2),
+        };
+        let mut lp = Block::new("loop");
+        lp.term = Terminator::Branch {
+            cond: Cond::Ne,
+            rs1: Reg::T0,
+            rs2: None,
+            taken: BlockId(1),
+            fallthrough: BlockId(2),
+        };
+        let mut exit = Block::new("exit");
+        exit.term = Terminator::Exit;
+        f.blocks = vec![entry, lp, exit];
+        f
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let f = diamondish();
+        let cfg = Cfg::of(&f);
+        assert_eq!(cfg.successors(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.predecessors(BlockId(2)), &[BlockId(0), BlockId(1)]);
+        assert_eq!(cfg.predecessors(BlockId(1)), &[BlockId(0), BlockId(1)]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_all() {
+        let f = diamondish();
+        let cfg = Cfg::of(&f);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 3);
+    }
+
+    #[test]
+    fn unreachable_blocks_are_appended() {
+        let mut f = diamondish();
+        f.blocks.push(Block::new("dead")); // no edges to it
+        let cfg = Cfg::of(&f);
+        assert_eq!(cfg.reverse_postorder().len(), 4);
+        assert!(!cfg.is_reachable(BlockId(3)));
+        assert!(cfg.is_reachable(BlockId(2)));
+    }
+}

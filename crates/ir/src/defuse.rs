@@ -1,0 +1,302 @@
+//! Definition–use chains at (program point, register) granularity.
+//!
+//! Following §II of the paper:
+//! * `def(p, v)` — the definitions of `v` that reach the read of `v` at `p`
+//!   along some CFG path with no intervening redefinition.
+//! * `use(p, v)` — for `v` *accessed* at `p`, the reads of `v` reachable from
+//!   `p` along some path with no intervening redefinition. These are the
+//!   observers of the fault-site window that opens after `p`.
+//!
+//! Data flow is not restricted to SSA: `|def(p, v)| > 1` is common after SSA
+//! deconstruction.
+
+use crate::cfg::Cfg;
+use crate::function::Function;
+use crate::point::{PointId, PointLayout};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::collections::{BTreeSet, HashMap};
+
+/// Def–use chains of one function.
+#[derive(Clone, Debug)]
+pub struct DefUse {
+    /// `def(p, v)` for every register `v` read at `p`.
+    reaching: HashMap<(PointId, Reg), Vec<PointId>>,
+    /// `use(p, v)` for every register `v` accessed (read or written) at `p`.
+    users: HashMap<(PointId, Reg), Vec<PointId>>,
+}
+
+impl DefUse {
+    /// Computes def–use chains for `f`.
+    ///
+    /// The hardwired zero register carries no data flow and is skipped.
+    pub fn compute(f: &Function, program: &Program) -> DefUse {
+        let layout = PointLayout::of(f);
+        let cfg = Cfg::of(f);
+        let zero = program.config.zero_reg;
+
+        // Collect the registers that appear at all.
+        let mut regs: BTreeSet<Reg> = BTreeSet::new();
+        for p in layout.iter() {
+            let pi = layout.resolve(f, p);
+            regs.extend(pi.reads(program));
+            regs.extend(pi.writes(program));
+        }
+        if let Some(z) = zero {
+            regs.remove(&z);
+        }
+
+        let mut reaching = HashMap::new();
+        let mut users = HashMap::new();
+        for &r in &regs {
+            Self::chain_one_reg(f, program, &layout, &cfg, r, &mut reaching, &mut users);
+        }
+        DefUse { reaching, users }
+    }
+
+    fn chain_one_reg(
+        f: &Function,
+        program: &Program,
+        layout: &PointLayout,
+        cfg: &Cfg,
+        r: Reg,
+        reaching: &mut HashMap<(PointId, Reg), Vec<PointId>>,
+        users: &mut HashMap<(PointId, Reg), Vec<PointId>>,
+    ) {
+        let nb = f.blocks.len();
+
+        // --- Forward: reaching definitions of r. ---
+        // Block summaries: does the block define r, and what's the last def?
+        let mut block_out: Vec<BTreeSet<PointId>> = vec![BTreeSet::new(); nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.reverse_postorder() {
+                let mut defs: BTreeSet<PointId> = BTreeSet::new();
+                for &pr in cfg.predecessors(b) {
+                    defs.extend(block_out[pr.index()].iter().copied());
+                }
+                let blk = f.block(b);
+                for off in 0..blk.point_count() {
+                    let p = layout.point(b, off);
+                    let pi = layout.resolve(f, p);
+                    if pi.writes(program).contains(&r) {
+                        defs.clear();
+                        defs.insert(p);
+                    }
+                }
+                if block_out[b.index()] != defs {
+                    block_out[b.index()] = defs;
+                    changed = true;
+                }
+            }
+        }
+        // Local walk to answer def(p, r) per read.
+        for (bi, blk) in f.blocks.iter().enumerate() {
+            let b = crate::function::BlockId(bi as u32);
+            let mut defs: BTreeSet<PointId> = BTreeSet::new();
+            for &pr in cfg.predecessors(b) {
+                defs.extend(block_out[pr.index()].iter().copied());
+            }
+            for off in 0..blk.point_count() {
+                let p = layout.point(b, off);
+                let pi = layout.resolve(f, p);
+                if pi.reads(program).contains(&r) {
+                    reaching.insert((p, r), defs.iter().copied().collect());
+                }
+                if pi.writes(program).contains(&r) {
+                    defs.clear();
+                    defs.insert(p);
+                }
+            }
+        }
+
+        // --- Backward: readers reachable without redefinition. ---
+        let mut block_in: Vec<BTreeSet<PointId>> = vec![BTreeSet::new(); nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &cfg.postorder() {
+                let mut rd: BTreeSet<PointId> = BTreeSet::new();
+                for &s in cfg.successors(b) {
+                    rd.extend(block_in[s.index()].iter().copied());
+                }
+                let blk = f.block(b);
+                for off in (0..blk.point_count()).rev() {
+                    let p = layout.point(b, off);
+                    let pi = layout.resolve(f, p);
+                    if pi.writes(program).contains(&r) {
+                        rd.clear();
+                    }
+                    if pi.reads(program).contains(&r) {
+                        rd.insert(p);
+                    }
+                }
+                if block_in[b.index()] != rd {
+                    block_in[b.index()] = rd;
+                    changed = true;
+                }
+            }
+        }
+        // Local walk to answer use(p, r) per access.
+        for (bi, blk) in f.blocks.iter().enumerate() {
+            let b = crate::function::BlockId(bi as u32);
+            let mut rd: BTreeSet<PointId> = BTreeSet::new();
+            for &s in cfg.successors(b) {
+                rd.extend(block_in[s.index()].iter().copied());
+            }
+            for off in (0..blk.point_count()).rev() {
+                let p = layout.point(b, off);
+                let pi = layout.resolve(f, p);
+                let accesses =
+                    pi.reads(program).contains(&r) || pi.writes(program).contains(&r);
+                if accesses {
+                    // use(p, r): readers *after* p — the state before this
+                    // backward step.
+                    users.insert((p, r), rd.iter().copied().collect());
+                }
+                if pi.writes(program).contains(&r) {
+                    rd.clear();
+                }
+                if pi.reads(program).contains(&r) {
+                    rd.insert(p);
+                }
+            }
+        }
+    }
+
+    /// `def(p, v)`: definitions reaching the read of `v` at `p`. An empty
+    /// slice means the value flows in from outside the function (an
+    /// argument or uninitialized register), which analyses treat as unknown.
+    pub fn defs(&self, p: PointId, v: Reg) -> &[PointId] {
+        self.reaching.get(&(p, v)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `use(p, v)`: reads of `v` reachable from `p` (exclusive) without an
+    /// intervening redefinition. Only meaningful when `v` is accessed at `p`.
+    pub fn uses(&self, p: PointId, v: Reg) -> &[PointId] {
+        self.users.get(&(p, v)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether the pair `(p, v)` is a recorded read site.
+    pub fn is_read_site(&self, p: PointId, v: Reg) -> bool {
+        self.reaching.contains_key(&(p, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::config::MachineConfig;
+    use crate::function::Signature;
+    use crate::reg::Reg;
+
+    /// The paper's Fig. 4 CFG shape: a φ-join followed by a fork.
+    ///
+    /// ```text
+    /// p0: li   t0, 5        (a = ...)
+    /// p1: j join            -- modelled as straight line: v := t0
+    /// p2: mv   t1, t0       (v = phi)
+    /// p3: andi t2, t1, 1    (m = andi v, 1)
+    /// p4: beqz t2, even     (fork)
+    /// even: p5: slli t3, t1, 3 ; exit
+    /// odd:  p6: slli t3, t1, 2 ; exit
+    /// ```
+    fn fork_fn() -> Program {
+        let mut pb = ProgramBuilder::new(MachineConfig::rv32());
+        let mut fb = pb.function("main", Signature::void(0));
+        fb.block("entry");
+        fb.li(Reg::T0, 5);
+        fb.mv(Reg::T1, Reg::T0);
+        fb.andi(Reg::T2, Reg::T1, 1);
+        fb.beqz(Reg::T2, "even", "odd");
+        fb.block("even");
+        fb.slli(Reg::phys(28), Reg::T1, 3);
+        fb.print(Reg::phys(28));
+        fb.exit();
+        fb.block("odd");
+        fb.slli(Reg::phys(28), Reg::T1, 2);
+        fb.print(Reg::phys(28));
+        fb.exit();
+        fb.finish();
+        pb.finish()
+    }
+
+    #[test]
+    fn uses_cross_basic_blocks() {
+        let p = fork_fn();
+        let f = p.entry_function();
+        let du = DefUse::compute(f, &p);
+        // t1 written at p1 (mv), read at p3 (andi... wait p2) and both slli.
+        // Points: p0 li, p1 mv, p2 andi, p3 beqz, p4 slli(even), p5 print,
+        // p6 exit, p7 slli(odd), p8 print, p9 exit.
+        let uses = du.uses(PointId(1), Reg::T1);
+        assert_eq!(uses, &[PointId(2), PointId(4), PointId(7)]);
+        // After its read at the andi, t1 still reaches both shifts.
+        let uses = du.uses(PointId(2), Reg::T1);
+        assert_eq!(uses, &[PointId(4), PointId(7)]);
+    }
+
+    #[test]
+    fn defs_report_reaching_definitions() {
+        let p = fork_fn();
+        let f = p.entry_function();
+        let du = DefUse::compute(f, &p);
+        assert_eq!(du.defs(PointId(2), Reg::T1), &[PointId(1)]);
+        assert_eq!(du.defs(PointId(1), Reg::T0), &[PointId(0)]);
+        assert!(du.is_read_site(PointId(1), Reg::T0));
+        assert!(!du.is_read_site(PointId(0), Reg::T0));
+    }
+
+    #[test]
+    fn multiple_defs_reach_a_join() {
+        // if/else defining t0 on both arms, joined read.
+        let mut pb = ProgramBuilder::new(MachineConfig::rv32());
+        let mut fb = pb.function("main", Signature::void(0));
+        fb.block("entry");
+        fb.li(Reg::T1, 3);
+        fb.beqz(Reg::T1, "a", "b");
+        fb.block("a");
+        fb.li(Reg::T0, 1);
+        fb.jump("join");
+        fb.block("b");
+        fb.li(Reg::T0, 2);
+        fb.jump("join");
+        fb.block("join");
+        fb.print(Reg::T0);
+        fb.exit();
+        fb.finish();
+        let p = pb.finish();
+        let f = p.entry_function();
+        let du = DefUse::compute(f, &p);
+        // print is the read; both li's reach it.
+        let layout = PointLayout::of(f);
+        let print_pt = layout.block_first(f.block_by_label("join").unwrap());
+        assert_eq!(du.defs(print_pt, Reg::T0).len(), 2);
+    }
+
+    #[test]
+    fn loop_reads_see_defs_from_prior_iterations() {
+        let mut pb = ProgramBuilder::new(MachineConfig::rv32());
+        let mut fb = pb.function("main", Signature::void(0));
+        fb.block("entry");
+        fb.li(Reg::T0, 7);
+        fb.jump("loop");
+        fb.block("loop");
+        fb.addi(Reg::T0, Reg::T0, -1); // reads + writes t0
+        fb.bnez(Reg::T0, "loop", "exit");
+        fb.block("exit");
+        fb.exit();
+        fb.finish();
+        let p = pb.finish();
+        let f = p.entry_function();
+        let du = DefUse::compute(f, &p);
+        let layout = PointLayout::of(f);
+        let addi = layout.block_first(f.block_by_label("loop").unwrap());
+        // The addi's read sees the initial li and its own previous iteration.
+        assert_eq!(du.defs(addi, Reg::T0).len(), 2);
+        // The addi's window is observed by the branch and the next addi.
+        assert_eq!(du.uses(addi, Reg::T0).len(), 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type shared by the parser and verifier.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing or verifying IR.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IrError {
+    message: String,
+    /// 1-based source line for parse errors; `None` for verification errors.
+    line: Option<usize>,
+}
+
+impl IrError {
+    /// A verification error (no source location).
+    pub fn new(message: impl Into<String>) -> IrError {
+        IrError { message: message.into(), line: None }
+    }
+
+    /// A parse error at the given 1-based source line.
+    pub fn at_line(line: usize, message: impl Into<String>) -> IrError {
+        IrError { message: message.into(), line: Some(line) }
+    }
+
+    /// The error message without location.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The 1-based source line, if this is a parse error.
+    pub fn line(&self) -> Option<usize> {
+        self.line
+    }
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(l) => write!(f, "line {l}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_when_present() {
+        assert_eq!(IrError::at_line(3, "bad register").to_string(), "line 3: bad register");
+        assert_eq!(IrError::new("no entry").to_string(), "no entry");
+    }
+}

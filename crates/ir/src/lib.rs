@@ -1,0 +1,63 @@
+//! Register-machine intermediate representation used by the BEC analysis.
+//!
+//! This crate is the compiler-IR substrate of the BEC reproduction. It models
+//! programs the way the paper's late LLVM backend pass sees them: functions of
+//! basic blocks holding three-address instructions over a finite register
+//! file, after SSA deconstruction (a register may have many definitions).
+//!
+//! The instruction set mirrors the RISC-V RV32IM subset the paper evaluates
+//! on, including the pseudo-instructions (`mv`, `seqz`, `snez`) that
+//! Algorithm 3 of the paper gives dedicated coalescing rules for.
+//!
+//! # Quick example
+//!
+//! ```
+//! use bec_ir::{parse_program, MachineConfig};
+//!
+//! let src = r#"
+//! machine xlen=32 regs=32 zero=x0
+//! func @main(args=0, ret=none) {
+//! entry:
+//!     li   t0, 41
+//!     addi t0, t0, 1
+//!     mv   a0, t0
+//!     print a0
+//!     exit
+//! }
+//! "#;
+//! let program = parse_program(src)?;
+//! assert_eq!(program.config, MachineConfig::rv32());
+//! assert_eq!(program.functions.len(), 1);
+//! # Ok::<(), bec_ir::IrError>(())
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod config;
+pub mod defuse;
+pub mod error;
+pub mod function;
+pub mod inst;
+pub mod liveness;
+pub mod parser;
+pub mod point;
+pub mod printer;
+pub mod program;
+pub mod reg;
+pub mod semantics;
+pub mod verify;
+
+pub use builder::{FunctionBuilder, ProgramBuilder};
+pub use cfg::Cfg;
+pub use config::MachineConfig;
+pub use defuse::DefUse;
+pub use error::IrError;
+pub use function::{Block, BlockId, Function, Signature, Terminator};
+pub use inst::{AluOp, Cond, Inst, MemWidth};
+pub use liveness::Liveness;
+pub use parser::parse_program;
+pub use point::{PointId, PointInst, PointLayout};
+pub use printer::print_program;
+pub use program::{Global, Program};
+pub use reg::Reg;
+pub use verify::verify_program;

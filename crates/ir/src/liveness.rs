@@ -1,0 +1,307 @@
+//! Per-point register liveness (backward dataflow).
+//!
+//! Liveness drives the paper's `kill(p)` sets: a register accessed at `p`
+//! but not live after `p` is killed there, and any fault arising in it after
+//! `p` is masked (Algorithm 2, lines 4–5).
+
+use crate::cfg::Cfg;
+use crate::function::Function;
+use crate::point::{PointId, PointLayout};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::collections::HashMap;
+
+/// Dense register numbering for one function (physical and virtual).
+#[derive(Clone, Debug, Default)]
+pub struct RegUniverse {
+    regs: Vec<Reg>,
+    index: HashMap<Reg, usize>,
+}
+
+impl RegUniverse {
+    /// Collects every register mentioned by `f` (including call ABI effects).
+    pub fn of(f: &Function, program: &Program) -> RegUniverse {
+        let mut u = RegUniverse::default();
+        let layout = PointLayout::of(f);
+        for p in layout.iter() {
+            let pi = layout.resolve(f, p);
+            for r in pi.reads(program).into_iter().chain(pi.writes(program)) {
+                u.intern(r);
+            }
+        }
+        for r in f.sig.arg_regs() {
+            u.intern(r);
+        }
+        u
+    }
+
+    fn intern(&mut self, r: Reg) -> usize {
+        if let Some(&i) = self.index.get(&r) {
+            return i;
+        }
+        let i = self.regs.len();
+        self.regs.push(r);
+        self.index.insert(r, i);
+        i
+    }
+
+    /// Number of distinct registers.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// True when no register is mentioned.
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Dense index of `r`, if it appears in the function.
+    pub fn id(&self, r: Reg) -> Option<usize> {
+        self.index.get(&r).copied()
+    }
+
+    /// The register with dense index `i`.
+    pub fn reg(&self, i: usize) -> Reg {
+        self.regs[i]
+    }
+
+    /// All registers in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.regs.iter().copied()
+    }
+}
+
+/// A fixed-capacity bitset over a [`RegUniverse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegSet {
+    words: Vec<u64>,
+}
+
+impl RegSet {
+    /// The empty set for a universe of `n` registers.
+    pub fn empty(n: usize) -> RegSet {
+        RegSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Inserts dense register index `i`; returns whether it was new.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        let new = *w & bit == 0;
+        *w |= bit;
+        new
+    }
+
+    /// Removes dense register index `i`.
+    pub fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// In-place union; returns whether `self` changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a |= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// Iterates over member indices.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter(move |b| w & (1 << b) != 0).map(move |b| wi * 64 + b)
+        })
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Liveness analysis results for one function.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    universe: RegUniverse,
+    /// Registers live immediately after each point.
+    live_after: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Computes per-point liveness for `f`.
+    ///
+    /// The hardwired zero register is never considered live. Function return
+    /// registers are live at `ret` points (they are listed in the
+    /// terminator's read set).
+    pub fn compute(f: &Function, program: &Program) -> Liveness {
+        let universe = RegUniverse::of(f, program);
+        let layout = PointLayout::of(f);
+        let cfg = Cfg::of(f);
+        let n = universe.len();
+        let zero = program.config.zero_reg;
+
+        let reg_ids = |regs: Vec<Reg>| -> Vec<usize> {
+            regs.into_iter()
+                .filter(|r| Some(*r) != zero)
+                .filter_map(|r| universe.id(r))
+                .collect()
+        };
+
+        // Block-level fixpoint on live-in sets.
+        let nb = f.blocks.len();
+        let mut block_live_in = vec![RegSet::empty(n); nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &cfg.postorder() {
+                // live at block end = union of successors' live-in.
+                let mut live = RegSet::empty(n);
+                for &s in cfg.successors(b) {
+                    live.union_with(&block_live_in[s.index()]);
+                }
+                // Walk points backward.
+                let blk = f.block(b);
+                for off in (0..blk.point_count()).rev() {
+                    let p = layout.point(b, off);
+                    let pi = layout.resolve(f, p);
+                    for w in reg_ids(pi.writes(program)) {
+                        live.remove(w);
+                    }
+                    for r in reg_ids(pi.reads(program)) {
+                        live.insert(r);
+                    }
+                }
+                if block_live_in[b.index()] != live {
+                    block_live_in[b.index()] = live;
+                    changed = true;
+                }
+            }
+        }
+
+        // Final pass: record live-after per point.
+        let mut live_after = vec![RegSet::empty(n); layout.len()];
+        for (bi, blk) in f.blocks.iter().enumerate() {
+            let b = crate::function::BlockId(bi as u32);
+            let mut live = RegSet::empty(n);
+            for &s in cfg.successors(b) {
+                live.union_with(&block_live_in[s.index()]);
+            }
+            for off in (0..blk.point_count()).rev() {
+                let p = layout.point(b, off);
+                live_after[p.index()] = live.clone();
+                let pi = layout.resolve(f, p);
+                for w in reg_ids(pi.writes(program)) {
+                    live.remove(w);
+                }
+                for r in reg_ids(pi.reads(program)) {
+                    live.insert(r);
+                }
+            }
+        }
+
+        Liveness { universe, live_after }
+    }
+
+    /// The register universe the sets are indexed by.
+    pub fn universe(&self) -> &RegUniverse {
+        &self.universe
+    }
+
+    /// Whether `r` is live immediately after point `p`.
+    pub fn is_live_after(&self, p: PointId, r: Reg) -> bool {
+        self.universe.id(r).is_some_and(|i| self.live_after[p.index()].contains(i))
+    }
+
+    /// The registers live immediately after `p`.
+    pub fn live_after(&self, p: PointId) -> impl Iterator<Item = Reg> + '_ {
+        self.live_after[p.index()].iter().map(|i| self.universe.reg(i))
+    }
+
+    /// Number of registers live after `p`.
+    pub fn live_after_count(&self, p: PointId) -> usize {
+        self.live_after[p.index()].count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::config::MachineConfig;
+    use crate::reg::Reg;
+
+    /// li t0, 1 ; li t1, 2 ; add t0, t0, t1 ; print t0 ; exit
+    fn straightline() -> Program {
+        let mut pb = ProgramBuilder::new(MachineConfig::rv32());
+        let mut fb = pb.function("main", crate::function::Signature::void(0));
+        fb.block("entry");
+        fb.li(Reg::T0, 1);
+        fb.li(Reg::T1, 2);
+        fb.add(Reg::T0, Reg::T0, Reg::T1);
+        fb.print(Reg::T0);
+        fb.exit();
+        fb.finish();
+        pb.finish()
+    }
+
+    #[test]
+    fn straightline_liveness() {
+        let p = straightline();
+        let f = p.entry_function();
+        let lv = Liveness::compute(f, &p);
+        // After p0 (li t0,1): t0 live, t1 not yet.
+        assert!(lv.is_live_after(PointId(0), Reg::T0));
+        assert!(!lv.is_live_after(PointId(0), Reg::T1));
+        // After p1: both live.
+        assert!(lv.is_live_after(PointId(1), Reg::T0));
+        assert!(lv.is_live_after(PointId(1), Reg::T1));
+        // After the add, t1 is dead (killed by its last read).
+        assert!(lv.is_live_after(PointId(2), Reg::T0));
+        assert!(!lv.is_live_after(PointId(2), Reg::T1));
+        // After print, nothing is live.
+        assert_eq!(lv.live_after_count(PointId(3)), 0);
+    }
+
+    #[test]
+    fn loop_carried_liveness() {
+        // t0 is an induction variable: live throughout the loop.
+        let mut pb = ProgramBuilder::new(MachineConfig::rv32());
+        let mut fb = pb.function("main", crate::function::Signature::void(0));
+        fb.block("entry");
+        fb.li(Reg::T0, 7);
+        fb.jump("loop");
+        fb.block("loop");
+        fb.addi(Reg::T0, Reg::T0, -1);
+        fb.bnez(Reg::T0, "loop", "exit");
+        fb.block("exit");
+        fb.exit();
+        fb.finish();
+        let p = pb.finish();
+        let f = p.entry_function();
+        let lv = Liveness::compute(f, &p);
+        // After the backedge branch (p3), t0 is live on the loop path.
+        let layout = PointLayout::of(f);
+        let branch = layout.terminator_of(f, f.block_by_label("loop").unwrap());
+        assert!(lv.is_live_after(branch, Reg::T0));
+    }
+
+    #[test]
+    fn regset_operations() {
+        let mut s = RegSet::empty(100);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(99));
+        assert!(s.contains(3));
+        s.remove(3);
+        assert!(!s.contains(3));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![99]);
+        assert_eq!(s.count(), 1);
+    }
+}

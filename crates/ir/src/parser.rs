@@ -1,0 +1,637 @@
+//! Textual assembly parser.
+//!
+//! The syntax mirrors RISC-V assembly with explicit basic blocks:
+//!
+//! ```text
+//! machine xlen=32 regs=32 zero=x0      # optional, defaults to rv32
+//! global table: word[4] = { 1, 2, 3, 4 }
+//! entry @main                          # optional, defaults to main
+//! func @main(args=0, ret=none) {
+//! entry:
+//!     li   t0, 7
+//!     j    loop
+//! loop:
+//!     addi t0, t0, -1
+//!     bnez t0, loop, exit
+//! exit:
+//!     exit
+//! }
+//! ```
+//!
+//! Conditional branches may omit the fallthrough target, in which case the
+//! next block in textual order is used. Comments start with `#` or `;`.
+
+use crate::config::MachineConfig;
+use crate::error::IrError;
+use crate::function::{Block, BlockId, Function, Signature, Terminator};
+use crate::inst::{AluOp, Cond, Inst, MemWidth};
+use crate::program::{Global, Program};
+use crate::reg::Reg;
+use std::collections::HashMap;
+
+/// Parses a whole program from assembly text.
+///
+/// # Errors
+///
+/// Returns an [`IrError`] with the offending line on any syntax error,
+/// unknown mnemonic, bad register name or unresolved label.
+pub fn parse_program(src: &str) -> Result<Program, IrError> {
+    Parser::new(src).parse()
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+/// A terminator with possibly-unresolved textual targets.
+enum RawTerm {
+    Jump(String),
+    Branch { cond: Cond, rs1: Reg, rs2: Option<Reg>, taken: String, fallthrough: Option<String> },
+    Ret(Vec<Reg>),
+    Exit,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Parser<'a> {
+        let lines = src
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let l = l.split(['#', ';']).next().unwrap_or("").trim();
+                (i + 1, l)
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<(usize, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        let l = self.peek();
+        self.pos += 1;
+        l
+    }
+
+    fn parse(mut self) -> Result<Program, IrError> {
+        let mut config = MachineConfig::rv32();
+        let mut entry = None::<String>;
+        let mut globals = Vec::new();
+        let mut functions: Vec<Function> = Vec::new();
+
+        while let Some((ln, line)) = self.next() {
+            if let Some(rest) = line.strip_prefix("machine ") {
+                if !functions.is_empty() || !globals.is_empty() {
+                    return Err(IrError::at_line(ln, "machine directive after content"));
+                }
+                config = parse_machine(ln, rest)?;
+            } else if let Some(rest) = line.strip_prefix("global ") {
+                globals.push(parse_global(ln, rest)?);
+            } else if let Some(rest) = line.strip_prefix("entry ") {
+                entry = Some(parse_func_name(ln, rest.trim())?);
+            } else if let Some(rest) = line.strip_prefix("func ") {
+                functions.push(self.parse_function(ln, rest)?);
+            } else {
+                return Err(IrError::at_line(ln, format!("unexpected top-level line: `{line}`")));
+            }
+        }
+
+        let mut p = Program::new(config);
+        p.globals = globals;
+        p.functions = functions;
+        if let Some(e) = entry {
+            p.entry = e;
+        }
+        Ok(p)
+    }
+
+    fn parse_function(&mut self, ln: usize, header: &str) -> Result<Function, IrError> {
+        // header: @name(args=N, ret=a0|none) {
+        let header = header.trim();
+        let header = header
+            .strip_suffix('{')
+            .ok_or_else(|| IrError::at_line(ln, "function header must end with `{`"))?
+            .trim();
+        let open = header
+            .find('(')
+            .ok_or_else(|| IrError::at_line(ln, "missing `(` in function header"))?;
+        let name = parse_func_name(ln, header[..open].trim())?;
+        let inner = header[open + 1..]
+            .strip_suffix(')')
+            .ok_or_else(|| IrError::at_line(ln, "missing `)` in function header"))?;
+        let mut args = 0u8;
+        let mut has_ret = false;
+        for part in inner.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if let Some(v) = part.strip_prefix("args=") {
+                args = v
+                    .parse()
+                    .map_err(|_| IrError::at_line(ln, format!("bad args count `{v}`")))?;
+            } else if let Some(v) = part.strip_prefix("ret=") {
+                has_ret = match v {
+                    "none" => false,
+                    "a0" => true,
+                    other => {
+                        return Err(IrError::at_line(ln, format!("bad ret spec `{other}`")))
+                    }
+                };
+            } else {
+                return Err(IrError::at_line(ln, format!("bad signature item `{part}`")));
+            }
+        }
+        let sig = Signature { args, has_ret };
+
+        // Body: labelled blocks until `}`.
+        let mut raw_blocks: Vec<(String, Vec<Inst>, Option<RawTerm>, usize)> = Vec::new();
+        loop {
+            let (ln, line) = self
+                .next()
+                .ok_or_else(|| IrError::at_line(ln, "unterminated function body"))?;
+            if line == "}" {
+                break;
+            }
+            if let Some(label) = line.strip_suffix(':') {
+                let label = label.trim();
+                if raw_blocks.iter().any(|(l, ..)| l == label) {
+                    return Err(IrError::at_line(ln, format!("duplicate label `{label}`")));
+                }
+                raw_blocks.push((label.to_owned(), Vec::new(), None, ln));
+                continue;
+            }
+            let blk = raw_blocks
+                .last_mut()
+                .ok_or_else(|| IrError::at_line(ln, "instruction before any label"))?;
+            if blk.2.is_some() {
+                return Err(IrError::at_line(ln, "instruction after block terminator"));
+            }
+            match parse_line(ln, line)? {
+                Parsed::Inst(i) => blk.1.push(i),
+                Parsed::Term(t) => blk.2 = Some(t),
+            }
+        }
+
+        // Resolve labels.
+        let mut label_ids: HashMap<String, BlockId> = HashMap::new();
+        for (i, (label, ..)) in raw_blocks.iter().enumerate() {
+            label_ids.insert(label.clone(), BlockId(i as u32));
+        }
+        let n = raw_blocks.len();
+        let mut f = Function::new(name, sig);
+        for (i, (label, insts, term, bln)) in raw_blocks.into_iter().enumerate() {
+            let resolve = |l: &str| -> Result<BlockId, IrError> {
+                label_ids
+                    .get(l)
+                    .copied()
+                    .ok_or_else(|| IrError::at_line(bln, format!("unresolved label `{l}`")))
+            };
+            let term = term
+                .ok_or_else(|| IrError::at_line(bln, format!("block `{label}` lacks terminator")))?;
+            let term = match term {
+                RawTerm::Jump(t) => Terminator::Jump { target: resolve(&t)? },
+                RawTerm::Branch { cond, rs1, rs2, taken, fallthrough } => {
+                    let fallthrough = match fallthrough {
+                        Some(l) => resolve(&l)?,
+                        None => {
+                            if i + 1 >= n {
+                                return Err(IrError::at_line(
+                                    bln,
+                                    "branch in last block needs explicit fallthrough",
+                                ));
+                            }
+                            BlockId(i as u32 + 1)
+                        }
+                    };
+                    Terminator::Branch { cond, rs1, rs2, taken: resolve(&taken)?, fallthrough }
+                }
+                RawTerm::Ret(reads) => Terminator::Ret { reads },
+                RawTerm::Exit => Terminator::Exit,
+            };
+            f.blocks.push(Block { label, insts, term });
+        }
+        Ok(f)
+    }
+}
+
+enum Parsed {
+    Inst(Inst),
+    Term(RawTerm),
+}
+
+fn parse_machine(ln: usize, rest: &str) -> Result<MachineConfig, IrError> {
+    let mut c = MachineConfig::rv32();
+    for part in rest.split_whitespace() {
+        if let Some(v) = part.strip_prefix("xlen=") {
+            c.xlen = v
+                .parse()
+                .map_err(|_| IrError::at_line(ln, format!("bad xlen `{v}`")))?;
+            if c.xlen == 0 || c.xlen > 64 {
+                return Err(IrError::at_line(ln, "xlen must be in 1..=64"));
+            }
+        } else if let Some(v) = part.strip_prefix("regs=") {
+            c.num_regs = v
+                .parse()
+                .map_err(|_| IrError::at_line(ln, format!("bad regs `{v}`")))?;
+        } else if let Some(v) = part.strip_prefix("zero=") {
+            c.zero_reg = if v == "none" {
+                None
+            } else {
+                Some(parse_reg(ln, v)?)
+            };
+        } else {
+            return Err(IrError::at_line(ln, format!("bad machine item `{part}`")));
+        }
+    }
+    Ok(c)
+}
+
+fn parse_global(ln: usize, rest: &str) -> Result<Global, IrError> {
+    // name: word[N] [= { a, b, ... }]   |   name: byte[N] [= { ... }]
+    let (name, decl) = rest
+        .split_once(':')
+        .ok_or_else(|| IrError::at_line(ln, "global needs `name: type[N]`"))?;
+    let name = name.trim().to_owned();
+    let (ty_part, init_part) = match decl.split_once('=') {
+        Some((t, i)) => (t.trim(), Some(i.trim())),
+        None => (decl.trim(), None),
+    };
+    let (elem, count) = if let Some(r) = ty_part.strip_prefix("word[") {
+        (4u64, r)
+    } else if let Some(r) = ty_part.strip_prefix("byte[") {
+        (1u64, r)
+    } else {
+        return Err(IrError::at_line(ln, format!("bad global type `{ty_part}`")));
+    };
+    let count: u64 = count
+        .strip_suffix(']')
+        .and_then(|c| c.trim().parse().ok())
+        .ok_or_else(|| IrError::at_line(ln, "bad array length"))?;
+    let size = elem * count;
+    let mut init = Vec::new();
+    if let Some(list) = init_part {
+        let list = list
+            .strip_prefix('{')
+            .and_then(|l| l.strip_suffix('}'))
+            .ok_or_else(|| IrError::at_line(ln, "initializer must be `{ ... }`"))?;
+        for item in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let v = parse_imm(ln, item)?;
+            if elem == 4 {
+                init.extend_from_slice(&(v as u32).to_le_bytes());
+            } else {
+                init.push(v as u8);
+            }
+        }
+        if init.len() as u64 > size {
+            return Err(IrError::at_line(ln, "initializer longer than declared size"));
+        }
+    }
+    Ok(Global { name, size, init })
+}
+
+fn parse_func_name(ln: usize, s: &str) -> Result<String, IrError> {
+    s.strip_prefix('@')
+        .map(|n| n.to_owned())
+        .ok_or_else(|| IrError::at_line(ln, format!("function name must start with `@`: `{s}`")))
+}
+
+fn parse_reg(ln: usize, s: &str) -> Result<Reg, IrError> {
+    Reg::parse(s.trim()).ok_or_else(|| IrError::at_line(ln, format!("unknown register `{s}`")))
+}
+
+fn parse_imm(ln: usize, s: &str) -> Result<i64, IrError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(h) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(h, 16).map(|v| v as i64)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| IrError::at_line(ln, format!("bad immediate `{s}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// Parses `off(base)` memory operands.
+fn parse_mem(ln: usize, s: &str) -> Result<(i64, Reg), IrError> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| IrError::at_line(ln, format!("bad memory operand `{s}`")))?;
+    let off = if s[..open].trim().is_empty() { 0 } else { parse_imm(ln, &s[..open])? };
+    let base = s[open + 1..]
+        .strip_suffix(')')
+        .ok_or_else(|| IrError::at_line(ln, format!("bad memory operand `{s}`")))?;
+    Ok((off, parse_reg(ln, base)?))
+}
+
+fn parse_line(ln: usize, line: &str) -> Result<Parsed, IrError> {
+    let (mn, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (line, ""),
+    };
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let want = |n: usize| -> Result<(), IrError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(IrError::at_line(ln, format!("`{mn}` expects {n} operands, got {}", ops.len())))
+        }
+    };
+
+    // Register-register ALU ops.
+    let rr_ops: &[(&str, AluOp)] = &[
+        ("add", AluOp::Add),
+        ("sub", AluOp::Sub),
+        ("and", AluOp::And),
+        ("or", AluOp::Or),
+        ("xor", AluOp::Xor),
+        ("sll", AluOp::Sll),
+        ("srl", AluOp::Srl),
+        ("sra", AluOp::Sra),
+        ("slt", AluOp::Slt),
+        ("sltu", AluOp::Sltu),
+        ("mul", AluOp::Mul),
+        ("mulh", AluOp::Mulh),
+        ("mulhu", AluOp::Mulhu),
+        ("div", AluOp::Div),
+        ("divu", AluOp::Divu),
+        ("rem", AluOp::Rem),
+        ("remu", AluOp::Remu),
+    ];
+    if let Some((_, op)) = rr_ops.iter().find(|(m, _)| *m == mn) {
+        want(3)?;
+        return Ok(Parsed::Inst(Inst::Alu {
+            op: *op,
+            rd: parse_reg(ln, ops[0])?,
+            rs1: parse_reg(ln, ops[1])?,
+            rs2: parse_reg(ln, ops[2])?,
+        }));
+    }
+
+    // Immediate ALU ops.
+    let ri_ops: &[(&str, AluOp)] = &[
+        ("addi", AluOp::Add),
+        ("andi", AluOp::And),
+        ("ori", AluOp::Or),
+        ("xori", AluOp::Xor),
+        ("slli", AluOp::Sll),
+        ("srli", AluOp::Srl),
+        ("srai", AluOp::Sra),
+        ("slti", AluOp::Slt),
+        ("sltiu", AluOp::Sltu),
+    ];
+    if let Some((_, op)) = ri_ops.iter().find(|(m, _)| *m == mn) {
+        want(3)?;
+        return Ok(Parsed::Inst(Inst::AluImm {
+            op: *op,
+            rd: parse_reg(ln, ops[0])?,
+            rs1: parse_reg(ln, ops[1])?,
+            imm: parse_imm(ln, ops[2])?,
+        }));
+    }
+
+    // Loads and stores.
+    let loads: &[(&str, MemWidth, bool)] = &[
+        ("lw", MemWidth::Word, true),
+        ("lh", MemWidth::Half, true),
+        ("lhu", MemWidth::Half, false),
+        ("lb", MemWidth::Byte, true),
+        ("lbu", MemWidth::Byte, false),
+    ];
+    if let Some((_, width, signed)) = loads.iter().find(|(m, ..)| *m == mn) {
+        want(2)?;
+        let (offset, base) = parse_mem(ln, ops[1])?;
+        return Ok(Parsed::Inst(Inst::Load {
+            rd: parse_reg(ln, ops[0])?,
+            base,
+            offset,
+            width: *width,
+            signed: *signed,
+        }));
+    }
+    let stores: &[(&str, MemWidth)] =
+        &[("sw", MemWidth::Word), ("sh", MemWidth::Half), ("sb", MemWidth::Byte)];
+    if let Some((_, width)) = stores.iter().find(|(m, _)| *m == mn) {
+        want(2)?;
+        let (offset, base) = parse_mem(ln, ops[1])?;
+        return Ok(Parsed::Inst(Inst::Store {
+            rs: parse_reg(ln, ops[0])?,
+            base,
+            offset,
+            width: *width,
+        }));
+    }
+
+    // Branches.
+    let branches: &[(&str, Cond)] = &[
+        ("beq", Cond::Eq),
+        ("bne", Cond::Ne),
+        ("blt", Cond::Lt),
+        ("bge", Cond::Ge),
+        ("bltu", Cond::Ltu),
+        ("bgeu", Cond::Geu),
+    ];
+    if let Some((_, cond)) = branches.iter().find(|(m, _)| *m == mn) {
+        if ops.len() != 3 && ops.len() != 4 {
+            return Err(IrError::at_line(ln, format!("`{mn}` expects 3 or 4 operands")));
+        }
+        return Ok(Parsed::Term(RawTerm::Branch {
+            cond: *cond,
+            rs1: parse_reg(ln, ops[0])?,
+            rs2: Some(parse_reg(ln, ops[1])?),
+            taken: ops[2].to_owned(),
+            fallthrough: ops.get(3).map(|s| (*s).to_owned()),
+        }));
+    }
+    let z_branches: &[(&str, Cond)] = &[
+        ("beqz", Cond::Eq),
+        ("bnez", Cond::Ne),
+        ("bltz", Cond::Lt),
+        ("bgez", Cond::Ge),
+    ];
+    if let Some((_, cond)) = z_branches.iter().find(|(m, _)| *m == mn) {
+        if ops.len() != 2 && ops.len() != 3 {
+            return Err(IrError::at_line(ln, format!("`{mn}` expects 2 or 3 operands")));
+        }
+        return Ok(Parsed::Term(RawTerm::Branch {
+            cond: *cond,
+            rs1: parse_reg(ln, ops[0])?,
+            rs2: None,
+            taken: ops[1].to_owned(),
+            fallthrough: ops.get(2).map(|s| (*s).to_owned()),
+        }));
+    }
+
+    match mn {
+        "li" => {
+            want(2)?;
+            Ok(Parsed::Inst(Inst::Li { rd: parse_reg(ln, ops[0])?, imm: parse_imm(ln, ops[1])? }))
+        }
+        "la" => {
+            want(2)?;
+            let g = ops[1]
+                .strip_prefix('@')
+                .ok_or_else(|| IrError::at_line(ln, "la needs `@global`"))?;
+            Ok(Parsed::Inst(Inst::La { rd: parse_reg(ln, ops[0])?, global: g.to_owned() }))
+        }
+        "mv" => {
+            want(2)?;
+            Ok(Parsed::Inst(Inst::Mv { rd: parse_reg(ln, ops[0])?, rs: parse_reg(ln, ops[1])? }))
+        }
+        "neg" => {
+            want(2)?;
+            Ok(Parsed::Inst(Inst::Neg { rd: parse_reg(ln, ops[0])?, rs: parse_reg(ln, ops[1])? }))
+        }
+        "not" => {
+            // Desugars to xori rd, rs, -1 (the analysis rules for xor apply).
+            want(2)?;
+            Ok(Parsed::Inst(Inst::AluImm {
+                op: AluOp::Xor,
+                rd: parse_reg(ln, ops[0])?,
+                rs1: parse_reg(ln, ops[1])?,
+                imm: -1,
+            }))
+        }
+        "seqz" => {
+            want(2)?;
+            Ok(Parsed::Inst(Inst::Seqz { rd: parse_reg(ln, ops[0])?, rs: parse_reg(ln, ops[1])? }))
+        }
+        "snez" => {
+            want(2)?;
+            Ok(Parsed::Inst(Inst::Snez { rd: parse_reg(ln, ops[0])?, rs: parse_reg(ln, ops[1])? }))
+        }
+        "call" => {
+            want(1)?;
+            let g = ops[0]
+                .strip_prefix('@')
+                .ok_or_else(|| IrError::at_line(ln, "call needs `@function`"))?;
+            Ok(Parsed::Inst(Inst::Call { callee: g.to_owned() }))
+        }
+        "print" => {
+            want(1)?;
+            Ok(Parsed::Inst(Inst::Print { rs: parse_reg(ln, ops[0])? }))
+        }
+        "nop" => {
+            want(0)?;
+            Ok(Parsed::Inst(Inst::Nop))
+        }
+        "j" => {
+            want(1)?;
+            Ok(Parsed::Term(RawTerm::Jump(ops[0].to_owned())))
+        }
+        "ret" => {
+            let regs = ops
+                .iter()
+                .map(|s| parse_reg(ln, s))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Parsed::Term(RawTerm::Ret(regs)))
+        }
+        "exit" => {
+            want(0)?;
+            Ok(Parsed::Term(RawTerm::Exit))
+        }
+        other => Err(IrError::at_line(ln, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_motivating_example_shape() {
+        let src = r#"
+# the paper's countYears example on a 4-bit machine
+machine xlen=4 regs=4 zero=none
+func @main(args=0, ret=none) {
+entry:
+    li r0, 0
+    li r1, 7
+    j loop
+loop:
+    andi r2, r1, 1
+    andi r3, r1, 3
+    addi r1, r1, -1
+    seqz r2, r2
+    snez r3, r3
+    and  r2, r2, r3
+    add  r0, r0, r2
+    bnez r1, loop
+exit:
+    ret r0
+}
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.config, MachineConfig::example4());
+        let f = p.entry_function();
+        assert_eq!(f.blocks.len(), 3);
+        // entry: li, li, j (3) + loop: 7 insts + bnez (8) + exit: ret (1).
+        assert_eq!(f.point_count(), 12);
+        // Implicit fallthrough resolves to the next block.
+        match &f.blocks[1].term {
+            Terminator::Branch { fallthrough, .. } => assert_eq!(*fallthrough, BlockId(2)),
+            t => panic!("expected branch, got {t:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_globals_and_memory_ops() {
+        let src = r#"
+global tbl: word[3] = { 1, 0x10, 3 }
+global buf: byte[8]
+func @main(args=0, ret=none) {
+entry:
+    la  t0, @tbl
+    lw  t1, 4(t0)
+    sw  t1, 0(t0)
+    lbu t2, (t0)
+    exit
+}
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[0].init.len(), 12);
+        assert_eq!(&p.globals[0].init[4..8], &16u32.to_le_bytes());
+        let f = p.entry_function();
+        assert!(matches!(f.blocks[0].insts[3], Inst::Load { offset: 0, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonics_with_line() {
+        let src = "func @main(args=0, ret=none) {\nentry:\n    frobnicate t0\n    exit\n}\n";
+        let err = parse_program(src).unwrap_err();
+        assert_eq!(err.line(), Some(3));
+        assert!(err.message().contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_unresolved_labels() {
+        let src = "func @main(args=0, ret=none) {\nentry:\n    j nowhere\n}\n";
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn not_desugars_to_xori() {
+        let src = "func @main(args=0, ret=none) {\nentry:\n    not t0, t1\n    exit\n}\n";
+        let p = parse_program(src).unwrap();
+        assert_eq!(
+            p.entry_function().blocks[0].insts[0],
+            Inst::AluImm { op: AluOp::Xor, rd: Reg::T0, rs1: Reg::T1, imm: -1 }
+        );
+    }
+
+    #[test]
+    fn parses_signatures() {
+        let src = "func @f(args=2, ret=a0) {\nentry:\n    ret a0\n}\n";
+        let p = parse_program(src).unwrap();
+        let f = p.function("f").unwrap();
+        assert_eq!(f.sig, Signature::returning(2));
+        assert_eq!(f.blocks[0].term, Terminator::Ret { reads: vec![Reg::A0] });
+    }
+}

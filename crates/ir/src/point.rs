@@ -1,0 +1,217 @@
+//! Program points: a dense numbering of every instruction and terminator.
+//!
+//! The paper's fault space is `F = P × V` where `P` is the set of program
+//! points. This module provides the dense `PointId` numbering per function
+//! and a uniform view (`PointInst`) over instructions and terminators.
+
+use crate::function::{BlockId, Function, Terminator};
+use crate::inst::Inst;
+use crate::program::Program;
+use crate::reg::Reg;
+use std::fmt;
+
+/// Dense index of a program point within one function.
+///
+/// Points are numbered in block order: for each block, its instructions in
+/// order, then its terminator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PointId(pub u32);
+
+impl PointId {
+    /// The numeric index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A uniform shared view of the entity at a program point.
+#[derive(Clone, Copy, Debug)]
+pub enum PointInst<'a> {
+    /// An ordinary instruction.
+    Inst(&'a Inst),
+    /// A block terminator.
+    Term(&'a Terminator),
+}
+
+impl<'a> PointInst<'a> {
+    /// Registers read at this point. Calls report the callee's argument
+    /// registers plus the callee-saved registers the callee spills (see
+    /// [`Program::call_effects`]).
+    pub fn reads(&self, program: &Program) -> Vec<Reg> {
+        match self {
+            PointInst::Inst(Inst::Call { callee }) => program.call_effects(callee).reads,
+            PointInst::Inst(i) => i.reads(),
+            PointInst::Term(t) => t.reads(),
+        }
+    }
+
+    /// Registers written at this point. Calls report the ABI-level effects:
+    /// `ra`, the return-value register when the callee returns one, and all
+    /// caller-saved registers (clobbered with unknown values).
+    pub fn writes(&self, program: &Program) -> Vec<Reg> {
+        match self {
+            PointInst::Inst(Inst::Call { callee }) => program.call_effects(callee).writes,
+            PointInst::Inst(i) => i.writes(),
+            PointInst::Term(_) => vec![],
+        }
+    }
+
+    /// The underlying instruction, if this point is not a terminator.
+    pub fn as_inst(&self) -> Option<&'a Inst> {
+        match self {
+            PointInst::Inst(i) => Some(i),
+            PointInst::Term(_) => None,
+        }
+    }
+
+    /// The underlying terminator, if any.
+    pub fn as_term(&self) -> Option<&'a Terminator> {
+        match self {
+            PointInst::Term(t) => Some(t),
+            PointInst::Inst(_) => None,
+        }
+    }
+}
+
+/// Precomputed mapping between [`PointId`]s and block/instruction positions.
+#[derive(Clone, Debug)]
+pub struct PointLayout {
+    /// First point id of each block.
+    block_start: Vec<u32>,
+    /// For each point: its owning block.
+    owner: Vec<BlockId>,
+    total: usize,
+}
+
+impl PointLayout {
+    /// Computes the layout of `f`.
+    pub fn of(f: &Function) -> PointLayout {
+        let mut block_start = Vec::with_capacity(f.blocks.len());
+        let mut owner = Vec::with_capacity(f.point_count());
+        let mut next = 0u32;
+        for (bi, b) in f.blocks.iter().enumerate() {
+            block_start.push(next);
+            for _ in 0..b.point_count() {
+                owner.push(BlockId(bi as u32));
+                next += 1;
+            }
+        }
+        PointLayout { block_start, owner, total: next as usize }
+    }
+
+    /// Total number of points.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the function has no points (no blocks).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Iterates over all point ids in block order.
+    pub fn iter(&self) -> impl Iterator<Item = PointId> {
+        (0..self.total as u32).map(PointId)
+    }
+
+    /// The block containing `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn block_of(&self, p: PointId) -> BlockId {
+        self.owner[p.index()]
+    }
+
+    /// The position of `p` within its block (`insts.len()` for the
+    /// terminator).
+    pub fn offset_in_block(&self, p: PointId) -> usize {
+        let b = self.block_of(p);
+        p.index() - self.block_start[b.index()] as usize
+    }
+
+    /// The point id of the `offset`-th point of `block`.
+    pub fn point(&self, block: BlockId, offset: usize) -> PointId {
+        PointId(self.block_start[block.index()] + offset as u32)
+    }
+
+    /// The point id of `block`'s terminator.
+    pub fn terminator_of(&self, f: &Function, block: BlockId) -> PointId {
+        self.point(block, f.block(block).insts.len())
+    }
+
+    /// First point of `block`.
+    pub fn block_first(&self, block: BlockId) -> PointId {
+        PointId(self.block_start[block.index()])
+    }
+
+    /// Resolves a point to its instruction-or-terminator view.
+    pub fn resolve<'f>(&self, f: &'f Function, p: PointId) -> PointInst<'f> {
+        let b = self.block_of(p);
+        let off = self.offset_in_block(p);
+        let blk = f.block(b);
+        if off < blk.insts.len() {
+            PointInst::Inst(&blk.insts[off])
+        } else {
+            PointInst::Term(&blk.term)
+        }
+    }
+
+    /// Whether `p` is a terminator point.
+    pub fn is_terminator(&self, f: &Function, p: PointId) -> bool {
+        self.offset_in_block(p) == f.block(self.block_of(p)).insts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{Block, Signature};
+    use crate::inst::Inst;
+
+    fn two_block_fn() -> Function {
+        let mut f = Function::new("f", Signature::void(0));
+        let mut b0 = Block::new("entry");
+        b0.insts.push(Inst::Nop);
+        b0.insts.push(Inst::Nop);
+        b0.term = Terminator::Jump { target: BlockId(1) };
+        f.blocks.push(b0);
+        let b1 = Block::new("exit");
+        f.blocks.push(b1);
+        f
+    }
+
+    #[test]
+    fn layout_numbers_points_densely() {
+        let f = two_block_fn();
+        let l = PointLayout::of(&f);
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.block_of(PointId(0)), BlockId(0));
+        assert_eq!(l.block_of(PointId(2)), BlockId(0)); // terminator of entry
+        assert_eq!(l.block_of(PointId(3)), BlockId(1));
+        assert_eq!(l.terminator_of(&f, BlockId(0)), PointId(2));
+        assert_eq!(l.block_first(BlockId(1)), PointId(3));
+    }
+
+    #[test]
+    fn resolve_distinguishes_terminators() {
+        let f = two_block_fn();
+        let l = PointLayout::of(&f);
+        assert!(l.resolve(&f, PointId(0)).as_inst().is_some());
+        assert!(l.resolve(&f, PointId(2)).as_term().is_some());
+        assert!(l.is_terminator(&f, PointId(2)));
+        assert!(!l.is_terminator(&f, PointId(1)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Textual assembly printer (the inverse of [`crate::parser`]).
+
+use crate::function::{Function, Terminator};
+use crate::program::Program;
+
+/// Renders a program as parseable assembly text.
+///
+/// `parse_program(&print_program(&p))` reproduces `p` up to global
+/// initializer padding (property-tested in the crate's test suite).
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    let c = &p.config;
+    let zero = match c.zero_reg {
+        Some(r) => format!("x{}", r.index()),
+        None => "none".to_owned(),
+    };
+    out.push_str(&format!("machine xlen={} regs={} zero={}\n", c.xlen, c.num_regs, zero));
+    for g in &p.globals {
+        if g.size % 4 == 0 && g.init.len() % 4 == 0 && !g.init.is_empty() {
+            let words: Vec<String> = g
+                .init
+                .chunks(4)
+                .map(|ch| u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]).to_string())
+                .collect();
+            out.push_str(&format!(
+                "global {}: word[{}] = {{ {} }}\n",
+                g.name,
+                g.size / 4,
+                words.join(", ")
+            ));
+        } else if g.init.is_empty() {
+            out.push_str(&format!("global {}: byte[{}]\n", g.name, g.size));
+        } else {
+            let bytes: Vec<String> = g.init.iter().map(|b| b.to_string()).collect();
+            out.push_str(&format!(
+                "global {}: byte[{}] = {{ {} }}\n",
+                g.name,
+                g.size,
+                bytes.join(", ")
+            ));
+        }
+    }
+    if p.entry != "main" {
+        out.push_str(&format!("entry @{}\n", p.entry));
+    }
+    for f in &p.functions {
+        out.push('\n');
+        print_function(&mut out, f);
+    }
+    out
+}
+
+fn print_function(out: &mut String, f: &Function) {
+    let ret = if f.sig.has_ret { "a0" } else { "none" };
+    out.push_str(&format!("func @{}(args={}, ret={}) {{\n", f.name, f.sig.args, ret));
+    for b in &f.blocks {
+        out.push_str(&format!("{}:\n", b.label));
+        for i in &b.insts {
+            out.push_str(&format!("    {i}\n"));
+        }
+        let term = match &b.term {
+            Terminator::Jump { target } => format!("j {}", f.blocks[target.index()].label),
+            Terminator::Branch { cond, rs1, rs2, taken, fallthrough } => {
+                let taken = &f.blocks[taken.index()].label;
+                let fall = &f.blocks[fallthrough.index()].label;
+                match rs2 {
+                    Some(rs2) => {
+                        format!("{} {rs1}, {rs2}, {taken}, {fall}", cond.mnemonic())
+                    }
+                    None => format!("{}z {rs1}, {taken}, {fall}", cond.mnemonic()),
+                }
+            }
+            Terminator::Ret { reads } => {
+                if reads.is_empty() {
+                    "ret".to_owned()
+                } else {
+                    let regs: Vec<String> = reads.iter().map(|r| r.to_string()).collect();
+                    format!("ret {}", regs.join(", "))
+                }
+            }
+            Terminator::Exit => "exit".to_owned(),
+        };
+        out.push_str(&format!("    {term}\n"));
+    }
+    out.push_str("}\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let src = r#"
+machine xlen=32 regs=32 zero=x0
+global tbl: word[2] = { 7, 9 }
+func @helper(args=1, ret=a0) {
+entry:
+    slli a0, a0, 1
+    ret a0
+}
+func @main(args=0, ret=none) {
+entry:
+    la   t0, @tbl
+    lw   a0, 0(t0)
+    call @helper
+    print a0
+    li   t1, 3
+    bne  a0, t1, fail, ok
+ok:
+    exit
+fail:
+    exit
+}
+entry @main
+"#;
+        let p1 = parse_program(src).unwrap();
+        let text = print_program(&p1);
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(p1, p2, "printed program:\n{text}");
+    }
+
+    #[test]
+    fn zero_branch_prints_z_form() {
+        let src = "func @main(args=0, ret=none) {\nentry:\n    beqz t0, a, b\na:\n    exit\nb:\n    exit\n}\n";
+        let p = parse_program(src).unwrap();
+        let text = print_program(&p);
+        assert!(text.contains("beqz t0, a, b"), "{text}");
+    }
+}

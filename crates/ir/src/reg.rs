@@ -1,0 +1,244 @@
+//! Register naming and classification.
+
+use std::fmt;
+
+/// A register operand.
+///
+/// Registers are either *physical* (an index into the machine register file)
+/// or *virtual* (an unbounded temporary produced by [`bec-lang`] before
+/// register allocation). Machine programs handed to the BEC analysis or the
+/// simulator must only contain physical registers; [`crate::verify_program`]
+/// enforces this.
+///
+/// ```
+/// use bec_ir::Reg;
+/// assert_eq!(Reg::A0.index(), 10);
+/// assert!(Reg::virt(3).is_virtual());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u32);
+
+const VIRT_BIT: u32 = 1 << 31;
+
+impl Reg {
+    /// The RISC-V hardwired zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address register `ra` (`x1`).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer `sp` (`x2`).
+    pub const SP: Reg = Reg(2);
+    /// Global pointer `gp` (`x3`).
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer `tp` (`x4`).
+    pub const TP: Reg = Reg(4);
+    /// First argument / return value register `a0` (`x10`).
+    pub const A0: Reg = Reg(10);
+    /// Second argument register `a1` (`x11`).
+    pub const A1: Reg = Reg(11);
+    /// Temporary `t0` (`x5`).
+    pub const T0: Reg = Reg(5);
+    /// Temporary `t1` (`x6`).
+    pub const T1: Reg = Reg(6);
+    /// Temporary `t2` (`x7`).
+    pub const T2: Reg = Reg(7);
+    /// Callee-saved `s0` (`x8`).
+    pub const S0: Reg = Reg(8);
+    /// Callee-saved `s1` (`x9`).
+    pub const S1: Reg = Reg(9);
+
+    /// Creates a physical register with the given register-file index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` collides with the virtual-register encoding
+    /// (indices must be below 2^31).
+    pub fn phys(index: u32) -> Reg {
+        assert!(index < VIRT_BIT, "physical register index out of range");
+        Reg(index)
+    }
+
+    /// Creates a virtual register (pre-register-allocation temporary).
+    pub fn virt(index: u32) -> Reg {
+        assert!(index < VIRT_BIT, "virtual register index out of range");
+        Reg(index | VIRT_BIT)
+    }
+
+    /// The register-file index (physical) or temporary number (virtual).
+    pub fn index(self) -> u32 {
+        self.0 & !VIRT_BIT
+    }
+
+    /// Whether this is a virtual (pre-allocation) register.
+    pub fn is_virtual(self) -> bool {
+        self.0 & VIRT_BIT != 0
+    }
+
+    /// The `n`-th RISC-V argument register `a{n}` (n < 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    pub fn arg(n: u32) -> Reg {
+        assert!(n < 8, "RISC-V passes at most 8 register arguments");
+        Reg(10 + n)
+    }
+
+    /// The `n`-th RISC-V callee-saved register: `s0..s11`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 12`.
+    pub fn saved(n: u32) -> Reg {
+        assert!(n < 12);
+        match n {
+            0 => Reg(8),
+            1 => Reg(9),
+            _ => Reg(18 + (n - 2)),
+        }
+    }
+
+    /// The `n`-th RISC-V temporary register: `t0..t6`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 7`.
+    pub fn temp(n: u32) -> Reg {
+        assert!(n < 7);
+        match n {
+            0..=2 => Reg(5 + n),
+            _ => Reg(28 + (n - 3)),
+        }
+    }
+
+    /// Whether this register is caller-saved under the RISC-V ABI
+    /// (`ra`, `t0..t6`, `a0..a7`). Only meaningful for 32-register configs.
+    pub fn is_caller_saved(self) -> bool {
+        let i = self.index();
+        !self.is_virtual() && (i == 1 || (5..=7).contains(&i) || (10..=17).contains(&i) || (28..=31).contains(&i))
+    }
+
+    /// Whether this register is callee-saved under the RISC-V ABI
+    /// (`sp`, `s0..s11`). Only meaningful for 32-register configs.
+    pub fn is_callee_saved(self) -> bool {
+        let i = self.index();
+        !self.is_virtual() && (i == 2 || i == 8 || i == 9 || (18..=27).contains(&i))
+    }
+
+    /// The canonical RISC-V ABI name (`zero`, `ra`, `sp`, …) for 32-register
+    /// machines, or `r{i}` / `v{i}` otherwise.
+    pub fn abi_name(self) -> String {
+        if self.is_virtual() {
+            return format!("v{}", self.index());
+        }
+        let i = self.index();
+        match i {
+            0 => "zero".to_owned(),
+            1 => "ra".to_owned(),
+            2 => "sp".to_owned(),
+            3 => "gp".to_owned(),
+            4 => "tp".to_owned(),
+            5..=7 => format!("t{}", i - 5),
+            8 => "s0".to_owned(),
+            9 => "s1".to_owned(),
+            10..=17 => format!("a{}", i - 10),
+            18..=27 => format!("s{}", i - 16),
+            28..=31 => format!("t{}", i - 25),
+            _ => format!("r{i}"),
+        }
+    }
+
+    /// Parses a register name: ABI names (`a0`, `t3`, `zero`), `x{i}`,
+    /// `r{i}`, or virtual `v{i}`. Returns `None` for unknown names.
+    pub fn parse(name: &str) -> Option<Reg> {
+        let tail_index = |s: &str| s.parse::<u32>().ok();
+        match name {
+            "zero" => return Some(Reg(0)),
+            "ra" => return Some(Reg(1)),
+            "sp" => return Some(Reg(2)),
+            "gp" => return Some(Reg(3)),
+            "tp" => return Some(Reg(4)),
+            "fp" => return Some(Reg(8)),
+            _ => {}
+        }
+        let (prefix, rest) = name.split_at(1);
+        let n = tail_index(rest)?;
+        match prefix {
+            "x" | "r" => (n < VIRT_BIT).then(|| Reg::phys(n)),
+            "v" => Some(Reg::virt(n)),
+            "t" => (n < 7).then(|| Reg::temp(n)),
+            "s" => (n < 12).then(|| Reg::saved(n)),
+            "a" => (n < 8).then(|| Reg::arg(n)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_virtual() {
+            write!(f, "v{}", self.index())
+        } else {
+            write!(f, "x{}", self.index())
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.abi_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names_roundtrip() {
+        for i in 0..32 {
+            let r = Reg::phys(i);
+            assert_eq!(Reg::parse(&r.abi_name()), Some(r), "name {}", r.abi_name());
+        }
+    }
+
+    #[test]
+    fn x_and_r_names_parse() {
+        assert_eq!(Reg::parse("x10"), Some(Reg::A0));
+        assert_eq!(Reg::parse("r3"), Some(Reg::GP));
+        assert_eq!(Reg::parse("v7"), Some(Reg::virt(7)));
+    }
+
+    #[test]
+    fn temp_and_saved_indices() {
+        assert_eq!(Reg::temp(3).index(), 28);
+        assert_eq!(Reg::temp(6).index(), 31);
+        assert_eq!(Reg::saved(2).index(), 18);
+        assert_eq!(Reg::saved(11).index(), 27);
+    }
+
+    #[test]
+    fn caller_callee_partition_covers_all_but_special() {
+        // Every register except zero/gp/tp is exactly one of caller/callee saved.
+        for i in 0..32u32 {
+            let r = Reg::phys(i);
+            if [0, 3, 4].contains(&i) {
+                assert!(!r.is_caller_saved() && !r.is_callee_saved());
+            } else {
+                assert!(r.is_caller_saved() ^ r.is_callee_saved(), "reg {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_regs_are_distinct_from_physical() {
+        assert_ne!(Reg::virt(5), Reg::phys(5));
+        assert!(Reg::virt(5).is_virtual());
+        assert!(!Reg::phys(5).is_virtual());
+    }
+
+    #[test]
+    #[should_panic]
+    fn arg_index_out_of_range_panics() {
+        let _ = Reg::arg(8);
+    }
+}

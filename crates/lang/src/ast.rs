@@ -1,0 +1,132 @@
+//! Abstract syntax tree of the mini-C language.
+
+/// A full translation unit.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Unit {
+    /// Global declarations in source order.
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions in source order.
+    pub functions: Vec<FuncDecl>,
+}
+
+/// A global scalar or array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobalDecl {
+    /// Name.
+    pub name: String,
+    /// `None` for scalars; `Some(n)` for `int name[n]`.
+    pub array_len: Option<u64>,
+    /// Initializer values (scalar: one; array: up to `n`, zero-padded).
+    pub init: Vec<u64>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Name.
+    pub name: String,
+    /// Parameter names (all of type `int`).
+    pub params: Vec<String>,
+    /// Whether the function returns `int` (false: `void`).
+    pub returns_value: bool,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `int name = expr;` (local scalar declaration).
+    Decl { name: String, init: Expr, line: usize },
+    /// `lhs = expr;`
+    Assign { target: LValue, value: Expr, line: usize },
+    /// `if (cond) { … } else { … }`
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>, line: usize },
+    /// `while (cond) { … }`
+    While { cond: Expr, body: Vec<Stmt>, line: usize },
+    /// `for (init; cond; step) { … }` — `init`/`step` are assignments or
+    /// declarations.
+    For { init: Box<Stmt>, cond: Expr, step: Box<Stmt>, body: Vec<Stmt>, line: usize },
+    /// `return;` / `return expr;`
+    Return { value: Option<Expr>, line: usize },
+    /// `break;`
+    Break { line: usize },
+    /// `continue;`
+    Continue { line: usize },
+    /// An expression evaluated for effect (a call).
+    Expr { expr: Expr, line: usize },
+}
+
+/// Assignment targets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LValue {
+    /// A scalar variable (local, parameter or global).
+    Var(String),
+    /// `name[index]` — a global array element.
+    Index(String, Box<Expr>),
+}
+
+/// Binary operators. Arithmetic is 32-bit wrapping; comparison and shift
+/// semantics are unsigned (use the `sra`/`slt` builtins for signed forms).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    /// Logical and (operands normalized to 0/1, then combined bitwise).
+    LAnd,
+    /// Logical or.
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+    /// Logical not (`!x` → `x == 0`).
+    LNot,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Lit(u64),
+    /// Variable reference.
+    Var(String),
+    /// `name[index]` — global array load.
+    Index(String, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Function or builtin call.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+}

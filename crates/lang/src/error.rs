@@ -1,0 +1,51 @@
+//! Compilation errors with source locations.
+
+use std::error::Error;
+use std::fmt;
+
+/// A compile-time error at a 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    line: usize,
+    message: String,
+}
+
+impl CompileError {
+    /// Creates an error at `line` (0 for location-free errors).
+    pub fn new(line: usize, message: impl Into<String>) -> CompileError {
+        CompileError { line, message: message.into() }
+    }
+
+    /// The 1-based source line (0 if unknown).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        assert_eq!(CompileError::new(7, "bad").to_string(), "line 7: bad");
+        assert_eq!(CompileError::new(0, "bad").to_string(), "bad");
+    }
+}

@@ -1,0 +1,222 @@
+//! Hand-written lexer for the mini-C language.
+
+use crate::error::CompileError;
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal (decimal, hex `0x…`, or character `'c'`).
+    Int(u64),
+    /// Identifier.
+    Ident(String),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kw {
+    Int,
+    Void,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+}
+
+/// A token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+const PUNCTS: &[&str] = &[
+    // Longest first so maximal munch works.
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+];
+
+/// Lexes `src` into tokens (with a trailing [`Tok::Eof`]).
+///
+/// # Errors
+///
+/// Returns an error for unterminated comments and unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if bytes[i..].starts_with(b"//") {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if bytes[i..].starts_with(b"/*") {
+            let start = line;
+            i += 2;
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(CompileError::new(start, "unterminated block comment"));
+                }
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                if &bytes[i..i + 2] == b"*/" {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            if bytes[i..].starts_with(b"0x") || bytes[i..].starts_with(b"0X") {
+                i += 2;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let v = u64::from_str_radix(&src[start + 2..i], 16)
+                    .map_err(|_| CompileError::new(line, "bad hex literal"))?;
+                out.push(Token { tok: Tok::Int(v), line });
+            } else {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let v = src[start..i]
+                    .parse::<u64>()
+                    .map_err(|_| CompileError::new(line, "bad integer literal"))?;
+                out.push(Token { tok: Tok::Int(v), line });
+            }
+            continue;
+        }
+        // Character literals (handy for table data).
+        if c == '\'' {
+            if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                out.push(Token { tok: Tok::Int(bytes[i + 1] as u64), line });
+                i += 3;
+                continue;
+            }
+            return Err(CompileError::new(line, "bad character literal"));
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let tok = match word {
+                "int" => Tok::Kw(Kw::Int),
+                "void" => Tok::Kw(Kw::Void),
+                "if" => Tok::Kw(Kw::If),
+                "else" => Tok::Kw(Kw::Else),
+                "while" => Tok::Kw(Kw::While),
+                "for" => Tok::Kw(Kw::For),
+                "return" => Tok::Kw(Kw::Return),
+                "break" => Tok::Kw(Kw::Break),
+                "continue" => Tok::Kw(Kw::Continue),
+                _ => Tok::Ident(word.to_owned()),
+            };
+            out.push(Token { tok, line });
+            continue;
+        }
+        // Operators / punctuation, maximal munch.
+        if let Some(p) = PUNCTS.iter().find(|p| src[i..].starts_with(**p)) {
+            out.push(Token { tok: Tok::Punct(p), line });
+            i += p.len();
+            continue;
+        }
+        return Err(CompileError::new(line, format!("unexpected character `{c}`")));
+    }
+    out.push(Token { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_numbers_and_idents() {
+        assert_eq!(
+            kinds("int x = 0x1F + 10;"),
+            vec![
+                Tok::Kw(Kw::Int),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Int(31),
+                Tok::Punct("+"),
+                Tok::Int(10),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        assert_eq!(
+            kinds("a <<= b"), // no <<= token: lexes as << then =
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<"),
+                Tok::Punct("="),
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(kinds("a<=b")[1], Tok::Punct("<="));
+        assert_eq!(kinds("a<b")[1], Tok::Punct("<"));
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = lex("// hi\n/* multi\nline */ x").unwrap();
+        assert_eq!(toks[0].tok, Tok::Ident("x".into()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(kinds("'A'")[0], Tok::Int(65));
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = lex("x\n@").unwrap_err();
+        assert_eq!(e.line(), 2);
+        assert!(lex("/* oops").is_err());
+    }
+}

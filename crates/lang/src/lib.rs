@@ -1,0 +1,65 @@
+//! A small C-like language compiled to [`bec_ir`] — the reproduction's
+//! stand-in for Clang/LLVM as the benchmark compiler.
+//!
+//! The language is deliberately small but real enough to express the eight
+//! evaluation kernels: 32-bit unsigned `int`s, global scalars and arrays,
+//! functions with up to eight arguments, `if`/`while`/`for`, the full C
+//! operator set (without short-circuit evaluation — `&&`/`||` normalize and
+//! combine bitwise, which is equivalent for side-effect-free operands), and
+//! the builtins `print(x)`, `sra(a, b)` (arithmetic shift) and `slt(a, b)`
+//! (signed compare).
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`sema`] → [`lower`] (virtual-register
+//! code generation with callee-saved-register allocation and stack frames).
+//!
+//! ```
+//! use bec_lang::compile;
+//!
+//! let program = compile(r#"
+//!     int double_it(int x) { return x + x; }
+//!     void main() { print(double_it(21)); }
+//! "#)?;
+//! assert_eq!(program.entry, "main");
+//! # Ok::<(), bec_lang::CompileError>(())
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod opt;
+pub mod parser;
+pub mod sema;
+
+pub use error::CompileError;
+
+/// Compiles mini-C source text into a verified, peephole-optimized machine
+/// program.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] with a source location for lexical, syntactic
+/// and semantic errors (undeclared identifiers, arity mismatches, …).
+pub fn compile(source: &str) -> Result<bec_ir::Program, CompileError> {
+    let mut program = compile_unoptimized(source)?;
+    opt::optimize(&mut program);
+    bec_ir::verify_program(&program)
+        .map_err(|e| CompileError::new(0, format!("internal: optimizer broke IR: {e}")))?;
+    Ok(program)
+}
+
+/// Compiles without the peephole passes (used to cross-check that the
+/// optimizer preserves behaviour).
+///
+/// # Errors
+///
+/// Same as [`compile`].
+pub fn compile_unoptimized(source: &str) -> Result<bec_ir::Program, CompileError> {
+    let tokens = lexer::lex(source)?;
+    let unit = parser::parse(&tokens)?;
+    let unit = sema::check(unit)?;
+    let program = lower::lower(&unit)?;
+    bec_ir::verify_program(&program)
+        .map_err(|e| CompileError::new(0, format!("internal: generated bad IR: {e}")))?;
+    Ok(program)
+}

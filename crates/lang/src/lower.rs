@@ -1,0 +1,705 @@
+//! Code generation: AST → machine IR.
+//!
+//! Allocation strategy (DESIGN.md): the most frequently used local scalars
+//! of each function live in callee-saved registers (`s0..s11`), the rest in
+//! stack slots; expression evaluation uses the temporaries `t0..t6` as an
+//! operand stack. Live temporaries are spilled around calls. This keeps hot
+//! loop state register-resident — which is what the BEC analysis statistics
+//! depend on — without a full graph-coloring allocator.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::sema::BUILTINS;
+use bec_ir::{
+    AluOp, Block, BlockId, Cond, Function, Global, Inst, MachineConfig, MemWidth, Program, Reg,
+    Signature, Terminator,
+};
+use std::collections::HashMap;
+
+/// Number of expression scratch registers (`t0..t6`).
+const SCRATCH: usize = 7;
+
+/// Number of callee-saved homes (`s0..s11`).
+const S_HOMES: usize = 12;
+
+/// Lowers a checked unit into a machine program.
+///
+/// # Errors
+///
+/// Only resource exhaustion is reported here (expressions needing more than
+/// seven scratch registers); everything else was rejected by `sema`.
+pub fn lower(unit: &Unit) -> Result<Program, CompileError> {
+    let mut program = Program::new(MachineConfig::rv32());
+    for g in &unit.globals {
+        let words: Vec<u32> = g.init.iter().map(|v| *v as u32).collect();
+        let size = 4 * g.array_len.unwrap_or(1);
+        let mut global = Global::words(&g.name, &words);
+        global.size = size;
+        program.globals.push(global);
+    }
+    let sigs: HashMap<String, (usize, bool)> = unit
+        .functions
+        .iter()
+        .map(|f| (f.name.clone(), (f.params.len(), f.returns_value)))
+        .chain(BUILTINS.iter().map(|(n, a, r)| ((*n).to_owned(), (*a, *r))))
+        .collect();
+    for f in &unit.functions {
+        let func = FuncGen::new(unit, f, &sigs).lower()?;
+        program.functions.push(func);
+    }
+    program.entry = "main".to_owned();
+    Ok(program)
+}
+
+/// Where a local scalar lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Home {
+    /// A callee-saved register.
+    SReg(Reg),
+    /// A stack slot at `sp + offset`.
+    Slot(i64),
+}
+
+struct LBlock {
+    label: String,
+    insts: Vec<Inst>,
+    term: Option<LTerm>,
+}
+
+enum LTerm {
+    Jump(String),
+    Bnez(Reg, String, String),
+    Ret(Vec<Reg>),
+    Exit,
+}
+
+struct FuncGen<'a> {
+    decl: &'a FuncDecl,
+    sigs: &'a HashMap<String, (usize, bool)>,
+    globals: HashMap<&'a str, bool>, // name → is_array
+    homes: HashMap<String, Home>,
+    used_sregs: Vec<Reg>,
+    makes_calls: bool,
+    frame: i64,
+    scratch_base: i64,
+    blocks: Vec<LBlock>,
+    labels: u32,
+    loop_stack: Vec<(String, String)>, // (continue target, break target)
+    is_main: bool,
+}
+
+impl<'a> FuncGen<'a> {
+    fn new(unit: &'a Unit, decl: &'a FuncDecl, sigs: &'a HashMap<String, (usize, bool)>) -> Self {
+        let globals = unit.globals.iter().map(|g| (g.name.as_str(), g.array_len.is_some())).collect();
+        FuncGen {
+            decl,
+            sigs,
+            globals,
+            homes: HashMap::new(),
+            used_sregs: Vec::new(),
+            makes_calls: false,
+            frame: 0,
+            scratch_base: 0,
+            blocks: Vec::new(),
+            labels: 0,
+            loop_stack: Vec::new(),
+            is_main: decl.name == "main",
+        }
+    }
+
+    fn lower(mut self) -> Result<Function, CompileError> {
+        self.assign_homes();
+        self.makes_calls = calls_in_stmts(&self.decl.body, self.sigs);
+
+        self.open_block("entry".to_owned());
+        self.emit_prologue();
+        self.gen_stmts(&self.decl.body)?;
+        // Fall off the end: return 0 / return.
+        if self.current().term.is_none() {
+            if self.decl.returns_value {
+                self.push(Inst::Li { rd: Reg::A0, imm: 0 });
+            }
+            self.set_term(LTerm::Jump("__exit".to_owned()));
+        }
+        self.open_block("__exit".to_owned());
+        self.emit_epilogue();
+
+        self.finish()
+    }
+
+    // --- Homes and frame --------------------------------------------------
+
+    fn assign_homes(&mut self) {
+        let mut counts: HashMap<String, u64> = HashMap::new();
+        for p in &self.decl.params {
+            counts.insert(p.clone(), 1);
+        }
+        count_stmts(&self.decl.body, &mut counts);
+        // Remove globals shadow entries: locals are whatever got declared or
+        // is a parameter; counts may include globals — filter them.
+        let globals = &self.globals;
+        let mut locals: Vec<(String, u64)> = counts
+            .into_iter()
+            .filter(|(n, _)| !globals.contains_key(n.as_str()))
+            .collect();
+        locals.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        // Frame: [scratch saves][slot locals][s saves][ra]
+        let n_slots = locals.len().saturating_sub(S_HOMES);
+        self.scratch_base = 0;
+        let slots_base = self.scratch_base + 4 * SCRATCH as i64;
+        for (i, (name, _)) in locals.iter().enumerate() {
+            let home = if i < S_HOMES {
+                let s = Reg::saved(i as u32);
+                self.used_sregs.push(s);
+                Home::SReg(s)
+            } else {
+                Home::Slot(slots_base + 4 * (i - S_HOMES) as i64)
+            };
+            self.homes.insert(name.clone(), home);
+        }
+        let s_base = slots_base + 4 * n_slots as i64;
+        let ra_off = s_base + 4 * self.used_sregs.len() as i64;
+        let total = ra_off + 4;
+        self.frame = (total + 15) & !15; // keep sp 16-byte aligned
+    }
+
+    fn s_save_off(&self, idx: usize) -> i64 {
+        let n_slots = self.homes.values().filter(|h| matches!(h, Home::Slot(_))).count();
+        self.scratch_base + 4 * SCRATCH as i64 + 4 * n_slots as i64 + 4 * idx as i64
+    }
+
+    fn ra_off(&self) -> i64 {
+        self.s_save_off(self.used_sregs.len())
+    }
+
+    fn emit_prologue(&mut self) {
+        if self.frame > 0 {
+            self.push(Inst::AluImm { op: AluOp::Add, rd: Reg::SP, rs1: Reg::SP, imm: -self.frame });
+        }
+        if self.makes_calls {
+            let off = self.ra_off();
+            self.push(Inst::Store { rs: Reg::RA, base: Reg::SP, offset: off, width: MemWidth::Word });
+        }
+        for (i, s) in self.used_sregs.clone().into_iter().enumerate() {
+            let off = self.s_save_off(i);
+            self.push(Inst::Store { rs: s, base: Reg::SP, offset: off, width: MemWidth::Word });
+        }
+        for (i, p) in self.decl.params.clone().into_iter().enumerate() {
+            let a = Reg::arg(i as u32);
+            match self.homes[&p] {
+                Home::SReg(s) => self.push(Inst::Mv { rd: s, rs: a }),
+                Home::Slot(off) => {
+                    self.push(Inst::Store { rs: a, base: Reg::SP, offset: off, width: MemWidth::Word })
+                }
+            }
+        }
+    }
+
+    fn emit_epilogue(&mut self) {
+        for (i, s) in self.used_sregs.clone().into_iter().enumerate() {
+            let off = self.s_save_off(i);
+            self.push(Inst::Load { rd: s, base: Reg::SP, offset: off, width: MemWidth::Word, signed: true });
+        }
+        if self.makes_calls {
+            let off = self.ra_off();
+            self.push(Inst::Load { rd: Reg::RA, base: Reg::SP, offset: off, width: MemWidth::Word, signed: true });
+        }
+        if self.frame > 0 {
+            self.push(Inst::AluImm { op: AluOp::Add, rd: Reg::SP, rs1: Reg::SP, imm: self.frame });
+        }
+        let term = if self.is_main {
+            LTerm::Exit
+        } else if self.decl.returns_value {
+            LTerm::Ret(vec![Reg::A0])
+        } else {
+            LTerm::Ret(vec![])
+        };
+        self.set_term(term);
+    }
+
+    // --- Block plumbing ---------------------------------------------------
+
+    fn open_block(&mut self, label: String) {
+        // Fall through from an unterminated predecessor.
+        if let Some(last) = self.blocks.last_mut() {
+            if last.term.is_none() {
+                last.term = Some(LTerm::Jump(label.clone()));
+            }
+        }
+        self.blocks.push(LBlock { label, insts: Vec::new(), term: None });
+    }
+
+    fn fresh_label(&mut self, base: &str) -> String {
+        self.labels += 1;
+        format!("{base}{}", self.labels)
+    }
+
+    fn current(&mut self) -> &mut LBlock {
+        self.blocks.last_mut().expect("a block is open")
+    }
+
+    fn push(&mut self, i: Inst) {
+        let b = self.current();
+        if b.term.is_none() {
+            b.insts.push(i);
+        }
+        // Instructions after a terminator (dead code after return/break)
+        // are silently dropped.
+    }
+
+    fn set_term(&mut self, t: LTerm) {
+        let b = self.current();
+        if b.term.is_none() {
+            b.term = Some(t);
+        }
+    }
+
+    fn finish(self) -> Result<Function, CompileError> {
+        let mut ids: HashMap<String, BlockId> = HashMap::new();
+        for (i, b) in self.blocks.iter().enumerate() {
+            ids.insert(b.label.clone(), BlockId(i as u32));
+        }
+        let sig = Signature {
+            args: self.decl.params.len() as u8,
+            has_ret: self.decl.returns_value,
+        };
+        let mut f = Function::new(self.decl.name.clone(), sig);
+        for b in self.blocks {
+            let term = match b.term.expect("all blocks terminated") {
+                LTerm::Jump(l) => Terminator::Jump { target: ids[&l] },
+                LTerm::Bnez(r, t, e) => Terminator::Branch {
+                    cond: Cond::Ne,
+                    rs1: r,
+                    rs2: None,
+                    taken: ids[&t],
+                    fallthrough: ids[&e],
+                },
+                LTerm::Ret(reads) => Terminator::Ret { reads },
+                LTerm::Exit => Terminator::Exit,
+            };
+            f.blocks.push(Block { label: b.label, insts: b.insts, term });
+        }
+        Ok(f)
+    }
+
+    // --- Statements ---------------------------------------------------------
+
+    fn gen_stmts(&mut self, body: &[Stmt]) -> Result<(), CompileError> {
+        for s in body {
+            self.gen_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn gen_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Decl { name, init, line } => {
+                self.eval(init, 0, *line)?;
+                self.store_var(name, t(0));
+                Ok(())
+            }
+            Stmt::Assign { target, value, line } => match target {
+                LValue::Var(name) => {
+                    self.eval(value, 0, *line)?;
+                    self.store_var(name, t(0));
+                    Ok(())
+                }
+                LValue::Index(name, idx) => {
+                    self.eval(value, 0, *line)?;
+                    self.eval(idx, 1, *line)?;
+                    self.push(Inst::La { rd: t(2), global: name.clone() });
+                    self.push(Inst::AluImm { op: AluOp::Sll, rd: t(1), rs1: t(1), imm: 2 });
+                    self.push(Inst::Alu { op: AluOp::Add, rd: t(2), rs1: t(2), rs2: t(1) });
+                    self.push(Inst::Store { rs: t(0), base: t(2), offset: 0, width: MemWidth::Word });
+                    Ok(())
+                }
+            },
+            Stmt::If { cond, then_body, else_body, line } => {
+                let then_l = self.fresh_label("then");
+                let else_l = self.fresh_label("else");
+                let join_l = self.fresh_label("join");
+                self.eval(cond, 0, *line)?;
+                self.set_term(LTerm::Bnez(t(0), then_l.clone(), else_l.clone()));
+                self.open_block(then_l);
+                self.gen_stmts(then_body)?;
+                self.set_term(LTerm::Jump(join_l.clone()));
+                self.open_block(else_l);
+                self.gen_stmts(else_body)?;
+                self.set_term(LTerm::Jump(join_l.clone()));
+                self.open_block(join_l);
+                Ok(())
+            }
+            Stmt::While { cond, body, line } => {
+                let head = self.fresh_label("while");
+                let body_l = self.fresh_label("body");
+                let exit = self.fresh_label("endwhile");
+                self.set_term(LTerm::Jump(head.clone()));
+                self.open_block(head.clone());
+                self.eval(cond, 0, *line)?;
+                self.set_term(LTerm::Bnez(t(0), body_l.clone(), exit.clone()));
+                self.open_block(body_l);
+                self.loop_stack.push((head.clone(), exit.clone()));
+                self.gen_stmts(body)?;
+                self.loop_stack.pop();
+                self.set_term(LTerm::Jump(head));
+                self.open_block(exit);
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body, line } => {
+                self.gen_stmt(init)?;
+                let head = self.fresh_label("for");
+                let body_l = self.fresh_label("body");
+                let step_l = self.fresh_label("step");
+                let exit = self.fresh_label("endfor");
+                self.set_term(LTerm::Jump(head.clone()));
+                self.open_block(head.clone());
+                self.eval(cond, 0, *line)?;
+                self.set_term(LTerm::Bnez(t(0), body_l.clone(), exit.clone()));
+                self.open_block(body_l);
+                self.loop_stack.push((step_l.clone(), exit.clone()));
+                self.gen_stmts(body)?;
+                self.loop_stack.pop();
+                self.set_term(LTerm::Jump(step_l.clone()));
+                self.open_block(step_l);
+                self.gen_stmt(step)?;
+                self.set_term(LTerm::Jump(head));
+                self.open_block(exit);
+                Ok(())
+            }
+            Stmt::Return { value, line } => {
+                if let Some(e) = value {
+                    self.eval(e, 0, *line)?;
+                    self.push(Inst::Mv { rd: Reg::A0, rs: t(0) });
+                }
+                self.set_term(LTerm::Jump("__exit".to_owned()));
+                Ok(())
+            }
+            Stmt::Break { .. } => {
+                let target = self.loop_stack.last().expect("checked by sema").1.clone();
+                self.set_term(LTerm::Jump(target));
+                Ok(())
+            }
+            Stmt::Continue { .. } => {
+                let target = self.loop_stack.last().expect("checked by sema").0.clone();
+                self.set_term(LTerm::Jump(target));
+                Ok(())
+            }
+            Stmt::Expr { expr, line } => self.eval_any(expr, 0, *line),
+        }
+    }
+
+    fn store_var(&mut self, name: &str, src: Reg) {
+        match self.homes.get(name) {
+            Some(Home::SReg(s)) => {
+                let s = *s;
+                self.push(Inst::Mv { rd: s, rs: src });
+            }
+            Some(Home::Slot(off)) => {
+                let off = *off;
+                self.push(Inst::Store { rs: src, base: Reg::SP, offset: off, width: MemWidth::Word });
+            }
+            None => {
+                // Global scalar.
+                self.push(Inst::La { rd: t(SCRATCH - 1), global: name.to_owned() });
+                self.push(Inst::Store { rs: src, base: t(SCRATCH - 1), offset: 0, width: MemWidth::Word });
+            }
+        }
+    }
+
+    // --- Expressions --------------------------------------------------------
+
+    /// Evaluates `e` into scratch register `t(d)`.
+    fn eval(&mut self, e: &Expr, d: usize, line: usize) -> Result<(), CompileError> {
+        if d >= SCRATCH {
+            return Err(CompileError::new(line, "expression too complex (scratch overflow)"));
+        }
+        match e {
+            Expr::Lit(v) => {
+                self.push(Inst::Li { rd: t(d), imm: *v as i64 });
+                Ok(())
+            }
+            Expr::Var(name) => {
+                match self.homes.get(name) {
+                    Some(Home::SReg(s)) => {
+                        let s = *s;
+                        self.push(Inst::Mv { rd: t(d), rs: s });
+                    }
+                    Some(Home::Slot(off)) => {
+                        let off = *off;
+                        self.push(Inst::Load { rd: t(d), base: Reg::SP, offset: off, width: MemWidth::Word, signed: true });
+                    }
+                    None => {
+                        self.push(Inst::La { rd: t(d), global: name.clone() });
+                        self.push(Inst::Load { rd: t(d), base: t(d), offset: 0, width: MemWidth::Word, signed: true });
+                    }
+                }
+                Ok(())
+            }
+            Expr::Index(name, idx) => {
+                if d + 1 >= SCRATCH {
+                    return Err(CompileError::new(line, "expression too complex (scratch overflow)"));
+                }
+                self.eval(idx, d, line)?;
+                self.push(Inst::La { rd: t(d + 1), global: name.clone() });
+                self.push(Inst::AluImm { op: AluOp::Sll, rd: t(d), rs1: t(d), imm: 2 });
+                self.push(Inst::Alu { op: AluOp::Add, rd: t(d), rs1: t(d + 1), rs2: t(d) });
+                self.push(Inst::Load { rd: t(d), base: t(d), offset: 0, width: MemWidth::Word, signed: true });
+                Ok(())
+            }
+            Expr::Un(op, a) => {
+                self.eval(a, d, line)?;
+                match op {
+                    UnOp::Neg => self.push(Inst::Neg { rd: t(d), rs: t(d) }),
+                    UnOp::Not => {
+                        self.push(Inst::AluImm { op: AluOp::Xor, rd: t(d), rs1: t(d), imm: -1 })
+                    }
+                    UnOp::LNot => self.push(Inst::Seqz { rd: t(d), rs: t(d) }),
+                }
+                Ok(())
+            }
+            Expr::Bin(op, a, b) => {
+                // Constant-immediate fast path keeps hot loops compact and
+                // feeds the bit-value analysis (andi/ori/xori/shifts with
+                // constants are exactly what its rules exploit).
+                if let Expr::Lit(v) = **b {
+                    if let Some(alu) = imm_op(*op) {
+                        let imm = v as i64;
+                        let is_shift = matches!(alu, AluOp::Sll | AluOp::Srl | AluOp::Sra);
+                        let fits = alu.has_imm_form() && (!is_shift || (0..32).contains(&imm));
+                        if fits {
+                            self.eval(a, d, line)?;
+                            self.push(Inst::AluImm { op: alu, rd: t(d), rs1: t(d), imm });
+                            return Ok(());
+                        }
+                    }
+                }
+                self.eval(a, d, line)?;
+                self.eval(b, d + 1, line)?;
+                self.bin_op(*op, d);
+                Ok(())
+            }
+            Expr::Call(name, args) => self.eval_call(name, args, d, line, true),
+        }
+    }
+
+    /// Evaluates an expression for effect (void calls allowed).
+    fn eval_any(&mut self, e: &Expr, d: usize, line: usize) -> Result<(), CompileError> {
+        match e {
+            Expr::Call(name, args) => self.eval_call(name, args, d, line, false),
+            _ => self.eval(e, d, line),
+        }
+    }
+
+    fn bin_op(&mut self, op: BinOp, d: usize) {
+        let (rd, a, b) = (t(d), t(d), t(d + 1));
+        let alu = |s: &mut Self, op| s.push(Inst::Alu { op, rd, rs1: a, rs2: b });
+        match op {
+            BinOp::Add => alu(self, AluOp::Add),
+            BinOp::Sub => alu(self, AluOp::Sub),
+            BinOp::Mul => alu(self, AluOp::Mul),
+            BinOp::Div => alu(self, AluOp::Divu),
+            BinOp::Rem => alu(self, AluOp::Remu),
+            BinOp::And => alu(self, AluOp::And),
+            BinOp::Or => alu(self, AluOp::Or),
+            BinOp::Xor => alu(self, AluOp::Xor),
+            BinOp::Shl => alu(self, AluOp::Sll),
+            BinOp::Shr => alu(self, AluOp::Srl),
+            BinOp::Lt => alu(self, AluOp::Sltu),
+            BinOp::Gt => self.push(Inst::Alu { op: AluOp::Sltu, rd, rs1: b, rs2: a }),
+            BinOp::Le => {
+                // a <= b  ⟺  !(b < a)
+                self.push(Inst::Alu { op: AluOp::Sltu, rd, rs1: b, rs2: a });
+                self.push(Inst::AluImm { op: AluOp::Xor, rd, rs1: rd, imm: 1 });
+            }
+            BinOp::Ge => {
+                self.push(Inst::Alu { op: AluOp::Sltu, rd, rs1: a, rs2: b });
+                self.push(Inst::AluImm { op: AluOp::Xor, rd, rs1: rd, imm: 1 });
+            }
+            BinOp::Eq => {
+                alu(self, AluOp::Xor);
+                self.push(Inst::Seqz { rd, rs: rd });
+            }
+            BinOp::Ne => {
+                alu(self, AluOp::Xor);
+                self.push(Inst::Snez { rd, rs: rd });
+            }
+            BinOp::LAnd => {
+                self.push(Inst::Snez { rd: a, rs: a });
+                self.push(Inst::Snez { rd: b, rs: b });
+                alu(self, AluOp::And);
+            }
+            BinOp::LOr => {
+                alu(self, AluOp::Or);
+                self.push(Inst::Snez { rd, rs: rd });
+            }
+        }
+    }
+
+    fn eval_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        d: usize,
+        line: usize,
+        want_value: bool,
+    ) -> Result<(), CompileError> {
+        // Builtins expand inline.
+        match name {
+            "print" => {
+                self.eval(&args[0], d, line)?;
+                self.push(Inst::Print { rs: t(d) });
+                return Ok(());
+            }
+            "sra" => {
+                self.eval(&args[0], d, line)?;
+                self.eval(&args[1], d + 1, line)?;
+                self.push(Inst::Alu { op: AluOp::Sra, rd: t(d), rs1: t(d), rs2: t(d + 1) });
+                return Ok(());
+            }
+            "slt" => {
+                self.eval(&args[0], d, line)?;
+                self.eval(&args[1], d + 1, line)?;
+                self.push(Inst::Alu { op: AluOp::Slt, rd: t(d), rs1: t(d), rs2: t(d + 1) });
+                return Ok(());
+            }
+            _ => {}
+        }
+        if d + args.len() > SCRATCH {
+            return Err(CompileError::new(line, "call arguments too complex (scratch overflow)"));
+        }
+        for (i, a) in args.iter().enumerate() {
+            self.eval(a, d + i, line)?;
+        }
+        // Spill the temporaries that stay live across the call.
+        for k in 0..d {
+            let off = self.scratch_base + 4 * k as i64;
+            self.push(Inst::Store { rs: t(k), base: Reg::SP, offset: off, width: MemWidth::Word });
+        }
+        for i in 0..args.len() {
+            self.push(Inst::Mv { rd: Reg::arg(i as u32), rs: t(d + i) });
+        }
+        self.push(Inst::Call { callee: name.to_owned() });
+        for k in 0..d {
+            let off = self.scratch_base + 4 * k as i64;
+            self.push(Inst::Load { rd: t(k), base: Reg::SP, offset: off, width: MemWidth::Word, signed: true });
+        }
+        let returns = self.sigs[name].1;
+        if returns && want_value {
+            self.push(Inst::Mv { rd: t(d), rs: Reg::A0 });
+        }
+        Ok(())
+    }
+}
+
+fn t(d: usize) -> Reg {
+    Reg::temp(d as u32)
+}
+
+fn imm_op(op: BinOp) -> Option<AluOp> {
+    match op {
+        BinOp::Add => Some(AluOp::Add),
+        BinOp::And => Some(AluOp::And),
+        BinOp::Or => Some(AluOp::Or),
+        BinOp::Xor => Some(AluOp::Xor),
+        BinOp::Shl => Some(AluOp::Sll),
+        BinOp::Shr => Some(AluOp::Srl),
+        BinOp::Lt => Some(AluOp::Sltu),
+        _ => None,
+    }
+}
+
+// --- AST walks -------------------------------------------------------------
+
+fn count_stmts(body: &[Stmt], counts: &mut HashMap<String, u64>) {
+    for s in body {
+        match s {
+            Stmt::Decl { name, init, .. } => {
+                count_expr(init, counts);
+                *counts.entry(name.clone()).or_insert(0) += 1;
+            }
+            Stmt::Assign { target, value, .. } => {
+                count_expr(value, counts);
+                match target {
+                    LValue::Var(n) => *counts.entry(n.clone()).or_insert(0) += 1,
+                    LValue::Index(_, idx) => count_expr(idx, counts),
+                }
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                count_expr(cond, counts);
+                count_stmts(then_body, counts);
+                count_stmts(else_body, counts);
+            }
+            Stmt::While { cond, body, .. } => {
+                count_expr(cond, counts);
+                // Loop bodies weigh more: they run more often.
+                let mut inner = HashMap::new();
+                count_stmts(body, &mut inner);
+                for (k, v) in inner {
+                    *counts.entry(k).or_insert(0) += 8 * v;
+                }
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                count_stmts(std::slice::from_ref(init), counts);
+                count_expr(cond, counts);
+                let mut inner = HashMap::new();
+                count_stmts(body, &mut inner);
+                count_stmts(std::slice::from_ref(step), &mut inner);
+                for (k, v) in inner {
+                    *counts.entry(k).or_insert(0) += 8 * v;
+                }
+            }
+            Stmt::Return { value: Some(e), .. } => count_expr(e, counts),
+            Stmt::Return { value: None, .. } | Stmt::Break { .. } | Stmt::Continue { .. } => {}
+            Stmt::Expr { expr, .. } => count_expr(expr, counts),
+        }
+    }
+}
+
+fn count_expr(e: &Expr, counts: &mut HashMap<String, u64>) {
+    match e {
+        Expr::Lit(_) => {}
+        Expr::Var(n) => *counts.entry(n.clone()).or_insert(0) += 1,
+        Expr::Index(_, idx) => count_expr(idx, counts),
+        Expr::Un(_, a) => count_expr(a, counts),
+        Expr::Bin(_, a, b) => {
+            count_expr(a, counts);
+            count_expr(b, counts);
+        }
+        Expr::Call(_, args) => args.iter().for_each(|a| count_expr(a, counts)),
+    }
+}
+
+fn calls_in_stmts(body: &[Stmt], sigs: &HashMap<String, (usize, bool)>) -> bool {
+    fn expr_calls(e: &Expr) -> bool {
+        match e {
+            Expr::Call(name, args) => {
+                !matches!(name.as_str(), "print" | "sra" | "slt") || args.iter().any(expr_calls)
+            }
+            Expr::Bin(_, a, b) => expr_calls(a) || expr_calls(b),
+            Expr::Un(_, a) | Expr::Index(_, a) => expr_calls(a),
+            _ => false,
+        }
+    }
+    let _ = sigs;
+    body.iter().any(|s| match s {
+        Stmt::Decl { init, .. } => expr_calls(init),
+        Stmt::Assign { target, value, .. } => {
+            expr_calls(value)
+                || matches!(target, LValue::Index(_, idx) if expr_calls(idx))
+        }
+        Stmt::If { cond, then_body, else_body, .. } => {
+            expr_calls(cond) || calls_in_stmts(then_body, sigs) || calls_in_stmts(else_body, sigs)
+        }
+        Stmt::While { cond, body, .. } => expr_calls(cond) || calls_in_stmts(body, sigs),
+        Stmt::For { init, cond, step, body, .. } => {
+            calls_in_stmts(std::slice::from_ref(init), sigs)
+                || expr_calls(cond)
+                || calls_in_stmts(std::slice::from_ref(step), sigs)
+                || calls_in_stmts(body, sigs)
+        }
+        Stmt::Return { value: Some(e), .. } => expr_calls(e),
+        Stmt::Expr { expr, .. } => expr_calls(expr),
+        _ => false,
+    })
+}

@@ -1,0 +1,248 @@
+//! Peephole optimizations on the generated machine code: block-local copy
+//! propagation followed by dead-definition elimination.
+//!
+//! The scratch-stack code generator produces many `mv tN, sK` shuttles; LLVM
+//! would never emit these, and they distort the BEC statistics (every copy
+//! coalesces trivially). Copy propagation rewrites operands to their
+//! sources; liveness-driven cleanup then deletes the dead moves and loads
+//! of unused constants.
+
+use bec_ir::{Function, Inst, Liveness, PointLayout, Program, Reg, Terminator};
+use std::collections::HashMap;
+
+/// Optimizes every function of `program` in place.
+pub fn optimize(program: &mut Program) {
+    // Work on clones: liveness queries need a coherent `Program`.
+    for fi in 0..program.functions.len() {
+        for _round in 0..3 {
+            let mut f = program.functions[fi].clone();
+            copy_propagate(program, &mut f);
+            program.functions[fi] = f;
+            if !eliminate_dead_defs(program, fi) {
+                break;
+            }
+        }
+    }
+}
+
+/// Block-local copy propagation: after `mv d, s`, uses of `d` read `s`
+/// directly until either register is redefined.
+///
+/// ABI-fixed read sets (a `ret`'s return registers and a call's implicit
+/// argument registers) are never rewritten — those values must live in
+/// their ABI homes.
+fn copy_propagate(program: &Program, f: &mut Function) {
+    for block in &mut f.blocks {
+        let mut copies: HashMap<Reg, Reg> = HashMap::new();
+        for inst in &mut block.insts {
+            // Rewrite operand *reads* through known copies (destinations
+            // must stay untouched).
+            rewrite_reads(inst, &copies);
+
+            // Invalidate copies clobbered by this instruction's writes.
+            let writes: Vec<Reg> = match &*inst {
+                Inst::Call { callee } => program.call_effects(callee).writes,
+                other => other.writes(),
+            };
+            for w in &writes {
+                copies.remove(w);
+                copies.retain(|_, src| src != w);
+            }
+            // Record fresh copies.
+            if let Inst::Mv { rd, rs } = &*inst {
+                if rd != rs && !program.config.is_zero_reg(*rd) {
+                    copies.insert(*rd, *rs);
+                }
+            }
+        }
+        // Terminator reads (branches) can be rewritten; `ret` reads cannot.
+        if let Terminator::Branch { rs1, rs2, .. } = &mut block.term {
+            if let Some(src) = copies.get(rs1) {
+                *rs1 = *src;
+            }
+            if let Some(r2) = rs2 {
+                if let Some(src) = copies.get(r2) {
+                    *r2 = *src;
+                }
+            }
+        }
+    }
+}
+
+/// Rewrites only the read operands of `inst` through the copy map.
+fn rewrite_reads(inst: &mut Inst, copies: &HashMap<Reg, Reg>) {
+    let get = |r: &mut Reg| {
+        if let Some(src) = copies.get(r) {
+            *r = *src;
+        }
+    };
+    match inst {
+        Inst::Alu { rs1, rs2, .. } => {
+            get(rs1);
+            get(rs2);
+        }
+        Inst::AluImm { rs1, .. } => get(rs1),
+        Inst::Mv { rs, .. }
+        | Inst::Neg { rs, .. }
+        | Inst::Seqz { rs, .. }
+        | Inst::Snez { rs, .. } => get(rs),
+        Inst::Load { base, .. } => get(base),
+        Inst::Store { rs, base, .. } => {
+            get(rs);
+            get(base);
+        }
+        Inst::Print { rs } => get(rs),
+        Inst::Li { .. } | Inst::La { .. } | Inst::Call { .. } | Inst::Nop => {}
+    }
+}
+
+/// Removes side-effect-free instructions whose destination is dead.
+/// Returns whether anything was removed.
+fn eliminate_dead_defs(program: &mut Program, fi: usize) -> bool {
+    let f = &program.functions[fi];
+    let layout = PointLayout::of(f);
+    let liveness = Liveness::compute(f, program);
+    let mut dead: Vec<(usize, usize)> = Vec::new(); // (block, inst index)
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for (ii, inst) in block.insts.iter().enumerate() {
+            let removable = matches!(
+                inst,
+                Inst::Mv { .. }
+                    | Inst::Li { .. }
+                    | Inst::La { .. }
+                    | Inst::Neg { .. }
+                    | Inst::Seqz { .. }
+                    | Inst::Snez { .. }
+                    | Inst::Alu { .. }
+                    | Inst::AluImm { .. }
+            );
+            if !removable {
+                continue;
+            }
+            // Self-moves are always dead.
+            if let Inst::Mv { rd, rs } = inst {
+                if rd == rs {
+                    dead.push((bi, ii));
+                    continue;
+                }
+            }
+            let p = layout.point(bec_ir::BlockId(bi as u32), ii);
+            let rd = inst.writes()[0];
+            // The stack pointer is ABI-live across returns even though no
+            // instruction of this function reads it afterwards.
+            if rd == Reg::SP {
+                continue;
+            }
+            if program.config.is_zero_reg(rd) || !liveness.is_live_after(p, rd) {
+                dead.push((bi, ii));
+            }
+        }
+    }
+    if dead.is_empty() {
+        return false;
+    }
+    let f = &mut program.functions[fi];
+    for (bi, ii) in dead.into_iter().rev() {
+        f.blocks[bi].insts.remove(ii);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bec_ir::parse_program;
+
+    #[test]
+    fn copy_propagation_rewrites_uses_and_kills_the_move() {
+        let mut p = parse_program(
+            r#"
+func @main(args=0, ret=none) {
+entry:
+    li   s1, 5
+    mv   t0, s1
+    addi t1, t0, 1
+    print t1
+    exit
+}
+"#,
+        )
+        .unwrap();
+        optimize(&mut p);
+        let insts = &p.entry_function().blocks[0].insts;
+        // mv is gone; addi reads s1 directly.
+        assert_eq!(insts.len(), 3, "{insts:?}");
+        assert!(insts.iter().all(|i| !matches!(i, Inst::Mv { .. })));
+    }
+
+    #[test]
+    fn copies_are_invalidated_by_redefinition() {
+        // s1 is redefined between the copy and the use of t0, and both
+        // values are observed: behaviour must be preserved.
+        let mut p = parse_program(
+            r#"
+func @main(args=0, ret=none) {
+entry:
+    li   s1, 5
+    mv   t0, s1
+    li   s1, 9
+    print t0
+    print s1
+    exit
+}
+"#,
+        )
+        .unwrap();
+        optimize(&mut p);
+        bec_ir::verify_program(&p).unwrap();
+        let sim = bec_sim::Simulator::new(&p);
+        assert_eq!(sim.run_golden().outputs(), &[5, 9]);
+    }
+
+    #[test]
+    fn abi_moves_before_ret_survive() {
+        let mut p = parse_program(
+            r#"
+func @f(args=0, ret=a0) {
+entry:
+    li t0, 7
+    mv a0, t0
+    ret a0
+}
+func @main(args=0, ret=none) {
+entry:
+    call @f
+    print a0
+    exit
+}
+"#,
+        )
+        .unwrap();
+        optimize(&mut p);
+        let f = p.function("f").unwrap();
+        // a0 is read by ret: the mv (or an equivalent li into a0) remains.
+        let writes_a0 = f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| i.writes().contains(&bec_ir::Reg::A0));
+        assert!(writes_a0, "{:?}", f.blocks[0].insts);
+    }
+
+    #[test]
+    fn dead_lis_are_removed() {
+        let mut p = parse_program(
+            r#"
+func @main(args=0, ret=none) {
+entry:
+    li t0, 1
+    li t0, 2
+    print t0
+    exit
+}
+"#,
+        )
+        .unwrap();
+        optimize(&mut p);
+        assert_eq!(p.entry_function().blocks[0].insts.len(), 2);
+    }
+}

@@ -1,0 +1,491 @@
+//! Recursive-descent parser with precedence climbing.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::lexer::{Kw, Tok, Token};
+
+/// Parses a token stream into a [`Unit`].
+///
+/// # Errors
+///
+/// Returns the first syntax error with its source line.
+pub fn parse(tokens: &[Token]) -> Result<Unit, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.unit()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> &Tok {
+        let t = &self.tokens[self.pos].tok;
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CompileError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`, found {}", describe(self.peek()))))
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(self.line(), msg)
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {}", describe(&other)))),
+        }
+    }
+
+    fn unit(&mut self) -> Result<Unit, CompileError> {
+        let mut unit = Unit::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Kw(Kw::Int) | Tok::Kw(Kw::Void) => {
+                    let returns_value = matches!(self.peek(), Tok::Kw(Kw::Int));
+                    let line = self.line();
+                    self.bump();
+                    let name = self.ident()?;
+                    if matches!(self.peek(), Tok::Punct("(")) {
+                        unit.functions.push(self.function(name, returns_value, line)?);
+                    } else {
+                        if !returns_value {
+                            return Err(self.err("globals must be `int`"));
+                        }
+                        unit.globals.push(self.global(name, line)?);
+                    }
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected `int` or `void` at top level, found {}",
+                        describe(other)
+                    )))
+                }
+            }
+        }
+        Ok(unit)
+    }
+
+    fn global(&mut self, name: String, line: usize) -> Result<GlobalDecl, CompileError> {
+        let mut array_len = None;
+        if self.eat_punct("[") {
+            match self.bump().clone() {
+                Tok::Int(n) => array_len = Some(n),
+                other => return Err(self.err(format!("expected array length, found {}", describe(&other)))),
+            }
+            self.expect_punct("]")?;
+        }
+        let mut init = Vec::new();
+        if self.eat_punct("=") {
+            if array_len.is_some() {
+                self.expect_punct("{")?;
+                loop {
+                    if self.eat_punct("}") {
+                        break;
+                    }
+                    init.push(self.const_int()?);
+                    if !self.eat_punct(",") {
+                        self.expect_punct("}")?;
+                        break;
+                    }
+                }
+                if init.len() as u64 > array_len.unwrap() {
+                    return Err(CompileError::new(line, "too many initializers"));
+                }
+            } else {
+                init.push(self.const_int()?);
+            }
+        }
+        self.expect_punct(";")?;
+        Ok(GlobalDecl { name, array_len, init, line })
+    }
+
+    fn const_int(&mut self) -> Result<u64, CompileError> {
+        // Allow unary minus in constant contexts.
+        let neg = self.eat_punct("-");
+        match self.bump().clone() {
+            Tok::Int(v) => Ok(if neg { (v as i64).wrapping_neg() as u64 } else { v }),
+            other => Err(self.err(format!("expected constant, found {}", describe(&other)))),
+        }
+    }
+
+    fn function(
+        &mut self,
+        name: String,
+        returns_value: bool,
+        line: usize,
+    ) -> Result<FuncDecl, CompileError> {
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                match self.bump().clone() {
+                    Tok::Kw(Kw::Int) => {}
+                    Tok::Kw(Kw::Void) if params.is_empty() => {
+                        self.expect_punct(")")?;
+                        break;
+                    }
+                    other => {
+                        return Err(self.err(format!("expected `int` parameter, found {}", describe(&other))))
+                    }
+                }
+                params.push(self.ident()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(FuncDecl { name, params, returns_value, body, line })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect_punct("{")?;
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek(), Tok::Eof) {
+                return Err(self.err("unterminated block"));
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Kw(Kw::Int) => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect_punct("=")?;
+                let init = self.expr()?;
+                self.expect_punct(";")?;
+                Ok(Stmt::Decl { name, init, line })
+            }
+            Tok::Kw(Kw::If) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let then_body = self.block_or_single()?;
+                let else_body = if matches!(self.peek(), Tok::Kw(Kw::Else)) {
+                    self.bump();
+                    if matches!(self.peek(), Tok::Kw(Kw::If)) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block_or_single()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_body, else_body, line })
+            }
+            Tok::Kw(Kw::While) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            Tok::Kw(Kw::For) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let init = self.simple_stmt()?;
+                let cond = self.expr()?;
+                self.expect_punct(";")?;
+                let step = self.assign_no_semi()?;
+                self.expect_punct(")")?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::For { init: Box::new(init), cond, step: Box::new(step), body, line })
+            }
+            Tok::Kw(Kw::Return) => {
+                self.bump();
+                let value = if self.eat_punct(";") {
+                    None
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Some(e)
+                };
+                Ok(Stmt::Return { value, line })
+            }
+            Tok::Kw(Kw::Break) => {
+                self.bump();
+                self.expect_punct(";")?;
+                Ok(Stmt::Break { line })
+            }
+            Tok::Kw(Kw::Continue) => {
+                self.bump();
+                self.expect_punct(";")?;
+                Ok(Stmt::Continue { line })
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// `int x = e;`, an assignment, or an expression statement — with `;`.
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        if matches!(self.peek(), Tok::Kw(Kw::Int)) {
+            self.bump();
+            let name = self.ident()?;
+            self.expect_punct("=")?;
+            let init = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Decl { name, init, line });
+        }
+        let s = self.assign_no_semi()?;
+        self.expect_punct(";")?;
+        Ok(s)
+    }
+
+    /// An assignment or expression statement without the trailing `;`
+    /// (used by `for` steps).
+    fn assign_no_semi(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        let start = self.pos;
+        // Try lvalue `=` expr first.
+        if let Tok::Ident(name) = self.peek().clone() {
+            self.bump();
+            let target = if self.eat_punct("[") {
+                let idx = self.expr()?;
+                self.expect_punct("]")?;
+                Some(LValue::Index(name.clone(), Box::new(idx)))
+            } else {
+                Some(LValue::Var(name.clone()))
+            };
+            if self.eat_punct("=") {
+                let value = self.expr()?;
+                return Ok(Stmt::Assign { target: target.unwrap(), value, line });
+            }
+            // Not an assignment: rewind and parse as expression.
+            self.pos = start;
+        }
+        let expr = self.expr()?;
+        Ok(Stmt::Expr { expr, line })
+    }
+
+    fn block_or_single(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if matches!(self.peek(), Tok::Punct("{")) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    // --- Expressions (precedence climbing) ------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.bin_expr(0)
+    }
+
+    fn bin_expr(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::Punct("||") => (BinOp::LOr, 1),
+                Tok::Punct("&&") => (BinOp::LAnd, 2),
+                Tok::Punct("|") => (BinOp::Or, 3),
+                Tok::Punct("^") => (BinOp::Xor, 4),
+                Tok::Punct("&") => (BinOp::And, 5),
+                Tok::Punct("==") => (BinOp::Eq, 6),
+                Tok::Punct("!=") => (BinOp::Ne, 6),
+                Tok::Punct("<") => (BinOp::Lt, 7),
+                Tok::Punct("<=") => (BinOp::Le, 7),
+                Tok::Punct(">") => (BinOp::Gt, 7),
+                Tok::Punct(">=") => (BinOp::Ge, 7),
+                Tok::Punct("<<") => (BinOp::Shl, 8),
+                Tok::Punct(">>") => (BinOp::Shr, 8),
+                Tok::Punct("+") => (BinOp::Add, 9),
+                Tok::Punct("-") => (BinOp::Sub, 9),
+                Tok::Punct("*") => (BinOp::Mul, 10),
+                Tok::Punct("/") => (BinOp::Div, 10),
+                Tok::Punct("%") => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.bin_expr(prec + 1)?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Un(UnOp::Neg, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("~") {
+            return Ok(Expr::Un(UnOp::Not, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Un(UnOp::LNot, Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Lit(v))
+            }
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else if self.eat_punct("[") {
+                    let idx = self.expr()?;
+                    self.expect_punct("]")?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {}", describe(&other)))),
+        }
+    }
+}
+
+fn describe(t: &Tok) -> String {
+    match t {
+        Tok::Int(v) => format!("literal `{v}`"),
+        Tok::Ident(s) => format!("identifier `{s}`"),
+        Tok::Kw(k) => format!("keyword `{k:?}`").to_lowercase(),
+        Tok::Punct(p) => format!("`{p}`"),
+        Tok::Eof => "end of input".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Unit {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_globals_and_functions() {
+        let u = parse_src(
+            "int tbl[4] = { 1, 2, 3, 4 };\nint g = 7;\nint f(int a, int b) { return a + b; }\nvoid main() { print(f(1, 2)); }\n",
+        );
+        assert_eq!(u.globals.len(), 2);
+        assert_eq!(u.globals[0].array_len, Some(4));
+        assert_eq!(u.globals[1].init, vec![7]);
+        assert_eq!(u.functions.len(), 2);
+        assert!(u.functions[0].returns_value);
+        assert!(!u.functions[1].returns_value);
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let u = parse_src("void main() { int x = 1 + 2 * 3; int y = 1 << 2 + 3; }");
+        let Stmt::Decl { init, .. } = &u.functions[0].body[0] else { panic!() };
+        // 1 + (2 * 3)
+        assert_eq!(
+            *init,
+            Expr::bin(BinOp::Add, Expr::Lit(1), Expr::bin(BinOp::Mul, Expr::Lit(2), Expr::Lit(3)))
+        );
+        let Stmt::Decl { init, .. } = &u.functions[0].body[1] else { panic!() };
+        // 1 << (2 + 3): shifts bind looser than +.
+        assert_eq!(
+            *init,
+            Expr::bin(BinOp::Shl, Expr::Lit(1), Expr::bin(BinOp::Add, Expr::Lit(2), Expr::Lit(3)))
+        );
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let u = parse_src(
+            r#"
+void main() {
+    int i = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        if (i & 1) { print(i); } else { continue; }
+        while (i > 5) { break; }
+    }
+    return;
+}
+"#,
+        );
+        assert_eq!(u.functions[0].body.len(), 3);
+        assert!(matches!(u.functions[0].body[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_array_assignment_and_indexing() {
+        let u = parse_src("int a[8];\nvoid main() { a[1] = a[0] + 1; }");
+        let Stmt::Assign { target, value, .. } = &u.functions[0].body[0] else { panic!() };
+        assert!(matches!(target, LValue::Index(n, _) if n == "a"));
+        assert!(matches!(value, Expr::Bin(BinOp::Add, ..)));
+    }
+
+    #[test]
+    fn negative_constants_in_globals() {
+        let u = parse_src("int t[2] = { -1, 3 };\nvoid main() { }");
+        assert_eq!(u.globals[0].init[0], u64::MAX);
+    }
+
+    #[test]
+    fn error_messages_have_lines() {
+        let toks = lex("void main() {\n  int = 3;\n}").unwrap();
+        let e = parse(&toks).unwrap_err();
+        assert_eq!(e.line(), 2);
+    }
+}

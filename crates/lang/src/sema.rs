@@ -1,0 +1,256 @@
+//! Semantic analysis: name resolution, arity checks, value/void usage,
+//! loop-context checks.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use std::collections::{HashMap, HashSet};
+
+/// Builtin functions: `(name, arity, returns_value)`.
+pub const BUILTINS: &[(&str, usize, bool)] =
+    &[("print", 1, false), ("sra", 2, true), ("slt", 2, true)];
+
+/// Checks `unit`, returning it unchanged on success.
+///
+/// # Errors
+///
+/// Reports the first semantic error (undeclared identifier, arity mismatch,
+/// array/scalar confusion, `break` outside a loop, …).
+pub fn check(unit: Unit) -> Result<Unit, CompileError> {
+    let mut globals: HashMap<String, bool> = HashMap::new(); // name → is_array
+    for g in &unit.globals {
+        if globals.insert(g.name.clone(), g.array_len.is_some()).is_some() {
+            return Err(CompileError::new(g.line, format!("duplicate global `{}`", g.name)));
+        }
+        if let Some(n) = g.array_len {
+            if n == 0 {
+                return Err(CompileError::new(g.line, "zero-length array"));
+            }
+            if g.init.len() as u64 > n {
+                return Err(CompileError::new(g.line, "too many initializers"));
+            }
+        }
+    }
+
+    let mut funcs: HashMap<String, (usize, bool)> = HashMap::new();
+    for (name, arity, ret) in BUILTINS {
+        funcs.insert((*name).to_owned(), (*arity, *ret));
+    }
+    for f in &unit.functions {
+        if funcs.insert(f.name.clone(), (f.params.len(), f.returns_value)).is_some() {
+            return Err(CompileError::new(f.line, format!("duplicate function `{}`", f.name)));
+        }
+        if f.params.len() > 8 {
+            return Err(CompileError::new(f.line, "more than 8 parameters"));
+        }
+    }
+    match unit.functions.iter().find(|f| f.name == "main") {
+        None => return Err(CompileError::new(0, "missing `main` function")),
+        Some(m) => {
+            if m.returns_value || !m.params.is_empty() {
+                return Err(CompileError::new(m.line, "`main` must be `void main()`"));
+            }
+        }
+    }
+
+    for f in &unit.functions {
+        let mut ck = Checker {
+            globals: &globals,
+            funcs: &funcs,
+            locals: f.params.iter().cloned().collect(),
+            returns_value: f.returns_value,
+            loop_depth: 0,
+        };
+        if f.params.iter().collect::<HashSet<_>>().len() != f.params.len() {
+            return Err(CompileError::new(f.line, "duplicate parameter name"));
+        }
+        ck.stmts(&f.body)?;
+    }
+    Ok(unit)
+}
+
+struct Checker<'a> {
+    globals: &'a HashMap<String, bool>,
+    funcs: &'a HashMap<String, (usize, bool)>,
+    locals: HashSet<String>,
+    returns_value: bool,
+    loop_depth: u32,
+}
+
+impl<'a> Checker<'a> {
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), CompileError> {
+        for s in body {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Decl { name, init, line } => {
+                self.expr(init, *line, true)?;
+                if !self.locals.insert(name.clone()) {
+                    return Err(CompileError::new(*line, format!("duplicate local `{name}`")));
+                }
+                Ok(())
+            }
+            Stmt::Assign { target, value, line } => {
+                self.expr(value, *line, true)?;
+                match target {
+                    LValue::Var(name) => self.check_scalar(name, *line),
+                    LValue::Index(name, idx) => {
+                        self.expr(idx, *line, true)?;
+                        self.check_array(name, *line)
+                    }
+                }
+            }
+            Stmt::If { cond, then_body, else_body, line } => {
+                self.expr(cond, *line, true)?;
+                self.stmts(then_body)?;
+                self.stmts(else_body)
+            }
+            Stmt::While { cond, body, line } => {
+                self.expr(cond, *line, true)?;
+                self.loop_depth += 1;
+                let r = self.stmts(body);
+                self.loop_depth -= 1;
+                r
+            }
+            Stmt::For { init, cond, step, body, line } => {
+                self.stmt(init)?;
+                self.expr(cond, *line, true)?;
+                self.loop_depth += 1;
+                let r = self.stmts(body).and_then(|()| self.stmt(step));
+                self.loop_depth -= 1;
+                r
+            }
+            Stmt::Return { value, line } => match (value, self.returns_value) {
+                (Some(e), true) => self.expr(e, *line, true),
+                (None, false) => Ok(()),
+                (Some(_), false) => {
+                    Err(CompileError::new(*line, "void function returns a value"))
+                }
+                (None, true) => Err(CompileError::new(*line, "missing return value")),
+            },
+            Stmt::Break { line } | Stmt::Continue { line } => {
+                if self.loop_depth == 0 {
+                    Err(CompileError::new(*line, "break/continue outside a loop"))
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Expr { expr, line } => self.expr(expr, *line, false),
+        }
+    }
+
+    fn check_scalar(&self, name: &str, line: usize) -> Result<(), CompileError> {
+        if self.locals.contains(name) {
+            return Ok(());
+        }
+        match self.globals.get(name) {
+            Some(false) => Ok(()),
+            Some(true) => Err(CompileError::new(line, format!("`{name}` is an array"))),
+            None => Err(CompileError::new(line, format!("undeclared variable `{name}`"))),
+        }
+    }
+
+    fn check_array(&self, name: &str, line: usize) -> Result<(), CompileError> {
+        match self.globals.get(name) {
+            Some(true) => Ok(()),
+            Some(false) => Err(CompileError::new(line, format!("`{name}` is not an array"))),
+            None => Err(CompileError::new(line, format!("undeclared array `{name}`"))),
+        }
+    }
+
+    fn expr(&self, e: &Expr, line: usize, as_value: bool) -> Result<(), CompileError> {
+        match e {
+            Expr::Lit(_) => Ok(()),
+            Expr::Var(name) => self.check_scalar(name, line),
+            Expr::Index(name, idx) => {
+                self.expr(idx, line, true)?;
+                self.check_array(name, line)
+            }
+            Expr::Un(_, a) => self.expr(a, line, true),
+            Expr::Bin(_, a, b) => {
+                self.expr(a, line, true)?;
+                self.expr(b, line, true)
+            }
+            Expr::Call(name, args) => {
+                let Some(&(arity, returns)) = self.funcs.get(name) else {
+                    return Err(CompileError::new(line, format!("undeclared function `{name}`")));
+                };
+                if args.len() != arity {
+                    return Err(CompileError::new(
+                        line,
+                        format!("`{name}` expects {arity} arguments, got {}", args.len()),
+                    ));
+                }
+                if as_value && !returns {
+                    return Err(CompileError::new(
+                        line,
+                        format!("void function `{name}` used as a value"),
+                    ));
+                }
+                for a in args {
+                    self.expr(a, line, true)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<Unit, CompileError> {
+        check(parse(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn accepts_valid_unit() {
+        assert!(check_src("int g = 1;\nint f(int a) { return a + g; }\nvoid main() { print(f(2)); }").is_ok());
+    }
+
+    #[test]
+    fn rejects_undeclared_and_arity() {
+        assert!(check_src("void main() { print(x); }").unwrap_err().message().contains("undeclared"));
+        assert!(check_src("int f(int a) { return a; }\nvoid main() { print(f(1, 2)); }")
+            .unwrap_err()
+            .message()
+            .contains("arguments"));
+    }
+
+    #[test]
+    fn rejects_array_scalar_confusion() {
+        assert!(check_src("int a[4];\nvoid main() { print(a); }").unwrap_err().message().contains("array"));
+        assert!(check_src("int g = 0;\nvoid main() { print(g[0]); }")
+            .unwrap_err()
+            .message()
+            .contains("not an array"));
+    }
+
+    #[test]
+    fn rejects_break_outside_loop_and_bad_main() {
+        assert!(check_src("void main() { break; }").is_err());
+        assert!(check_src("int main() { return 0; }").is_err());
+        assert!(check_src("int f() { return 1; }").unwrap_err().message().contains("main"));
+    }
+
+    #[test]
+    fn rejects_void_in_value_position() {
+        let e = check_src("void f() { return; }\nvoid main() { print(f()); }").unwrap_err();
+        assert!(e.message().contains("used as a value"));
+        // …but a bare call statement is fine.
+        assert!(check_src("void f() { return; }\nvoid main() { f(); }").is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(check_src("int g = 0;\nint g = 1;\nvoid main() { }").is_err());
+        assert!(check_src("void main() { int x = 1; int x = 2; }").is_err());
+        assert!(check_src("int f(int a, int a) { return 0; }\nvoid main() { }").is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! End-to-end compiler tests: compile mini-C, run on the simulator, check
+//! the observable outputs against expectations.
+
+use bec_lang::compile;
+use bec_sim::Simulator;
+
+fn run(src: &str) -> Vec<u64> {
+    let p = compile(src).expect("compiles");
+    let sim = Simulator::new(&p);
+    let g = sim.run_golden();
+    assert_eq!(
+        g.result.outcome,
+        bec_sim::ExecOutcome::Completed,
+        "program must complete; outputs so far: {:?}",
+        g.outputs()
+    );
+    g.outputs().to_vec()
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(run("void main() { print(1 + 2 * 3); }"), vec![7]);
+    assert_eq!(run("void main() { print((1 + 2) * 3); }"), vec![9]);
+    assert_eq!(run("void main() { print(10 - 3 - 2); }"), vec![5]);
+    assert_eq!(run("void main() { print(7 / 2); print(7 % 2); }"), vec![3, 1]);
+    assert_eq!(run("void main() { print(1 << 4 | 3); }"), vec![19]);
+    assert_eq!(run("void main() { print(0xff & 0x0f0 >> 4); }"), vec![0xf]);
+}
+
+#[test]
+fn unsigned_semantics_and_wrapping() {
+    assert_eq!(run("void main() { print(0 - 1); }"), vec![0xffff_ffff]);
+    assert_eq!(run("void main() { print(0xffffffff + 1); }"), vec![0]);
+    // Unsigned comparison: 0xffffffff is large, not -1.
+    assert_eq!(run("void main() { print(0xffffffff < 1); }"), vec![0]);
+    // Signed builtins.
+    assert_eq!(run("void main() { print(slt(0 - 1, 1)); }"), vec![1]);
+    assert_eq!(run("void main() { print(sra(0 - 8, 2)); }"), vec![0xffff_fffe]);
+    assert_eq!(run("void main() { print(0xffffffff >> 28); }"), vec![0xf]);
+}
+
+#[test]
+fn comparisons_and_logic() {
+    assert_eq!(run("void main() { print(3 < 5); print(5 < 3); }"), vec![1, 0]);
+    assert_eq!(run("void main() { print(3 <= 3); print(4 <= 3); }"), vec![1, 0]);
+    assert_eq!(run("void main() { print(5 > 3); print(3 >= 4); }"), vec![1, 0]);
+    assert_eq!(run("void main() { print(3 == 3); print(3 != 3); }"), vec![1, 0]);
+    assert_eq!(run("void main() { print(2 && 3); print(0 && 3); }"), vec![1, 0]);
+    assert_eq!(run("void main() { print(0 || 0); print(4 || 0); }"), vec![0, 1]);
+    assert_eq!(run("void main() { print(!5); print(!0); print(~0); }"), vec![0, 1, 0xffff_ffff]);
+}
+
+#[test]
+fn locals_loops_and_control_flow() {
+    assert_eq!(
+        run(r#"
+void main() {
+    int sum = 0;
+    int i = 0;
+    for (i = 1; i <= 10; i = i + 1) { sum = sum + i; }
+    print(sum);
+}
+"#),
+        vec![55]
+    );
+    assert_eq!(
+        run(r#"
+void main() {
+    int n = 0;
+    while (1) {
+        n = n + 1;
+        if (n == 5) { break; }
+    }
+    print(n);
+}
+"#),
+        vec![5]
+    );
+    assert_eq!(
+        run(r#"
+void main() {
+    int odd_sum = 0;
+    int i = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        if (i % 2 == 0) { continue; }
+        odd_sum = odd_sum + i;
+    }
+    print(odd_sum);
+}
+"#),
+        vec![25]
+    );
+}
+
+#[test]
+fn globals_and_arrays() {
+    assert_eq!(
+        run(r#"
+int table[5] = { 10, 20, 30, 40, 50 };
+int total = 0;
+void main() {
+    int i = 0;
+    for (i = 0; i < 5; i = i + 1) { total = total + table[i]; }
+    print(total);
+    table[2] = 99;
+    print(table[2] + table[0]);
+}
+"#),
+        vec![150, 109]
+    );
+}
+
+#[test]
+fn functions_and_recursion() {
+    assert_eq!(
+        run(r#"
+int add3(int a, int b, int c) { return a + b + c; }
+void main() { print(add3(1, 2, 3)); }
+"#),
+        vec![6]
+    );
+    assert_eq!(
+        run(r#"
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+void main() { print(fib(10)); }
+"#),
+        vec![55]
+    );
+    // Temporaries live across a call must survive (scratch spilling).
+    assert_eq!(
+        run(r#"
+int id(int x) { return x; }
+void main() { print(100 + id(20) + id(3)); }
+"#),
+        vec![123]
+    );
+}
+
+#[test]
+fn register_pressure_spills_to_stack() {
+    // More than 12 hot locals forces stack slots; results must not change.
+    assert_eq!(
+        run(r#"
+void main() {
+    int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+    int f = 6; int g = 7; int h = 8; int i = 9; int j = 10;
+    int k = 11; int l = 12; int m = 13; int n = 14; int o = 15;
+    int total = a + b + c + d + e + f + g + h + i + j + k + l + m + n + o;
+    print(total);
+}
+"#),
+        vec![120]
+    );
+}
+
+#[test]
+fn global_scalar_communication_between_functions() {
+    assert_eq!(
+        run(r#"
+int counter = 0;
+void tick() { counter = counter + 1; }
+void main() {
+    tick(); tick(); tick();
+    print(counter);
+}
+"#),
+        vec![3]
+    );
+}
+
+#[test]
+fn nested_calls_and_expression_depth() {
+    assert_eq!(
+        run(r#"
+int sq(int x) { return x * x; }
+void main() { print(sq(sq(2)) + sq(3)); }
+"#),
+        vec![25]
+    );
+}
+
+#[test]
+fn compile_errors_are_reported() {
+    assert!(compile("void main() { print(undefined_var); }").is_err());
+    assert!(compile("void main() { ").is_err());
+    assert!(compile("int x = ;").is_err());
+}
+
+#[test]
+fn compiled_programs_verify_and_reparse() {
+    let p = compile("int f(int a) { return a * 2; }\nvoid main() { print(f(21)); }").unwrap();
+    bec_ir::verify_program(&p).unwrap();
+    let text = bec_ir::print_program(&p);
+    let p2 = bec_ir::parse_program(&text).unwrap();
+    assert_eq!(p, p2);
+}

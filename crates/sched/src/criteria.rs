@@ -1,0 +1,156 @@
+//! Scheduling criteria (Algorithm 4's selection step).
+
+use bec_core::{BecAnalysis, FunctionAnalysis};
+use bec_ir::{PointId, PointLayout, Program, Reg};
+
+/// The instruction-selection policy of the list scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Criterion {
+    /// Keep the original order (baseline).
+    Original,
+    /// Algorithm 4: among ready instructions, pick the one that kills the
+    /// most live fault-site bits (maximizing masked surface).
+    BestReliability,
+    /// The opposite policy — the paper's "Worst reliability" row, used to
+    /// bound the improvement headroom.
+    WorstReliability,
+}
+
+/// Static per-instruction reliability scores derived from the BEC analysis
+/// of the *original* program: how many live (non-masked) fault-site bits
+/// the instruction kills, and how many it creates.
+///
+/// Killing: an operand dies at its last read (or is overwritten in place).
+/// Creating: the written register opens a new fault-site window whose
+/// non-masked bits become vulnerable.
+#[derive(Clone, Debug)]
+pub struct ReliabilityScores {
+    /// `(killed_bits, created_bits)` per program point.
+    per_point: Vec<(u64, u64)>,
+}
+
+impl ReliabilityScores {
+    /// Computes scores for one function from its BEC analysis results.
+    pub fn compute(program: &Program, func_index: usize, bec: &BecAnalysis) -> ReliabilityScores {
+        let fa: &FunctionAnalysis = bec.function(func_index);
+        let func = &program.functions[func_index];
+        let layout = PointLayout::of(func);
+        let w = program.config.xlen;
+        let mut per_point = Vec::with_capacity(layout.len());
+        for p in layout.iter() {
+            let pi = layout.resolve(func, p);
+            let reads = pi.reads(program);
+            let writes = pi.writes(program);
+            let mut killed = 0u64;
+            let mut created = 0u64;
+            let mut seen: Vec<Reg> = Vec::new();
+            for &r in &reads {
+                if program.config.is_zero_reg(r) || seen.contains(&r) {
+                    continue;
+                }
+                seen.push(r);
+                // The operand's current value dies here if it is overwritten
+                // by this instruction or not live afterwards.
+                if writes.contains(&r) || !fa.liveness.is_live_after(p, r) {
+                    killed += live_bits_of_incoming(fa, p, r, w);
+                }
+            }
+            for &r in &writes {
+                if program.config.is_zero_reg(r) {
+                    continue;
+                }
+                if fa.liveness.is_live_after(p, r) {
+                    created += live_bits_of_site(fa, p, r, w);
+                }
+            }
+            per_point.push((killed, created));
+        }
+        ReliabilityScores { per_point }
+    }
+
+    /// `(killed_bits, created_bits)` of the instruction at `p`.
+    pub fn score(&self, p: PointId) -> (u64, u64) {
+        self.per_point[p.index()]
+    }
+
+    /// The Algorithm 4 priority: kills first, fewer created bits as the
+    /// tie-breaker. Higher is better for [`Criterion::BestReliability`].
+    pub fn priority(&self, p: PointId) -> (i64, i64) {
+        let (killed, created) = self.per_point[p.index()];
+        (killed as i64, -(created as i64))
+    }
+}
+
+/// Non-masked bits of the value of `r` as it arrives at `p` (the fault
+/// surface an operand's death removes). Approximated by the reaching
+/// definitions' site classes.
+fn live_bits_of_incoming(fa: &FunctionAnalysis, p: PointId, r: Reg, w: u32) -> u64 {
+    let defs = fa.defuse.defs(p, r);
+    if defs.is_empty() {
+        return w as u64;
+    }
+    let s0 = fa.coalescing.s0_class();
+    let mut bits = 0;
+    for i in 0..w {
+        if defs.iter().any(|&d| fa.coalescing.class_of(d, r, i) != Some(s0)) {
+            bits += 1;
+        }
+    }
+    bits
+}
+
+/// Non-masked bits of the fault-site window opened by writing `r` at `p`.
+fn live_bits_of_site(fa: &FunctionAnalysis, p: PointId, r: Reg, w: u32) -> u64 {
+    let s0 = fa.coalescing.s0_class();
+    (0..w)
+        .filter(|&i| fa.coalescing.class_of(p, r, i) != Some(s0))
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bec_core::BecOptions;
+    use bec_ir::parse_program;
+
+    #[test]
+    fn seqz_scores_as_a_strong_killer() {
+        // In the motivating example, seqz kills 4 live bits and creates a
+        // value with 3 masked bits → (4, 1).
+        let p = parse_program(
+            r#"
+machine xlen=4 regs=4 zero=none
+func @main(args=0, ret=none) {
+entry:
+    li r0, 0
+    li r1, 7
+    j loop
+loop:
+    andi r2, r1, 1
+    andi r3, r1, 3
+    addi r1, r1, -1
+    seqz r2, r2
+    snez r3, r3
+    and  r2, r2, r3
+    add  r0, r0, r2
+    bnez r1, loop
+exit:
+    ret r0
+}
+"#,
+        )
+        .unwrap();
+        let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+        let scores = ReliabilityScores::compute(&p, 0, &bec);
+        // Points: 0,1 li; 2 j; 3 andi v2; 4 andi v3; 5 addi; 6 seqz; 7 snez;
+        // 8 and; 9 add; 10 bnez; 11 ret.
+        assert_eq!(scores.score(PointId(6)), (4, 1), "seqz kills 4, creates 1");
+        assert_eq!(scores.score(PointId(7)), (4, 1), "snez kills 4, creates 1");
+        assert_eq!(scores.score(PointId(0)), (0, 4), "li creates a live value");
+        assert_eq!(scores.score(PointId(5)), (4, 4), "addi rewrites in place");
+        // and kills the 1 live bit of each squashed flag, creates 4.
+        assert_eq!(scores.score(PointId(8)), (2, 4));
+        // add kills old v0 (4) and v2 (4), creates 4.
+        assert_eq!(scores.score(PointId(9)), (8, 4));
+    }
+}

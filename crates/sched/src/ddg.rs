@@ -1,0 +1,222 @@
+//! Per-basic-block data-dependency graphs.
+//!
+//! Edges order instructions that must not be reordered:
+//!
+//! * register RAW, WAR and WAW hazards;
+//! * memory: stores are ordered among themselves and against loads;
+//! * calls and prints are full barriers (they have externally visible
+//!   effects whose order is part of the program's semantics).
+//!
+//! The block terminator is not a node; it always schedules last, which
+//! preserves all of its register reads (every producer is some node that
+//! schedules before the end of the block).
+
+use bec_ir::{Inst, Program, Reg};
+use std::collections::HashMap;
+
+/// Dependency DAG over the instructions of one basic block.
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    n: usize,
+    /// `succs[i]` — nodes that must come after node `i`.
+    succs: Vec<Vec<usize>>,
+    /// `pred_count[i]` — number of distinct predecessors of `i`.
+    pred_count: Vec<usize>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MemKind {
+    None,
+    Load,
+    Store,
+    Barrier,
+}
+
+fn mem_kind(inst: &Inst, program: &Program) -> MemKind {
+    match inst {
+        Inst::Load { .. } => MemKind::Load,
+        Inst::Store { .. } => MemKind::Store,
+        Inst::Call { .. } | Inst::Print { .. } => MemKind::Barrier,
+        _ => {
+            let _ = program;
+            MemKind::None
+        }
+    }
+}
+
+impl DepGraph {
+    /// Builds the DAG for `insts` (one block's straight-line body).
+    ///
+    /// `reads`/`writes` must be resolved through the program for call ABI
+    /// effects, hence the `program` parameter.
+    pub fn build(program: &Program, insts: &[Inst]) -> DepGraph {
+        let n = insts.len();
+        let mut g = DepGraph { n, succs: vec![Vec::new(); n], pred_count: vec![0; n] };
+        let mut edge_set: Vec<HashMap<usize, ()>> = vec![HashMap::new(); n];
+        let mut add_edge = |g: &mut DepGraph, from: usize, to: usize| {
+            if from != to && edge_set[from].insert(to, ()).is_none() {
+                g.succs[from].push(to);
+                g.pred_count[to] += 1;
+            }
+        };
+
+        let effects = |i: &Inst| -> (Vec<Reg>, Vec<Reg>) {
+            match i {
+                Inst::Call { callee } => {
+                    let fx = program.call_effects(callee);
+                    (fx.reads, fx.writes)
+                }
+                _ => (i.reads(), i.writes()),
+            }
+        };
+
+        // Register hazards: scan backward over earlier instructions.
+        for (j, ij) in insts.iter().enumerate() {
+            let (reads_j, writes_j) = effects(ij);
+            for (i, ii) in insts.iter().enumerate().take(j) {
+                let (reads_i, writes_i) = effects(ii);
+                let raw = writes_i.iter().any(|r| reads_j.contains(r));
+                let war = reads_i.iter().any(|r| writes_j.contains(r));
+                let waw = writes_i.iter().any(|r| writes_j.contains(r));
+                if raw || war || waw {
+                    add_edge(&mut g, i, j);
+                }
+            }
+        }
+
+        // Memory and side-effect ordering.
+        for j in 0..n {
+            let kj = mem_kind(&insts[j], program);
+            if kj == MemKind::None {
+                continue;
+            }
+            for i in 0..j {
+                let ki = mem_kind(&insts[i], program);
+                let ordered = match (ki, kj) {
+                    (MemKind::None, _) | (_, MemKind::None) => false,
+                    (MemKind::Load, MemKind::Load) => false, // loads commute
+                    _ => true,
+                };
+                if ordered {
+                    add_edge(&mut g, i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of nodes (instructions).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Successors of node `i`.
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Number of predecessors of node `i`.
+    pub fn pred_count(&self, i: usize) -> usize {
+        self.pred_count[i]
+    }
+
+    /// Checks that `order` is a permutation of `0..n` respecting every edge.
+    pub fn is_valid_order(&self, order: &[usize]) -> bool {
+        if order.len() != self.n {
+            return false;
+        }
+        let mut pos = vec![usize::MAX; self.n];
+        for (k, &i) in order.iter().enumerate() {
+            if i >= self.n || pos[i] != usize::MAX {
+                return false;
+            }
+            pos[i] = k;
+        }
+        (0..self.n).all(|i| self.succs[i].iter().all(|&j| pos[i] < pos[j]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bec_ir::{parse_program, MachineConfig};
+
+    fn insts(src: &str) -> (Program, Vec<Inst>) {
+        let full = format!("func @main(args=0, ret=none) {{\nentry:\n{src}\n    exit\n}}\n");
+        let p = parse_program(&full).unwrap();
+        let i = p.entry_function().blocks[0].insts.clone();
+        (p, i)
+    }
+
+    #[test]
+    fn raw_war_waw_edges() {
+        let (p, i) = insts("    li t0, 1\n    addi t1, t0, 2\n    li t0, 3");
+        let g = DepGraph::build(&p, &i);
+        // li t0 → addi (RAW); addi → li t0 #2 (WAR); li#1 → li#2 (WAW).
+        assert!(g.successors(0).contains(&1));
+        assert!(g.successors(1).contains(&2));
+        assert!(g.successors(0).contains(&2));
+        assert!(g.is_valid_order(&[0, 1, 2]));
+        assert!(!g.is_valid_order(&[1, 0, 2]));
+        assert!(!g.is_valid_order(&[0, 2, 1]));
+    }
+
+    #[test]
+    fn independent_instructions_commute() {
+        let (p, i) = insts("    li t0, 1\n    li t1, 2");
+        let g = DepGraph::build(&p, &i);
+        assert!(g.is_valid_order(&[1, 0]));
+    }
+
+    #[test]
+    fn loads_commute_but_stores_do_not() {
+        let (p, i) = insts(
+            "    lw t0, 0(sp)\n    lw t1, 4(sp)\n    sw t0, 8(sp)\n    lw t2, 8(sp)",
+        );
+        let g = DepGraph::build(&p, &i);
+        // The two loads are unordered.
+        assert!(g.is_valid_order(&[1, 0, 2, 3]));
+        // The store must stay between its producer load and the last load.
+        assert!(!g.is_valid_order(&[0, 1, 3, 2]));
+        assert!(!g.is_valid_order(&[2, 0, 1, 3]));
+    }
+
+    #[test]
+    fn prints_are_barriers_in_order() {
+        let (p, i) = insts("    li a0, 1\n    print a0\n    li a1, 2\n    print a1");
+        let g = DepGraph::build(&p, &i);
+        assert!(!g.is_valid_order(&[2, 3, 0, 1]));
+        assert!(g.is_valid_order(&[0, 2, 1, 3]));
+    }
+
+    #[test]
+    fn calls_clobber_caller_saved() {
+        let src = r#"
+func @f(args=0, ret=a0) {
+entry:
+    li a0, 1
+    ret a0
+}
+func @main(args=0, ret=none) {
+entry:
+    li t0, 5
+    call @f
+    addi t0, t0, 1
+    exit
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let _ = MachineConfig::rv32();
+        let i = p.function("main").unwrap().blocks[0].insts.clone();
+        let g = DepGraph::build(&p, &i);
+        // t0 is caller-saved: the call clobbers it, so addi must follow the
+        // call (RAW on the clobber) and li must precede it (WAW).
+        assert!(!g.is_valid_order(&[0, 2, 1]));
+        assert!(!g.is_valid_order(&[1, 0, 2]));
+    }
+}

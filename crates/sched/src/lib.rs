@@ -1,0 +1,35 @@
+//! Vulnerability-aware instruction scheduling (the paper's use case 2,
+//! §VI-B, Algorithm 4).
+//!
+//! A per-basic-block list scheduler over a data-dependency DAG, with a
+//! pluggable selection criterion. The BEC-driven criteria prioritize
+//! instructions by how many live fault-site bits they kill (Best) or keep
+//! alive (Worst); re-running the BEC analysis and the fault-surface metric
+//! on the scheduled program quantifies the reliability change (Table IV).
+//!
+//! ```
+//! use bec_sched::{schedule_program, Criterion};
+//! use bec_ir::parse_program;
+//!
+//! let p = parse_program(r#"
+//! func @main(args=0, ret=none) {
+//! entry:
+//!     li t0, 1
+//!     li t1, 2
+//!     add a0, t0, t1
+//!     print a0
+//!     exit
+//! }
+//! "#)?;
+//! let best = schedule_program(&p, Criterion::BestReliability);
+//! assert_eq!(best.entry_function().blocks[0].insts.len(), 4);
+//! # Ok::<(), bec_ir::IrError>(())
+//! ```
+
+pub mod criteria;
+pub mod ddg;
+pub mod list;
+
+pub use criteria::Criterion;
+pub use ddg::DepGraph;
+pub use list::{schedule_function, schedule_program};

@@ -1,0 +1,176 @@
+//! The list scheduler (Algorithm 4).
+
+use crate::criteria::{Criterion, ReliabilityScores};
+use crate::ddg::DepGraph;
+use bec_core::{BecAnalysis, BecOptions};
+use bec_ir::{Function, PointLayout, Program};
+
+/// Schedules every block of every function of `program` under `criterion`,
+/// returning the rescheduled program.
+///
+/// The BEC analysis of the original program drives the reliability
+/// criteria; the caller is expected to re-analyze the result to measure the
+/// fault surface (that is what the Table IV harness does).
+pub fn schedule_program(program: &Program, criterion: Criterion) -> Program {
+    let bec = (criterion != Criterion::Original)
+        .then(|| BecAnalysis::analyze(program, &BecOptions::paper()));
+    let mut out = program.clone();
+    for fi in 0..program.functions.len() {
+        let scores = bec.as_ref().map(|b| ReliabilityScores::compute(program, fi, b));
+        schedule_function_inner(program, &mut out.functions[fi], fi, criterion, scores.as_ref());
+    }
+    out
+}
+
+/// Schedules a single function in place (blocks keep their order; only the
+/// straight-line bodies are permuted).
+pub fn schedule_function(
+    program: &Program,
+    func_index: usize,
+    criterion: Criterion,
+) -> Function {
+    let bec = (criterion != Criterion::Original)
+        .then(|| BecAnalysis::analyze(program, &BecOptions::paper()));
+    let scores = bec.as_ref().map(|b| ReliabilityScores::compute(program, func_index, b));
+    let mut f = program.functions[func_index].clone();
+    schedule_function_inner(program, &mut f, func_index, criterion, scores.as_ref());
+    f
+}
+
+fn schedule_function_inner(
+    program: &Program,
+    func: &mut Function,
+    func_index: usize,
+    criterion: Criterion,
+    scores: Option<&ReliabilityScores>,
+) {
+    let _ = func_index;
+    let layout = PointLayout::of(func);
+    for (bi, block) in func.blocks.iter_mut().enumerate() {
+        if block.insts.len() < 2 {
+            continue;
+        }
+        let g = DepGraph::build(program, &block.insts);
+        let priorities: Vec<(i64, i64)> = (0..block.insts.len())
+            .map(|off| {
+                let p = layout.point(bec_ir::BlockId(bi as u32), off);
+                match (criterion, scores) {
+                    (Criterion::Original, _) | (_, None) => (0, 0),
+                    (Criterion::BestReliability, Some(s)) => s.priority(p),
+                    (Criterion::WorstReliability, Some(s)) => {
+                        let (a, b) = s.priority(p);
+                        (-a, -b)
+                    }
+                }
+            })
+            .collect();
+        let order = list_schedule(&g, &priorities);
+        debug_assert!(g.is_valid_order(&order));
+        block.insts = order.iter().map(|&i| block.insts[i].clone()).collect();
+    }
+}
+
+/// Core list scheduling: repeatedly pick the ready node with the highest
+/// priority, breaking ties by original position (stable).
+fn list_schedule(g: &DepGraph, priorities: &[(i64, i64)]) -> Vec<usize> {
+    let n = g.len();
+    let mut remaining_preds: Vec<usize> = (0..n).map(|i| g.pred_count(i)).collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(pos) = ready
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &i)| (priorities[i], std::cmp::Reverse(i)))
+        .map(|(pos, _)| pos)
+    {
+        let node = ready.swap_remove(pos);
+        order.push(node);
+        for &s in g.successors(node) {
+            remaining_preds[s] -= 1;
+            if remaining_preds[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "dependency graph must be acyclic");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bec_ir::parse_program;
+
+    fn motivating() -> Program {
+        parse_program(
+            r#"
+machine xlen=4 regs=4 zero=none
+func @main(args=0, ret=none) {
+entry:
+    li r0, 0
+    li r1, 7
+    j loop
+loop:
+    andi r2, r1, 1
+    andi r3, r1, 3
+    addi r1, r1, -1
+    seqz r2, r2
+    snez r3, r3
+    and  r2, r2, r3
+    add  r0, r0, r2
+    bnez r1, loop
+exit:
+    ret r0
+}
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn original_criterion_is_identity() {
+        let p = motivating();
+        let s = schedule_program(&p, Criterion::Original);
+        assert_eq!(p, s);
+    }
+
+    #[test]
+    fn scheduling_permutes_within_blocks() {
+        let p = motivating();
+        let s = schedule_program(&p, Criterion::BestReliability);
+        let orig = &p.entry_function().blocks[1].insts;
+        let new = &s.entry_function().blocks[1].insts;
+        assert_eq!(orig.len(), new.len());
+        let mut a = orig.clone();
+        let mut b = new.clone();
+        let key = |i: &bec_ir::Inst| format!("{i}");
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b, "same multiset of instructions");
+    }
+
+    #[test]
+    fn best_schedule_hoists_the_squashing_seqz() {
+        let p = motivating();
+        let s = schedule_program(&p, Criterion::BestReliability);
+        let body = &s.entry_function().blocks[1].insts;
+        use bec_ir::{AluOp, Inst, Reg};
+        let r2 = Reg::phys(2);
+        // seqz must directly follow its producing andi (it kills 4 bits and
+        // leaves only 1 live), mirroring Fig. 2c.
+        let andi1 = body
+            .iter()
+            .position(|i| matches!(i, Inst::AluImm { op: AluOp::And, rd, imm: 1, .. } if *rd == r2))
+            .unwrap();
+        let seqz = body.iter().position(|i| matches!(i, Inst::Seqz { .. })).unwrap();
+        assert_eq!(seqz, andi1 + 1, "schedule: {body:?}");
+    }
+
+    #[test]
+    fn worst_schedule_delays_the_squash() {
+        let p = motivating();
+        let best = schedule_program(&p, Criterion::BestReliability);
+        let worst = schedule_program(&p, Criterion::WorstReliability);
+        assert_ne!(best.entry_function().blocks[1], worst.entry_function().blocks[1]);
+    }
+}

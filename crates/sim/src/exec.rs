@@ -1,0 +1,250 @@
+//! The instruction interpreter.
+
+use crate::machine::{FaultSpec, Machine};
+use crate::trace::TraceHash;
+use bec_core::ExecProfile;
+use bec_ir::semantics::{eval_alu, eval_cond};
+use bec_ir::{BlockId, Inst, PointId, PointLayout, Program, Reg, Terminator};
+
+/// Why a run trapped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CrashKind {
+    /// Memory access outside the address space.
+    MemOutOfBounds,
+    /// Misaligned memory access.
+    Misaligned,
+    /// `ret` with a corrupted return address.
+    WildReturn,
+    /// Call stack exceeded its depth limit.
+    StackOverflow,
+}
+
+/// Terminal state of a simulated run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecOutcome {
+    /// The program reached `exit` (or returned from the entry function).
+    Completed,
+    /// The machine trapped.
+    Crashed(CrashKind),
+    /// The cycle budget was exhausted.
+    Timeout,
+}
+
+struct Frame {
+    func: usize,
+    block: BlockId,
+    offset: usize,
+    ra_token: u64,
+}
+
+/// Everything a single run produces.
+pub(crate) struct RawRun {
+    pub outcome: ExecOutcome,
+    pub outputs: Vec<u64>,
+    pub cycles: u64,
+    pub hash: TraceHash,
+    pub profile: Option<ExecProfile>,
+    pub cycle_map: Option<Vec<(u32, PointId, u32)>>,
+}
+
+/// Runs `program` from its entry function.
+///
+/// `fault` optionally injects one bit flip before the instruction at the
+/// given cycle. `record` enables the golden-run instrumentation (execution
+/// profile and cycle→point map).
+pub(crate) fn run(
+    program: &Program,
+    layouts: &[PointLayout],
+    max_cycles: u64,
+    fault: Option<FaultSpec>,
+    record: bool,
+) -> RawRun {
+    let entry_idx = program.function_index(&program.entry).expect("entry exists");
+    let mut machine = Machine::new(program);
+    let mut hash = TraceHash::new();
+    let mut outputs = Vec::new();
+    let mut profile = record.then(ExecProfile::new);
+    let mut cycle_map = record.then(Vec::new);
+    let mut cycle = 0u64;
+    let mut steps = 0u64; // includes zero-cost jumps, to bound jump-only loops
+    let mut stack: Vec<Frame> = Vec::new();
+
+    let mut func = entry_idx;
+    let mut block = program.functions[func].entry();
+    let mut offset = 0usize;
+
+    let outcome = 'run: loop {
+        steps += 1;
+        if cycle >= max_cycles || steps >= max_cycles.saturating_mul(2) + 1024 {
+            break ExecOutcome::Timeout;
+        }
+        let f = &program.functions[func];
+        let layout = &layouts[func];
+        let point = layout.point(block, offset);
+        let is_inst = offset < f.block(block).insts.len();
+
+        // Zero-cost fallthrough: unconditional jumps take no cycle and leave
+        // no trace event (block layout is not modeled; DESIGN.md §2).
+        if !is_inst {
+            if let Terminator::Jump { target } = f.block(block).term {
+                block = target;
+                offset = 0;
+                continue;
+            }
+        }
+
+        // Fault injection happens on the cycle boundary, before execution.
+        if let Some(fs) = fault {
+            if fs.cycle == cycle {
+                machine.flip(fs.reg, fs.bit);
+            }
+        }
+
+        // Trace: the executed point.
+        hash.update((func as u64) << 32 | point.0 as u64);
+        if let Some(p) = profile.as_mut() {
+            p.add(func, point, 1);
+        }
+        if let Some(m) = cycle_map.as_mut() {
+            m.push((func as u32, point, stack.len() as u32));
+        }
+        cycle += 1;
+
+        if is_inst {
+            let inst = &f.block(block).insts[offset];
+            match step_inst(program, &mut machine, inst, &mut hash, &mut outputs) {
+                StepResult::Next => offset += 1,
+                StepResult::Call(callee_idx) => {
+                    if stack.len() >= 512 {
+                        break ExecOutcome::Crashed(CrashKind::StackOverflow);
+                    }
+                    // Synthetic return-address token, checked on return.
+                    let token = machine
+                        .config()
+                        .truncate(0x4000_0000 ^ (stack.len() as u64) << 16 ^ point.0 as u64);
+                    machine.write(Reg::RA, token);
+                    stack.push(Frame { func, block, offset: offset + 1, ra_token: token });
+                    func = callee_idx;
+                    block = program.functions[func].entry();
+                    offset = 0;
+                }
+                StepResult::Trap(kind) => break ExecOutcome::Crashed(kind),
+            }
+        } else {
+            match &f.block(block).term {
+                Terminator::Jump { .. } => unreachable!("handled above"),
+                Terminator::Branch { cond, rs1, rs2, taken, fallthrough } => {
+                    let a = machine.read(*rs1);
+                    let b = rs2.map(|r| machine.read(r)).unwrap_or(0);
+                    let t = eval_cond(machine.config(), *cond, a, b);
+                    block = if t { *taken } else { *fallthrough };
+                    offset = 0;
+                }
+                Terminator::Exit => break ExecOutcome::Completed,
+                Terminator::Ret { reads } => match stack.pop() {
+                    None => {
+                        // The entry function's return values are the
+                        // program's observable outcome.
+                        for r in reads {
+                            let v = machine.read(*r);
+                            hash.update(0x40);
+                            hash.update(v);
+                            outputs.push(v);
+                        }
+                        break ExecOutcome::Completed;
+                    }
+                    Some(frame) => {
+                        let have_ra = machine.config().num_regs == 32;
+                        if have_ra && machine.read(Reg::RA) != frame.ra_token {
+                            break 'run ExecOutcome::Crashed(CrashKind::WildReturn);
+                        }
+                        func = frame.func;
+                        block = frame.block;
+                        offset = frame.offset;
+                    }
+                },
+            }
+        }
+    };
+
+    RawRun { outcome, outputs, cycles: cycle, hash, profile, cycle_map }
+}
+
+enum StepResult {
+    Next,
+    Call(usize),
+    Trap(CrashKind),
+}
+
+fn step_inst(
+    program: &Program,
+    m: &mut Machine,
+    inst: &Inst,
+    hash: &mut TraceHash,
+    outputs: &mut Vec<u64>,
+) -> StepResult {
+    let c = *m.config();
+    match inst {
+        Inst::Li { rd, imm } => m.write(*rd, *imm as u64),
+        Inst::La { rd, global } => {
+            let addr = program.global_address(global).expect("verified global");
+            m.write(*rd, addr);
+        }
+        Inst::Mv { rd, rs } => m.write(*rd, m.read(*rs)),
+        Inst::Neg { rd, rs } => m.write(*rd, 0u64.wrapping_sub(m.read(*rs))),
+        Inst::Seqz { rd, rs } => m.write(*rd, u64::from(m.read(*rs) == 0)),
+        Inst::Snez { rd, rs } => m.write(*rd, u64::from(m.read(*rs) != 0)),
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            m.write(*rd, eval_alu(&c, *op, m.read(*rs1), m.read(*rs2)));
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            m.write(*rd, eval_alu(&c, *op, m.read(*rs1), *imm as u64));
+        }
+        Inst::Load { rd, base, offset, width, signed } => {
+            let addr = c.truncate(m.read(*base).wrapping_add(*offset as u64));
+            let size = width.bytes();
+            if addr % size != 0 {
+                return StepResult::Trap(CrashKind::Misaligned);
+            }
+            let Some(raw) = m.memory.load(addr, size) else {
+                return StepResult::Trap(CrashKind::MemOutOfBounds);
+            };
+            let v = if *signed {
+                // Sign-extend from the access width.
+                let bits = size * 8;
+                let sign = 1u64 << (bits - 1);
+                if raw & sign != 0 { raw | !((1u64 << bits) - 1) } else { raw }
+            } else {
+                raw
+            };
+            hash.update(0x10 ^ addr.rotate_left(8));
+            hash.update(raw);
+            m.write(*rd, v);
+        }
+        Inst::Store { rs, base, offset, width } => {
+            let addr = c.truncate(m.read(*base).wrapping_add(*offset as u64));
+            let size = width.bytes();
+            if addr % size != 0 {
+                return StepResult::Trap(CrashKind::Misaligned);
+            }
+            let value = m.read(*rs) & if size >= 8 { u64::MAX } else { (1 << (size * 8)) - 1 };
+            if !m.memory.store(addr, size, value) {
+                return StepResult::Trap(CrashKind::MemOutOfBounds);
+            }
+            hash.update(0x20 ^ addr.rotate_left(8));
+            hash.update(value);
+        }
+        Inst::Call { callee } => {
+            let idx = program.function_index(callee).expect("verified callee");
+            return StepResult::Call(idx);
+        }
+        Inst::Print { rs } => {
+            let v = m.read(*rs);
+            hash.update(0x30);
+            hash.update(v);
+            outputs.push(v);
+        }
+        Inst::Nop => {}
+    }
+    StepResult::Next
+}

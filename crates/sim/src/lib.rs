@@ -1,0 +1,49 @@
+//! ISA-level simulator with single-bit fault injection — the reproduction's
+//! stand-in for the paper's instrumented SPIKE RISC-V simulator (§V).
+//!
+//! The simulator executes [`bec_ir::Program`]s cycle by cycle, records an
+//! execution trace (executed instructions, register/memory side effects,
+//! observable outputs), and can flip one register bit at a chosen cycle —
+//! the paper's single-event-upset model. On top of it sit:
+//!
+//! * [`campaign`] — exhaustive, inject-on-read (value-level) and BEC
+//!   (bit-level) fault-injection campaigns, parallelized across worker
+//!   threads;
+//! * [`validate`] — the empirical soundness validation of §V / Table II:
+//!   fault sites in one equivalence class must produce identical traces.
+//!
+//! ```
+//! use bec_sim::{Simulator, FaultSpec};
+//! use bec_ir::{parse_program, Reg};
+//!
+//! let p = parse_program(r#"
+//! func @main(args=0, ret=none) {
+//! entry:
+//!     li t0, 40
+//!     addi t0, t0, 2
+//!     print t0
+//!     exit
+//! }
+//! "#)?;
+//! let sim = Simulator::new(&p);
+//! let golden = sim.run_golden();
+//! assert_eq!(golden.outputs(), &[42]);
+//! // Flip bit 0 of t0 right after the li: the print observes 43.
+//! let run = sim.run_with_fault(FaultSpec { cycle: 1, reg: Reg::T0, bit: 0 });
+//! assert_eq!(run.outputs(), &[43]);
+//! # Ok::<(), bec_ir::IrError>(())
+//! ```
+
+pub mod campaign;
+pub mod exec;
+pub mod machine;
+pub mod runner;
+pub mod trace;
+pub mod validate;
+
+pub use campaign::{CampaignKind, CampaignReport};
+pub use exec::{CrashKind, ExecOutcome};
+pub use machine::{FaultSpec, Machine, Memory};
+pub use runner::{GoldenRun, RunResult, SimLimits, Simulator};
+pub use trace::{FaultClass, TraceHash};
+pub use validate::{validate_program, ValidationReport};

@@ -1,0 +1,390 @@
+//! The public simulator API: golden runs and fault-injection runs.
+
+use crate::exec::{run, ExecOutcome};
+use crate::machine::FaultSpec;
+use crate::trace::{FaultClass, TraceHash};
+use bec_core::ExecProfile;
+use bec_ir::{PointId, PointLayout, Program};
+
+/// Resource limits for a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimLimits {
+    /// Maximum executed instructions before the run is classified as a hang.
+    pub max_cycles: u64,
+}
+
+impl Default for SimLimits {
+    fn default() -> Self {
+        SimLimits { max_cycles: 2_000_000 }
+    }
+}
+
+/// The outcome of one simulated run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Terminal state.
+    pub outcome: ExecOutcome,
+    /// Values printed by the program, in order.
+    pub outputs: Vec<u64>,
+    /// Executed instruction count.
+    pub cycles: u64,
+    /// Trace hash (executed points, memory side effects, outputs).
+    pub hash: TraceHash,
+}
+
+impl RunResult {
+    /// The observable outputs.
+    pub fn outputs(&self) -> &[u64] {
+        &self.outputs
+    }
+
+    /// Classifies this (fault-injected) run against the golden run.
+    pub fn classify(&self, golden: &RunResult) -> FaultClass {
+        match self.outcome {
+            ExecOutcome::Crashed(_) => FaultClass::Crash,
+            ExecOutcome::Timeout => FaultClass::Hang,
+            ExecOutcome::Completed => {
+                if self.hash == golden.hash {
+                    FaultClass::Benign
+                } else if self.outputs == golden.outputs {
+                    FaultClass::Deviation
+                } else {
+                    FaultClass::Sdc
+                }
+            }
+        }
+    }
+}
+
+/// A golden (fault-free) run with full instrumentation.
+#[derive(Clone, Debug)]
+pub struct GoldenRun {
+    /// The run's result (outcome must be `Completed` for meaningful
+    /// campaigns; callers should check).
+    pub result: RunResult,
+    /// Execution counts per point, for the Table III/IV accountings.
+    pub profile: ExecProfile,
+    /// For each cycle, the `(function index, point, call depth)` that
+    /// executed.
+    cycle_map: Vec<(u32, PointId, u32)>,
+    /// For each cycle, the next cycle executing at the same call depth
+    /// (`cycles()` when none) — the moment the fault-site window after that
+    /// cycle's instruction opens. For ordinary instructions this is the
+    /// next cycle; for calls it is the cycle execution returns to the
+    /// caller.
+    next_same_depth: Vec<u64>,
+}
+
+impl GoldenRun {
+    /// The observable outputs.
+    pub fn outputs(&self) -> &[u64] {
+        &self.result.outputs
+    }
+
+    /// Number of executed instructions.
+    pub fn cycles(&self) -> u64 {
+        self.result.cycles
+    }
+
+    /// The `(function, point)` executed at `cycle`.
+    pub fn point_at(&self, cycle: u64) -> Option<(usize, PointId)> {
+        self.cycle_map.get(cycle as usize).map(|&(f, p, _)| (f as usize, p))
+    }
+
+    /// The call depth at `cycle`.
+    pub fn depth_at(&self, cycle: u64) -> Option<u32> {
+        self.cycle_map.get(cycle as usize).map(|&(.., d)| d)
+    }
+
+    /// The cycle at which the fault-site window opened by the instruction
+    /// at `cycle` starts: the next cycle executing at the same call depth.
+    /// Returns `cycles()` (one past the end, a no-op injection point) when
+    /// execution never returns to this depth.
+    pub fn window_open_cycle(&self, cycle: u64) -> u64 {
+        self.next_same_depth.get(cycle as usize).copied().unwrap_or_else(|| self.cycles())
+    }
+
+    /// All cycles at which `(func, point)` executed, in order.
+    pub fn occurrences(&self, func: usize, point: PointId) -> Vec<u64> {
+        self.cycle_map
+            .iter()
+            .enumerate()
+            .filter(|(_, &(f, p, _))| f as usize == func && p == point)
+            .map(|(c, _)| c as u64)
+            .collect()
+    }
+}
+
+/// The simulator: executes one program under configurable limits.
+#[derive(Clone, Debug)]
+pub struct Simulator<'p> {
+    program: &'p Program,
+    layouts: Vec<PointLayout>,
+    limits: SimLimits,
+}
+
+impl<'p> Simulator<'p> {
+    /// A simulator with default limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's entry function is missing; run
+    /// [`bec_ir::verify_program`] first.
+    pub fn new(program: &'p Program) -> Simulator<'p> {
+        Simulator::with_limits(program, SimLimits::default())
+    }
+
+    /// A simulator with explicit limits.
+    pub fn with_limits(program: &'p Program, limits: SimLimits) -> Simulator<'p> {
+        assert!(
+            program.function_index(&program.entry).is_some(),
+            "entry function `@{}` missing — verify the program first",
+            program.entry
+        );
+        let layouts = program.functions.iter().map(PointLayout::of).collect();
+        Simulator { program, layouts, limits }
+    }
+
+    /// The program under simulation.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Runs without faults, recording the execution profile and the
+    /// cycle→point map.
+    pub fn run_golden(&self) -> GoldenRun {
+        let raw = run(self.program, &self.layouts, self.limits.max_cycles, None, true);
+        let cycle_map = raw.cycle_map.expect("recording enabled");
+        // Backward pass: next cycle at the same call depth.
+        let n = cycle_map.len();
+        let mut next_same_depth = vec![n as u64; n];
+        let mut last_at_depth: Vec<u64> = Vec::new();
+        for c in (0..n).rev() {
+            let d = cycle_map[c].2 as usize;
+            if last_at_depth.len() <= d {
+                last_at_depth.resize(d + 1, n as u64);
+            }
+            next_same_depth[c] = last_at_depth[d];
+            last_at_depth[d] = c as u64;
+        }
+        GoldenRun {
+            result: RunResult {
+                outcome: raw.outcome,
+                outputs: raw.outputs,
+                cycles: raw.cycles,
+                hash: raw.hash,
+            },
+            profile: raw.profile.expect("recording enabled"),
+            cycle_map,
+            next_same_depth,
+        }
+    }
+
+    /// Runs with a single injected bit flip.
+    pub fn run_with_fault(&self, fault: FaultSpec) -> RunResult {
+        let raw = run(self.program, &self.layouts, self.limits.max_cycles, Some(fault), false);
+        RunResult { outcome: raw.outcome, outputs: raw.outputs, cycles: raw.cycles, hash: raw.hash }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bec_ir::{parse_program, Reg};
+
+    #[test]
+    fn golden_run_counts_and_outputs() {
+        let p = parse_program(
+            r#"
+func @main(args=0, ret=none) {
+entry:
+    li t0, 3
+    li t1, 0
+    j loop
+loop:
+    add t1, t1, t0
+    addi t0, t0, -1
+    bnez t0, loop
+exit:
+    print t1
+    exit
+}
+"#,
+        )
+        .unwrap();
+        let sim = Simulator::new(&p);
+        let g = sim.run_golden();
+        assert_eq!(g.result.outcome, ExecOutcome::Completed);
+        assert_eq!(g.outputs(), &[6]); // 3+2+1
+        // Cycles: 2 (li) + 3×3 (loop, jump free) + 2 (print, exit) = 13.
+        assert_eq!(g.cycles(), 13);
+        // The loop add executed 3 times.
+        let f = p.entry_function();
+        let layout = bec_ir::PointLayout::of(f);
+        let lp = f.block_by_label("loop").unwrap();
+        let add_pt = layout.block_first(lp);
+        assert_eq!(g.profile.count(0, add_pt), 3);
+        assert_eq!(g.occurrences(0, add_pt).len(), 3);
+    }
+
+    #[test]
+    fn fault_masked_when_overwritten() {
+        let p = parse_program(
+            "func @main(args=0, ret=none) {\nentry:\n    li t0, 1\n    li t0, 2\n    print t0\n    exit\n}\n",
+        )
+        .unwrap();
+        let sim = Simulator::new(&p);
+        let golden = sim.run_golden();
+        // Flip t0 after the first li (cycle 1 = before second li): masked.
+        let r = sim.run_with_fault(FaultSpec { cycle: 1, reg: Reg::T0, bit: 0 });
+        assert_eq!(r.classify(&golden.result), crate::trace::FaultClass::Benign);
+        // Flip t0 after the second li (cycle 2 = before print): SDC.
+        let r = sim.run_with_fault(FaultSpec { cycle: 2, reg: Reg::T0, bit: 0 });
+        assert_eq!(r.classify(&golden.result), crate::trace::FaultClass::Sdc);
+        assert_eq!(r.outputs(), &[3]);
+    }
+
+    #[test]
+    fn corrupted_branch_condition_diverts_control_flow() {
+        let p = parse_program(
+            r#"
+func @main(args=0, ret=none) {
+entry:
+    li t0, 0
+    beqz t0, yes, no
+yes:
+    li a0, 1
+    print a0
+    exit
+no:
+    li a0, 2
+    print a0
+    exit
+}
+"#,
+        )
+        .unwrap();
+        let sim = Simulator::new(&p);
+        let golden = sim.run_golden();
+        assert_eq!(golden.outputs(), &[1]);
+        let r = sim.run_with_fault(FaultSpec { cycle: 1, reg: Reg::T0, bit: 3 });
+        assert_eq!(r.outputs(), &[2]);
+        assert_eq!(r.classify(&golden.result), crate::trace::FaultClass::Sdc);
+    }
+
+    #[test]
+    fn calls_and_returns_work() {
+        let p = parse_program(
+            r#"
+func @double(args=1, ret=a0) {
+entry:
+    slli a0, a0, 1
+    ret a0
+}
+func @main(args=0, ret=none) {
+entry:
+    li a0, 21
+    call @double
+    print a0
+    exit
+}
+"#,
+        )
+        .unwrap();
+        let sim = Simulator::new(&p);
+        let g = sim.run_golden();
+        assert_eq!(g.result.outcome, ExecOutcome::Completed);
+        assert_eq!(g.outputs(), &[42]);
+    }
+
+    #[test]
+    fn corrupted_return_address_crashes() {
+        let p = parse_program(
+            r#"
+func @id(args=1, ret=a0) {
+entry:
+    nop
+    ret a0
+}
+func @main(args=0, ret=none) {
+entry:
+    li a0, 7
+    call @id
+    print a0
+    exit
+}
+"#,
+        )
+        .unwrap();
+        let sim = Simulator::new(&p);
+        let golden = sim.run_golden();
+        // Cycle 2 is the nop inside @id; flip a bit of ra before it.
+        let r = sim.run_with_fault(FaultSpec { cycle: 2, reg: Reg::RA, bit: 5 });
+        assert_eq!(r.outcome, ExecOutcome::Crashed(crate::exec::CrashKind::WildReturn));
+        assert_eq!(r.classify(&golden.result), crate::trace::FaultClass::Crash);
+    }
+
+    #[test]
+    fn memory_fault_detection() {
+        let p = parse_program(
+            r#"
+global buf: word[2] = { 5, 6 }
+func @main(args=0, ret=none) {
+entry:
+    la t0, @buf
+    lw t1, 4(t0)
+    print t1
+    exit
+}
+"#,
+        )
+        .unwrap();
+        let sim = Simulator::new(&p);
+        let golden = sim.run_golden();
+        assert_eq!(golden.outputs(), &[6]);
+        // Corrupt a high bit of the base address: out-of-bounds crash.
+        let r = sim.run_with_fault(FaultSpec { cycle: 1, reg: Reg::T0, bit: 30 });
+        assert_eq!(r.outcome, ExecOutcome::Crashed(crate::exec::CrashKind::MemOutOfBounds));
+        // Corrupt bit 0 of the address: misaligned.
+        let r = sim.run_with_fault(FaultSpec { cycle: 1, reg: Reg::T0, bit: 0 });
+        assert_eq!(r.outcome, ExecOutcome::Crashed(crate::exec::CrashKind::Misaligned));
+    }
+
+    #[test]
+    fn infinite_loop_times_out() {
+        let p = parse_program(
+            "func @main(args=0, ret=none) {\nentry:\n    li t0, 1\n    j spin\nspin:\n    addi t0, t0, 1\n    j spin\n}\n",
+        )
+        .unwrap();
+        let sim = Simulator::with_limits(&p, SimLimits { max_cycles: 1000 });
+        let g = sim.run_golden();
+        assert_eq!(g.result.outcome, ExecOutcome::Timeout);
+    }
+
+    #[test]
+    fn deviation_same_output_different_path() {
+        // Both paths print 9; a diverted branch is a trace deviation, not SDC.
+        let p = parse_program(
+            r#"
+func @main(args=0, ret=none) {
+entry:
+    li t0, 0
+    beqz t0, a, b
+a:
+    li a0, 9
+    print a0
+    exit
+b:
+    li a0, 9
+    print a0
+    exit
+}
+"#,
+        )
+        .unwrap();
+        let sim = Simulator::new(&p);
+        let golden = sim.run_golden();
+        let r = sim.run_with_fault(FaultSpec { cycle: 1, reg: Reg::T0, bit: 2 });
+        assert_eq!(r.classify(&golden.result), crate::trace::FaultClass::Deviation);
+    }
+}

@@ -1,0 +1,271 @@
+//! `AES` (FISSC): AES-128 encryption of one block — xor-saturated data
+//! flow, which is why the paper reports its highest pruning rate here
+//! (30.04 %, §VI-A): xor coalesces fault indices unconditionally.
+//!
+//! The S-box and round constants are *computed* (GF(2⁸) inversion plus the
+//! affine map) rather than transcribed, and the Rust oracle is pinned to
+//! the FIPS-197 Appendix B test vector by a unit test.
+
+use crate::Benchmark;
+
+/// FIPS-197 example cipher key.
+pub const KEY: [u32; 4] = [0x2b7e_1516, 0x28ae_d2a6, 0xabf7_1588, 0x09cf_4f3c];
+
+/// FIPS-197 example plaintext.
+pub const PLAINTEXT: [u32; 4] = [0x3243_f6a8, 0x885a_308d, 0x3131_98a2, 0xe037_0734];
+
+/// GF(2⁸) multiplication modulo x⁸+x⁴+x³+x+1.
+pub fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut r = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            r ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    r
+}
+
+/// The AES S-box, computed from first principles.
+pub fn sbox() -> [u8; 256] {
+    let mut s = [0u8; 256];
+    for x in 0..=255u8 {
+        // Multiplicative inverse (0 maps to 0).
+        let inv = if x == 0 {
+            0
+        } else {
+            (1..=255u8).find(|&y| gf_mul(x, y) == 1).expect("inverse exists")
+        };
+        // Affine transformation.
+        let b = inv;
+        s[x as usize] = b
+            ^ b.rotate_left(1)
+            ^ b.rotate_left(2)
+            ^ b.rotate_left(3)
+            ^ b.rotate_left(4)
+            ^ 0x63;
+    }
+    s
+}
+
+/// Round constants for AES-128 key expansion.
+pub fn rcon() -> [u8; 10] {
+    let mut r = [0u8; 10];
+    let mut c = 1u8;
+    for slot in &mut r {
+        *slot = c;
+        c = gf_mul(c, 2);
+    }
+    r
+}
+
+/// Default workload: one FIPS-197 block.
+pub fn benchmark() -> Benchmark {
+    let sbox_words: Vec<String> = sbox().iter().map(|b| b.to_string()).collect();
+    let rcon_words: Vec<String> = rcon().iter().map(|b| b.to_string()).collect();
+    let key: Vec<String> = KEY.iter().map(|w| w.to_string()).collect();
+    let pt: Vec<String> = PLAINTEXT.iter().map(|w| w.to_string()).collect();
+    let source = format!(
+        r#"
+// AES-128 encryption of one block (FIPS-197 Appendix B vector).
+int sbox[256] = {{ {sbox} }};
+int rcon[10] = {{ {rcon} }};
+int key[4] = {{ {key} }};
+int pt[4] = {{ {pt} }};
+int rk[44];
+
+int sub_word(int x) {{
+    return (sbox[(x >> 24) & 255] << 24)
+         | (sbox[(x >> 16) & 255] << 16)
+         | (sbox[(x >> 8) & 255] << 8)
+         | sbox[x & 255];
+}}
+
+void expand_key() {{
+    int i = 0;
+    for (i = 0; i < 4; i = i + 1) {{ rk[i] = key[i]; }}
+    for (i = 4; i < 44; i = i + 1) {{
+        int t = rk[i - 1];
+        if (i % 4 == 0) {{
+            int rot = (t << 8) | (t >> 24);
+            t = sub_word(rot) ^ (rcon[i / 4 - 1] << 24);
+        }}
+        rk[i] = rk[i - 4] ^ t;
+    }}
+}}
+
+int xtime(int b) {{
+    int t = b << 1;
+    if (b & 0x80) {{ t = t ^ 0x1b; }}
+    return t & 0xff;
+}}
+
+int mix_word(int w) {{
+    int s0 = (w >> 24) & 255;
+    int s1 = (w >> 16) & 255;
+    int s2 = (w >> 8) & 255;
+    int s3 = w & 255;
+    int r0 = xtime(s0) ^ (s1 ^ xtime(s1)) ^ s2 ^ s3;
+    int r1 = s0 ^ xtime(s1) ^ (s2 ^ xtime(s2)) ^ s3;
+    int r2 = s0 ^ s1 ^ xtime(s2) ^ (s3 ^ xtime(s3));
+    int r3 = (s0 ^ xtime(s0)) ^ s1 ^ s2 ^ xtime(s3);
+    return (r0 << 24) | (r1 << 16) | (r2 << 8) | r3;
+}}
+
+int state0 = 0;
+int state1 = 0;
+int state2 = 0;
+int state3 = 0;
+
+void shift_rows() {{
+    int c0 = state0; int c1 = state1; int c2 = state2; int c3 = state3;
+    state0 = (c0 & 0xff000000) | (c1 & 0x00ff0000) | (c2 & 0x0000ff00) | (c3 & 0x000000ff);
+    state1 = (c1 & 0xff000000) | (c2 & 0x00ff0000) | (c3 & 0x0000ff00) | (c0 & 0x000000ff);
+    state2 = (c2 & 0xff000000) | (c3 & 0x00ff0000) | (c0 & 0x0000ff00) | (c1 & 0x000000ff);
+    state3 = (c3 & 0xff000000) | (c0 & 0x00ff0000) | (c1 & 0x0000ff00) | (c2 & 0x000000ff);
+}}
+
+void add_round_key(int round) {{
+    int base = round * 4;
+    state0 = state0 ^ rk[base];
+    state1 = state1 ^ rk[base + 1];
+    state2 = state2 ^ rk[base + 2];
+    state3 = state3 ^ rk[base + 3];
+}}
+
+void sub_bytes() {{
+    state0 = sub_word(state0);
+    state1 = sub_word(state1);
+    state2 = sub_word(state2);
+    state3 = sub_word(state3);
+}}
+
+void mix_columns() {{
+    state0 = mix_word(state0);
+    state1 = mix_word(state1);
+    state2 = mix_word(state2);
+    state3 = mix_word(state3);
+}}
+
+void main() {{
+    expand_key();
+    state0 = pt[0]; state1 = pt[1]; state2 = pt[2]; state3 = pt[3];
+    add_round_key(0);
+    int round = 1;
+    for (round = 1; round < 10; round = round + 1) {{
+        sub_bytes();
+        shift_rows();
+        mix_columns();
+        add_round_key(round);
+    }}
+    sub_bytes();
+    shift_rows();
+    add_round_key(10);
+    print(state0); print(state1); print(state2); print(state3);
+}}
+"#,
+        sbox = sbox_words.join(", "),
+        rcon = rcon_words.join(", "),
+        key = key.join(", "),
+        pt = pt.join(", "),
+    );
+    Benchmark { name: "aes", source, expected: reference() }
+}
+
+/// Rust oracle: AES-128 with the same column-word layout.
+pub fn reference() -> Vec<u64> {
+    encrypt(KEY, PLAINTEXT).iter().map(|&w| u64::from(w)).collect()
+}
+
+/// Encrypts one block (words are big-endian columns, FIPS layout).
+pub fn encrypt(key: [u32; 4], pt: [u32; 4]) -> [u32; 4] {
+    let s = sbox();
+    let rc = rcon();
+    let sub_word = |x: u32| -> u32 {
+        (u32::from(s[(x >> 24) as usize]) << 24)
+            | (u32::from(s[(x >> 16 & 255) as usize]) << 16)
+            | (u32::from(s[(x >> 8 & 255) as usize]) << 8)
+            | u32::from(s[(x & 255) as usize])
+    };
+    // Key expansion.
+    let mut rk = [0u32; 44];
+    rk[..4].copy_from_slice(&key);
+    for i in 4..44 {
+        let mut t = rk[i - 1];
+        if i % 4 == 0 {
+            t = sub_word(t.rotate_left(8)) ^ (u32::from(rc[i / 4 - 1]) << 24);
+        }
+        rk[i] = rk[i - 4] ^ t;
+    }
+    let xtime = |b: u32| -> u32 {
+        let t = b << 1;
+        (if b & 0x80 != 0 { t ^ 0x1b } else { t }) & 0xff
+    };
+    let mix_word = |w: u32| -> u32 {
+        let (s0, s1, s2, s3) = (w >> 24 & 255, w >> 16 & 255, w >> 8 & 255, w & 255);
+        let r0 = xtime(s0) ^ (s1 ^ xtime(s1)) ^ s2 ^ s3;
+        let r1 = s0 ^ xtime(s1) ^ (s2 ^ xtime(s2)) ^ s3;
+        let r2 = s0 ^ s1 ^ xtime(s2) ^ (s3 ^ xtime(s3));
+        let r3 = (s0 ^ xtime(s0)) ^ s1 ^ s2 ^ xtime(s3);
+        r0 << 24 | r1 << 16 | r2 << 8 | r3
+    };
+    let shift_rows = |c: [u32; 4]| -> [u32; 4] {
+        let pick = |r: u32, w: u32| w & (0xffu32 << (24 - 8 * r));
+        [
+            pick(0, c[0]) | pick(1, c[1]) | pick(2, c[2]) | pick(3, c[3]),
+            pick(0, c[1]) | pick(1, c[2]) | pick(2, c[3]) | pick(3, c[0]),
+            pick(0, c[2]) | pick(1, c[3]) | pick(2, c[0]) | pick(3, c[1]),
+            pick(0, c[3]) | pick(1, c[0]) | pick(2, c[1]) | pick(3, c[2]),
+        ]
+    };
+    let mut st = pt;
+    for c in 0..4 {
+        st[c] ^= rk[c];
+    }
+    for round in 1..=9 {
+        st = st.map(sub_word);
+        st = shift_rows(st);
+        st = st.map(mix_word);
+        for c in 0..4 {
+            st[c] ^= rk[round * 4 + c];
+        }
+    }
+    st = st.map(sub_word);
+    st = shift_rows(st);
+    for c in 0..4 {
+        st[c] ^= rk[40 + c];
+    }
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_matches_known_entries() {
+        let s = sbox();
+        assert_eq!(s[0x00], 0x63);
+        assert_eq!(s[0x01], 0x7c);
+        assert_eq!(s[0x53], 0xed);
+        assert_eq!(s[0xff], 0x16);
+    }
+
+    #[test]
+    fn rcon_matches_fips() {
+        assert_eq!(rcon(), [1, 2, 4, 8, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36]);
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        assert_eq!(
+            encrypt(KEY, PLAINTEXT),
+            [0x3925_841d, 0x02dc_09fb, 0xdc11_8597, 0x196a_0b32]
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! `dijkstra` (MiBench): single-source shortest paths over a dense
+//! adjacency matrix — array-traffic heavy with data-dependent branches.
+
+use crate::Benchmark;
+
+/// Number of vertices.
+pub const N: usize = 8;
+
+/// The fixed weighted digraph (0 = no edge), row-major `N×N`.
+pub const ADJ: [u32; N * N] = [
+    // 0   1   2   3   4   5   6   7
+    0, 3, 0, 7, 0, 0, 0, 2, // 0
+    0, 0, 4, 0, 0, 0, 0, 0, // 1
+    0, 0, 0, 1, 6, 0, 0, 0, // 2
+    0, 0, 0, 0, 2, 5, 0, 0, // 3
+    0, 0, 0, 0, 0, 4, 3, 0, // 4
+    0, 0, 0, 0, 0, 0, 1, 0, // 5
+    0, 0, 0, 0, 0, 0, 0, 9, // 6
+    0, 1, 0, 0, 0, 8, 0, 0, // 7
+];
+
+/// Default workload: shortest paths from vertex 0.
+pub fn benchmark() -> Benchmark {
+    let adj: Vec<String> = ADJ.iter().map(|w| w.to_string()).collect();
+    let source = format!(
+        r#"
+// Dijkstra over a dense {n}x{n} adjacency matrix.
+int adj[{nn}] = {{ {adj} }};
+int dist[{n}];
+int visited[{n}];
+
+void main() {{
+    int INF = 0xffffff;
+    int i = 0;
+    for (i = 0; i < {n}; i = i + 1) {{
+        dist[i] = INF;
+        visited[i] = 0;
+    }}
+    dist[0] = 0;
+    int round = 0;
+    for (round = 0; round < {n}; round = round + 1) {{
+        int best = INF;
+        int u = {n};
+        for (i = 0; i < {n}; i = i + 1) {{
+            if (!visited[i] && dist[i] < best) {{
+                best = dist[i];
+                u = i;
+            }}
+        }}
+        if (u == {n}) {{ break; }}
+        visited[u] = 1;
+        int base = u * {n};
+        for (i = 0; i < {n}; i = i + 1) {{
+            int w = adj[base + i];
+            if (w && !visited[i]) {{
+                int cand = dist[u] + w;
+                if (cand < dist[i]) {{ dist[i] = cand; }}
+            }}
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{ print(dist[i]); }}
+}}
+"#,
+        n = N,
+        nn = N * N,
+        adj = adj.join(", ")
+    );
+    Benchmark { name: "dijkstra", source, expected: reference() }
+}
+
+/// Rust oracle.
+pub fn reference() -> Vec<u64> {
+    const INF: u32 = 0xff_ffff;
+    let mut dist = [INF; N];
+    let mut visited = [false; N];
+    dist[0] = 0;
+    for _ in 0..N {
+        let mut best = INF;
+        let mut u = N;
+        for i in 0..N {
+            if !visited[i] && dist[i] < best {
+                best = dist[i];
+                u = i;
+            }
+        }
+        if u == N {
+            break;
+        }
+        visited[u] = true;
+        for i in 0..N {
+            let w = ADJ[u * N + i];
+            if w != 0 && !visited[i] {
+                let cand = dist[u] + w;
+                if cand < dist[i] {
+                    dist[i] = cand;
+                }
+            }
+        }
+    }
+    dist.iter().map(|&d| u64::from(d)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reference_paths_are_sensible() {
+        let d = super::reference();
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 3); // direct edge
+        assert_eq!(d[7], 2); // direct edge
+        assert!(d.iter().all(|&x| x < 0xff_ffff), "graph is connected from 0: {d:?}");
+    }
+}

@@ -1,0 +1,80 @@
+//! The eight evaluation benchmarks of the paper (§VI): `bitcount`,
+//! `dijkstra`, `CRC32`, `adpcm_enc`, `adpcm_dec`, `AES`, `RSA` and `SHA`,
+//! re-implemented in the mini-C language of [`bec_lang`] with workloads
+//! scaled so exhaustive fault-injection stays tractable.
+//!
+//! Every benchmark carries a pure-Rust reference implementation; the test
+//! suite compiles each kernel, runs it on the simulator and compares the
+//! observable outputs to the oracle.
+//!
+//! ```
+//! let b = bec_suite::benchmark("crc32").unwrap();
+//! let program = b.compile()?;
+//! assert_eq!(program.entry, "main");
+//! # Ok::<(), bec_lang::CompileError>(())
+//! ```
+
+pub mod adpcm;
+pub mod aes;
+pub mod bitcount;
+pub mod crc32;
+pub mod dijkstra;
+pub mod rsa;
+pub mod sha;
+
+use bec_ir::Program;
+use bec_lang::CompileError;
+
+/// One benchmark: a name, mini-C source and a reference oracle.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Paper name of the benchmark.
+    pub name: &'static str,
+    /// Mini-C source text.
+    pub source: String,
+    /// Expected observable outputs (from the Rust reference).
+    pub expected: Vec<u64>,
+}
+
+impl Benchmark {
+    /// Compiles the benchmark to a machine program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors (none are expected for the built-in
+    /// sources; the test suite compiles every benchmark).
+    pub fn compile(&self) -> Result<Program, CompileError> {
+        bec_lang::compile(&self.source)
+    }
+}
+
+/// All eight benchmarks at their default (scaled-down) workloads, in the
+/// paper's Table III column order.
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        bitcount::benchmark(),
+        dijkstra::benchmark(),
+        crc32::benchmark(),
+        adpcm::encoder_benchmark(),
+        adpcm::decoder_benchmark(),
+        aes::benchmark(),
+        rsa::benchmark(),
+        sha::benchmark(),
+    ]
+}
+
+/// Looks up a benchmark by name (`bitcount`, `dijkstra`, `crc32`,
+/// `adpcm_enc`, `adpcm_dec`, `aes`, `rsa`, `sha`).
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+/// Tiny workloads for exhaustive fault-injection experiments (Table I):
+/// the same kernels with minimal inputs.
+pub fn tiny() -> Vec<Benchmark> {
+    vec![
+        bitcount::scaled(2),
+        crc32::scaled(1),
+        rsa::scaled(3233, 65, 7),
+    ]
+}

@@ -1,0 +1,142 @@
+//! `RSA` (FISSC): textbook RSA encrypt/decrypt via square-and-multiply
+//! modular exponentiation. Multiplication modulo `n` is done with the
+//! shift-and-add ("Russian peasant") method so everything stays in 32 bits
+//! — the arithmetic-heavy adversary case for bit-level analysis (§VI-A).
+
+use crate::Benchmark;
+
+/// Default workload: the classic (p, q) = (61, 53) textbook key,
+/// n = 3233, e = 17, d = 413, message 65 — plus one larger modexp.
+pub fn benchmark() -> Benchmark {
+    scaled(3233, 65, 17)
+}
+
+/// RSA roundtrip with modulus `n` (< 2³¹), message `m` and exponent `e`;
+/// the decryption exponent is found by brute force in the oracle and baked
+/// into the source.
+pub fn scaled(n: u32, m: u32, e: u32) -> Benchmark {
+    let d = find_private_exponent(n, e);
+    // Small moduli (n < 2^16) multiply exactly in 32 bits: the kernel is
+    // then mul/rem arithmetic, opaque to bit-value analysis — exactly the
+    // adversary profile the paper describes for RSA. Larger moduli fall
+    // back to shift-and-add.
+    let modmul = if n < 1 << 16 {
+        "int modmul(int a, int b, int m) {
+    return a * b % m;
+}"
+    } else {
+        "int modmul(int a, int b, int m) {
+    int r = 0;
+    while (b) {
+        if (b & 1) {
+            r = r + a;
+            if (r >= m) { r = r - m; }
+        }
+        a = a << 1;
+        if (a >= m) { a = a - m; }
+        b = b >> 1;
+    }
+    return r;
+}"
+    };
+    let source = format!(
+        r#"
+// Textbook RSA on 32-bit words: c = m^e mod n, m = c^d mod n.
+{modmul}
+
+int modexp(int base, int e, int m) {{
+    int r = 1;
+    base = base % m;
+    while (e) {{
+        if (e & 1) {{ r = modmul(r, base, m); }}
+        base = modmul(base, base, m);
+        e = e >> 1;
+    }}
+    return r;
+}}
+
+void main() {{
+    int c = modexp({m}, {e}, {n});
+    print(c);
+    int back = modexp(c, {d}, {n});
+    print(back);
+}}
+"#
+    );
+    Benchmark { name: "rsa", source, expected: reference(n, m, e) }
+}
+
+/// Rust oracle.
+pub fn reference(n: u32, m: u32, e: u32) -> Vec<u64> {
+    let d = find_private_exponent(n, e);
+    let c = modexp(m as u64, e as u64, n as u64);
+    let back = modexp(c, d as u64, n as u64);
+    vec![c, back]
+}
+
+fn modexp(mut base: u64, mut e: u64, m: u64) -> u64 {
+    let mut r = 1u64;
+    base %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            r = r * base % m;
+        }
+        base = base * base % m;
+        e >>= 1;
+    }
+    r
+}
+
+/// Smallest `d` with `m^(e·d) ≡ m (mod n)` for every unit `m` — found by
+/// inverting `e` modulo λ(n) by search (fine at these scales).
+fn find_private_exponent(n: u32, e: u32) -> u32 {
+    // Factor n (small) and compute lcm(p-1, q-1); n may also be prime.
+    let mut factors = Vec::new();
+    let mut x = n;
+    let mut p = 2;
+    while p * p <= x {
+        while x % p == 0 {
+            factors.push(p);
+            x /= p;
+        }
+        p += 1;
+    }
+    if x > 1 {
+        factors.push(x);
+    }
+    let lambda: u64 = match factors.as_slice() {
+        [p, q] if p != q => {
+            let (a, b) = ((p - 1) as u64, (q - 1) as u64);
+            a / gcd(a, b) * b
+        }
+        [p] => (*p as u64) - 1,
+        _ => (n as u64) - 1, // fallback; fine for demo moduli
+    };
+    // d = e^{-1} mod lambda by search.
+    let e = e as u64;
+    (1..lambda).find(|d| e * d % lambda == 1).expect("e invertible") as u32
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_vector() {
+        // 65^17 mod 3233 = 2790 and back.
+        assert_eq!(reference(3233, 65, 17), vec![2790, 65]);
+    }
+
+    #[test]
+    fn private_exponent_inverts() {
+        assert_eq!(find_private_exponent(3233, 17), 413);
+    }
+}

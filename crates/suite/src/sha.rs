@@ -1,0 +1,117 @@
+//! `SHA` (MiBench): the SHA-1 compression function over one padded block —
+//! rotations, xors and adds over a large working set.
+
+use crate::Benchmark;
+
+/// The padded input block: "abc" padded to 512 bits per FIPS 180-1.
+pub const BLOCK: [u32; 16] = [
+    0x6162_6380, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x0000_0018,
+];
+
+/// Default workload: one SHA-1 block ("abc").
+pub fn benchmark() -> Benchmark {
+    let blk: Vec<String> = BLOCK.iter().map(|w| w.to_string()).collect();
+    let source = format!(
+        r#"
+// SHA-1 compression of one padded 512-bit block.
+int w[80];
+int blk[16] = {{ {blk} }};
+
+void main() {{
+    int h0 = 0x67452301;
+    int h1 = 0xEFCDAB89;
+    int h2 = 0x98BADCFE;
+    int h3 = 0x10325476;
+    int h4 = 0xC3D2E1F0;
+    int i = 0;
+    for (i = 0; i < 16; i = i + 1) {{ w[i] = blk[i]; }}
+    for (i = 16; i < 80; i = i + 1) {{
+        int x = w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16];
+        w[i] = (x << 1) | (x >> 31);
+    }}
+    int a = h0; int b = h1; int c = h2; int d = h3; int e = h4;
+    for (i = 0; i < 80; i = i + 1) {{
+        int f = 0;
+        int k = 0;
+        if (i < 20) {{
+            f = (b & c) | (~b & d);
+            k = 0x5A827999;
+        }} else if (i < 40) {{
+            f = b ^ c ^ d;
+            k = 0x6ED9EBA1;
+        }} else if (i < 60) {{
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8F1BBCDC;
+        }} else {{
+            f = b ^ c ^ d;
+            k = 0xCA62C1D6;
+        }}
+        int temp = ((a << 5) | (a >> 27)) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = (b << 30) | (b >> 2);
+        b = a;
+        a = temp;
+    }}
+    print(h0 + a);
+    print(h1 + b);
+    print(h2 + c);
+    print(h3 + d);
+    print(h4 + e);
+}}
+"#,
+        blk = blk.join(", ")
+    );
+    Benchmark { name: "sha", source, expected: reference() }
+}
+
+/// Rust oracle: the same compression function.
+pub fn reference() -> Vec<u64> {
+    let mut w = [0u32; 80];
+    w[..16].copy_from_slice(&BLOCK);
+    for i in 16..80 {
+        let x = w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16];
+        w[i] = x.rotate_left(1);
+    }
+    let (h0, h1, h2, h3, h4) =
+        (0x6745_2301u32, 0xEFCD_AB89u32, 0x98BA_DCFEu32, 0x1032_5476u32, 0xC3D2_E1F0u32);
+    let (mut a, mut b, mut c, mut d, mut e) = (h0, h1, h2, h3, h4);
+    for (i, &wi) in w.iter().enumerate() {
+        let (f, k) = match i {
+            0..=19 => ((b & c) | (!b & d), 0x5A82_7999u32),
+            20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+            40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+            _ => (b ^ c ^ d, 0xCA62_C1D6),
+        };
+        let temp = a
+            .rotate_left(5)
+            .wrapping_add(f)
+            .wrapping_add(e)
+            .wrapping_add(k)
+            .wrapping_add(wi);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = temp;
+    }
+    vec![
+        u64::from(h0.wrapping_add(a)),
+        u64::from(h1.wrapping_add(b)),
+        u64::from(h2.wrapping_add(c)),
+        u64::from(h3.wrapping_add(d)),
+        u64::from(h4.wrapping_add(e)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sha1_of_abc_matches_fips_vector() {
+        // SHA-1("abc") = a9993e36 4706816a ba3e2571 7850c26c 9cd0d89d.
+        assert_eq!(
+            super::reference(),
+            vec![0xa999_3e36, 0x4706_816a, 0xba3e_2571, 0x7850_c26c, 0x9cd0_d89d]
+        );
+    }
+}

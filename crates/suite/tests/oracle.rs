@@ -1,0 +1,75 @@
+//! The suite's ground truth: every benchmark compiles, runs to completion
+//! on the simulator, and produces exactly the Rust oracle's outputs.
+
+use bec_sim::{SimLimits, Simulator};
+
+fn check(b: &bec_suite::Benchmark) {
+    let p = b.compile().unwrap_or_else(|e| panic!("{} does not compile: {e}", b.name));
+    bec_ir::verify_program(&p).unwrap_or_else(|e| panic!("{}: bad IR: {e}", b.name));
+    let sim = Simulator::with_limits(&p, SimLimits { max_cycles: 5_000_000 });
+    let g = sim.run_golden();
+    assert_eq!(
+        g.result.outcome,
+        bec_sim::ExecOutcome::Completed,
+        "{} did not complete; outputs: {:?}",
+        b.name,
+        g.outputs()
+    );
+    assert_eq!(g.outputs(), b.expected.as_slice(), "{}: wrong outputs", b.name);
+}
+
+#[test]
+fn bitcount_matches_oracle() {
+    check(&bec_suite::benchmark("bitcount").unwrap());
+}
+
+#[test]
+fn dijkstra_matches_oracle() {
+    check(&bec_suite::benchmark("dijkstra").unwrap());
+}
+
+#[test]
+fn crc32_matches_oracle() {
+    check(&bec_suite::benchmark("crc32").unwrap());
+}
+
+#[test]
+fn adpcm_enc_matches_oracle() {
+    check(&bec_suite::benchmark("adpcm_enc").unwrap());
+}
+
+#[test]
+fn adpcm_dec_matches_oracle() {
+    check(&bec_suite::benchmark("adpcm_dec").unwrap());
+}
+
+#[test]
+fn aes_matches_oracle() {
+    check(&bec_suite::benchmark("aes").unwrap());
+}
+
+#[test]
+fn rsa_matches_oracle() {
+    check(&bec_suite::benchmark("rsa").unwrap());
+}
+
+#[test]
+fn sha_matches_oracle() {
+    check(&bec_suite::benchmark("sha").unwrap());
+}
+
+#[test]
+fn tiny_workloads_also_match() {
+    for b in bec_suite::tiny() {
+        check(&b);
+    }
+}
+
+#[test]
+fn all_returns_the_eight_paper_benchmarks() {
+    let names: Vec<&str> = bec_suite::all().iter().map(|b| b.name).collect();
+    assert_eq!(
+        names,
+        ["bitcount", "dijkstra", "crc32", "adpcm_enc", "adpcm_dec", "aes", "rsa", "sha"]
+    );
+}

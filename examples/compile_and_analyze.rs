@@ -1,0 +1,85 @@
+//! The full pipeline on your own code: compile a mini-C program, analyze
+//! it, validate the analysis empirically, and print a per-site report.
+//!
+//! ```text
+//! cargo run --release --example compile_and_analyze
+//! ```
+
+use bec_core::{BecAnalysis, BecOptions};
+use bec_ir::PointLayout;
+use bec_sim::{validate_program, Simulator};
+
+const SOURCE: &str = r#"
+// A parity-and-population check over a small table.
+int data[6] = { 0x13, 0x2a, 0x07, 0x58, 0x6c, 0x01 };
+
+int popcount(int x) {
+    int n = 0;
+    while (x) { x = x & (x - 1); n = n + 1; }
+    return n;
+}
+
+void main() {
+    int parity = 0;
+    int total = 0;
+    int i = 0;
+    for (i = 0; i < 6; i = i + 1) {
+        int v = data[i];
+        parity = parity ^ v;
+        total = total + popcount(v);
+    }
+    print(parity & 0xff);
+    print(total);
+}
+"#;
+
+fn main() {
+    let program = bec_lang::compile(SOURCE).expect("compiles");
+    println!("compiled {} functions, {} globals\n", program.functions.len(), program.globals.len());
+    println!("{}", bec_ir::print_program(&program));
+
+    let bec = BecAnalysis::analyze(&program, &BecOptions::paper());
+    let sim = Simulator::new(&program);
+    let golden = sim.run_golden();
+    println!("golden outputs: {:?} in {} cycles\n", golden.outputs(), golden.cycles());
+
+    // Per-function masked-bit summary.
+    for (fi, fa) in bec.functions().iter().enumerate() {
+        let func = &program.functions[fi];
+        let layout = PointLayout::of(func);
+        let _ = layout;
+        let s0 = fa.coalescing.s0_class();
+        let w = program.config.xlen;
+        let mut total_bits = 0u64;
+        let mut masked = 0u64;
+        for (p, r) in fa.coalescing.nodes().site_pairs() {
+            for bit in 0..w {
+                total_bits += 1;
+                if fa.coalescing.class_of(p, r, bit) == Some(s0) {
+                    masked += 1;
+                }
+            }
+        }
+        println!(
+            "@{:<10} {:>5} site bits, {:>5} masked ({:.1}%), {} equivalence classes",
+            fa.name,
+            total_bits,
+            masked,
+            100.0 * masked as f64 / total_bits.max(1) as f64,
+            fa.coalescing.class_count()
+        );
+    }
+
+    // Empirical validation (§V): every claim checked by fault injection.
+    println!("\nvalidating against exhaustive injection …");
+    let report = validate_program(&program, &BecOptions::paper());
+    println!(
+        "{} runs: {} sound-precise, {} masked-confirmed, {} imprecise-pairs, {} unsound",
+        report.runs,
+        report.sound_precise,
+        report.masked_confirmed,
+        report.imprecise_pairs,
+        report.unsound + report.masked_violations
+    );
+    assert!(report.is_sound());
+}

@@ -1,0 +1,51 @@
+//! Use case 1 end-to-end: run an actual fault-injection campaign with and
+//! without BEC pruning on a real kernel, and show that the pruned campaign
+//! reaches the same conclusions with fewer runs.
+//!
+//! ```text
+//! cargo run --release --example fi_pruning
+//! ```
+
+use bec_core::{BecAnalysis, BecOptions};
+use bec_sim::campaign::{bit_level_faults, run_campaign, value_level_faults, CampaignKind};
+use bec_sim::{FaultClass, Simulator};
+
+fn main() {
+    // A scaled-down CRC32 so the campaigns finish in seconds.
+    let bench = bec_suite::crc32::scaled(2);
+    let program = bench.compile().expect("compiles");
+    let bec = BecAnalysis::analyze(&program, &BecOptions::paper());
+    let sim = Simulator::new(&program);
+    let golden = sim.run_golden();
+    println!("crc32 (2 words): {} cycles, golden output {:?}\n", golden.cycles(), golden.outputs());
+
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let value = value_level_faults(&program, &bec, &golden);
+    let bits = bit_level_faults(&program, &bec, &golden);
+    let v = run_campaign(&sim, &golden, &value, CampaignKind::ValueLevel, threads);
+    let b = run_campaign(&sim, &golden, &bits, CampaignKind::BitLevel, threads);
+
+    let show = |name: &str, r: &bec_sim::CampaignReport| {
+        let g = |c: FaultClass| r.outcomes.get(&c).copied().unwrap_or(0);
+        println!(
+            "{name:<12} runs {:>6}  benign {:>6}  sdc {:>5}  crash {:>4}  deviation {:>4}  hang {:>3}  ({:.2}s)",
+            r.runs,
+            g(FaultClass::Benign),
+            g(FaultClass::Sdc),
+            g(FaultClass::Crash),
+            g(FaultClass::Deviation),
+            g(FaultClass::Hang),
+            r.wall.as_secs_f64()
+        );
+    };
+    show("inject-on-read", &v);
+    show("BEC-pruned", &b);
+
+    let saved = 100.0 * (1.0 - b.runs as f64 / v.runs as f64);
+    println!("\nruns saved by bit-level pruning: {saved:.1}%");
+    // The pruned campaign must still surface every distinct failure mode.
+    let effective_v = v.effective_runs() > 0;
+    let effective_b = b.effective_runs() > 0;
+    assert_eq!(effective_v, effective_b, "pruning must not hide failure modes");
+    assert!(b.runs < v.runs);
+}

@@ -1,0 +1,113 @@
+//! Cross-crate property tests: the compiler, optimizer, scheduler and
+//! simulator must agree on program semantics for randomly generated
+//! mini-C programs.
+
+use bec_sched::{schedule_program, Criterion};
+use bec_sim::{SimLimits, Simulator};
+use proptest::prelude::*;
+
+/// A random mini-C program: a couple of globals, one helper function and a
+/// main with loops, branches and calls.
+fn random_source() -> impl Strategy<Value = String> {
+    let expr_leaf = prop_oneof![
+        (0u64..64).prop_map(|v| v.to_string()),
+        Just("x".to_owned()),
+        Just("acc".to_owned()),
+        Just("i".to_owned()),
+        Just("g".to_owned()),
+    ];
+    let op = prop_oneof![
+        Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^"),
+        Just("<<"), Just(">>"), Just("<"), Just("=="), Just("%"),
+    ];
+    let expr = (expr_leaf.clone(), op, expr_leaf).prop_map(|(a, o, b)| {
+        // Keep shifts in range and divisions nonzero.
+        match o {
+            "<<" | ">>" => format!("({a} {o} ({b} & 7))"),
+            "%" => format!("({a} {o} (({b} & 7) + 1))"),
+            _ => format!("({a} {o} {b})"),
+        }
+    });
+    (
+        proptest::collection::vec(expr, 3..8),
+        0u64..64,
+        2u64..5,
+    )
+        .prop_map(|(exprs, init, trips)| {
+            let mut body = String::new();
+            for (i, e) in exprs.iter().enumerate() {
+                if i % 3 == 2 {
+                    body.push_str(&format!(
+                        "        if ({e}) {{ acc = acc + helper(x); }} else {{ acc = acc ^ {i}; }}\n"
+                    ));
+                } else {
+                    body.push_str(&format!("        x = {e};\n"));
+                }
+            }
+            format!(
+                r#"
+int g = {init};
+int helper(int v) {{
+    return (v ^ (v >> 3)) + g;
+}}
+void main() {{
+    int acc = 0;
+    int x = {init};
+    int i = 0;
+    for (i = 0; i < {trips}; i = i + 1) {{
+{body}        g = g + 1;
+    }}
+    print(acc);
+    print(x);
+    print(g);
+}}
+"#
+            )
+        })
+}
+
+fn run(program: &bec_ir::Program) -> Vec<u64> {
+    let sim = Simulator::with_limits(program, SimLimits { max_cycles: 1_000_000 });
+    let g = sim.run_golden();
+    assert_eq!(g.result.outcome, bec_sim::ExecOutcome::Completed);
+    g.outputs().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The peephole optimizer must preserve observable behaviour.
+    #[test]
+    fn optimizer_preserves_semantics(src in random_source()) {
+        let unopt = bec_lang::compile_unoptimized(&src).expect("compiles");
+        let opt = bec_lang::compile(&src).expect("compiles optimized");
+        prop_assert_eq!(run(&unopt), run(&opt), "source:\n{}", src);
+        // And it must not grow the program.
+        let count = |p: &bec_ir::Program| -> usize {
+            p.functions.iter().map(|f| f.insts().count()).sum()
+        };
+        prop_assert!(count(&opt) <= count(&unopt));
+    }
+
+    /// Reliability-aware scheduling must preserve observable behaviour and
+    /// the dynamic instruction count, for both policies.
+    #[test]
+    fn scheduling_preserves_semantics(src in random_source()) {
+        let program = bec_lang::compile(&src).expect("compiles");
+        let base = run(&program);
+        for crit in [Criterion::BestReliability, Criterion::WorstReliability] {
+            let scheduled = schedule_program(&program, crit);
+            bec_ir::verify_program(&scheduled).expect("verifies");
+            prop_assert_eq!(&run(&scheduled), &base, "criterion {:?}\nsource:\n{}", crit, src);
+        }
+    }
+
+    /// Compiled programs round-trip through the assembly printer/parser.
+    #[test]
+    fn compiled_programs_roundtrip_as_text(src in random_source()) {
+        let program = bec_lang::compile(&src).expect("compiles");
+        let text = bec_ir::print_program(&program);
+        let back = bec_ir::parse_program(&text).expect("reparses");
+        prop_assert_eq!(program, back);
+    }
+}

@@ -1,0 +1,115 @@
+//! The paper's headline claims, checked end to end across all crates.
+
+use bec_core::{pruning, surface, BecAnalysis, BecOptions};
+use bec_sched::{schedule_program, Criterion};
+use bec_sim::{validate_program, SimLimits, Simulator};
+
+/// §III: value-level 288 runs vs bit-level 225 runs (21.8 % saved), fault
+/// surface 681 → 576 after rescheduling (−15.4 %).
+#[test]
+fn motivating_example_numbers() {
+    for (program, fi_runs, surf) in [
+        (bec::motivating_example(), 225, 681),
+        (bec::motivating_example_rescheduled(), 225, 576),
+    ] {
+        let bec = BecAnalysis::analyze(&program, &BecOptions::paper());
+        let sim = Simulator::new(&program);
+        let golden = sim.run_golden();
+        let p = pruning::pruning_row("m", &program, &bec, &golden.profile);
+        let s = surface::surface_row("m", &program, &bec, &golden.profile);
+        assert_eq!(p.live_values, 288);
+        assert_eq!(p.live_bits, fi_runs);
+        assert_eq!(s.live_sites, surf);
+    }
+}
+
+/// §V / Table II: no unsound classifications — every equivalence and
+/// masking claim holds under exhaustive per-site fault injection.
+#[test]
+fn validation_is_sound_on_compiled_kernels() {
+    for b in bec_suite::tiny() {
+        let program = b.compile().expect("compiles");
+        let report = validate_program(&program, &BecOptions::paper());
+        assert!(report.is_sound(), "{}: {report:?}", b.name);
+        assert_eq!(report.unsound, 0);
+        assert_eq!(report.masked_violations, 0);
+    }
+}
+
+/// §VI-A: bit-level pruning always helps and never exceeds the baseline;
+/// RSA (arithmetic-heavy) prunes least, as in the paper.
+#[test]
+fn pruning_shape_matches_paper() {
+    let mut rates = Vec::new();
+    for b in bec_suite::all() {
+        let program = b.compile().expect("compiles");
+        let bec = BecAnalysis::analyze(&program, &BecOptions::paper());
+        let sim = Simulator::with_limits(&program, SimLimits { max_cycles: 10_000_000 });
+        let golden = sim.run_golden();
+        let row = pruning::pruning_row(b.name, &program, &bec, &golden.profile);
+        assert!(row.live_bits <= row.live_values, "{}: pruning must not add runs", b.name);
+        assert!(row.live_bits > 0, "{}: some runs remain", b.name);
+        assert_eq!(
+            row.live_values,
+            row.live_bits + row.masked + row.inferrable,
+            "{}: accounting must balance",
+            b.name
+        );
+        rates.push((b.name, row.pruned_pct()));
+    }
+    let rsa = rates.iter().find(|(n, _)| *n == "rsa").unwrap().1;
+    assert!(
+        rates.iter().all(|(n, r)| *n == "rsa" || *r >= rsa),
+        "rsa must be the adversary case (lowest pruning): {rates:?}"
+    );
+    // Every kernel prunes something (the paper's smallest rate is 0.08 %).
+    assert!(rates.iter().all(|(_, r)| *r > 0.0), "{rates:?}");
+}
+
+/// §VI-B: best-reliability scheduling never degrades reliability relative
+/// to worst, preserves behaviour, and leaves the trace length unchanged.
+#[test]
+fn scheduling_improves_without_changing_semantics() {
+    for name in ["bitcount", "crc32", "adpcm_dec"] {
+        let b = bec_suite::benchmark(name).unwrap();
+        let program = b.compile().expect("compiles");
+        let mut surfaces = Vec::new();
+        let mut cycles = Vec::new();
+        for crit in [Criterion::BestReliability, Criterion::WorstReliability] {
+            let scheduled = schedule_program(&program, crit);
+            bec_ir::verify_program(&scheduled).expect("scheduled program verifies");
+            let bec = BecAnalysis::analyze(&scheduled, &BecOptions::paper());
+            let sim = Simulator::with_limits(&scheduled, SimLimits { max_cycles: 10_000_000 });
+            let golden = sim.run_golden();
+            assert_eq!(golden.outputs(), b.expected.as_slice(), "{name}: {crit:?} broke semantics");
+            cycles.push(golden.cycles());
+            surfaces.push(surface::surface_row(name, &scheduled, &bec, &golden.profile).live_sites);
+        }
+        assert_eq!(cycles[0], cycles[1], "{name}: scheduling must not change instruction count");
+        assert!(
+            surfaces[0] <= surfaces[1],
+            "{name}: best ({}) must not exceed worst ({})",
+            surfaces[0],
+            surfaces[1]
+        );
+    }
+}
+
+/// The sound rule extensions may only prune more, never less, and stay
+/// sound.
+#[test]
+fn extensions_are_monotone_and_sound() {
+    let b = bec_suite::tiny().remove(0);
+    let program = b.compile().expect("compiles");
+    let sim = Simulator::new(&program);
+    let golden = sim.run_golden();
+    let mut prev = u64::MAX;
+    for opts in [BecOptions::branches_only(), BecOptions::paper(), BecOptions::extended()] {
+        let bec = BecAnalysis::analyze(&program, &opts);
+        let row = pruning::pruning_row(b.name, &program, &bec, &golden.profile);
+        assert!(row.live_bits <= prev, "stronger rules must not add runs");
+        prev = row.live_bits;
+    }
+    let report = validate_program(&program, &BecOptions::extended());
+    assert!(report.is_sound(), "{report:?}");
+}
