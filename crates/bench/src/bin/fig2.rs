@@ -95,7 +95,9 @@ exit:
     let (v2, b2, s2) = report("Fig. 2c/2d: rescheduled (Fig. 2c order)", &rescheduled);
 
     println!("=== summary ===");
-    println!("FI runs:      value-level {v1} → {v2} (unchanged), bit-level {b1} → {b2} (unchanged)");
+    println!(
+        "FI runs:      value-level {v1} → {v2} (unchanged), bit-level {b1} → {b2} (unchanged)"
+    );
     println!(
         "fault surface: {s1} → {s2}  (reduction {:.1}%; paper: 681 → 576, 15.4%)",
         100.0 * (1.0 - s2 as f64 / s1 as f64)

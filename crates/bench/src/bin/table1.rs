@@ -24,8 +24,7 @@ fn main() {
         let sim = Simulator::new(&program);
         let golden = sim.run_golden();
         let faults = exhaustive_faults(&program, &golden);
-        let report =
-            run_campaign(&sim, &golden, &faults, CampaignKind::Exhaustive, threads);
+        let report = run_campaign(&sim, &golden, &faults, CampaignKind::Exhaustive, threads);
 
         // For comparison: one BEC analysis run of the same program.
         let t0 = Instant::now();
@@ -45,7 +44,8 @@ fn main() {
     println!(
         "TABLE I: TIME AND DISK SPACE REQUIREMENTS FOR THE EXHAUSTIVE FAULT INJECTION\nCAMPAIGN (scaled workloads; the BEC analysis column shows the compile-time\nalternative's cost on the same program)\n"
     );
-    let headers = ["Benchmark", "Cycles", "FI runs", "Campaign time", "Trace archive", "BEC analysis"];
+    let headers =
+        ["Benchmark", "Cycles", "FI runs", "Campaign time", "Trace archive", "BEC analysis"];
     print!("{}", format_table(&headers, &rows));
     println!(
         "\npaper (full workloads): bitcount 0.5h/1GB, AES 2h/7GB, CRC32 7h/116GB,\nSHA 10h/100GB, RSA 50h/700GB"

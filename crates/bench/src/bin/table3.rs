@@ -17,8 +17,14 @@ fn main() {
     }
 
     println!("TABLE III: RESULTS OF FAULT INJECTION PRUNING BY THE PROPOSED STATIC ANALYSIS\n");
-    let headers =
-        ["", "Live in values", "Live in bits", "Masked bits", "Inferrable bits", "Total FI runs pruned"];
+    let headers = [
+        "",
+        "Live in values",
+        "Live in bits",
+        "Masked bits",
+        "Inferrable bits",
+        "Total FI runs pruned",
+    ];
     let rows: Vec<Vec<String>> = report
         .rows
         .iter()

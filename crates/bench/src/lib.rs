@@ -41,12 +41,7 @@ pub fn prepare(b: &Benchmark, options: &BecOptions) -> Prepared {
     let bec = BecAnalysis::analyze(&program, options);
     let sim = Simulator::with_limits(&program, SimLimits { max_cycles: 10_000_000 });
     let golden = sim.run_golden();
-    assert_eq!(
-        golden.result.outcome,
-        bec_sim::ExecOutcome::Completed,
-        "{} must complete",
-        b.name
-    );
+    assert_eq!(golden.result.outcome, bec_sim::ExecOutcome::Completed, "{} must complete", b.name);
     assert_eq!(golden.outputs(), b.expected.as_slice(), "{}: oracle mismatch", b.name);
     Prepared { name: b.name, program, bec, golden }
 }

@@ -22,7 +22,9 @@ use crate::analysis::BecOptions;
 use crate::bitvalue::{cond_transfer, BitValues};
 use crate::fault::{NodeTable, S0};
 use bec_dataflow::{AbsValue, BitValue};
-use bec_ir::{AluOp, Cond, Function, Inst, MachineConfig, PointId, PointLayout, Program, Reg, Terminator};
+use bec_ir::{
+    AluOp, Cond, Function, Inst, MachineConfig, PointId, PointLayout, Program, Reg, Terminator,
+};
 
 /// Context for emitting the intra-instruction merges of one function.
 pub struct IntraRules<'a> {
@@ -141,39 +143,51 @@ impl<'a> IntraRules<'a> {
                 let kamt = AbsValue::constant(w, *imm as u64);
                 self.shift_rules(p, *op, *rd, *rs1, &kamt, merge);
             }
-            Inst::Alu { op: op @ (AluOp::Slt | AluOp::Sltu), rd: _, rs1, rs2 } => {
-                if self.options.eval_compare_ops {
-                    let signed = *op == AluOp::Slt;
-                    let a = self.k_in(p, *rs1);
-                    let b = self.k_in(p, *rs2);
-                    let eval = |fa: &AbsValue, fb: &AbsValue| {
-                        if signed { fa.lt_s(fb) } else { fa.lt_u(fb) }
-                    };
-                    self.eval_equivalence(p, &[(*rs1, true), (*rs2, false)], &a, &b, eval, merge);
-                }
+            Inst::Alu { op: op @ (AluOp::Slt | AluOp::Sltu), rd: _, rs1, rs2 }
+                if self.options.eval_compare_ops =>
+            {
+                let signed = *op == AluOp::Slt;
+                let a = self.k_in(p, *rs1);
+                let b = self.k_in(p, *rs2);
+                let eval = |fa: &AbsValue, fb: &AbsValue| {
+                    if signed {
+                        fa.lt_s(fb)
+                    } else {
+                        fa.lt_u(fb)
+                    }
+                };
+                self.eval_equivalence(p, &[(*rs1, true), (*rs2, false)], &a, &b, eval, merge);
             }
-            Inst::AluImm { op: op @ (AluOp::Slt | AluOp::Sltu), rd: _, rs1, imm } => {
-                if self.options.eval_compare_ops {
-                    let signed = *op == AluOp::Slt;
-                    let a = self.k_in(p, *rs1);
-                    let b = AbsValue::constant(w, *imm as u64);
-                    let eval = |fa: &AbsValue, fb: &AbsValue| {
-                        if signed { fa.lt_s(fb) } else { fa.lt_u(fb) }
-                    };
-                    self.eval_equivalence(p, &[(*rs1, true)], &a, &b, eval, merge);
-                }
+            Inst::AluImm { op: op @ (AluOp::Slt | AluOp::Sltu), rd: _, rs1, imm }
+                if self.options.eval_compare_ops =>
+            {
+                let signed = *op == AluOp::Slt;
+                let a = self.k_in(p, *rs1);
+                let b = AbsValue::constant(w, *imm as u64);
+                let eval = |fa: &AbsValue, fb: &AbsValue| {
+                    if signed {
+                        fa.lt_s(fb)
+                    } else {
+                        fa.lt_u(fb)
+                    }
+                };
+                self.eval_equivalence(p, &[(*rs1, true)], &a, &b, eval, merge);
             }
-            Inst::Seqz { rd: _, rs } | Inst::Snez { rd: _, rs } => {
-                if self.options.eval_compare_ops {
-                    let neg = matches!(inst, Inst::Snez { .. });
-                    let a = self.k_in(p, *rs);
-                    let b = AbsValue::constant(w, 0);
-                    let eval = move |fa: &AbsValue, _fb: &AbsValue| {
-                        let z = fa.is_zero();
-                        if neg { z.not() } else { z }
-                    };
-                    self.eval_equivalence(p, &[(*rs, true)], &a, &b, eval, merge);
-                }
+            Inst::Seqz { rd: _, rs } | Inst::Snez { rd: _, rs }
+                if self.options.eval_compare_ops =>
+            {
+                let neg = matches!(inst, Inst::Snez { .. });
+                let a = self.k_in(p, *rs);
+                let b = AbsValue::constant(w, 0);
+                let eval = move |fa: &AbsValue, _fb: &AbsValue| {
+                    let z = fa.is_zero();
+                    if neg {
+                        z.not()
+                    } else {
+                        z
+                    }
+                };
+                self.eval_equivalence(p, &[(*rs, true)], &a, &b, eval, merge);
             }
             // No intra rules: arithmetic (carry-coupled), memory (unmodeled),
             // calls and prints (externally observable), nop/li/la (no reads).
@@ -353,8 +367,7 @@ impl<'a> IntraRules<'a> {
             for (idx, &(i, oi)) in outcomes.iter().enumerate() {
                 for &(j, oj) in &outcomes[..idx] {
                     if oi == oj {
-                        let (ai, aj) =
-                            (self.arr(p, r, i).unwrap(), self.arr(p, r, j).unwrap());
+                        let (ai, aj) = (self.arr(p, r, i).unwrap(), self.arr(p, r, j).unwrap());
                         merge(ai, aj);
                     }
                 }

@@ -10,7 +10,9 @@
 
 use bec_dataflow::{AbsValue, BitValue};
 use bec_ir::semantics::eval_alu;
-use bec_ir::{AluOp, DefUse, Function, Inst, MachineConfig, PointId, PointInst, PointLayout, Program, Reg};
+use bec_ir::{
+    AluOp, DefUse, Function, Inst, MachineConfig, PointId, PointInst, PointLayout, Program, Reg,
+};
 use std::collections::{HashMap, VecDeque};
 
 /// Results of the bit-value analysis for one function.
@@ -81,7 +83,8 @@ impl BitValues {
         }
         let mut acc = AbsValue::bottom(self.width);
         for &d in defs {
-            let dv = self.out_vals.get(&(d, u)).copied().unwrap_or_else(|| AbsValue::bottom(self.width));
+            let dv =
+                self.out_vals.get(&(d, u)).copied().unwrap_or_else(|| AbsValue::bottom(self.width));
             acc = acc.meet(&dv);
         }
         acc
@@ -147,12 +150,7 @@ pub fn transfer(
         Inst::Load { rd, .. } => vec![(*rd, AbsValue::top(w))], // memory not modeled
         Inst::Call { callee } => {
             // ABI summary: every written/clobbered register becomes unknown.
-            program
-                .call_effects(callee)
-                .writes
-                .into_iter()
-                .map(|r| (r, AbsValue::top(w)))
-                .collect()
+            program.call_effects(callee).writes.into_iter().map(|r| (r, AbsValue::top(w))).collect()
         }
         Inst::Store { .. } | Inst::Print { .. } | Inst::Nop => Vec::new(),
     }
@@ -329,7 +327,10 @@ entry:
         let du = DefUse::compute(f, &p);
         let bv = BitValues::compute(&p, f, &du);
         // la produces the known global address.
-        assert_eq!(bv.value_after(PointId(1), Reg::T1).as_const(), Some(bec_ir::program::DATA_BASE));
+        assert_eq!(
+            bv.value_after(PointId(1), Reg::T1).as_const(),
+            Some(bec_ir::program::DATA_BASE)
+        );
         // Loads are unknown.
         assert_eq!(bv.value_after(PointId(2), Reg::T2), AbsValue::top(32));
         // The call clobbers t0 (caller-saved).

@@ -95,9 +95,9 @@ impl Coalescing {
                 for i in 0..w {
                     let site = nodes.site(p, r, i).expect("site exists");
                     let s0_rep = uf.find(S0);
-                    let all_masked = users.iter().all(|&q| {
-                        nodes.arrival(q, r, i).is_some_and(|a| uf.find_imm(a) == s0_rep)
-                    });
+                    let all_masked = users
+                        .iter()
+                        .all(|&q| nodes.arrival(q, r, i).is_some_and(|a| uf.find_imm(a) == s0_rep));
                     if all_masked {
                         uf.union(site, S0);
                     } else if aligned_single_use {
@@ -177,10 +177,7 @@ impl Coalescing {
 
     /// Whether two sites are provably equivalent.
     pub fn same_class(&self, a: FaultSite, b: FaultSite) -> bool {
-        match (
-            self.class_of(a.point, a.reg, a.bit),
-            self.class_of(b.point, b.reg, b.bit),
-        ) {
+        match (self.class_of(a.point, a.reg, a.bit), self.class_of(b.point, b.reg, b.bit)) {
             (Some(x), Some(y)) => x == y,
             _ => false,
         }

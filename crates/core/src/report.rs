@@ -45,7 +45,7 @@ pub fn group_digits(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, ch) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(' ');
         }
         out.push(ch);
@@ -68,10 +68,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = format_table(
             &["Benchmark", "Runs"],
-            &[
-                vec!["aes".into(), "12".into()],
-                vec!["crc".into(), "1234".into()],
-            ],
+            &[vec!["aes".into(), "12".into()], vec!["crc".into(), "1234".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -76,9 +76,7 @@ pub fn function_surface(
                 continue;
             }
             for bit in 0..w {
-                let live = covering
-                    .iter()
-                    .any(|&d| fa.coalescing.class_of(d, v, bit) != Some(s0));
+                let live = covering.iter().any(|&d| fa.coalescing.class_of(d, v, bit) != Some(s0));
                 if live {
                     bits_here += 1;
                 }

@@ -75,10 +75,7 @@ fn profile(p: &Program) -> ExecProfile {
         let count = if block.label == "loop" { 7 } else { 1 };
         for off in 0..block.point_count() {
             let pt = layout.point(bec_ir::BlockId(bi as u32), off);
-            let is_jump = matches!(
-                layout.resolve(f, pt).as_term(),
-                Some(Terminator::Jump { .. })
-            );
+            let is_jump = matches!(layout.resolve(f, pt).as_term(), Some(Terminator::Jump { .. }));
             prof.set(0, pt, if is_jump { 0 } else { count });
         }
     }

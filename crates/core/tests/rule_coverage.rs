@@ -35,9 +35,8 @@ fn mv_relocates_every_bit() {
 
 #[test]
 fn xor_relocates_both_operands() {
-    let bec = analyze(
-        "    lw r1, 0(r0)\n    lw r2, 4(r0)\n    xor r3, r1, r2\n    print r3\n    exit",
-    );
+    let bec =
+        analyze("    lw r1, 0(r0)\n    lw r2, 4(r0)\n    xor r3, r1, r2\n    print r3\n    exit");
     let fa = &bec.functions()[0];
     for bit in 0..8 {
         // Window of r1 after its last read-before-xor ≡ window of r3.
@@ -197,7 +196,8 @@ fn sltu_eval_equivalence_merges_decisive_bits() {
 fn write_to_zero_register_masks_arrivals() {
     // On an rv32 machine, mv zero, t0 discards the value: faults in t0's
     // final window are dead.
-    let src = "func @main(args=0, ret=none) {\nentry:\n    lw t0, 0(sp)\n    mv zero, t0\n    exit\n}\n";
+    let src =
+        "func @main(args=0, ret=none) {\nentry:\n    lw t0, 0(sp)\n    mv zero, t0\n    exit\n}\n";
     let p = parse_program(src).unwrap();
     let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
     let fa = &bec.functions()[0];

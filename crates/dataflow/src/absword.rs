@@ -22,7 +22,7 @@ pub struct AbsValue {
 
 impl AbsValue {
     fn mask(width: u32) -> u64 {
-        debug_assert!(width >= 1 && width <= 64);
+        debug_assert!((1..=64).contains(&width));
         if width >= 64 {
             u64::MAX
         } else {
@@ -256,7 +256,8 @@ impl AbsValue {
         if let (Some(a), Some(b)) = (self.as_const(), other.as_const()) {
             return AbsValue::constant(self.width, a.wrapping_mul(b));
         }
-        let known_low = |v: &AbsValue| (0..v.width).take_while(|&i| v.bit(i).is_known()).count() as u32;
+        let known_low =
+            |v: &AbsValue| (0..v.width).take_while(|&i| v.bit(i).is_known()).count() as u32;
         let n = known_low(self).min(known_low(other));
         let mut out = AbsValue::top(self.width);
         if n > 0 {

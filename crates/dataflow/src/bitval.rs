@@ -116,6 +116,7 @@ impl BitValue {
     }
 
     /// Abstract negation of the bit.
+    #[allow(clippy::should_implement_trait)] // `v.not()` mirrors the paper's notation
     pub fn not(self) -> BitValue {
         match self {
             Bottom => Bottom,

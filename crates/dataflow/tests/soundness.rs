@@ -1,144 +1,160 @@
 //! Property tests: every abstract transfer function over-approximates the
 //! concrete operation (γ-soundness), and the lattice laws hold.
+//!
+//! Cases come from the deterministic [`bec_testutil::Rng`]; failures print
+//! the seed to replay with `Rng::seeded(seed)`.
 
 use bec_dataflow::{AbsValue, BitValue};
-use proptest::prelude::*;
+use bec_testutil::Rng;
 
-/// Strategy: an abstract 8-bit word plus one concrete value it admits.
-fn word_with_member() -> impl Strategy<Value = (AbsValue, u64)> {
-    // For each bit: 0 = known zero, 1 = known one, 2 = unknown.
-    (proptest::collection::vec(0u8..3, 8), any::<u64>()).prop_map(|(kinds, seed)| {
-        let mut v = AbsValue::top(8);
-        let mut concrete = 0u64;
-        for (i, k) in kinds.iter().enumerate() {
-            let i = i as u32;
-            match k {
-                0 => v.set_bit(i, BitValue::Zero),
-                1 => {
-                    v.set_bit(i, BitValue::One);
+const CASES: u64 = 512;
+
+/// An abstract 8-bit word plus one concrete value it admits.
+fn word_with_member(rng: &mut Rng) -> (AbsValue, u64) {
+    let mut v = AbsValue::top(8);
+    let mut concrete = 0u64;
+    for i in 0..8u32 {
+        match rng.range_u64(0, 3) {
+            0 => v.set_bit(i, BitValue::Zero),
+            1 => {
+                v.set_bit(i, BitValue::One);
+                concrete |= 1 << i;
+            }
+            _ => {
+                v.set_bit(i, BitValue::Top);
+                if rng.bool() {
                     concrete |= 1 << i;
-                }
-                _ => {
-                    v.set_bit(i, BitValue::Top);
-                    if seed >> i & 1 != 0 {
-                        concrete |= 1 << i;
-                    }
                 }
             }
         }
-        (v, concrete)
-    })
+    }
+    (v, concrete)
 }
 
-proptest! {
-    #[test]
-    fn and_is_sound(((a, ca), (b, cb)) in (word_with_member(), word_with_member())) {
-        prop_assert!(a.and(&b).admits(ca & cb));
+/// Runs `check` on `CASES` random cases (the failing operands are printed by
+/// the assertions themselves).
+fn for_cases(seed: u64, mut check: impl FnMut(&mut Rng)) {
+    let mut rng = Rng::seeded(seed);
+    for _ in 0..CASES {
+        check(&mut rng);
     }
+}
 
-    #[test]
-    fn or_is_sound(((a, ca), (b, cb)) in (word_with_member(), word_with_member())) {
-        prop_assert!(a.or(&b).admits(ca | cb));
-    }
+#[test]
+fn bitwise_ops_are_sound() {
+    for_cases(0xD0_01, |rng| {
+        let (a, ca) = word_with_member(rng);
+        let (b, cb) = word_with_member(rng);
+        assert!(a.and(&b).admits(ca & cb), "and: {a:?} {b:?}");
+        assert!(a.or(&b).admits(ca | cb), "or: {a:?} {b:?}");
+        assert!(a.xor(&b).admits(ca ^ cb), "xor: {a:?} {b:?}");
+        assert!(a.not().admits(!ca), "not: {a:?}");
+    });
+}
 
-    #[test]
-    fn xor_is_sound(((a, ca), (b, cb)) in (word_with_member(), word_with_member())) {
-        prop_assert!(a.xor(&b).admits(ca ^ cb));
-    }
+#[test]
+fn arithmetic_ops_are_sound() {
+    for_cases(0xD0_02, |rng| {
+        let (a, ca) = word_with_member(rng);
+        let (b, cb) = word_with_member(rng);
+        assert!(a.add(&b).admits(ca.wrapping_add(cb)), "add: {a:?} {b:?}");
+        assert!(a.sub(&b).admits(ca.wrapping_sub(cb)), "sub: {a:?} {b:?}");
+        assert!(a.neg().admits(0u64.wrapping_sub(ca)), "neg: {a:?}");
+        assert!(a.mul_low(&b).admits(ca.wrapping_mul(cb)), "mul: {a:?} {b:?}");
+    });
+}
 
-    #[test]
-    fn not_is_sound((a, ca) in word_with_member()) {
-        prop_assert!(a.not().admits(!ca));
-    }
-
-    #[test]
-    fn add_is_sound(((a, ca), (b, cb)) in (word_with_member(), word_with_member())) {
-        prop_assert!(a.add(&b).admits(ca.wrapping_add(cb)));
-    }
-
-    #[test]
-    fn sub_is_sound(((a, ca), (b, cb)) in (word_with_member(), word_with_member())) {
-        prop_assert!(a.sub(&b).admits(ca.wrapping_sub(cb)));
-    }
-
-    #[test]
-    fn neg_is_sound((a, ca) in word_with_member()) {
-        prop_assert!(a.neg().admits(0u64.wrapping_sub(ca)));
-    }
-
-    #[test]
-    fn mul_low_is_sound(((a, ca), (b, cb)) in (word_with_member(), word_with_member())) {
-        prop_assert!(a.mul_low(&b).admits(ca.wrapping_mul(cb)));
-    }
-
-    #[test]
-    fn shifts_are_sound((a, ca) in word_with_member(), k in 0u32..8) {
-        prop_assert!(a.shl_const(k).admits(ca << k));
-        prop_assert!(a.shr_const(k).admits((ca & 0xff) >> k));
+#[test]
+fn shifts_are_sound() {
+    for_cases(0xD0_03, |rng| {
+        let (a, ca) = word_with_member(rng);
+        let k = rng.range_u64(0, 8) as u32;
+        assert!(a.shl_const(k).admits(ca << k), "shl {k}: {a:?}");
+        assert!(a.shr_const(k).admits((ca & 0xff) >> k), "shr {k}: {a:?}");
         // Arithmetic shift over 8 bits.
         let sa = (ca as u8) as i8;
-        prop_assert!(a.sra_const(k).admits((sa >> k) as u64));
-    }
+        assert!(a.sra_const(k).admits((sa >> k) as u64), "sra {k}: {a:?}");
+    });
+}
 
-    #[test]
-    fn ranges_bound_members((a, ca) in word_with_member()) {
-        prop_assert!(a.min_u() <= (ca & 0xff));
-        prop_assert!((ca & 0xff) <= a.max_u());
+#[test]
+fn ranges_bound_members() {
+    for_cases(0xD0_04, |rng| {
+        let (a, ca) = word_with_member(rng);
+        assert!(a.min_u() <= (ca & 0xff), "{a:?}");
+        assert!((ca & 0xff) <= a.max_u(), "{a:?}");
         let s = (ca as u8) as i8 as i64;
-        prop_assert!(a.min_s() <= s && s <= a.max_s());
-    }
+        assert!(a.min_s() <= s && s <= a.max_s(), "{a:?}");
+    });
+}
 
-    #[test]
-    fn compares_are_sound(((a, ca), (b, cb)) in (word_with_member(), word_with_member())) {
+#[test]
+fn compares_are_sound() {
+    for_cases(0xD0_05, |rng| {
+        let (a, ca) = word_with_member(rng);
+        let (b, cb) = word_with_member(rng);
         let ltu = (ca & 0xff) < (cb & 0xff);
-        prop_assert!(a.lt_u(&b).admits(ltu));
+        assert!(a.lt_u(&b).admits(ltu), "ltu: {a:?} {b:?}");
         let lts = ((ca as u8) as i8) < ((cb as u8) as i8);
-        prop_assert!(a.lt_s(&b).admits(lts));
-        prop_assert!(a.eq(&b).admits((ca & 0xff) == (cb & 0xff)));
-        prop_assert!(a.is_zero().admits((ca & 0xff) == 0));
-    }
+        assert!(a.lt_s(&b).admits(lts), "lts: {a:?} {b:?}");
+        assert!(a.eq(&b).admits((ca & 0xff) == (cb & 0xff)), "eq: {a:?} {b:?}");
+        assert!(a.is_zero().admits((ca & 0xff) == 0), "is_zero: {a:?}");
+    });
+}
 
-    #[test]
-    fn meet_over_approximates_both(((a, ca), (b, cb)) in (word_with_member(), word_with_member())) {
+#[test]
+fn meet_over_approximates_both() {
+    for_cases(0xD0_06, |rng| {
+        let (a, ca) = word_with_member(rng);
+        let (b, cb) = word_with_member(rng);
         let m = a.meet(&b);
-        prop_assert!(m.admits(ca));
-        prop_assert!(m.admits(cb));
-        prop_assert!(a.le(&m));
-        prop_assert!(b.le(&m));
-    }
+        assert!(m.admits(ca), "{a:?} {b:?}");
+        assert!(m.admits(cb), "{a:?} {b:?}");
+        assert!(a.le(&m), "{a:?} {b:?}");
+        assert!(b.le(&m), "{a:?} {b:?}");
+    });
+}
 
-    #[test]
-    fn meet_is_commutative_and_idempotent(((a, _), (b, _)) in (word_with_member(), word_with_member())) {
-        prop_assert_eq!(a.meet(&b), b.meet(&a));
-        prop_assert_eq!(a.meet(&a), a);
-    }
+#[test]
+fn meet_is_commutative_and_idempotent() {
+    for_cases(0xD0_07, |rng| {
+        let (a, _) = word_with_member(rng);
+        let (b, _) = word_with_member(rng);
+        assert_eq!(a.meet(&b), b.meet(&a));
+        assert_eq!(a.meet(&a), a);
+    });
+}
 
-    #[test]
-    fn transfer_functions_are_monotone(((a, _), (b, _), (x, _)) in
-        (word_with_member(), word_with_member(), word_with_member()))
-    {
+#[test]
+fn transfer_functions_are_monotone() {
+    for_cases(0xD0_08, |rng| {
+        let (a, _) = word_with_member(rng);
+        let (b, _) = word_with_member(rng);
+        let (x, _) = word_with_member(rng);
         // If a ≤ a⊔b then f(a, x) ≤ f(a⊔b, x) for each transfer f.
         let am = a.meet(&b);
-        prop_assert!(a.and(&x).le(&am.and(&x)));
-        prop_assert!(a.or(&x).le(&am.or(&x)));
-        prop_assert!(a.xor(&x).le(&am.xor(&x)));
-        prop_assert!(a.add(&x).le(&am.add(&x)));
-        prop_assert!(a.sub(&x).le(&am.sub(&x)));
-        prop_assert!(a.mul_low(&x).le(&am.mul_low(&x)));
-        prop_assert!(a.not().le(&am.not()));
+        assert!(a.and(&x).le(&am.and(&x)), "{a:?} {b:?} {x:?}");
+        assert!(a.or(&x).le(&am.or(&x)), "{a:?} {b:?} {x:?}");
+        assert!(a.xor(&x).le(&am.xor(&x)), "{a:?} {b:?} {x:?}");
+        assert!(a.add(&x).le(&am.add(&x)), "{a:?} {b:?} {x:?}");
+        assert!(a.sub(&x).le(&am.sub(&x)), "{a:?} {b:?} {x:?}");
+        assert!(a.mul_low(&x).le(&am.mul_low(&x)), "{a:?} {b:?} {x:?}");
+        assert!(a.not().le(&am.not()), "{a:?} {b:?}");
         for k in 0..8 {
-            prop_assert!(a.shl_const(k).le(&am.shl_const(k)));
-            prop_assert!(a.shr_const(k).le(&am.shr_const(k)));
-            prop_assert!(a.sra_const(k).le(&am.sra_const(k)));
+            assert!(a.shl_const(k).le(&am.shl_const(k)), "{a:?} {b:?} shl {k}");
+            assert!(a.shr_const(k).le(&am.shr_const(k)), "{a:?} {b:?} shr {k}");
+            assert!(a.sra_const(k).le(&am.sra_const(k)), "{a:?} {b:?} sra {k}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn bool_word_shape(b in prop_oneof![Just(BitValue::Zero), Just(BitValue::One), Just(BitValue::Top)]) {
+#[test]
+fn bool_word_shape() {
+    for b in [BitValue::Zero, BitValue::One, BitValue::Top] {
         let w = AbsValue::bool_word(8, b);
-        prop_assert_eq!(w.bit(0), b);
+        assert_eq!(w.bit(0), b);
         for i in 1..8 {
-            prop_assert_eq!(w.bit(i), BitValue::Zero);
+            assert_eq!(w.bit(i), BitValue::Zero);
         }
     }
 }

@@ -56,13 +56,7 @@ impl ProgramBuilder {
     /// Starts building a function. Finish it with
     /// [`FunctionBuilder::finish`] before starting another.
     pub fn function(&mut self, name: impl Into<String>, sig: Signature) -> FunctionBuilder<'_> {
-        FunctionBuilder {
-            pb: self,
-            name: name.into(),
-            sig,
-            blocks: Vec::new(),
-            current: None,
-        }
+        FunctionBuilder { pb: self, name: name.into(), sig, blocks: Vec::new(), current: None }
     }
 
     /// Consumes the builder, returning the program.
@@ -106,10 +100,7 @@ impl<'a> FunctionBuilder<'a> {
                 self.blocks[cur].0
             );
         }
-        assert!(
-            self.blocks.iter().all(|(l, ..)| *l != label),
-            "duplicate block label `{label}`"
-        );
+        assert!(self.blocks.iter().all(|(l, ..)| *l != label), "duplicate block label `{label}`");
         self.blocks.push((label, Vec::new(), None));
         self.current = Some(self.blocks.len() - 1);
         self

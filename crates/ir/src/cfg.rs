@@ -86,8 +86,8 @@ fn reverse_postorder(succs: &[Vec<BlockId>], n: usize) -> Vec<BlockId> {
         }
     }
     let mut rpo: Vec<BlockId> = post.into_iter().rev().collect();
-    for i in 0..n {
-        if !visited[i] {
+    for (i, seen) in visited.iter().enumerate().take(n) {
+        if !seen {
             rpo.push(BlockId(i as u32));
         }
     }

@@ -42,7 +42,11 @@ impl MachineConfig {
 
     /// Bit mask selecting the `xlen` low bits of a `u64`.
     pub fn mask(&self) -> u64 {
-        if self.xlen >= 64 { u64::MAX } else { (1u64 << self.xlen) - 1 }
+        if self.xlen >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.xlen) - 1
+        }
     }
 
     /// Truncates a value to the machine word width.
@@ -57,7 +61,11 @@ impl MachineConfig {
             return v as i64;
         }
         let sign = 1u64 << (self.xlen - 1);
-        if v & sign != 0 { (v | !self.mask()) as i64 } else { v as i64 }
+        if v & sign != 0 {
+            (v | !self.mask()) as i64
+        } else {
+            v as i64
+        }
     }
 
     /// Mask applied to shift amounts (RISC-V masks shifts to `log2(xlen)`

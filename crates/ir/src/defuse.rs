@@ -148,8 +148,7 @@ impl DefUse {
             for off in (0..blk.point_count()).rev() {
                 let p = layout.point(b, off);
                 let pi = layout.resolve(f, p);
-                let accesses =
-                    pi.reads(program).contains(&r) || pi.writes(program).contains(&r);
+                let accesses = pi.reads(program).contains(&r) || pi.writes(program).contains(&r);
                 if accesses {
                     // use(p, r): readers *after* p — the state before this
                     // backward step.

@@ -378,13 +378,20 @@ mod tests {
     fn display_forms() {
         let i = Inst::AluImm { op: AluOp::And, rd: Reg::T0, rs1: Reg::T1, imm: 1 };
         assert_eq!(i.to_string(), "andi t0, t1, 1");
-        let l = Inst::Load { rd: Reg::A0, base: Reg::SP, offset: -8, width: MemWidth::Word, signed: true };
+        let l = Inst::Load {
+            rd: Reg::A0,
+            base: Reg::SP,
+            offset: -8,
+            width: MemWidth::Word,
+            signed: true,
+        };
         assert_eq!(l.to_string(), "lw a0, -8(sp)");
     }
 
     #[test]
     fn map_regs_rewrites_all_operands() {
-        let mut i = Inst::Alu { op: AluOp::Xor, rd: Reg::virt(0), rs1: Reg::virt(1), rs2: Reg::virt(2) };
+        let mut i =
+            Inst::Alu { op: AluOp::Xor, rd: Reg::virt(0), rs1: Reg::virt(1), rs2: Reg::virt(2) };
         i.map_regs(|r| Reg::phys(r.index() + 10));
         assert_eq!(i.reads(), vec![Reg::A1, Reg::phys(12)]);
         assert_eq!(i.writes(), vec![Reg::A0]);

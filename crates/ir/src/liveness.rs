@@ -148,10 +148,7 @@ impl Liveness {
         let zero = program.config.zero_reg;
 
         let reg_ids = |regs: Vec<Reg>| -> Vec<usize> {
-            regs.into_iter()
-                .filter(|r| Some(*r) != zero)
-                .filter_map(|r| universe.id(r))
-                .collect()
+            regs.into_iter().filter(|r| Some(*r) != zero).filter_map(|r| universe.id(r)).collect()
         };
 
         // Block-level fixpoint on live-in sets.

@@ -126,16 +126,13 @@ impl<'a> Parser<'a> {
         let mut has_ret = false;
         for part in inner.split(',').map(str::trim).filter(|s| !s.is_empty()) {
             if let Some(v) = part.strip_prefix("args=") {
-                args = v
-                    .parse()
-                    .map_err(|_| IrError::at_line(ln, format!("bad args count `{v}`")))?;
+                args =
+                    v.parse().map_err(|_| IrError::at_line(ln, format!("bad args count `{v}`")))?;
             } else if let Some(v) = part.strip_prefix("ret=") {
                 has_ret = match v {
                     "none" => false,
                     "a0" => true,
-                    other => {
-                        return Err(IrError::at_line(ln, format!("bad ret spec `{other}`")))
-                    }
+                    other => return Err(IrError::at_line(ln, format!("bad ret spec `{other}`"))),
                 };
             } else {
                 return Err(IrError::at_line(ln, format!("bad signature item `{part}`")));
@@ -146,9 +143,8 @@ impl<'a> Parser<'a> {
         // Body: labelled blocks until `}`.
         let mut raw_blocks: Vec<(String, Vec<Inst>, Option<RawTerm>, usize)> = Vec::new();
         loop {
-            let (ln, line) = self
-                .next()
-                .ok_or_else(|| IrError::at_line(ln, "unterminated function body"))?;
+            let (ln, line) =
+                self.next().ok_or_else(|| IrError::at_line(ln, "unterminated function body"))?;
             if line == "}" {
                 break;
             }
@@ -186,8 +182,9 @@ impl<'a> Parser<'a> {
                     .copied()
                     .ok_or_else(|| IrError::at_line(bln, format!("unresolved label `{l}`")))
             };
-            let term = term
-                .ok_or_else(|| IrError::at_line(bln, format!("block `{label}` lacks terminator")))?;
+            let term = term.ok_or_else(|| {
+                IrError::at_line(bln, format!("block `{label}` lacks terminator"))
+            })?;
             let term = match term {
                 RawTerm::Jump(t) => Terminator::Jump { target: resolve(&t)? },
                 RawTerm::Branch { cond, rs1, rs2, taken, fallthrough } => {
@@ -223,22 +220,14 @@ fn parse_machine(ln: usize, rest: &str) -> Result<MachineConfig, IrError> {
     let mut c = MachineConfig::rv32();
     for part in rest.split_whitespace() {
         if let Some(v) = part.strip_prefix("xlen=") {
-            c.xlen = v
-                .parse()
-                .map_err(|_| IrError::at_line(ln, format!("bad xlen `{v}`")))?;
+            c.xlen = v.parse().map_err(|_| IrError::at_line(ln, format!("bad xlen `{v}`")))?;
             if c.xlen == 0 || c.xlen > 64 {
                 return Err(IrError::at_line(ln, "xlen must be in 1..=64"));
             }
         } else if let Some(v) = part.strip_prefix("regs=") {
-            c.num_regs = v
-                .parse()
-                .map_err(|_| IrError::at_line(ln, format!("bad regs `{v}`")))?;
+            c.num_regs = v.parse().map_err(|_| IrError::at_line(ln, format!("bad regs `{v}`")))?;
         } else if let Some(v) = part.strip_prefix("zero=") {
-            c.zero_reg = if v == "none" {
-                None
-            } else {
-                Some(parse_reg(ln, v)?)
-            };
+            c.zero_reg = if v == "none" { None } else { Some(parse_reg(ln, v)?) };
         } else {
             return Err(IrError::at_line(ln, format!("bad machine item `{part}`")));
         }
@@ -248,9 +237,8 @@ fn parse_machine(ln: usize, rest: &str) -> Result<MachineConfig, IrError> {
 
 fn parse_global(ln: usize, rest: &str) -> Result<Global, IrError> {
     // name: word[N] [= { a, b, ... }]   |   name: byte[N] [= { ... }]
-    let (name, decl) = rest
-        .split_once(':')
-        .ok_or_else(|| IrError::at_line(ln, "global needs `name: type[N]`"))?;
+    let (name, decl) =
+        rest.split_once(':').ok_or_else(|| IrError::at_line(ln, "global needs `name: type[N]`"))?;
     let name = name.trim().to_owned();
     let (ty_part, init_part) = match decl.split_once('=') {
         Some((t, i)) => (t.trim(), Some(i.trim())),
@@ -316,9 +304,8 @@ fn parse_imm(ln: usize, s: &str) -> Result<i64, IrError> {
 
 /// Parses `off(base)` memory operands.
 fn parse_mem(ln: usize, s: &str) -> Result<(i64, Reg), IrError> {
-    let open = s
-        .find('(')
-        .ok_or_else(|| IrError::at_line(ln, format!("bad memory operand `{s}`")))?;
+    let open =
+        s.find('(').ok_or_else(|| IrError::at_line(ln, format!("bad memory operand `{s}`")))?;
     let off = if s[..open].trim().is_empty() { 0 } else { parse_imm(ln, &s[..open])? };
     let base = s[open + 1..]
         .strip_suffix(')')
@@ -331,11 +318,8 @@ fn parse_line(ln: usize, line: &str) -> Result<Parsed, IrError> {
         Some((m, r)) => (m, r.trim()),
         None => (line, ""),
     };
-    let ops: Vec<&str> = if rest.is_empty() {
-        Vec::new()
-    } else {
-        rest.split(',').map(str::trim).collect()
-    };
+    let ops: Vec<&str> =
+        if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
     let want = |n: usize| -> Result<(), IrError> {
         if ops.len() == n {
             Ok(())
@@ -449,12 +433,8 @@ fn parse_line(ln: usize, line: &str) -> Result<Parsed, IrError> {
             fallthrough: ops.get(3).map(|s| (*s).to_owned()),
         }));
     }
-    let z_branches: &[(&str, Cond)] = &[
-        ("beqz", Cond::Eq),
-        ("bnez", Cond::Ne),
-        ("bltz", Cond::Lt),
-        ("bgez", Cond::Ge),
-    ];
+    let z_branches: &[(&str, Cond)] =
+        &[("beqz", Cond::Eq), ("bnez", Cond::Ne), ("bltz", Cond::Lt), ("bgez", Cond::Ge)];
     if let Some((_, cond)) = z_branches.iter().find(|(m, _)| *m == mn) {
         if ops.len() != 2 && ops.len() != 3 {
             return Err(IrError::at_line(ln, format!("`{mn}` expects 2 or 3 operands")));
@@ -526,10 +506,7 @@ fn parse_line(ln: usize, line: &str) -> Result<Parsed, IrError> {
             Ok(Parsed::Term(RawTerm::Jump(ops[0].to_owned())))
         }
         "ret" => {
-            let regs = ops
-                .iter()
-                .map(|s| parse_reg(ln, s))
-                .collect::<Result<Vec<_>, _>>()?;
+            let regs = ops.iter().map(|s| parse_reg(ln, s)).collect::<Result<Vec<_>, _>>()?;
             Ok(Parsed::Term(RawTerm::Ret(regs)))
         }
         "exit" => {

@@ -114,7 +114,8 @@ impl Reg {
     /// (`ra`, `t0..t6`, `a0..a7`). Only meaningful for 32-register configs.
     pub fn is_caller_saved(self) -> bool {
         let i = self.index();
-        !self.is_virtual() && (i == 1 || (5..=7).contains(&i) || (10..=17).contains(&i) || (28..=31).contains(&i))
+        !self.is_virtual()
+            && (i == 1 || (5..=7).contains(&i) || (10..=17).contains(&i) || (28..=31).contains(&i))
     }
 
     /// Whether this register is callee-saved under the RISC-V ABI

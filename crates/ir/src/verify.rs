@@ -64,21 +64,18 @@ fn verify_function(p: &Program, f: &crate::function::Function) -> Result<(), IrE
             for r in inst.reads().into_iter().chain(inst.writes()) {
                 check_reg(r)?;
             }
+            use crate::inst::AluOp;
             match inst {
-                Inst::AluImm { op, imm, .. } if matches!(op, crate::inst::AluOp::Sll | crate::inst::AluOp::Srl | crate::inst::AluOp::Sra) => {
-                    if *imm < 0 || *imm >= p.config.xlen as i64 {
-                        return err(format!("shift amount {imm} outside 0..{}", p.config.xlen));
-                    }
+                Inst::AluImm { op: AluOp::Sll | AluOp::Srl | AluOp::Sra, imm, .. }
+                    if *imm < 0 || *imm >= p.config.xlen as i64 =>
+                {
+                    return err(format!("shift amount {imm} outside 0..{}", p.config.xlen));
                 }
-                Inst::Call { callee } => {
-                    if p.function(callee).is_none() {
-                        return err(format!("call to undefined function `@{callee}`"));
-                    }
+                Inst::Call { callee } if p.function(callee).is_none() => {
+                    return err(format!("call to undefined function `@{callee}`"));
                 }
-                Inst::La { global, .. } => {
-                    if p.global_address(global).is_none() {
-                        return err(format!("`la` of undefined global `@{global}`"));
-                    }
+                Inst::La { global, .. } if p.global_address(global).is_none() => {
+                    return err(format!("`la` of undefined global `@{global}`"));
                 }
                 _ => {}
             }

@@ -42,9 +42,8 @@ pub struct Token {
 
 const PUNCTS: &[&str] = &[
     // Longest first so maximal munch works.
-    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
-    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
-    "(", ")", "{", "}", "[", "]", ",", ";",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "=", "!",
+    "~", "&", "|", "^", "(", ")", "{", "}", "[", "]", ",", ";",
 ];
 
 /// Lexes `src` into tokens (with a trailing [`Tok::Eof`]).

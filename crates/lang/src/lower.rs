@@ -90,7 +90,8 @@ struct FuncGen<'a> {
 
 impl<'a> FuncGen<'a> {
     fn new(unit: &'a Unit, decl: &'a FuncDecl, sigs: &'a HashMap<String, (usize, bool)>) -> Self {
-        let globals = unit.globals.iter().map(|g| (g.name.as_str(), g.array_len.is_some())).collect();
+        let globals =
+            unit.globals.iter().map(|g| (g.name.as_str(), g.array_len.is_some())).collect();
         FuncGen {
             decl,
             sigs,
@@ -138,10 +139,8 @@ impl<'a> FuncGen<'a> {
         // Remove globals shadow entries: locals are whatever got declared or
         // is a parameter; counts may include globals — filter them.
         let globals = &self.globals;
-        let mut locals: Vec<(String, u64)> = counts
-            .into_iter()
-            .filter(|(n, _)| !globals.contains_key(n.as_str()))
-            .collect();
+        let mut locals: Vec<(String, u64)> =
+            counts.into_iter().filter(|(n, _)| !globals.contains_key(n.as_str())).collect();
         locals.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
         // Frame: [scratch saves][slot locals][s saves][ra]
@@ -179,7 +178,12 @@ impl<'a> FuncGen<'a> {
         }
         if self.makes_calls {
             let off = self.ra_off();
-            self.push(Inst::Store { rs: Reg::RA, base: Reg::SP, offset: off, width: MemWidth::Word });
+            self.push(Inst::Store {
+                rs: Reg::RA,
+                base: Reg::SP,
+                offset: off,
+                width: MemWidth::Word,
+            });
         }
         for (i, s) in self.used_sregs.clone().into_iter().enumerate() {
             let off = self.s_save_off(i);
@@ -189,9 +193,12 @@ impl<'a> FuncGen<'a> {
             let a = Reg::arg(i as u32);
             match self.homes[&p] {
                 Home::SReg(s) => self.push(Inst::Mv { rd: s, rs: a }),
-                Home::Slot(off) => {
-                    self.push(Inst::Store { rs: a, base: Reg::SP, offset: off, width: MemWidth::Word })
-                }
+                Home::Slot(off) => self.push(Inst::Store {
+                    rs: a,
+                    base: Reg::SP,
+                    offset: off,
+                    width: MemWidth::Word,
+                }),
             }
         }
     }
@@ -199,11 +206,23 @@ impl<'a> FuncGen<'a> {
     fn emit_epilogue(&mut self) {
         for (i, s) in self.used_sregs.clone().into_iter().enumerate() {
             let off = self.s_save_off(i);
-            self.push(Inst::Load { rd: s, base: Reg::SP, offset: off, width: MemWidth::Word, signed: true });
+            self.push(Inst::Load {
+                rd: s,
+                base: Reg::SP,
+                offset: off,
+                width: MemWidth::Word,
+                signed: true,
+            });
         }
         if self.makes_calls {
             let off = self.ra_off();
-            self.push(Inst::Load { rd: Reg::RA, base: Reg::SP, offset: off, width: MemWidth::Word, signed: true });
+            self.push(Inst::Load {
+                rd: Reg::RA,
+                base: Reg::SP,
+                offset: off,
+                width: MemWidth::Word,
+                signed: true,
+            });
         }
         if self.frame > 0 {
             self.push(Inst::AluImm { op: AluOp::Add, rd: Reg::SP, rs1: Reg::SP, imm: self.frame });
@@ -260,10 +279,8 @@ impl<'a> FuncGen<'a> {
         for (i, b) in self.blocks.iter().enumerate() {
             ids.insert(b.label.clone(), BlockId(i as u32));
         }
-        let sig = Signature {
-            args: self.decl.params.len() as u8,
-            has_ret: self.decl.returns_value,
-        };
+        let sig =
+            Signature { args: self.decl.params.len() as u8, has_ret: self.decl.returns_value };
         let mut f = Function::new(self.decl.name.clone(), sig);
         for b in self.blocks {
             let term = match b.term.expect("all blocks terminated") {
@@ -311,7 +328,12 @@ impl<'a> FuncGen<'a> {
                     self.push(Inst::La { rd: t(2), global: name.clone() });
                     self.push(Inst::AluImm { op: AluOp::Sll, rd: t(1), rs1: t(1), imm: 2 });
                     self.push(Inst::Alu { op: AluOp::Add, rd: t(2), rs1: t(2), rs2: t(1) });
-                    self.push(Inst::Store { rs: t(0), base: t(2), offset: 0, width: MemWidth::Word });
+                    self.push(Inst::Store {
+                        rs: t(0),
+                        base: t(2),
+                        offset: 0,
+                        width: MemWidth::Word,
+                    });
                     Ok(())
                 }
             },
@@ -397,12 +419,22 @@ impl<'a> FuncGen<'a> {
             }
             Some(Home::Slot(off)) => {
                 let off = *off;
-                self.push(Inst::Store { rs: src, base: Reg::SP, offset: off, width: MemWidth::Word });
+                self.push(Inst::Store {
+                    rs: src,
+                    base: Reg::SP,
+                    offset: off,
+                    width: MemWidth::Word,
+                });
             }
             None => {
                 // Global scalar.
                 self.push(Inst::La { rd: t(SCRATCH - 1), global: name.to_owned() });
-                self.push(Inst::Store { rs: src, base: t(SCRATCH - 1), offset: 0, width: MemWidth::Word });
+                self.push(Inst::Store {
+                    rs: src,
+                    base: t(SCRATCH - 1),
+                    offset: 0,
+                    width: MemWidth::Word,
+                });
             }
         }
     }
@@ -427,24 +459,45 @@ impl<'a> FuncGen<'a> {
                     }
                     Some(Home::Slot(off)) => {
                         let off = *off;
-                        self.push(Inst::Load { rd: t(d), base: Reg::SP, offset: off, width: MemWidth::Word, signed: true });
+                        self.push(Inst::Load {
+                            rd: t(d),
+                            base: Reg::SP,
+                            offset: off,
+                            width: MemWidth::Word,
+                            signed: true,
+                        });
                     }
                     None => {
                         self.push(Inst::La { rd: t(d), global: name.clone() });
-                        self.push(Inst::Load { rd: t(d), base: t(d), offset: 0, width: MemWidth::Word, signed: true });
+                        self.push(Inst::Load {
+                            rd: t(d),
+                            base: t(d),
+                            offset: 0,
+                            width: MemWidth::Word,
+                            signed: true,
+                        });
                     }
                 }
                 Ok(())
             }
             Expr::Index(name, idx) => {
                 if d + 1 >= SCRATCH {
-                    return Err(CompileError::new(line, "expression too complex (scratch overflow)"));
+                    return Err(CompileError::new(
+                        line,
+                        "expression too complex (scratch overflow)",
+                    ));
                 }
                 self.eval(idx, d, line)?;
                 self.push(Inst::La { rd: t(d + 1), global: name.clone() });
                 self.push(Inst::AluImm { op: AluOp::Sll, rd: t(d), rs1: t(d), imm: 2 });
                 self.push(Inst::Alu { op: AluOp::Add, rd: t(d), rs1: t(d + 1), rs2: t(d) });
-                self.push(Inst::Load { rd: t(d), base: t(d), offset: 0, width: MemWidth::Word, signed: true });
+                self.push(Inst::Load {
+                    rd: t(d),
+                    base: t(d),
+                    offset: 0,
+                    width: MemWidth::Word,
+                    signed: true,
+                });
                 Ok(())
             }
             Expr::Un(op, a) => {
@@ -466,7 +519,16 @@ impl<'a> FuncGen<'a> {
                     if let Some(alu) = imm_op(*op) {
                         let imm = v as i64;
                         let is_shift = matches!(alu, AluOp::Sll | AluOp::Srl | AluOp::Sra);
-                        let fits = alu.has_imm_form() && (!is_shift || (0..32).contains(&imm));
+                        // RV32I constraint: shifts carry a 5-bit shamt, all
+                        // other immediate forms a signed 12-bit field; wider
+                        // constants go through a register like real RISC-V
+                        // codegen (keeps programs encodable by bec-rv32).
+                        let fits = alu.has_imm_form()
+                            && if is_shift {
+                                (0..32).contains(&imm)
+                            } else {
+                                (-2048..2048).contains(&imm)
+                            };
                         if fits {
                             self.eval(a, d, line)?;
                             self.push(Inst::AluImm { op: alu, rd: t(d), rs1: t(d), imm });
@@ -582,7 +644,13 @@ impl<'a> FuncGen<'a> {
         self.push(Inst::Call { callee: name.to_owned() });
         for k in 0..d {
             let off = self.scratch_base + 4 * k as i64;
-            self.push(Inst::Load { rd: t(k), base: Reg::SP, offset: off, width: MemWidth::Word, signed: true });
+            self.push(Inst::Load {
+                rd: t(k),
+                base: Reg::SP,
+                offset: off,
+                width: MemWidth::Word,
+                signed: true,
+            });
         }
         let returns = self.sigs[name].1;
         if returns && want_value {
@@ -685,8 +753,7 @@ fn calls_in_stmts(body: &[Stmt], sigs: &HashMap<String, (usize, bool)>) -> bool 
     body.iter().any(|s| match s {
         Stmt::Decl { init, .. } => expr_calls(init),
         Stmt::Assign { target, value, .. } => {
-            expr_calls(value)
-                || matches!(target, LValue::Index(_, idx) if expr_calls(idx))
+            expr_calls(value) || matches!(target, LValue::Index(_, idx) if expr_calls(idx))
         }
         Stmt::If { cond, then_body, else_body, .. } => {
             expr_calls(cond) || calls_in_stmts(then_body, sigs) || calls_in_stmts(else_body, sigs)

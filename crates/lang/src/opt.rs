@@ -221,10 +221,7 @@ entry:
         optimize(&mut p);
         let f = p.function("f").unwrap();
         // a0 is read by ret: the mv (or an equivalent li into a0) remains.
-        let writes_a0 = f.blocks[0]
-            .insts
-            .iter()
-            .any(|i| i.writes().contains(&bec_ir::Reg::A0));
+        let writes_a0 = f.blocks[0].insts.iter().any(|i| i.writes().contains(&bec_ir::Reg::A0));
         assert!(writes_a0, "{:?}", f.blocks[0].insts);
     }
 

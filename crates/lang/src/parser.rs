@@ -102,13 +102,17 @@ impl<'a> Parser<'a> {
         if self.eat_punct("[") {
             match self.bump().clone() {
                 Tok::Int(n) => array_len = Some(n),
-                other => return Err(self.err(format!("expected array length, found {}", describe(&other)))),
+                other => {
+                    return Err(
+                        self.err(format!("expected array length, found {}", describe(&other)))
+                    )
+                }
             }
             self.expect_punct("]")?;
         }
         let mut init = Vec::new();
         if self.eat_punct("=") {
-            if array_len.is_some() {
+            if let Some(len) = array_len {
                 self.expect_punct("{")?;
                 loop {
                     if self.eat_punct("}") {
@@ -120,7 +124,7 @@ impl<'a> Parser<'a> {
                         break;
                     }
                 }
-                if init.len() as u64 > array_len.unwrap() {
+                if init.len() as u64 > len {
                     return Err(CompileError::new(line, "too many initializers"));
                 }
             } else {
@@ -157,7 +161,8 @@ impl<'a> Parser<'a> {
                         break;
                     }
                     other => {
-                        return Err(self.err(format!("expected `int` parameter, found {}", describe(&other))))
+                        return Err(self
+                            .err(format!("expected `int` parameter, found {}", describe(&other))))
                     }
                 }
                 params.push(self.ident()?);

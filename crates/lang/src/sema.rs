@@ -126,9 +126,7 @@ impl<'a> Checker<'a> {
             Stmt::Return { value, line } => match (value, self.returns_value) {
                 (Some(e), true) => self.expr(e, *line, true),
                 (None, false) => Ok(()),
-                (Some(_), false) => {
-                    Err(CompileError::new(*line, "void function returns a value"))
-                }
+                (Some(_), false) => Err(CompileError::new(*line, "void function returns a value")),
                 (None, true) => Err(CompileError::new(*line, "missing return value")),
             },
             Stmt::Break { line } | Stmt::Continue { line } => {
@@ -211,12 +209,18 @@ mod tests {
 
     #[test]
     fn accepts_valid_unit() {
-        assert!(check_src("int g = 1;\nint f(int a) { return a + g; }\nvoid main() { print(f(2)); }").is_ok());
+        assert!(check_src(
+            "int g = 1;\nint f(int a) { return a + g; }\nvoid main() { print(f(2)); }"
+        )
+        .is_ok());
     }
 
     #[test]
     fn rejects_undeclared_and_arity() {
-        assert!(check_src("void main() { print(x); }").unwrap_err().message().contains("undeclared"));
+        assert!(check_src("void main() { print(x); }")
+            .unwrap_err()
+            .message()
+            .contains("undeclared"));
         assert!(check_src("int f(int a) { return a; }\nvoid main() { print(f(1, 2)); }")
             .unwrap_err()
             .message()
@@ -225,7 +229,10 @@ mod tests {
 
     #[test]
     fn rejects_array_scalar_confusion() {
-        assert!(check_src("int a[4];\nvoid main() { print(a); }").unwrap_err().message().contains("array"));
+        assert!(check_src("int a[4];\nvoid main() { print(a); }")
+            .unwrap_err()
+            .message()
+            .contains("array"));
         assert!(check_src("int g = 0;\nvoid main() { print(g[0]); }")
             .unwrap_err()
             .message()

@@ -1,0 +1,32 @@
+//! Encodes every suite benchmark to RV32 machine code and reports the
+//! image sizes — a quick check that the whole evaluation suite stays
+//! within the encoder's reach. With an argument, prints that benchmark as
+//! flat RV32 assembly instead (this is how the `examples/bench_*.s`
+//! fixtures were generated):
+//!
+//! ```text
+//! cargo run -p bec-rv32 --example suite_coverage            # size table
+//! cargo run -p bec-rv32 --example suite_coverage crc32      # .s on stdout
+//! ```
+
+fn main() {
+    if let Some(name) = std::env::args().nth(1) {
+        let b = bec_suite::benchmark(&name).unwrap_or_else(|| panic!("no benchmark `{name}`"));
+        let p = b.compile().expect("compiles");
+        print!(
+            "# {} benchmark, exported from the bec-suite mini-C sources.\n\
+             # expected outputs: {:?}\n{}",
+            b.name,
+            b.expected,
+            bec_rv32::print_rv32(&p)
+        );
+        return;
+    }
+    for b in bec_suite::all() {
+        let p = b.compile().expect("compiles");
+        match bec_rv32::encode_program(&p) {
+            Ok(img) => println!("{}: {} words", b.name, img.words.len()),
+            Err(e) => println!("{}: NOT ENCODABLE: {e}", b.name),
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! Assembler frontend: standard RV32I assembly syntax → [`bec_ir::Program`].
+//!
+//! Unlike [`bec_ir::parser`], which requires explicitly block-structured
+//! input, this frontend accepts the flat syntax real RISC-V toolchains
+//! emit: sections, labels anywhere, implicit fallthrough, ABI or numeric
+//! register names. The supported surface:
+//!
+//! ```text
+//! # comments with '#' or '//'
+//!     .data
+//! table:  .word 1, 2, 3, 4        # 32-bit little-endian words
+//! buf:    .zero 16                # 16 zero bytes (.space is an alias)
+//! msg:    .byte 1, 2, 3
+//!     .org 0x1040                 # advance the data cursor (word-aligned)
+//!     .text
+//!     .globl main                 # function symbols (.global is an alias)
+//!     .sig  main args=0 ret=none  # optional ABI annotation (default shown)
+//! main:
+//!     li   t0, 1234
+//!     la   a1, table
+//! loop:
+//!     addi t0, t0, -1
+//!     bnez t0, loop               # implicit fallthrough to next line
+//!     call helper
+//!     print a0                    # observable output (custom-0 extension)
+//!     ecall                       # program exit
+//! ```
+//!
+//! Functions begin at labels declared `.globl` (or at the first text
+//! label); every other label opens a basic block. Branches take standard
+//! 3-operand (`beq a, b, target`) or compare-to-zero (`beqz a, target`)
+//! forms with implicit fallthrough; `j`, `call`, `ret`, `ecall`/`exit`,
+//! `tail`-free. `ret` reads the return-value register exactly when the
+//! function's `.sig` declares `ret=a0`.
+
+use crate::error::Rv32Error;
+use bec_ir::program::DATA_BASE;
+use bec_ir::{
+    Block, BlockId, Cond, Function, Global, Inst, MachineConfig, Program, Reg, Signature,
+    Terminator,
+};
+use std::collections::HashMap;
+
+/// Parses standard RV32I assembly text into a machine program.
+///
+/// # Errors
+///
+/// Returns an [`Rv32Error`] carrying the 1-based source line for syntax
+/// errors, unknown mnemonics or registers, duplicate or unresolved labels,
+/// and malformed directives.
+pub fn parse_asm(src: &str) -> Result<Program, Rv32Error> {
+    Assembler::new().assemble(src)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// A flat text-section item, pre-CFG.
+enum Item {
+    /// A straight-line instruction.
+    Inst(Inst),
+    /// An unconditional jump to a label.
+    Jump(String),
+    /// A conditional branch to a label (fallthrough is the next item).
+    Branch { cond: Cond, rs1: Reg, rs2: Option<Reg> },
+    /// Function return.
+    Ret,
+    /// Program exit.
+    Exit,
+}
+
+/// One function under construction: its items plus the labels attached to
+/// each item index.
+struct RawFunc {
+    name: String,
+    line: usize,
+    labels: Vec<(String, usize)>,              // label -> item index
+    items: Vec<(Item, Option<String>, usize)>, // item, branch target, line
+}
+
+struct Assembler {
+    globals: Vec<Global>,
+    entry: Option<String>,
+    sigs: HashMap<String, Signature>,
+    exported: Vec<String>,
+    funcs: Vec<RawFunc>,
+    section: Section,
+    data_cursor: u64,
+}
+
+impl Assembler {
+    fn new() -> Assembler {
+        Assembler {
+            globals: Vec::new(),
+            entry: None,
+            sigs: HashMap::new(),
+            exported: Vec::new(),
+            funcs: Vec::new(),
+            section: Section::Text,
+            data_cursor: 0,
+        }
+    }
+
+    fn assemble(mut self, src: &str) -> Result<Program, Rv32Error> {
+        for (i, raw) in src.lines().enumerate() {
+            let ln = i + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            self.line(ln, line)?;
+        }
+        self.finish()
+    }
+
+    fn line(&mut self, ln: usize, mut line: &str) -> Result<(), Rv32Error> {
+        // Leading labels (possibly several on one line).
+        while let Some(colon) = find_label(line) {
+            let label = line[..colon].trim();
+            if !is_symbol(label) {
+                return Err(Rv32Error::at_line(ln, format!("bad label `{label}`")));
+            }
+            self.define_label(ln, label)?;
+            line = line[colon + 1..].trim();
+        }
+        if line.is_empty() {
+            return Ok(());
+        }
+        if line.starts_with('.') {
+            return self.directive(ln, line);
+        }
+        match self.section {
+            Section::Text => self.instruction(ln, line),
+            Section::Data => Err(Rv32Error::at_line(ln, "instruction in .data section")),
+        }
+    }
+
+    fn define_label(&mut self, ln: usize, label: &str) -> Result<(), Rv32Error> {
+        match self.section {
+            Section::Data => {
+                if self.globals.iter().any(|g| g.name == label) {
+                    return Err(Rv32Error::at_line(ln, format!("duplicate data label `{label}`")));
+                }
+                self.globals.push(Global::zeroed(label, 0));
+                Ok(())
+            }
+            Section::Text => {
+                let starts_function =
+                    self.exported.iter().any(|e| e == label) || self.funcs.is_empty();
+                if starts_function {
+                    if self.funcs.iter().any(|f| f.name == label) {
+                        return Err(Rv32Error::at_line(
+                            ln,
+                            format!("duplicate function `{label}`"),
+                        ));
+                    }
+                    self.funcs.push(RawFunc {
+                        name: label.to_owned(),
+                        line: ln,
+                        labels: Vec::new(),
+                        items: Vec::new(),
+                    });
+                } else {
+                    let f = self.funcs.last_mut().expect("inside a function");
+                    if f.labels.iter().any(|(l, _)| l == label) {
+                        return Err(Rv32Error::at_line(ln, format!("duplicate label `{label}`")));
+                    }
+                    let idx = f.items.len();
+                    f.labels.push((label.to_owned(), idx));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn directive(&mut self, ln: usize, line: &str) -> Result<(), Rv32Error> {
+        let (name, rest) = match line.split_once(char::is_whitespace) {
+            Some((n, r)) => (n, r.trim()),
+            None => (line, ""),
+        };
+        match name {
+            ".text" => self.section = Section::Text,
+            ".data" => self.section = Section::Data,
+            ".globl" | ".global" => {
+                if !is_symbol(rest) {
+                    return Err(Rv32Error::at_line(ln, format!("bad symbol `{rest}`")));
+                }
+                self.exported.push(rest.to_owned());
+            }
+            ".entry" => {
+                if !is_symbol(rest) {
+                    return Err(Rv32Error::at_line(ln, format!("bad entry symbol `{rest}`")));
+                }
+                self.entry = Some(rest.to_owned());
+            }
+            ".sig" => self.sig_directive(ln, rest)?,
+            ".word" | ".byte" => {
+                let elem = if name == ".word" { 4 } else { 1 };
+                let g = self.current_global(ln)?;
+                for item in rest.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                    let v = parse_imm(ln, item)?;
+                    if elem == 4 {
+                        g.init.extend_from_slice(&(v as u32).to_le_bytes());
+                    } else {
+                        g.init.push(v as u8);
+                    }
+                    g.size += elem;
+                }
+            }
+            ".zero" | ".space" => {
+                let n = parse_imm(ln, rest)?;
+                if n < 0 {
+                    return Err(Rv32Error::at_line(ln, "negative .zero size"));
+                }
+                let g = self.current_global(ln)?;
+                g.size += n as u64;
+            }
+            ".org" => {
+                if self.section != Section::Data {
+                    return Err(Rv32Error::at_line(ln, ".org is only supported in .data"));
+                }
+                let target = parse_imm(ln, rest)? as u64;
+                let cur = DATA_BASE + self.data_size();
+                if target < cur || !(target - cur).is_multiple_of(4) {
+                    return Err(Rv32Error::at_line(
+                        ln,
+                        format!(".org {target:#x} is behind or misaligned (cursor {cur:#x})"),
+                    ));
+                }
+                if target > cur {
+                    self.data_cursor += 1;
+                    self.globals
+                        .push(Global::zeroed(format!(".pad{}", self.data_cursor), target - cur));
+                }
+            }
+            ".align" => {
+                let n = parse_imm(ln, rest)?;
+                if !(0..=12).contains(&n) {
+                    return Err(Rv32Error::at_line(ln, "bad .align exponent"));
+                }
+                let g = self.current_global(ln)?;
+                let align = 1u64 << n;
+                g.size = (g.size + align - 1) & !(align - 1);
+            }
+            other => return Err(Rv32Error::at_line(ln, format!("unknown directive `{other}`"))),
+        }
+        Ok(())
+    }
+
+    /// Total data size with the 4-byte per-global alignment of
+    /// [`Program::global_addresses`] applied.
+    fn data_size(&self) -> u64 {
+        self.globals.iter().map(|g| (g.size + 3) & !3).sum()
+    }
+
+    fn sig_directive(&mut self, ln: usize, rest: &str) -> Result<(), Rv32Error> {
+        // .sig name args=N ret=a0|none   (commas optional)
+        let mut parts = rest.split([' ', '\t', ',']).filter(|s| !s.is_empty());
+        let name =
+            parts.next().ok_or_else(|| Rv32Error::at_line(ln, ".sig needs a function name"))?;
+        let mut sig = Signature::void(0);
+        for p in parts {
+            if let Some(v) = p.strip_prefix("args=") {
+                sig.args = v
+                    .parse()
+                    .map_err(|_| Rv32Error::at_line(ln, format!("bad args count `{v}`")))?;
+            } else if let Some(v) = p.strip_prefix("ret=") {
+                sig.has_ret = match v {
+                    "none" => false,
+                    "a0" => true,
+                    other => return Err(Rv32Error::at_line(ln, format!("bad ret spec `{other}`"))),
+                };
+            } else {
+                return Err(Rv32Error::at_line(ln, format!("bad .sig item `{p}`")));
+            }
+        }
+        self.sigs.insert(name.to_owned(), sig);
+        Ok(())
+    }
+
+    fn current_global(&mut self, ln: usize) -> Result<&mut Global, Rv32Error> {
+        if self.section != Section::Data {
+            return Err(Rv32Error::at_line(ln, "data directive outside .data"));
+        }
+        self.globals
+            .last_mut()
+            .ok_or_else(|| Rv32Error::at_line(ln, "data directive before any label"))
+    }
+
+    fn instruction(&mut self, ln: usize, line: &str) -> Result<(), Rv32Error> {
+        if self.funcs.is_empty() {
+            return Err(Rv32Error::at_line(ln, "instruction before any label"));
+        }
+        let (item, target) = parse_text_line(ln, line)?;
+        self.funcs.last_mut().expect("checked above").items.push((item, target, ln));
+        Ok(())
+    }
+
+    fn finish(self) -> Result<Program, Rv32Error> {
+        let mut program = Program::new(MachineConfig::rv32());
+        program.globals = self.globals;
+        for raw in &self.funcs {
+            let sig = self.sigs.get(&raw.name).copied().unwrap_or_default();
+            program.functions.push(build_cfg(raw, sig)?);
+        }
+        if program.functions.is_empty() {
+            return Err(Rv32Error::new("no code in .text"));
+        }
+        program.entry = match self.entry {
+            Some(e) => e,
+            None if program.function("main").is_some() => "main".to_owned(),
+            None => program.functions[0].name.clone(),
+        };
+        bec_ir::verify_program(&program)?;
+        Ok(program)
+    }
+}
+
+/// Converts one function's flat item list into basic blocks: a new block
+/// starts at every label and after every terminator; blocks without an
+/// explicit terminator fall through to the next block.
+fn build_cfg(raw: &RawFunc, sig: Signature) -> Result<Function, Rv32Error> {
+    let n = raw.items.len();
+    // Block leaders (item indices), always including index 0.
+    let mut leaders: Vec<usize> = vec![0];
+    for (_, idx) in &raw.labels {
+        leaders.push(*idx);
+    }
+    for (i, (item, ..)) in raw.items.iter().enumerate() {
+        if matches!(item, Item::Jump(_) | Item::Branch { .. } | Item::Ret | Item::Exit) && i + 1 < n
+        {
+            leaders.push(i + 1);
+        }
+    }
+    leaders.sort_unstable();
+    leaders.dedup();
+    if n == 0 {
+        return Err(Rv32Error::at_line(raw.line, format!("function `{}` is empty", raw.name)));
+    }
+
+    let block_of_item =
+        |idx: usize| -> BlockId { BlockId(leaders.binary_search(&idx).expect("leader") as u32) };
+    let mut label_block: HashMap<&str, BlockId> = HashMap::new();
+    // The function symbol itself names the entry block (so loops may jump
+    // back to the function head).
+    label_block.insert(raw.name.as_str(), BlockId(0));
+    for (l, idx) in &raw.labels {
+        if *idx >= n {
+            return Err(Rv32Error::at_line(
+                raw.line,
+                format!("label `{l}` at the end of `{}` has no instruction", raw.name),
+            ));
+        }
+        label_block.insert(l.as_str(), block_of_item(*idx));
+    }
+    let resolve = |l: &str, ln: usize| -> Result<BlockId, Rv32Error> {
+        label_block
+            .get(l)
+            .copied()
+            .ok_or_else(|| Rv32Error::at_line(ln, format!("unresolved label `{l}`")))
+    };
+
+    let ret_reads = if sig.has_ret { vec![Reg::A0] } else { Vec::new() };
+    let mut f = Function::new(&raw.name, sig);
+    for (bi, &start) in leaders.iter().enumerate() {
+        let end = leaders.get(bi + 1).copied().unwrap_or(n);
+        let label = raw
+            .labels
+            .iter()
+            .find(|(_, idx)| *idx == start)
+            .map(|(l, _)| l.clone())
+            .unwrap_or_else(|| if bi == 0 { "entry".to_owned() } else { format!(".b{bi}") });
+        let mut block = Block::new(label);
+        let mut term = None;
+        for (item, target, ln) in &raw.items[start..end] {
+            debug_assert!(term.is_none(), "terminator mid-block");
+            match item {
+                Item::Inst(i) => block.insts.push(i.clone()),
+                Item::Jump(l) => term = Some(Terminator::Jump { target: resolve(l, *ln)? }),
+                Item::Branch { cond, rs1, rs2 } => {
+                    let l = target.as_deref().expect("branch carries target");
+                    if bi + 1 >= leaders.len() && end == n {
+                        return Err(Rv32Error::at_line(
+                            *ln,
+                            "branch at function end has no fallthrough",
+                        ));
+                    }
+                    term = Some(Terminator::Branch {
+                        cond: *cond,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        taken: resolve(l, *ln)?,
+                        fallthrough: BlockId(bi as u32 + 1),
+                    });
+                }
+                Item::Ret => term = Some(Terminator::Ret { reads: ret_reads.clone() }),
+                Item::Exit => term = Some(Terminator::Exit),
+            }
+        }
+        block.term = match term {
+            Some(t) => t,
+            None if bi + 1 < leaders.len() => Terminator::Jump { target: BlockId(bi as u32 + 1) },
+            None => {
+                return Err(Rv32Error::at_line(
+                    raw.line,
+                    format!("function `{}` runs off its end without ret/ecall", raw.name),
+                ))
+            }
+        };
+        f.blocks.push(block);
+    }
+    Ok(f)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find('#').unwrap_or(line.len());
+    let cut2 = line.find("//").unwrap_or(line.len());
+    &line[..cut.min(cut2)]
+}
+
+/// Position of a leading label's `:`; labels precede any operands, so a
+/// colon only counts before the first whitespace-separated operand list.
+fn find_label(line: &str) -> Option<usize> {
+    let colon = line.find(':')?;
+    let head = &line[..colon];
+    if head.trim().is_empty() || head.contains(char::is_whitespace) || head.contains('(') {
+        return None;
+    }
+    Some(colon)
+}
+
+fn is_symbol(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+}
+
+fn parse_reg(ln: usize, s: &str) -> Result<Reg, Rv32Error> {
+    let r = Reg::parse(s.trim())
+        .ok_or_else(|| Rv32Error::at_line(ln, format!("unknown register `{s}`")))?;
+    if r.is_virtual() || r.index() >= 32 {
+        return Err(Rv32Error::at_line(ln, format!("`{s}` is not an RV32 register")));
+    }
+    Ok(r)
+}
+
+fn parse_imm(ln: usize, s: &str) -> Result<i64, Rv32Error> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(h) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(h, 16).map(|v| v as i64)
+    } else if let Some(b) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        u64::from_str_radix(b, 2).map(|v| v as i64)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| Rv32Error::at_line(ln, format!("bad immediate `{s}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// Parses `off(base)` memory operands.
+fn parse_mem(ln: usize, s: &str) -> Result<(i64, Reg), Rv32Error> {
+    let open =
+        s.find('(').ok_or_else(|| Rv32Error::at_line(ln, format!("bad memory operand `{s}`")))?;
+    let off = if s[..open].trim().is_empty() { 0 } else { parse_imm(ln, &s[..open])? };
+    let base = s[open + 1..]
+        .strip_suffix(')')
+        .ok_or_else(|| Rv32Error::at_line(ln, format!("bad memory operand `{s}`")))?;
+    Ok((off, parse_reg(ln, base)?))
+}
+
+fn symbol_operand(ln: usize, s: &str) -> Result<String, Rv32Error> {
+    let s = s.strip_prefix('@').unwrap_or(s);
+    if !is_symbol(s) {
+        return Err(Rv32Error::at_line(ln, format!("bad symbol `{s}`")));
+    }
+    Ok(s.to_owned())
+}
+
+/// Parses one text-section line into an [`Item`] (plus branch target).
+fn parse_text_line(ln: usize, line: &str) -> Result<(Item, Option<String>), Rv32Error> {
+    use bec_ir::{AluOp, MemWidth};
+    let (mn, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (line, ""),
+    };
+    let ops: Vec<&str> =
+        if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
+    let want = |k: usize| -> Result<(), Rv32Error> {
+        if ops.len() == k {
+            Ok(())
+        } else {
+            Err(Rv32Error::at_line(ln, format!("`{mn}` expects {k} operands, got {}", ops.len())))
+        }
+    };
+    let inst = |i: Inst| Ok((Item::Inst(i), None));
+
+    let rr: &[(&str, AluOp)] = &[
+        ("add", AluOp::Add),
+        ("sub", AluOp::Sub),
+        ("and", AluOp::And),
+        ("or", AluOp::Or),
+        ("xor", AluOp::Xor),
+        ("sll", AluOp::Sll),
+        ("srl", AluOp::Srl),
+        ("sra", AluOp::Sra),
+        ("slt", AluOp::Slt),
+        ("sltu", AluOp::Sltu),
+        ("mul", AluOp::Mul),
+        ("mulh", AluOp::Mulh),
+        ("mulhu", AluOp::Mulhu),
+        ("div", AluOp::Div),
+        ("divu", AluOp::Divu),
+        ("rem", AluOp::Rem),
+        ("remu", AluOp::Remu),
+    ];
+    if let Some((_, op)) = rr.iter().find(|(m, _)| *m == mn) {
+        want(3)?;
+        return inst(Inst::Alu {
+            op: *op,
+            rd: parse_reg(ln, ops[0])?,
+            rs1: parse_reg(ln, ops[1])?,
+            rs2: parse_reg(ln, ops[2])?,
+        });
+    }
+    let ri: &[(&str, AluOp)] = &[
+        ("addi", AluOp::Add),
+        ("andi", AluOp::And),
+        ("ori", AluOp::Or),
+        ("xori", AluOp::Xor),
+        ("slli", AluOp::Sll),
+        ("srli", AluOp::Srl),
+        ("srai", AluOp::Sra),
+        ("slti", AluOp::Slt),
+        ("sltiu", AluOp::Sltu),
+    ];
+    if let Some((_, op)) = ri.iter().find(|(m, _)| *m == mn) {
+        want(3)?;
+        return inst(Inst::AluImm {
+            op: *op,
+            rd: parse_reg(ln, ops[0])?,
+            rs1: parse_reg(ln, ops[1])?,
+            imm: parse_imm(ln, ops[2])?,
+        });
+    }
+    let loads: &[(&str, MemWidth, bool)] = &[
+        ("lw", MemWidth::Word, true),
+        ("lh", MemWidth::Half, true),
+        ("lhu", MemWidth::Half, false),
+        ("lb", MemWidth::Byte, true),
+        ("lbu", MemWidth::Byte, false),
+    ];
+    if let Some((_, width, signed)) = loads.iter().find(|(m, ..)| *m == mn) {
+        want(2)?;
+        let (offset, base) = parse_mem(ln, ops[1])?;
+        return inst(Inst::Load {
+            rd: parse_reg(ln, ops[0])?,
+            base,
+            offset,
+            width: *width,
+            signed: *signed,
+        });
+    }
+    let stores: &[(&str, MemWidth)] =
+        &[("sw", MemWidth::Word), ("sh", MemWidth::Half), ("sb", MemWidth::Byte)];
+    if let Some((_, width)) = stores.iter().find(|(m, _)| *m == mn) {
+        want(2)?;
+        let (offset, base) = parse_mem(ln, ops[1])?;
+        return inst(Inst::Store { rs: parse_reg(ln, ops[0])?, base, offset, width: *width });
+    }
+    let branches: &[(&str, Cond)] = &[
+        ("beq", Cond::Eq),
+        ("bne", Cond::Ne),
+        ("blt", Cond::Lt),
+        ("bge", Cond::Ge),
+        ("bltu", Cond::Ltu),
+        ("bgeu", Cond::Geu),
+    ];
+    if let Some((_, cond)) = branches.iter().find(|(m, _)| *m == mn) {
+        want(3)?;
+        let item = Item::Branch {
+            cond: *cond,
+            rs1: parse_reg(ln, ops[0])?,
+            rs2: Some(parse_reg(ln, ops[1])?),
+        };
+        return Ok((item, Some(symbol_operand(ln, ops[2])?)));
+    }
+    let z_branches: &[(&str, Cond)] =
+        &[("beqz", Cond::Eq), ("bnez", Cond::Ne), ("bltz", Cond::Lt), ("bgez", Cond::Ge)];
+    if let Some((_, cond)) = z_branches.iter().find(|(m, _)| *m == mn) {
+        want(2)?;
+        let item = Item::Branch { cond: *cond, rs1: parse_reg(ln, ops[0])?, rs2: None };
+        return Ok((item, Some(symbol_operand(ln, ops[1])?)));
+    }
+
+    match mn {
+        "li" => {
+            want(2)?;
+            inst(Inst::Li { rd: parse_reg(ln, ops[0])?, imm: parse_imm(ln, ops[1])? })
+        }
+        "lui" => {
+            want(2)?;
+            let v = parse_imm(ln, ops[1])?;
+            if !(0..1 << 20).contains(&v) {
+                return Err(Rv32Error::at_line(ln, format!("lui immediate {v} outside 20 bits")));
+            }
+            inst(Inst::Li { rd: parse_reg(ln, ops[0])?, imm: (v << 12) as i32 as i64 })
+        }
+        "la" => {
+            want(2)?;
+            inst(Inst::La { rd: parse_reg(ln, ops[0])?, global: symbol_operand(ln, ops[1])? })
+        }
+        "mv" => {
+            want(2)?;
+            inst(Inst::Mv { rd: parse_reg(ln, ops[0])?, rs: parse_reg(ln, ops[1])? })
+        }
+        "neg" => {
+            want(2)?;
+            inst(Inst::Neg { rd: parse_reg(ln, ops[0])?, rs: parse_reg(ln, ops[1])? })
+        }
+        "not" => {
+            want(2)?;
+            inst(Inst::AluImm {
+                op: bec_ir::AluOp::Xor,
+                rd: parse_reg(ln, ops[0])?,
+                rs1: parse_reg(ln, ops[1])?,
+                imm: -1,
+            })
+        }
+        "seqz" => {
+            want(2)?;
+            inst(Inst::Seqz { rd: parse_reg(ln, ops[0])?, rs: parse_reg(ln, ops[1])? })
+        }
+        "snez" => {
+            want(2)?;
+            inst(Inst::Snez { rd: parse_reg(ln, ops[0])?, rs: parse_reg(ln, ops[1])? })
+        }
+        "call" => {
+            want(1)?;
+            inst(Inst::Call { callee: symbol_operand(ln, ops[0])? })
+        }
+        "print" => {
+            want(1)?;
+            inst(Inst::Print { rs: parse_reg(ln, ops[0])? })
+        }
+        "nop" => {
+            want(0)?;
+            inst(Inst::Nop)
+        }
+        "j" => {
+            want(1)?;
+            Ok((Item::Jump(symbol_operand(ln, ops[0])?), None))
+        }
+        "ret" => {
+            want(0)?;
+            Ok((Item::Ret, None))
+        }
+        "ecall" | "exit" => {
+            want(0)?;
+            Ok((Item::Exit, None))
+        }
+        other => Err(Rv32Error::at_line(ln, format!("unknown mnemonic `{other}`"))),
+    }
+}

@@ -1,0 +1,307 @@
+//! Program encoder: lowers a [`bec_ir::Program`] to a flat RV32I text
+//! image.
+//!
+//! The encoder is a classic two-pass assembler back end:
+//!
+//! 1. **Layout** — expand every instruction and terminator to its machine
+//!    word count (pseudo-instructions like `li` take one or two words,
+//!    branches grow a trampoline `jal` when their fallthrough is not the
+//!    next block in layout order) and assign every block and function an
+//!    address.
+//! 2. **Emission** — resolve branch/jump/call targets to pc-relative
+//!    offsets and emit the final words through [`MInst::encode`].
+//!
+//! Functions are laid out in program order from [`Image::base`]; globals
+//! keep the address assignment of [`bec_ir::Program::global_addresses`]
+//! (`la` lowers to an absolute `lui`/`addi` pair), so an encoded image runs
+//! against the same memory layout the simulator uses.
+
+use crate::error::Rv32Error;
+use crate::minst::MInst;
+use bec_ir::{Function, Inst, Program, Reg, Terminator};
+use std::collections::HashMap;
+
+/// Default base address of the encoded text segment.
+pub const TEXT_BASE: u32 = 0x0;
+
+/// A symbol of the encoded image (one per function).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Symbol {
+    /// Function name.
+    pub name: String,
+    /// Address of the function's first word.
+    pub addr: u32,
+}
+
+/// A flat encoded text image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Image {
+    /// Address of `words[0]`.
+    pub base: u32,
+    /// The encoded instruction words.
+    pub words: Vec<u32>,
+    /// Function symbols, in layout order.
+    pub symbols: Vec<Symbol>,
+    /// Address of the entry function.
+    pub entry: u32,
+}
+
+impl Image {
+    /// The image as little-endian bytes (the byte order RV32 fetches).
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 4);
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// The symbol covering `addr`, if any.
+    pub fn symbol_at(&self, addr: u32) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.addr == addr)
+    }
+}
+
+/// Splits a 32-bit value into the canonical `lui`/`addi` pair: `hi` such
+/// that `(hi << 12) + sign_extend(lo) == value` with `lo` in `-2048..2048`.
+pub fn hi_lo(value: u32) -> (u32, i32) {
+    let hi = value.wrapping_add(0x800) >> 12;
+    let lo = value.wrapping_sub(hi << 12) as i32;
+    debug_assert!((-2048..2048).contains(&lo));
+    (hi & 0xf_ffff, lo)
+}
+
+fn fits12(v: i64) -> bool {
+    (-2048..2048).contains(&v)
+}
+
+/// Expansion of a load-immediate (also used for `la` with the resolved
+/// address): `addi` when the value fits 12 bits, `lui` when the low bits
+/// are zero, `lui + addi` otherwise.
+fn expand_li(rd: Reg, value: u32) -> Vec<MInst> {
+    let sval = value as i32 as i64;
+    if fits12(sval) {
+        return vec![MInst::OpImm { op: bec_ir::AluOp::Add, rd, rs1: Reg::ZERO, imm: sval as i32 }];
+    }
+    let (hi, lo) = hi_lo(value);
+    if lo == 0 {
+        vec![MInst::Lui { rd, imm20: hi }]
+    } else {
+        vec![
+            MInst::Lui { rd, imm20: hi },
+            MInst::OpImm { op: bec_ir::AluOp::Add, rd, rs1: rd, imm: lo },
+        ]
+    }
+}
+
+/// Expands one IR instruction to machine instructions. `Call` placeholders
+/// carry offset 0 until targets resolve in the emission pass.
+fn expand_inst(inst: &Inst, globals: &HashMap<String, u64>) -> Result<Vec<MInst>, Rv32Error> {
+    use bec_ir::AluOp;
+    Ok(match inst {
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            vec![MInst::Op { op: *op, rd: *rd, rs1: *rs1, rs2: *rs2 }]
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            if !fits12(*imm) && !matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                return Err(Rv32Error::new(format!(
+                    "immediate {imm} of `{}` does not fit the I-type field",
+                    op.mnemonic()
+                )));
+            }
+            vec![MInst::OpImm { op: *op, rd: *rd, rs1: *rs1, imm: *imm as i32 }]
+        }
+        Inst::Li { rd, imm } => {
+            if *imm < -(1i64 << 31) || *imm >= (1i64 << 32) {
+                return Err(Rv32Error::new(format!("li immediate {imm} exceeds 32 bits")));
+            }
+            expand_li(*rd, *imm as u32)
+        }
+        Inst::La { rd, global } => {
+            let addr = *globals
+                .get(global)
+                .ok_or_else(|| Rv32Error::new(format!("`la` of unknown global `{global}`")))?;
+            expand_li(*rd, addr as u32)
+        }
+        Inst::Mv { rd, rs } => {
+            vec![MInst::OpImm { op: AluOp::Add, rd: *rd, rs1: *rs, imm: 0 }]
+        }
+        Inst::Neg { rd, rs } => {
+            vec![MInst::Op { op: AluOp::Sub, rd: *rd, rs1: Reg::ZERO, rs2: *rs }]
+        }
+        Inst::Seqz { rd, rs } => {
+            vec![MInst::OpImm { op: AluOp::Sltu, rd: *rd, rs1: *rs, imm: 1 }]
+        }
+        Inst::Snez { rd, rs } => {
+            vec![MInst::Op { op: AluOp::Sltu, rd: *rd, rs1: Reg::ZERO, rs2: *rs }]
+        }
+        Inst::Load { rd, base, offset, width, signed } => {
+            vec![MInst::Load {
+                rd: *rd,
+                base: *base,
+                offset: *offset as i32,
+                width: *width,
+                signed: *signed,
+            }]
+        }
+        Inst::Store { rs, base, offset, width } => {
+            vec![MInst::Store { rs2: *rs, base: *base, offset: *offset as i32, width: *width }]
+        }
+        Inst::Call { .. } => vec![MInst::Jal { rd: Reg::RA, offset: 0 }],
+        Inst::Print { rs } => vec![MInst::Print { rs: *rs }],
+        Inst::Nop => {
+            vec![MInst::OpImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 }]
+        }
+    })
+}
+
+/// One expanded instruction: its machine words plus the IR instruction it
+/// came from (calls re-resolve their target in the emission pass).
+type ExpandedInst<'a> = (Vec<MInst>, &'a Inst);
+
+/// Word count of a terminator: branches whose fallthrough is not the next
+/// block in layout order need a trampoline `jal`.
+fn term_words(term: &Terminator, block_index: usize) -> usize {
+    match term {
+        Terminator::Branch { fallthrough, .. } if fallthrough.index() != block_index + 1 => 2,
+        _ => 1,
+    }
+}
+
+/// Encodes a whole program into a flat text image based at [`TEXT_BASE`].
+///
+/// # Errors
+///
+/// Rejects programs that are not RV32 machine programs (`xlen`/`num_regs`
+/// other than 32, virtual registers), contain unencodable immediates, or
+/// whose control transfers exceed the branch/jump offset ranges.
+pub fn encode_program(program: &Program) -> Result<Image, Rv32Error> {
+    encode_program_at(program, TEXT_BASE)
+}
+
+/// [`encode_program`] with an explicit text base address.
+pub fn encode_program_at(program: &Program, base: u32) -> Result<Image, Rv32Error> {
+    if program.config.xlen != 32 || program.config.num_regs != 32 {
+        return Err(Rv32Error::new(format!(
+            "not an RV32 program: xlen={} regs={}",
+            program.config.xlen, program.config.num_regs
+        )));
+    }
+    if program.config.zero_reg != Some(Reg::ZERO) {
+        return Err(Rv32Error::new("RV32 requires x0 as the hardwired zero register"));
+    }
+    bec_ir::verify_program(program)?;
+    let globals = program.global_addresses();
+
+    // Pass 1: expand everything and lay out addresses.
+    let mut func_addrs: HashMap<&str, u32> = HashMap::new();
+    // Expanded bodies, indexed [function][block][instruction].
+    let mut expanded: Vec<Vec<Vec<ExpandedInst<'_>>>> = Vec::new();
+    let mut block_addrs: Vec<Vec<u32>> = Vec::new();
+    let mut addr = base;
+    for f in &program.functions {
+        func_addrs.insert(f.name.as_str(), addr);
+        let mut blocks = Vec::new();
+        let mut bodies = Vec::new();
+        for (bi, b) in f.blocks.iter().enumerate() {
+            blocks.push(addr);
+            let mut body = Vec::new();
+            for inst in &b.insts {
+                let ms = expand_inst(inst, &globals)
+                    .map_err(|e| Rv32Error::new(format!("in @{}: {e}", f.name)))?;
+                addr += 4 * ms.len() as u32;
+                body.push((ms, inst));
+            }
+            addr += 4 * term_words(&b.term, bi) as u32;
+            bodies.push(body);
+        }
+        block_addrs.push(blocks);
+        expanded.push(bodies);
+    }
+
+    // Pass 2: emit with resolved offsets.
+    let mut words = Vec::with_capacity(((addr - base) / 4) as usize);
+    let mut pc = base;
+    let emit = |m: &MInst, words: &mut Vec<u32>, pc: &mut u32| -> Result<(), Rv32Error> {
+        words.push(m.encode()?);
+        *pc += 4;
+        Ok(())
+    };
+    for (fi, f) in program.functions.iter().enumerate() {
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for (ms, inst) in &expanded[fi][bi] {
+                if let Inst::Call { callee } = inst {
+                    let target = func_addrs[callee.as_str()];
+                    let m = MInst::Jal { rd: Reg::RA, offset: target.wrapping_sub(pc) as i32 };
+                    emit(&m, &mut words, &mut pc)
+                        .map_err(|e| Rv32Error::new(format!("call @{callee}: {e}")))?;
+                } else {
+                    for m in ms {
+                        emit(m, &mut words, &mut pc)?;
+                    }
+                }
+            }
+            let block_addr = |id: bec_ir::BlockId| block_addrs[fi][id.index()];
+            match &b.term {
+                Terminator::Jump { target } => {
+                    let m = MInst::Jal {
+                        rd: Reg::ZERO,
+                        offset: block_addr(*target).wrapping_sub(pc) as i32,
+                    };
+                    emit(&m, &mut words, &mut pc)?;
+                }
+                Terminator::Branch { cond, rs1, rs2, taken, fallthrough } => {
+                    let m = MInst::Branch {
+                        cond: *cond,
+                        rs1: *rs1,
+                        rs2: rs2.unwrap_or(Reg::ZERO),
+                        offset: block_addr(*taken).wrapping_sub(pc) as i32,
+                    };
+                    emit(&m, &mut words, &mut pc)
+                        .map_err(|e| Rv32Error::new(format!("in @{}: {e}", f.name)))?;
+                    if fallthrough.index() != bi + 1 {
+                        let m = MInst::Jal {
+                            rd: Reg::ZERO,
+                            offset: block_addr(*fallthrough).wrapping_sub(pc) as i32,
+                        };
+                        emit(&m, &mut words, &mut pc)?;
+                    }
+                }
+                Terminator::Ret { .. } => {
+                    emit(
+                        &MInst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 },
+                        &mut words,
+                        &mut pc,
+                    )?;
+                }
+                Terminator::Exit => emit(&MInst::Ecall, &mut words, &mut pc)?,
+            }
+        }
+    }
+    debug_assert_eq!(pc, addr);
+
+    let symbols = program
+        .functions
+        .iter()
+        .map(|f| Symbol { name: f.name.clone(), addr: func_addrs[f.name.as_str()] })
+        .collect();
+    let entry = func_addrs[program.entry.as_str()];
+    Ok(Image { base, words, symbols, entry })
+}
+
+/// Encodes a single function (useful for inspecting one kernel); the
+/// function must not contain calls.
+///
+/// # Errors
+///
+/// Same conditions as [`encode_program`], plus any `call`.
+pub fn encode_function(program: &Program, func: &Function) -> Result<Vec<u32>, Rv32Error> {
+    if func.insts().any(|i| matches!(i, Inst::Call { .. })) {
+        return Err(Rv32Error::new("encode_function cannot resolve calls; encode the program"));
+    }
+    let mut single = Program::new(program.config);
+    single.globals = program.globals.clone();
+    single.functions = vec![func.clone()];
+    single.entry = func.name.clone();
+    Ok(encode_program(&single)?.words)
+}

@@ -1,0 +1,62 @@
+//! Error type shared by the assembler, encoder and decoder.
+
+use std::fmt;
+
+/// An error from the RV32 machine-code layer, optionally carrying the
+/// source line (assembler) or word address (decoder) it arose at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rv32Error {
+    message: String,
+    line: Option<usize>,
+    addr: Option<u32>,
+}
+
+impl Rv32Error {
+    /// An error with no location.
+    pub fn new(message: impl Into<String>) -> Rv32Error {
+        Rv32Error { message: message.into(), line: None, addr: None }
+    }
+
+    /// An assembler error at a 1-based source line.
+    pub fn at_line(line: usize, message: impl Into<String>) -> Rv32Error {
+        Rv32Error { message: message.into(), line: Some(line), addr: None }
+    }
+
+    /// A decoder error at a byte address.
+    pub fn at_addr(addr: u32, message: impl Into<String>) -> Rv32Error {
+        Rv32Error { message: message.into(), line: None, addr: Some(addr) }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The 1-based source line, if the error came from the assembler.
+    pub fn line(&self) -> Option<usize> {
+        self.line
+    }
+
+    /// The byte address, if the error came from the decoder.
+    pub fn addr(&self) -> Option<u32> {
+        self.addr
+    }
+}
+
+impl fmt::Display for Rv32Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.line, self.addr) {
+            (Some(l), _) => write!(f, "line {l}: {}", self.message),
+            (_, Some(a)) => write!(f, "at {a:#010x}: {}", self.message),
+            _ => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for Rv32Error {}
+
+impl From<bec_ir::IrError> for Rv32Error {
+    fn from(e: bec_ir::IrError) -> Rv32Error {
+        Rv32Error::new(e.to_string())
+    }
+}

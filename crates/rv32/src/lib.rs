@@ -1,0 +1,54 @@
+//! RV32I machine-code layer for the BEC reproduction: a bidirectional
+//! bridge between [`bec_ir`] programs and real RISC-V artifacts.
+//!
+//! Three coordinated components (in the spirit of single-pass educational
+//! assemblers like risclet and table-driven encoders like rvasm):
+//!
+//! * [`parse_asm`] — an **assembler frontend** for standard, flat RV32I
+//!   assembly syntax (sections, labels, ABI register names, implicit
+//!   branch fallthrough), producing a [`bec_ir::Program`] on which the
+//!   whole analysis stack — the BEC analysis, the fault-injection pruning
+//!   and the vulnerability-aware scheduler — runs unchanged;
+//! * [`encode_program`] — an **encoder** lowering every IR instruction to
+//!   its 32-bit RV32I(+M) word (R/I/S/B/U/J formats), with canonical
+//!   pseudo-instruction expansion (`li` → `addi`/`lui`[`+addi`], `mv`,
+//!   `neg`, `seqz`, `snez`, `call`, `ret`, block terminators);
+//! * [`lift_image`]/[`lift_words`] — a **decoder/lifter** reconstructing a
+//!   program (functions, basic blocks, re-folded pseudos) from a flat
+//!   word image, so flat binaries become analyzable.
+//!
+//! Round-trip guarantee: `encode_program(&lift_image(&img)?) == img` for
+//! every encoder-produced image (property-tested against the motivating
+//! example and the compiled benchmark suite).
+//!
+//! ```
+//! use bec_rv32::{parse_asm, encode_program, lift_image};
+//!
+//! let program = parse_asm(r#"
+//!     .globl main
+//! main:
+//!     li   t0, 40
+//!     addi t0, t0, 2
+//!     print t0
+//!     ecall
+//! "#)?;
+//! let image = encode_program(&program)?;
+//! assert_eq!(image.words.len(), 4);
+//! let lifted = lift_image(&image)?;
+//! assert_eq!(encode_program(&lifted)?, image);
+//! # Ok::<(), bec_rv32::Rv32Error>(())
+//! ```
+
+pub mod asm;
+pub mod encode;
+pub mod error;
+pub mod lift;
+pub mod minst;
+pub mod printer;
+
+pub use asm::parse_asm;
+pub use encode::{encode_program, encode_program_at, hi_lo, Image, Symbol, TEXT_BASE};
+pub use error::Rv32Error;
+pub use lift::{lift_image, lift_words, roundtrip};
+pub use minst::{decode_word, MInst};
+pub use printer::print_rv32;

@@ -1,0 +1,309 @@
+//! Lifter: reconstructs a [`bec_ir::Program`] from a flat RV32I text image.
+//!
+//! The inverse of [`crate::encode`]: decodes every word, recovers function
+//! boundaries (from symbols when available, otherwise from `jal ra` call
+//! targets), splits each function at branch/jump targets into basic blocks,
+//! and re-folds the pseudo-instruction patterns the encoder emits
+//! (`lui`+`addi` → `li`, `sltiu rd, rs, 1` → `seqz`, `sub rd, x0, rs` →
+//! `neg`, `addi rd, rs, 0` → `mv`, …) so the BEC analysis sees the same
+//! instruction shapes it was designed for.
+//!
+//! Round-trip guarantee (property-tested): for every image `I` produced by
+//! [`crate::encode_program`], `encode_program(lift_image(&I)) == I` — the
+//! lift loses no encoding information, even though the lifted CFG may
+//! contain extra trampoline blocks compared to the original program.
+
+use crate::encode::{encode_program_at, hi_lo, Image, Symbol};
+use crate::error::Rv32Error;
+use crate::minst::{decode_word, MInst};
+use bec_ir::{
+    AluOp, Block, BlockId, Function, Inst, MachineConfig, Program, Reg, Signature, Terminator,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Lifts an encoded image back into a program, using its symbol table for
+/// function names and the entry point.
+///
+/// # Errors
+///
+/// Returns an error for undecodable words, control transfers that cross
+/// function boundaries, or instructions with no IR counterpart (`auipc`,
+/// general `jalr`, `ebreak`).
+pub fn lift_image(image: &Image) -> Result<Program, Rv32Error> {
+    lift(&image.words, image.base, &image.symbols, Some(image.entry))
+}
+
+/// Lifts a raw word sequence based at `base` with no symbol information:
+/// function boundaries are inferred from `jal ra` targets and names are
+/// synthesized as `fn_<addr>`.
+///
+/// # Errors
+///
+/// Same conditions as [`lift_image`].
+pub fn lift_words(words: &[u32], base: u32) -> Result<Program, Rv32Error> {
+    lift(words, base, &[], None)
+}
+
+fn lift(
+    words: &[u32],
+    base: u32,
+    symbols: &[Symbol],
+    entry: Option<u32>,
+) -> Result<Program, Rv32Error> {
+    if words.is_empty() {
+        return Err(Rv32Error::new("empty text image"));
+    }
+    let end = base + 4 * words.len() as u32;
+    let decoded: Vec<MInst> = words
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            decode_word(*w).map_err(|e| Rv32Error::at_addr(base + 4 * i as u32, e.message()))
+        })
+        .collect::<Result<_, _>>()?;
+    let at = |addr: u32| decoded[((addr - base) / 4) as usize];
+
+    // Function starts: declared symbols, plus every `jal ra` target, plus
+    // the image base.
+    let mut starts: BTreeSet<u32> = symbols.iter().map(|s| s.addr).collect();
+    starts.insert(base);
+    for (i, m) in decoded.iter().enumerate() {
+        if let MInst::Jal { rd: Reg::RA, offset } = m {
+            starts.insert((base + 4 * i as u32).wrapping_add(*offset as u32));
+        }
+    }
+    for s in &starts {
+        if *s < base || *s >= end || s % 4 != 0 {
+            return Err(Rv32Error::at_addr(*s, "function start outside the image"));
+        }
+    }
+
+    let mut names: BTreeMap<u32, String> =
+        symbols.iter().map(|s| (s.addr, s.name.clone())).collect();
+    for s in &starts {
+        names.entry(*s).or_insert_with(|| format!("fn_{s:x}"));
+    }
+
+    let bounds: Vec<u32> = starts.iter().copied().collect();
+    let mut functions = Vec::new();
+    for (fi, &fstart) in bounds.iter().enumerate() {
+        let fend = bounds.get(fi + 1).copied().unwrap_or(end);
+        functions.push(lift_function(&names[&fstart], fstart, fend, base, &at, &names)?);
+    }
+
+    let mut program = Program::new(MachineConfig::rv32());
+    program.functions = functions;
+    program.entry = match entry {
+        Some(e) => names
+            .get(&e)
+            .cloned()
+            .ok_or_else(|| Rv32Error::at_addr(e, "entry address is not a function start"))?,
+        None => names[&base].clone(),
+    };
+    Ok(program)
+}
+
+/// Whether a machine instruction unconditionally ends a basic block.
+fn ends_block(m: &MInst) -> bool {
+    matches!(
+        m,
+        MInst::Jal { rd: Reg::ZERO, .. }
+            | MInst::Jalr { rd: Reg::ZERO, .. }
+            | MInst::Ecall
+            | MInst::Ebreak
+    )
+}
+
+fn lift_function(
+    name: &str,
+    fstart: u32,
+    fend: u32,
+    base: u32,
+    at: &impl Fn(u32) -> MInst,
+    names: &BTreeMap<u32, String>,
+) -> Result<Function, Rv32Error> {
+    // Leaders: function start, branch/jump targets, and the word after
+    // every block-ending instruction (branch fallthrough included).
+    let mut leaders: BTreeSet<u32> = BTreeSet::new();
+    leaders.insert(fstart);
+    let mut addr = fstart;
+    while addr < fend {
+        match at(addr) {
+            MInst::Branch { offset, .. } => {
+                let taken = addr.wrapping_add(offset as u32);
+                if !(fstart..fend).contains(&taken) {
+                    return Err(Rv32Error::at_addr(addr, "branch leaves its function"));
+                }
+                leaders.insert(taken);
+                if addr + 4 < fend {
+                    leaders.insert(addr + 4);
+                }
+            }
+            MInst::Jal { rd: Reg::ZERO, offset } => {
+                let target = addr.wrapping_add(offset as u32);
+                if !(fstart..fend).contains(&target) {
+                    return Err(Rv32Error::at_addr(addr, "jump leaves its function"));
+                }
+                leaders.insert(target);
+                if addr + 4 < fend {
+                    leaders.insert(addr + 4);
+                }
+            }
+            m if ends_block(&m) && addr + 4 < fend => {
+                leaders.insert(addr + 4);
+            }
+            _ => {}
+        }
+        addr += 4;
+    }
+
+    let leader_list: Vec<u32> = leaders.iter().copied().collect();
+    let block_id = |target: u32| -> BlockId {
+        BlockId(leader_list.binary_search(&target).expect("target is a leader") as u32)
+    };
+
+    let mut f = Function::new(name, Signature::void(0));
+    for (bi, &bstart) in leader_list.iter().enumerate() {
+        let bend = leader_list.get(bi + 1).copied().unwrap_or(fend);
+        let label = if bi == 0 { "entry".to_owned() } else { format!("L{:x}", bstart - base) };
+        let mut block = Block::new(label);
+        let mut term: Option<Terminator> = None;
+        let mut addr = bstart;
+        while addr < bend {
+            let m = at(addr);
+            match m {
+                MInst::Branch { cond, rs1, rs2, offset } => {
+                    if addr + 4 >= fend {
+                        return Err(Rv32Error::at_addr(addr, "branch at function end"));
+                    }
+                    term = Some(Terminator::Branch {
+                        cond,
+                        rs1,
+                        rs2: Some(rs2),
+                        taken: block_id(addr.wrapping_add(offset as u32)),
+                        fallthrough: block_id(addr + 4),
+                    });
+                    addr += 4;
+                    break;
+                }
+                MInst::Jal { rd: Reg::ZERO, offset } => {
+                    term = Some(Terminator::Jump {
+                        target: block_id(addr.wrapping_add(offset as u32)),
+                    });
+                    addr += 4;
+                    break;
+                }
+                MInst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 } => {
+                    term = Some(Terminator::Ret { reads: Vec::new() });
+                    addr += 4;
+                    break;
+                }
+                MInst::Ecall => {
+                    term = Some(Terminator::Exit);
+                    addr += 4;
+                    break;
+                }
+                MInst::Jal { rd: Reg::RA, offset } => {
+                    let target = addr.wrapping_add(offset as u32);
+                    let callee = names
+                        .get(&target)
+                        .ok_or_else(|| Rv32Error::at_addr(addr, "call into mid-function"))?;
+                    block.insts.push(Inst::Call { callee: callee.clone() });
+                    addr += 4;
+                }
+                MInst::Lui { rd, imm20 } => {
+                    // Fold the canonical `lui`+`addi` pair back into `li`
+                    // unless the `addi` starts a new block.
+                    let next = (addr + 4 < bend).then(|| at(addr + 4));
+                    let folded = match next {
+                        Some(MInst::OpImm { op: AluOp::Add, rd: rd2, rs1, imm })
+                            if rd2 == rd && rs1 == rd && imm != 0 =>
+                        {
+                            let value = (imm20 << 12).wrapping_add(imm as u32);
+                            (hi_lo(value).0 == imm20).then_some(value)
+                        }
+                        _ => None,
+                    };
+                    match folded {
+                        Some(value) => {
+                            block.insts.push(Inst::Li { rd, imm: value as i32 as i64 });
+                            addr += 8;
+                        }
+                        None => {
+                            block.insts.push(Inst::Li { rd, imm: ((imm20 << 12) as i32) as i64 });
+                            addr += 4;
+                        }
+                    }
+                }
+                other => {
+                    block.insts.push(lift_simple(&other, addr)?);
+                    addr += 4;
+                }
+            }
+        }
+        // A block that runs into the next leader without an explicit
+        // terminator falls through: materialize the jump.
+        block.term = match term {
+            Some(t) => t,
+            None if addr < fend => Terminator::Jump { target: block_id(addr) },
+            None => return Err(Rv32Error::at_addr(addr, "code runs off the function end")),
+        };
+        f.blocks.push(block);
+    }
+    Ok(f)
+}
+
+/// Lifts one straight-line machine instruction to its IR counterpart.
+fn lift_simple(m: &MInst, addr: u32) -> Result<Inst, Rv32Error> {
+    Ok(match *m {
+        MInst::OpImm { op: AluOp::Add, rd, rs1, imm }
+            if rd.index() == 0 && rs1.index() == 0 && imm == 0 =>
+        {
+            Inst::Nop
+        }
+        MInst::OpImm { op: AluOp::Add, rd, rs1, imm } if rs1.index() == 0 => {
+            Inst::Li { rd, imm: imm as i64 }
+        }
+        MInst::OpImm { op: AluOp::Add, rd, rs1, imm: 0 } => Inst::Mv { rd, rs: rs1 },
+        MInst::OpImm { op: AluOp::Sltu, rd, rs1, imm: 1 } => Inst::Seqz { rd, rs: rs1 },
+        MInst::OpImm { op, rd, rs1, imm } => Inst::AluImm { op, rd, rs1, imm: imm as i64 },
+        MInst::Op { op: AluOp::Sub, rd, rs1, rs2 } if rs1.index() == 0 => Inst::Neg { rd, rs: rs2 },
+        MInst::Op { op: AluOp::Sltu, rd, rs1, rs2 } if rs1.index() == 0 => {
+            Inst::Snez { rd, rs: rs2 }
+        }
+        MInst::Op { op, rd, rs1, rs2 } => Inst::Alu { op, rd, rs1, rs2 },
+        MInst::Load { rd, base, offset, width, signed } => {
+            Inst::Load { rd, base, offset: offset as i64, width, signed }
+        }
+        MInst::Store { rs2, base, offset, width } => {
+            Inst::Store { rs: rs2, base, offset: offset as i64, width }
+        }
+        MInst::Print { rs } => Inst::Print { rs },
+        MInst::Auipc { .. } => return Err(Rv32Error::at_addr(addr, "auipc has no IR counterpart")),
+        MInst::Ebreak => return Err(Rv32Error::at_addr(addr, "ebreak has no IR counterpart")),
+        MInst::Jalr { .. } => {
+            return Err(Rv32Error::at_addr(addr, "indirect jump has no IR counterpart"))
+        }
+        // `jal x0`/`jal ra` are consumed by the block walker; any other
+        // link register (millicode-style `jal t0, …`) has no IR form.
+        MInst::Jal { .. } => {
+            return Err(Rv32Error::at_addr(addr, "jal with a link register other than ra/x0"))
+        }
+        MInst::Lui { .. } | MInst::Branch { .. } | MInst::Ecall => {
+            unreachable!("handled by the block walker")
+        }
+    })
+}
+
+/// Convenience: encodes `program` and immediately lifts it back, returning
+/// both the image and the lifted program (used by tests and the CLI's
+/// `encode --verify` path).
+///
+/// # Errors
+///
+/// Propagates encoder and lifter errors.
+pub fn roundtrip(program: &Program, base: u32) -> Result<(Image, Program), Rv32Error> {
+    let image = encode_program_at(program, base)?;
+    let lifted = lift_image(&image)?;
+    Ok((image, lifted))
+}

@@ -1,0 +1,472 @@
+//! Machine instructions: the exact RV32I(+M) words the encoder emits and
+//! the decoder recognizes, one variant per hardware instruction.
+//!
+//! This layer is bidirectional and lossless: [`MInst::encode`] and
+//! [`decode_word`] are exact inverses for every representable instruction
+//! (property-tested in the crate's test suite). Pseudo-instruction
+//! expansion and block structure live one level up, in [`crate::encode`]
+//! and [`crate::lift`].
+
+use crate::error::Rv32Error;
+use bec_ir::{AluOp, Cond, MemWidth, Reg};
+
+/// Major opcodes (the low 7 bits of every 32-bit instruction word).
+mod opcode {
+    pub const LUI: u32 = 0b011_0111;
+    pub const AUIPC: u32 = 0b001_0111;
+    pub const JAL: u32 = 0b110_1111;
+    pub const JALR: u32 = 0b110_0111;
+    pub const BRANCH: u32 = 0b110_0011;
+    pub const LOAD: u32 = 0b000_0011;
+    pub const STORE: u32 = 0b010_0011;
+    pub const OP_IMM: u32 = 0b001_0011;
+    pub const OP: u32 = 0b011_0011;
+    pub const SYSTEM: u32 = 0b111_0011;
+    /// The *custom-0* opcode space reserved by the ISA for vendor
+    /// extensions; this reproduction uses it for the observable-output
+    /// instruction (`print rs1`) that stands in for an output `ecall`.
+    pub const CUSTOM0: u32 = 0b000_1011;
+}
+
+/// One decoded RV32I(+M) instruction word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MInst {
+    /// `lui rd, imm20` — load `imm20 << 12`.
+    Lui { rd: Reg, imm20: u32 },
+    /// `auipc rd, imm20` — pc + (`imm20 << 12`).
+    Auipc { rd: Reg, imm20: u32 },
+    /// `jal rd, offset` — pc-relative jump-and-link.
+    Jal { rd: Reg, offset: i32 },
+    /// `jalr rd, offset(rs1)` — indirect jump-and-link.
+    Jalr { rd: Reg, rs1: Reg, offset: i32 },
+    /// Conditional pc-relative branch.
+    Branch { cond: Cond, rs1: Reg, rs2: Reg, offset: i32 },
+    /// Memory load.
+    Load { rd: Reg, base: Reg, offset: i32, width: MemWidth, signed: bool },
+    /// Memory store.
+    Store { rs2: Reg, base: Reg, offset: i32, width: MemWidth },
+    /// Register–immediate ALU operation.
+    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    /// Register–register ALU operation.
+    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// `ecall` — environment call (halts the simulated program).
+    Ecall,
+    /// `ebreak` — breakpoint.
+    Ebreak,
+    /// `print rs1` (custom-0) — record `rs1` in the observable output trace.
+    Print { rs: Reg },
+}
+
+const fn fits_signed(v: i64, bits: u32) -> bool {
+    let half = 1i64 << (bits - 1);
+    v >= -half && v < half
+}
+
+fn reg(r: Reg) -> u32 {
+    debug_assert!(!r.is_virtual() && r.index() < 32, "register {r:?} not encodable");
+    r.index() & 0x1f
+}
+
+fn r_type(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, op: u32) -> u32 {
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | op
+}
+
+fn i_type(imm: i32, rs1: u32, funct3: u32, rd: u32, op: u32) -> u32 {
+    ((imm as u32 & 0xfff) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | op
+}
+
+fn s_type(imm: i32, rs2: u32, rs1: u32, funct3: u32, op: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 5 & 0x7f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1f) << 7)
+        | op
+}
+
+fn b_type(offset: i32, rs2: u32, rs1: u32, funct3: u32, op: u32) -> u32 {
+    let imm = offset as u32;
+    ((imm >> 12 & 1) << 31)
+        | ((imm >> 5 & 0x3f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm >> 1 & 0xf) << 8)
+        | ((imm >> 11 & 1) << 7)
+        | op
+}
+
+fn u_type(imm20: u32, rd: u32, op: u32) -> u32 {
+    (imm20 << 12) | (rd << 7) | op
+}
+
+fn j_type(offset: i32, rd: u32, op: u32) -> u32 {
+    let imm = offset as u32;
+    ((imm >> 20 & 1) << 31)
+        | ((imm >> 1 & 0x3ff) << 21)
+        | ((imm >> 11 & 1) << 20)
+        | ((imm >> 12 & 0xff) << 12)
+        | (rd << 7)
+        | op
+}
+
+/// funct3 of a branch condition.
+fn branch_funct3(c: Cond) -> u32 {
+    match c {
+        Cond::Eq => 0b000,
+        Cond::Ne => 0b001,
+        Cond::Lt => 0b100,
+        Cond::Ge => 0b101,
+        Cond::Ltu => 0b110,
+        Cond::Geu => 0b111,
+    }
+}
+
+/// `(funct3, funct7)` of a register–register ALU op.
+fn op_functs(op: AluOp) -> (u32, u32) {
+    match op {
+        AluOp::Add => (0b000, 0),
+        AluOp::Sub => (0b000, 0b010_0000),
+        AluOp::Sll => (0b001, 0),
+        AluOp::Slt => (0b010, 0),
+        AluOp::Sltu => (0b011, 0),
+        AluOp::Xor => (0b100, 0),
+        AluOp::Srl => (0b101, 0),
+        AluOp::Sra => (0b101, 0b010_0000),
+        AluOp::Or => (0b110, 0),
+        AluOp::And => (0b111, 0),
+        // RV32M, funct7 = 0000001. (`mulhsu` has no IR counterpart.)
+        AluOp::Mul => (0b000, 1),
+        AluOp::Mulh => (0b001, 1),
+        AluOp::Mulhu => (0b011, 1),
+        AluOp::Div => (0b100, 1),
+        AluOp::Divu => (0b101, 1),
+        AluOp::Rem => (0b110, 1),
+        AluOp::Remu => (0b111, 1),
+    }
+}
+
+impl MInst {
+    /// Encodes the instruction to its 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when an immediate or offset does not fit its field
+    /// (12-bit I/S immediates, 13-bit branch and 21-bit jump offsets, 5-bit
+    /// shift amounts) or an operation has no encoding in that position
+    /// (e.g. `mul` as an immediate op).
+    pub fn encode(&self) -> Result<u32, Rv32Error> {
+        use opcode::*;
+        Ok(match *self {
+            MInst::Lui { rd, imm20 } => {
+                check_imm20(imm20, "lui")?;
+                u_type(imm20, reg(rd), LUI)
+            }
+            MInst::Auipc { rd, imm20 } => {
+                check_imm20(imm20, "auipc")?;
+                u_type(imm20, reg(rd), AUIPC)
+            }
+            MInst::Jal { rd, offset } => {
+                if !fits_signed(offset as i64, 21) || offset % 2 != 0 {
+                    return Err(Rv32Error::new(format!("jal offset {offset} out of range")));
+                }
+                j_type(offset, reg(rd), JAL)
+            }
+            MInst::Jalr { rd, rs1, offset } => {
+                check_imm12(offset, "jalr")?;
+                i_type(offset, reg(rs1), 0b000, reg(rd), JALR)
+            }
+            MInst::Branch { cond, rs1, rs2, offset } => {
+                if !fits_signed(offset as i64, 13) || offset % 2 != 0 {
+                    return Err(Rv32Error::new(format!("branch offset {offset} out of range")));
+                }
+                b_type(offset, reg(rs2), reg(rs1), branch_funct3(cond), BRANCH)
+            }
+            MInst::Load { rd, base, offset, width, signed } => {
+                check_imm12(offset, "load")?;
+                let funct3 = match (width, signed) {
+                    (MemWidth::Byte, true) => 0b000,
+                    (MemWidth::Half, true) => 0b001,
+                    (MemWidth::Word, _) => 0b010,
+                    (MemWidth::Byte, false) => 0b100,
+                    (MemWidth::Half, false) => 0b101,
+                };
+                i_type(offset, reg(base), funct3, reg(rd), LOAD)
+            }
+            MInst::Store { rs2, base, offset, width } => {
+                check_imm12(offset, "store")?;
+                let funct3 = match width {
+                    MemWidth::Byte => 0b000,
+                    MemWidth::Half => 0b001,
+                    MemWidth::Word => 0b010,
+                };
+                s_type(offset, reg(rs2), reg(base), funct3, STORE)
+            }
+            MInst::OpImm { op, rd, rs1, imm } => {
+                let (funct3, funct7) = op_functs(op);
+                match op {
+                    AluOp::Sll | AluOp::Srl | AluOp::Sra => {
+                        if !(0..32).contains(&imm) {
+                            return Err(Rv32Error::new(format!(
+                                "shift amount {imm} outside 0..32"
+                            )));
+                        }
+                        r_type(funct7, imm as u32, reg(rs1), funct3, reg(rd), OP_IMM)
+                    }
+                    _ if op.has_imm_form() => {
+                        check_imm12(imm, op.mnemonic())?;
+                        i_type(imm, reg(rs1), funct3, reg(rd), OP_IMM)
+                    }
+                    _ => {
+                        return Err(Rv32Error::new(format!(
+                            "`{}` has no immediate encoding",
+                            op.mnemonic()
+                        )))
+                    }
+                }
+            }
+            MInst::Op { op, rd, rs1, rs2 } => {
+                let (funct3, funct7) = op_functs(op);
+                r_type(funct7, reg(rs2), reg(rs1), funct3, reg(rd), OP)
+            }
+            MInst::Ecall => i_type(0, 0, 0b000, 0, SYSTEM),
+            MInst::Ebreak => i_type(1, 0, 0b000, 0, SYSTEM),
+            MInst::Print { rs } => i_type(0, reg(rs), 0b000, 0, CUSTOM0),
+        })
+    }
+}
+
+fn check_imm12(imm: i32, what: &str) -> Result<(), Rv32Error> {
+    if fits_signed(imm as i64, 12) {
+        Ok(())
+    } else {
+        Err(Rv32Error::new(format!("{what} immediate {imm} outside -2048..2048")))
+    }
+}
+
+fn check_imm20(imm20: u32, what: &str) -> Result<(), Rv32Error> {
+    if imm20 < (1 << 20) {
+        Ok(())
+    } else {
+        Err(Rv32Error::new(format!("{what} immediate {imm20:#x} outside 20 bits")))
+    }
+}
+
+fn field_rd(w: u32) -> Reg {
+    Reg::phys(w >> 7 & 0x1f)
+}
+
+fn field_rs1(w: u32) -> Reg {
+    Reg::phys(w >> 15 & 0x1f)
+}
+
+fn field_rs2(w: u32) -> Reg {
+    Reg::phys(w >> 20 & 0x1f)
+}
+
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+fn imm_s(w: u32) -> i32 {
+    ((w as i32 >> 25) << 5) | (w as i32 >> 7 & 0x1f)
+}
+
+fn imm_b(w: u32) -> i32 {
+    let sign = (w as i32 >> 31) << 12;
+    let b11 = (w >> 7 & 1) << 11;
+    let b10_5 = (w >> 25 & 0x3f) << 5;
+    let b4_1 = (w >> 8 & 0xf) << 1;
+    sign | (b11 | b10_5 | b4_1) as i32
+}
+
+fn imm_j(w: u32) -> i32 {
+    let sign = (w as i32 >> 31) << 20;
+    let b19_12 = (w >> 12 & 0xff) << 12;
+    let b11 = (w >> 20 & 1) << 11;
+    let b10_1 = (w >> 21 & 0x3ff) << 1;
+    sign | (b19_12 | b11 | b10_1) as i32
+}
+
+/// Decodes one 32-bit word into an [`MInst`].
+///
+/// # Errors
+///
+/// Returns an error for opcodes, funct fields or immediates that do not
+/// correspond to an RV32I(+M) instruction this layer can represent.
+pub fn decode_word(w: u32) -> Result<MInst, Rv32Error> {
+    use opcode::*;
+    let op = w & 0x7f;
+    let funct3 = w >> 12 & 0x7;
+    let funct7 = w >> 25;
+    let bad = |what: &str| Rv32Error::new(format!("cannot decode {what} in word {w:#010x}"));
+    Ok(match op {
+        LUI => MInst::Lui { rd: field_rd(w), imm20: w >> 12 },
+        AUIPC => MInst::Auipc { rd: field_rd(w), imm20: w >> 12 },
+        JAL => MInst::Jal { rd: field_rd(w), offset: imm_j(w) },
+        JALR => {
+            if funct3 != 0 {
+                return Err(bad("jalr funct3"));
+            }
+            MInst::Jalr { rd: field_rd(w), rs1: field_rs1(w), offset: imm_i(w) }
+        }
+        BRANCH => {
+            let cond = match funct3 {
+                0b000 => Cond::Eq,
+                0b001 => Cond::Ne,
+                0b100 => Cond::Lt,
+                0b101 => Cond::Ge,
+                0b110 => Cond::Ltu,
+                0b111 => Cond::Geu,
+                _ => return Err(bad("branch funct3")),
+            };
+            MInst::Branch { cond, rs1: field_rs1(w), rs2: field_rs2(w), offset: imm_b(w) }
+        }
+        LOAD => {
+            let (width, signed) = match funct3 {
+                0b000 => (MemWidth::Byte, true),
+                0b001 => (MemWidth::Half, true),
+                0b010 => (MemWidth::Word, true),
+                0b100 => (MemWidth::Byte, false),
+                0b101 => (MemWidth::Half, false),
+                _ => return Err(bad("load width")),
+            };
+            MInst::Load { rd: field_rd(w), base: field_rs1(w), offset: imm_i(w), width, signed }
+        }
+        STORE => {
+            let width = match funct3 {
+                0b000 => MemWidth::Byte,
+                0b001 => MemWidth::Half,
+                0b010 => MemWidth::Word,
+                _ => return Err(bad("store width")),
+            };
+            MInst::Store { rs2: field_rs2(w), base: field_rs1(w), offset: imm_s(w), width }
+        }
+        OP_IMM => {
+            let (alu, imm) = match funct3 {
+                0b000 => (AluOp::Add, imm_i(w)),
+                0b010 => (AluOp::Slt, imm_i(w)),
+                0b011 => (AluOp::Sltu, imm_i(w)),
+                0b100 => (AluOp::Xor, imm_i(w)),
+                0b110 => (AluOp::Or, imm_i(w)),
+                0b111 => (AluOp::And, imm_i(w)),
+                0b001 if funct7 == 0 => (AluOp::Sll, (w >> 20 & 0x1f) as i32),
+                0b101 if funct7 == 0 => (AluOp::Srl, (w >> 20 & 0x1f) as i32),
+                0b101 if funct7 == 0b010_0000 => (AluOp::Sra, (w >> 20 & 0x1f) as i32),
+                _ => return Err(bad("op-imm funct")),
+            };
+            MInst::OpImm { op: alu, rd: field_rd(w), rs1: field_rs1(w), imm }
+        }
+        OP => {
+            let alu = match (funct7, funct3) {
+                (0, 0b000) => AluOp::Add,
+                (0b010_0000, 0b000) => AluOp::Sub,
+                (0, 0b001) => AluOp::Sll,
+                (0, 0b010) => AluOp::Slt,
+                (0, 0b011) => AluOp::Sltu,
+                (0, 0b100) => AluOp::Xor,
+                (0, 0b101) => AluOp::Srl,
+                (0b010_0000, 0b101) => AluOp::Sra,
+                (0, 0b110) => AluOp::Or,
+                (0, 0b111) => AluOp::And,
+                (1, 0b000) => AluOp::Mul,
+                (1, 0b001) => AluOp::Mulh,
+                (1, 0b011) => AluOp::Mulhu,
+                (1, 0b100) => AluOp::Div,
+                (1, 0b101) => AluOp::Divu,
+                (1, 0b110) => AluOp::Rem,
+                (1, 0b111) => AluOp::Remu,
+                _ => return Err(bad("op funct")),
+            };
+            MInst::Op { op: alu, rd: field_rd(w), rs1: field_rs1(w), rs2: field_rs2(w) }
+        }
+        SYSTEM => match w {
+            0x0000_0073 => MInst::Ecall,
+            0x0010_0073 => MInst::Ebreak,
+            _ => return Err(bad("system instruction")),
+        },
+        CUSTOM0 => {
+            if funct3 != 0 || field_rd(w).index() != 0 || imm_i(w) != 0 {
+                return Err(bad("custom-0 instruction"));
+            }
+            MInst::Print { rs: field_rs1(w) }
+        }
+        _ => return Err(bad("opcode")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_encodings_match_the_isa_spec() {
+        // One hand-checked value per format.
+        let cases: &[(MInst, u32)] = &[
+            // R: add x5, x6, x7
+            (MInst::Op { op: AluOp::Add, rd: Reg::T0, rs1: Reg::T1, rs2: Reg::T2 }, 0x0073_02b3),
+            // I: addi x1, x2, -1
+            (MInst::OpImm { op: AluOp::Add, rd: Reg::RA, rs1: Reg::SP, imm: -1 }, 0xfff1_0093),
+            // S: sw x5, 8(x2)
+            (
+                MInst::Store { rs2: Reg::T0, base: Reg::SP, offset: 8, width: MemWidth::Word },
+                0x0051_2423,
+            ),
+            // B: beq x1, x2, +8
+            (MInst::Branch { cond: Cond::Eq, rs1: Reg::RA, rs2: Reg::SP, offset: 8 }, 0x0020_8463),
+            // U: lui x5, 0x12345
+            (MInst::Lui { rd: Reg::T0, imm20: 0x12345 }, 0x1234_52b7),
+            // J: jal x1, +16
+            (MInst::Jal { rd: Reg::RA, offset: 16 }, 0x0100_00ef),
+        ];
+        for (inst, want) in cases {
+            assert_eq!(inst.encode().unwrap(), *want, "{inst:?}");
+            assert_eq!(decode_word(*want).unwrap(), *inst, "{want:#010x}");
+        }
+    }
+
+    #[test]
+    fn system_and_custom_words() {
+        assert_eq!(MInst::Ecall.encode().unwrap(), 0x0000_0073);
+        assert_eq!(MInst::Ebreak.encode().unwrap(), 0x0010_0073);
+        let p = MInst::Print { rs: Reg::A0 };
+        let w = p.encode().unwrap();
+        assert_eq!(w & 0x7f, 0b000_1011);
+        assert_eq!(decode_word(w).unwrap(), p);
+    }
+
+    #[test]
+    fn negative_branch_and_jump_offsets_roundtrip() {
+        for off in [-4096i32, -2048, -2, 2, 2046, 4094] {
+            let b = MInst::Branch { cond: Cond::Ltu, rs1: Reg::A0, rs2: Reg::A1, offset: off };
+            assert_eq!(decode_word(b.encode().unwrap()).unwrap(), b);
+        }
+        for off in [-1048576i32, -4, 4, 1048574] {
+            let j = MInst::Jal { rd: Reg::ZERO, offset: off };
+            assert_eq!(decode_word(j.encode().unwrap()).unwrap(), j);
+        }
+    }
+
+    #[test]
+    fn out_of_range_immediates_are_rejected() {
+        assert!(MInst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 2048 }
+            .encode()
+            .is_err());
+        assert!(MInst::OpImm { op: AluOp::Mul, rd: Reg::A0, rs1: Reg::A0, imm: 1 }
+            .encode()
+            .is_err());
+        assert!(MInst::Branch { cond: Cond::Eq, rs1: Reg::A0, rs2: Reg::A1, offset: 4097 }
+            .encode()
+            .is_err());
+        assert!(MInst::OpImm { op: AluOp::Sll, rd: Reg::A0, rs1: Reg::A0, imm: 32 }
+            .encode()
+            .is_err());
+    }
+
+    #[test]
+    fn undecodable_words_error() {
+        assert!(decode_word(0xffff_ffff).is_err());
+        assert!(decode_word(0x0000_0000).is_err()); // all-zero is not a valid RV32 inst
+    }
+}

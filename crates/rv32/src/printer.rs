@@ -1,0 +1,127 @@
+//! Standard-syntax printer: renders a [`bec_ir::Program`] as flat RV32
+//! assembly that [`crate::parse_asm`] accepts (and that real toolchains
+//! would mostly recognize).
+//!
+//! The printer is the bridge that exports the mini-C-compiled suite
+//! benchmarks as `.s` fixtures: `parse_asm(&print_rv32(&p))` reproduces a
+//! program with identical observable behaviour (property-tested; the CFG
+//! may differ by trampoline blocks for branches whose fallthrough is not
+//! the next block).
+
+use bec_ir::{Function, Inst, Program, Terminator};
+use std::collections::HashSet;
+
+/// Renders `program` as flat RV32 assembly.
+///
+/// The program should be an RV32 machine program; block labels are
+/// function-scoped in the output (`<func>.<label>`), the function symbol
+/// itself labels the entry block.
+pub fn print_rv32(program: &Program) -> String {
+    let mut out = String::new();
+    if !program.globals.is_empty() {
+        out.push_str("    .data\n");
+        for g in &program.globals {
+            out.push_str(&format!("{}:\n", g.name));
+            if g.init.is_empty() {
+                if g.size > 0 {
+                    out.push_str(&format!("    .zero {}\n", g.size));
+                }
+                continue;
+            }
+            if g.size % 4 == 0 && g.init.len() % 4 == 0 {
+                let words: Vec<String> = g
+                    .init
+                    .chunks(4)
+                    .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]).to_string())
+                    .collect();
+                out.push_str(&format!("    .word {}\n", words.join(", ")));
+            } else {
+                let bytes: Vec<String> = g.init.iter().map(u8::to_string).collect();
+                out.push_str(&format!("    .byte {}\n", bytes.join(", ")));
+            }
+            let tail = g.size - g.init.len() as u64;
+            if tail > 0 {
+                out.push_str(&format!("    .zero {tail}\n"));
+            }
+        }
+    }
+    out.push_str("    .text\n");
+    if program.entry != "main" {
+        out.push_str(&format!("    .entry {}\n", program.entry));
+    }
+    for f in &program.functions {
+        out.push('\n');
+        print_function(&mut out, f);
+    }
+    out
+}
+
+fn print_function(out: &mut String, f: &Function) {
+    out.push_str(&format!("    .globl {}\n", f.name));
+    let ret = if f.sig.has_ret { "a0" } else { "none" };
+    out.push_str(&format!("    .sig {} args={} ret={}\n", f.name, f.sig.args, ret));
+    out.push_str(&format!("{}:\n", f.name));
+
+    // Only labels that are actually targeted need printing; fallthrough
+    // order is preserved, so everything else reads linearly.
+    let mut targeted: HashSet<usize> = HashSet::new();
+    for b in &f.blocks {
+        match &b.term {
+            Terminator::Jump { target } => {
+                targeted.insert(target.index());
+            }
+            Terminator::Branch { taken, fallthrough, .. } => {
+                targeted.insert(taken.index());
+                targeted.insert(fallthrough.index());
+            }
+            _ => {}
+        }
+    }
+
+    let label = |i: usize| format!("{}.{}", f.name, f.blocks[i].label);
+    for (bi, b) in f.blocks.iter().enumerate() {
+        if bi > 0 && targeted.contains(&bi) {
+            out.push_str(&format!("{}:\n", label(bi)));
+        }
+        for inst in &b.insts {
+            out.push_str("    ");
+            out.push_str(&print_inst(inst));
+            out.push('\n');
+        }
+        match &b.term {
+            Terminator::Jump { target } if target.index() == bi + 1 => {}
+            Terminator::Jump { target } => {
+                let t = if target.index() == 0 { f.name.clone() } else { label(target.index()) };
+                out.push_str(&format!("    j {t}\n"));
+            }
+            Terminator::Branch { cond, rs1, rs2, taken, fallthrough } => {
+                let t = if taken.index() == 0 { f.name.clone() } else { label(taken.index()) };
+                match rs2 {
+                    Some(rs2) => {
+                        out.push_str(&format!("    {} {rs1}, {rs2}, {t}\n", cond.mnemonic()))
+                    }
+                    None => out.push_str(&format!("    {}z {rs1}, {t}\n", cond.mnemonic())),
+                }
+                if fallthrough.index() != bi + 1 {
+                    let ft = if fallthrough.index() == 0 {
+                        f.name.clone()
+                    } else {
+                        label(fallthrough.index())
+                    };
+                    out.push_str(&format!("    j {ft}\n"));
+                }
+            }
+            Terminator::Ret { .. } => out.push_str("    ret\n"),
+            Terminator::Exit => out.push_str("    ecall\n"),
+        }
+    }
+}
+
+/// One instruction in standard spelling (drops the IR's `@` sigils).
+fn print_inst(inst: &Inst) -> String {
+    match inst {
+        Inst::La { rd, global } => format!("la {rd}, {global}"),
+        Inst::Call { callee } => format!("call {callee}"),
+        other => other.to_string(),
+    }
+}

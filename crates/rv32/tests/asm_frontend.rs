@@ -1,0 +1,217 @@
+//! Assembler-frontend behaviour: syntax coverage, sections and data
+//! directives, signatures, and error reporting with line numbers.
+
+use bec_rv32::parse_asm;
+use bec_sim::{SimLimits, Simulator};
+
+fn run(src: &str) -> Vec<u64> {
+    let p = parse_asm(src).unwrap_or_else(|e| panic!("assembles: {e}"));
+    let sim = Simulator::with_limits(&p, SimLimits { max_cycles: 1_000_000 });
+    let g = sim.run_golden();
+    assert_eq!(g.result.outcome, bec_sim::ExecOutcome::Completed);
+    g.outputs().to_vec()
+}
+
+#[test]
+fn abi_and_numeric_register_names_are_interchangeable() {
+    let out = run(r#"
+        .globl main
+    main:
+        li   x10, 20
+        li   a1, 22
+        add  a0, x10, a1
+        print a0
+        ecall
+    "#);
+    assert_eq!(out, vec![42]);
+}
+
+#[test]
+fn data_section_word_byte_zero_and_la() {
+    let out = run(r#"
+        .data
+    table:
+        .word 10, 20, 30
+    bytes:
+        .byte 1, 2, 3, 4
+    buf:
+        .zero 8
+        .text
+        .globl main
+    main:
+        la   t0, table
+        lw   a0, 4(t0)       # 20
+        la   t1, bytes
+        lbu  a1, 3(t1)       # 4
+        add  a0, a0, a1
+        print a0
+        ecall
+    "#);
+    assert_eq!(out, vec![24]);
+}
+
+#[test]
+fn org_directive_pads_the_data_segment() {
+    let p = parse_asm(
+        r#"
+        .data
+    first:
+        .word 1
+        .org 0x1010
+    second:
+        .word 2
+        .text
+        .globl main
+    main:
+        la a0, second
+        print a0
+        ecall
+    "#,
+    )
+    .expect("assembles");
+    assert_eq!(p.global_address("second"), Some(0x1010));
+    let sim = Simulator::new(&p);
+    assert_eq!(sim.run_golden().outputs(), &[0x1010]);
+}
+
+#[test]
+fn functions_calls_and_signatures() {
+    let out = run(r#"
+        .text
+        .globl main
+        .globl double
+        .sig double args=1 ret=a0
+    main:
+        li   a0, 21
+        call double
+        print a0
+        ecall
+        .sig main args=0 ret=none
+    double:
+        add  a0, a0, a0
+        ret
+    "#);
+    assert_eq!(out, vec![42]);
+}
+
+#[test]
+fn signatures_shape_the_ir() {
+    let p = parse_asm(
+        r#"
+        .globl main
+        .globl f
+        .sig f args=2 ret=a0
+    main:
+        li a0, 1
+        li a1, 2
+        call f
+        print a0
+        ecall
+    f:
+        add a0, a0, a1
+        ret
+    "#,
+    )
+    .expect("assembles");
+    let f = p.function("f").expect("f exists");
+    assert_eq!(f.sig.args, 2);
+    assert!(f.sig.has_ret);
+    // `ret` in a returning function reads a0.
+    assert_eq!(
+        f.blocks.last().unwrap().term,
+        bec_ir::Terminator::Ret { reads: vec![bec_ir::Reg::A0] }
+    );
+}
+
+#[test]
+fn loops_with_backward_branches_to_function_head() {
+    let out = run(r#"
+        .globl main
+    main:
+        li   t0, 5
+        li   t1, 0
+    loop:
+        add  t1, t1, t0
+        addi t0, t0, -1
+        bnez t0, loop
+        print t1
+        ecall
+    "#);
+    assert_eq!(out, vec![15]);
+}
+
+#[test]
+fn entry_directive_selects_the_entry_function() {
+    let out = run(r#"
+        .entry start
+        .globl start
+    start:
+        li a0, 7
+        print a0
+        ecall
+    "#);
+    assert_eq!(out, vec![7]);
+}
+
+#[test]
+fn comments_and_blank_lines_are_ignored() {
+    let out = run(r#"
+        // C++-style comment
+        .globl main            # trailing comment
+    main:
+        li a0, 3               // both styles work
+
+        print a0
+        ecall
+    "#);
+    assert_eq!(out, vec![3]);
+}
+
+#[test]
+fn errors_carry_line_numbers() {
+    let err = parse_asm(".globl main\nmain:\n    frobnicate t0\n    ecall\n").unwrap_err();
+    assert_eq!(err.line(), Some(3));
+    assert!(err.message().contains("frobnicate"));
+
+    let err = parse_asm(".globl main\nmain:\n    li t9, 1\n    ecall\n").unwrap_err();
+    assert_eq!(err.line(), Some(3), "bad register: {err}");
+
+    let err = parse_asm(".globl main\nmain:\n    j nowhere\n").unwrap_err();
+    assert_eq!(err.line(), Some(3), "unresolved label: {err}");
+}
+
+#[test]
+fn falling_off_a_function_is_an_error() {
+    assert!(parse_asm(".globl main\nmain:\n    li a0, 1\n").is_err());
+}
+
+#[test]
+fn lone_branch_at_function_end_is_an_error() {
+    assert!(parse_asm(".globl main\nmain:\n    beqz a0, main\n").is_err());
+}
+
+#[test]
+fn instruction_in_data_section_is_an_error() {
+    let err = parse_asm(".data\nx:\n    li a0, 1\n").unwrap_err();
+    assert_eq!(err.line(), Some(3));
+}
+
+#[test]
+fn duplicate_data_labels_are_rejected() {
+    let err = parse_asm(".data\nfoo:\n    .word 1\nfoo:\n    .word 2\n").unwrap_err();
+    assert_eq!(err.line(), Some(4), "{err}");
+    assert!(err.message().contains("duplicate data label"), "{err}");
+}
+
+#[test]
+fn align_requires_the_data_section() {
+    // In .text (or before any data label) .align must error, not no-op.
+    assert!(parse_asm(".text\n.globl main\nmain:\n    .align 2\n    ecall\n").is_err());
+    assert!(parse_asm(".data\n    .align 2\n").is_err());
+    // In place, it pads the current global.
+    let p = parse_asm(
+        ".data\na:\n    .byte 1\n    .align 3\nb:\n    .word 2\n    .text\n.globl main\nmain:\n    ecall\n",
+    )
+    .expect("assembles");
+    assert_eq!(p.global_address("b"), Some(0x1008));
+}

@@ -1,0 +1,36 @@
+//! The checked-in `examples/bench_*.s` fixtures must stay assemble-able
+//! and behaviourally in sync with the suite oracles (they are regenerated
+//! with `cargo run -p bec-rv32 --example suite_coverage <name>`).
+
+use bec_rv32::{encode_program, lift_image, parse_asm};
+use bec_sim::{SimLimits, Simulator};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples")
+        .join(format!("bench_{name}.s"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn shipped_fixtures_match_the_suite_oracles() {
+    for name in ["bitcount", "crc32", "sha"] {
+        let b = bec_suite::benchmark(name).expect("suite benchmark exists");
+        let program = parse_asm(&fixture(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let sim = Simulator::with_limits(&program, SimLimits { max_cycles: 10_000_000 });
+        let golden = sim.run_golden();
+        assert_eq!(golden.result.outcome, bec_sim::ExecOutcome::Completed, "{name}");
+        assert_eq!(golden.outputs(), b.expected.as_slice(), "{name}: oracle mismatch");
+    }
+}
+
+#[test]
+fn shipped_fixtures_encode_and_roundtrip() {
+    for name in ["bitcount", "crc32", "sha"] {
+        let program = parse_asm(&fixture(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let image = encode_program(&program).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let lifted = lift_image(&image).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(encode_program(&lifted).unwrap().words, image.words, "{name}");
+    }
+}

@@ -102,9 +102,7 @@ fn live_bits_of_incoming(fa: &FunctionAnalysis, p: PointId, r: Reg, w: u32) -> u
 /// Non-masked bits of the fault-site window opened by writing `r` at `p`.
 fn live_bits_of_site(fa: &FunctionAnalysis, p: PointId, r: Reg, w: u32) -> u64 {
     let s0 = fa.coalescing.s0_class();
-    (0..w)
-        .filter(|&i| fa.coalescing.class_of(p, r, i) != Some(s0))
-        .count() as u64
+    (0..w).filter(|&i| fa.coalescing.class_of(p, r, i) != Some(s0)).count() as u64
 }
 
 #[cfg(test)]

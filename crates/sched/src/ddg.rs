@@ -90,8 +90,8 @@ impl DepGraph {
             if kj == MemKind::None {
                 continue;
             }
-            for i in 0..j {
-                let ki = mem_kind(&insts[i], program);
+            for (i, inst_i) in insts.iter().enumerate().take(j) {
+                let ki = mem_kind(inst_i, program);
                 let ordered = match (ki, kj) {
                     (MemKind::None, _) | (_, MemKind::None) => false,
                     (MemKind::Load, MemKind::Load) => false, // loads commute
@@ -175,9 +175,8 @@ mod tests {
 
     #[test]
     fn loads_commute_but_stores_do_not() {
-        let (p, i) = insts(
-            "    lw t0, 0(sp)\n    lw t1, 4(sp)\n    sw t0, 8(sp)\n    lw t2, 8(sp)",
-        );
+        let (p, i) =
+            insts("    lw t0, 0(sp)\n    lw t1, 4(sp)\n    sw t0, 8(sp)\n    lw t2, 8(sp)");
         let g = DepGraph::build(&p, &i);
         // The two loads are unordered.
         assert!(g.is_valid_order(&[1, 0, 2, 3]));

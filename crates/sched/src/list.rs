@@ -24,11 +24,7 @@ pub fn schedule_program(program: &Program, criterion: Criterion) -> Program {
 
 /// Schedules a single function in place (blocks keep their order; only the
 /// straight-line bodies are permuted).
-pub fn schedule_function(
-    program: &Program,
-    func_index: usize,
-    criterion: Criterion,
-) -> Function {
+pub fn schedule_function(program: &Program, func_index: usize, criterion: Criterion) -> Function {
     let bec = (criterion != Criterion::Original)
         .then(|| BecAnalysis::analyze(program, &BecOptions::paper()));
     let scores = bec.as_ref().map(|b| ReliabilityScores::compute(program, func_index, b));

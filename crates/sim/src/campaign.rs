@@ -117,9 +117,8 @@ pub fn bit_level_faults(
                 continue;
             }
             // Pick the member with the most occurrences as representative.
-            let best = sites
-                .iter()
-                .max_by_key(|s| occs.get(&(fi, s.point)).map(Vec::len).unwrap_or(0));
+            let best =
+                sites.iter().max_by_key(|s| occs.get(&(fi, s.point)).map(Vec::len).unwrap_or(0));
             let Some(site) = best else { continue };
             let Some(cycles) = occs.get(&(fi, site.point)) else { continue };
             for &c in cycles {
@@ -146,7 +145,7 @@ pub fn run_campaign(
     let started = Instant::now();
     let threads = threads.max(1);
     let next = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(FaultClass, u128, u64)>();
+    let (tx, rx) = std::sync::mpsc::channel::<(FaultClass, u128, u64)>();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {

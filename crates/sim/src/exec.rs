@@ -203,7 +203,7 @@ fn step_inst(
         Inst::Load { rd, base, offset, width, signed } => {
             let addr = c.truncate(m.read(*base).wrapping_add(*offset as u64));
             let size = width.bytes();
-            if addr % size != 0 {
+            if !addr.is_multiple_of(size) {
                 return StepResult::Trap(CrashKind::Misaligned);
             }
             let Some(raw) = m.memory.load(addr, size) else {
@@ -213,7 +213,11 @@ fn step_inst(
                 // Sign-extend from the access width.
                 let bits = size * 8;
                 let sign = 1u64 << (bits - 1);
-                if raw & sign != 0 { raw | !((1u64 << bits) - 1) } else { raw }
+                if raw & sign != 0 {
+                    raw | !((1u64 << bits) - 1)
+                } else {
+                    raw
+                }
             } else {
                 raw
             };
@@ -224,7 +228,7 @@ fn step_inst(
         Inst::Store { rs, base, offset, width } => {
             let addr = c.truncate(m.read(*base).wrapping_add(*offset as u64));
             let size = width.bytes();
-            if addr % size != 0 {
+            if !addr.is_multiple_of(size) {
                 return StepResult::Trap(CrashKind::Misaligned);
             }
             let value = m.read(*rs) & if size >= 8 { u64::MAX } else { (1 << (size * 8)) - 1 };

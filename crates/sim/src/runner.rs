@@ -216,7 +216,7 @@ exit:
         let g = sim.run_golden();
         assert_eq!(g.result.outcome, ExecOutcome::Completed);
         assert_eq!(g.outputs(), &[6]); // 3+2+1
-        // Cycles: 2 (li) + 3×3 (loop, jump free) + 2 (print, exit) = 13.
+                                       // Cycles: 2 (li) + 3×3 (loop, jump free) + 2 (print, exit) = 13.
         assert_eq!(g.cycles(), 13);
         // The loop add executed 3 times.
         let f = p.entry_function();

@@ -5,81 +5,94 @@
 //! repository: it exercises every intra-instruction rule, the masking
 //! initialization and the inter-instruction alignment guards against the
 //! ground truth of exhaustive injection.
+//!
+//! Programs are drawn from the deterministic [`bec_testutil::Rng`]; a
+//! failure prints the program text, which reproduces it exactly.
 
 use bec_core::BecOptions;
 use bec_ir::{parse_program, Program};
 use bec_sim::validate_program;
-use proptest::prelude::*;
+use bec_testutil::Rng;
+
+const CASES: u64 = 40;
 
 /// One random loop-body instruction over registers r1..r3 (r0 is the
 /// accumulator that the program returns).
-fn body_inst() -> impl Strategy<Value = String> {
-    let reg = 0u32..4;
-    let dst = 1u32..4; // keep r0 as the observable accumulator
-    prop_oneof![
-        (dst.clone(), reg.clone(), reg.clone(), prop_oneof![
-            Just("add"), Just("sub"), Just("and"), Just("or"), Just("xor"),
-            Just("mul"), Just("sltu"), Just("slt"), Just("divu"), Just("remu"),
-        ])
-            .prop_map(|(d, a, b, op)| format!("{op} r{d}, r{a}, r{b}")),
-        (dst.clone(), reg.clone(), 0i64..256, prop_oneof![
-            Just("addi"), Just("andi"), Just("ori"), Just("xori"),
-        ])
-            .prop_map(|(d, a, i, op)| format!("{op} r{d}, r{a}, {i}")),
-        (dst.clone(), reg.clone(), 0i64..8, prop_oneof![
-            Just("slli"), Just("srli"), Just("srai"),
-        ])
-            .prop_map(|(d, a, i, op)| format!("{op} r{d}, r{a}, {i}")),
-        (dst.clone(), reg.clone(), prop_oneof![
-            Just("mv"), Just("seqz"), Just("snez"), Just("neg"),
-        ])
-            .prop_map(|(d, a, op)| format!("{op} r{d}, r{a}")),
-        (dst, reg, prop_oneof![Just("sll"), Just("srl")])
-            .prop_map(|(d, a, op)| format!("{op} r{d}, r{d}, r{a}")),
-    ]
+fn body_inst(rng: &mut Rng) -> String {
+    let reg = |rng: &mut Rng| rng.range_u64(0, 4);
+    let dst = |rng: &mut Rng| rng.range_u64(1, 4); // keep r0 as the accumulator
+    match rng.range_u64(0, 5) {
+        0 => {
+            let ops = ["add", "sub", "and", "or", "xor", "mul", "sltu", "slt", "divu", "remu"];
+            let (d, a, b) = (dst(rng), reg(rng), reg(rng));
+            format!("{} r{d}, r{a}, r{b}", rng.choose(&ops))
+        }
+        1 => {
+            let ops = ["addi", "andi", "ori", "xori"];
+            let (d, a, i) = (dst(rng), reg(rng), rng.range_i64(0, 256));
+            format!("{} r{d}, r{a}, {i}", rng.choose(&ops))
+        }
+        2 => {
+            let ops = ["slli", "srli", "srai"];
+            let (d, a, i) = (dst(rng), reg(rng), rng.range_i64(0, 8));
+            format!("{} r{d}, r{a}, {i}", rng.choose(&ops))
+        }
+        3 => {
+            let ops = ["mv", "seqz", "snez", "neg"];
+            let (d, a) = (dst(rng), reg(rng));
+            format!("{} r{d}, r{a}", rng.choose(&ops))
+        }
+        _ => {
+            let ops = ["sll", "srl"];
+            let (d, a) = (dst(rng), reg(rng));
+            format!("{} r{d}, r{d}, r{a}", rng.choose(&ops))
+        }
+    }
 }
 
 /// A random program: initializations, a counted loop with a random body
 /// that also accumulates into r0, and a `ret r0`.
-fn random_program() -> impl Strategy<Value = Program> {
-    (
-        proptest::collection::vec(0i64..256, 3),
-        proptest::collection::vec(body_inst(), 1..7),
-        2i64..5,
-    )
-        .prop_map(|(inits, body, trips)| {
-            let mut src = String::from("machine xlen=8 regs=6 zero=none\n");
-            src.push_str("func @main(args=0, ret=none) {\nentry:\n    li r0, 0\n");
-            for (i, v) in inits.iter().enumerate() {
-                src.push_str(&format!("    li r{}, {v}\n", i + 1));
-            }
-            src.push_str(&format!("    li r4, {trips}\n    j loop\nloop:\n"));
-            for inst in &body {
-                src.push_str(&format!("    {inst}\n"));
-            }
-            src.push_str("    add  r0, r0, r1\n    addi r4, r4, -1\n    bnez r4, loop\n");
-            src.push_str("exit:\n    ret r0\n}\n");
-            parse_program(&src).expect("generated program parses")
-        })
+fn random_program(rng: &mut Rng) -> Program {
+    let trips = rng.range_i64(2, 5);
+    let mut src = String::from("machine xlen=8 regs=6 zero=none\n");
+    src.push_str("func @main(args=0, ret=none) {\nentry:\n    li r0, 0\n");
+    for i in 0..3 {
+        src.push_str(&format!("    li r{}, {}\n", i + 1, rng.range_i64(0, 256)));
+    }
+    src.push_str(&format!("    li r4, {trips}\n    j loop\nloop:\n"));
+    for _ in 0..rng.range_u64(1, 7) {
+        src.push_str(&format!("    {}\n", body_inst(rng)));
+    }
+    src.push_str("    add  r0, r0, r1\n    addi r4, r4, -1\n    bnez r4, loop\n");
+    src.push_str("exit:\n    ret r0\n}\n");
+    parse_program(&src).expect("generated program parses")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn bec_is_empirically_sound_on_random_programs(p in random_program()) {
+#[test]
+fn bec_is_empirically_sound_on_random_programs() {
+    let mut rng = Rng::seeded(0x51F7);
+    for _ in 0..CASES {
+        let p = random_program(&mut rng);
         let report = validate_program(&p, &BecOptions::paper());
-        prop_assert!(report.is_sound(),
+        assert!(
+            report.is_sound(),
             "unsound classification: {report:?}\nprogram:\n{}",
-            bec_ir::print_program(&p));
-        prop_assert!(report.runs > 0);
+            bec_ir::print_program(&p)
+        );
+        assert!(report.runs > 0);
     }
+}
 
-    #[test]
-    fn extended_rules_are_also_sound(p in random_program()) {
+#[test]
+fn extended_rules_are_also_sound() {
+    let mut rng = Rng::seeded(0x51F8);
+    for _ in 0..CASES {
+        let p = random_program(&mut rng);
         let report = validate_program(&p, &BecOptions::extended());
-        prop_assert!(report.is_sound(),
+        assert!(
+            report.is_sound(),
             "extended rules unsound: {report:?}\nprogram:\n{}",
-            bec_ir::print_program(&p));
+            bec_ir::print_program(&p)
+        );
     }
 }

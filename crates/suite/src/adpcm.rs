@@ -8,11 +8,10 @@ use crate::Benchmark;
 /// IMA step-size table.
 pub const STEP_TAB: [u32; 89] = [
     7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
-    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
-    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
-    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
-    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
-    32767,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449,
+    494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493,
+    10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
 ];
 
 /// IMA index-adjustment table.
@@ -25,9 +24,8 @@ pub const SAMPLES: [i32; 24] = [
 ];
 
 /// Nibble codes fed to the standalone decoder benchmark.
-pub const CODES: [u32; 24] = [
-    2, 5, 7, 4, 1, 0, 8, 11, 14, 12, 9, 8, 3, 6, 7, 5, 2, 0, 9, 13, 15, 12, 10, 8,
-];
+pub const CODES: [u32; 24] =
+    [2, 5, 7, 4, 1, 0, 8, 11, 14, 12, 9, 8, 3, 6, 7, 5, 2, 0, 9, 13, 15, 12, 10, 8];
 
 fn tables_source() -> String {
     let step: Vec<String> = STEP_TAB.iter().map(|v| v.to_string()).collect();
@@ -190,10 +188,7 @@ pub fn encoder_reference() -> Vec<u64> {
         index = (index + IDX_TAB[delta as usize]).clamp(0, 88);
         codes.push(delta as u32);
     }
-    let mut out: Vec<u64> = codes
-        .chunks(2)
-        .map(|c| u64::from(c[0] << 4 | c[1]))
-        .collect();
+    let mut out: Vec<u64> = codes.chunks(2).map(|c| u64::from(c[0] << 4 | c[1])).collect();
     out.push(u64::from(valpred as u32 & 0xffff));
     out.push(index as u64);
     out

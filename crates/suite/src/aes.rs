@@ -43,12 +43,8 @@ pub fn sbox() -> [u8; 256] {
         };
         // Affine transformation.
         let b = inv;
-        s[x as usize] = b
-            ^ b.rotate_left(1)
-            ^ b.rotate_left(2)
-            ^ b.rotate_left(3)
-            ^ b.rotate_left(4)
-            ^ 0x63;
+        s[x as usize] =
+            b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63;
     }
     s
 }
@@ -263,9 +259,6 @@ mod tests {
 
     #[test]
     fn fips197_appendix_b_vector() {
-        assert_eq!(
-            encrypt(KEY, PLAINTEXT),
-            [0x3925_841d, 0x02dc_09fb, 0xdc11_8597, 0x196a_0b32]
-        );
+        assert_eq!(encrypt(KEY, PLAINTEXT), [0x3925_841d, 0x02dc_09fb, 0xdc11_8597, 0x196a_0b32]);
     }
 }

@@ -8,7 +8,13 @@ use crate::Benchmark;
 
 /// The message words (an arbitrary fixed payload, processed LSB-first).
 pub const MESSAGE: [u32; 8] = [
-    0x4865_6c6c, 0x6f2c_2042, 0x4543_2121, 0x0102_0304, 0xdead_beef, 0x0bad_f00d, 0x1357_9bdf,
+    0x4865_6c6c,
+    0x6f2c_2042,
+    0x4543_2121,
+    0x0102_0304,
+    0xdead_beef,
+    0x0bad_f00d,
+    0x1357_9bdf,
     0x2468_ace0,
 ];
 

@@ -72,9 +72,5 @@ pub fn benchmark(name: &str) -> Option<Benchmark> {
 /// Tiny workloads for exhaustive fault-injection experiments (Table I):
 /// the same kernels with minimal inputs.
 pub fn tiny() -> Vec<Benchmark> {
-    vec![
-        bitcount::scaled(2),
-        crc32::scaled(1),
-        rsa::scaled(3233, 65, 7),
-    ]
+    vec![bitcount::scaled(2), crc32::scaled(1), rsa::scaled(3233, 65, 7)]
 }

@@ -95,7 +95,7 @@ fn find_private_exponent(n: u32, e: u32) -> u32 {
     let mut x = n;
     let mut p = 2;
     while p * p <= x {
-        while x % p == 0 {
+        while x.is_multiple_of(p) {
             factors.push(p);
             x /= p;
         }

@@ -4,9 +4,7 @@
 use crate::Benchmark;
 
 /// The padded input block: "abc" padded to 512 bits per FIPS 180-1.
-pub const BLOCK: [u32; 16] = [
-    0x6162_6380, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x0000_0018,
-];
+pub const BLOCK: [u32; 16] = [0x6162_6380, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x0000_0018];
 
 /// Default workload: one SHA-1 block ("abc").
 pub fn benchmark() -> Benchmark {
@@ -83,12 +81,8 @@ pub fn reference() -> Vec<u64> {
             40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
             _ => (b ^ c ^ d, 0xCA62_C1D6),
         };
-        let temp = a
-            .rotate_left(5)
-            .wrapping_add(f)
-            .wrapping_add(e)
-            .wrapping_add(k)
-            .wrapping_add(wi);
+        let temp =
+            a.rotate_left(5).wrapping_add(f).wrapping_add(e).wrapping_add(k).wrapping_add(wi);
         e = d;
         d = c;
         c = b.rotate_left(30);

@@ -1,0 +1,143 @@
+//! Deterministic pseudo-random generation for the workspace's property
+//! tests.
+//!
+//! The container this workspace builds in has no access to the crates.io
+//! registry, so the test suite cannot depend on `proptest`. The property
+//! tests instead draw their cases from this tiny, fully deterministic
+//! [SplitMix64](https://prng.di.unimi.it/splitmix64.c)-style generator:
+//! every run explores the same cases, failures print the offending seed, and
+//! a failing case can be replayed by constructing `Rng::seeded(seed)`.
+//!
+//! ```
+//! use bec_testutil::Rng;
+//!
+//! let mut rng = Rng::seeded(7);
+//! let a = rng.next_u64();
+//! let b = rng.range_u64(0, 10);
+//! assert!(b < 10);
+//! assert_ne!(a, rng.next_u64());
+//! ```
+
+/// A deterministic 64-bit PRNG (SplitMix64).
+///
+/// Not cryptographic; statistically solid for test-case generation and
+/// equidistributed over `u64`.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator with a fixed default seed (shared by most tests).
+    pub fn new() -> Rng {
+        Rng::seeded(0x5DEECE66D)
+    }
+
+    /// A generator seeded with `seed` (replay a failing case by seeding with
+    /// the value the assertion message reported).
+    pub fn seeded(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The current state; report this in assertion messages so a failure can
+    /// be replayed with [`Rng::seeded`].
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// A uniform value in `lo..hi` (half-open). `hi` must exceed `lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        // Modulo bias is irrelevant at test-case-generation quality.
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// A uniform `i64` in `lo..hi` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add(self.range_u64(0, (hi - lo) as u64) as i64)
+    }
+
+    /// A uniform `usize` in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.range_u64(0, n as u64) as usize
+    }
+
+    /// A uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// A coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 != 0
+    }
+}
+
+impl Default for Rng {
+    fn default() -> Self {
+        Rng::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = Rng::seeded(42);
+        let mut b = Rng::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::new();
+        for _ in 0..1000 {
+            let v = rng.range_u64(3, 17);
+            assert!((3..17).contains(&v));
+            let s = rng.range_i64(-8, 9);
+            assert!((-8..9).contains(&s));
+            assert!(rng.index(5) < 5);
+        }
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = Rng::new();
+        let items = [0u32, 1, 2, 3];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*rng.choose(&items) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

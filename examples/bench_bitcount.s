@@ -1,0 +1,217 @@
+# bitcount benchmark, exported from the bec-suite mini-C sources.
+# expected outputs: [190, 190, 190, 190]
+    .data
+ntbl:
+    .word 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4
+seed:
+    .word 305419896
+    .text
+
+    .globl next_rand
+    .sig next_rand args=0 ret=a0
+next_rand:
+    addi sp, sp, -32
+    la t0, seed
+    lw t0, 0(t0)
+    li t1, 1664525
+    mul t0, t0, t1
+    li t1, 1013904223
+    add t0, t0, t1
+    la t6, seed
+    sw t0, 0(t6)
+    la t0, seed
+    lw t0, 0(t0)
+    mv a0, t0
+next_rand.__exit:
+    addi sp, sp, 32
+    ret
+
+    .globl count_naive
+    .sig count_naive args=1 ret=a0
+count_naive:
+    addi sp, sp, -48
+    sw s0, 28(sp)
+    sw s1, 32(sp)
+    mv s0, a0
+    li t0, 0
+    mv s1, t0
+count_naive.while1:
+    bnez s0, count_naive.body2
+    j count_naive.endwhile3
+count_naive.body2:
+    andi t1, s0, 1
+    add t0, s1, t1
+    mv s1, t0
+    srli t0, s0, 1
+    mv s0, t0
+    j count_naive.while1
+count_naive.endwhile3:
+    mv a0, s1
+count_naive.__exit:
+    lw s0, 28(sp)
+    lw s1, 32(sp)
+    addi sp, sp, 48
+    ret
+
+    .globl count_kernighan
+    .sig count_kernighan args=1 ret=a0
+count_kernighan:
+    addi sp, sp, -48
+    sw s0, 28(sp)
+    sw s1, 32(sp)
+    mv s0, a0
+    li t0, 0
+    mv s1, t0
+count_kernighan.while1:
+    bnez s0, count_kernighan.body2
+    j count_kernighan.endwhile3
+count_kernighan.body2:
+    li t2, 1
+    sub t1, s0, t2
+    and t0, s0, t1
+    mv s0, t0
+    addi t0, s1, 1
+    mv s1, t0
+    j count_kernighan.while1
+count_kernighan.endwhile3:
+    mv a0, s1
+count_kernighan.__exit:
+    lw s0, 28(sp)
+    lw s1, 32(sp)
+    addi sp, sp, 48
+    ret
+
+    .globl count_nibble
+    .sig count_nibble args=1 ret=a0
+count_nibble:
+    addi sp, sp, -48
+    sw s0, 28(sp)
+    sw s1, 32(sp)
+    mv s0, a0
+    li t0, 0
+    mv s1, t0
+count_nibble.while1:
+    bnez s0, count_nibble.body2
+    j count_nibble.endwhile3
+count_nibble.body2:
+    andi t1, s0, 15
+    la t2, ntbl
+    slli t1, t1, 2
+    add t1, t2, t1
+    lw t1, 0(t1)
+    add t0, s1, t1
+    mv s1, t0
+    srli t0, s0, 4
+    mv s0, t0
+    j count_nibble.while1
+count_nibble.endwhile3:
+    mv a0, s1
+count_nibble.__exit:
+    lw s0, 28(sp)
+    lw s1, 32(sp)
+    addi sp, sp, 48
+    ret
+
+    .globl count_parallel
+    .sig count_parallel args=1 ret=a0
+count_parallel:
+    addi sp, sp, -48
+    sw s0, 28(sp)
+    li t1, 1431655765
+    and t0, a0, t1
+    srli t1, a0, 1
+    li t2, 1431655765
+    and t1, t1, t2
+    add t0, t0, t1
+    mv s0, t0
+    li t1, 858993459
+    and t0, t0, t1
+    srli t1, s0, 2
+    li t2, 858993459
+    and t1, t1, t2
+    add t0, t0, t1
+    srli t1, t0, 4
+    add t0, t0, t1
+    li t1, 252645135
+    and t0, t0, t1
+    srli t1, t0, 8
+    add t0, t0, t1
+    srli t1, t0, 16
+    add t0, t0, t1
+    andi t0, t0, 63
+    mv a0, t0
+count_parallel.__exit:
+    lw s0, 28(sp)
+    addi sp, sp, 48
+    ret
+
+    .globl main
+    .sig main args=0 ret=none
+main:
+    addi sp, sp, -64
+    sw ra, 52(sp)
+    sw s0, 28(sp)
+    sw s1, 32(sp)
+    sw s2, 36(sp)
+    sw s3, 40(sp)
+    sw s4, 44(sp)
+    sw s5, 48(sp)
+    li t0, 0
+    mv s2, t0
+    li t0, 0
+    mv s3, t0
+    li t0, 0
+    mv s4, t0
+    li t0, 0
+    mv s5, t0
+    li t0, 0
+    mv s1, t0
+main.for1:
+    sltiu t0, s1, 12
+    bnez t0, main.body2
+    j main.endfor4
+main.body2:
+    call next_rand
+    mv s0, a0
+    sw s2, 0(sp)
+    call count_naive
+    lw t0, 0(sp)
+    add t0, t0, a0
+    mv s2, t0
+    sw s3, 0(sp)
+    mv a0, s0
+    call count_kernighan
+    lw t0, 0(sp)
+    add t0, t0, a0
+    mv s3, t0
+    sw s4, 0(sp)
+    mv a0, s0
+    call count_nibble
+    lw t0, 0(sp)
+    add t0, t0, a0
+    mv s4, t0
+    sw s5, 0(sp)
+    mv a0, s0
+    call count_parallel
+    lw t0, 0(sp)
+    add t0, t0, a0
+    mv s5, t0
+main.step3:
+    addi t0, s1, 1
+    mv s1, t0
+    j main.for1
+main.endfor4:
+    print s2
+    print s3
+    print s4
+    print s5
+main.__exit:
+    lw s0, 28(sp)
+    lw s1, 32(sp)
+    lw s2, 36(sp)
+    lw s3, 40(sp)
+    lw s4, 44(sp)
+    lw s5, 48(sp)
+    lw ra, 52(sp)
+    addi sp, sp, 64
+    ecall

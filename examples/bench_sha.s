@@ -1,0 +1,216 @@
+# sha benchmark, exported from the bec-suite mini-C sources.
+# expected outputs: [2845392438, 1191608682, 3124634993, 2018558572, 2630932637]
+    .data
+w:
+    .zero 320
+blk:
+    .word 1633837952, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 24
+    .text
+
+    .globl main
+    .sig main args=0 ret=none
+main:
+    addi sp, sp, -96
+    sw s0, 40(sp)
+    sw s1, 44(sp)
+    sw s2, 48(sp)
+    sw s3, 52(sp)
+    sw s4, 56(sp)
+    sw s5, 60(sp)
+    sw s6, 64(sp)
+    sw s7, 68(sp)
+    sw s8, 72(sp)
+    sw s9, 76(sp)
+    sw s10, 80(sp)
+    sw s11, 84(sp)
+    li t0, 1732584193
+    mv s10, t0
+    li t0, 4023233417
+    mv s11, t0
+    li t0, 2562383102
+    sw t0, 28(sp)
+    li t0, 271733878
+    sw t0, 32(sp)
+    li t0, 3285377520
+    sw t0, 36(sp)
+    li t0, 0
+    mv s0, t0
+main.for1:
+    sltiu t0, s0, 16
+    bnez t0, main.body2
+    j main.endfor4
+main.body2:
+    la t1, blk
+    slli t0, s0, 2
+    add t0, t1, t0
+    lw t0, 0(t0)
+    la t2, w
+    slli t1, s0, 2
+    add t2, t2, t1
+    sw t0, 0(t2)
+main.step3:
+    addi t0, s0, 1
+    mv s0, t0
+    j main.for1
+main.endfor4:
+    li t0, 16
+    mv s0, t0
+main.for5:
+    sltiu t0, s0, 80
+    bnez t0, main.body6
+    j main.endfor8
+main.body6:
+    li t1, 3
+    sub t0, s0, t1
+    la t1, w
+    slli t0, t0, 2
+    add t0, t1, t0
+    lw t0, 0(t0)
+    li t2, 8
+    sub t1, s0, t2
+    la t2, w
+    slli t1, t1, 2
+    add t1, t2, t1
+    lw t1, 0(t1)
+    xor t0, t0, t1
+    li t2, 14
+    sub t1, s0, t2
+    la t2, w
+    slli t1, t1, 2
+    add t1, t2, t1
+    lw t1, 0(t1)
+    xor t0, t0, t1
+    li t2, 16
+    sub t1, s0, t2
+    la t2, w
+    slli t1, t1, 2
+    add t1, t2, t1
+    lw t1, 0(t1)
+    xor t0, t0, t1
+    mv s7, t0
+    slli t0, t0, 1
+    srli t1, s7, 31
+    or t0, t0, t1
+    la t2, w
+    slli t1, s0, 2
+    add t2, t2, t1
+    sw t0, 0(t2)
+main.step7:
+    addi t0, s0, 1
+    mv s0, t0
+    j main.for5
+main.endfor8:
+    mv s6, s10
+    mv s1, s11
+    lw t0, 28(sp)
+    mv s2, t0
+    lw t0, 32(sp)
+    mv s3, t0
+    lw t0, 36(sp)
+    mv s8, t0
+    li t0, 0
+    mv s0, t0
+main.for9:
+    sltiu t0, s0, 80
+    bnez t0, main.body10
+    j main.endfor12
+main.body10:
+    sltiu t0, s0, 20
+    bnez t0, main.then13
+    j main.else14
+main.then13:
+    and t0, s1, s2
+    xori t1, s1, -1
+    and t1, t1, s3
+    or t0, t0, t1
+    mv s4, t0
+    li t0, 1518500249
+    mv s5, t0
+    j main.join15
+main.else14:
+    sltiu t0, s0, 40
+    bnez t0, main.then16
+    j main.else17
+main.then16:
+    xor t0, s1, s2
+    xor t0, t0, s3
+    mv s4, t0
+    li t0, 1859775393
+    mv s5, t0
+    j main.join18
+main.else17:
+    sltiu t0, s0, 60
+    bnez t0, main.then19
+    j main.else20
+main.then19:
+    and t0, s1, s2
+    and t1, s1, s3
+    or t0, t0, t1
+    and t1, s2, s3
+    or t0, t0, t1
+    mv s4, t0
+    li t0, 2400959708
+    mv s5, t0
+    j main.join21
+main.else20:
+    xor t0, s1, s2
+    xor t0, t0, s3
+    mv s4, t0
+    li t0, 3395469782
+    mv s5, t0
+main.join21:
+main.join18:
+main.join15:
+    slli t0, s6, 5
+    srli t1, s6, 27
+    or t0, t0, t1
+    add t0, t0, s4
+    add t0, t0, s8
+    add t0, t0, s5
+    la t2, w
+    slli t1, s0, 2
+    add t1, t2, t1
+    lw t1, 0(t1)
+    add t0, t0, t1
+    mv s9, t0
+    mv s8, s3
+    mv s3, s2
+    slli t0, s1, 30
+    srli t1, s1, 2
+    or t0, t0, t1
+    mv s2, t0
+    mv s1, s6
+    mv s6, s9
+main.step11:
+    addi t0, s0, 1
+    mv s0, t0
+    j main.for9
+main.endfor12:
+    add t0, s10, s6
+    print t0
+    add t0, s11, s1
+    print t0
+    lw t0, 28(sp)
+    add t0, t0, s2
+    print t0
+    lw t0, 32(sp)
+    add t0, t0, s3
+    print t0
+    lw t0, 36(sp)
+    add t0, t0, s8
+    print t0
+main.__exit:
+    lw s0, 40(sp)
+    lw s1, 44(sp)
+    lw s2, 48(sp)
+    lw s3, 52(sp)
+    lw s4, 56(sp)
+    lw s5, 60(sp)
+    lw s6, 64(sp)
+    lw s7, 68(sp)
+    lw s8, 72(sp)
+    lw s9, 76(sp)
+    lw s10, 80(sp)
+    lw s11, 84(sp)
+    addi sp, sp, 96
+    ecall

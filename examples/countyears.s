@@ -1,0 +1,23 @@
+# The paper's motivating example (Fig. 1): countYears, ported from the
+# 4-bit toy machine to RV32 assembly. Counts i in 1..=7 with
+# i % 2 == 0 && i % 4 != 0; prints 2.
+#
+#   bec analyze  examples/countyears.s
+#   bec prune    examples/countyears.s
+#   bec sim      examples/countyears.s --fault 3:t0:0
+
+    .globl main
+main:
+    li   s0, 0          # year counter
+    li   s1, 7          # loop counter
+loop:
+    andi t0, s1, 1      # i % 2
+    andi t1, s1, 3      # i % 4
+    addi s1, s1, -1
+    seqz t0, t0         # i % 2 == 0
+    snez t1, t1         # i % 4 != 0
+    and  t0, t0, t1
+    add  s0, s0, t0
+    bnez s1, loop
+    print s0
+    ecall

@@ -1,0 +1,25 @@
+# Function-call demo: Euclid's gcd with a proper ABI signature.
+# Shows .globl/.sig, call/ret, and multi-function analysis.
+#
+#   bec analyze  examples/gcd.s
+#   bec schedule examples/gcd.s --criterion best
+
+    .text
+    .globl main
+    .globl gcd
+    .sig gcd args=2 ret=a0
+main:
+    li   a0, 252
+    li   a1, 105
+    call gcd
+    print a0            # 21
+    ecall
+
+gcd:
+    beqz a1, done
+    remu t0, a0, a1     # (a0, a1) <- (a1, a0 mod a1)
+    mv   a0, a1
+    mv   a1, t0
+    j    gcd
+done:
+    ret

@@ -1,0 +1,28 @@
+# Data-section demo: copies a table through memory, summing as it goes.
+# Exercises .data/.word/.zero, la, word loads/stores and a counted loop.
+#
+#   bec analyze examples/memcopy.s
+#   bec encode  examples/memcopy.s
+
+    .data
+src:
+    .word 11, 22, 33, 44
+dst:
+    .zero 16
+    .text
+    .globl main
+main:
+    la   t0, src
+    la   t1, dst
+    li   t2, 4          # element count
+    li   s0, 0          # checksum
+loop:
+    lw   a0, 0(t0)
+    sw   a0, 0(t1)
+    add  s0, s0, a0
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, -1
+    bnez t2, loop
+    print s0            # 110
+    ecall

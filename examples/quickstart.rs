@@ -53,7 +53,11 @@ fn main() {
     let surf = bec_core::surface::surface_row("countYears", &program, &bec, &golden.profile);
     println!();
     println!("inject-on-read FI runs : {}", pruning.live_values);
-    println!("BEC bit-level FI runs  : {} ({:.1}% pruned)", pruning.live_bits, pruning.pruned_pct());
+    println!(
+        "BEC bit-level FI runs  : {} ({:.1}% pruned)",
+        pruning.live_bits,
+        pruning.pruned_pct()
+    );
     println!("program fault surface  : {} live fault sites", surf.live_sites);
     assert_eq!(pruning.live_values, 288);
     assert_eq!(pruning.live_bits, 225);

@@ -36,7 +36,10 @@ fn main() {
     let worst = measure("worst reliability", &worst_p);
 
     println!();
-    println!("improvement headroom (worst/best): {:.2}%", 100.0 * worst as f64 / best as f64 - 100.0);
+    println!(
+        "improvement headroom (worst/best): {:.2}%",
+        100.0 * worst as f64 / best as f64 - 100.0
+    );
     println!("best vs original: {:+.2}%", 100.0 * best as f64 / base as f64 - 100.0);
 
     // Scheduling must never change what the program computes.

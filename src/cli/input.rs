@@ -1,0 +1,37 @@
+//! Input loading: reads a program from disk, picking the parser by
+//! extension (`.s`/`.asm` → RV32 assembler, `.bec`/`.ir` → IR dialect) or,
+//! failing that, by sniffing the content for the IR's `func @` headers.
+
+use super::CliError;
+use bec_ir::Program;
+
+/// Loads and parses the program at `path`.
+pub fn load_program(path: &str) -> Result<Program, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::failed(format!("cannot read `{path}`: {e}")))?;
+    let by_ext = std::path::Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(str::to_ascii_lowercase);
+    let as_ir = match by_ext.as_deref() {
+        Some("s") | Some("asm") => false,
+        Some("bec") | Some("ir") => true,
+        _ => looks_like_ir(&text),
+    };
+    if as_ir {
+        bec_ir::parse_program(&text).map_err(|e| CliError::failed(format!("{path}: {e}"))).and_then(
+            |p| {
+                bec_ir::verify_program(&p).map_err(|e| CliError::failed(format!("{path}: {e}")))?;
+                Ok(p)
+            },
+        )
+    } else {
+        bec_rv32::parse_asm(&text).map_err(|e| CliError::failed(format!("{path}: {e}")))
+    }
+}
+
+/// Heuristic for extension-less input: the IR dialect is the only one with
+/// `func @name(...)` headers or a `machine` directive.
+fn looks_like_ir(text: &str) -> bool {
+    text.lines().map(str::trim).any(|l| l.starts_with("func @") || l.starts_with("machine "))
+}

@@ -1,0 +1,98 @@
+//! Subcommand dispatch and shared plumbing for the `bec` binary.
+
+mod analyze;
+mod encode;
+mod input;
+mod json;
+mod prune;
+mod schedule;
+mod sim;
+
+use bec_core::BecOptions;
+
+/// CLI failure modes: usage errors print the help text, operational
+/// failures print the message alone.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation (unknown command/flag, missing file).
+    Usage(String),
+    /// The command itself failed (parse error, unencodable program, …).
+    Failed(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+
+    fn failed(msg: impl Into<String>) -> CliError {
+        CliError::Failed(msg.into())
+    }
+}
+
+/// Options shared by every subcommand, parsed from the raw argument list.
+pub struct CommonArgs {
+    /// Input path.
+    pub file: String,
+    /// Emit JSON instead of text.
+    pub json: bool,
+    /// Coalescing rule set.
+    pub options: BecOptions,
+    /// Remaining command-specific flags, in order.
+    pub rest: Vec<String>,
+}
+
+fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
+    let mut file = None;
+    let mut json = false;
+    let mut options = BecOptions::paper();
+    let mut rest = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--rules" => {
+                let v = it.next().ok_or_else(|| CliError::usage("--rules needs a value"))?;
+                options = match v.as_str() {
+                    "paper" => BecOptions::paper(),
+                    "extended" => BecOptions::extended(),
+                    "branches-only" => BecOptions::branches_only(),
+                    other => return Err(CliError::usage(format!("unknown rule set `{other}`"))),
+                };
+            }
+            flag if flag.starts_with("--") => {
+                rest.push(a.clone());
+                // Flags with values keep them adjacent for the subcommand.
+                if matches!(flag, "--criterion" | "--fault" | "--max-cycles" | "--base") {
+                    if let Some(v) = it.next() {
+                        rest.push(v.clone());
+                    }
+                }
+            }
+            _ if file.is_none() => file = Some(a.clone()),
+            other => return Err(CliError::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    Ok(CommonArgs {
+        file: file.ok_or_else(|| CliError::usage("missing input file"))?,
+        json,
+        options,
+        rest,
+    })
+}
+
+/// Runs the CLI on an argument list (exposed for the integration tests).
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let Some(cmd) = args.first() else {
+        return Err(CliError::usage(String::new()));
+    };
+    match cmd.as_str() {
+        "analyze" => analyze::run(&parse_common(&args[1..])?),
+        "prune" => prune::run(&parse_common(&args[1..])?),
+        "schedule" => schedule::run(&parse_common(&args[1..])?),
+        "sim" => sim::run(&parse_common(&args[1..])?),
+        "encode" => encode::run(&parse_common(&args[1..])?),
+        "help" | "--help" | "-h" => Err(CliError::Usage(String::new())),
+        other => Err(CliError::usage(format!("unknown command `{other}`"))),
+    }
+}

@@ -1,0 +1,86 @@
+//! `bec schedule` — vulnerability-aware rescheduling: schedules the
+//! program under the chosen criterion and quantifies the fault-surface
+//! change (the paper's Table IV experiment on one program).
+
+use super::json::Json;
+use super::{input, CliError, CommonArgs};
+use bec_core::{report, surface, BecAnalysis};
+use bec_sched::{schedule_program, Criterion};
+use bec_sim::{SimLimits, Simulator};
+
+fn surface_of(program: &bec_ir::Program, options: &bec_core::BecOptions) -> Result<u64, CliError> {
+    let bec = BecAnalysis::analyze(program, options);
+    let sim = Simulator::with_limits(program, SimLimits { max_cycles: 100_000_000 });
+    let golden = sim.run_golden();
+    if golden.result.outcome != bec_sim::ExecOutcome::Completed {
+        return Err(CliError::failed(format!(
+            "program did not run to completion: {:?}",
+            golden.result.outcome
+        )));
+    }
+    Ok(surface::surface_row("s", program, &bec, &golden.profile).live_sites)
+}
+
+pub fn run(args: &CommonArgs) -> Result<(), CliError> {
+    let mut criterion = Criterion::BestReliability;
+    let mut emit_asm = false;
+    let mut it = args.rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--criterion" => {
+                let v = it.next().ok_or_else(|| CliError::usage("--criterion needs a value"))?;
+                criterion = match v.as_str() {
+                    "best" => Criterion::BestReliability,
+                    "worst" => Criterion::WorstReliability,
+                    "original" => Criterion::Original,
+                    other => return Err(CliError::usage(format!("unknown criterion `{other}`"))),
+                };
+            }
+            "--emit-asm" => emit_asm = true,
+            other => return Err(CliError::usage(format!("unknown flag `{other}`"))),
+        }
+    }
+
+    let program = input::load_program(&args.file)?;
+    let scheduled = schedule_program(&program, criterion);
+    bec_ir::verify_program(&scheduled)
+        .map_err(|e| CliError::failed(format!("scheduler broke the program: {e}")))?;
+    let before = surface_of(&program, &args.options)?;
+    let after = surface_of(&scheduled, &args.options)?;
+    let delta_pct =
+        if before == 0 { 0.0 } else { 100.0 * (after as f64 - before as f64) / before as f64 };
+
+    if args.json {
+        let doc = Json::obj(vec![
+            ("file", Json::str(&args.file)),
+            ("criterion", Json::str(format!("{criterion:?}"))),
+            ("live_sites_before", Json::UInt(before)),
+            ("live_sites_after", Json::UInt(after)),
+            ("delta_pct", Json::Float(delta_pct)),
+        ]);
+        println!("{}", doc.render());
+    } else {
+        println!("Vulnerability-aware scheduling of {} ({criterion:?})\n", args.file);
+        print!(
+            "{}",
+            report::format_table(
+                &["fault surface", "live sites"],
+                &[
+                    vec!["original order".into(), report::group_digits(before)],
+                    vec!["scheduled".into(), report::group_digits(after)],
+                ],
+            )
+        );
+        println!("\nchange: {delta_pct:+.2} %");
+    }
+
+    if emit_asm {
+        let text = if scheduled.config == bec_ir::MachineConfig::rv32() {
+            bec_rv32::print_rv32(&scheduled)
+        } else {
+            bec_ir::print_program(&scheduled)
+        };
+        println!("\n{text}");
+    }
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! `bec sim` — executes the program on the fault-injection simulator,
+//! optionally flipping one register bit at a chosen cycle, and reports the
+//! observable outputs and outcome.
+
+use super::json::Json;
+use super::{input, CliError, CommonArgs};
+use bec_sim::{FaultSpec, SimLimits, Simulator};
+
+fn parse_fault(spec: &str) -> Result<FaultSpec, CliError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 3 {
+        return Err(CliError::usage(format!("--fault wants <cycle>:<reg>:<bit>, got `{spec}`")));
+    }
+    let cycle: u64 =
+        parts[0].parse().map_err(|_| CliError::usage(format!("bad fault cycle `{}`", parts[0])))?;
+    let reg = bec_ir::Reg::parse(parts[1])
+        .ok_or_else(|| CliError::usage(format!("bad fault register `{}`", parts[1])))?;
+    let bit: u32 =
+        parts[2].parse().map_err(|_| CliError::usage(format!("bad fault bit `{}`", parts[2])))?;
+    Ok(FaultSpec { cycle, reg, bit })
+}
+
+pub fn run(args: &CommonArgs) -> Result<(), CliError> {
+    let mut fault = None;
+    let mut max_cycles = 100_000_000u64;
+    let mut it = args.rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--fault" => {
+                let v = it.next().ok_or_else(|| CliError::usage("--fault needs a value"))?;
+                fault = Some(parse_fault(v)?);
+            }
+            "--max-cycles" => {
+                let v = it.next().ok_or_else(|| CliError::usage("--max-cycles needs a value"))?;
+                max_cycles =
+                    v.parse().map_err(|_| CliError::usage(format!("bad cycle budget `{v}`")))?;
+            }
+            other => return Err(CliError::usage(format!("unknown flag `{other}`"))),
+        }
+    }
+
+    let program = input::load_program(&args.file)?;
+    if let Some(f) = fault {
+        // The fault must name a real storage element of this machine.
+        if f.reg.is_virtual() || f.reg.index() >= program.config.num_regs {
+            return Err(CliError::failed(format!(
+                "fault register {} outside the {}-register file",
+                f.reg, program.config.num_regs
+            )));
+        }
+        if f.bit >= program.config.xlen {
+            return Err(CliError::failed(format!(
+                "fault bit {} outside the {}-bit word",
+                f.bit, program.config.xlen
+            )));
+        }
+    }
+    let sim = Simulator::with_limits(&program, SimLimits { max_cycles });
+    let golden = sim.run_golden();
+    let (outcome, outputs, cycles, classified) = match fault {
+        None => (
+            format!("{:?}", golden.result.outcome),
+            golden.outputs().to_vec(),
+            golden.cycles(),
+            None,
+        ),
+        Some(f) => {
+            let run = sim.run_with_fault(f);
+            let class = run.classify(&golden.result);
+            (format!("{:?}", run.outcome), run.outputs().to_vec(), run.cycles, Some(class))
+        }
+    };
+
+    if args.json {
+        let mut fields = vec![
+            ("file", Json::str(&args.file)),
+            ("outcome", Json::str(&outcome)),
+            ("cycles", Json::UInt(cycles)),
+            ("outputs", Json::Arr(outputs.iter().map(|o| Json::UInt(*o)).collect())),
+        ];
+        if let Some(f) = fault {
+            fields.push(("fault", Json::str(format!("{}:{}:{}", f.cycle, f.reg, f.bit))));
+        }
+        if let Some(c) = classified {
+            fields.push(("classification", Json::str(format!("{c:?}"))));
+        }
+        println!("{}", Json::obj(fields).render());
+        return Ok(());
+    }
+
+    if let Some(f) = fault {
+        println!("fault: flip bit {} of {} before cycle {}", f.bit, f.reg, f.cycle);
+    }
+    println!("outcome: {outcome} after {cycles} cycles");
+    for (i, o) in outputs.iter().enumerate() {
+        println!("output[{i}] = {o}");
+    }
+    if let Some(c) = classified {
+        println!("classification vs golden run: {c:?}");
+    }
+    Ok(())
+}

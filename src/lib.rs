@@ -17,6 +17,8 @@
 //! * [`sched`] — vulnerability-aware list instruction scheduling
 //!   (Algorithm 4).
 //! * [`lang`] — a mini-C compiler targeting the IR.
+//! * [`rv32`] — the RV32I machine-code layer: assembler frontend for
+//!   standard `.s` syntax, instruction encoder and decoder/lifter.
 //! * [`suite`] — the eight evaluation benchmarks.
 //!
 //! ## Quickstart
@@ -34,6 +36,7 @@ pub use bec_core as analysis;
 pub use bec_dataflow as dataflow;
 pub use bec_ir as ir;
 pub use bec_lang as lang;
+pub use bec_rv32 as rv32;
 pub use bec_sched as sched;
 pub use bec_sim as sim;
 pub use bec_suite as suite;
@@ -45,6 +48,7 @@ pub mod prelude {
         parse_program, print_program, verify_program, FunctionBuilder, Inst, MachineConfig,
         Program, ProgramBuilder, Reg, Signature,
     };
+    pub use bec_rv32::{encode_program, lift_image, parse_asm, print_rv32};
     pub use bec_sched::{schedule_program, Criterion as SchedCriterion};
     pub use bec_sim::{ExecOutcome, FaultSpec, Simulator};
 }

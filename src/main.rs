@@ -1,0 +1,88 @@
+//! `bec` — the command-line driver of the BEC reproduction.
+//!
+//! Reads RV32I assembly (`.s`, via [`bec_rv32::parse_asm`]) or the
+//! block-structured IR dialect (`.bec`/`.ir`, via
+//! [`bec_ir::parse_program`]) and runs the paper's analyses on it:
+//!
+//! ```text
+//! bec analyze  file.s              fault-site / coalescing report
+//! bec prune    file.s              fault-injection pruning (Table III row)
+//! bec schedule file.s              vulnerability-aware rescheduling
+//! bec sim      file.s              execute (optionally with a bit flip)
+//! bec encode   file.s              RV32I machine-code emission
+//! ```
+//!
+//! Every command accepts `--json` for machine-readable output.
+
+mod cli;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+bec — bit-level soft-error reliability analysis (BEC, CGO 2024)
+
+USAGE:
+    bec <COMMAND> [OPTIONS] <FILE>
+
+COMMANDS:
+    analyze    BEC analysis: fault sites, equivalence classes, masked bits
+    prune      fault-injection pruning report (paper Table III)
+    schedule   vulnerability-aware instruction scheduling (paper Table IV)
+    sim        execute the program (optionally injecting one bit flip)
+    encode     emit RV32I machine code
+
+INPUT:
+    *.s / *.asm        standard RV32I assembly (bec-rv32 frontend)
+    *.bec / *.ir       block-structured IR dialect (bec-ir parser)
+    anything else      sniffed by content
+
+COMMON OPTIONS:
+    --json                     machine-readable JSON on stdout
+    --rules <paper|extended|branches-only>
+                               coalescing rule set (default: paper)
+
+COMMAND OPTIONS:
+    schedule: --criterion <best|worst|original>   (default: best)
+              --emit-asm                          print the scheduled program
+    sim:      --fault <cycle>:<reg>:<bit>         single-event upset to inject
+              --max-cycles <N>                    execution budget
+    encode:   --base <ADDR>                       text base address, decimal or
+                                                  0x-prefixed hex (default 0)
+              --raw                               bare hex words, one per line
+";
+
+/// Restores the default `SIGPIPE` disposition so `bec encode | head`
+/// terminates quietly like any other Unix filter instead of panicking on
+/// the closed pipe (Rust's runtime ignores `SIGPIPE` by default).
+#[cfg(unix)]
+fn reset_sigpipe() {
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    // SIGPIPE = 13 and SIG_DFL = 0 on every Unix Rust supports.
+    unsafe {
+        signal(13, 0);
+    }
+}
+
+#[cfg(not(unix))]
+fn reset_sigpipe() {}
+
+fn main() -> ExitCode {
+    reset_sigpipe();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(cli::CliError::Usage(msg)) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(cli::CliError::Failed(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

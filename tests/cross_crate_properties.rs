@@ -1,51 +1,55 @@
 //! Cross-crate property tests: the compiler, optimizer, scheduler and
 //! simulator must agree on program semantics for randomly generated
 //! mini-C programs.
+//!
+//! Cases are drawn from the deterministic [`bec_testutil::Rng`]; a failing
+//! case prints its seed and can be replayed with `Rng::seeded(seed)`.
 
 use bec_sched::{schedule_program, Criterion};
 use bec_sim::{SimLimits, Simulator};
-use proptest::prelude::*;
+use bec_testutil::Rng;
 
-/// A random mini-C program: a couple of globals, one helper function and a
-/// main with loops, branches and calls.
-fn random_source() -> impl Strategy<Value = String> {
-    let expr_leaf = prop_oneof![
-        (0u64..64).prop_map(|v| v.to_string()),
-        Just("x".to_owned()),
-        Just("acc".to_owned()),
-        Just("i".to_owned()),
-        Just("g".to_owned()),
-    ];
-    let op = prop_oneof![
-        Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^"),
-        Just("<<"), Just(">>"), Just("<"), Just("=="), Just("%"),
-    ];
-    let expr = (expr_leaf.clone(), op, expr_leaf).prop_map(|(a, o, b)| {
-        // Keep shifts in range and divisions nonzero.
-        match o {
-            "<<" | ">>" => format!("({a} {o} ({b} & 7))"),
-            "%" => format!("({a} {o} (({b} & 7) + 1))"),
-            _ => format!("({a} {o} {b})"),
+const CASES: u64 = 32;
+
+/// A random binary expression over the in-scope names, with shifts kept in
+/// range and divisors nonzero.
+fn random_expr(rng: &mut Rng) -> String {
+    let leaves = ["x", "acc", "i", "g"];
+    let leaf = |rng: &mut Rng| -> String {
+        if rng.bool() {
+            rng.range_u64(0, 64).to_string()
+        } else {
+            (*rng.choose(&leaves)).to_owned()
         }
-    });
-    (
-        proptest::collection::vec(expr, 3..8),
-        0u64..64,
-        2u64..5,
-    )
-        .prop_map(|(exprs, init, trips)| {
-            let mut body = String::new();
-            for (i, e) in exprs.iter().enumerate() {
-                if i % 3 == 2 {
-                    body.push_str(&format!(
-                        "        if ({e}) {{ acc = acc + helper(x); }} else {{ acc = acc ^ {i}; }}\n"
-                    ));
-                } else {
-                    body.push_str(&format!("        x = {e};\n"));
-                }
-            }
-            format!(
-                r#"
+    };
+    let ops = ["+", "-", "*", "&", "|", "^", "<<", ">>", "<", "==", "%"];
+    let (a, o, b) = (leaf(rng), *rng.choose(&ops), leaf(rng));
+    match o {
+        "<<" | ">>" => format!("({a} {o} ({b} & 7))"),
+        "%" => format!("({a} {o} (({b} & 7) + 1))"),
+        _ => format!("({a} {o} {b})"),
+    }
+}
+
+/// A random mini-C program: a global, one helper function and a main with
+/// loops, branches and calls.
+fn random_source(rng: &mut Rng) -> String {
+    let n_exprs = rng.range_u64(3, 8);
+    let init = rng.range_u64(0, 64);
+    let trips = rng.range_u64(2, 5);
+    let mut body = String::new();
+    for i in 0..n_exprs {
+        let e = random_expr(rng);
+        if i % 3 == 2 {
+            body.push_str(&format!(
+                "        if ({e}) {{ acc = acc + helper(x); }} else {{ acc = acc ^ {i}; }}\n"
+            ));
+        } else {
+            body.push_str(&format!("        x = {e};\n"));
+        }
+    }
+    format!(
+        r#"
 int g = {init};
 int helper(int v) {{
     return (v ^ (v >> 3)) + g;
@@ -62,8 +66,7 @@ void main() {{
     print(g);
 }}
 "#
-            )
-        })
+    )
 }
 
 fn run(program: &bec_ir::Program) -> Vec<u64> {
@@ -73,41 +76,51 @@ fn run(program: &bec_ir::Program) -> Vec<u64> {
     g.outputs().to_vec()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The peephole optimizer must preserve observable behaviour.
-    #[test]
-    fn optimizer_preserves_semantics(src in random_source()) {
+/// The peephole optimizer must preserve observable behaviour.
+#[test]
+fn optimizer_preserves_semantics() {
+    let mut rng = Rng::new();
+    for _ in 0..CASES {
+        let seed = rng.state();
+        let src = random_source(&mut rng);
         let unopt = bec_lang::compile_unoptimized(&src).expect("compiles");
         let opt = bec_lang::compile(&src).expect("compiles optimized");
-        prop_assert_eq!(run(&unopt), run(&opt), "source:\n{}", src);
+        assert_eq!(run(&unopt), run(&opt), "seed {seed}, source:\n{src}");
         // And it must not grow the program.
-        let count = |p: &bec_ir::Program| -> usize {
-            p.functions.iter().map(|f| f.insts().count()).sum()
-        };
-        prop_assert!(count(&opt) <= count(&unopt));
+        let count =
+            |p: &bec_ir::Program| -> usize { p.functions.iter().map(|f| f.insts().count()).sum() };
+        assert!(count(&opt) <= count(&unopt), "seed {seed}, source:\n{src}");
     }
+}
 
-    /// Reliability-aware scheduling must preserve observable behaviour and
-    /// the dynamic instruction count, for both policies.
-    #[test]
-    fn scheduling_preserves_semantics(src in random_source()) {
+/// Reliability-aware scheduling must preserve observable behaviour and the
+/// dynamic instruction count, for both policies.
+#[test]
+fn scheduling_preserves_semantics() {
+    let mut rng = Rng::seeded(0xBEC5);
+    for _ in 0..CASES {
+        let seed = rng.state();
+        let src = random_source(&mut rng);
         let program = bec_lang::compile(&src).expect("compiles");
         let base = run(&program);
         for crit in [Criterion::BestReliability, Criterion::WorstReliability] {
             let scheduled = schedule_program(&program, crit);
             bec_ir::verify_program(&scheduled).expect("verifies");
-            prop_assert_eq!(&run(&scheduled), &base, "criterion {:?}\nsource:\n{}", crit, src);
+            assert_eq!(run(&scheduled), base, "criterion {crit:?}, seed {seed}\nsource:\n{src}");
         }
     }
+}
 
-    /// Compiled programs round-trip through the assembly printer/parser.
-    #[test]
-    fn compiled_programs_roundtrip_as_text(src in random_source()) {
+/// Compiled programs round-trip through the assembly printer/parser.
+#[test]
+fn compiled_programs_roundtrip_as_text() {
+    let mut rng = Rng::seeded(0xBEC7);
+    for _ in 0..CASES {
+        let seed = rng.state();
+        let src = random_source(&mut rng);
         let program = bec_lang::compile(&src).expect("compiles");
         let text = bec_ir::print_program(&program);
         let back = bec_ir::parse_program(&text).expect("reparses");
-        prop_assert_eq!(program, back);
+        assert_eq!(program, back, "seed {seed}");
     }
 }

@@ -8,10 +8,9 @@ use bec_sim::{validate_program, SimLimits, Simulator};
 /// surface 681 → 576 after rescheduling (−15.4 %).
 #[test]
 fn motivating_example_numbers() {
-    for (program, fi_runs, surf) in [
-        (bec::motivating_example(), 225, 681),
-        (bec::motivating_example_rescheduled(), 225, 576),
-    ] {
+    for (program, fi_runs, surf) in
+        [(bec::motivating_example(), 225, 681), (bec::motivating_example_rescheduled(), 225, 576)]
+    {
         let bec = BecAnalysis::analyze(&program, &BecOptions::paper());
         let sim = Simulator::new(&program);
         let golden = sim.run_golden();
