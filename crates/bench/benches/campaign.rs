@@ -3,7 +3,8 @@
 
 use bec_core::{BecAnalysis, BecOptions};
 use bec_sim::campaign::{bit_level_faults, run_campaign, value_level_faults, CampaignKind};
-use bec_sim::Simulator;
+use bec_sim::shard::{site_fault_space, CampaignSpec, ShardPlan};
+use bec_sim::{pool, Simulator};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_campaigns(c: &mut Criterion) {
@@ -26,5 +27,26 @@ fn bench_campaigns(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_campaigns);
+/// Throughput of the sharded differential campaign engine: whole classified
+/// fault space, batched per-shard aggregation, 1 vs 4 workers.
+fn bench_sharded_engine(c: &mut Criterion) {
+    let bench = bec_suite::crc32::scaled(1);
+    let program = bench.compile().expect("compiles");
+    let bec = BecAnalysis::analyze(&program, &BecOptions::paper());
+    let sim = Simulator::new(&program);
+    let golden = sim.run_golden();
+    let plan =
+        ShardPlan::build(site_fault_space(&program, &bec, &golden), CampaignSpec::exhaustive(64));
+
+    let mut group = c.benchmark_group("sharded_campaign_crc32_tiny");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        group.bench_function(format!("{workers}_workers"), |b| {
+            b.iter(|| pool::run_sharded(&sim, &golden, &plan, workers, None, "crc32").unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaigns, bench_sharded_engine);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use crate::bitvalue::BitValues;
 use crate::coalesce::Coalescing;
-use bec_ir::{DefUse, Liveness, PointLayout, Program};
+use bec_ir::{DefUse, Liveness, PointId, PointLayout, Program, Reg};
 
 /// Toggles for the coalescing rule set.
 ///
@@ -44,6 +44,31 @@ impl BecOptions {
     /// eval-equivalence on compare-like ops.
     pub fn branches_only() -> BecOptions {
         BecOptions { eval_compare_ops: false, golden_masking: false, cross_operand_eval: false }
+    }
+}
+
+/// The static verdict of the BEC analysis for one fault site — the query
+/// interface that differential fault-injection validation checks against
+/// (`bec_sim`'s campaign engine treats `Masked` as a hard guarantee: a
+/// masked site observed corrupting the execution is a soundness violation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SiteVerdict {
+    /// The site is in `[s0]`: any flip of this bit in this window provably
+    /// leaves the execution trace unchanged.
+    Masked,
+    /// The site is live; `class` is its function-local equivalence-class
+    /// representative (all members of a class produce identical traces at
+    /// corresponding occurrences).
+    Live {
+        /// Union-find representative within the function's node table.
+        class: usize,
+    },
+}
+
+impl SiteVerdict {
+    /// Whether the verdict claims the fault can never corrupt the trace.
+    pub fn is_masked(self) -> bool {
+        matches!(self, SiteVerdict::Masked)
     }
 }
 
@@ -119,6 +144,29 @@ impl BecAnalysis {
     /// The options the analysis ran with.
     pub fn options(&self) -> &BecOptions {
         &self.options
+    }
+
+    /// The static verdict for fault site `(point, reg, bit)` of the `func`-th
+    /// function: `Masked` when the coalescing proved the flip harmless,
+    /// `Live { class }` otherwise.
+    ///
+    /// Returns `None` when `func` is out of range or `reg` is not accessed at
+    /// `point` (the pair is then not a fault site of the analysis and no
+    /// claim is made about it).
+    pub fn site_verdict(
+        &self,
+        func: usize,
+        point: PointId,
+        reg: Reg,
+        bit: u32,
+    ) -> Option<SiteVerdict> {
+        let fa = self.functions.get(func)?;
+        let class = fa.coalescing.class_of(point, reg, bit)?;
+        Some(if class == fa.coalescing.s0_class() {
+            SiteVerdict::Masked
+        } else {
+            SiteVerdict::Live { class }
+        })
     }
 
     /// Total number of equivalence classes across all functions (including

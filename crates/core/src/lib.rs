@@ -50,7 +50,7 @@ pub mod pruning;
 pub mod report;
 pub mod surface;
 
-pub use analysis::{BecAnalysis, BecOptions, FunctionAnalysis};
+pub use analysis::{BecAnalysis, BecOptions, FunctionAnalysis, SiteVerdict};
 pub use bitvalue::BitValues;
 pub use coalesce::Coalescing;
 pub use fault::FaultSite;

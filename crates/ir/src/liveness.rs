@@ -3,6 +3,15 @@
 //! Liveness drives the paper's `kill(p)` sets: a register accessed at `p`
 //! but not live after `p` is killed there, and any fault arising in it after
 //! `p` is masked (Algorithm 2, lines 4–5).
+//!
+//! At a `ret` of a non-entry function, the ABI-preserved registers — `ra`
+//! (consumed by the return itself) and the callee-saved set including `sp`
+//! — are live-out: [`Program::call_effects`] models calls as *not*
+//! clobbering them, so the caller's analysis assumes their values survive
+//! the call, and a masking claim on (say) the epilogue's final `sp`
+//! adjustment would be refuted by fault injection (the caller's next stack
+//! access crashes). The entry function has no caller, so nothing outlives
+//! its `ret`/`exit`.
 
 use crate::cfg::Cfg;
 use crate::function::Function;
@@ -151,6 +160,39 @@ impl Liveness {
             regs.into_iter().filter(|r| Some(*r) != zero).filter_map(|r| universe.id(r)).collect()
         };
 
+        // Registers live out of a `ret` (see module docs): the ABI-preserved
+        // set plus the return-value registers, whose windows open inside the
+        // caller. Empty for the entry function, which nothing returns into.
+        let mut ret_seed = RegSet::empty(n);
+        if f.name != program.entry {
+            for r in universe.iter() {
+                if (r == Reg::RA || r.is_callee_saved()) && Some(r) != zero {
+                    ret_seed.insert(universe.id(r).expect("universe member"));
+                }
+            }
+        }
+        let exit_seeds: Vec<Option<RegSet>> = f
+            .blocks
+            .iter()
+            .map(|blk| {
+                if f.name == program.entry {
+                    return None;
+                }
+                match &blk.term {
+                    crate::inst::TerminatorKind::Ret { reads } => {
+                        let mut seed = ret_seed.clone();
+                        for id in reg_ids(reads.clone()) {
+                            seed.insert(id);
+                        }
+                        Some(seed)
+                    }
+                    _ => None,
+                }
+            })
+            .collect();
+        let block_exit_live =
+            |b: crate::function::BlockId| -> Option<&RegSet> { exit_seeds[b.index()].as_ref() };
+
         // Block-level fixpoint on live-in sets.
         let nb = f.blocks.len();
         let mut block_live_in = vec![RegSet::empty(n); nb];
@@ -162,6 +204,9 @@ impl Liveness {
                 let mut live = RegSet::empty(n);
                 for &s in cfg.successors(b) {
                     live.union_with(&block_live_in[s.index()]);
+                }
+                if let Some(seed) = block_exit_live(b) {
+                    live.union_with(seed);
                 }
                 // Walk points backward.
                 let blk = f.block(b);
@@ -189,6 +234,9 @@ impl Liveness {
             let mut live = RegSet::empty(n);
             for &s in cfg.successors(b) {
                 live.union_with(&block_live_in[s.index()]);
+            }
+            if let Some(seed) = block_exit_live(b) {
+                live.union_with(seed);
             }
             for off in (0..blk.point_count()).rev() {
                 let p = layout.point(b, off);
@@ -287,6 +335,45 @@ mod tests {
         let layout = PointLayout::of(f);
         let branch = layout.terminator_of(f, f.block_by_label("loop").unwrap());
         assert!(lv.is_live_after(branch, Reg::T0));
+    }
+
+    #[test]
+    fn abi_preserved_regs_live_out_of_callee_ret() {
+        let p = crate::parse_program(
+            r#"
+func @leaf(args=1, ret=a0) {
+entry:
+    addi sp, sp, -16
+    slli a0, a0, 1
+    addi sp, sp, 16
+    ret a0
+}
+func @main(args=0, ret=none) {
+entry:
+    li a0, 3
+    call @leaf
+    print a0
+    exit
+}
+"#,
+        )
+        .unwrap();
+        let f = p.function("leaf").unwrap();
+        let lv = Liveness::compute(f, &p);
+        // The caller assumes the call preserves sp: the epilogue restore at
+        // p2 must leave sp live, or a fault there would be claimed masked.
+        assert!(lv.is_live_after(PointId(2), Reg::SP));
+        // The return value crosses back into the caller: live out of `ret`.
+        let layout = PointLayout::of(f);
+        let ret = layout.terminator_of(f, f.block_by_label("entry").unwrap());
+        assert!(lv.is_live_after(ret, Reg::A0));
+        // `ra` is not mentioned by the leaf, so it has no fault sites and
+        // stays outside the universe — no claim is made about it.
+        assert!(!lv.is_live_after(ret, Reg::RA));
+        // The entry function still kills everything at program end.
+        let main = p.function("main").unwrap();
+        let lv_main = Liveness::compute(main, &p);
+        assert!(!lv_main.is_live_after(PointId(2), Reg::A0));
     }
 
     #[test]

@@ -23,9 +23,11 @@ pub enum CampaignKind {
     BitLevel,
 }
 
-/// Aggregate results of a campaign.
+/// Aggregate (counts-only) results of a flat campaign. The sharded engine
+/// in [`crate::shard`] produces the richer, resumable
+/// [`crate::shard::CampaignReport`] with per-fault outcomes.
 #[derive(Clone, Debug)]
-pub struct CampaignReport {
+pub struct CampaignSummary {
     /// The pruning strategy.
     pub kind: CampaignKind,
     /// Number of fault-injection runs performed.
@@ -41,7 +43,7 @@ pub struct CampaignReport {
     pub wall: Duration,
 }
 
-impl CampaignReport {
+impl CampaignSummary {
     /// Runs with observable effect (anything but `Benign`).
     pub fn effective_runs(&self) -> u64 {
         self.runs - self.outcomes.get(&FaultClass::Benign).copied().unwrap_or(0)
@@ -141,7 +143,7 @@ pub fn run_campaign(
     faults: &[FaultSpec],
     kind: CampaignKind,
     threads: usize,
-) -> CampaignReport {
+) -> CampaignSummary {
     let started = Instant::now();
     let threads = threads.max(1);
     let next = AtomicUsize::new(0);
@@ -173,7 +175,7 @@ pub fn run_campaign(
             }
         }
         let trace_bytes: u64 = traces.values().map(|c| c * 16).sum();
-        CampaignReport {
+        CampaignSummary {
             kind,
             runs: faults.len() as u64,
             outcomes,

@@ -9,6 +9,11 @@
 //! * [`campaign`] — exhaustive, inject-on-read (value-level) and BEC
 //!   (bit-level) fault-injection campaigns, parallelized across worker
 //!   threads;
+//! * [`shard`] + [`pool`] — the sharded campaign engine: the statically
+//!   classified fault space partitioned into work-stealing shards executed
+//!   on a thread pool, with seeded sampling and a resumable JSON
+//!   [`CampaignReport`] that doubles as a differential soundness oracle
+//!   (statically-masked faults must be observed benign);
 //! * [`validate`] — the empirical soundness validation of §V / Table II:
 //!   fault sites in one equivalence class must produce identical traces.
 //!
@@ -36,14 +41,22 @@
 
 pub mod campaign;
 pub mod exec;
+pub mod json;
 pub mod machine;
+pub mod pool;
 pub mod runner;
+pub mod shard;
 pub mod trace;
 pub mod validate;
 
-pub use campaign::{CampaignKind, CampaignReport};
+pub use campaign::{CampaignKind, CampaignSummary};
 pub use exec::{CrashKind, ExecOutcome};
 pub use machine::{FaultSpec, Machine, Memory};
+pub use pool::{run_sharded, PoolStats};
 pub use runner::{GoldenRun, RunResult, SimLimits, Simulator};
+pub use shard::{
+    site_fault_space, CampaignReport, CampaignSpec, FaultOutcome, ShardPlan, ShardResult,
+    SitedFault,
+};
 pub use trace::{FaultClass, TraceHash};
-pub use validate::{validate_program, ValidationReport};
+pub use validate::{validate_program, Mismatch, MismatchKind, ValidationReport};

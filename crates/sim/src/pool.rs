@@ -1,0 +1,215 @@
+//! The campaign worker pool: executes a [`ShardPlan`] on `std::thread`
+//! workers that steal whole shards from a shared queue and stream batched
+//! [`ShardResult`]s back over an `mpsc` channel.
+//!
+//! Workers never share mutable simulator state — each run re-executes the
+//! program from scratch — so the pool scales linearly until the machine
+//! runs out of cores. Determinism is preserved by construction: results
+//! are slotted by shard index, so any worker count (and any interleaving)
+//! assembles the same [`CampaignReport`].
+
+use crate::runner::{GoldenRun, Simulator};
+use crate::shard::{CampaignReport, FaultOutcome, ShardPlan, ShardResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Execution metadata of one pool run — everything that must *not* end up
+/// in the deterministic report.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolStats {
+    /// Wall-clock time of the pool run.
+    pub wall: Duration,
+    /// Workers the pool ran with.
+    pub workers: usize,
+    /// Shards executed by this run (excludes shards taken from a resumed
+    /// report).
+    pub executed_shards: usize,
+    /// Shards reused from the resumed report.
+    pub resumed_shards: usize,
+}
+
+/// Executes `plan` on `workers` threads, resuming from `resume` when given
+/// (only its missing shards are re-run).
+///
+/// `label` becomes [`CampaignReport::program`].
+///
+/// # Errors
+///
+/// Fails when `resume` was recorded for a different campaign: its label,
+/// spec or fault-space size disagrees with `plan`/`label`.
+pub fn run_sharded(
+    sim: &Simulator<'_>,
+    golden: &GoldenRun,
+    plan: &ShardPlan,
+    workers: usize,
+    resume: Option<CampaignReport>,
+    label: &str,
+) -> Result<(CampaignReport, PoolStats), String> {
+    let started = Instant::now();
+    let workers = workers.max(1);
+
+    let mut report = match resume {
+        Some(prev) => {
+            if prev.program != label {
+                return Err(format!("resume report is for `{}`, not `{label}`", prev.program));
+            }
+            if prev.spec != plan.spec() || prev.fault_space != plan.fault_space() {
+                return Err("resume report disagrees with the campaign spec".into());
+            }
+            if prev.max_cycles != sim.limits().max_cycles {
+                return Err(format!(
+                    "resume report used a {}-cycle budget, this run uses {}",
+                    prev.max_cycles,
+                    sim.limits().max_cycles
+                ));
+            }
+            if prev.shards.len() != plan.shard_count() {
+                return Err("resume report has a different shard count".into());
+            }
+            prev
+        }
+        None => CampaignReport::empty(label, plan, sim.limits().max_cycles),
+    };
+
+    // Consistency guard: a resumed shard must contain exactly the planned
+    // faults — a stale report silently mixing campaigns would otherwise
+    // corrupt the differential verdict.
+    for (i, slot) in report.shards.iter().enumerate() {
+        if let Some(s) = slot {
+            let planned = plan.shard(i);
+            if s.outcomes.len() != planned.len()
+                || s.outcomes.iter().zip(planned).any(|(o, f)| o.fault != *f)
+            {
+                return Err(format!("resumed shard {i} does not match the plan"));
+            }
+        }
+    }
+
+    let pending = report.pending_shards();
+    let resumed_shards = plan.shard_count() - pending.len();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<ShardResult>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let pending = &pending;
+            scope.spawn(move || loop {
+                // Steal the next unclaimed shard.
+                let slot = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&shard) = pending.get(slot) else { break };
+                let outcomes: Vec<FaultOutcome> = plan
+                    .shard(shard)
+                    .iter()
+                    .map(|&fault| FaultOutcome {
+                        fault,
+                        class: sim.run_with_fault(fault.spec).classify(&golden.result),
+                    })
+                    .collect();
+                // One batched send per shard; a dropped receiver means the
+                // collector is gone and the worker just stops.
+                if tx.send(ShardResult { shard: shard as u32, outcomes }).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        for result in rx {
+            let slot = result.shard as usize;
+            debug_assert!(report.shards[slot].is_none(), "shard {slot} executed twice");
+            report.shards[slot] = Some(result);
+        }
+    });
+
+    let stats = PoolStats {
+        wall: started.elapsed(),
+        workers,
+        executed_shards: pending.len(),
+        resumed_shards,
+    };
+    Ok((report, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::{site_fault_space, CampaignSpec, ShardPlan};
+    use bec_core::{BecAnalysis, BecOptions};
+    use bec_ir::parse_program;
+
+    fn toy() -> bec_ir::Program {
+        parse_program(
+            r#"
+machine xlen=4 regs=4 zero=none
+func @main(args=0, ret=none) {
+entry:
+    li r1, 6
+    j loop
+loop:
+    andi r2, r1, 1
+    add  r0, r0, r2
+    addi r1, r1, -1
+    bnez r1, loop
+exit:
+    ret r0
+}
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pool_matches_sequential_execution() {
+        let p = toy();
+        let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+        let sim = Simulator::new(&p);
+        let golden = sim.run_golden();
+        let plan =
+            ShardPlan::build(site_fault_space(&p, &bec, &golden), CampaignSpec::exhaustive(6));
+        let (seq, _) = run_sharded(&sim, &golden, &plan, 1, None, "toy").unwrap();
+        let (par, stats) = run_sharded(&sim, &golden, &plan, 4, None, "toy").unwrap();
+        assert_eq!(seq, par);
+        assert!(seq.is_complete());
+        assert_eq!(stats.executed_shards, 6);
+        assert_eq!(seq.runs(), plan.runs() as u64);
+    }
+
+    #[test]
+    fn resume_runs_only_missing_shards() {
+        let p = toy();
+        let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+        let sim = Simulator::new(&p);
+        let golden = sim.run_golden();
+        let plan =
+            ShardPlan::build(site_fault_space(&p, &bec, &golden), CampaignSpec::exhaustive(5));
+        let (full, _) = run_sharded(&sim, &golden, &plan, 2, None, "toy").unwrap();
+        let mut partial = full.clone();
+        partial.shards[1] = None;
+        partial.shards[4] = None;
+        let (resumed, stats) = run_sharded(&sim, &golden, &plan, 3, Some(partial), "toy").unwrap();
+        assert_eq!(resumed, full);
+        assert_eq!(stats.executed_shards, 2);
+        assert_eq!(stats.resumed_shards, 3);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_reports() {
+        let p = toy();
+        let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+        let sim = Simulator::new(&p);
+        let golden = sim.run_golden();
+        let plan =
+            ShardPlan::build(site_fault_space(&p, &bec, &golden), CampaignSpec::exhaustive(4));
+        let (full, _) = run_sharded(&sim, &golden, &plan, 2, None, "toy").unwrap();
+
+        let err = run_sharded(&sim, &golden, &plan, 2, Some(full.clone()), "other").unwrap_err();
+        assert!(err.contains("resume report is for"), "{err}");
+
+        let other_plan =
+            ShardPlan::build(site_fault_space(&p, &bec, &golden), CampaignSpec::sampled(1, 10, 4));
+        let err = run_sharded(&sim, &golden, &other_plan, 2, Some(full), "toy").unwrap_err();
+        assert!(err.contains("disagrees"), "{err}");
+    }
+}

@@ -150,6 +150,11 @@ impl<'p> Simulator<'p> {
         self.program
     }
 
+    /// The resource limits every run executes under.
+    pub fn limits(&self) -> SimLimits {
+        self.limits
+    }
+
     /// Runs without faults, recording the execution profile and the
     /// cycle→point map.
     pub fn run_golden(&self) -> GoldenRun {

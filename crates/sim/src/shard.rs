@@ -1,0 +1,565 @@
+//! Campaign sharding: deterministic partitioning of the statically
+//! classified fault space into work units, seeded sub-exhaustive sampling,
+//! and the resumable [`CampaignReport`].
+//!
+//! The fault space is the paper's `F = P × V` made temporal: every bit of
+//! every accessed `(point, register)` pair at every dynamic occurrence of
+//! the access. Each fault carries its static provenance — the site it
+//! exercises and the BEC verdict for that site — so a campaign doubles as a
+//! differential soundness oracle: a statically-masked fault observed as
+//! anything but [`FaultClass::Benign`] is a [`CampaignReport::violations`]
+//! entry and a hard failure of the analysis.
+//!
+//! Determinism contract: the report depends only on the program, the
+//! [`CampaignSpec`] (seed, sample size, shard count) and the simulator
+//! limits — never on worker count, scheduling order or wall-clock. The
+//! [`crate::pool`] executor preserves this by aggregating per shard.
+
+use crate::campaign::occurrence_map;
+use crate::json::Json;
+use crate::machine::FaultSpec;
+use crate::runner::GoldenRun;
+use crate::trace::FaultClass;
+use bec_core::BecAnalysis;
+use bec_ir::{PointId, Program, Reg};
+use bec_testutil::Rng;
+
+/// One concrete injection drawn from the classified fault space, annotated
+/// with its static provenance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SitedFault {
+    /// The injection: flip `spec.bit` of `spec.reg` before `spec.cycle`.
+    pub spec: FaultSpec,
+    /// Function index of the access point.
+    pub func: u32,
+    /// The access point whose window the fault lands in.
+    pub point: PointId,
+    /// Which dynamic occurrence of `point` opened the window (0-based).
+    pub occurrence: u32,
+    /// The BEC verdict: `true` when the analysis claims the flip is masked.
+    pub masked: bool,
+}
+
+/// The outcome of injecting one [`SitedFault`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// The injected fault.
+    pub fault: SitedFault,
+    /// Observed classification against the golden run.
+    pub class: FaultClass,
+}
+
+impl FaultOutcome {
+    /// Whether this run refutes the static analysis: claimed masked, but the
+    /// trace changed.
+    pub fn is_violation(&self) -> bool {
+        self.fault.masked && self.class != FaultClass::Benign
+    }
+}
+
+/// Enumerates the full statically-classified fault space of `program`, in
+/// canonical order (function, point, register, bit, occurrence).
+///
+/// Unlike [`crate::campaign::value_level_faults`], dead (statically masked)
+/// sites are included — they are exactly the claims a differential campaign
+/// must test.
+pub fn site_fault_space(
+    program: &Program,
+    bec: &BecAnalysis,
+    golden: &GoldenRun,
+) -> Vec<SitedFault> {
+    let occs = occurrence_map(golden);
+    let mut out = Vec::new();
+    for (fi, fa) in bec.functions().iter().enumerate() {
+        for (p, r) in fa.coalescing.nodes().site_pairs() {
+            let Some(cycles) = occs.get(&(fi, p)) else { continue };
+            for bit in 0..program.config.xlen {
+                let masked = bec
+                    .site_verdict(fi, p, r, bit)
+                    .expect("accessed site has a verdict")
+                    .is_masked();
+                for (k, &c) in cycles.iter().enumerate() {
+                    out.push(SitedFault {
+                        spec: FaultSpec { cycle: golden.window_open_cycle(c), reg: r, bit },
+                        func: fi as u32,
+                        point: p,
+                        occurrence: k as u32,
+                        masked,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The deterministic inputs of a campaign. Two campaigns with equal specs
+/// over the same program produce byte-identical reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Seed for the sampling PRNG (ignored for exhaustive campaigns but
+    /// still recorded in the report).
+    pub seed: u64,
+    /// `Some(n)`: run a seeded sample of `n` faults; `None`: exhaustive.
+    pub sample: Option<u64>,
+    /// Number of shards the fault list is split into. More shards give the
+    /// worker pool finer-grained stealing; the report is identical for any
+    /// worker count at a fixed shard count.
+    pub shards: u32,
+}
+
+impl CampaignSpec {
+    /// An exhaustive campaign over `shards` shards.
+    pub fn exhaustive(shards: u32) -> CampaignSpec {
+        CampaignSpec { seed: 0, sample: None, shards }
+    }
+
+    /// A seeded sub-exhaustive campaign of `n` faults.
+    pub fn sampled(seed: u64, n: u64, shards: u32) -> CampaignSpec {
+        CampaignSpec { seed, sample: Some(n), shards }
+    }
+}
+
+/// A sharded, possibly sampled campaign over a concrete fault list.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    spec: CampaignSpec,
+    fault_space: u64,
+    faults: Vec<SitedFault>,
+    /// Half-open `(start, end)` index ranges into `faults`, one per shard.
+    bounds: Vec<(usize, usize)>,
+}
+
+impl ShardPlan {
+    /// Builds the plan: samples `spec.sample` faults without replacement
+    /// (seeded Fisher–Yates, then restored to canonical order) and splits
+    /// the list into `spec.shards` contiguous chunks.
+    pub fn build(all: Vec<SitedFault>, spec: CampaignSpec) -> ShardPlan {
+        let fault_space = all.len() as u64;
+        let faults = match spec.sample {
+            Some(n) if (n as usize) < all.len() => {
+                let n = n as usize;
+                let mut idx: Vec<usize> = (0..all.len()).collect();
+                let mut rng = Rng::seeded(spec.seed);
+                for i in 0..n {
+                    let j = rng.range_u64(i as u64, idx.len() as u64) as usize;
+                    idx.swap(i, j);
+                }
+                idx.truncate(n);
+                idx.sort_unstable();
+                idx.into_iter().map(|i| all[i]).collect()
+            }
+            _ => all,
+        };
+        let shards = spec.shards.max(1) as usize;
+        let per = faults.len() / shards;
+        let extra = faults.len() % shards;
+        let mut bounds = Vec::with_capacity(shards);
+        let mut start = 0;
+        for s in 0..shards {
+            let len = per + usize::from(s < extra);
+            bounds.push((start, start + len));
+            start += len;
+        }
+        ShardPlan { spec, fault_space, faults, bounds }
+    }
+
+    /// The spec the plan was built from.
+    pub fn spec(&self) -> CampaignSpec {
+        self.spec
+    }
+
+    /// Size of the fault space before sampling.
+    pub fn fault_space(&self) -> u64 {
+        self.fault_space
+    }
+
+    /// Number of faults the campaign will run.
+    pub fn runs(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// The faults of shard `i`, in canonical order.
+    pub fn shard(&self, i: usize) -> &[SitedFault] {
+        let (s, e) = self.bounds[i];
+        &self.faults[s..e]
+    }
+}
+
+/// The aggregated outcomes of one shard — the batched unit workers send
+/// back over the result channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardResult {
+    /// Shard index within the plan.
+    pub shard: u32,
+    /// Per-fault outcomes, in the shard's canonical fault order.
+    pub outcomes: Vec<FaultOutcome>,
+}
+
+/// A resumable campaign report: one slot per shard, `None` while the shard
+/// has not completed. Serializes to JSON ([`CampaignReport::to_json`]) and
+/// back ([`CampaignReport::from_json`]); an interrupted campaign resumes by
+/// re-running only the `None` slots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Label of the program under campaign (the CLI stores the input path;
+    /// resuming against a different label is rejected).
+    pub program: String,
+    /// The deterministic campaign inputs.
+    pub spec: CampaignSpec,
+    /// The per-run cycle budget the outcomes were classified under (a
+    /// different budget moves the hang boundary, so resuming across budgets
+    /// is rejected).
+    pub max_cycles: u64,
+    /// Size of the fault space before sampling.
+    pub fault_space: u64,
+    /// Per-shard results (`None` = not yet executed).
+    pub shards: Vec<Option<ShardResult>>,
+}
+
+impl CampaignReport {
+    /// An empty (no shard executed) report for `plan`, to be filled by runs
+    /// with a `max_cycles` budget.
+    pub fn empty(program: impl Into<String>, plan: &ShardPlan, max_cycles: u64) -> CampaignReport {
+        CampaignReport {
+            program: program.into(),
+            spec: plan.spec(),
+            max_cycles,
+            fault_space: plan.fault_space(),
+            shards: vec![None; plan.shard_count()],
+        }
+    }
+
+    /// Whether every shard has completed.
+    pub fn is_complete(&self) -> bool {
+        self.shards.iter().all(Option::is_some)
+    }
+
+    /// Indices of shards still missing.
+    pub fn pending_shards(&self) -> Vec<usize> {
+        (0..self.shards.len()).filter(|&i| self.shards[i].is_none()).collect()
+    }
+
+    /// Number of runs recorded so far.
+    pub fn runs(&self) -> u64 {
+        self.shards.iter().flatten().map(|s| s.outcomes.len() as u64).sum()
+    }
+
+    /// Outcome counts indexed like [`FaultClass::ALL`].
+    pub fn outcome_counts(&self) -> [u64; 5] {
+        let mut counts = [0u64; 5];
+        for o in self.outcomes() {
+            counts[o.class.index()] += 1;
+        }
+        counts
+    }
+
+    /// All recorded outcomes, in shard order.
+    pub fn outcomes(&self) -> impl Iterator<Item = &FaultOutcome> {
+        self.shards.iter().flatten().flat_map(|s| s.outcomes.iter())
+    }
+
+    /// Soundness violations: statically-masked faults whose run was not
+    /// benign. An empty list on a complete campaign is the differential
+    /// validation verdict the paper's §V claims.
+    pub fn violations(&self) -> Vec<&FaultOutcome> {
+        self.outcomes().filter(|o| o.is_violation()).collect()
+    }
+
+    /// Runs the analysis claimed masked (and therefore prunable).
+    pub fn masked_runs(&self) -> u64 {
+        self.outcomes().filter(|o| o.fault.masked).count() as u64
+    }
+
+    /// Serializes the report. The encoding is canonical: shards in index
+    /// order, faults in shard order, no timing or worker-count data — equal
+    /// reports render to identical bytes.
+    pub fn to_json(&self) -> Json {
+        let shards: Vec<Json> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (i, s)))
+            .map(|(i, s)| {
+                debug_assert_eq!(i as u32, s.shard);
+                Json::obj(vec![
+                    ("shard", Json::UInt(s.shard as u64)),
+                    (
+                        "outcomes",
+                        Json::Arr(
+                            s.outcomes.iter().map(|o| Json::str(encode_outcome(o))).collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let mut fields = vec![
+            ("version", Json::UInt(1)),
+            ("program", Json::str(&self.program)),
+            ("seed", Json::UInt(self.spec.seed)),
+        ];
+        if let Some(n) = self.spec.sample {
+            fields.push(("sample", Json::UInt(n)));
+        }
+        fields.extend([
+            ("shard_count", Json::UInt(self.spec.shards as u64)),
+            ("max_cycles", Json::UInt(self.max_cycles)),
+            ("fault_space", Json::UInt(self.fault_space)),
+            ("complete", Json::Bool(self.is_complete())),
+            ("runs", Json::UInt(self.runs())),
+            (
+                "outcome_counts",
+                Json::Obj(
+                    FaultClass::ALL
+                        .iter()
+                        .zip(self.outcome_counts())
+                        .map(|(c, n)| (c.name().to_owned(), Json::UInt(n)))
+                        .collect(),
+                ),
+            ),
+            ("violations", Json::UInt(self.violations().len() as u64)),
+            ("shards", Json::Arr(shards)),
+        ]);
+        Json::obj(fields)
+    }
+
+    /// Deserializes a report produced by [`CampaignReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field.
+    pub fn from_json(doc: &Json) -> Result<CampaignReport, String> {
+        let field = |k: &str| doc.get(k).ok_or_else(|| format!("missing field `{k}`"));
+        let uint = |k: &str| field(k)?.as_u64().ok_or_else(|| format!("field `{k}` not a uint"));
+        if uint("version")? != 1 {
+            return Err("unsupported report version".into());
+        }
+        let program = field("program")?.as_str().ok_or("field `program` not a string")?.to_owned();
+        let shard_count = uint("shard_count")?;
+        // Bound the allocation below before trusting the field: a corrupted
+        // file must fail with a clean error, not an abort on a huge `vec!`.
+        const MAX_SHARDS: u64 = 1 << 20;
+        if shard_count == 0 || shard_count > MAX_SHARDS {
+            return Err(format!("implausible shard_count {shard_count}"));
+        }
+        let spec = CampaignSpec {
+            seed: uint("seed")?,
+            sample: match doc.get("sample") {
+                Some(v) => Some(v.as_u64().ok_or("field `sample` not a uint")?),
+                None => None,
+            },
+            shards: shard_count as u32,
+        };
+        let mut shards: Vec<Option<ShardResult>> = vec![None; spec.shards as usize];
+        for entry in field("shards")?.as_arr().ok_or("field `shards` not an array")? {
+            let idx =
+                entry.get("shard").and_then(Json::as_u64).ok_or("shard entry without index")?
+                    as usize;
+            let slot = shards.get_mut(idx).ok_or_else(|| format!("shard {idx} out of range"))?;
+            let rows = entry
+                .get("outcomes")
+                .and_then(Json::as_arr)
+                .ok_or("shard entry without outcomes")?;
+            let outcomes = rows
+                .iter()
+                .map(|r| decode_outcome(r.as_str().ok_or("outcome row not a string")?))
+                .collect::<Result<Vec<_>, _>>()?;
+            *slot = Some(ShardResult { shard: idx as u32, outcomes });
+        }
+        Ok(CampaignReport {
+            program,
+            spec,
+            max_cycles: uint("max_cycles")?,
+            fault_space: uint("fault_space")?,
+            shards,
+        })
+    }
+}
+
+/// Compact row encoding of one outcome:
+/// `cycle:reg:bit:func:point:occurrence:verdict:class` where `verdict` is
+/// `m` (statically masked) or `l` (live).
+fn encode_outcome(o: &FaultOutcome) -> String {
+    format!(
+        "{}:{}:{}:{}:{}:{}:{}:{}",
+        o.fault.spec.cycle,
+        o.fault.spec.reg,
+        o.fault.spec.bit,
+        o.fault.func,
+        o.fault.point.0,
+        o.fault.occurrence,
+        if o.fault.masked { 'm' } else { 'l' },
+        o.class.name(),
+    )
+}
+
+fn decode_outcome(row: &str) -> Result<FaultOutcome, String> {
+    let bad = || format!("malformed outcome row `{row}`");
+    let parts: Vec<&str> = row.split(':').collect();
+    let [cycle, reg, bit, func, point, occurrence, verdict, class] = parts[..] else {
+        return Err(bad());
+    };
+    Ok(FaultOutcome {
+        fault: SitedFault {
+            spec: FaultSpec {
+                cycle: cycle.parse().map_err(|_| bad())?,
+                reg: Reg::parse(reg).ok_or_else(bad)?,
+                bit: bit.parse().map_err(|_| bad())?,
+            },
+            func: func.parse().map_err(|_| bad())?,
+            point: PointId(point.parse().map_err(|_| bad())?),
+            occurrence: occurrence.parse().map_err(|_| bad())?,
+            masked: match verdict {
+                "m" => true,
+                "l" => false,
+                _ => return Err(bad()),
+            },
+        },
+        class: FaultClass::parse(class).ok_or_else(bad)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Simulator;
+    use bec_core::{BecAnalysis, BecOptions};
+    use bec_ir::parse_program;
+
+    fn toy() -> Program {
+        parse_program(
+            r#"
+machine xlen=4 regs=4 zero=none
+func @main(args=0, ret=none) {
+entry:
+    li r0, 0
+    li r1, 7
+    j loop
+loop:
+    andi r2, r1, 1
+    andi r3, r1, 3
+    addi r1, r1, -1
+    seqz r2, r2
+    snez r3, r3
+    and  r2, r2, r3
+    add  r0, r0, r2
+    bnez r1, loop
+exit:
+    ret r0
+}
+"#,
+        )
+        .unwrap()
+    }
+
+    fn toy_space() -> (Program, Vec<SitedFault>) {
+        let p = toy();
+        let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+        let sim = Simulator::new(&p);
+        let golden = sim.run_golden();
+        let space = site_fault_space(&p, &bec, &golden);
+        (p, space)
+    }
+
+    #[test]
+    fn fault_space_covers_live_and_masked_sites() {
+        let (_, space) = toy_space();
+        // The motivating example has 288 value-live runs; the classified
+        // space additionally contains every dead/masked site occurrence.
+        assert!(space.len() > 288, "{}", space.len());
+        assert!(space.iter().any(|f| f.masked));
+        assert!(space.iter().any(|f| !f.masked));
+        // Canonical order is strictly increasing on the provenance key.
+        let key = |f: &SitedFault| (f.func, f.point.0, f.spec.reg, f.spec.bit, f.occurrence);
+        assert!(space.windows(2).all(|w| key(&w[0]) < key(&w[1])));
+    }
+
+    #[test]
+    fn sharding_partitions_without_loss() {
+        let (_, space) = toy_space();
+        let n = space.len();
+        let plan = ShardPlan::build(space.clone(), CampaignSpec::exhaustive(7));
+        assert_eq!(plan.shard_count(), 7);
+        assert_eq!(plan.runs(), n);
+        let glued: Vec<SitedFault> =
+            (0..plan.shard_count()).flat_map(|i| plan.shard(i).to_vec()).collect();
+        assert_eq!(glued, space);
+        // Shard sizes differ by at most one.
+        let sizes: Vec<usize> = (0..7).map(|i| plan.shard(i).len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn sampling_is_seeded_and_order_preserving() {
+        let (_, space) = toy_space();
+        let a = ShardPlan::build(space.clone(), CampaignSpec::sampled(9, 40, 4));
+        let b = ShardPlan::build(space.clone(), CampaignSpec::sampled(9, 40, 4));
+        let c = ShardPlan::build(space.clone(), CampaignSpec::sampled(10, 40, 4));
+        assert_eq!(a.runs(), 40);
+        assert_eq!(a.faults, b.faults, "same seed, same sample");
+        assert_ne!(a.faults, c.faults, "different seed, different sample");
+        // The sample is a subsequence of the canonical order.
+        let mut it = space.iter();
+        assert!(a.faults.iter().all(|f| it.any(|g| g == f)), "sample preserves canonical order");
+        // Oversampling falls back to exhaustive.
+        let d = ShardPlan::build(space.clone(), CampaignSpec::sampled(1, 1 << 40, 4));
+        assert_eq!(d.runs(), space.len());
+    }
+
+    #[test]
+    fn report_json_roundtrips() {
+        let (p, space) = toy_space();
+        let plan = ShardPlan::build(space, CampaignSpec::sampled(3, 25, 3));
+        let sim = Simulator::new(&p);
+        let golden = sim.run_golden();
+        let mut report = CampaignReport::empty("toy", &plan, 2_000_000);
+        for i in 0..plan.shard_count() {
+            let outcomes = plan
+                .shard(i)
+                .iter()
+                .map(|&fault| FaultOutcome {
+                    fault,
+                    class: sim.run_with_fault(fault.spec).classify(&golden.result),
+                })
+                .collect();
+            report.shards[i] = Some(ShardResult { shard: i as u32, outcomes });
+        }
+        assert!(report.is_complete());
+        assert_eq!(report.runs(), 25);
+        let text = report.to_json().render();
+        let back = CampaignReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json().render(), text);
+    }
+
+    #[test]
+    fn from_json_rejects_implausible_shard_counts() {
+        for count in ["0", "4000000000"] {
+            let text = format!(
+                "{{\"version\": 1, \"program\": \"x\", \"seed\": 0, \"shard_count\": {count}, \
+                 \"max_cycles\": 10, \"fault_space\": 1, \"shards\": []}}"
+            );
+            let err = CampaignReport::from_json(&Json::parse(&text).unwrap()).unwrap_err();
+            assert!(err.contains("implausible"), "{err}");
+        }
+    }
+
+    #[test]
+    fn partial_report_knows_pending_shards() {
+        let (_, space) = toy_space();
+        let plan = ShardPlan::build(space, CampaignSpec::exhaustive(5));
+        let mut report = CampaignReport::empty("toy", &plan, 2_000_000);
+        assert_eq!(report.pending_shards(), vec![0, 1, 2, 3, 4]);
+        report.shards[2] = Some(ShardResult { shard: 2, outcomes: Vec::new() });
+        assert_eq!(report.pending_shards(), vec![0, 1, 3, 4]);
+        assert!(!report.is_complete());
+        let text = report.to_json().render();
+        let back = CampaignReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.pending_shards(), vec![0, 1, 3, 4]);
+    }
+}

@@ -52,7 +52,7 @@ impl std::fmt::Debug for TraceHash {
 }
 
 /// Classification of a fault-injection run against the golden run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FaultClass {
     /// Trace identical to the golden run: the fault was masked.
     Benign,
@@ -65,6 +65,39 @@ pub enum FaultClass {
     Crash,
     /// The run exceeded the cycle budget.
     Hang,
+}
+
+impl FaultClass {
+    /// Every class, in severity order (the campaign reports tabulate in this
+    /// order).
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::Benign,
+        FaultClass::Deviation,
+        FaultClass::Sdc,
+        FaultClass::Crash,
+        FaultClass::Hang,
+    ];
+
+    /// Stable lowercase name used in campaign-report JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Benign => "benign",
+            FaultClass::Deviation => "deviation",
+            FaultClass::Sdc => "sdc",
+            FaultClass::Crash => "crash",
+            FaultClass::Hang => "hang",
+        }
+    }
+
+    /// Inverse of [`FaultClass::name`].
+    pub fn parse(name: &str) -> Option<FaultClass> {
+        FaultClass::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// Dense index into `[u64; 5]` outcome counters (same order as `ALL`).
+    pub fn index(self) -> usize {
+        self as usize
+    }
 }
 
 #[cfg(test)]

@@ -16,8 +16,53 @@ use crate::campaign::occurrence_map;
 use crate::machine::FaultSpec;
 use crate::runner::Simulator;
 use bec_core::{BecAnalysis, BecOptions};
-use bec_ir::Program;
+use bec_ir::{PointId, Program, Reg};
 use std::collections::HashMap;
+
+/// How a fault-injection run contradicted the static analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MismatchKind {
+    /// A statically-masked site changed the execution trace.
+    MaskedViolation,
+    /// A member of an equivalence class produced a trace different from its
+    /// class representative.
+    ClassDivergence,
+}
+
+/// One empirical contradiction, pinned to the exact injection that exposed
+/// it: the instruction, the faulted bit index and the injection cycle (not
+/// just the instruction id — the same point covers `xlen` bits over many
+/// dynamic occurrences, and only the full coordinate replays the run).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mismatch {
+    /// What claim the run contradicted.
+    pub kind: MismatchKind,
+    /// Function index of the access point.
+    pub func: usize,
+    /// The access point (instruction id) opening the fault window.
+    pub point: PointId,
+    /// The faulted register.
+    pub reg: Reg,
+    /// The faulted bit index (LSB = 0).
+    pub bit: u32,
+    /// The cycle the bit was flipped at (replay with
+    /// `bec sim <file> --fault <cycle>:<reg>:<bit>`).
+    pub cycle: u64,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let claim = match self.kind {
+            MismatchKind::MaskedViolation => "statically-masked site changed the trace",
+            MismatchKind::ClassDivergence => "class member diverged from its representative",
+        };
+        write!(
+            f,
+            "{claim}: func {} {} reg {} bit {} flipped at cycle {}",
+            self.func, self.point, self.reg, self.bit, self.cycle
+        )
+    }
+}
 
 /// Outcome of the §V validation for one program.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -35,6 +80,9 @@ pub struct ValidationReport {
     /// Pairs of distinct classes that produced identical traces at the same
     /// occurrence — sound but imprecise (missed merge opportunities).
     pub imprecise_pairs: u64,
+    /// Every unsound/masked-violation run, with the faulted bit index and
+    /// injection cycle needed to replay it.
+    pub mismatches: Vec<Mismatch>,
 }
 
 impl ValidationReport {
@@ -57,8 +105,11 @@ pub fn validate_program(program: &Program, options: &BecOptions) -> ValidationRe
     let occs = occurrence_map(&golden);
 
     let mut report = ValidationReport::default();
-    // (class representative, occurrence index) → traces of member runs.
-    let mut groups: HashMap<(usize, usize, u64), Vec<u128>> = HashMap::new();
+    // (class representative, occurrence index) → member runs: the trace
+    // digest plus the injection coordinate, kept so a divergence can be
+    // reported as a replayable (point, reg, bit, cycle) mismatch.
+    type MemberRun = (u128, PointId, Reg, u32, u64);
+    let mut groups: HashMap<(usize, usize, u64), Vec<MemberRun>> = HashMap::new();
 
     for (fi, fa) in bec.functions().iter().enumerate() {
         let s0 = fa.coalescing.s0_class();
@@ -79,9 +130,20 @@ pub fn validate_program(program: &Program, options: &BecOptions) -> ValidationRe
                             report.masked_confirmed += 1;
                         } else {
                             report.masked_violations += 1;
+                            report.mismatches.push(Mismatch {
+                                kind: MismatchKind::MaskedViolation,
+                                func: fi,
+                                point: p,
+                                reg: r,
+                                bit,
+                                cycle: open,
+                            });
                         }
                     } else {
-                        groups.entry((fi, class, k as u64)).or_default().push(digest);
+                        groups
+                            .entry((fi, class, k as u64))
+                            .or_default()
+                            .push((digest, p, r, bit, open));
                     }
                 }
             }
@@ -90,15 +152,25 @@ pub fn validate_program(program: &Program, options: &BecOptions) -> ValidationRe
 
     // Class agreement per occurrence index.
     let mut by_trace: HashMap<(usize, u64, u128), Vec<usize>> = HashMap::new();
-    for ((fi, class, k), digests) in &groups {
-        let first = digests[0];
-        if digests.iter().all(|d| *d == first) {
-            report.sound_precise += digests.len() as u64;
+    for ((fi, class, k), members) in &groups {
+        let first = members[0].0;
+        if members.iter().all(|(d, ..)| *d == first) {
+            report.sound_precise += members.len() as u64;
         } else {
-            report.unsound += digests.iter().filter(|d| **d != first).count() as u64;
+            for &(_, point, reg, bit, cycle) in members.iter().filter(|(d, ..)| *d != first) {
+                report.unsound += 1;
+                report.mismatches.push(Mismatch {
+                    kind: MismatchKind::ClassDivergence,
+                    func: *fi,
+                    point,
+                    reg,
+                    bit,
+                    cycle,
+                });
+            }
         }
         // Imprecision: distinct classes with identical traces.
-        for d in digests {
+        for (d, ..) in members {
             let entry = by_trace.entry((*fi, *k, *d)).or_default();
             if !entry.contains(class) {
                 entry.push(*class);
@@ -108,6 +180,7 @@ pub fn validate_program(program: &Program, options: &BecOptions) -> ValidationRe
     for (_, classes) in by_trace {
         report.imprecise_pairs += (classes.len() as u64).saturating_sub(1);
     }
+    report.mismatches.sort_by_key(|m| (m.func, m.point, m.reg, m.bit, m.cycle, m.kind as u8));
     report
 }
 
@@ -146,6 +219,7 @@ exit:
         assert!(report.is_sound(), "unsound: {report:?}");
         assert_eq!(report.masked_violations, 0);
         assert_eq!(report.unsound, 0);
+        assert!(report.mismatches.is_empty(), "sound runs record no mismatches: {report:?}");
         assert!(report.masked_confirmed >= 42, "all masked bits confirmed: {report:?}");
         assert!(report.sound_precise > 0);
     }
@@ -201,5 +275,23 @@ exit:
         .unwrap();
         let report = validate_program(&p, &BecOptions::paper());
         assert!(report.is_sound(), "unsound: {report:?}");
+    }
+
+    #[test]
+    fn mismatch_reports_bit_and_cycle() {
+        // The message must carry the full replay coordinate — register, bit
+        // index and injection cycle — not just the instruction id.
+        let m = Mismatch {
+            kind: MismatchKind::MaskedViolation,
+            func: 0,
+            point: PointId(4),
+            reg: Reg::T0,
+            bit: 17,
+            cycle: 93,
+        };
+        let text = m.to_string();
+        assert!(text.contains("bit 17"), "{text}");
+        assert!(text.contains("cycle 93"), "{text}");
+        assert!(text.contains("t0"), "{text}");
     }
 }

@@ -25,7 +25,7 @@ fn main() {
     let v = run_campaign(&sim, &golden, &value, CampaignKind::ValueLevel, threads);
     let b = run_campaign(&sim, &golden, &bits, CampaignKind::BitLevel, threads);
 
-    let show = |name: &str, r: &bec_sim::CampaignReport| {
+    let show = |name: &str, r: &bec_sim::CampaignSummary| {
         let g = |c: FaultClass| r.outcomes.get(&c).copied().unwrap_or(0);
         println!(
             "{name:<12} runs {:>6}  benign {:>6}  sdc {:>5}  crash {:>4}  deviation {:>4}  hang {:>3}  ({:.2}s)",

@@ -1,9 +1,9 @@
 //! `bec analyze` — the static BEC report: per-function fault-space size,
 //! equivalence classes and masked bits, plus a whole-program summary.
 
-use super::json::Json;
 use super::{input, CliError, CommonArgs};
 use bec_core::{report, BecAnalysis};
+use bec_sim::json::Json;
 
 struct FuncStats {
     name: String,

@@ -1,0 +1,238 @@
+//! `bec campaign` — the sharded fault-injection campaign with differential
+//! validation: lifts the input, enumerates the statically classified fault
+//! space, runs it (exhaustively or as a seeded sample) on the worker pool,
+//! and cross-checks every observed outcome against the BEC verdict. Any
+//! statically-masked fault observed corrupting the execution is a soundness
+//! violation and a hard failure (exit code 1).
+//!
+//! The JSON report is deterministic for a fixed (input, seed, sample,
+//! shards) tuple — worker count and timing never influence it — and is
+//! resumable: `--report out.json --resume out.json` re-runs only the shards
+//! missing from an interrupted campaign.
+
+use super::{input, CliError, CommonArgs};
+use bec_core::{report, BecAnalysis};
+use bec_sim::json::Json;
+use bec_sim::shard::{site_fault_space, CampaignReport, CampaignSpec, ShardPlan};
+use bec_sim::{pool, FaultClass, SimLimits, Simulator};
+
+/// Default shard count: fixed (never derived from the machine) so the
+/// report bytes are reproducible across hosts.
+const DEFAULT_SHARDS: u32 = 64;
+
+/// Default sampling seed, used when `--sample` is given without `--seed`.
+const DEFAULT_SEED: u64 = 0xbec;
+
+struct Flags {
+    sample: Option<u64>,
+    seed: u64,
+    shards: u32,
+    workers: usize,
+    report_path: Option<String>,
+    resume_path: Option<String>,
+    /// Per-run cycle budget; `None` picks `100 × golden + 10k`, enough for
+    /// any trace-identical (masked) run while cutting corrupted-counter
+    /// loops off quickly.
+    max_cycles: Option<u64>,
+}
+
+fn parse_flags(args: &CommonArgs) -> Result<Flags, CliError> {
+    let mut flags = Flags {
+        sample: None,
+        seed: DEFAULT_SEED,
+        shards: DEFAULT_SHARDS,
+        workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        report_path: None,
+        resume_path: None,
+        max_cycles: None,
+    };
+    let mut it = args.rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| CliError::usage(format!("{name} needs a value"))).cloned()
+        };
+        match flag.as_str() {
+            "--sample" => {
+                let v = value("--sample")?;
+                let n: u64 =
+                    v.parse().map_err(|_| CliError::usage(format!("bad sample size `{v}`")))?;
+                if n == 0 {
+                    // A 0-run campaign would vacuously report "OK" — reject
+                    // it so a typo'd CI invocation cannot disable the gate.
+                    return Err(CliError::usage("--sample must be at least 1"));
+                }
+                flags.sample = Some(n);
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                flags.seed = v.parse().map_err(|_| CliError::usage(format!("bad seed `{v}`")))?;
+            }
+            "--shards" => {
+                let v = value("--shards")?;
+                let n: u32 =
+                    v.parse().map_err(|_| CliError::usage(format!("bad shard count `{v}`")))?;
+                if n == 0 {
+                    return Err(CliError::usage("--shards must be at least 1"));
+                }
+                flags.shards = n;
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                let n: usize =
+                    v.parse().map_err(|_| CliError::usage(format!("bad worker count `{v}`")))?;
+                if n == 0 {
+                    return Err(CliError::usage("--workers must be at least 1"));
+                }
+                flags.workers = n;
+            }
+            "--report" => flags.report_path = Some(value("--report")?),
+            "--resume" => flags.resume_path = Some(value("--resume")?),
+            "--max-cycles" => {
+                let v = value("--max-cycles")?;
+                flags.max_cycles = Some(
+                    v.parse().map_err(|_| CliError::usage(format!("bad cycle budget `{v}`")))?,
+                );
+            }
+            other => return Err(CliError::usage(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok(flags)
+}
+
+fn load_resume(path: &str) -> Result<Option<CampaignReport>, CliError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        // A missing resume file means a fresh campaign — so the same
+        // `--report out.json --resume out.json` invocation works first time.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(CliError::failed(format!("cannot read `{path}`: {e}"))),
+    };
+    let doc = Json::parse(&text)
+        .map_err(|e| CliError::failed(format!("{path}: not a campaign report: {e}")))?;
+    let report = CampaignReport::from_json(&doc)
+        .map_err(|e| CliError::failed(format!("{path}: not a campaign report: {e}")))?;
+    Ok(Some(report))
+}
+
+pub fn run(args: &CommonArgs) -> Result<(), CliError> {
+    let flags = parse_flags(args)?;
+    let program = input::load_program(&args.file)?;
+    let bec = BecAnalysis::analyze(&program, &args.options);
+    let probe = Simulator::with_limits(
+        &program,
+        SimLimits { max_cycles: flags.max_cycles.unwrap_or(100_000_000) },
+    );
+    let golden = probe.run_golden();
+    if golden.result.outcome != bec_sim::ExecOutcome::Completed {
+        return Err(CliError::failed(format!(
+            "program did not run to completion: {:?}",
+            golden.result.outcome
+        )));
+    }
+    // The injection budget defaults to a multiple of the golden length:
+    // masked runs are trace-identical and fit by construction, while a
+    // corrupted loop counter is classified as a hang after bounded work
+    // instead of burning the full 100M-cycle probe budget per fault.
+    let budget = flags
+        .max_cycles
+        .unwrap_or_else(|| golden.cycles().saturating_mul(100).saturating_add(10_000));
+    let sim = Simulator::with_limits(&program, SimLimits { max_cycles: budget });
+
+    let spec = CampaignSpec { seed: flags.seed, sample: flags.sample, shards: flags.shards };
+    let plan = ShardPlan::build(site_fault_space(&program, &bec, &golden), spec);
+    let resume = match &flags.resume_path {
+        Some(path) => load_resume(path)?,
+        None => None,
+    };
+    let (campaign, stats) =
+        pool::run_sharded(&sim, &golden, &plan, flags.workers, resume, &args.file)
+            .map_err(CliError::failed)?;
+
+    if let Some(path) = &flags.report_path {
+        std::fs::write(path, campaign.to_json().render() + "\n")
+            .map_err(|e| CliError::failed(format!("cannot write `{path}`: {e}")))?;
+    }
+
+    // Timing is real but nondeterministic — it goes to stderr so stdout
+    // stays byte-reproducible for a fixed spec.
+    eprintln!(
+        "campaign: {} runs in {:.1} ms on {} workers ({} shards executed, {} resumed)",
+        campaign.runs(),
+        stats.wall.as_secs_f64() * 1e3,
+        stats.workers,
+        stats.executed_shards,
+        stats.resumed_shards,
+    );
+
+    let violations = campaign.violations();
+    if args.json {
+        println!("{}", campaign.to_json().render());
+    } else {
+        print_text(args, &campaign, plan.fault_space());
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::failed(format!(
+            "{} soundness violation(s): statically-masked faults corrupted the execution",
+            violations.len()
+        )))
+    }
+}
+
+fn print_text(args: &CommonArgs, campaign: &CampaignReport, fault_space: u64) {
+    let g = report::group_digits;
+    println!("Differential fault-injection campaign for {}\n", args.file);
+    let mode = match campaign.spec.sample {
+        Some(n) => format!("seeded sample of {} (seed {})", g(n), campaign.spec.seed),
+        None => "exhaustive".to_owned(),
+    };
+    print!(
+        "{}",
+        report::format_table(
+            &["campaign", ""],
+            &[
+                vec!["fault space (site occurrences)".into(), g(fault_space)],
+                vec!["mode".into(), mode],
+                vec!["shards".into(), g(campaign.spec.shards as u64)],
+                vec!["runs".into(), g(campaign.runs())],
+                vec!["statically masked runs".into(), g(campaign.masked_runs())],
+            ],
+        )
+    );
+    println!();
+    let counts = campaign.outcome_counts();
+    print!(
+        "{}",
+        report::format_table(
+            &["outcome", "runs"],
+            &FaultClass::ALL
+                .iter()
+                .map(|c| vec![c.name().into(), g(counts[c.index()])])
+                .collect::<Vec<_>>(),
+        )
+    );
+
+    let violations = campaign.violations();
+    if violations.is_empty() {
+        println!("\ndifferential check: OK — every statically-masked fault was observed benign");
+    } else {
+        println!("\ndifferential check: {} VIOLATION(S)", violations.len());
+        for v in violations.iter().take(16) {
+            println!(
+                "  func {} {} {} bit {} occurrence {} (cycle {}): statically masked, observed {}",
+                v.fault.func,
+                v.fault.point,
+                v.fault.spec.reg,
+                v.fault.spec.bit,
+                v.fault.occurrence,
+                v.fault.spec.cycle,
+                v.class.name(),
+            );
+        }
+        if violations.len() > 16 {
+            println!("  … and {} more", violations.len() - 16);
+        }
+    }
+}

@@ -3,9 +3,9 @@
 //! piping). Every emission is verified by lifting the image back and
 //! re-encoding it — the round-trip must reproduce identical words.
 
-use super::json::Json;
 use super::{input, CliError, CommonArgs};
 use bec_rv32::{decode_word, encode_program_at, lift_image};
+use bec_sim::json::Json;
 
 pub fn run(args: &CommonArgs) -> Result<(), CliError> {
     let mut base = 0u32;

@@ -1,9 +1,9 @@
 //! Subcommand dispatch and shared plumbing for the `bec` binary.
 
 mod analyze;
+mod campaign;
 mod encode;
 mod input;
-mod json;
 mod prune;
 mod schedule;
 mod sim;
@@ -63,7 +63,19 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
             flag if flag.starts_with("--") => {
                 rest.push(a.clone());
                 // Flags with values keep them adjacent for the subcommand.
-                if matches!(flag, "--criterion" | "--fault" | "--max-cycles" | "--base") {
+                if matches!(
+                    flag,
+                    "--criterion"
+                        | "--fault"
+                        | "--max-cycles"
+                        | "--base"
+                        | "--sample"
+                        | "--seed"
+                        | "--shards"
+                        | "--workers"
+                        | "--report"
+                        | "--resume"
+                ) {
                     if let Some(v) = it.next() {
                         rest.push(v.clone());
                     }
@@ -88,6 +100,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     };
     match cmd.as_str() {
         "analyze" => analyze::run(&parse_common(&args[1..])?),
+        "campaign" => campaign::run(&parse_common(&args[1..])?),
         "prune" => prune::run(&parse_common(&args[1..])?),
         "schedule" => schedule::run(&parse_common(&args[1..])?),
         "sim" => sim::run(&parse_common(&args[1..])?),

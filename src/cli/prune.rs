@@ -2,9 +2,9 @@
 //! runs the golden execution for the dynamic profile, then compares the
 //! value-level campaign against the BEC bit-level campaign.
 
-use super::json::Json;
 use super::{input, CliError, CommonArgs};
 use bec_core::{pruning, report, surface, BecAnalysis};
+use bec_sim::json::Json;
 use bec_sim::{SimLimits, Simulator};
 
 pub fn run(args: &CommonArgs) -> Result<(), CliError> {

@@ -2,10 +2,10 @@
 //! program under the chosen criterion and quantifies the fault-surface
 //! change (the paper's Table IV experiment on one program).
 
-use super::json::Json;
 use super::{input, CliError, CommonArgs};
 use bec_core::{report, surface, BecAnalysis};
 use bec_sched::{schedule_program, Criterion};
+use bec_sim::json::Json;
 use bec_sim::{SimLimits, Simulator};
 
 fn surface_of(program: &bec_ir::Program, options: &bec_core::BecOptions) -> Result<u64, CliError> {

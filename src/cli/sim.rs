@@ -2,8 +2,8 @@
 //! optionally flipping one register bit at a chosen cycle, and reports the
 //! observable outputs and outcome.
 
-use super::json::Json;
 use super::{input, CliError, CommonArgs};
+use bec_sim::json::Json;
 use bec_sim::{FaultSpec, SimLimits, Simulator};
 
 fn parse_fault(spec: &str) -> Result<FaultSpec, CliError> {

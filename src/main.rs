@@ -9,6 +9,7 @@
 //! bec prune    file.s              fault-injection pruning (Table III row)
 //! bec schedule file.s              vulnerability-aware rescheduling
 //! bec sim      file.s              execute (optionally with a bit flip)
+//! bec campaign file.s              sharded differential fault campaign
 //! bec encode   file.s              RV32I machine-code emission
 //! ```
 //!
@@ -29,6 +30,9 @@ COMMANDS:
     prune      fault-injection pruning report (paper Table III)
     schedule   vulnerability-aware instruction scheduling (paper Table IV)
     sim        execute the program (optionally injecting one bit flip)
+    campaign   sharded fault-injection campaign, cross-checked against the
+               static analysis (statically-masked fault observed corrupting
+               the run ⇒ soundness violation, exit 1)
     encode     emit RV32I machine code
 
 INPUT:
@@ -46,6 +50,14 @@ COMMAND OPTIONS:
               --emit-asm                          print the scheduled program
     sim:      --fault <cycle>:<reg>:<bit>         single-event upset to inject
               --max-cycles <N>                    execution budget
+    campaign: --sample <N>                        seeded sub-exhaustive sample
+                                                  (default: exhaustive)
+              --seed <S>                          sampling seed (default 3052)
+              --shards <N>                        work shards (default 64)
+              --workers <N>                       threads (default: all cores)
+              --report <PATH>                     write the JSON report
+              --resume <PATH>                     resume an interrupted report
+              --max-cycles <N>                    per-run execution budget
     encode:   --base <ADDR>                       text base address, decimal or
                                                   0x-prefixed hex (default 0)
               --raw                               bare hex words, one per line

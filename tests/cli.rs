@@ -121,6 +121,25 @@ fn sim_rejects_out_of_file_fault_registers() {
 }
 
 #[test]
+fn campaign_rejects_vacuous_and_malformed_flags() {
+    // A 0-fault sample would make the soundness gate vacuously pass.
+    let out = bec(&["campaign", "examples/gcd.s", "--sample", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--sample"), "sample 0 rejected");
+    let out = bec(&["campaign", "examples/gcd.s", "--shards", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = bec(&["campaign", "examples/gcd.s", "--workers", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn campaign_runs_and_reports_ok_on_gcd() {
+    let out = stdout_of(&["campaign", "examples/gcd.s", "--shards", "4", "--workers", "2"]);
+    assert!(out.contains("differential check: OK"), "{out}");
+    assert!(out.contains("fault space"), "{out}");
+}
+
+#[test]
 fn encode_base_accepts_decimal_and_hex() {
     let dec = stdout_of(&["encode", "examples/gcd.s", "--base", "4096"]);
     assert!(dec.contains("0x00001000"), "{dec}");

@@ -1,0 +1,106 @@
+//! Golden-file tests for the `bec` binary: every subcommand's text and JSON
+//! output is snapshotted under `tests/golden/` and compared byte-for-byte.
+//!
+//! The snapshots double as a determinism regression net: campaign output in
+//! particular must be reproducible for a fixed (input, seed, sample,
+//! shards) tuple on any machine and any worker count — timing goes to
+//! stderr, which is not snapshotted.
+//!
+//! To regenerate after an intentional output change:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden_cli
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    repo_root().join("tests/golden").join(name)
+}
+
+/// Runs `bec` with `args` and compares stdout against `tests/golden/<name>`.
+fn check(name: &str, args: &[&str]) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bec"))
+        .current_dir(repo_root())
+        .args(args)
+        .output()
+        .expect("bec binary runs");
+    assert!(out.status.success(), "bec {args:?} failed:\n{}", String::from_utf8_lossy(&out.stderr));
+    let actual = String::from_utf8(out.stdout).expect("utf8 stdout");
+
+    let path = golden_path(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("missing golden file {path:?} — run `BLESS=1 cargo test --test golden_cli`")
+    });
+    assert!(
+        actual == expected,
+        "bec {args:?} deviates from {name}.\n\
+         Re-bless with `BLESS=1 cargo test --test golden_cli` if intended.\n\
+         --- expected ---\n{expected}\n--- actual ---\n{actual}",
+    );
+}
+
+#[test]
+fn analyze_text_and_json() {
+    check("analyze_countyears.txt", &["analyze", "examples/countyears.s"]);
+    check("analyze_countyears.json", &["analyze", "examples/countyears.s", "--json"]);
+    check("analyze_gcd.txt", &["analyze", "examples/gcd.s"]);
+}
+
+#[test]
+fn prune_text_and_json() {
+    check("prune_countyears.txt", &["prune", "examples/countyears.s"]);
+    check("prune_countyears.json", &["prune", "examples/countyears.s", "--json"]);
+}
+
+#[test]
+fn schedule_text_and_json() {
+    check("schedule_countyears.txt", &["schedule", "examples/countyears.s", "--criterion", "best"]);
+    check(
+        "schedule_countyears.json",
+        &["schedule", "examples/countyears.s", "--criterion", "best", "--json"],
+    );
+}
+
+#[test]
+fn sim_text_and_json() {
+    check("sim_gcd.txt", &["sim", "examples/gcd.s"]);
+    check("sim_gcd.json", &["sim", "examples/gcd.s", "--json"]);
+    check("sim_countyears_fault.txt", &["sim", "examples/countyears.s", "--fault", "2:s1:0"]);
+}
+
+#[test]
+fn encode_listing_and_raw() {
+    check("encode_gcd.txt", &["encode", "examples/gcd.s"]);
+    check("encode_gcd_raw.txt", &["encode", "examples/gcd.s", "--raw"]);
+}
+
+#[test]
+fn campaign_exhaustive_text() {
+    check("campaign_gcd.txt", &["campaign", "examples/gcd.s", "--shards", "8", "--workers", "2"]);
+}
+
+#[test]
+fn campaign_sampled_text_and_json() {
+    let args =
+        ["campaign", "examples/countyears.s", "--sample", "24", "--seed", "7", "--shards", "4"];
+    check("campaign_countyears_sampled.txt", &args);
+    // Worker count must not leak into the output: snapshot the same spec at
+    // a different worker count against the same golden JSON.
+    let mut json1 = args.to_vec();
+    json1.extend(["--workers", "1", "--json"]);
+    let mut json3 = args.to_vec();
+    json3.extend(["--workers", "3", "--json"]);
+    check("campaign_countyears_sampled.json", &json1);
+    check("campaign_countyears_sampled.json", &json3);
+}
