@@ -4,7 +4,7 @@
 use bec_core::{BecAnalysis, BecOptions};
 use bec_sim::campaign::{bit_level_faults, run_campaign, value_level_faults, CampaignKind};
 use bec_sim::shard::{site_fault_space, CampaignSpec, ShardPlan};
-use bec_sim::{pool, Simulator};
+use bec_sim::{default_checkpoint_interval, pool, CheckpointLog, Simulator};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_campaigns(c: &mut Criterion) {
@@ -28,21 +28,32 @@ fn bench_campaigns(c: &mut Criterion) {
 }
 
 /// Throughput of the sharded differential campaign engine: whole classified
-/// fault space, batched per-shard aggregation, 1 vs 4 workers.
+/// fault space, batched per-shard aggregation, 1 vs 4 workers, from-scratch
+/// vs checkpointed.
 fn bench_sharded_engine(c: &mut Criterion) {
     let bench = bec_suite::crc32::scaled(1);
     let program = bench.compile().expect("compiles");
     let bec = BecAnalysis::analyze(&program, &BecOptions::paper());
     let sim = Simulator::new(&program);
-    let golden = sim.run_golden();
+    let probe = sim.run_golden();
+    let (golden, ckpts) =
+        sim.run_golden_checkpointed(default_checkpoint_interval(probe.cycles()));
     let plan =
         ShardPlan::build(site_fault_space(&program, &bec, &golden), CampaignSpec::exhaustive(64));
 
     let mut group = c.benchmark_group("sharded_campaign_crc32_tiny");
     group.sample_size(10);
+    let disabled = CheckpointLog::disabled();
     for workers in [1usize, 4] {
-        group.bench_function(format!("{workers}_workers"), |b| {
-            b.iter(|| pool::run_sharded(&sim, &golden, &plan, workers, None, "crc32").unwrap())
+        group.bench_function(format!("{workers}_workers_from_scratch"), |b| {
+            b.iter(|| {
+                pool::run_sharded(&sim, &golden, &disabled, &plan, workers, None, "crc32").unwrap()
+            })
+        });
+        group.bench_function(format!("{workers}_workers_checkpointed"), |b| {
+            b.iter(|| {
+                pool::run_sharded(&sim, &golden, &ckpts, &plan, workers, None, "crc32").unwrap()
+            })
         });
     }
     group.finish();

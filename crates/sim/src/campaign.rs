@@ -50,15 +50,11 @@ impl CampaignSummary {
     }
 }
 
-/// Cached map from points to the cycles at which they executed.
-pub fn occurrence_map(golden: &GoldenRun) -> HashMap<(usize, PointId), Vec<u64>> {
-    let mut map: HashMap<(usize, PointId), Vec<u64>> = HashMap::new();
-    for c in 0..golden.cycles() {
-        if let Some((f, p)) = golden.point_at(c) {
-            map.entry((f, p)).or_default().push(c);
-        }
-    }
-    map
+/// Map from points to the cycles at which they executed — precomputed once
+/// when the golden run is built, so enumeration over many sites is
+/// O(trace) total.
+pub fn occurrence_map(golden: &GoldenRun) -> &HashMap<(usize, PointId), Vec<u64>> {
+    golden.occurrence_index()
 }
 
 /// The full fault list of an exhaustive campaign: every bit of every

@@ -1,0 +1,223 @@
+//! Golden-run checkpoints: periodic snapshots of the executor state that
+//! let a fault-injection run (a) start at the nearest checkpoint before its
+//! injection cycle instead of cycle 0, and (b) stop as soon as it provably
+//! re-converges with the golden run.
+//!
+//! A checkpoint captures the complete deterministic executor state at a
+//! cycle boundary: the register file, the call stack, the control position,
+//! the cycle/step counters, the running [`TraceHash`] state (FNV is
+//! sequential, so the hash state at cycle *c* is a valid resume point), the
+//! number of outputs emitted so far, and the memory — stored as a
+//! cumulative *dirty-word image* (every word written since cycle 0, with
+//! its value at capture time) plus an incremental 128-bit memory digest.
+//! Restoring checkpoint *k* applies its image onto the program's initial
+//! memory: O(distinct dirty words), however many stores the prefix
+//! executed, and per-checkpoint storage is bounded by the program's
+//! working set.
+//!
+//! **Convergence early-exit.** After its injection cycle, a faulted run
+//! compares its state against the golden checkpoint at every
+//! checkpoint-aligned cycle. Equality of *all* of (cycle, steps, control
+//! position, call stack, register file, trace-hash state, memory digest,
+//! output count) implies the remaining execution is identical to the golden
+//! suffix — the executor is deterministic in exactly that state — so the
+//! run completes with the golden hash and is classified
+//! [`crate::FaultClass::Benign`] without executing the tail. The register
+//! comparison is modulo *dynamically dead* registers: each checkpoint
+//! carries the set of registers the golden suffix reads before
+//! overwriting, and a register outside that set is overwritten before any
+//! instruction can observe it, so a lingering faulted value there cannot
+//! change the suffix. The memory digest is the only probabilistic
+//! component; it is 128 bits wide, and the baseline classifier already
+//! trusts 128-bit trace-hash equality for the same verdict (see
+//! `docs/oracle.md`).
+
+use crate::trace::TraceHash;
+
+/// One call-stack frame as captured in a checkpoint (also the executor's
+/// runtime frame representation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameSnap {
+    /// Caller function index.
+    pub func: u32,
+    /// Flat program counter to return to.
+    pub ret_pc: u32,
+    /// Synthetic return-address token checked on `ret`.
+    pub ra_token: u64,
+}
+
+/// A full executor snapshot at one cycle boundary.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Cycle this checkpoint was captured at (state *before* the
+    /// instruction at this cycle executes, and before any fault injected at
+    /// this cycle is applied).
+    pub cycle: u64,
+    /// Executor step counter at the boundary (includes zero-cost jumps).
+    pub(crate) steps: u64,
+    /// Control position `(function index, flat pc)`, canonicalized past any
+    /// zero-cost jumps.
+    pub(crate) pos: (u32, u32),
+    /// The call stack.
+    pub(crate) stack: Vec<FrameSnap>,
+    /// The full register file.
+    pub(crate) regs: Vec<u64>,
+    /// Running trace-hash state.
+    pub(crate) hash: TraceHash,
+    /// Incremental memory digest (relative to the initial memory image).
+    pub(crate) mem_digest: u128,
+    /// Number of observable outputs emitted so far.
+    pub(crate) outputs_len: u32,
+    /// Cumulative memory image relative to the initial memory: every word
+    /// written since cycle 0, with its value at capture time, sorted by
+    /// word index. Restoring applies exactly these words onto the initial
+    /// image — O(distinct dirty words), independent of how many stores the
+    /// prefix executed.
+    pub(crate) mem_image: Vec<(u32, u32)>,
+    /// Bitmask of registers the golden *suffix* from this cycle reads
+    /// before overwriting (dynamic liveness, filled in by a backward pass
+    /// after the recording run). A faulted register outside this set is
+    /// overwritten before it can influence anything, so the convergence
+    /// check may ignore it. Initialized to all-ones (exact comparison)
+    /// until the pass runs; registers ≥ 64 are always compared exactly.
+    pub(crate) live_regs: u64,
+}
+
+/// The checkpoint sequence of one golden run, plus the run's terminal
+/// counters (needed to prove that a converged faulted run would also have
+/// finished within its own budget).
+#[derive(Clone, Debug)]
+pub struct CheckpointLog {
+    /// Checkpoint spacing in cycles; 0 disables checkpointing entirely.
+    pub(crate) interval: u64,
+    /// Checkpoint `i` is at cycle `i * interval`.
+    pub(crate) checkpoints: Vec<Checkpoint>,
+    /// Total cycles of the recorded golden run.
+    pub(crate) final_cycles: u64,
+    /// Final step-counter value of the recorded golden run.
+    pub(crate) final_steps: u64,
+    /// Whether the recorded golden run completed (vs trapped / timed out).
+    pub(crate) completed: bool,
+}
+
+impl CheckpointLog {
+    /// A log that records checkpoints every `interval` cycles (pass 0 to
+    /// disable). Filled by `Simulator::run_golden_checkpointed`.
+    pub(crate) fn new(interval: u64) -> CheckpointLog {
+        CheckpointLog {
+            interval,
+            checkpoints: Vec::new(),
+            final_cycles: 0,
+            final_steps: 0,
+            completed: false,
+        }
+    }
+
+    /// The empty, disabled log: fault runs fall back to from-scratch
+    /// execution with no convergence checks.
+    pub fn disabled() -> CheckpointLog {
+        CheckpointLog::new(0)
+    }
+
+    /// Whether this log can actually accelerate fault runs.
+    pub fn is_enabled(&self) -> bool {
+        self.interval > 0 && !self.checkpoints.is_empty()
+    }
+
+    /// The checkpoint spacing in cycles (0 = disabled).
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Number of recorded checkpoints.
+    pub fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Whether no checkpoint was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty()
+    }
+
+    /// Total dirty words stored across all checkpoint images (storage
+    /// accounting).
+    pub fn delta_words(&self) -> u64 {
+        self.checkpoints.iter().map(|c| c.mem_image.len() as u64).sum()
+    }
+
+    /// Index of the latest checkpoint at or before `cycle`.
+    pub(crate) fn nearest_at_or_before(&self, cycle: u64) -> usize {
+        debug_assert!(self.is_enabled());
+        ((cycle / self.interval) as usize).min(self.checkpoints.len() - 1)
+    }
+
+    /// The checkpoint exactly at `cycle`, if `cycle` is aligned and within
+    /// the recorded range.
+    pub(crate) fn at_cycle(&self, cycle: u64) -> Option<&Checkpoint> {
+        if self.interval == 0 || !cycle.is_multiple_of(self.interval) {
+            return None;
+        }
+        let ck = self.checkpoints.get((cycle / self.interval) as usize)?;
+        debug_assert_eq!(ck.cycle, cycle);
+        Some(ck)
+    }
+}
+
+/// A sensible default checkpoint interval for a golden run of `cycles`
+/// instructions: about 64 checkpoints, but never denser than one every 16
+/// cycles (below that, the per-boundary capture/compare cost outweighs the
+/// saved re-execution on the tiny traces it would apply to).
+pub fn default_checkpoint_interval(cycles: u64) -> u64 {
+    (cycles / 64).max(16)
+}
+
+/// Mixes one `(word index, word value)` pair into a 128-bit contribution
+/// for the incremental memory digest. The digest of a memory image is the
+/// XOR of `mem_mix` over its words *relative to the initial image*: it
+/// starts at 0 and every store folds out the old word and folds in the new
+/// one, so maintaining it is O(1) per store and no full-memory scan is ever
+/// needed (all runs of one program share the same initial image).
+pub(crate) fn mem_mix(widx: u32, word: u32) -> u128 {
+    // SplitMix64 finalizer over two different seeds of the packed pair.
+    fn fin(mut x: u64) -> u64 {
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+    let packed = (widx as u64) << 32 | word as u64;
+    let hi = fin(packed ^ 0x9e37_79b9_7f4a_7c15);
+    let lo = fin(packed.wrapping_add(0x6a09_e667_f3bc_c909));
+    (hi as u128) << 64 | lo as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_interval_scales_with_trace_length() {
+        assert_eq!(default_checkpoint_interval(0), 16);
+        assert_eq!(default_checkpoint_interval(100), 16);
+        assert_eq!(default_checkpoint_interval(6400), 100);
+        assert_eq!(default_checkpoint_interval(1 << 20), (1 << 20) / 64);
+    }
+
+    #[test]
+    fn mem_mix_separates_address_and_value() {
+        assert_ne!(mem_mix(0, 0), 0);
+        assert_ne!(mem_mix(0, 1), mem_mix(1, 0));
+        assert_ne!(mem_mix(7, 42), mem_mix(42, 7));
+        // Folding a word out cancels exactly.
+        let d = mem_mix(3, 5) ^ mem_mix(3, 9);
+        assert_eq!(d ^ mem_mix(3, 5), mem_mix(3, 9));
+    }
+
+    #[test]
+    fn disabled_log_is_inert() {
+        let log = CheckpointLog::disabled();
+        assert!(!log.is_enabled());
+        assert_eq!(log.interval(), 0);
+        assert!(log.at_cycle(0).is_none());
+        assert_eq!(log.delta_words(), 0);
+    }
+}

@@ -1,10 +1,37 @@
 //! The instruction interpreter.
+//!
+//! Programs are pre-decoded into a flat per-function step stream
+//! ([`FlatProgram`]): block bodies and terminators laid out contiguously,
+//! unconditional jumps turned into zero-cost gotos on flat indices, call
+//! targets and global addresses resolved to indices/addresses up front.
+//! Execution is a `(function index, flat pc)` walk with no per-step
+//! `BlockId`/`PointLayout` lookups and no per-call name resolution.
+//!
+//! The interpreter runs against a caller-provided [`Machine`] in initial
+//! state and records every written memory word into a dirty list, so a
+//! campaign worker can reuse one scratch machine across millions of runs
+//! (undoing only the dirty words) instead of allocating a fresh address
+//! space per fault.
+//!
+//! Three modes share one loop:
+//!
+//! * **golden** — full instrumentation (profile, cycle map) and optional
+//!   periodic [`Checkpoint`] capture;
+//! * **from-scratch fault run** — the PR 2 behavior: execute from cycle 0
+//!   with one injected bit flip;
+//! * **resumed fault run** — restore the nearest checkpoint at or before
+//!   the injection cycle, execute only the suffix, and after the injection
+//!   compare state against the golden checkpoints at aligned cycles; full
+//!   equality (modulo dynamically dead registers) proves the remaining
+//!   trace is the golden suffix and the run early-exits as converged
+//!   (classified Benign by the caller).
 
+use crate::checkpoint::{mem_mix, Checkpoint, CheckpointLog, FrameSnap};
 use crate::machine::{FaultSpec, Machine};
 use crate::trace::TraceHash;
 use bec_core::ExecProfile;
 use bec_ir::semantics::{eval_alu, eval_cond};
-use bec_ir::{BlockId, Inst, PointId, PointLayout, Program, Reg, Terminator};
+use bec_ir::{Cond, Inst, PointId, PointLayout, Program, Reg, Terminator};
 
 /// Why a run trapped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -30,14 +57,115 @@ pub enum ExecOutcome {
     Timeout,
 }
 
-struct Frame {
-    func: usize,
-    block: BlockId,
-    offset: usize,
-    ra_token: u64,
+/// One pre-decoded execution step.
+#[derive(Clone, Debug)]
+enum FlatStep<'p> {
+    /// An ordinary instruction (anything but calls and `la`, which are
+    /// pre-resolved below).
+    Inst { point: PointId, inst: &'p Inst },
+    /// A call with the callee resolved to its function index.
+    Call { point: PointId, callee: u32 },
+    /// `la` with the global's address resolved.
+    La { point: PointId, rd: Reg, addr: u64 },
+    /// Zero-cost unconditional jump to a flat index (no cycle, no trace
+    /// event).
+    Goto { target: u32 },
+    /// Conditional branch between two flat indices.
+    Branch { point: PointId, cond: Cond, rs1: Reg, rs2: Option<Reg>, taken: u32, fall: u32 },
+    /// Program exit.
+    Exit { point: PointId },
+    /// Function return.
+    Ret { point: PointId, reads: &'p [Reg] },
 }
 
-/// Everything a single run produces.
+impl FlatStep<'_> {
+    /// The program point of a cycle-consuming step.
+    fn point(&self) -> PointId {
+        match self {
+            FlatStep::Inst { point, .. }
+            | FlatStep::Call { point, .. }
+            | FlatStep::La { point, .. }
+            | FlatStep::Branch { point, .. }
+            | FlatStep::Exit { point }
+            | FlatStep::Ret { point, .. } => *point,
+            FlatStep::Goto { .. } => unreachable!("gotos are resolved before use"),
+        }
+    }
+}
+
+/// One function, flattened.
+#[derive(Clone, Debug)]
+struct FlatFunc<'p> {
+    steps: Vec<FlatStep<'p>>,
+    entry_pc: u32,
+}
+
+/// The whole program, pre-decoded for the interpreter.
+#[derive(Clone, Debug)]
+pub(crate) struct FlatProgram<'p> {
+    funcs: Vec<FlatFunc<'p>>,
+    entry: u32,
+}
+
+impl<'p> FlatProgram<'p> {
+    /// Pre-decodes `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a missing entry function, callee or global — run
+    /// [`bec_ir::verify_program`] first.
+    pub(crate) fn of(program: &'p Program) -> FlatProgram<'p> {
+        let entry = program.function_index(&program.entry).expect("entry exists") as u32;
+        let funcs = program.functions.iter().map(|f| flatten(program, f)).collect();
+        FlatProgram { funcs, entry }
+    }
+}
+
+fn flatten<'p>(program: &'p Program, f: &'p bec_ir::Function) -> FlatFunc<'p> {
+    let layout = PointLayout::of(f);
+    // Flat start index of each block: bodies plus one terminator slot each.
+    let mut starts = Vec::with_capacity(f.blocks.len());
+    let mut n = 0u32;
+    for b in &f.blocks {
+        starts.push(n);
+        n += b.insts.len() as u32 + 1;
+    }
+    let mut steps = Vec::with_capacity(n as usize);
+    for (i, b) in f.blocks.iter().enumerate() {
+        let block = bec_ir::BlockId(i as u32);
+        for (o, inst) in b.insts.iter().enumerate() {
+            let point = layout.point(block, o);
+            steps.push(match inst {
+                Inst::Call { callee } => {
+                    let idx = program.function_index(callee).expect("verified callee") as u32;
+                    FlatStep::Call { point, callee: idx }
+                }
+                Inst::La { rd, global } => {
+                    let addr = program.global_address(global).expect("verified global");
+                    FlatStep::La { point, rd: *rd, addr }
+                }
+                _ => FlatStep::Inst { point, inst },
+            });
+        }
+        let point = layout.point(block, b.insts.len());
+        steps.push(match &b.term {
+            Terminator::Jump { target } => FlatStep::Goto { target: starts[target.index()] },
+            Terminator::Branch { cond, rs1, rs2, taken, fallthrough } => FlatStep::Branch {
+                point,
+                cond: *cond,
+                rs1: *rs1,
+                rs2: *rs2,
+                taken: starts[taken.index()],
+                fall: starts[fallthrough.index()],
+            },
+            Terminator::Exit => FlatStep::Exit { point },
+            Terminator::Ret { reads } => FlatStep::Ret { point, reads },
+        });
+    }
+    FlatFunc { steps, entry_pc: starts[f.entry().index()] }
+}
+
+/// Everything a single completed run produces.
 pub(crate) struct RawRun {
     pub outcome: ExecOutcome,
     pub outputs: Vec<u64>,
@@ -45,150 +173,389 @@ pub(crate) struct RawRun {
     pub hash: TraceHash,
     pub profile: Option<ExecProfile>,
     pub cycle_map: Option<Vec<(u32, PointId, u32)>>,
+    /// Per-cycle `(reads, writes)` register bitmasks, recorded while
+    /// capturing checkpoints (feeds the dynamic-liveness backward pass).
+    pub rw_map: Option<Vec<(u64, u64)>>,
 }
 
-/// Runs `program` from its entry function.
+/// How a run ended: normally, or by provable re-convergence with the
+/// golden run.
+pub(crate) enum RunVerdict {
+    /// The run executed to a terminal state.
+    Finished(RawRun),
+    /// The faulted run's state became equal to the golden run's at an
+    /// aligned `cycle`: the remaining trace is the golden suffix, the run
+    /// is Benign, and the tail was skipped.
+    Converged {
+        /// The aligned cycle equality was established at.
+        cycle: u64,
+        /// Cycles actually simulated (from the restored checkpoint).
+        simulated: u64,
+    },
+}
+
+/// Resume context of a checkpointed fault run.
+pub(crate) struct ResumeCtx<'a> {
+    /// The golden run's checkpoints.
+    pub log: &'a CheckpointLog,
+    /// The golden run's outputs (the restored run inherits the prefix).
+    pub golden_outputs: &'a [u64],
+}
+
+/// The live executor state next to the caller-provided [`Machine`].
+struct ExecState {
+    hash: TraceHash,
+    outputs: Vec<u64>,
+    cycle: u64,
+    steps: u64,
+    func: u32,
+    pc: u32,
+    stack: Vec<FrameSnap>,
+    /// Incremental memory digest relative to the initial image.
+    mem_digest: u128,
+}
+
+impl ExecState {
+    fn fresh(flat: &FlatProgram<'_>) -> ExecState {
+        ExecState {
+            hash: TraceHash::new(),
+            outputs: Vec::new(),
+            cycle: 0,
+            steps: 0,
+            func: flat.entry,
+            pc: flat.funcs[flat.entry as usize].entry_pc,
+            stack: Vec::new(),
+            mem_digest: 0,
+        }
+    }
+
+    /// Restores checkpoint `idx` of `log` into `machine` (which must be in
+    /// initial state): applies the checkpoint's cumulative memory image
+    /// (recording the words in `dirty`), restores the captured registers,
+    /// and inherits the golden output prefix. `steps` is set one below the
+    /// boundary value so the loop-top increment reproduces it exactly.
+    fn restore(
+        log: &CheckpointLog,
+        idx: usize,
+        golden_outputs: &[u64],
+        machine: &mut Machine,
+        dirty: &mut Vec<u32>,
+    ) -> ExecState {
+        let ck = &log.checkpoints[idx];
+        for &(w, v) in &ck.mem_image {
+            machine.memory.set_word(w, v);
+            dirty.push(w);
+        }
+        machine.restore_regs(&ck.regs);
+        ExecState {
+            hash: ck.hash,
+            outputs: golden_outputs[..ck.outputs_len as usize].to_vec(),
+            cycle: ck.cycle,
+            steps: ck.steps - 1,
+            func: ck.pos.0,
+            pc: ck.pos.1,
+            stack: ck.stack.clone(),
+            mem_digest: ck.mem_digest,
+        }
+    }
+
+    /// Whether this state equals the golden checkpoint `ck` in every
+    /// component the executor's future depends on. Registers the golden
+    /// suffix overwrites before reading (`ck.live_regs`) may differ — they
+    /// cannot influence anything before they die.
+    fn matches(&self, machine: &Machine, ck: &Checkpoint) -> bool {
+        self.steps == ck.steps
+            && (self.func, self.pc) == ck.pos
+            && self.hash == ck.hash
+            && self.mem_digest == ck.mem_digest
+            && self.outputs.len() == ck.outputs_len as usize
+            && self.stack == ck.stack
+            && regs_match(machine.regs(), &ck.regs, ck.live_regs)
+    }
+}
+
+/// Register-file equality modulo dynamically dead registers: index `i` may
+/// differ iff `i < 64` and bit `i` of `live` is clear (registers past the
+/// mask width are always compared exactly).
+fn regs_match(mine: &[u64], golden: &[u64], live: u64) -> bool {
+    debug_assert_eq!(mine.len(), golden.len());
+    mine.iter()
+        .zip(golden)
+        .enumerate()
+        .all(|(i, (a, b))| a == b || (i < 64 && live & (1u64 << i) == 0))
+}
+
+/// The register bit of `r` in a liveness mask (registers past the mask
+/// width contribute nothing; they are compared exactly at convergence).
+fn reg_bit(r: Reg) -> u64 {
+    let i = r.index();
+    if i < 64 {
+        1u64 << i
+    } else {
+        0
+    }
+}
+
+/// Registers read/written by one instruction, as bitmasks.
+fn inst_rw(inst: &Inst) -> (u64, u64) {
+    match inst {
+        Inst::Alu { rd, rs1, rs2, .. } => (reg_bit(*rs1) | reg_bit(*rs2), reg_bit(*rd)),
+        Inst::AluImm { rd, rs1, .. } => (reg_bit(*rs1), reg_bit(*rd)),
+        Inst::Li { rd, .. } | Inst::La { rd, .. } => (0, reg_bit(*rd)),
+        Inst::Mv { rd, rs }
+        | Inst::Neg { rd, rs }
+        | Inst::Seqz { rd, rs }
+        | Inst::Snez { rd, rs } => (reg_bit(*rs), reg_bit(*rd)),
+        Inst::Load { rd, base, .. } => (reg_bit(*base), reg_bit(*rd)),
+        Inst::Store { rs, base, .. } => (reg_bit(*rs) | reg_bit(*base), 0),
+        Inst::Print { rs } => (reg_bit(*rs), 0),
+        Inst::Call { .. } | Inst::Nop => (0, 0),
+    }
+}
+
+/// Runs `program` on `machine` (which must be in initial state) from its
+/// entry function, or from a restored checkpoint.
+///
+/// Every memory word the run writes — including restored checkpoint
+/// deltas — is appended to `dirty`, so the caller can undo the run and
+/// reuse the machine.
 ///
 /// `fault` optionally injects one bit flip before the instruction at the
 /// given cycle. `record` enables the golden-run instrumentation (execution
-/// profile and cycle→point map).
+/// profile and cycle→point map). `capture` records periodic checkpoints
+/// into the given log (golden runs). `resume` restores the nearest
+/// checkpoint at or before the fault cycle and enables the convergence
+/// early-exit (fault runs; requires `fault`).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run(
-    program: &Program,
-    layouts: &[PointLayout],
+    flat: &FlatProgram<'_>,
     max_cycles: u64,
     fault: Option<FaultSpec>,
     record: bool,
-) -> RawRun {
-    let entry_idx = program.function_index(&program.entry).expect("entry exists");
-    let mut machine = Machine::new(program);
-    let mut hash = TraceHash::new();
-    let mut outputs = Vec::new();
+    mut capture: Option<&mut CheckpointLog>,
+    resume: Option<ResumeCtx<'_>>,
+    machine: &mut Machine,
+    dirty: &mut Vec<u32>,
+) -> RunVerdict {
     let mut profile = record.then(ExecProfile::new);
     let mut cycle_map = record.then(Vec::new);
-    let mut cycle = 0u64;
-    let mut steps = 0u64; // includes zero-cost jumps, to bound jump-only loops
-    let mut stack: Vec<Frame> = Vec::new();
+    let mut rw_map = capture.is_some().then(Vec::new);
+    let step_limit = max_cycles.saturating_mul(2) + 1024;
 
-    let mut func = entry_idx;
-    let mut block = program.functions[func].entry();
-    let mut offset = 0usize;
+    // Maintain the incremental memory digest only when checkpoints are in
+    // play; plain runs skip the per-store mixing.
+    let capturing = capture.is_some();
+    let converging = resume.as_ref().is_some_and(|r| r.log.is_enabled());
+    let track_digest = capturing || converging;
+    // Watermark into `dirty` marking the start of the current checkpoint
+    // interval (capture never drains the list — the caller owns it), plus
+    // the running cumulative dirty-word image captured checkpoints store.
+    let mut delta_start = dirty.len();
+    let mut cum_image: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
 
-    let outcome = 'run: loop {
-        steps += 1;
-        if cycle >= max_cycles || steps >= max_cycles.saturating_mul(2) + 1024 {
-            break ExecOutcome::Timeout;
+    let mut st = match &resume {
+        Some(ctx) if ctx.log.is_enabled() => {
+            let f = fault.expect("resumed runs inject a fault");
+            let idx = ctx.log.nearest_at_or_before(f.cycle);
+            ExecState::restore(ctx.log, idx, ctx.golden_outputs, machine, dirty)
         }
-        let f = &program.functions[func];
-        let layout = &layouts[func];
-        let point = layout.point(block, offset);
-        let is_inst = offset < f.block(block).insts.len();
+        _ => ExecState::fresh(flat),
+    };
+    let start_cycle = st.cycle;
 
-        // Zero-cost fallthrough: unconditional jumps take no cycle and leave
-        // no trace event (block layout is not modeled; DESIGN.md §2).
-        if !is_inst {
-            if let Terminator::Jump { target } = f.block(block).term {
-                block = target;
-                offset = 0;
-                continue;
+    // A convergence early-exit claims the run finishes exactly like the
+    // golden suffix — only valid if that suffix itself fits this run's
+    // budget (the golden run may have been recorded under different
+    // limits).
+    let early_exit_ok = resume.as_ref().is_some_and(|r| {
+        r.log.completed && r.log.final_cycles <= max_cycles && r.log.final_steps < step_limit
+    });
+
+    enum LoopEnd {
+        Outcome(ExecOutcome),
+        Converged(u64),
+    }
+
+    let end = 'run: loop {
+        st.steps += 1;
+        if st.cycle >= max_cycles || st.steps >= step_limit {
+            break LoopEnd::Outcome(ExecOutcome::Timeout);
+        }
+        let step = &flat.funcs[st.func as usize].steps[st.pc as usize];
+
+        // Zero-cost fallthrough: unconditional jumps take no cycle and
+        // leave no trace event (block layout is not modeled; DESIGN.md §2).
+        if let FlatStep::Goto { target } = step {
+            st.pc = *target;
+            continue;
+        }
+
+        // Canonical cycle boundary: the next step consumes a cycle.
+        if let Some(log) = capture.as_deref_mut() {
+            if log.interval > 0 && st.cycle == log.checkpoints.len() as u64 * log.interval {
+                for &w in &dirty[delta_start..] {
+                    cum_image.insert(w, machine.memory.word(w));
+                }
+                delta_start = dirty.len();
+                log.checkpoints.push(Checkpoint {
+                    cycle: st.cycle,
+                    steps: st.steps,
+                    pos: (st.func, st.pc),
+                    stack: st.stack.clone(),
+                    regs: machine.regs().to_vec(),
+                    hash: st.hash,
+                    mem_digest: st.mem_digest,
+                    outputs_len: st.outputs.len() as u32,
+                    mem_image: cum_image.iter().map(|(&w, &v)| (w, v)).collect(),
+                    live_regs: u64::MAX,
+                });
+            }
+        }
+        if early_exit_ok {
+            if let (Some(ctx), Some(f)) = (&resume, fault) {
+                if st.cycle > f.cycle {
+                    if let Some(ck) = ctx.log.at_cycle(st.cycle) {
+                        if st.matches(machine, ck) {
+                            break 'run LoopEnd::Converged(st.cycle);
+                        }
+                    }
+                }
             }
         }
 
         // Fault injection happens on the cycle boundary, before execution.
         if let Some(fs) = fault {
-            if fs.cycle == cycle {
+            if fs.cycle == st.cycle {
                 machine.flip(fs.reg, fs.bit);
             }
         }
 
         // Trace: the executed point.
-        hash.update((func as u64) << 32 | point.0 as u64);
+        let point = step.point();
+        st.hash.update((st.func as u64) << 32 | point.0 as u64);
         if let Some(p) = profile.as_mut() {
-            p.add(func, point, 1);
+            p.add(st.func as usize, point, 1);
         }
         if let Some(m) = cycle_map.as_mut() {
-            m.push((func as u32, point, stack.len() as u32));
+            m.push((st.func, point, st.stack.len() as u32));
         }
-        cycle += 1;
+        st.cycle += 1;
 
-        if is_inst {
-            let inst = &f.block(block).insts[offset];
-            match step_inst(program, &mut machine, inst, &mut hash, &mut outputs) {
-                StepResult::Next => offset += 1,
-                StepResult::Call(callee_idx) => {
-                    if stack.len() >= 512 {
-                        break ExecOutcome::Crashed(CrashKind::StackOverflow);
-                    }
-                    // Synthetic return-address token, checked on return.
-                    let token = machine
-                        .config()
-                        .truncate(0x4000_0000 ^ (stack.len() as u64) << 16 ^ point.0 as u64);
-                    machine.write(Reg::RA, token);
-                    stack.push(Frame { func, block, offset: offset + 1, ra_token: token });
-                    func = callee_idx;
-                    block = program.functions[func].entry();
-                    offset = 0;
+        // Per-cycle read/write masks feed the liveness backward pass; the
+        // derivation is only paid on capturing (golden) runs — `track_rw`
+        // is false in the campaign hot path.
+        let track_rw = rw_map.is_some();
+        let rw: (u64, u64);
+        match step {
+            FlatStep::Goto { .. } => unreachable!("handled above"),
+            FlatStep::Inst { inst, .. } => {
+                rw = if track_rw { inst_rw(inst) } else { (0, 0) };
+                let digest = track_digest.then_some(&mut st.mem_digest);
+                match step_inst(machine, inst, &mut st.hash, &mut st.outputs, digest, dirty) {
+                    StepResult::Next => st.pc += 1,
+                    StepResult::Trap(kind) => break LoopEnd::Outcome(ExecOutcome::Crashed(kind)),
                 }
-                StepResult::Trap(kind) => break ExecOutcome::Crashed(kind),
             }
-        } else {
-            match &f.block(block).term {
-                Terminator::Jump { .. } => unreachable!("handled above"),
-                Terminator::Branch { cond, rs1, rs2, taken, fallthrough } => {
-                    let a = machine.read(*rs1);
-                    let b = rs2.map(|r| machine.read(r)).unwrap_or(0);
-                    let t = eval_cond(machine.config(), *cond, a, b);
-                    block = if t { *taken } else { *fallthrough };
-                    offset = 0;
+            FlatStep::La { rd, addr, .. } => {
+                rw = (0, reg_bit(*rd));
+                machine.write(*rd, *addr);
+                st.pc += 1;
+            }
+            FlatStep::Call { callee, .. } => {
+                rw = (0, reg_bit(Reg::RA));
+                if st.stack.len() >= 512 {
+                    break LoopEnd::Outcome(ExecOutcome::Crashed(CrashKind::StackOverflow));
                 }
-                Terminator::Exit => break ExecOutcome::Completed,
-                Terminator::Ret { reads } => match stack.pop() {
-                    None => {
-                        // The entry function's return values are the
-                        // program's observable outcome.
-                        for r in reads {
-                            let v = machine.read(*r);
-                            hash.update(0x40);
-                            hash.update(v);
-                            outputs.push(v);
-                        }
-                        break ExecOutcome::Completed;
-                    }
-                    Some(frame) => {
-                        let have_ra = machine.config().num_regs == 32;
-                        if have_ra && machine.read(Reg::RA) != frame.ra_token {
-                            break 'run ExecOutcome::Crashed(CrashKind::WildReturn);
-                        }
-                        func = frame.func;
-                        block = frame.block;
-                        offset = frame.offset;
-                    }
-                },
+                // Synthetic return-address token, checked on return.
+                let token = machine
+                    .config()
+                    .truncate(0x4000_0000 ^ (st.stack.len() as u64) << 16 ^ point.0 as u64);
+                machine.write(Reg::RA, token);
+                st.stack.push(FrameSnap { func: st.func, ret_pc: st.pc + 1, ra_token: token });
+                st.func = *callee;
+                st.pc = flat.funcs[*callee as usize].entry_pc;
             }
+            FlatStep::Branch { cond, rs1, rs2, taken, fall, .. } => {
+                rw = (reg_bit(*rs1) | rs2.map(reg_bit).unwrap_or(0), 0);
+                let a = machine.read(*rs1);
+                let b = rs2.map(|r| machine.read(r)).unwrap_or(0);
+                st.pc = if eval_cond(machine.config(), *cond, a, b) { *taken } else { *fall };
+            }
+            FlatStep::Exit { .. } => break LoopEnd::Outcome(ExecOutcome::Completed),
+            FlatStep::Ret { reads, .. } => match st.stack.pop() {
+                None => {
+                    // The entry function's return values are the program's
+                    // observable outcome.
+                    let mut r_mask = 0;
+                    for r in *reads {
+                        r_mask |= reg_bit(*r);
+                        let v = machine.read(*r);
+                        st.hash.update(0x40);
+                        st.hash.update(v);
+                        st.outputs.push(v);
+                    }
+                    if let Some(m) = rw_map.as_mut() {
+                        m.push((r_mask, 0));
+                    }
+                    break LoopEnd::Outcome(ExecOutcome::Completed);
+                }
+                Some(frame) => {
+                    let have_ra = machine.config().num_regs == 32;
+                    rw = (if have_ra { reg_bit(Reg::RA) } else { 0 }, 0);
+                    if have_ra && machine.read(Reg::RA) != frame.ra_token {
+                        break 'run LoopEnd::Outcome(ExecOutcome::Crashed(CrashKind::WildReturn));
+                    }
+                    st.func = frame.func;
+                    st.pc = frame.ret_pc;
+                }
+            },
+        }
+        if let Some(m) = rw_map.as_mut() {
+            m.push(rw);
         }
     };
 
-    RawRun { outcome, outputs, cycles: cycle, hash, profile, cycle_map }
+    match end {
+        LoopEnd::Converged(cycle) => {
+            RunVerdict::Converged { cycle, simulated: cycle - start_cycle }
+        }
+        LoopEnd::Outcome(outcome) => {
+            if let Some(log) = capture {
+                log.final_cycles = st.cycle;
+                log.final_steps = st.steps;
+                log.completed = outcome == ExecOutcome::Completed;
+            }
+            RunVerdict::Finished(RawRun {
+                outcome,
+                outputs: st.outputs,
+                cycles: st.cycle,
+                hash: st.hash,
+                profile,
+                cycle_map,
+                rw_map,
+            })
+        }
+    }
 }
 
 enum StepResult {
     Next,
-    Call(usize),
     Trap(CrashKind),
 }
 
 fn step_inst(
-    program: &Program,
     m: &mut Machine,
     inst: &Inst,
     hash: &mut TraceHash,
     outputs: &mut Vec<u64>,
+    digest: Option<&mut u128>,
+    dirty: &mut Vec<u32>,
 ) -> StepResult {
     let c = *m.config();
     match inst {
         Inst::Li { rd, imm } => m.write(*rd, *imm as u64),
-        Inst::La { rd, global } => {
-            let addr = program.global_address(global).expect("verified global");
-            m.write(*rd, addr);
+        Inst::La { .. } | Inst::Call { .. } => {
+            unreachable!("pre-resolved during flattening")
         }
         Inst::Mv { rd, rs } => m.write(*rd, m.read(*rs)),
         Inst::Neg { rd, rs } => m.write(*rd, 0u64.wrapping_sub(m.read(*rs))),
@@ -232,15 +599,19 @@ fn step_inst(
                 return StepResult::Trap(CrashKind::Misaligned);
             }
             let value = m.read(*rs) & if size >= 8 { u64::MAX } else { (1 << (size * 8)) - 1 };
+            // A size-aligned store of ≤4 bytes never crosses a 32-bit word
+            // boundary, so exactly one word's digest contribution changes.
+            let widx = (addr >> 2) as u32;
+            let old = digest.is_some().then(|| m.memory.word(widx));
             if !m.memory.store(addr, size, value) {
                 return StepResult::Trap(CrashKind::MemOutOfBounds);
             }
+            dirty.push(widx);
+            if let (Some(d), Some(old)) = (digest, old) {
+                *d ^= mem_mix(widx, old) ^ mem_mix(widx, m.memory.word(widx));
+            }
             hash.update(0x20 ^ addr.rotate_left(8));
             hash.update(value);
-        }
-        Inst::Call { callee } => {
-            let idx = program.function_index(callee).expect("verified callee");
-            return StepResult::Call(idx);
         }
         Inst::Print { rs } => {
             let v = m.read(*rs);
@@ -251,4 +622,39 @@ fn step_inst(
         Inst::Nop => {}
     }
     StepResult::Next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bec_ir::{AluOp, MemWidth};
+
+    /// `inst_rw` duplicates `Inst::reads`/`Inst::writes` as bitmasks for
+    /// the liveness hot path; this pins the two definitions together so a
+    /// new instruction cannot update one and silently skip the other.
+    #[test]
+    fn inst_rw_agrees_with_ir_read_write_sets() {
+        let r = Reg::phys;
+        let insts = [
+            Inst::Alu { op: AluOp::Add, rd: r(1), rs1: r(2), rs2: r(3) },
+            Inst::AluImm { op: AluOp::And, rd: r(4), rs1: r(5), imm: 3 },
+            Inst::Li { rd: r(6), imm: 7 },
+            Inst::La { rd: r(7), global: "g".into() },
+            Inst::Mv { rd: r(8), rs: r(9) },
+            Inst::Neg { rd: r(10), rs: r(11) },
+            Inst::Seqz { rd: r(12), rs: r(13) },
+            Inst::Snez { rd: r(14), rs: r(15) },
+            Inst::Load { rd: r(16), base: r(17), offset: 0, width: MemWidth::Word, signed: false },
+            Inst::Store { rs: r(18), base: r(19), offset: 4, width: MemWidth::Half },
+            Inst::Call { callee: "f".into() },
+            Inst::Print { rs: r(20) },
+            Inst::Nop,
+        ];
+        let mask = |regs: &[Reg]| regs.iter().fold(0u64, |m, &r| m | reg_bit(r));
+        for inst in &insts {
+            let (reads, writes) = inst_rw(inst);
+            assert_eq!(reads, mask(&inst.reads()), "{inst:?}: reads");
+            assert_eq!(writes, mask(&inst.writes()), "{inst:?}: writes");
+        }
+    }
 }

@@ -14,6 +14,10 @@
 //!   on a thread pool, with seeded sampling and a resumable JSON
 //!   [`CampaignReport`] that doubles as a differential soundness oracle
 //!   (statically-masked faults must be observed benign);
+//! * [`checkpoint`] — periodic golden-run checkpoints: fault runs start at
+//!   the nearest checkpoint before their injection cycle and early-exit as
+//!   soon as they provably re-converge with the golden run, making
+//!   exhaustive campaigns several times cheaper at byte-identical reports;
 //! * [`validate`] — the empirical soundness validation of §V / Table II:
 //!   fault sites in one equivalence class must produce identical traces.
 //!
@@ -40,6 +44,7 @@
 //! ```
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod exec;
 pub mod json;
 pub mod machine;
@@ -50,10 +55,11 @@ pub mod trace;
 pub mod validate;
 
 pub use campaign::{CampaignKind, CampaignSummary};
+pub use checkpoint::{default_checkpoint_interval, Checkpoint, CheckpointLog};
 pub use exec::{CrashKind, ExecOutcome};
 pub use machine::{FaultSpec, Machine, Memory};
 pub use pool::{run_sharded, PoolStats};
-pub use runner::{GoldenRun, RunResult, SimLimits, Simulator};
+pub use runner::{FaultRun, GoldenRun, Injector, RunResult, SimLimits, Simulator};
 pub use shard::{
     site_fault_space, CampaignReport, CampaignSpec, FaultOutcome, ShardPlan, ShardResult,
     SitedFault,

@@ -70,6 +70,31 @@ impl Memory {
         Some(v)
     }
 
+    /// The aligned 32-bit word at word index `widx` (little-endian). Bytes
+    /// past the end of a tiny memory read as zero, so word-granular
+    /// checkpoint deltas work on machines whose memory is smaller than one
+    /// word.
+    pub fn word(&self, widx: u32) -> u32 {
+        let base = widx as usize * 4;
+        let mut v = 0u32;
+        for i in (0..4).rev() {
+            let byte = self.bytes.get(base + i).copied().unwrap_or(0);
+            v = v << 8 | u32::from(byte);
+        }
+        v
+    }
+
+    /// Overwrites the aligned 32-bit word at word index `widx`, ignoring
+    /// bytes past the end of the memory (mirror of [`Memory::word`]).
+    pub fn set_word(&mut self, widx: u32, value: u32) {
+        let base = widx as usize * 4;
+        for i in 0..4 {
+            if let Some(b) = self.bytes.get_mut(base + i) {
+                *b = (value >> (8 * i)) as u8;
+            }
+        }
+    }
+
     /// Little-endian store of `size` bytes. `false` on a bounds violation.
     pub fn store(&mut self, addr: u64, size: u64, value: u64) -> bool {
         let addr = addr as usize;
@@ -140,6 +165,22 @@ impl Machine {
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.config
+    }
+
+    /// The full register file, for checkpoint capture and state comparison.
+    pub fn regs(&self) -> &[u64] {
+        &self.regs
+    }
+
+    /// Restores the register file from a checkpoint snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regs` was captured on a machine with a different register
+    /// count.
+    pub fn restore_regs(&mut self, regs: &[u64]) {
+        assert_eq!(regs.len(), self.regs.len(), "register snapshot from a different machine");
+        self.regs.copy_from_slice(regs);
     }
 }
 

@@ -2,15 +2,18 @@
 //! workers that steal whole shards from a shared queue and stream batched
 //! [`ShardResult`]s back over an `mpsc` channel.
 //!
-//! Workers never share mutable simulator state — each run re-executes the
-//! program from scratch — so the pool scales linearly until the machine
-//! runs out of cores. Determinism is preserved by construction: results
-//! are slotted by shard index, so any worker count (and any interleaving)
-//! assembles the same [`CampaignReport`].
+//! Workers never share mutable simulator state — each run restores its own
+//! machine from the read-only golden checkpoints (or re-executes from
+//! scratch when checkpointing is disabled) — so the pool scales linearly
+//! until the machine runs out of cores. Determinism is preserved by
+//! construction: results are slotted by shard index and the per-fault
+//! classification is independent of the checkpoint interval, so any worker
+//! count, interleaving or interval assembles the same [`CampaignReport`].
 
+use crate::checkpoint::CheckpointLog;
 use crate::runner::{GoldenRun, Simulator};
 use crate::shard::{CampaignReport, FaultOutcome, ShardPlan, ShardResult};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Execution metadata of one pool run — everything that must *not* end up
@@ -26,10 +29,18 @@ pub struct PoolStats {
     pub executed_shards: usize,
     /// Shards reused from the resumed report.
     pub resumed_shards: usize,
+    /// Runs that early-exited by converging with the golden run (always 0
+    /// with a disabled checkpoint log).
+    pub early_exits: u64,
 }
 
 /// Executes `plan` on `workers` threads, resuming from `resume` when given
 /// (only its missing shards are re-run).
+///
+/// `ckpts` is the golden run's checkpoint log: workers start each fault
+/// run at the nearest checkpoint before the injection cycle and early-exit
+/// on provable re-convergence. Pass [`CheckpointLog::disabled`] for the
+/// from-scratch engine; the report bytes are identical either way.
 ///
 /// `label` becomes [`CampaignReport::program`].
 ///
@@ -40,6 +51,7 @@ pub struct PoolStats {
 pub fn run_sharded(
     sim: &Simulator<'_>,
     golden: &GoldenRun,
+    ckpts: &CheckpointLog,
     plan: &ShardPlan,
     workers: usize,
     resume: Option<CampaignReport>,
@@ -88,29 +100,38 @@ pub fn run_sharded(
     let pending = report.pending_shards();
     let resumed_shards = plan.shard_count() - pending.len();
     let next = AtomicUsize::new(0);
+    let early = AtomicU64::new(0);
     let (tx, rx) = std::sync::mpsc::channel::<ShardResult>();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
+            let early = &early;
             let pending = &pending;
-            scope.spawn(move || loop {
-                // Steal the next unclaimed shard.
-                let slot = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&shard) = pending.get(slot) else { break };
-                let outcomes: Vec<FaultOutcome> = plan
-                    .shard(shard)
-                    .iter()
-                    .map(|&fault| FaultOutcome {
-                        fault,
-                        class: sim.run_with_fault(fault.spec).classify(&golden.result),
-                    })
-                    .collect();
-                // One batched send per shard; a dropped receiver means the
-                // collector is gone and the worker just stops.
-                if tx.send(ShardResult { shard: shard as u32, outcomes }).is_err() {
-                    break;
+            scope.spawn(move || {
+                // One scratch machine per worker, reused across all runs.
+                let mut injector = sim.injector();
+                loop {
+                    // Steal the next unclaimed shard.
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&shard) = pending.get(slot) else { break };
+                    let mut converged = 0u64;
+                    let outcomes: Vec<FaultOutcome> = plan
+                        .shard(shard)
+                        .iter()
+                        .map(|&fault| {
+                            let run = injector.run_fault(golden, ckpts, fault.spec);
+                            converged += u64::from(run.converged_at.is_some());
+                            FaultOutcome { fault, class: run.class }
+                        })
+                        .collect();
+                    early.fetch_add(converged, Ordering::Relaxed);
+                    // One batched send per shard; a dropped receiver means
+                    // the collector is gone and the worker just stops.
+                    if tx.send(ShardResult { shard: shard as u32, outcomes }).is_err() {
+                        break;
+                    }
                 }
             });
         }
@@ -128,6 +149,7 @@ pub fn run_sharded(
         workers,
         executed_shards: pending.len(),
         resumed_shards,
+        early_exits: early.load(Ordering::Relaxed),
     };
     Ok((report, stats))
 }
@@ -168,8 +190,10 @@ exit:
         let golden = sim.run_golden();
         let plan =
             ShardPlan::build(site_fault_space(&p, &bec, &golden), CampaignSpec::exhaustive(6));
-        let (seq, _) = run_sharded(&sim, &golden, &plan, 1, None, "toy").unwrap();
-        let (par, stats) = run_sharded(&sim, &golden, &plan, 4, None, "toy").unwrap();
+        let (seq, _) =
+            run_sharded(&sim, &golden, &CheckpointLog::disabled(), &plan, 1, None, "toy").unwrap();
+        let (par, stats) =
+            run_sharded(&sim, &golden, &CheckpointLog::disabled(), &plan, 4, None, "toy").unwrap();
         assert_eq!(seq, par);
         assert!(seq.is_complete());
         assert_eq!(stats.executed_shards, 6);
@@ -184,11 +208,14 @@ exit:
         let golden = sim.run_golden();
         let plan =
             ShardPlan::build(site_fault_space(&p, &bec, &golden), CampaignSpec::exhaustive(5));
-        let (full, _) = run_sharded(&sim, &golden, &plan, 2, None, "toy").unwrap();
+        let (full, _) =
+            run_sharded(&sim, &golden, &CheckpointLog::disabled(), &plan, 2, None, "toy").unwrap();
         let mut partial = full.clone();
         partial.shards[1] = None;
         partial.shards[4] = None;
-        let (resumed, stats) = run_sharded(&sim, &golden, &plan, 3, Some(partial), "toy").unwrap();
+        let (resumed, stats) =
+            run_sharded(&sim, &golden, &CheckpointLog::disabled(), &plan, 3, Some(partial), "toy")
+                .unwrap();
         assert_eq!(resumed, full);
         assert_eq!(stats.executed_shards, 2);
         assert_eq!(stats.resumed_shards, 3);
@@ -202,14 +229,33 @@ exit:
         let golden = sim.run_golden();
         let plan =
             ShardPlan::build(site_fault_space(&p, &bec, &golden), CampaignSpec::exhaustive(4));
-        let (full, _) = run_sharded(&sim, &golden, &plan, 2, None, "toy").unwrap();
+        let (full, _) =
+            run_sharded(&sim, &golden, &CheckpointLog::disabled(), &plan, 2, None, "toy").unwrap();
 
-        let err = run_sharded(&sim, &golden, &plan, 2, Some(full.clone()), "other").unwrap_err();
+        let err = run_sharded(
+            &sim,
+            &golden,
+            &CheckpointLog::disabled(),
+            &plan,
+            2,
+            Some(full.clone()),
+            "other",
+        )
+        .unwrap_err();
         assert!(err.contains("resume report is for"), "{err}");
 
         let other_plan =
             ShardPlan::build(site_fault_space(&p, &bec, &golden), CampaignSpec::sampled(1, 10, 4));
-        let err = run_sharded(&sim, &golden, &other_plan, 2, Some(full), "toy").unwrap_err();
+        let err = run_sharded(
+            &sim,
+            &golden,
+            &CheckpointLog::disabled(),
+            &other_plan,
+            2,
+            Some(full),
+            "toy",
+        )
+        .unwrap_err();
         assert!(err.contains("disagrees"), "{err}");
     }
 }

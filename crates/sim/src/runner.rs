@@ -1,10 +1,14 @@
-//! The public simulator API: golden runs and fault-injection runs.
+//! The public simulator API: golden runs and fault-injection runs, with
+//! optional checkpointing and convergence early-exit (see
+//! [`crate::checkpoint`]).
 
-use crate::exec::{run, ExecOutcome};
-use crate::machine::FaultSpec;
+use crate::checkpoint::CheckpointLog;
+use crate::exec::{run, ExecOutcome, FlatProgram, ResumeCtx, RunVerdict};
+use crate::machine::{FaultSpec, Machine, Memory};
 use crate::trace::{FaultClass, TraceHash};
 use bec_core::ExecProfile;
-use bec_ir::{PointId, PointLayout, Program};
+use bec_ir::{PointId, Program};
+use std::collections::HashMap;
 
 /// Resource limits for a run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,6 +77,10 @@ pub struct GoldenRun {
     /// next cycle; for calls it is the cycle execution returns to the
     /// caller.
     next_same_depth: Vec<u64>,
+    /// `(func, point) → cycles it executed at`, precomputed once so
+    /// fault-space enumeration is O(trace) total instead of rescanning the
+    /// cycle map per queried site.
+    occurrence_index: HashMap<(usize, PointId), Vec<u64>>,
 }
 
 impl GoldenRun {
@@ -104,22 +112,40 @@ impl GoldenRun {
         self.next_same_depth.get(cycle as usize).copied().unwrap_or_else(|| self.cycles())
     }
 
-    /// All cycles at which `(func, point)` executed, in order.
-    pub fn occurrences(&self, func: usize, point: PointId) -> Vec<u64> {
-        self.cycle_map
-            .iter()
-            .enumerate()
-            .filter(|(_, &(f, p, _))| f as usize == func && p == point)
-            .map(|(c, _)| c as u64)
-            .collect()
+    /// All cycles at which `(func, point)` executed, in order (an O(1)
+    /// lookup into the precomputed occurrence index).
+    pub fn occurrences(&self, func: usize, point: PointId) -> &[u64] {
+        self.occurrence_index.get(&(func, point)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The full `(func, point) → occurrence cycles` index, built once when
+    /// the golden run is constructed.
+    pub fn occurrence_index(&self) -> &HashMap<(usize, PointId), Vec<u64>> {
+        &self.occurrence_index
     }
 }
 
-/// The simulator: executes one program under configurable limits.
+/// The outcome of one checkpointed fault-injection run.
+#[derive(Clone, Debug)]
+pub struct FaultRun {
+    /// Classification against the golden run.
+    pub class: FaultClass,
+    /// `Some(cycle)` when the run early-exited by provably re-converging
+    /// with the golden run at that aligned cycle (always `Benign`).
+    pub converged_at: Option<u64>,
+    /// Cycles actually simulated (suffix only when a checkpoint was
+    /// restored).
+    pub simulated_cycles: u64,
+    /// The completed run, `None` when the tail was skipped by convergence.
+    pub result: Option<RunResult>,
+}
+
+/// The simulator: executes one program under configurable limits, over a
+/// pre-decoded flat instruction stream.
 #[derive(Clone, Debug)]
 pub struct Simulator<'p> {
     program: &'p Program,
-    layouts: Vec<PointLayout>,
+    flat: FlatProgram<'p>,
     limits: SimLimits,
 }
 
@@ -141,8 +167,8 @@ impl<'p> Simulator<'p> {
             "entry function `@{}` missing — verify the program first",
             program.entry
         );
-        let layouts = program.functions.iter().map(PointLayout::of).collect();
-        Simulator { program, layouts, limits }
+        let flat = FlatProgram::of(program);
+        Simulator { program, flat, limits }
     }
 
     /// The program under simulation.
@@ -158,12 +184,59 @@ impl<'p> Simulator<'p> {
     /// Runs without faults, recording the execution profile and the
     /// cycle→point map.
     pub fn run_golden(&self) -> GoldenRun {
-        let raw = run(self.program, &self.layouts, self.limits.max_cycles, None, true);
+        self.golden_run(None)
+    }
+
+    /// Runs without faults like [`Simulator::run_golden`], additionally
+    /// recording a checkpoint every `interval` cycles (0 records none and
+    /// skips the capture instrumentation entirely). The returned log powers
+    /// [`Simulator::run_with_fault_checkpointed`].
+    pub fn run_golden_checkpointed(&self, interval: u64) -> (GoldenRun, CheckpointLog) {
+        let mut log = CheckpointLog::new(interval);
+        let capture = (interval > 0).then_some(&mut log);
+        let golden = self.golden_run(capture);
+        (golden, log)
+    }
+
+    fn golden_run(&self, mut capture: Option<&mut CheckpointLog>) -> GoldenRun {
+        let mut machine = Machine::new(self.program);
+        let mut dirty = Vec::new();
+        let verdict = run(
+            &self.flat,
+            self.limits.max_cycles,
+            None,
+            true,
+            capture.as_deref_mut(),
+            None,
+            &mut machine,
+            &mut dirty,
+        );
+        let RunVerdict::Finished(raw) = verdict else {
+            unreachable!("golden runs cannot converge-exit")
+        };
+        // Backward dynamic-liveness pass: which registers does the suffix
+        // from each checkpoint read before overwriting? Anything else may
+        // differ at convergence time without influencing the future.
+        if let Some(log) = capture {
+            let rw = raw.rw_map.as_deref().unwrap_or(&[]);
+            let n = raw.cycles as usize;
+            let mut live_at = vec![0u64; n + 1];
+            let mut live = 0u64;
+            for c in (0..n).rev() {
+                let (reads, writes) = rw.get(c).copied().unwrap_or((0, 0));
+                live = (live & !writes) | reads;
+                live_at[c] = live;
+            }
+            for ck in &mut log.checkpoints {
+                ck.live_regs = live_at[ck.cycle as usize];
+            }
+        }
         let cycle_map = raw.cycle_map.expect("recording enabled");
         // Backward pass: next cycle at the same call depth.
         let n = cycle_map.len();
         let mut next_same_depth = vec![n as u64; n];
         let mut last_at_depth: Vec<u64> = Vec::new();
+        let mut occurrence_index: HashMap<(usize, PointId), Vec<u64>> = HashMap::new();
         for c in (0..n).rev() {
             let d = cycle_map[c].2 as usize;
             if last_at_depth.len() <= d {
@@ -171,6 +244,9 @@ impl<'p> Simulator<'p> {
             }
             next_same_depth[c] = last_at_depth[d];
             last_at_depth[d] = c as u64;
+        }
+        for (c, &(f, p, _)) in cycle_map.iter().enumerate() {
+            occurrence_index.entry((f as usize, p)).or_default().push(c as u64);
         }
         GoldenRun {
             result: RunResult {
@@ -182,13 +258,129 @@ impl<'p> Simulator<'p> {
             profile: raw.profile.expect("recording enabled"),
             cycle_map,
             next_same_depth,
+            occurrence_index,
         }
     }
 
-    /// Runs with a single injected bit flip.
+    /// Runs with a single injected bit flip, from scratch (cycle 0).
     pub fn run_with_fault(&self, fault: FaultSpec) -> RunResult {
-        let raw = run(self.program, &self.layouts, self.limits.max_cycles, Some(fault), false);
+        let mut machine = Machine::new(self.program);
+        let mut dirty = Vec::new();
+        let verdict = run(
+            &self.flat,
+            self.limits.max_cycles,
+            Some(fault),
+            false,
+            None,
+            None,
+            &mut machine,
+            &mut dirty,
+        );
+        let RunVerdict::Finished(raw) = verdict else {
+            unreachable!("runs without a resume context cannot converge-exit")
+        };
         RunResult { outcome: raw.outcome, outputs: raw.outputs, cycles: raw.cycles, hash: raw.hash }
+    }
+
+    /// A reusable fault-injection context (scratch machine + dirty-word
+    /// undo log). Campaign workers create one per thread and run millions
+    /// of faults without re-allocating the address space.
+    pub fn injector(&self) -> Injector<'p, '_> {
+        let machine = Machine::new(self.program);
+        Injector {
+            sim: self,
+            initial_regs: machine.regs().to_vec(),
+            initial_mem: machine.memory.clone(),
+            machine,
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Runs one fault through a fresh [`Injector`]; see
+    /// [`Injector::run_fault`]. Campaign loops should hold their own
+    /// injector instead of paying the setup per call.
+    pub fn run_with_fault_checkpointed(
+        &self,
+        golden: &GoldenRun,
+        ckpts: &CheckpointLog,
+        fault: FaultSpec,
+    ) -> FaultRun {
+        self.injector().run_fault(golden, ckpts, fault)
+    }
+}
+
+/// A reusable fault-injection context: one scratch [`Machine`] plus the
+/// pristine initial state, undone word-by-word between runs.
+pub struct Injector<'p, 's> {
+    sim: &'s Simulator<'p>,
+    machine: Machine,
+    initial_regs: Vec<u64>,
+    initial_mem: Memory,
+    dirty: Vec<u32>,
+}
+
+impl Injector<'_, '_> {
+    /// Runs with a single injected bit flip using `ckpts`: execution starts
+    /// at the nearest checkpoint at or before the injection cycle, and the
+    /// run early-exits as `Benign` as soon as its state provably
+    /// re-converges with the golden run. With a disabled/empty log this is
+    /// exactly [`Simulator::run_with_fault`] plus classification.
+    ///
+    /// The classification is identical to classifying a from-scratch run
+    /// against `golden` — checkpoint interval and convergence never change
+    /// a verdict (asserted by `tests/checkpoint_equivalence.rs`).
+    pub fn run_fault(
+        &mut self,
+        golden: &GoldenRun,
+        ckpts: &CheckpointLog,
+        fault: FaultSpec,
+    ) -> FaultRun {
+        let sim = self.sim;
+        let start_cycle = if ckpts.is_enabled() {
+            ckpts.checkpoints[ckpts.nearest_at_or_before(fault.cycle)].cycle
+        } else {
+            0
+        };
+        let resume = ResumeCtx { log: ckpts, golden_outputs: golden.outputs() };
+        let verdict = run(
+            &sim.flat,
+            sim.limits.max_cycles,
+            Some(fault),
+            false,
+            None,
+            Some(resume),
+            &mut self.machine,
+            &mut self.dirty,
+        );
+        // Undo the run: restore every dirtied word from the pristine image
+        // and reset the register file, leaving the scratch machine in
+        // initial state for the next fault.
+        self.machine.restore_regs(&self.initial_regs);
+        for w in self.dirty.drain(..) {
+            self.machine.memory.set_word(w, self.initial_mem.word(w));
+        }
+        match verdict {
+            RunVerdict::Converged { cycle, simulated } => FaultRun {
+                class: FaultClass::Benign,
+                converged_at: Some(cycle),
+                simulated_cycles: simulated,
+                result: None,
+            },
+            RunVerdict::Finished(raw) => {
+                let result = RunResult {
+                    outcome: raw.outcome,
+                    outputs: raw.outputs,
+                    cycles: raw.cycles,
+                    hash: raw.hash,
+                };
+                FaultRun {
+                    class: result.classify(&golden.result),
+                    converged_at: None,
+                    simulated_cycles: result.cycles.saturating_sub(start_cycle),
+                    result: Some(result),
+                }
+            }
+        }
     }
 }
 

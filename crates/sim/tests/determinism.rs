@@ -8,7 +8,7 @@ use bec_core::{BecAnalysis, BecOptions};
 use bec_ir::Program;
 use bec_sim::json::Json;
 use bec_sim::shard::{site_fault_space, CampaignReport, CampaignSpec, ShardPlan};
-use bec_sim::{pool, GoldenRun, SimLimits, Simulator};
+use bec_sim::{pool, CheckpointLog, GoldenRun, SimLimits, Simulator};
 
 fn countyears() -> Program {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/countyears.s");
@@ -32,8 +32,16 @@ fn report_bytes_are_identical_for_any_worker_count() {
 
     let mut renders = Vec::new();
     for workers in [1, 2, 8] {
-        let (report, stats) =
-            pool::run_sharded(&sim, &golden, &plan, workers, None, "countyears").unwrap();
+        let (report, stats) = pool::run_sharded(
+            &sim,
+            &golden,
+            &CheckpointLog::disabled(),
+            &plan,
+            workers,
+            None,
+            "countyears",
+        )
+        .unwrap();
         assert_eq!(stats.workers, workers);
         renders.push(report.to_json().render());
     }
@@ -52,7 +60,9 @@ fn resumed_campaign_reproduces_the_uninterrupted_bytes() {
     let plan =
         ShardPlan::build(site_fault_space(&p, &bec, &golden), CampaignSpec::sampled(7, 300, 6));
 
-    let (full, _) = pool::run_sharded(&sim, &golden, &plan, 2, None, "countyears").unwrap();
+    let (full, _) =
+        pool::run_sharded(&sim, &golden, &CheckpointLog::disabled(), &plan, 2, None, "countyears")
+            .unwrap();
     // Interrupt after an arbitrary subset of shards, round-trip the partial
     // report through its JSON form (as the CLI's --report/--resume does),
     // and finish with a different worker count.
@@ -62,8 +72,16 @@ fn resumed_campaign_reproduces_the_uninterrupted_bytes() {
     partial.shards[5] = None;
     let reloaded =
         CampaignReport::from_json(&Json::parse(&partial.to_json().render()).unwrap()).unwrap();
-    let (resumed, stats) =
-        pool::run_sharded(&sim, &golden, &plan, 8, Some(reloaded), "countyears").unwrap();
+    let (resumed, stats) = pool::run_sharded(
+        &sim,
+        &golden,
+        &CheckpointLog::disabled(),
+        &plan,
+        8,
+        Some(reloaded),
+        "countyears",
+    )
+    .unwrap();
     assert_eq!(stats.executed_shards, 3);
     assert_eq!(stats.resumed_shards, 3);
     assert_eq!(resumed.to_json().render(), full.to_json().render());
@@ -75,8 +93,12 @@ fn exhaustive_reports_agree_across_worker_counts() {
     let (sim, golden) = setup(&p);
     let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
     let plan = ShardPlan::build(site_fault_space(&p, &bec, &golden), CampaignSpec::exhaustive(16));
-    let (a, _) = pool::run_sharded(&sim, &golden, &plan, 1, None, "countyears").unwrap();
-    let (b, _) = pool::run_sharded(&sim, &golden, &plan, 4, None, "countyears").unwrap();
+    let (a, _) =
+        pool::run_sharded(&sim, &golden, &CheckpointLog::disabled(), &plan, 1, None, "countyears")
+            .unwrap();
+    let (b, _) =
+        pool::run_sharded(&sim, &golden, &CheckpointLog::disabled(), &plan, 4, None, "countyears")
+            .unwrap();
     assert_eq!(a, b);
     assert_eq!(a.to_json().render(), b.to_json().render());
 }
@@ -96,7 +118,16 @@ fn four_workers_give_at_least_2x_speedup() {
 
     let time = |workers: usize| {
         let started = std::time::Instant::now();
-        let (report, _) = pool::run_sharded(&sim, &golden, &plan, workers, None, "crc32").unwrap();
+        let (report, _) = pool::run_sharded(
+            &sim,
+            &golden,
+            &CheckpointLog::disabled(),
+            &plan,
+            workers,
+            None,
+            "crc32",
+        )
+        .unwrap();
         assert!(report.is_complete());
         started.elapsed()
     };

@@ -8,7 +8,7 @@
 use bec_core::{BecAnalysis, BecOptions};
 use bec_ir::Program;
 use bec_sim::shard::{site_fault_space, CampaignSpec, ShardPlan};
-use bec_sim::{pool, ExecOutcome, SimLimits, Simulator};
+use bec_sim::{default_checkpoint_interval, pool, ExecOutcome, SimLimits, Simulator};
 
 fn example(name: &str) -> Program {
     let path = format!("{}/../../examples/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -27,12 +27,16 @@ fn assert_sound(label: &str, program: &Program) {
     // runs just classify as hangs, which the soundness check ignores.
     let budget = golden.cycles() * 2 + 100;
     let sim = Simulator::with_limits(program, SimLimits { max_cycles: budget });
+    // The suite exercises the checkpointed engine at the default interval;
+    // tests/checkpoint_equivalence.rs pins it byte-identical to from-scratch.
+    let (golden, ckpts) = sim.run_golden_checkpointed(default_checkpoint_interval(golden.cycles()));
 
     let space = site_fault_space(program, &bec, &golden);
     assert!(!space.is_empty(), "{label}: nonempty fault space");
     let masked = space.iter().filter(|f| f.masked).count();
     let plan = ShardPlan::build(space, CampaignSpec::exhaustive(16));
-    let (report, _) = pool::run_sharded(&sim, &golden, &plan, 4, None, label).expect("pool runs");
+    let (report, _) =
+        pool::run_sharded(&sim, &golden, &ckpts, &plan, 4, None, label).expect("pool runs");
 
     assert!(report.is_complete(), "{label}: all shards executed");
     assert_eq!(report.runs(), plan.runs() as u64, "{label}: every fault ran");

@@ -14,7 +14,7 @@ use super::{input, CliError, CommonArgs};
 use bec_core::{report, BecAnalysis};
 use bec_sim::json::Json;
 use bec_sim::shard::{site_fault_space, CampaignReport, CampaignSpec, ShardPlan};
-use bec_sim::{pool, FaultClass, SimLimits, Simulator};
+use bec_sim::{default_checkpoint_interval, pool, CheckpointLog, FaultClass, SimLimits, Simulator};
 
 /// Default shard count: fixed (never derived from the machine) so the
 /// report bytes are reproducible across hosts.
@@ -34,6 +34,10 @@ struct Flags {
     /// any trace-identical (masked) run while cutting corrupted-counter
     /// loops off quickly.
     max_cycles: Option<u64>,
+    /// Checkpoint spacing in cycles; 0 disables the checkpointed engine,
+    /// `None` derives a default from the golden trace length. The report
+    /// bytes are identical for every setting — only wall-clock changes.
+    checkpoint_interval: Option<u64>,
 }
 
 fn parse_flags(args: &CommonArgs) -> Result<Flags, CliError> {
@@ -45,6 +49,7 @@ fn parse_flags(args: &CommonArgs) -> Result<Flags, CliError> {
         report_path: None,
         resume_path: None,
         max_cycles: None,
+        checkpoint_interval: None,
     };
     let mut it = args.rest.iter();
     while let Some(flag) = it.next() {
@@ -93,6 +98,13 @@ fn parse_flags(args: &CommonArgs) -> Result<Flags, CliError> {
                     v.parse().map_err(|_| CliError::usage(format!("bad cycle budget `{v}`")))?,
                 );
             }
+            "--checkpoint-interval" => {
+                let v = value("--checkpoint-interval")?;
+                flags.checkpoint_interval = Some(
+                    v.parse()
+                        .map_err(|_| CliError::usage(format!("bad checkpoint interval `{v}`")))?,
+                );
+            }
             other => return Err(CliError::usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -122,7 +134,23 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
         &program,
         SimLimits { max_cycles: flags.max_cycles.unwrap_or(100_000_000) },
     );
-    let golden = probe.run_golden();
+    // Checkpointed engine: fault runs start at the nearest checkpoint
+    // before their injection cycle and early-exit on provable
+    // re-convergence. The interval never changes the report bytes. With an
+    // explicit interval one golden run suffices; the derived default needs
+    // a plain run first to know the trace length.
+    let (golden, ckpts, interval) = match flags.checkpoint_interval {
+        Some(0) => (probe.run_golden(), CheckpointLog::disabled(), 0),
+        Some(n) => {
+            let (golden, ckpts) = probe.run_golden_checkpointed(n);
+            (golden, ckpts, n)
+        }
+        None => {
+            let n = default_checkpoint_interval(probe.run_golden().cycles());
+            let (golden, ckpts) = probe.run_golden_checkpointed(n);
+            (golden, ckpts, n)
+        }
+    };
     if golden.result.outcome != bec_sim::ExecOutcome::Completed {
         return Err(CliError::failed(format!(
             "program did not run to completion: {:?}",
@@ -145,7 +173,7 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
         None => None,
     };
     let (campaign, stats) =
-        pool::run_sharded(&sim, &golden, &plan, flags.workers, resume, &args.file)
+        pool::run_sharded(&sim, &golden, &ckpts, &plan, flags.workers, resume, &args.file)
             .map_err(CliError::failed)?;
 
     if let Some(path) = &flags.report_path {
@@ -156,19 +184,20 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
     // Timing is real but nondeterministic — it goes to stderr so stdout
     // stays byte-reproducible for a fixed spec.
     eprintln!(
-        "campaign: {} runs in {:.1} ms on {} workers ({} shards executed, {} resumed)",
+        "campaign: {} runs in {:.1} ms on {} workers ({} shards executed, {} resumed, {} early-converged)",
         campaign.runs(),
         stats.wall.as_secs_f64() * 1e3,
         stats.workers,
         stats.executed_shards,
         stats.resumed_shards,
+        stats.early_exits,
     );
 
     let violations = campaign.violations();
     if args.json {
-        println!("{}", campaign.to_json().render());
+        println!("{}", with_checkpoint_metadata(campaign.to_json(), interval).render());
     } else {
-        print_text(args, &campaign, plan.fault_space());
+        print_text(args, &campaign, plan.fault_space(), interval);
     }
 
     if violations.is_empty() {
@@ -181,12 +210,30 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
     }
 }
 
-fn print_text(args: &CommonArgs, campaign: &CampaignReport, fault_space: u64) {
+/// Appends the engine metadata to the stdout JSON. The `--report` file
+/// stays free of it: the report artifact must be byte-identical across
+/// intervals (and resumable between them), so the interval is presentation
+/// metadata only.
+fn with_checkpoint_metadata(doc: Json, interval: u64) -> Json {
+    match doc {
+        Json::Obj(mut fields) => {
+            fields.push(("checkpoint_interval".to_owned(), Json::UInt(interval)));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
+}
+
+fn print_text(args: &CommonArgs, campaign: &CampaignReport, fault_space: u64, interval: u64) {
     let g = report::group_digits;
     println!("Differential fault-injection campaign for {}\n", args.file);
     let mode = match campaign.spec.sample {
         Some(n) => format!("seeded sample of {} (seed {})", g(n), campaign.spec.seed),
         None => "exhaustive".to_owned(),
+    };
+    let engine = match interval {
+        0 => "from-scratch (checkpointing disabled)".to_owned(),
+        n => format!("checkpointed every {} cycles", g(n)),
     };
     print!(
         "{}",
@@ -195,6 +242,7 @@ fn print_text(args: &CommonArgs, campaign: &CampaignReport, fault_space: u64) {
             &[
                 vec!["fault space (site occurrences)".into(), g(fault_space)],
                 vec!["mode".into(), mode],
+                vec!["engine".into(), engine],
                 vec!["shards".into(), g(campaign.spec.shards as u64)],
                 vec!["runs".into(), g(campaign.runs())],
                 vec!["statically masked runs".into(), g(campaign.masked_runs())],

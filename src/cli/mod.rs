@@ -75,6 +75,7 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
                         | "--workers"
                         | "--report"
                         | "--resume"
+                        | "--checkpoint-interval"
                 ) {
                     if let Some(v) = it.next() {
                         rest.push(v.clone());

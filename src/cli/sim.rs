@@ -1,6 +1,9 @@
 //! `bec sim` — executes the program on the fault-injection simulator,
 //! optionally flipping one register bit at a chosen cycle, and reports the
-//! observable outputs and outcome.
+//! observable outputs and outcome. With `--checkpoint-interval N` a
+//! faulted run uses the checkpointed engine: it starts at the nearest
+//! golden checkpoint before the injection cycle and early-exits once its
+//! state provably re-converges with the golden run.
 
 use super::{input, CliError, CommonArgs};
 use bec_sim::json::Json;
@@ -23,6 +26,7 @@ fn parse_fault(spec: &str) -> Result<FaultSpec, CliError> {
 pub fn run(args: &CommonArgs) -> Result<(), CliError> {
     let mut fault = None;
     let mut max_cycles = 100_000_000u64;
+    let mut interval = 0u64;
     let mut it = args.rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -35,8 +39,19 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
                 max_cycles =
                     v.parse().map_err(|_| CliError::usage(format!("bad cycle budget `{v}`")))?;
             }
+            "--checkpoint-interval" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--checkpoint-interval needs a value"))?;
+                interval = v
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad checkpoint interval `{v}`")))?;
+            }
             other => return Err(CliError::usage(format!("unknown flag `{other}`"))),
         }
+    }
+    if interval > 0 && fault.is_none() {
+        return Err(CliError::usage("--checkpoint-interval only applies to --fault runs"));
     }
 
     let program = input::load_program(&args.file)?;
@@ -56,18 +71,42 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
         }
     }
     let sim = Simulator::with_limits(&program, SimLimits { max_cycles });
-    let golden = sim.run_golden();
-    let (outcome, outputs, cycles, classified) = match fault {
+    let (golden, ckpts) = sim.run_golden_checkpointed(interval);
+    // (outcome, outputs, cycles, classification, (converged cycle, simulated)).
+    let (outcome, outputs, cycles, classified, converged) = match fault {
         None => (
             format!("{:?}", golden.result.outcome),
             golden.outputs().to_vec(),
             golden.cycles(),
             None,
+            None,
         ),
+        Some(f) if interval > 0 => {
+            let run = sim.run_with_fault_checkpointed(&golden, &ckpts, f);
+            match run.result {
+                Some(r) => (
+                    format!("{:?}", r.outcome),
+                    r.outputs().to_vec(),
+                    r.cycles,
+                    Some(run.class),
+                    None,
+                ),
+                // Early-converged: the remaining trace provably equals the
+                // golden suffix, so the observable behaviour is the golden
+                // run's.
+                None => (
+                    format!("{:?}", golden.result.outcome),
+                    golden.outputs().to_vec(),
+                    golden.cycles(),
+                    Some(run.class),
+                    run.converged_at.map(|at| (at, run.simulated_cycles)),
+                ),
+            }
+        }
         Some(f) => {
             let run = sim.run_with_fault(f);
             let class = run.classify(&golden.result);
-            (format!("{:?}", run.outcome), run.outputs().to_vec(), run.cycles, Some(class))
+            (format!("{:?}", run.outcome), run.outputs().to_vec(), run.cycles, Some(class), None)
         }
     };
 
@@ -84,6 +123,13 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
         if let Some(c) = classified {
             fields.push(("classification", Json::str(format!("{c:?}"))));
         }
+        if interval > 0 {
+            fields.push(("checkpoint_interval", Json::UInt(interval)));
+        }
+        if let Some((at, simulated)) = converged {
+            fields.push(("converged_at", Json::UInt(at)));
+            fields.push(("simulated_cycles", Json::UInt(simulated)));
+        }
         println!("{}", Json::obj(fields).render());
         return Ok(());
     }
@@ -97,6 +143,9 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
     }
     if let Some(c) = classified {
         println!("classification vs golden run: {c:?}");
+    }
+    if let Some((at, simulated)) = converged {
+        println!("early exit: converged with the golden run at cycle {at} after simulating {simulated} cycles");
     }
     Ok(())
 }

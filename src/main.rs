@@ -50,6 +50,8 @@ COMMAND OPTIONS:
               --emit-asm                          print the scheduled program
     sim:      --fault <cycle>:<reg>:<bit>         single-event upset to inject
               --max-cycles <N>                    execution budget
+              --checkpoint-interval <N>           replay the fault from the
+                                                  nearest golden checkpoint
     campaign: --sample <N>                        seeded sub-exhaustive sample
                                                   (default: exhaustive)
               --seed <S>                          sampling seed (default 3052)
@@ -58,6 +60,9 @@ COMMAND OPTIONS:
               --report <PATH>                     write the JSON report
               --resume <PATH>                     resume an interrupted report
               --max-cycles <N>                    per-run execution budget
+              --checkpoint-interval <N>           checkpoint spacing in cycles
+                                                  (0 = from-scratch engine;
+                                                  default: trace length / 64)
     encode:   --base <ADDR>                       text base address, decimal or
                                                   0x-prefixed hex (default 0)
               --raw                               bare hex words, one per line

@@ -80,6 +80,17 @@ fn sim_text_and_json() {
 }
 
 #[test]
+fn sim_checkpointed_fault_replay() {
+    // A benign fault replayed on the checkpointed engine converges with the
+    // golden run and reports the early exit.
+    let args = ["sim", "examples/countyears.s", "--fault", "10:t0:3", "--checkpoint-interval", "8"];
+    check("sim_countyears_ckpt.txt", &args);
+    let mut json = args.to_vec();
+    json.push("--json");
+    check("sim_countyears_ckpt.json", &json);
+}
+
+#[test]
 fn encode_listing_and_raw() {
     check("encode_gcd.txt", &["encode", "examples/gcd.s"]);
     check("encode_gcd_raw.txt", &["encode", "examples/gcd.s", "--raw"]);
@@ -88,6 +99,21 @@ fn encode_listing_and_raw() {
 #[test]
 fn campaign_exhaustive_text() {
     check("campaign_gcd.txt", &["campaign", "examples/gcd.s", "--shards", "8", "--workers", "2"]);
+    // The from-scratch engine must report identical outcomes — only the
+    // engine row of the header differs.
+    check(
+        "campaign_gcd_scratch.txt",
+        &[
+            "campaign",
+            "examples/gcd.s",
+            "--shards",
+            "8",
+            "--workers",
+            "2",
+            "--checkpoint-interval",
+            "0",
+        ],
+    );
 }
 
 #[test]
