@@ -1,0 +1,218 @@
+//! Scaling measurements of the dense analysis engine: seed-vs-dense
+//! end-to-end `bec analyze` throughput over the full benchmark suite, plus
+//! worker scaling of the parallel per-function orchestrator.
+//!
+//! The "seed" side is the retained reference solver
+//! (`bec_core::reference`): the repository's original map-based pipeline —
+//! hashed bit-value storage with a FIFO worklist, `BTreeSet` def–use
+//! fixpoints, node-interning maps, interned-universe liveness bitsets. The
+//! bin asserts per-site verdict parity
+//! between the engines and worker-count independence of the dense verdict
+//! table before trusting any timing.
+//!
+//! ```text
+//! cargo run -p bec-bench --release --bin analysis_scaling -- \
+//!     [--json BENCH_analysis.json] [--assert-speedup 3]
+//! ```
+//!
+//! `--json` writes a machine-readable baseline; `--assert-speedup X` exits
+//! non-zero unless the dense engine beats the reference by at least `X`×
+//! single-worker on the largest suite benchmark (the CI perf-smoke gate).
+
+use bec_core::report::{format_table, group_digits};
+use bec_core::{reference, BecAnalysis, BecOptions, SiteVerdict};
+use bec_ir::{PointId, Program, Reg};
+use bec_sim::json::Json;
+use std::time::Instant;
+
+struct Row {
+    name: &'static str,
+    points: u64,
+    sites: u64,
+    reference_ms: f64,
+    dense_ms: f64,
+    speedup: f64,
+}
+
+/// Best-of-N wall time of `run`, with N sized so the total measurement
+/// takes roughly a quarter second per engine.
+fn time_best(mut run: impl FnMut()) -> f64 {
+    let started = Instant::now();
+    run();
+    let est = started.elapsed().as_secs_f64();
+    let iters = ((0.25 / est.max(1e-6)) as usize).clamp(3, 200);
+    let mut best = est;
+    for _ in 0..iters {
+        let t = Instant::now();
+        run();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The dense engine's full verdict table, for parity checks.
+fn dense_verdicts(
+    program: &Program,
+    bec: &BecAnalysis,
+) -> Vec<(usize, PointId, Reg, u32, SiteVerdict)> {
+    let mut out = Vec::new();
+    for (fi, fa) in bec.functions().iter().enumerate() {
+        for (p, r) in fa.coalescing.nodes().site_pairs() {
+            for bit in 0..program.config.xlen {
+                out.push((fi, p, r, bit, bec.site_verdict(fi, p, r, bit).expect("site exists")));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut json_path = None;
+    let mut min_speedup = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            "--assert-speedup" => {
+                let v = args.next().expect("--assert-speedup needs a value");
+                min_speedup = Some(v.parse::<f64>().expect("numeric speedup"));
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("analysis scaling ({cores} cores available)\n");
+    let options = BecOptions::paper();
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut largest: Option<(&'static str, Program, u64)> = None;
+    for b in bec_suite::all() {
+        let program = b.compile().expect("benchmark compiles");
+
+        // Correctness first: the engines must agree on every verdict.
+        let dense = BecAnalysis::analyze(&program, &options);
+        let seed = reference::analyze_program(&program, &options);
+        let mut sites = 0u64;
+        for (fi, fa) in dense.functions().iter().enumerate() {
+            for (p, r) in fa.coalescing.nodes().site_pairs() {
+                for bit in 0..program.config.xlen {
+                    assert_eq!(
+                        dense.site_verdict(fi, p, r, bit),
+                        seed[fi].site_verdict(p, r, bit),
+                        "{}: engines disagree at {}:({p}, {r}^{bit})",
+                        b.name,
+                        fa.name
+                    );
+                    sites += 1;
+                }
+            }
+        }
+
+        let reference_ms = time_best(|| {
+            std::hint::black_box(reference::analyze_program(&program, &options));
+        }) * 1e3;
+        let dense_ms = time_best(|| {
+            std::hint::black_box(BecAnalysis::analyze(&program, &options));
+        }) * 1e3;
+
+        let points = dense.stats().points;
+        rows.push(Row {
+            name: b.name,
+            points,
+            sites,
+            reference_ms,
+            dense_ms,
+            speedup: reference_ms / dense_ms,
+        });
+        if largest.as_ref().map(|(_, _, p)| points > *p).unwrap_or(true) {
+            largest = Some((b.name, program, points));
+        }
+    }
+
+    print!(
+        "{}",
+        format_table(
+            &["Benchmark", "Points", "Site bits", "Reference", "Dense", "Speedup"],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.name.to_owned(),
+                    r.points.to_string(),
+                    group_digits(r.sites),
+                    format!("{:.2} ms", r.reference_ms),
+                    format!("{:.2} ms", r.dense_ms),
+                    format!("{:.2}x", r.speedup),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+
+    // Worker scaling on the largest benchmark, with byte-identical verdicts.
+    let (big_name, big_program, _) = largest.expect("suite is non-empty");
+    let baseline = BecAnalysis::analyze_with_workers(&big_program, &options, 1);
+    let base_table = dense_verdicts(&big_program, &baseline);
+    let mut worker_rows = Vec::new();
+    let mut serial = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let wall = time_best(|| {
+            std::hint::black_box(BecAnalysis::analyze_with_workers(
+                &big_program,
+                &options,
+                workers,
+            ));
+        }) * 1e3;
+        let par = BecAnalysis::analyze_with_workers(&big_program, &options, workers);
+        assert_eq!(
+            dense_verdicts(&big_program, &par),
+            base_table,
+            "{big_name}: verdicts depend on workers"
+        );
+        if workers == 1 {
+            serial = wall;
+        }
+        worker_rows.push(vec![
+            big_name.to_owned(),
+            workers.to_string(),
+            format!("{wall:.2} ms"),
+            format!("{:.2}x", serial / wall),
+        ]);
+    }
+    println!("\nworker scaling on the largest benchmark ({big_name}):\n");
+    print!("{}", format_table(&["Benchmark", "Workers", "Wall", "Speedup"], &worker_rows));
+    println!(
+        "\nverdict tables identical across engines and worker counts\n(expect ≥3x dense-vs-reference single-worker on an idle host; target 5x)"
+    );
+
+    if let Some(path) = json_path {
+        let doc = Json::obj(vec![(
+            "benchmarks",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("name", Json::str(r.name)),
+                            ("points", Json::UInt(r.points)),
+                            ("site_bits", Json::UInt(r.sites)),
+                            ("reference_ms", Json::str(format!("{:.3}", r.reference_ms))),
+                            ("dense_ms", Json::str(format!("{:.3}", r.dense_ms))),
+                            ("speedup", Json::str(format!("{:.2}", r.speedup))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )]);
+        std::fs::write(&path, doc.render() + "\n").expect("baseline written");
+        println!("\nwrote {path}");
+    }
+
+    if let Some(min) = min_speedup {
+        let big = rows.iter().find(|r| r.name == big_name).expect("largest row");
+        assert!(
+            big.speedup >= min,
+            "dense {big_name} analysis only {:.2}x faster than the reference (need ≥{min}x)",
+            big.speedup
+        );
+        println!("{big_name} speedup gate passed: {:.2}x ≥ {min}x", big.speedup);
+    }
+}

@@ -1,9 +1,17 @@
 //! The BEC analysis orchestrator: per-function bit-value analysis plus
 //! fault-index coalescing, with the paper's optional rule extensions.
+//!
+//! Functions are independent analysis units, so the orchestrator can run
+//! them on a scoped `std::thread` pool ([`BecAnalysis::analyze_with_workers`]).
+//! Workers pull function indices from a shared counter and the results are
+//! re-slotted by index, so the analysis — including every
+//! [`SiteVerdict`] — is byte-identical at any worker count.
 
 use crate::bitvalue::BitValues;
 use crate::coalesce::Coalescing;
-use bec_ir::{DefUse, Liveness, PointId, PointLayout, Program, Reg};
+use bec_ir::{AccessTable, Cfg, DefUse, Function, Liveness, PointId, PointLayout, Program, Reg};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Toggles for the coalescing rule set.
 ///
@@ -89,41 +97,106 @@ pub struct FunctionAnalysis {
     pub coalescing: Coalescing,
 }
 
+/// Deterministic solver statistics of one whole-program analysis, plus the
+/// (non-deterministic) wall time. Everything except `wall` is independent
+/// of the worker count and of the host, so reports may print the counters
+/// into byte-compared output and keep the timing on stderr.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalysisStats {
+    /// Program points analyzed, across all functions.
+    pub points: u64,
+    /// Bit-value solver worklist pops until the fixpoint.
+    pub solver_visits: u64,
+    /// Inter-instruction coalescing fixpoint passes, summed over functions.
+    pub coalesce_passes: u64,
+    /// Union-find nodes allocated (`s0` + sites + arrivals), summed.
+    pub uf_nodes: u64,
+    /// Workers the analysis ran with.
+    pub workers: usize,
+    /// Wall-clock time of the whole analysis.
+    pub wall: Duration,
+}
+
 /// Whole-program BEC analysis results.
 #[derive(Clone, Debug)]
 pub struct BecAnalysis {
     functions: Vec<FunctionAnalysis>,
     options: BecOptions,
+    stats: AnalysisStats,
+}
+
+fn analyze_function(program: &Program, f: &Function, options: &BecOptions) -> FunctionAnalysis {
+    let layout = PointLayout::of(f);
+    let cfg = Cfg::of(f);
+    let access = AccessTable::of(program, f, &layout);
+    let liveness = Liveness::compute_with(f, program, &layout, &cfg, &access);
+    let defuse = DefUse::compute_with(f, program, &layout, &cfg, &access);
+    let values = BitValues::compute_with(program, f, &layout, &cfg, &access, &defuse);
+    let coalescing = Coalescing::compute_with(
+        program, f, &layout, &access, &liveness, &defuse, &values, options,
+    );
+    FunctionAnalysis { name: f.name.clone(), layout, liveness, defuse, values, coalescing }
 }
 
 impl BecAnalysis {
-    /// Analyzes every function of `program`.
+    /// Analyzes every function of `program` on one worker.
     ///
     /// The program must be a verified machine program
     /// ([`bec_ir::verify_program`]); virtual registers or dangling calls
     /// make the underlying analyses panic.
     pub fn analyze(program: &Program, options: &BecOptions) -> BecAnalysis {
-        let functions = program
-            .functions
-            .iter()
-            .map(|f| {
-                let layout = PointLayout::of(f);
-                let liveness = Liveness::compute(f, program);
-                let defuse = DefUse::compute(f, program);
-                let values = BitValues::compute(program, f, &defuse);
-                let coalescing =
-                    Coalescing::compute(program, f, &layout, &liveness, &defuse, &values, options);
-                FunctionAnalysis {
-                    name: f.name.clone(),
-                    layout,
-                    liveness,
-                    defuse,
-                    values,
-                    coalescing,
+        BecAnalysis::analyze_with_workers(program, options, 1)
+    }
+
+    /// [`BecAnalysis::analyze`] on a scoped thread pool of `workers`
+    /// threads (0 and 1 both mean sequential). Functions are independent
+    /// analysis units distributed over a shared counter; results are
+    /// slotted back by function index, so the analysis — classes, verdicts,
+    /// statistics — is identical at any worker count.
+    pub fn analyze_with_workers(
+        program: &Program,
+        options: &BecOptions,
+        workers: usize,
+    ) -> BecAnalysis {
+        let started = Instant::now();
+        let nf = program.functions.len();
+        let workers = workers.max(1).min(nf.max(1));
+        let functions: Vec<FunctionAnalysis> = if workers <= 1 {
+            program.functions.iter().map(|f| analyze_function(program, f, options)).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let mut slots: Vec<Option<FunctionAnalysis>> = (0..nf).map(|_| None).collect();
+            let (tx, rx) = std::sync::mpsc::channel::<(usize, FunctionAnalysis)>();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let next = &next;
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(f) = program.functions.get(i) else { break };
+                        if tx.send((i, analyze_function(program, f, options))).is_err() {
+                            break;
+                        }
+                    });
                 }
-            })
-            .collect();
-        BecAnalysis { functions, options: *options }
+                drop(tx);
+                for (i, fa) in rx {
+                    debug_assert!(slots[i].is_none(), "function {i} analyzed twice");
+                    slots[i] = Some(fa);
+                }
+            });
+            slots.into_iter().map(|s| s.expect("every function analyzed")).collect()
+        };
+
+        let stats = AnalysisStats {
+            points: functions.iter().map(|f| f.layout.len() as u64).sum(),
+            solver_visits: functions.iter().map(|f| f.values.visits()).sum(),
+            coalesce_passes: functions.iter().map(|f| f.coalescing.passes() as u64).sum(),
+            uf_nodes: functions.iter().map(|f| f.coalescing.node_count() as u64).sum(),
+            workers,
+            wall: started.elapsed(),
+        };
+        BecAnalysis { functions, options: *options, stats }
     }
 
     /// Per-function results, in program order.
@@ -144,6 +217,11 @@ impl BecAnalysis {
     /// The options the analysis ran with.
     pub fn options(&self) -> &BecOptions {
         &self.options
+    }
+
+    /// Solver statistics of this analysis run.
+    pub fn stats(&self) -> &AnalysisStats {
+        &self.stats
     }
 
     /// The static verdict for fault site `(point, reg, bit)` of the `func`-th

@@ -19,15 +19,20 @@
 //! (DESIGN.md §2).
 
 use crate::analysis::BecOptions;
-use crate::bitvalue::{cond_transfer, BitValues};
-use crate::fault::{NodeTable, S0};
+use crate::bitvalue::{cond_transfer, ValueQuery};
+use crate::fault::{NodeQuery, S0};
 use bec_dataflow::{AbsValue, BitValue};
 use bec_ir::{
     AluOp, Cond, Function, Inst, MachineConfig, PointId, PointLayout, Program, Reg, Terminator,
 };
 
 /// Context for emitting the intra-instruction merges of one function.
-pub struct IntraRules<'a> {
+///
+/// Generic over the value and node lookups ([`ValueQuery`] / [`NodeQuery`])
+/// so the dense engine and the retained reference solver share one rule
+/// implementation — the rules are the soundness-critical part, and the
+/// equivalence test only means something if both engines run the same ones.
+pub struct IntraRules<'a, V, N> {
     /// The program (for machine config and call signatures).
     pub program: &'a Program,
     /// The function under analysis.
@@ -35,14 +40,14 @@ pub struct IntraRules<'a> {
     /// Its point layout.
     pub layout: &'a PointLayout,
     /// Bit-value analysis results (`k(p, v)`).
-    pub values: &'a BitValues,
+    pub values: &'a V,
     /// Node numbering.
-    pub nodes: &'a NodeTable,
+    pub nodes: &'a N,
     /// Analysis options (extension toggles).
     pub options: &'a BecOptions,
 }
 
-impl<'a> IntraRules<'a> {
+impl<'a, V: ValueQuery, N: NodeQuery> IntraRules<'a, V, N> {
     /// Emits every intra-instruction merge through `merge(a, b)`.
     pub fn apply(&self, merge: &mut impl FnMut(usize, usize)) {
         for p in self.layout.iter() {

@@ -7,68 +7,139 @@
 //! abstract domain (Fig. 3c and friends). The analysis starts optimistically
 //! at ⊥ and rises monotonically, so the fixpoint it reaches is the MFP
 //! solution the paper's §V requires.
+//!
+//! The solver is dense: in/out words live in flat `Vec<AbsValue>` arrays
+//! indexed arithmetically by `point_idx * num_regs + reg_idx` (no hashing),
+//! the worklist is a reverse-postorder priority queue with a dedup bitmap
+//! (each pop takes the pending point earliest in RPO, which converges loops
+//! in near-minimal passes), and the transfer function writes into a
+//! caller-provided scratch buffer instead of allocating a `Vec` per visit.
 
 use bec_dataflow::{AbsValue, BitValue};
 use bec_ir::semantics::eval_alu;
 use bec_ir::{
-    AluOp, DefUse, Function, Inst, MachineConfig, PointId, PointInst, PointLayout, Program, Reg,
+    AccessTable, AluOp, Cfg, DefUse, Function, Inst, MachineConfig, PointId, PointInst,
+    PointLayout, Program, Reg, RegMask,
 };
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
-/// Results of the bit-value analysis for one function.
+/// The value lookup the coalescing rules need: `k(p, v)` for reads.
+/// Implemented by the dense [`BitValues`] and by the retained reference
+/// solver.
+pub trait ValueQuery {
+    /// `k(p, v)` for `v` read at `p`: the merged incoming value. Unknown
+    /// pairs yield ⊤.
+    fn value_in(&self, p: PointId, r: Reg) -> AbsValue;
+}
+
+/// Results of the bit-value analysis for one function, in flat dense
+/// storage.
 #[derive(Clone, Debug)]
 pub struct BitValues {
     width: u32,
+    nregs: u32,
     /// Merged incoming value of each register read: `⋀_{o ∈ def(p,u)} k(o, u)`.
-    in_vals: HashMap<(PointId, Reg), AbsValue>,
+    in_vals: Vec<AbsValue>,
     /// Value written at each definition: `k(p, v)` for `v ∈ write(p)`.
-    out_vals: HashMap<(PointId, Reg), AbsValue>,
+    out_vals: Vec<AbsValue>,
+    /// Registers read per point (incoming values recorded).
+    read_mask: Vec<RegMask>,
+    /// Registers written per point, minus the zero register (whose writes
+    /// vanish).
+    out_mask: Vec<RegMask>,
+    /// Worklist pops until the fixpoint (solver statistic).
+    visits: u64,
 }
 
 impl BitValues {
     /// Runs the analysis on `func` of `program`, using precomputed def–use
     /// chains.
     pub fn compute(program: &Program, func: &Function, du: &DefUse) -> BitValues {
-        let config = &program.config;
         let layout = PointLayout::of(func);
-        let width = config.xlen;
-        let mut bv = BitValues { width, in_vals: HashMap::new(), out_vals: HashMap::new() };
+        let cfg = Cfg::of(func);
+        let access = AccessTable::of(program, func, &layout);
+        BitValues::compute_with(program, func, &layout, &cfg, &access, du)
+    }
 
-        // Worklist over points, seeded with everything in layout order.
-        let mut queue: VecDeque<PointId> = layout.iter().collect();
-        let mut queued: Vec<bool> = vec![true; layout.len()];
-        while let Some(p) = queue.pop_front() {
+    /// [`BitValues::compute`] with the shared per-function context
+    /// precomputed by the caller.
+    pub fn compute_with(
+        program: &Program,
+        func: &Function,
+        layout: &PointLayout,
+        cfg: &Cfg,
+        access: &AccessTable,
+        du: &DefUse,
+    ) -> BitValues {
+        let config = &program.config;
+        let width = config.xlen;
+        let nregs = config.num_regs.min(64);
+        let zero = match config.zero_reg {
+            Some(z) => RegMask::of(z),
+            None => RegMask::empty(),
+        };
+        let np = layout.len();
+        let mut bv = BitValues {
+            width,
+            nregs,
+            in_vals: vec![AbsValue::bottom(width); np * nregs as usize],
+            out_vals: vec![AbsValue::bottom(width); np * nregs as usize],
+            read_mask: (0..np).map(|i| access.read_mask(PointId(i as u32))).collect(),
+            out_mask: (0..np)
+                .map(|i| access.write_mask(PointId(i as u32)).difference(zero))
+                .collect(),
+            visits: 0,
+        };
+
+        // Reverse-postorder priority worklist with a dedup bitmap, seeded
+        // with every point.
+        let rank = layout.rpo_ranks(cfg);
+        let mut queue: BinaryHeap<Reverse<(u32, u32)>> =
+            (0..np as u32).map(|p| Reverse((rank[p as usize], p))).collect();
+        let mut queued = vec![true; np];
+        let mut scratch: Vec<(Reg, AbsValue)> = Vec::with_capacity(4);
+        while let Some(Reverse((_, pi))) = queue.pop() {
+            let p = PointId(pi);
             queued[p.index()] = false;
-            let pi = layout.resolve(func, p);
+            bv.visits += 1;
 
             // Merge reaching definitions into incoming operand values.
-            let reads = pi.reads(program);
-            for &u in &reads {
+            for u in bv.read_mask[p.index()].iter() {
                 let v = bv.incoming(config, du, p, u);
-                bv.in_vals.insert((p, u), v);
+                let slot = bv.slot(p, u);
+                bv.in_vals[slot] = v;
             }
 
             // Evaluate the instruction in the abstract domain.
-            let writes = transfer(config, program, pi, |r| bv.read_val(config, p, r));
-            for (r, val) in writes {
+            scratch.clear();
+            let pinst = layout.resolve(func, p);
+            transfer(config, program, pinst, |r| bv.read_val(config, p, r), &mut scratch);
+            for &(r, val) in &scratch {
                 if config.is_zero_reg(r) {
                     continue; // writes to the zero register vanish
                 }
-                let slot = bv.out_vals.entry((p, r)).or_insert_with(|| AbsValue::bottom(width));
-                let new = slot.meet(&val);
-                if new != *slot {
-                    *slot = new;
+                let slot = bv.slot(p, r);
+                let new = bv.out_vals[slot].meet(&val);
+                if new != bv.out_vals[slot] {
+                    bv.out_vals[slot] = new;
                     // Re-queue every reader of this definition.
                     for &q in du.uses(p, r) {
                         if !queued[q.index()] {
                             queued[q.index()] = true;
-                            queue.push_back(q);
+                            queue.push(Reverse((rank[q.index()], q.0)));
                         }
                     }
                 }
             }
         }
         bv
+    }
+
+    #[inline]
+    fn slot(&self, p: PointId, r: Reg) -> usize {
+        debug_assert!(!r.is_virtual() && r.index() < self.nregs);
+        p.index() * self.nregs as usize + r.index() as usize
     }
 
     fn incoming(&self, config: &MachineConfig, du: &DefUse, p: PointId, u: Reg) -> AbsValue {
@@ -83,9 +154,7 @@ impl BitValues {
         }
         let mut acc = AbsValue::bottom(self.width);
         for &d in defs {
-            let dv =
-                self.out_vals.get(&(d, u)).copied().unwrap_or_else(|| AbsValue::bottom(self.width));
-            acc = acc.meet(&dv);
+            acc = acc.meet(&self.out_vals[self.slot(d, u)]);
         }
         acc
     }
@@ -94,65 +163,89 @@ impl BitValues {
         if config.is_zero_reg(r) {
             return AbsValue::constant(self.width, 0);
         }
-        self.in_vals.get(&(p, r)).copied().unwrap_or_else(|| AbsValue::top(self.width))
+        if self.read_mask[p.index()].contains(r) {
+            self.in_vals[self.slot(p, r)]
+        } else {
+            AbsValue::top(self.width)
+        }
     }
 
     /// `k(p, v)` for `v` read at `p`: the merged incoming value. Unknown
     /// pairs yield ⊤.
     pub fn value_in(&self, p: PointId, r: Reg) -> AbsValue {
-        self.in_vals.get(&(p, r)).copied().unwrap_or_else(|| AbsValue::top(self.width))
+        if p.index() < self.read_mask.len() && self.read_mask[p.index()].contains(r) {
+            self.in_vals[self.slot(p, r)]
+        } else {
+            AbsValue::top(self.width)
+        }
     }
 
     /// `k(p, v)` after `p`: the written value if `v ∈ write(p)`, otherwise
     /// the incoming value (reads leave the register unchanged).
     pub fn value_after(&self, p: PointId, r: Reg) -> AbsValue {
-        self.out_vals
-            .get(&(p, r))
-            .or_else(|| self.in_vals.get(&(p, r)))
-            .copied()
-            .unwrap_or_else(|| AbsValue::top(self.width))
+        if p.index() < self.out_mask.len() && self.out_mask[p.index()].contains(r) {
+            self.out_vals[self.slot(p, r)]
+        } else {
+            self.value_in(p, r)
+        }
+    }
+
+    /// Number of worklist pops the solver took to reach the fixpoint.
+    pub fn visits(&self) -> u64 {
+        self.visits
     }
 }
 
-/// Abstract evaluation of one program point. Returns `(reg, value)` for each
-/// written register. `get` supplies incoming operand values.
+impl ValueQuery for BitValues {
+    fn value_in(&self, p: PointId, r: Reg) -> AbsValue {
+        BitValues::value_in(self, p, r)
+    }
+}
+
+/// Abstract evaluation of one program point. Pushes `(reg, value)` for each
+/// written register into `out` (the caller's scratch buffer — cleared by
+/// the caller, so one buffer serves the whole fixpoint without
+/// re-allocating). `get` supplies incoming operand values.
 pub fn transfer(
     config: &MachineConfig,
     program: &Program,
     pi: PointInst<'_>,
     get: impl Fn(Reg) -> AbsValue,
-) -> Vec<(Reg, AbsValue)> {
+    out: &mut Vec<(Reg, AbsValue)>,
+) {
     let w = config.xlen;
     let inst = match pi {
         PointInst::Inst(i) => i,
-        PointInst::Term(_) => return Vec::new(), // terminators write nothing
+        PointInst::Term(_) => return, // terminators write nothing
     };
     match inst {
-        Inst::Li { rd, imm } => vec![(*rd, AbsValue::constant(w, *imm as u64))],
+        Inst::Li { rd, imm } => out.push((*rd, AbsValue::constant(w, *imm as u64))),
         Inst::La { rd, global } => {
             let addr = program.global_address(global).unwrap_or(0);
-            vec![(*rd, AbsValue::constant(w, addr))]
+            out.push((*rd, AbsValue::constant(w, addr)));
         }
-        Inst::Mv { rd, rs } => vec![(*rd, get(*rs))],
-        Inst::Neg { rd, rs } => vec![(*rd, get(*rs).neg())],
-        Inst::Seqz { rd, rs } => vec![(*rd, AbsValue::bool_word(w, get(*rs).is_zero()))],
+        Inst::Mv { rd, rs } => out.push((*rd, get(*rs))),
+        Inst::Neg { rd, rs } => out.push((*rd, get(*rs).neg())),
+        Inst::Seqz { rd, rs } => out.push((*rd, AbsValue::bool_word(w, get(*rs).is_zero()))),
         Inst::Snez { rd, rs } => {
             let z = get(*rs).is_zero();
-            vec![(*rd, AbsValue::bool_word(w, z.not()))]
+            out.push((*rd, AbsValue::bool_word(w, z.not())));
         }
         Inst::Alu { op, rd, rs1, rs2 } => {
-            vec![(*rd, alu_transfer(config, *op, &get(*rs1), &get(*rs2)))]
+            out.push((*rd, alu_transfer(config, *op, &get(*rs1), &get(*rs2))));
         }
         Inst::AluImm { op, rd, rs1, imm } => {
             let b = AbsValue::constant(w, *imm as u64);
-            vec![(*rd, alu_transfer(config, *op, &get(*rs1), &b))]
+            out.push((*rd, alu_transfer(config, *op, &get(*rs1), &b)));
         }
-        Inst::Load { rd, .. } => vec![(*rd, AbsValue::top(w))], // memory not modeled
+        Inst::Load { rd, .. } => out.push((*rd, AbsValue::top(w))), // memory not modeled
         Inst::Call { callee } => {
             // ABI summary: every written/clobbered register becomes unknown.
-            program.call_effects(callee).writes.into_iter().map(|r| (r, AbsValue::top(w))).collect()
+            out.extend(
+                program.call_effects(callee).writes.into_iter().map(|r| (r, AbsValue::top(w))),
+            );
         }
-        Inst::Store { .. } | Inst::Print { .. } | Inst::Nop => Vec::new(),
+        Inst::Store { .. } | Inst::Print { .. } | Inst::Nop => {}
     }
 }
 
@@ -294,8 +387,6 @@ join:
 "#,
         );
         // At the join, t0 = 4 ∧ 5 = 010× ... 100 meets 101 = 10×.
-        let f = parse_program("func @x(args=0, ret=none) {\ne:\n    exit\n}\n").unwrap();
-        let _ = f;
         let print_pt = PointId(6); // entry:li,bnez(2) a:li,j(2) b:li,j(2) → join starts at 6
         let v = bv.value_in(print_pt, Reg::T0);
         assert_eq!(v.bit(0), BitValue::Top);
@@ -353,5 +444,14 @@ entry:
         let zero = AbsValue::constant(32, 0);
         assert_eq!(alu_transfer(&c, AluOp::Sll, &zero, &top).as_const(), Some(0));
         assert_eq!(alu_transfer(&c, AluOp::Sll, &top, &top), AbsValue::top(32));
+    }
+
+    #[test]
+    fn solver_records_visit_count() {
+        let (_, bv) = analyze(
+            "func @main(args=0, ret=none) {\nentry:\n    li t0, 5\n    print t0\n    exit\n}\n",
+        );
+        // Straight-line code: every point visited exactly once.
+        assert_eq!(bv.visits(), 3);
     }
 }

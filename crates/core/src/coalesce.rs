@@ -14,13 +14,18 @@
 //!   intersection of the use classes is nonempty" is exactly "all arrival
 //!   classes coincide". Iterated to the least fixpoint; union-find merges
 //!   are monotone, so termination is by Knaster–Tarski.
+//!
+//! The fixpoint runs over the dense node numbering: per-pair node bases
+//! resolve arithmetically and every class query is a path-compressed
+//! union-find find — the passes do no hashing and no allocation beyond one
+//! reused scratch vector.
 
 use crate::analysis::BecOptions;
 use crate::arrival::IntraRules;
 use crate::bitvalue::BitValues;
 use crate::fault::{FaultSite, NodeTable, S0};
 use bec_dataflow::UnionFind;
-use bec_ir::{DefUse, Function, Liveness, PointId, PointLayout, Program, Reg};
+use bec_ir::{AccessTable, DefUse, Function, Liveness, PointId, PointLayout, Program, Reg};
 
 /// The coalescing result for one function.
 #[derive(Clone, Debug)]
@@ -43,15 +48,33 @@ impl Coalescing {
         values: &BitValues,
         options: &BecOptions,
     ) -> Coalescing {
-        let nodes = NodeTable::build(program, func, layout);
+        let access = AccessTable::of(program, func, layout);
+        Coalescing::compute_with(program, func, layout, &access, liveness, du, values, options)
+    }
+
+    /// [`Coalescing::compute`] with the per-function access table
+    /// precomputed by the caller.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_with(
+        program: &Program,
+        func: &Function,
+        layout: &PointLayout,
+        access: &AccessTable,
+        liveness: &Liveness,
+        du: &DefUse,
+        values: &BitValues,
+        options: &BecOptions,
+    ) -> Coalescing {
+        let nodes = NodeTable::build_with(program, layout, access);
         let w = nodes.width();
         let mut uf = UnionFind::new(nodes.len());
 
         // --- Initialization: killed sites are masked (Alg. 2 lines 4-5). ---
         for (p, r) in nodes.site_pairs() {
             if !liveness.is_live_after(p, r) {
-                for i in 0..w {
-                    uf.union(nodes.site(p, r, i).expect("site exists"), S0);
+                let base = nodes.site_base(p, r).expect("site exists") as usize;
+                for i in 0..w as usize {
+                    uf.union(base + i, S0);
                 }
             }
         }
@@ -79,6 +102,7 @@ impl Coalescing {
         //   an injection at `q`'s own window, which is empirically
         //   distinguishable — the validation suite exercises exactly this).
         let site_pairs: Vec<(PointId, Reg)> = nodes.site_pairs().collect();
+        let mut arr_bases: Vec<Option<u32>> = Vec::new();
         let mut passes = 0;
         loop {
             passes += 1;
@@ -92,17 +116,20 @@ impl Coalescing {
                     let q = users[0];
                     layout.block_of(q) == layout.block_of(p) && q > p
                 };
+                let site_base = nodes.site_base(p, r).expect("site exists") as usize;
+                arr_bases.clear();
+                arr_bases.extend(users.iter().map(|&q| nodes.arrival_base(q, r)));
                 for i in 0..w {
-                    let site = nodes.site(p, r, i).expect("site exists");
+                    let site = site_base + i as usize;
                     let s0_rep = uf.find(S0);
-                    let all_masked = users
-                        .iter()
-                        .all(|&q| nodes.arrival(q, r, i).is_some_and(|a| uf.find_imm(a) == s0_rep));
+                    let all_masked = arr_bases.iter().all(|b| {
+                        b.is_some_and(|base| uf.find(base as usize + i as usize) == s0_rep)
+                    });
                     if all_masked {
                         uf.union(site, S0);
                     } else if aligned_single_use {
-                        if let Some(a) = nodes.arrival(users[0], r, i) {
-                            uf.union(site, a);
+                        if let Some(base) = arr_bases[0] {
+                            uf.union(site, base as usize + i as usize);
                         }
                     }
                 }
@@ -144,24 +171,27 @@ impl Coalescing {
     /// included (its sites are the masked ones). Classes are keyed by
     /// representative; members are sorted by (point, reg, bit).
     pub fn site_classes(&self) -> Vec<(usize, Vec<FaultSite>)> {
-        use std::collections::HashMap;
-        let mut map: HashMap<usize, Vec<FaultSite>> = HashMap::new();
         let w = self.nodes.width();
+        // Sites are enumerated in (point, reg, bit) order, so a stable sort
+        // by representative alone leaves each class's members sorted.
+        let mut tagged: Vec<(usize, FaultSite)> = Vec::new();
         for (p, r) in self.nodes.site_pairs() {
+            let base = self.nodes.site_base(p, r).expect("site exists") as usize;
             for i in 0..w {
-                let n = self.nodes.site(p, r, i).expect("site exists");
-                map.entry(self.uf.find_imm(n)).or_default().push(FaultSite {
-                    point: p,
-                    reg: r,
-                    bit: i,
-                });
+                tagged.push((
+                    self.uf.find_imm(base + i as usize),
+                    FaultSite { point: p, reg: r, bit: i },
+                ));
             }
         }
-        let mut out: Vec<(usize, Vec<FaultSite>)> = map.into_iter().collect();
-        for (_, sites) in &mut out {
-            sites.sort();
+        tagged.sort_by_key(|&(rep, site)| (rep, site));
+        let mut out: Vec<(usize, Vec<FaultSite>)> = Vec::new();
+        for (rep, site) in tagged {
+            match out.last_mut() {
+                Some((r, members)) if *r == rep => members.push(site),
+                _ => out.push((rep, vec![site])),
+            }
         }
-        out.sort_by_key(|(rep, _)| *rep);
         out
     }
 
@@ -173,6 +203,11 @@ impl Coalescing {
     /// Number of inter-instruction fixpoint passes that were needed.
     pub fn passes(&self) -> u32 {
         self.passes
+    }
+
+    /// Total number of coalescing nodes (`s0` + sites + arrivals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Whether two sites are provably equivalent.

@@ -9,9 +9,13 @@
 //! computation only, of the bit being corrupted when it is read. Arrivals
 //! realize the paper's temporary relation `R′` (Algorithm 3) without copying
 //! the equivalence relation — see DESIGN.md §2.
+//!
+//! Node ids resolve arithmetically: per `(point, register)` pair the table
+//! holds one base id in a flat array indexed `point_idx * num_regs +
+//! reg_idx`, and bit `i` lives at `base + i`. The solver hot paths never
+//! hash.
 
-use bec_ir::{PointId, PointLayout, Program, Reg};
-use std::collections::HashMap;
+use bec_ir::{AccessTable, PointId, PointLayout, Program, Reg, RegMask};
 
 /// A spatial+temporal fault site within one function: bit `bit` of register
 /// `reg` in the window after point `point`.
@@ -31,16 +35,33 @@ impl std::fmt::Display for FaultSite {
     }
 }
 
+/// The lookup interface the intra-instruction rules need: site and arrival
+/// node ids. Implemented by the dense [`NodeTable`] and by the retained
+/// reference solver's map-based table.
+pub trait NodeQuery {
+    /// Node id of fault site `(p, reg, bit)`, if `reg` is accessed at `p`.
+    fn site(&self, p: PointId, reg: Reg, bit: u32) -> Option<usize>;
+    /// Node id of the arrival `(q, reg, bit)`, if `reg` is read at `q`.
+    fn arrival(&self, q: PointId, reg: Reg, bit: u32) -> Option<usize>;
+}
+
+/// Sentinel for "no node range allocated for this (point, register)".
+const NONE: u32 = u32::MAX;
+
 /// Dense numbering of coalescing nodes for one function.
 ///
 /// Node 0 is `s0` (the intact execution). Sites and arrivals occupy `width`
-/// consecutive ids per (point, register) pair.
+/// consecutive ids per (point, register) pair; per-pair base ids live in
+/// flat arrays indexed `point_idx * num_regs + reg_idx`.
 #[derive(Clone, Debug)]
 pub struct NodeTable {
     width: u32,
-    site_base: HashMap<(PointId, Reg), u32>,
-    arrival_base: HashMap<(PointId, Reg), u32>,
-    /// Reverse map for sites: node base → (point, reg).
+    nregs: u32,
+    site_bases: Vec<u32>,
+    arrival_bases: Vec<u32>,
+    /// Per-point accessed (site-bearing) registers, for iteration.
+    accessed: Vec<RegMask>,
+    /// Reverse map for sites: base-assignment order → (point, reg).
     site_of_base: Vec<(PointId, Reg)>,
     site_bases_sorted: Vec<u32>,
     len: usize,
@@ -54,41 +75,59 @@ impl NodeTable {
     /// function (sites for reads and writes, arrivals for reads), skipping
     /// the hardwired zero register.
     pub fn build(program: &Program, func: &bec_ir::Function, layout: &PointLayout) -> NodeTable {
+        let access = AccessTable::of(program, func, layout);
+        NodeTable::build_with(program, layout, &access)
+    }
+
+    /// [`NodeTable::build`] with the per-function access table precomputed
+    /// by the caller.
+    pub fn build_with(program: &Program, layout: &PointLayout, access: &AccessTable) -> NodeTable {
         let width = program.config.xlen;
+        let nregs = program.config.num_regs.min(64);
+        let zero = match program.config.zero_reg {
+            Some(z) => RegMask::of(z),
+            None => RegMask::empty(),
+        };
+        let np = layout.len();
         let mut t = NodeTable {
             width,
-            site_base: HashMap::new(),
-            arrival_base: HashMap::new(),
+            nregs,
+            site_bases: vec![NONE; np * nregs as usize],
+            arrival_bases: vec![NONE; np * nregs as usize],
+            accessed: Vec::with_capacity(np),
             site_of_base: Vec::new(),
             site_bases_sorted: Vec::new(),
             len: 1, // node 0 = s0
         };
         for p in layout.iter() {
-            let pi = layout.resolve(func, p);
-            let reads = pi.reads(program);
-            let writes = pi.writes(program);
-            let mut accessed: Vec<Reg> = Vec::new();
-            for r in reads.iter().chain(writes.iter()) {
-                if program.config.is_zero_reg(*r) || accessed.contains(r) {
+            // Site ranges in first-access order (reads, then writes).
+            for &r in access.reads(p).iter().chain(access.writes(p)) {
+                let Some(slot) = t.slot(p, r) else { continue };
+                if zero.contains(r) || t.site_bases[slot] != NONE {
                     continue;
                 }
-                accessed.push(*r);
-            }
-            for r in accessed {
-                t.site_base.insert((p, r), t.len as u32);
+                t.site_bases[slot] = t.len as u32;
                 t.site_of_base.push((p, r));
                 t.site_bases_sorted.push(t.len as u32);
                 t.len += width as usize;
             }
-            for r in reads {
-                if program.config.is_zero_reg(r) || t.arrival_base.contains_key(&(p, r)) {
+            t.accessed.push(access.access_mask(p).difference(zero));
+            // Arrival ranges for reads.
+            for &r in access.reads(p) {
+                let Some(slot) = t.slot(p, r) else { continue };
+                if zero.contains(r) || t.arrival_bases[slot] != NONE {
                     continue;
                 }
-                t.arrival_base.insert((p, r), t.len as u32);
+                t.arrival_bases[slot] = t.len as u32;
                 t.len += width as usize;
             }
         }
         t
+    }
+
+    fn slot(&self, p: PointId, r: Reg) -> Option<usize> {
+        (!r.is_virtual() && r.index() < self.nregs)
+            .then(|| p.index() * self.nregs as usize + r.index() as usize)
     }
 
     /// Total number of nodes including `s0`.
@@ -106,23 +145,37 @@ impl NodeTable {
         self.width
     }
 
+    /// Base node id of the site range of `(p, reg)`, if accessed.
+    pub fn site_base(&self, p: PointId, reg: Reg) -> Option<u32> {
+        let b = self.site_bases[self.slot(p, reg)?];
+        (b != NONE).then_some(b)
+    }
+
+    /// Base node id of the arrival range of `(q, reg)`, if read.
+    pub fn arrival_base(&self, q: PointId, reg: Reg) -> Option<u32> {
+        let b = self.arrival_bases[self.slot(q, reg)?];
+        (b != NONE).then_some(b)
+    }
+
     /// Node id of fault site `(p, reg, bit)`, if `reg` is accessed at `p`.
     pub fn site(&self, p: PointId, reg: Reg, bit: u32) -> Option<usize> {
         debug_assert!(bit < self.width);
-        self.site_base.get(&(p, reg)).map(|b| *b as usize + bit as usize)
+        self.site_base(p, reg).map(|b| b as usize + bit as usize)
     }
 
     /// Node id of the arrival `(q, reg, bit)`, if `reg` is read at `q`.
     pub fn arrival(&self, q: PointId, reg: Reg, bit: u32) -> Option<usize> {
         debug_assert!(bit < self.width);
-        self.arrival_base.get(&(q, reg)).map(|b| *b as usize + bit as usize)
+        self.arrival_base(q, reg).map(|b| b as usize + bit as usize)
     }
 
-    /// Iterates over all site `(point, reg)` pairs in program order.
+    /// Iterates over all site `(point, reg)` pairs in (point, register)
+    /// order.
     pub fn site_pairs(&self) -> impl Iterator<Item = (PointId, Reg)> + '_ {
-        let mut pairs: Vec<(PointId, Reg)> = self.site_of_base.clone();
-        pairs.sort();
-        pairs.into_iter()
+        self.accessed
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, m)| m.iter().map(move |r| (PointId(pi as u32), r)))
     }
 
     /// Reverse lookup: if `node` is a site node, its fault site.
@@ -144,6 +197,16 @@ impl NodeTable {
         } else {
             None // falls into an arrival range
         }
+    }
+}
+
+impl NodeQuery for NodeTable {
+    fn site(&self, p: PointId, reg: Reg, bit: u32) -> Option<usize> {
+        NodeTable::site(self, p, reg, bit)
+    }
+
+    fn arrival(&self, q: PointId, reg: Reg, bit: u32) -> Option<usize> {
+        NodeTable::arrival(self, q, reg, bit)
     }
 }
 
@@ -182,6 +245,20 @@ mod tests {
     }
 
     #[test]
+    fn node_ids_resolve_arithmetically() {
+        let (_, t) = table();
+        let r1 = Reg::phys(1);
+        let base = t.site_base(PointId(0), r1).unwrap() as usize;
+        for bit in 0..4 {
+            assert_eq!(t.site(PointId(0), r1, bit), Some(base + bit as usize));
+        }
+        let abase = t.arrival_base(PointId(0), r1).unwrap() as usize;
+        for bit in 0..4 {
+            assert_eq!(t.arrival(PointId(0), r1, bit), Some(abase + bit as usize));
+        }
+    }
+
+    #[test]
     fn reverse_lookup_roundtrips() {
         let (_, t) = table();
         for (p, r) in t.site_pairs() {
@@ -209,5 +286,14 @@ mod tests {
         assert!(t.site(PointId(0), Reg::ZERO, 0).is_none());
         assert!(t.arrival(PointId(0), Reg::ZERO, 0).is_none());
         assert!(t.site(PointId(0), Reg::T0, 0).is_some());
+    }
+
+    #[test]
+    fn site_pairs_are_point_register_sorted() {
+        let (_, t) = table();
+        let pairs: Vec<_> = t.site_pairs().collect();
+        let mut sorted = pairs.clone();
+        sorted.sort();
+        assert_eq!(pairs, sorted);
     }
 }

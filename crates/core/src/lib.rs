@@ -47,10 +47,12 @@ pub mod coalesce;
 pub mod fault;
 pub mod profile;
 pub mod pruning;
+#[doc(hidden)]
+pub mod reference;
 pub mod report;
 pub mod surface;
 
-pub use analysis::{BecAnalysis, BecOptions, FunctionAnalysis, SiteVerdict};
+pub use analysis::{AnalysisStats, BecAnalysis, BecOptions, FunctionAnalysis, SiteVerdict};
 pub use bitvalue::BitValues;
 pub use coalesce::Coalescing;
 pub use fault::FaultSite;

@@ -1,0 +1,149 @@
+//! Equivalence net for the dense analysis engine: for every fault site of
+//! every suite benchmark, the dense engine's [`SiteVerdict`] must equal the
+//! retained reference solver's (the seed's naive map-based pipeline), and
+//! the whole verdict table must be independent of the analysis worker
+//! count.
+//!
+//! The reference and dense engines share the intra-instruction rule
+//! implementation (through the `ValueQuery`/`NodeQuery` traits), so a
+//! divergence here isolates a bug in exactly the rewritten parts: the
+//! liveness masks, the def–use chains, the bit-value fixpoint, the node
+//! numbering, or the inter-instruction coalescing loop.
+
+use bec_core::reference;
+use bec_core::{BecAnalysis, BecOptions, SiteVerdict};
+use bec_ir::{PointId, Reg};
+
+/// Every benchmark's program, compiled once.
+fn suite() -> Vec<(String, bec_ir::Program)> {
+    bec_suite::all()
+        .into_iter()
+        .map(|b| (b.name.to_owned(), b.compile().expect("benchmark compiles")))
+        .collect()
+}
+
+/// The full verdict table of one analysis: `(func, point, reg, bit) →
+/// verdict` over every site pair the coalescing enumerates.
+fn verdict_table(
+    program: &bec_ir::Program,
+    bec: &BecAnalysis,
+) -> Vec<(usize, PointId, Reg, u32, SiteVerdict)> {
+    let mut out = Vec::new();
+    for (fi, fa) in bec.functions().iter().enumerate() {
+        for (p, r) in fa.coalescing.nodes().site_pairs() {
+            for bit in 0..program.config.xlen {
+                let v = bec.site_verdict(fi, p, r, bit).expect("site exists");
+                out.push((fi, p, r, bit, v));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn mask_liveness_matches_seed_liveness_on_every_suite_benchmark() {
+    for (name, program) in suite() {
+        for f in &program.functions {
+            let dense = bec_ir::Liveness::compute(f, &program);
+            let seed = reference::RefLiveness::compute(f, &program);
+            let layout = bec_ir::PointLayout::of(f);
+            for p in layout.iter() {
+                for r in (0..program.config.num_regs).map(Reg::phys) {
+                    assert_eq!(
+                        dense.is_live_after(p, r),
+                        seed.is_live_after(p, r),
+                        "{name}/{}: liveness of {r} after {p}",
+                        f.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_verdicts_match_reference_solver_on_every_suite_benchmark() {
+    for (name, program) in suite() {
+        for options in [BecOptions::paper(), BecOptions::extended()] {
+            let dense = BecAnalysis::analyze(&program, &options);
+            let reference = reference::analyze_program(&program, &options);
+            assert_eq!(dense.functions().len(), reference.functions_len());
+            let mut sites = 0u64;
+            for (fi, fa) in dense.functions().iter().enumerate() {
+                let rf = &reference[fi];
+                // Same site universe...
+                let dense_pairs: Vec<_> = fa.coalescing.nodes().site_pairs().collect();
+                assert_eq!(dense_pairs, rf.nodes.site_pairs(), "{name}/{}: site pairs", fa.name);
+                // ...same node count...
+                assert_eq!(
+                    fa.coalescing.nodes().len(),
+                    rf.nodes.len(),
+                    "{name}/{}: node count",
+                    fa.name
+                );
+                // ...and the same verdict at every site bit.
+                for (p, r) in dense_pairs {
+                    for bit in 0..program.config.xlen {
+                        let d = dense.site_verdict(fi, p, r, bit);
+                        let e = rf.site_verdict(p, r, bit);
+                        assert_eq!(d, e, "{name}/{}: verdict at ({p}, {r}^{bit})", fa.name);
+                        sites += 1;
+                    }
+                }
+                // The abstract values the rules consumed agree as well.
+                for p in fa.layout.iter() {
+                    for r in (0..program.config.num_regs).map(Reg::phys) {
+                        assert_eq!(
+                            fa.values.value_in(p, r),
+                            rf.values.value_in(p, r),
+                            "{name}/{}: k_in({p}, {r})",
+                            fa.name
+                        );
+                        assert_eq!(
+                            fa.values.value_after(p, r),
+                            rf.values.value_after(p, r),
+                            "{name}/{}: k_after({p}, {r})",
+                            fa.name
+                        );
+                    }
+                }
+            }
+            assert!(sites > 0, "{name}: no fault sites compared");
+        }
+    }
+}
+
+#[test]
+fn verdict_tables_are_worker_count_independent() {
+    for (name, program) in suite() {
+        let baseline = BecAnalysis::analyze_with_workers(&program, &BecOptions::paper(), 1);
+        let base_table = verdict_table(&program, &baseline);
+        assert!(!base_table.is_empty(), "{name}: empty verdict table");
+        for workers in [2usize, 8] {
+            let par = BecAnalysis::analyze_with_workers(&program, &BecOptions::paper(), workers);
+            assert_eq!(
+                verdict_table(&program, &par),
+                base_table,
+                "{name}: verdicts differ at {workers} workers"
+            );
+            // Deterministic statistics are worker-independent too.
+            let (a, b) = (baseline.stats(), par.stats());
+            assert_eq!(a.points, b.points, "{name}: points");
+            assert_eq!(a.solver_visits, b.solver_visits, "{name}: visits");
+            assert_eq!(a.coalesce_passes, b.coalesce_passes, "{name}: passes");
+            assert_eq!(a.uf_nodes, b.uf_nodes, "{name}: nodes");
+        }
+    }
+}
+
+/// `reference::analyze_program` returns a plain Vec; this helper trait keeps
+/// the assertion sites readable.
+trait FunctionsLen {
+    fn functions_len(&self) -> usize;
+}
+
+impl FunctionsLen for Vec<bec_core::reference::RefFunctionAnalysis> {
+    fn functions_len(&self) -> usize {
+        self.len()
+    }
+}

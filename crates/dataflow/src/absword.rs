@@ -121,39 +121,70 @@ impl AbsValue {
     }
 
     /// Per-bit meet (`∧` of Fig. 3b); the join direction of Algorithm 1.
+    ///
+    /// Whole-word formulation: a constraint ("known zero" / "known one")
+    /// survives the meet iff both operands carry it, so each mask is simply
+    /// intersected. ⊥ (both masks set) acts as the identity and meeting
+    /// disagreeing constants clears both masks (⊤), exactly Fig. 3b.
     pub fn meet(&self, other: &AbsValue) -> AbsValue {
         assert_eq!(self.width, other.width);
-        self.zip(other, BitValue::meet)
+        AbsValue {
+            width: self.width,
+            zeros: self.zeros & other.zeros,
+            ones: self.ones & other.ones,
+        }
     }
 
     /// Per-bit lattice ordering: every bit of `self` ≤ the same bit of
-    /// `other`.
+    /// `other` (`⊥ ≤ 0/1 ≤ ⊤`). Whole-word: a bit violates the order only
+    /// when `other` constrains it (zero or one) and `self` does not carry
+    /// that same constraint.
     pub fn le(&self, other: &AbsValue) -> bool {
-        self.width == other.width && self.bits().zip(other.bits()).all(|(a, b)| a.le(b))
+        self.width == other.width && other.zeros & !self.zeros == 0 && other.ones & !self.ones == 0
     }
 
-    fn zip(&self, other: &AbsValue, f: impl Fn(BitValue, BitValue) -> BitValue) -> AbsValue {
-        assert_eq!(self.width, other.width);
-        let mut out = AbsValue::top(self.width);
-        for i in 0..self.width {
-            out.set_bit(i, f(self.bit(i), other.bit(i)));
-        }
-        out
+    /// Bits that are ⊥ in either operand (strict ops propagate these).
+    fn either_bottom(&self, other: &AbsValue) -> u64 {
+        (self.zeros & self.ones) | (other.zeros & other.ones)
     }
 
     /// Abstract bitwise and (Fig. 3c, strict on ⊥).
+    ///
+    /// Whole-word: a known zero on either side pins the result to zero; a
+    /// result bit is known one iff both sides are known one; ⊥ bits of
+    /// either operand stay ⊥.
     pub fn and(&self, other: &AbsValue) -> AbsValue {
-        self.zip(other, BitValue::and)
+        assert_eq!(self.width, other.width);
+        let bot = self.either_bottom(other);
+        AbsValue {
+            width: self.width,
+            zeros: self.zeros | other.zeros | bot,
+            ones: (self.ones & other.ones) | bot,
+        }
     }
 
-    /// Abstract bitwise or.
+    /// Abstract bitwise or (the mirror image of [`AbsValue::and`]).
     pub fn or(&self, other: &AbsValue) -> AbsValue {
-        self.zip(other, BitValue::or)
+        assert_eq!(self.width, other.width);
+        let bot = self.either_bottom(other);
+        AbsValue {
+            width: self.width,
+            zeros: (self.zeros & other.zeros) | bot,
+            ones: self.ones | other.ones | bot,
+        }
     }
 
     /// Abstract bitwise exclusive-or.
+    ///
+    /// Whole-word: the result bit is known iff both operands are known
+    /// (`known = exactly one mask set` per side), with value `a ⊕ b`; ⊥
+    /// propagates.
     pub fn xor(&self, other: &AbsValue) -> AbsValue {
-        self.zip(other, BitValue::xor)
+        assert_eq!(self.width, other.width);
+        let bot = self.either_bottom(other);
+        let known = (self.zeros ^ self.ones) & (other.zeros ^ other.ones);
+        let val = self.ones ^ other.ones;
+        AbsValue { width: self.width, zeros: (known & !val) | bot, ones: (known & val) | bot }
     }
 
     /// Abstract bitwise complement.
@@ -208,11 +239,13 @@ impl AbsValue {
     /// Panics if `k >= width` (callers mask shift amounts first).
     pub fn shl_const(&self, k: u32) -> AbsValue {
         assert!(k < self.width);
-        let mut out = AbsValue::constant(self.width, 0);
-        for i in 0..self.width - k {
-            out.set_bit(i + k, self.bit(i));
+        let m = Self::mask(self.width);
+        let low = if k == 0 { 0 } else { (1u64 << k) - 1 };
+        AbsValue {
+            width: self.width,
+            zeros: ((self.zeros << k) | low) & m,
+            ones: (self.ones << k) & m,
         }
-        out
     }
 
     /// Logical shift right by a known amount; zeros shift in.
@@ -222,11 +255,14 @@ impl AbsValue {
     /// Panics if `k >= width`.
     pub fn shr_const(&self, k: u32) -> AbsValue {
         assert!(k < self.width);
-        let mut out = AbsValue::constant(self.width, 0);
-        for i in k..self.width {
-            out.set_bit(i - k, self.bit(i));
+        let m = Self::mask(self.width);
+        // The k vacated high bits are known zero.
+        let high = m & !(m >> k);
+        AbsValue {
+            width: self.width,
+            zeros: ((self.zeros & m) >> k) | high,
+            ones: (self.ones & m) >> k,
         }
-        out
     }
 
     /// Arithmetic shift right by a known amount; the sign bit replicates.
@@ -236,13 +272,15 @@ impl AbsValue {
     /// Panics if `k >= width`.
     pub fn sra_const(&self, k: u32) -> AbsValue {
         assert!(k < self.width);
-        let sign = self.bit(self.width - 1);
-        let mut out = AbsValue::top(self.width);
-        for i in 0..self.width {
-            let src = i + k;
-            out.set_bit(i, if src < self.width { self.bit(src) } else { sign });
+        let m = Self::mask(self.width);
+        // The k vacated high bits replicate the sign bit's abstract value.
+        let high = m & !(m >> k);
+        let sign_bit = 1u64 << (self.width - 1);
+        AbsValue {
+            width: self.width,
+            zeros: ((self.zeros & m) >> k) | (if self.zeros & sign_bit != 0 { high } else { 0 }),
+            ones: ((self.ones & m) >> k) | (if self.ones & sign_bit != 0 { high } else { 0 }),
         }
-        out
     }
 
     /// Abstract multiplication, low word. The product modulo 2ⁿ depends
@@ -256,8 +294,9 @@ impl AbsValue {
         if let (Some(a), Some(b)) = (self.as_const(), other.as_const()) {
             return AbsValue::constant(self.width, a.wrapping_mul(b));
         }
-        let known_low =
-            |v: &AbsValue| (0..v.width).take_while(|&i| v.bit(i).is_known()).count() as u32;
+        // Consecutive known low bits = trailing ones of the "exactly one
+        // mask set" word (no ⊥ present after the early return above).
+        let known_low = |v: &AbsValue| (!(v.zeros ^ v.ones)).trailing_zeros().min(v.width);
         let n = known_low(self).min(known_low(other));
         let mut out = AbsValue::top(self.width);
         if n > 0 {
@@ -559,5 +598,112 @@ mod tests {
         assert_eq!(v.not().as_const(), Some(0b1100));
         assert_eq!(AbsValue::top(4).not(), AbsValue::top(4));
         assert_eq!(AbsValue::bottom(4).not(), AbsValue::bottom(4));
+    }
+
+    /// All 256 abstract 4-bit words (4 lattice values per bit).
+    fn all_words() -> Vec<AbsValue> {
+        let mut out = Vec::with_capacity(256);
+        for code in 0..256u32 {
+            let bits: Vec<BitValue> = (0..4)
+                .map(|i| match (code >> (2 * i)) & 3 {
+                    0 => Bottom,
+                    1 => Zero,
+                    2 => One,
+                    _ => Top,
+                })
+                .collect();
+            out.push(AbsValue::from_bits(&bits));
+        }
+        out
+    }
+
+    /// Per-bit reference for a binary op: the definitionally-correct
+    /// bit-at-a-time evaluation the mask formulas must reproduce.
+    fn zip_ref(a: &AbsValue, b: &AbsValue, f: impl Fn(BitValue, BitValue) -> BitValue) -> AbsValue {
+        let bits: Vec<BitValue> = (0..a.width()).map(|i| f(a.bit(i), b.bit(i))).collect();
+        AbsValue::from_bits(&bits)
+    }
+
+    #[test]
+    fn mask_meet_matches_per_bit_meet() {
+        for a in all_words() {
+            for b in all_words() {
+                assert_eq!(a.meet(&b), zip_ref(&a, &b, BitValue::meet), "{a} ∧ {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_and_matches_per_bit_and() {
+        for a in all_words() {
+            for b in all_words() {
+                assert_eq!(a.and(&b), zip_ref(&a, &b, BitValue::and), "{a} & {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_or_matches_per_bit_or() {
+        for a in all_words() {
+            for b in all_words() {
+                assert_eq!(a.or(&b), zip_ref(&a, &b, BitValue::or), "{a} | {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_xor_matches_per_bit_xor() {
+        for a in all_words() {
+            for b in all_words() {
+                assert_eq!(a.xor(&b), zip_ref(&a, &b, BitValue::xor), "{a} ^ {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_le_matches_per_bit_ordering() {
+        for a in all_words() {
+            for b in all_words() {
+                let expect = (0..4).all(|i| a.bit(i).le(b.bit(i)));
+                assert_eq!(a.le(&b), expect, "{a} ≤ {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_shifts_match_per_bit_shifts() {
+        for a in all_words() {
+            for k in 0..4u32 {
+                // Reference shl: bit i+k = a.bit(i), low k bits known zero.
+                let shl: Vec<BitValue> =
+                    (0..4).map(|i| if i < k { Zero } else { a.bit(i - k) }).collect();
+                assert_eq!(a.shl_const(k), AbsValue::from_bits(&shl), "{a} << {k}");
+                // Reference shr: bit i = a.bit(i+k), high k bits known zero.
+                let shr: Vec<BitValue> =
+                    (0..4).map(|i| if i + k < 4 { a.bit(i + k) } else { Zero }).collect();
+                assert_eq!(a.shr_const(k), AbsValue::from_bits(&shr), "{a} >> {k}");
+                // Reference sra: vacated high bits replicate the sign bit.
+                let sign = a.bit(3);
+                let sra: Vec<BitValue> =
+                    (0..4).map(|i| if i + k < 4 { a.bit(i + k) } else { sign }).collect();
+                assert_eq!(a.sra_const(k), AbsValue::from_bits(&sra), "{a} >>a {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_ops_cover_full_width_words() {
+        // Width-64 edge: the mask arithmetic must not shift bits out of or
+        // into the word incorrectly when `mask == u64::MAX`.
+        let a = AbsValue::constant(64, 0xdead_beef_0123_4567);
+        let b = AbsValue::constant(64, 0x0f0f_0f0f_f0f0_f0f0);
+        let (ca, cb) = (0xdead_beef_0123_4567u64, 0x0f0f_0f0f_f0f0_f0f0u64);
+        assert_eq!(a.and(&b).as_const(), Some(ca & cb));
+        assert_eq!(a.or(&b).as_const(), Some(ca | cb));
+        assert_eq!(a.xor(&b).as_const(), Some(ca ^ cb));
+        assert_eq!(a.shl_const(17).as_const(), Some(ca << 17));
+        assert_eq!(a.shr_const(17).as_const(), Some(ca >> 17));
+        assert_eq!(a.sra_const(17).as_const(), Some(((ca as i64) >> 17) as u64));
+        assert_eq!(a.meet(&a), a);
     }
 }

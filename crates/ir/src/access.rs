@@ -1,0 +1,203 @@
+//! Precomputed per-point register accesses: the dense, allocation-free view
+//! of `read(p)` / `write(p)` that every bit-level analysis iterates.
+//!
+//! [`crate::PointInst::reads`] and `writes` allocate a fresh `Vec` per call
+//! (calls expand to their ABI effect sets), which is fine for one-off
+//! queries but dominated the analysis hot loops — the fixpoint solvers ask
+//! for the same sets thousands of times. [`AccessTable`] resolves them once
+//! per function into flat CSR arrays plus per-point `u64` bitmasks, so the
+//! solvers index arithmetically and never touch the instruction again.
+
+use crate::point::{PointId, PointLayout};
+use crate::program::Program;
+use crate::reg::{Reg, RegMask};
+
+/// Per-point read/write register lists (CSR layout, faithful to
+/// [`crate::PointInst`] order including duplicates) and deduplicated
+/// [`RegMask`] bitmasks, for one function.
+///
+/// Only machine programs are supported: every register must be physical
+/// with an index below 64 (RV32 has 32 architectural registers; the
+/// bitmask representation holds up to 64).
+#[derive(Clone, Debug)]
+pub struct AccessTable {
+    read_off: Vec<u32>,
+    read_regs: Vec<Reg>,
+    write_off: Vec<u32>,
+    write_regs: Vec<Reg>,
+    read_mask: Vec<RegMask>,
+    write_mask: Vec<RegMask>,
+    /// Union of every point's access mask plus the signature's argument
+    /// registers (the function's register universe).
+    mentioned: RegMask,
+}
+
+impl AccessTable {
+    /// Resolves every point of `f` once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function mentions a virtual register or a register
+    /// index ≥ 64 (bit-level analyses require a machine program with at
+    /// most 64 architectural registers).
+    pub fn of(
+        program: &Program,
+        f: &crate::function::Function,
+        layout: &PointLayout,
+    ) -> AccessTable {
+        let n = layout.len();
+        let mut t = AccessTable {
+            read_off: Vec::with_capacity(n + 1),
+            read_regs: Vec::new(),
+            write_off: Vec::with_capacity(n + 1),
+            write_regs: Vec::new(),
+            read_mask: Vec::with_capacity(n),
+            write_mask: Vec::with_capacity(n),
+            mentioned: RegMask::empty(),
+        };
+        let check = |r: Reg| -> Reg {
+            assert!(
+                !r.is_virtual() && r.index() < 64,
+                "bit-level analyses require physical registers below index 64, got {r}"
+            );
+            r
+        };
+        t.read_off.push(0);
+        t.write_off.push(0);
+        for p in layout.iter() {
+            let pi = layout.resolve(f, p);
+            let mut rm = RegMask::empty();
+            for r in pi.reads(program) {
+                rm.insert(check(r));
+                t.read_regs.push(r);
+            }
+            let mut wm = RegMask::empty();
+            for r in pi.writes(program) {
+                wm.insert(check(r));
+                t.write_regs.push(r);
+            }
+            t.read_off.push(t.read_regs.len() as u32);
+            t.write_off.push(t.write_regs.len() as u32);
+            t.read_mask.push(rm);
+            t.write_mask.push(wm);
+            t.mentioned = t.mentioned.union(rm).union(wm);
+        }
+        for r in f.sig.arg_regs() {
+            t.mentioned.insert(check(r));
+        }
+        t
+    }
+
+    /// Number of points covered.
+    pub fn len(&self) -> usize {
+        self.read_mask.len()
+    }
+
+    /// Whether the function has no points.
+    pub fn is_empty(&self) -> bool {
+        self.read_mask.is_empty()
+    }
+
+    /// Registers read at `p`, in instruction-operand order (may repeat).
+    pub fn reads(&self, p: PointId) -> &[Reg] {
+        let i = p.index();
+        &self.read_regs[self.read_off[i] as usize..self.read_off[i + 1] as usize]
+    }
+
+    /// Registers written at `p`.
+    pub fn writes(&self, p: PointId) -> &[Reg] {
+        let i = p.index();
+        &self.write_regs[self.write_off[i] as usize..self.write_off[i + 1] as usize]
+    }
+
+    /// Deduplicated mask of registers read at `p`.
+    pub fn read_mask(&self, p: PointId) -> RegMask {
+        self.read_mask[p.index()]
+    }
+
+    /// Deduplicated mask of registers written at `p`.
+    pub fn write_mask(&self, p: PointId) -> RegMask {
+        self.write_mask[p.index()]
+    }
+
+    /// Registers accessed (read or written) at `p`.
+    pub fn access_mask(&self, p: PointId) -> RegMask {
+        self.read_mask[p.index()].union(self.write_mask[p.index()])
+    }
+
+    /// Every register the function mentions (accesses anywhere, plus its
+    /// signature's argument registers).
+    pub fn mentioned(&self) -> RegMask {
+        self.mentioned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn table_matches_point_inst_queries() {
+        let p = parse_program(
+            r#"
+func @f(args=1, ret=a0) {
+entry:
+    slli a0, a0, 1
+    ret a0
+}
+func @main(args=0, ret=none) {
+entry:
+    li a0, 3
+    call @f
+    add t0, a0, a0
+    print t0
+    exit
+}
+"#,
+        )
+        .unwrap();
+        for f in &p.functions {
+            let layout = PointLayout::of(f);
+            let t = AccessTable::of(&p, f, &layout);
+            for pt in layout.iter() {
+                let pi = layout.resolve(f, pt);
+                assert_eq!(t.reads(pt), pi.reads(&p).as_slice(), "{}:{pt}", f.name);
+                assert_eq!(t.writes(pt), pi.writes(&p).as_slice(), "{}:{pt}", f.name);
+                for r in pi.reads(&p) {
+                    assert!(t.read_mask(pt).contains(r));
+                }
+                for r in pi.writes(&p) {
+                    assert!(t.write_mask(pt).contains(r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_operands_are_kept_in_lists_once_in_masks() {
+        let p = parse_program(
+            "func @main(args=0, ret=none) {\nentry:\n    add t0, t1, t1\n    print t0\n    exit\n}\n",
+        )
+        .unwrap();
+        let f = p.entry_function();
+        let layout = PointLayout::of(f);
+        let t = AccessTable::of(&p, f, &layout);
+        assert_eq!(t.reads(PointId(0)), &[Reg::T1, Reg::T1]);
+        assert_eq!(t.read_mask(PointId(0)).count(), 1);
+        assert!(t.mentioned().contains(Reg::T0));
+    }
+
+    #[test]
+    fn mentioned_includes_argument_registers() {
+        let p = parse_program(
+            "func @f(args=2, ret=none) {\nentry:\n    print a0\n    exit\n}\nfunc @main(args=0, ret=none) {\nentry:\n    exit\n}\n",
+        )
+        .unwrap();
+        let f = p.function("f").unwrap();
+        let layout = PointLayout::of(f);
+        let t = AccessTable::of(&p, f, &layout);
+        // a1 is an argument register even though no instruction touches it.
+        assert!(t.mentioned().contains(Reg::A1));
+    }
+}

@@ -9,21 +9,64 @@
 //!
 //! Data flow is not restricted to SSA: `|def(p, v)| > 1` is common after SSA
 //! deconstruction.
+//!
+//! Representation: the per-register fixpoints run over dense bitsets of the
+//! register's definition (resp. read) points — one or two `u64` words for
+//! real functions — and the final chains live in flat CSR arrays indexed
+//! arithmetically by `point_idx * num_regs + reg_idx`. No hashing, no
+//! per-block set allocation, no re-resolving of instruction operands.
 
+use crate::access::AccessTable;
 use crate::cfg::Cfg;
 use crate::function::Function;
 use crate::point::{PointId, PointLayout};
 use crate::program::Program;
-use crate::reg::Reg;
-use std::collections::{BTreeSet, HashMap};
+use crate::reg::{Reg, RegMask};
 
-/// Def–use chains of one function.
+/// Def–use chains of one function, in dense CSR storage.
 #[derive(Clone, Debug)]
 pub struct DefUse {
-    /// `def(p, v)` for every register `v` read at `p`.
-    reaching: HashMap<(PointId, Reg), Vec<PointId>>,
-    /// `use(p, v)` for every register `v` accessed (read or written) at `p`.
-    users: HashMap<(PointId, Reg), Vec<PointId>>,
+    nregs: u32,
+    /// Per `(point, reg)`: `(offset, len)` into `def_data` (reads only).
+    def_ranges: Vec<(u32, u32)>,
+    /// Per `(point, reg)`: `(offset, len)` into `use_data` (accesses only).
+    use_ranges: Vec<(u32, u32)>,
+    def_data: Vec<PointId>,
+    use_data: Vec<PointId>,
+    /// Per-point read masks (minus the zero register): `is_read_site`.
+    read_mask: Vec<RegMask>,
+}
+
+/// A tiny fixed-width bitset over `&mut [u64]` slices (the per-register
+/// fixpoints own one contiguous buffer of `blocks × words`).
+mod bits {
+    pub fn insert(w: &mut [u64], i: usize) {
+        w[i / 64] |= 1u64 << (i % 64);
+    }
+    pub fn clear(w: &mut [u64]) {
+        w.fill(0);
+    }
+    pub fn union_into(dst: &mut [u64], src: &[u64]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d |= s;
+        }
+    }
+    pub fn equals(a: &[u64], b: &[u64]) -> bool {
+        a == b
+    }
+    pub fn iter_ones(w: &[u64]) -> impl Iterator<Item = usize> + '_ {
+        w.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
 }
 
 impl DefUse {
@@ -33,132 +76,189 @@ impl DefUse {
     pub fn compute(f: &Function, program: &Program) -> DefUse {
         let layout = PointLayout::of(f);
         let cfg = Cfg::of(f);
-        let zero = program.config.zero_reg;
-
-        // Collect the registers that appear at all.
-        let mut regs: BTreeSet<Reg> = BTreeSet::new();
-        for p in layout.iter() {
-            let pi = layout.resolve(f, p);
-            regs.extend(pi.reads(program));
-            regs.extend(pi.writes(program));
-        }
-        if let Some(z) = zero {
-            regs.remove(&z);
-        }
-
-        let mut reaching = HashMap::new();
-        let mut users = HashMap::new();
-        for &r in &regs {
-            Self::chain_one_reg(f, program, &layout, &cfg, r, &mut reaching, &mut users);
-        }
-        DefUse { reaching, users }
+        let access = AccessTable::of(program, f, &layout);
+        DefUse::compute_with(f, program, &layout, &cfg, &access)
     }
 
-    fn chain_one_reg(
+    /// [`DefUse::compute`] with the shared per-function context precomputed
+    /// by the caller.
+    pub fn compute_with(
         f: &Function,
         program: &Program,
         layout: &PointLayout,
         cfg: &Cfg,
+        access: &AccessTable,
+    ) -> DefUse {
+        let nregs = program.config.num_regs.min(64);
+        let zero = match program.config.zero_reg {
+            Some(z) => RegMask::of(z),
+            None => RegMask::empty(),
+        };
+        let np = layout.len();
+        let mut du = DefUse {
+            nregs,
+            def_ranges: vec![(0, 0); np * nregs as usize],
+            use_ranges: vec![(0, 0); np * nregs as usize],
+            def_data: Vec::new(),
+            use_data: Vec::new(),
+            read_mask: (0..np)
+                .map(|i| access.read_mask(PointId(i as u32)).difference(zero))
+                .collect(),
+        };
+        for r in access.mentioned().difference(zero).iter() {
+            du.chain_one_reg(f, layout, cfg, access, zero, r);
+        }
+        du
+    }
+
+    fn slot(&self, p: PointId, r: Reg) -> Option<usize> {
+        (!r.is_virtual() && r.index() < self.nregs)
+            .then(|| p.index() * self.nregs as usize + r.index() as usize)
+    }
+
+    fn chain_one_reg(
+        &mut self,
+        f: &Function,
+        layout: &PointLayout,
+        cfg: &Cfg,
+        access: &AccessTable,
+        zero: RegMask,
         r: Reg,
-        reaching: &mut HashMap<(PointId, Reg), Vec<PointId>>,
-        users: &mut HashMap<(PointId, Reg), Vec<PointId>>,
     ) {
         let nb = f.blocks.len();
+        let reads = |p: PointId| access.read_mask(p).difference(zero).contains(r);
+        let writes = |p: PointId| access.write_mask(p).contains(r);
+
+        // Dense numbering of r's definition and read points.
+        let mut def_points: Vec<PointId> = Vec::new();
+        let mut read_points: Vec<PointId> = Vec::new();
+        for p in layout.iter() {
+            if writes(p) {
+                def_points.push(p);
+            }
+            if reads(p) {
+                read_points.push(p);
+            }
+        }
+        let def_id = |p: PointId| def_points.binary_search(&p).expect("definition point");
+        let read_id = |p: PointId| read_points.binary_search(&p).expect("read point");
 
         // --- Forward: reaching definitions of r. ---
-        // Block summaries: does the block define r, and what's the last def?
-        let mut block_out: Vec<BTreeSet<PointId>> = vec![BTreeSet::new(); nb];
+        // Block transfer: a block with a definition exports exactly its last
+        // def; a block without one passes the union of its predecessors.
+        let dwords = def_points.len().div_ceil(64).max(1);
+        let mut last_def: Vec<Option<usize>> = vec![None; nb];
+        for (i, &d) in def_points.iter().enumerate() {
+            last_def[layout.block_of(d).index()] = Some(i);
+        }
+        let mut block_out = vec![0u64; nb * dwords];
+        let mut scratch = vec![0u64; dwords];
         let mut changed = true;
         while changed {
             changed = false;
             for &b in cfg.reverse_postorder() {
-                let mut defs: BTreeSet<PointId> = BTreeSet::new();
-                for &pr in cfg.predecessors(b) {
-                    defs.extend(block_out[pr.index()].iter().copied());
-                }
-                let blk = f.block(b);
-                for off in 0..blk.point_count() {
-                    let p = layout.point(b, off);
-                    let pi = layout.resolve(f, p);
-                    if pi.writes(program).contains(&r) {
-                        defs.clear();
-                        defs.insert(p);
+                let bi = b.index();
+                bits::clear(&mut scratch);
+                if let Some(d) = last_def[bi] {
+                    bits::insert(&mut scratch, d);
+                } else {
+                    for &pr in cfg.predecessors(b) {
+                        let (lo, hi) = (pr.index() * dwords, (pr.index() + 1) * dwords);
+                        // Split borrow: scratch is separate storage.
+                        bits::union_into(&mut scratch, &block_out[lo..hi]);
                     }
                 }
-                if block_out[b.index()] != defs {
-                    block_out[b.index()] = defs;
+                let out = &mut block_out[bi * dwords..(bi + 1) * dwords];
+                if !bits::equals(out, &scratch) {
+                    out.copy_from_slice(&scratch);
                     changed = true;
                 }
             }
         }
         // Local walk to answer def(p, r) per read.
+        let mut cur = vec![0u64; dwords];
         for (bi, blk) in f.blocks.iter().enumerate() {
             let b = crate::function::BlockId(bi as u32);
-            let mut defs: BTreeSet<PointId> = BTreeSet::new();
+            bits::clear(&mut cur);
             for &pr in cfg.predecessors(b) {
-                defs.extend(block_out[pr.index()].iter().copied());
+                bits::union_into(
+                    &mut cur,
+                    &block_out[pr.index() * dwords..(pr.index() + 1) * dwords],
+                );
             }
             for off in 0..blk.point_count() {
                 let p = layout.point(b, off);
-                let pi = layout.resolve(f, p);
-                if pi.reads(program).contains(&r) {
-                    reaching.insert((p, r), defs.iter().copied().collect());
+                if reads(p) {
+                    let start = self.def_data.len() as u32;
+                    self.def_data.extend(bits::iter_ones(&cur).map(|i| def_points[i]));
+                    let len = self.def_data.len() as u32 - start;
+                    let slot = self.slot(p, r).expect("machine register");
+                    self.def_ranges[slot] = (start, len);
                 }
-                if pi.writes(program).contains(&r) {
-                    defs.clear();
-                    defs.insert(p);
+                if writes(p) {
+                    bits::clear(&mut cur);
+                    bits::insert(&mut cur, def_id(p));
                 }
             }
         }
 
         // --- Backward: readers reachable without redefinition. ---
-        let mut block_in: Vec<BTreeSet<PointId>> = vec![BTreeSet::new(); nb];
+        let rwords = read_points.len().div_ceil(64).max(1);
+        let mut block_in = vec![0u64; nb * rwords];
+        let mut scratch = vec![0u64; rwords];
         let mut changed = true;
         while changed {
             changed = false;
             for &b in &cfg.postorder() {
-                let mut rd: BTreeSet<PointId> = BTreeSet::new();
+                let bi = b.index();
+                bits::clear(&mut scratch);
                 for &s in cfg.successors(b) {
-                    rd.extend(block_in[s.index()].iter().copied());
+                    bits::union_into(
+                        &mut scratch,
+                        &block_in[s.index() * rwords..(s.index() + 1) * rwords],
+                    );
                 }
                 let blk = f.block(b);
                 for off in (0..blk.point_count()).rev() {
                     let p = layout.point(b, off);
-                    let pi = layout.resolve(f, p);
-                    if pi.writes(program).contains(&r) {
-                        rd.clear();
+                    if writes(p) {
+                        bits::clear(&mut scratch);
                     }
-                    if pi.reads(program).contains(&r) {
-                        rd.insert(p);
+                    if reads(p) {
+                        bits::insert(&mut scratch, read_id(p));
                     }
                 }
-                if block_in[b.index()] != rd {
-                    block_in[b.index()] = rd;
+                let inb = &mut block_in[bi * rwords..(bi + 1) * rwords];
+                if !bits::equals(inb, &scratch) {
+                    inb.copy_from_slice(&scratch);
                     changed = true;
                 }
             }
         }
         // Local walk to answer use(p, r) per access.
+        let mut cur = vec![0u64; rwords];
         for (bi, blk) in f.blocks.iter().enumerate() {
             let b = crate::function::BlockId(bi as u32);
-            let mut rd: BTreeSet<PointId> = BTreeSet::new();
+            bits::clear(&mut cur);
             for &s in cfg.successors(b) {
-                rd.extend(block_in[s.index()].iter().copied());
+                bits::union_into(&mut cur, &block_in[s.index() * rwords..(s.index() + 1) * rwords]);
             }
             for off in (0..blk.point_count()).rev() {
                 let p = layout.point(b, off);
-                let pi = layout.resolve(f, p);
-                let accesses = pi.reads(program).contains(&r) || pi.writes(program).contains(&r);
-                if accesses {
+                if reads(p) || writes(p) {
                     // use(p, r): readers *after* p — the state before this
                     // backward step.
-                    users.insert((p, r), rd.iter().copied().collect());
+                    let start = self.use_data.len() as u32;
+                    self.use_data.extend(bits::iter_ones(&cur).map(|i| read_points[i]));
+                    let len = self.use_data.len() as u32 - start;
+                    let slot = self.slot(p, r).expect("machine register");
+                    self.use_ranges[slot] = (start, len);
                 }
-                if pi.writes(program).contains(&r) {
-                    rd.clear();
+                if writes(p) {
+                    bits::clear(&mut cur);
                 }
-                if pi.reads(program).contains(&r) {
-                    rd.insert(p);
+                if reads(p) {
+                    bits::insert(&mut cur, read_id(p));
                 }
             }
         }
@@ -168,18 +268,30 @@ impl DefUse {
     /// slice means the value flows in from outside the function (an
     /// argument or uninitialized register), which analyses treat as unknown.
     pub fn defs(&self, p: PointId, v: Reg) -> &[PointId] {
-        self.reaching.get(&(p, v)).map(Vec::as_slice).unwrap_or(&[])
+        match self.slot(p, v) {
+            Some(s) => {
+                let (start, len) = self.def_ranges[s];
+                &self.def_data[start as usize..(start + len) as usize]
+            }
+            None => &[],
+        }
     }
 
     /// `use(p, v)`: reads of `v` reachable from `p` (exclusive) without an
     /// intervening redefinition. Only meaningful when `v` is accessed at `p`.
     pub fn uses(&self, p: PointId, v: Reg) -> &[PointId] {
-        self.users.get(&(p, v)).map(Vec::as_slice).unwrap_or(&[])
+        match self.slot(p, v) {
+            Some(s) => {
+                let (start, len) = self.use_ranges[s];
+                &self.use_data[start as usize..(start + len) as usize]
+            }
+            None => &[],
+        }
     }
 
     /// Whether the pair `(p, v)` is a recorded read site.
     pub fn is_read_site(&self, p: PointId, v: Reg) -> bool {
-        self.reaching.contains_key(&(p, v))
+        self.read_mask[p.index()].contains(v)
     }
 }
 

@@ -31,6 +31,7 @@
 //! # Ok::<(), bec_ir::IrError>(())
 //! ```
 
+pub mod access;
 pub mod builder;
 pub mod cfg;
 pub mod config;
@@ -47,6 +48,7 @@ pub mod reg;
 pub mod semantics;
 pub mod verify;
 
+pub use access::AccessTable;
 pub use builder::{FunctionBuilder, ProgramBuilder};
 pub use cfg::Cfg;
 pub use config::MachineConfig;
@@ -59,5 +61,5 @@ pub use parser::parse_program;
 pub use point::{PointId, PointInst, PointLayout};
 pub use printer::print_program;
 pub use program::{Global, Program};
-pub use reg::Reg;
+pub use reg::{Reg, RegMask};
 pub use verify::verify_program;

@@ -1,4 +1,4 @@
-//! Per-point register liveness (backward dataflow).
+//! Per-point register liveness (backward dataflow) over [`RegMask`] words.
 //!
 //! Liveness drives the paper's `kill(p)` sets: a register accessed at `p`
 //! but not live after `p` is killed there, and any fault arising in it after
@@ -12,135 +12,24 @@
 //! adjustment would be refuted by fault injection (the caller's next stack
 //! access crashes). The entry function has no caller, so nothing outlives
 //! its `ret`/`exit`.
+//!
+//! Every per-point set is one [`RegMask`] (`u64`): transfer through a point
+//! is two mask operations, block joins are single-word ors, and the whole
+//! `live_after` table is a flat `Vec<RegMask>` indexed by point — no heap
+//! bitsets, no hashing.
 
+use crate::access::AccessTable;
 use crate::cfg::Cfg;
 use crate::function::Function;
 use crate::point::{PointId, PointLayout};
 use crate::program::Program;
-use crate::reg::Reg;
-use std::collections::HashMap;
+use crate::reg::{Reg, RegMask};
 
-/// Dense register numbering for one function (physical and virtual).
-#[derive(Clone, Debug, Default)]
-pub struct RegUniverse {
-    regs: Vec<Reg>,
-    index: HashMap<Reg, usize>,
-}
-
-impl RegUniverse {
-    /// Collects every register mentioned by `f` (including call ABI effects).
-    pub fn of(f: &Function, program: &Program) -> RegUniverse {
-        let mut u = RegUniverse::default();
-        let layout = PointLayout::of(f);
-        for p in layout.iter() {
-            let pi = layout.resolve(f, p);
-            for r in pi.reads(program).into_iter().chain(pi.writes(program)) {
-                u.intern(r);
-            }
-        }
-        for r in f.sig.arg_regs() {
-            u.intern(r);
-        }
-        u
-    }
-
-    fn intern(&mut self, r: Reg) -> usize {
-        if let Some(&i) = self.index.get(&r) {
-            return i;
-        }
-        let i = self.regs.len();
-        self.regs.push(r);
-        self.index.insert(r, i);
-        i
-    }
-
-    /// Number of distinct registers.
-    pub fn len(&self) -> usize {
-        self.regs.len()
-    }
-
-    /// True when no register is mentioned.
-    pub fn is_empty(&self) -> bool {
-        self.regs.is_empty()
-    }
-
-    /// Dense index of `r`, if it appears in the function.
-    pub fn id(&self, r: Reg) -> Option<usize> {
-        self.index.get(&r).copied()
-    }
-
-    /// The register with dense index `i`.
-    pub fn reg(&self, i: usize) -> Reg {
-        self.regs[i]
-    }
-
-    /// All registers in interning order.
-    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
-        self.regs.iter().copied()
-    }
-}
-
-/// A fixed-capacity bitset over a [`RegUniverse`].
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct RegSet {
-    words: Vec<u64>,
-}
-
-impl RegSet {
-    /// The empty set for a universe of `n` registers.
-    pub fn empty(n: usize) -> RegSet {
-        RegSet { words: vec![0; n.div_ceil(64)] }
-    }
-
-    /// Inserts dense register index `i`; returns whether it was new.
-    pub fn insert(&mut self, i: usize) -> bool {
-        let w = &mut self.words[i / 64];
-        let bit = 1u64 << (i % 64);
-        let new = *w & bit == 0;
-        *w |= bit;
-        new
-    }
-
-    /// Removes dense register index `i`.
-    pub fn remove(&mut self, i: usize) {
-        self.words[i / 64] &= !(1u64 << (i % 64));
-    }
-
-    /// Membership test.
-    pub fn contains(&self, i: usize) -> bool {
-        self.words[i / 64] & (1u64 << (i % 64)) != 0
-    }
-
-    /// In-place union; returns whether `self` changed.
-    pub fn union_with(&mut self, other: &RegSet) -> bool {
-        let mut changed = false;
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            let old = *a;
-            *a |= b;
-            changed |= *a != old;
-        }
-        changed
-    }
-
-    /// Iterates over member indices.
-    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            (0..64).filter(move |b| w & (1 << b) != 0).map(move |b| wi * 64 + b)
-        })
-    }
-
-    /// Number of members.
-    pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
-    }
-}
-
-/// Liveness analysis results for one function.
+/// Liveness analysis results for one function: one [`RegMask`] per point.
 #[derive(Clone, Debug)]
 pub struct Liveness {
-    universe: RegUniverse,
     /// Registers live immediately after each point.
-    live_after: Vec<RegSet>,
+    live_after: Vec<RegMask>,
 }
 
 impl Liveness {
@@ -150,75 +39,75 @@ impl Liveness {
     /// registers are live at `ret` points (they are listed in the
     /// terminator's read set).
     pub fn compute(f: &Function, program: &Program) -> Liveness {
-        let universe = RegUniverse::of(f, program);
         let layout = PointLayout::of(f);
         let cfg = Cfg::of(f);
-        let n = universe.len();
-        let zero = program.config.zero_reg;
+        let access = AccessTable::of(program, f, &layout);
+        Liveness::compute_with(f, program, &layout, &cfg, &access)
+    }
 
-        let reg_ids = |regs: Vec<Reg>| -> Vec<usize> {
-            regs.into_iter().filter(|r| Some(*r) != zero).filter_map(|r| universe.id(r)).collect()
+    /// [`Liveness::compute`] with the shared per-function context
+    /// precomputed by the caller (the analysis orchestrator resolves the
+    /// layout, CFG and access table once and feeds every analysis).
+    pub fn compute_with(
+        f: &Function,
+        program: &Program,
+        layout: &PointLayout,
+        cfg: &Cfg,
+        access: &AccessTable,
+    ) -> Liveness {
+        let zero = match program.config.zero_reg {
+            Some(z) => RegMask::of(z),
+            None => RegMask::empty(),
         };
+        let read = |p: PointId| access.read_mask(p).difference(zero);
+        let write = |p: PointId| access.write_mask(p).difference(zero);
 
         // Registers live out of a `ret` (see module docs): the ABI-preserved
-        // set plus the return-value registers, whose windows open inside the
-        // caller. Empty for the entry function, which nothing returns into.
-        let mut ret_seed = RegSet::empty(n);
+        // subset of the registers the function mentions, plus the return
+        // terminator's own reads. Empty for the entry function, which
+        // nothing returns into.
+        let mut ret_seed = RegMask::empty();
         if f.name != program.entry {
-            for r in universe.iter() {
-                if (r == Reg::RA || r.is_callee_saved()) && Some(r) != zero {
-                    ret_seed.insert(universe.id(r).expect("universe member"));
+            for r in access.mentioned().iter() {
+                if r == Reg::RA || r.is_callee_saved() {
+                    ret_seed.insert(r);
                 }
             }
+            ret_seed = ret_seed.difference(zero);
         }
-        let exit_seeds: Vec<Option<RegSet>> = f
-            .blocks
-            .iter()
-            .map(|blk| {
-                if f.name == program.entry {
-                    return None;
-                }
-                match &blk.term {
-                    crate::inst::TerminatorKind::Ret { reads } => {
-                        let mut seed = ret_seed.clone();
-                        for id in reg_ids(reads.clone()) {
-                            seed.insert(id);
-                        }
-                        Some(seed)
+        let exit_seed = |b: crate::function::BlockId| -> RegMask {
+            if f.name == program.entry {
+                return RegMask::empty();
+            }
+            match &f.block(b).term {
+                crate::inst::TerminatorKind::Ret { reads } => {
+                    let mut seed = ret_seed;
+                    for &r in reads {
+                        seed.insert(r);
                     }
-                    _ => None,
+                    seed.difference(zero)
                 }
-            })
-            .collect();
-        let block_exit_live =
-            |b: crate::function::BlockId| -> Option<&RegSet> { exit_seeds[b.index()].as_ref() };
+                _ => RegMask::empty(),
+            }
+        };
 
-        // Block-level fixpoint on live-in sets.
+        // Block-level fixpoint on live-in masks.
         let nb = f.blocks.len();
-        let mut block_live_in = vec![RegSet::empty(n); nb];
+        let mut block_live_in = vec![RegMask::empty(); nb];
         let mut changed = true;
         while changed {
             changed = false;
             for &b in &cfg.postorder() {
                 // live at block end = union of successors' live-in.
-                let mut live = RegSet::empty(n);
+                let mut live = exit_seed(b);
                 for &s in cfg.successors(b) {
-                    live.union_with(&block_live_in[s.index()]);
+                    live.union_with(block_live_in[s.index()]);
                 }
-                if let Some(seed) = block_exit_live(b) {
-                    live.union_with(seed);
-                }
-                // Walk points backward.
+                // Walk points backward: live' = (live \ write) ∪ read.
                 let blk = f.block(b);
                 for off in (0..blk.point_count()).rev() {
                     let p = layout.point(b, off);
-                    let pi = layout.resolve(f, p);
-                    for w in reg_ids(pi.writes(program)) {
-                        live.remove(w);
-                    }
-                    for r in reg_ids(pi.reads(program)) {
-                        live.insert(r);
-                    }
+                    live = live.difference(write(p)).union(read(p));
                 }
                 if block_live_in[b.index()] != live {
                     block_live_in[b.index()] = live;
@@ -228,45 +117,36 @@ impl Liveness {
         }
 
         // Final pass: record live-after per point.
-        let mut live_after = vec![RegSet::empty(n); layout.len()];
+        let mut live_after = vec![RegMask::empty(); layout.len()];
         for (bi, blk) in f.blocks.iter().enumerate() {
             let b = crate::function::BlockId(bi as u32);
-            let mut live = RegSet::empty(n);
+            let mut live = exit_seed(b);
             for &s in cfg.successors(b) {
-                live.union_with(&block_live_in[s.index()]);
-            }
-            if let Some(seed) = block_exit_live(b) {
-                live.union_with(seed);
+                live.union_with(block_live_in[s.index()]);
             }
             for off in (0..blk.point_count()).rev() {
                 let p = layout.point(b, off);
-                live_after[p.index()] = live.clone();
-                let pi = layout.resolve(f, p);
-                for w in reg_ids(pi.writes(program)) {
-                    live.remove(w);
-                }
-                for r in reg_ids(pi.reads(program)) {
-                    live.insert(r);
-                }
+                live_after[p.index()] = live;
+                live = live.difference(write(p)).union(read(p));
             }
         }
 
-        Liveness { universe, live_after }
-    }
-
-    /// The register universe the sets are indexed by.
-    pub fn universe(&self) -> &RegUniverse {
-        &self.universe
+        Liveness { live_after }
     }
 
     /// Whether `r` is live immediately after point `p`.
     pub fn is_live_after(&self, p: PointId, r: Reg) -> bool {
-        self.universe.id(r).is_some_and(|i| self.live_after[p.index()].contains(i))
+        self.live_after[p.index()].contains(r)
     }
 
-    /// The registers live immediately after `p`.
+    /// The registers live immediately after `p`, as a mask.
+    pub fn live_after_mask(&self, p: PointId) -> RegMask {
+        self.live_after[p.index()]
+    }
+
+    /// The registers live immediately after `p`, in ascending index order.
     pub fn live_after(&self, p: PointId) -> impl Iterator<Item = Reg> + '_ {
-        self.live_after[p.index()].iter().map(|i| self.universe.reg(i))
+        self.live_after[p.index()].iter()
     }
 
     /// Number of registers live after `p`.
@@ -312,6 +192,7 @@ mod tests {
         assert!(!lv.is_live_after(PointId(2), Reg::T1));
         // After print, nothing is live.
         assert_eq!(lv.live_after_count(PointId(3)), 0);
+        assert!(lv.live_after_mask(PointId(3)).is_empty());
     }
 
     #[test]
@@ -377,15 +258,14 @@ entry:
     }
 
     #[test]
-    fn regset_operations() {
-        let mut s = RegSet::empty(100);
-        assert!(s.insert(3));
-        assert!(!s.insert(3));
-        assert!(s.insert(99));
-        assert!(s.contains(3));
-        s.remove(3);
-        assert!(!s.contains(3));
-        assert_eq!(s.iter().collect::<Vec<_>>(), vec![99]);
-        assert_eq!(s.count(), 1);
+    fn zero_register_is_never_live() {
+        let p = crate::parse_program(
+            "func @main(args=0, ret=none) {\nentry:\n    add t0, zero, zero\n    print t0\n    exit\n}\n",
+        )
+        .unwrap();
+        let f = p.entry_function();
+        let lv = Liveness::compute(f, &p);
+        assert!(!lv.is_live_after(PointId(0), Reg::ZERO));
+        assert!(lv.is_live_after(PointId(0), Reg::T0));
     }
 }

@@ -173,6 +173,30 @@ impl PointLayout {
     pub fn is_terminator(&self, f: &Function, p: PointId) -> bool {
         self.offset_in_block(p) == f.block(self.block_of(p)).insts.len()
     }
+
+    /// The points of `block`, in order.
+    pub fn block_points(&self, block: BlockId) -> impl Iterator<Item = PointId> {
+        let start = self.block_start[block.index()];
+        let end = self.block_start.get(block.index() + 1).copied().unwrap_or(self.total as u32);
+        (start..end).map(PointId)
+    }
+
+    /// Visit priority of every point for a forward dataflow: the rank of the
+    /// point when blocks are taken in the CFG's reverse postorder and points
+    /// within a block in program order. Lower rank = visit earlier; a
+    /// priority worklist keyed on these ranks converges in near-minimal
+    /// passes on reducible CFGs.
+    pub fn rpo_ranks(&self, cfg: &crate::cfg::Cfg) -> Vec<u32> {
+        let mut rank = vec![0u32; self.total];
+        let mut next = 0u32;
+        for &b in cfg.reverse_postorder() {
+            for p in self.block_points(b) {
+                rank[p.index()] = next;
+                next += 1;
+            }
+        }
+        rank
+    }
 }
 
 #[cfg(test)]

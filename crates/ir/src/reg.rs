@@ -174,6 +174,124 @@ impl Reg {
     }
 }
 
+/// A set of physical registers as a single `u64` bitmask (bit `i` =
+/// register index `i`).
+///
+/// RV32 has 32 architectural registers and no supported machine config
+/// exceeds 64, so one word covers every register set the analyses handle;
+/// all set algebra is branch-free mask arithmetic. The analysis paths
+/// (liveness, def–use, checkpoint convergence) use this instead of heap
+/// bitsets or hash sets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegMask(pub u64);
+
+impl RegMask {
+    /// The empty set.
+    pub const fn empty() -> RegMask {
+        RegMask(0)
+    }
+
+    /// The set containing exactly `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `r` is virtual or its index is ≥ 64.
+    pub fn of(r: Reg) -> RegMask {
+        debug_assert!(!r.is_virtual() && r.index() < 64, "RegMask holds physical regs < 64");
+        RegMask(1u64 << r.index())
+    }
+
+    /// The set containing `r`, or the empty set when `r` does not fit the
+    /// mask (virtual, or index ≥ 64). For paths that must tolerate exotic
+    /// configs: callers compare such registers exactly instead.
+    pub fn of_saturating(r: Reg) -> RegMask {
+        if !r.is_virtual() && r.index() < 64 {
+            RegMask(1u64 << r.index())
+        } else {
+            RegMask(0)
+        }
+    }
+
+    /// Inserts `r`; returns whether it was new.
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let bit = RegMask::of(r).0;
+        let new = self.0 & bit == 0;
+        self.0 |= bit;
+        new
+    }
+
+    /// Removes `r`.
+    pub fn remove(&mut self, r: Reg) {
+        self.0 &= !RegMask::of(r).0;
+    }
+
+    /// Membership test.
+    pub fn contains(self, r: Reg) -> bool {
+        !r.is_virtual() && r.index() < 64 && self.0 & (1u64 << r.index()) != 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: RegMask) -> RegMask {
+        RegMask(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: RegMask) -> RegMask {
+        RegMask(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(self, other: RegMask) -> RegMask {
+        RegMask(self.0 & !other.0)
+    }
+
+    /// In-place union; returns whether `self` grew.
+    pub fn union_with(&mut self, other: RegMask) -> bool {
+        let old = self.0;
+        self.0 |= other.0;
+        self.0 != old
+    }
+
+    /// Whether no register is in the set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of members.
+    pub fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates members in ascending register-index order.
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let i = bits.trailing_zeros();
+            bits &= bits - 1;
+            Some(Reg::phys(i))
+        })
+    }
+}
+
+impl FromIterator<Reg> for RegMask {
+    fn from_iter<T: IntoIterator<Item = Reg>>(iter: T) -> RegMask {
+        let mut m = RegMask::empty();
+        for r in iter {
+            m.insert(r);
+        }
+        m
+    }
+}
+
+impl fmt::Debug for RegMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
 impl fmt::Debug for Reg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_virtual() {
@@ -241,5 +359,25 @@ mod tests {
     #[should_panic]
     fn arg_index_out_of_range_panics() {
         let _ = Reg::arg(8);
+    }
+
+    #[test]
+    fn regmask_set_algebra() {
+        let mut m = RegMask::empty();
+        assert!(m.insert(Reg::T0));
+        assert!(!m.insert(Reg::T0));
+        assert!(m.insert(Reg::A0));
+        assert!(m.contains(Reg::T0) && m.contains(Reg::A0));
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![Reg::T0, Reg::A0]);
+        m.remove(Reg::T0);
+        assert!(!m.contains(Reg::T0));
+        let other = RegMask::of(Reg::SP).union(RegMask::of(Reg::A0));
+        assert_eq!(m.union(other).count(), 2);
+        assert_eq!(m.intersect(other), RegMask::of(Reg::A0));
+        assert_eq!(other.difference(m), RegMask::of(Reg::SP));
+        assert!(!m.contains(Reg::virt(10)));
+        let collected: RegMask = [Reg::T1, Reg::T2, Reg::T1].into_iter().collect();
+        assert_eq!(collected.count(), 2);
     }
 }

@@ -33,6 +33,7 @@
 //! `docs/oracle.md`).
 
 use crate::trace::TraceHash;
+use bec_ir::RegMask;
 
 /// One call-stack frame as captured in a checkpoint (also the executor's
 /// runtime frame representation).
@@ -80,7 +81,7 @@ pub struct Checkpoint {
     /// overwritten before it can influence anything, so the convergence
     /// check may ignore it. Initialized to all-ones (exact comparison)
     /// until the pass runs; registers ≥ 64 are always compared exactly.
-    pub(crate) live_regs: u64,
+    pub(crate) live_regs: RegMask,
 }
 
 /// The checkpoint sequence of one golden run, plus the run's terminal

@@ -31,7 +31,7 @@ use crate::machine::{FaultSpec, Machine};
 use crate::trace::TraceHash;
 use bec_core::ExecProfile;
 use bec_ir::semantics::{eval_alu, eval_cond};
-use bec_ir::{Cond, Inst, PointId, PointLayout, Program, Reg, Terminator};
+use bec_ir::{Cond, Inst, PointId, PointLayout, Program, Reg, RegMask, Terminator};
 
 /// Why a run trapped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -173,9 +173,9 @@ pub(crate) struct RawRun {
     pub hash: TraceHash,
     pub profile: Option<ExecProfile>,
     pub cycle_map: Option<Vec<(u32, PointId, u32)>>,
-    /// Per-cycle `(reads, writes)` register bitmasks, recorded while
+    /// Per-cycle `(reads, writes)` register masks, recorded while
     /// capturing checkpoints (feeds the dynamic-liveness backward pass).
-    pub rw_map: Option<Vec<(u64, u64)>>,
+    pub rw_map: Option<Vec<(RegMask, RegMask)>>,
 }
 
 /// How a run ended: normally, or by provable re-convergence with the
@@ -277,39 +277,34 @@ impl ExecState {
 /// Register-file equality modulo dynamically dead registers: index `i` may
 /// differ iff `i < 64` and bit `i` of `live` is clear (registers past the
 /// mask width are always compared exactly).
-fn regs_match(mine: &[u64], golden: &[u64], live: u64) -> bool {
+fn regs_match(mine: &[u64], golden: &[u64], live: RegMask) -> bool {
     debug_assert_eq!(mine.len(), golden.len());
     mine.iter()
         .zip(golden)
         .enumerate()
-        .all(|(i, (a, b))| a == b || (i < 64 && live & (1u64 << i) == 0))
+        .all(|(i, (a, b))| a == b || (i < 64 && !live.contains(Reg::phys(i as u32))))
 }
 
-/// The register bit of `r` in a liveness mask (registers past the mask
+/// The register mask of `r` in a liveness mask (registers past the mask
 /// width contribute nothing; they are compared exactly at convergence).
-fn reg_bit(r: Reg) -> u64 {
-    let i = r.index();
-    if i < 64 {
-        1u64 << i
-    } else {
-        0
-    }
+fn reg_bit(r: Reg) -> RegMask {
+    RegMask::of_saturating(r)
 }
 
 /// Registers read/written by one instruction, as bitmasks.
-fn inst_rw(inst: &Inst) -> (u64, u64) {
+fn inst_rw(inst: &Inst) -> (RegMask, RegMask) {
     match inst {
-        Inst::Alu { rd, rs1, rs2, .. } => (reg_bit(*rs1) | reg_bit(*rs2), reg_bit(*rd)),
+        Inst::Alu { rd, rs1, rs2, .. } => (reg_bit(*rs1).union(reg_bit(*rs2)), reg_bit(*rd)),
         Inst::AluImm { rd, rs1, .. } => (reg_bit(*rs1), reg_bit(*rd)),
-        Inst::Li { rd, .. } | Inst::La { rd, .. } => (0, reg_bit(*rd)),
+        Inst::Li { rd, .. } | Inst::La { rd, .. } => (RegMask::empty(), reg_bit(*rd)),
         Inst::Mv { rd, rs }
         | Inst::Neg { rd, rs }
         | Inst::Seqz { rd, rs }
         | Inst::Snez { rd, rs } => (reg_bit(*rs), reg_bit(*rd)),
         Inst::Load { rd, base, .. } => (reg_bit(*base), reg_bit(*rd)),
-        Inst::Store { rs, base, .. } => (reg_bit(*rs) | reg_bit(*base), 0),
-        Inst::Print { rs } => (reg_bit(*rs), 0),
-        Inst::Call { .. } | Inst::Nop => (0, 0),
+        Inst::Store { rs, base, .. } => (reg_bit(*rs).union(reg_bit(*base)), RegMask::empty()),
+        Inst::Print { rs } => (reg_bit(*rs), RegMask::empty()),
+        Inst::Call { .. } | Inst::Nop => (RegMask::empty(), RegMask::empty()),
     }
 }
 
@@ -407,7 +402,7 @@ pub(crate) fn run(
                     mem_digest: st.mem_digest,
                     outputs_len: st.outputs.len() as u32,
                     mem_image: cum_image.iter().map(|(&w, &v)| (w, v)).collect(),
-                    live_regs: u64::MAX,
+                    live_regs: RegMask(u64::MAX),
                 });
             }
         }
@@ -445,11 +440,11 @@ pub(crate) fn run(
         // derivation is only paid on capturing (golden) runs — `track_rw`
         // is false in the campaign hot path.
         let track_rw = rw_map.is_some();
-        let rw: (u64, u64);
+        let rw: (RegMask, RegMask);
         match step {
             FlatStep::Goto { .. } => unreachable!("handled above"),
             FlatStep::Inst { inst, .. } => {
-                rw = if track_rw { inst_rw(inst) } else { (0, 0) };
+                rw = if track_rw { inst_rw(inst) } else { (RegMask::empty(), RegMask::empty()) };
                 let digest = track_digest.then_some(&mut st.mem_digest);
                 match step_inst(machine, inst, &mut st.hash, &mut st.outputs, digest, dirty) {
                     StepResult::Next => st.pc += 1,
@@ -457,12 +452,12 @@ pub(crate) fn run(
                 }
             }
             FlatStep::La { rd, addr, .. } => {
-                rw = (0, reg_bit(*rd));
+                rw = (RegMask::empty(), reg_bit(*rd));
                 machine.write(*rd, *addr);
                 st.pc += 1;
             }
             FlatStep::Call { callee, .. } => {
-                rw = (0, reg_bit(Reg::RA));
+                rw = (RegMask::empty(), reg_bit(Reg::RA));
                 if st.stack.len() >= 512 {
                     break LoopEnd::Outcome(ExecOutcome::Crashed(CrashKind::StackOverflow));
                 }
@@ -476,7 +471,7 @@ pub(crate) fn run(
                 st.pc = flat.funcs[*callee as usize].entry_pc;
             }
             FlatStep::Branch { cond, rs1, rs2, taken, fall, .. } => {
-                rw = (reg_bit(*rs1) | rs2.map(reg_bit).unwrap_or(0), 0);
+                rw = (rs2.map(reg_bit).unwrap_or_default().union(reg_bit(*rs1)), RegMask::empty());
                 let a = machine.read(*rs1);
                 let b = rs2.map(|r| machine.read(r)).unwrap_or(0);
                 st.pc = if eval_cond(machine.config(), *cond, a, b) { *taken } else { *fall };
@@ -486,22 +481,25 @@ pub(crate) fn run(
                 None => {
                     // The entry function's return values are the program's
                     // observable outcome.
-                    let mut r_mask = 0;
+                    let mut r_mask = RegMask::empty();
                     for r in *reads {
-                        r_mask |= reg_bit(*r);
+                        r_mask = r_mask.union(reg_bit(*r));
                         let v = machine.read(*r);
                         st.hash.update(0x40);
                         st.hash.update(v);
                         st.outputs.push(v);
                     }
                     if let Some(m) = rw_map.as_mut() {
-                        m.push((r_mask, 0));
+                        m.push((r_mask, RegMask::empty()));
                     }
                     break LoopEnd::Outcome(ExecOutcome::Completed);
                 }
                 Some(frame) => {
                     let have_ra = machine.config().num_regs == 32;
-                    rw = (if have_ra { reg_bit(Reg::RA) } else { 0 }, 0);
+                    rw = (
+                        if have_ra { reg_bit(Reg::RA) } else { RegMask::empty() },
+                        RegMask::empty(),
+                    );
                     if have_ra && machine.read(Reg::RA) != frame.ra_token {
                         break 'run LoopEnd::Outcome(ExecOutcome::Crashed(CrashKind::WildReturn));
                     }
@@ -650,7 +648,7 @@ mod tests {
             Inst::Print { rs: r(20) },
             Inst::Nop,
         ];
-        let mask = |regs: &[Reg]| regs.iter().fold(0u64, |m, &r| m | reg_bit(r));
+        let mask = |regs: &[Reg]| regs.iter().fold(RegMask::empty(), |m, &r| m.union(reg_bit(r)));
         for inst in &insts {
             let (reads, writes) = inst_rw(inst);
             assert_eq!(reads, mask(&inst.reads()), "{inst:?}: reads");

@@ -7,7 +7,7 @@ use crate::exec::{run, ExecOutcome, FlatProgram, ResumeCtx, RunVerdict};
 use crate::machine::{FaultSpec, Machine, Memory};
 use crate::trace::{FaultClass, TraceHash};
 use bec_core::ExecProfile;
-use bec_ir::{PointId, Program};
+use bec_ir::{PointId, Program, RegMask};
 use std::collections::HashMap;
 
 /// Resource limits for a run.
@@ -220,11 +220,11 @@ impl<'p> Simulator<'p> {
         if let Some(log) = capture {
             let rw = raw.rw_map.as_deref().unwrap_or(&[]);
             let n = raw.cycles as usize;
-            let mut live_at = vec![0u64; n + 1];
-            let mut live = 0u64;
+            let mut live_at = vec![RegMask::empty(); n + 1];
+            let mut live = RegMask::empty();
             for c in (0..n).rev() {
-                let (reads, writes) = rw.get(c).copied().unwrap_or((0, 0));
-                live = (live & !writes) | reads;
+                let (reads, writes) = rw.get(c).copied().unwrap_or_default();
+                live = live.difference(writes).union(reads);
                 live_at[c] = live;
             }
             for ck in &mut log.checkpoints {

@@ -1,5 +1,11 @@
 //! `bec analyze` — the static BEC report: per-function fault-space size,
-//! equivalence classes and masked bits, plus a whole-program summary.
+//! equivalence classes and masked bits, plus a whole-program summary and
+//! the dense solver's statistics.
+//!
+//! `--workers N` analyzes functions on N threads (0 = one per core); the
+//! report and every statistic except wall time are identical at any worker
+//! count, so the deterministic output stays byte-comparable and the wall
+//! time goes to stderr.
 
 use super::{input, CliError, CommonArgs};
 use bec_core::{report, BecAnalysis};
@@ -45,9 +51,39 @@ fn stats(program: &bec_ir::Program, bec: &BecAnalysis) -> Vec<FuncStats> {
         .collect()
 }
 
+fn parse_workers(rest: &[String]) -> Result<usize, CliError> {
+    let mut workers = 1usize;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => {
+                let v = it.next().ok_or_else(|| CliError::usage("--workers needs a value"))?;
+                workers = v
+                    .parse::<usize>()
+                    .map_err(|_| CliError::usage(format!("bad worker count `{v}`")))?;
+            }
+            other => return Err(CliError::usage(format!("unknown analyze flag `{other}`"))),
+        }
+    }
+    if workers == 0 {
+        workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    }
+    Ok(workers)
+}
+
 pub fn run(args: &CommonArgs) -> Result<(), CliError> {
+    let workers = parse_workers(&args.rest)?;
     let program = input::load_program(&args.file)?;
-    let bec = BecAnalysis::analyze(&program, &args.options);
+    let bec = BecAnalysis::analyze_with_workers(&program, &args.options, workers);
+    let solver = *bec.stats();
+    // Wall time and worker count are run parameters, not analysis results:
+    // they go to stderr so stdout is byte-identical at any worker count.
+    eprintln!(
+        "analysis wall time: {:.2} ms ({} worker{})",
+        solver.wall.as_secs_f64() * 1e3,
+        solver.workers,
+        if solver.workers == 1 { "" } else { "s" }
+    );
     let rows = stats(&program, &bec);
 
     let total = |f: fn(&FuncStats) -> u64| -> u64 { rows.iter().map(f).sum() };
@@ -73,6 +109,17 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
             ("total_fault_sites", Json::UInt(total(|r| r.sites))),
             ("total_masked", Json::UInt(total(|r| r.masked))),
             ("total_coalesced", Json::UInt(total(|r| r.coalesced))),
+            // Deterministic solver counters only — wall time is on stderr,
+            // so `--json` stdout stays byte-stable for golden comparison.
+            (
+                "solver",
+                Json::obj(vec![
+                    ("points", Json::UInt(solver.points)),
+                    ("worklist_visits", Json::UInt(solver.solver_visits)),
+                    ("coalesce_passes", Json::UInt(solver.coalesce_passes)),
+                    ("union_find_nodes", Json::UInt(solver.uf_nodes)),
+                ]),
+            ),
         ]);
         println!("{}", doc.render());
         return Ok(());
@@ -112,6 +159,13 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
         report::group_digits(masked),
         report::group_digits(coalesced),
         if sites == 0 { 0.0 } else { 100.0 * (masked + coalesced) as f64 / sites as f64 },
+    );
+    println!(
+        "solver: {} points, {} worklist visits, {} coalesce passes, {} union-find nodes",
+        report::group_digits(solver.points),
+        report::group_digits(solver.solver_visits),
+        solver.coalesce_passes,
+        report::group_digits(solver.uf_nodes),
     );
     Ok(())
 }
