@@ -5,7 +5,7 @@
 //! cargo run -p bec-bench --release --bin table4
 //! ```
 
-use bec_bench::scheduled_surface;
+use bec_bench::scheduled_surfaces;
 use bec_core::report::{format_table, group_digits};
 use bec_core::BecOptions;
 use bec_sched::Criterion;
@@ -16,8 +16,13 @@ fn main() {
     let mut rows = Vec::new();
     let mut improvements = Vec::new();
     for b in &benchmarks {
-        let best = scheduled_surface(b, Criterion::BestReliability, &opts);
-        let worst = scheduled_surface(b, Criterion::WorstReliability, &opts);
+        // All criteria scored against one shared analysis.
+        let surfaces = scheduled_surfaces(b, &opts);
+        let row_of = |c: Criterion| {
+            surfaces.iter().find(|(k, _)| *k == c).map(|(_, r)| r.clone()).expect("criterion row")
+        };
+        let best = row_of(Criterion::BestReliability);
+        let worst = row_of(Criterion::WorstReliability);
         let ratio = 100.0 * worst.live_sites as f64 / best.live_sites.max(1) as f64;
         improvements.push(ratio - 100.0);
         rows.push(vec![

@@ -1,0 +1,184 @@
+//! The scheduled-variant reliability study over the full benchmark suite
+//! (the paper's Table IV, measured by fault injection instead of claimed
+//! statically): baseline + best + worst schedule per benchmark, one shared
+//! scoring analysis each, a seeded sampled differential campaign per
+//! variant, and the committed `BENCH_study.json` baseline.
+//!
+//! ```text
+//! cargo run -p bec-bench --release --bin variant_study -- \
+//!     [--sample N] [--seed S] [--json BENCH_study.json] [--assert-gates]
+//! ```
+//!
+//! `--assert-gates` exits non-zero unless, on every benchmark:
+//!
+//! * variant scoring performed exactly ONE `BecAnalysis` (the
+//!   shared-analysis invariant, recorded per benchmark in the report);
+//! * no statically-masked fault corrupted any variant's execution
+//!   (differential soundness);
+//! * no reliability-improving schedule grew the live fault surface
+//!   (masking-coverage gate);
+//! * every variant's fault space equals the baseline's (schedules
+//!   permute instructions, they never change the access multiset).
+
+use bec::study::{run_study, StudyConfig};
+use bec_core::report::{format_table, group_digits};
+use bec_sim::json::Json;
+use bec_sim::study::StudySpec;
+use bec_sim::{CrossTable, FaultClass};
+use std::time::Instant;
+
+fn main() {
+    let mut json_path = None;
+    let mut assert_gates = false;
+    let mut sample = 4000u64;
+    let mut seed = 0xbec_u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            "--assert-gates" => assert_gates = true,
+            "--sample" => {
+                sample = args
+                    .next()
+                    .expect("--sample needs a value")
+                    .parse()
+                    .expect("numeric sample size");
+            }
+            "--seed" => {
+                seed = args.next().expect("--seed needs a value").parse().expect("numeric seed");
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("variant study ({workers} cores, {sample} faults per variant, seed {seed})\n");
+    let spec = StudySpec { sample: Some(sample), seed, workers, ..StudySpec::default() };
+    let cfg = StudyConfig::suite(spec);
+
+    let started = Instant::now();
+    let report = run_study(&cfg, None, |line| eprintln!("  {line}")).expect("study runs");
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut rows = Vec::new();
+    let mut cross = CrossTable::default();
+    for b in &report.benchmarks {
+        let base = b.baseline().expect("baseline variant present");
+        for v in &b.variants {
+            cross.merge(&CrossTable::of_report(&v.campaign));
+            let counts = v.campaign.outcome_counts();
+            rows.push(vec![
+                b.name.to_owned(),
+                v.criterion.clone(),
+                group_digits(v.live_surface),
+                format!("{:.2}%", v.coverage_pct()),
+                group_digits(counts[FaultClass::Benign.index()]),
+                group_digits(counts[FaultClass::Sdc.index()]),
+                group_digits(counts[FaultClass::Crash.index()]),
+                group_digits(counts[FaultClass::Hang.index()]),
+                format!("{:.2}%", v.benign_pct()),
+                if v.criterion == base.criterion {
+                    "—".to_owned()
+                } else {
+                    format!("{:+.2}pp", v.benign_pct() - base.benign_pct())
+                },
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        format_table(
+            &[
+                "benchmark",
+                "criterion",
+                "live surface",
+                "masked cov.",
+                "benign",
+                "sdc",
+                "crash",
+                "hang",
+                "benign %",
+                "Δ benign",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "\nstudy wall time: {wall_ms:.0} ms; masked-corrupting runs (must be 0): {}",
+        cross.masked_corrupting()
+    );
+
+    if let Some(path) = json_path {
+        let benchmarks: Vec<Json> = report
+            .benchmarks
+            .iter()
+            .map(|b| {
+                let variants: Vec<Json> = b
+                    .variants
+                    .iter()
+                    .map(|v| {
+                        let counts = v.campaign.outcome_counts();
+                        Json::obj(vec![
+                            ("criterion", Json::str(&v.criterion)),
+                            ("live_surface", Json::UInt(v.live_surface)),
+                            ("coverage_pct", Json::str(format!("{:.2}", v.coverage_pct()))),
+                            (
+                                "outcomes",
+                                Json::Obj(
+                                    FaultClass::ALL
+                                        .iter()
+                                        .map(|c| {
+                                            (c.name().to_owned(), Json::UInt(counts[c.index()]))
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                            ("benign_pct", Json::str(format!("{:.2}", v.benign_pct()))),
+                        ])
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("name", Json::str(&b.name)),
+                    ("fault_space", Json::UInt(b.baseline().unwrap().campaign.fault_space)),
+                    ("scoring_analyses", Json::UInt(b.scoring.analyses)),
+                    ("variants", Json::Arr(variants)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            ("sample", Json::UInt(sample)),
+            ("seed", Json::UInt(seed)),
+            ("benchmarks", Json::Arr(benchmarks)),
+        ]);
+        std::fs::write(&path, doc.render() + "\n").expect("baseline written");
+        println!("wrote {path}");
+    }
+
+    if assert_gates {
+        for b in &report.benchmarks {
+            assert_eq!(
+                b.scoring.analyses, 1,
+                "{}: variant scoring must reuse exactly one BecAnalysis",
+                b.name
+            );
+            let spaces: Vec<u64> = b.variants.iter().map(|v| v.campaign.fault_space).collect();
+            assert!(
+                spaces.windows(2).all(|w| w[0] == w[1]),
+                "{}: fault space must be schedule-invariant: {spaces:?}",
+                b.name
+            );
+        }
+        assert!(report.violations().is_empty(), "soundness violations: {:?}", report.violations());
+        assert!(
+            report.coverage_regressions().is_empty(),
+            "coverage regressions: {:?}",
+            report.coverage_regressions()
+        );
+        assert!(
+            report.equivalence_failures().is_empty(),
+            "equivalence failures: {:?}",
+            report.equivalence_failures()
+        );
+        println!("all gates passed: 1 scoring analysis per benchmark, soundness + coverage hold");
+    }
+}

@@ -61,8 +61,29 @@ pub fn surface_row(p: &Prepared) -> SurfaceRow {
 pub fn scheduled_surface(b: &Benchmark, criterion: Criterion, options: &BecOptions) -> SurfaceRow {
     let program = b.compile().expect("benchmark compiles");
     let scheduled = schedule_program(&program, criterion);
-    let bec = BecAnalysis::analyze(&scheduled, options);
-    let sim = Simulator::with_limits(&scheduled, SimLimits { max_cycles: 10_000_000 });
+    measure_scheduled(b, &scheduled, options)
+}
+
+/// [`scheduled_surface`] for every criterion at once, scoring all
+/// schedules against ONE shared analysis of the original program
+/// (`bec_sched::Scheduler`). Returns rows in [`Criterion::ALL`] order.
+pub fn scheduled_surfaces(b: &Benchmark, options: &BecOptions) -> Vec<(Criterion, SurfaceRow)> {
+    let program = b.compile().expect("benchmark compiles");
+    let scheduler = bec_sched::Scheduler::new(&program, options);
+    let rows = scheduler
+        .variants()
+        .into_iter()
+        .map(|v| (v.criterion, measure_scheduled(b, &v.program, options)))
+        .collect();
+    assert_eq!(scheduler.analyses_run(), 1, "{}: one scoring analysis", b.name);
+    rows
+}
+
+/// Measures the fault surface of one (scheduled) program of benchmark `b`,
+/// asserting it still completes with the oracle outputs.
+fn measure_scheduled(b: &Benchmark, scheduled: &Program, options: &BecOptions) -> SurfaceRow {
+    let bec = BecAnalysis::analyze(scheduled, options);
+    let sim = Simulator::with_limits(scheduled, SimLimits { max_cycles: 10_000_000 });
     let golden = sim.run_golden();
     assert_eq!(
         golden.result.outcome,
@@ -76,7 +97,7 @@ pub fn scheduled_surface(b: &Benchmark, criterion: Criterion, options: &BecOptio
         "{}: scheduling changed observable behaviour",
         b.name
     );
-    surface::surface_row(b.name, &scheduled, &bec, &golden.profile)
+    surface::surface_row(b.name, scheduled, &bec, &golden.profile)
 }
 
 /// The paper's motivating example program (Fig. 2a).

@@ -252,4 +252,32 @@ impl BecAnalysis {
     pub fn class_count(&self) -> usize {
         self.functions.iter().map(|f| f.coalescing.class_count()).sum()
     }
+
+    /// Whole-program site-bit accounting: how many fault-site bits the
+    /// analysis classified, and how many of them it proved masked. This is
+    /// the static masking-coverage figure variant studies compare across
+    /// schedules (the site *set* is schedule-invariant — every instruction
+    /// keeps its accesses — only the masked subset moves).
+    pub fn site_counts(&self, program: &Program) -> SiteCounts {
+        let mut counts = SiteCounts { total_site_bits: 0, masked_site_bits: 0 };
+        for (fi, fa) in self.functions.iter().enumerate() {
+            for (p, r) in fa.coalescing.nodes().site_pairs() {
+                for bit in 0..program.config.xlen {
+                    counts.total_site_bits += 1;
+                    let v = self.site_verdict(fi, p, r, bit).expect("enumerated site");
+                    counts.masked_site_bits += u64::from(v.is_masked());
+                }
+            }
+        }
+        counts
+    }
+}
+
+/// Site-bit totals of one analysis (see [`BecAnalysis::site_counts`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiteCounts {
+    /// Fault-site bits classified (accessed `(point, reg)` pairs × xlen).
+    pub total_site_bits: u64,
+    /// Site bits proven masked (in `[s0]`).
+    pub masked_site_bits: u64,
 }

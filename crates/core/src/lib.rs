@@ -52,7 +52,9 @@ pub mod reference;
 pub mod report;
 pub mod surface;
 
-pub use analysis::{AnalysisStats, BecAnalysis, BecOptions, FunctionAnalysis, SiteVerdict};
+pub use analysis::{
+    AnalysisStats, BecAnalysis, BecOptions, FunctionAnalysis, SiteCounts, SiteVerdict,
+};
 pub use bitvalue::BitValues;
 pub use coalesce::Coalescing;
 pub use fault::FaultSite;

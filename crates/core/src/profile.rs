@@ -2,7 +2,7 @@
 //!
 //! The Table III/IV accountings weight static fault sites by the execution
 //! counts of a golden (fault-free) run. Profiles are produced by the
-//! simulator's golden run ([`bec-sim`]) or constructed by hand in tests.
+//! simulator's golden run (`bec-sim`) or constructed by hand in tests.
 
 use bec_ir::PointId;
 use std::collections::HashMap;

@@ -106,7 +106,7 @@ impl RefRegSet {
     }
 }
 
-/// Seed per-point liveness (backward dataflow over [`RefRegSet`]s).
+/// Seed per-point liveness (backward dataflow over `RefRegSet`s).
 #[derive(Clone, Debug)]
 pub struct RefLiveness {
     universe: RefRegUniverse,

@@ -5,7 +5,7 @@ use std::fmt;
 /// A register operand.
 ///
 /// Registers are either *physical* (an index into the machine register file)
-/// or *virtual* (an unbounded temporary produced by [`bec-lang`] before
+/// or *virtual* (an unbounded temporary produced by `bec-lang` before
 /// register allocation). Machine programs handed to the BEC analysis or the
 /// simulator must only contain physical registers; [`crate::verify_program`]
 /// enforces this.

@@ -1,8 +1,8 @@
 //! Concrete evaluation of ALU operations, comparisons and branches.
 //!
 //! This is the single source of truth for instruction semantics: both the
-//! simulator ([`bec-sim`]) and the abstract transfer functions' constant
-//! folding ([`bec-core`]) call into it, so the abstract and the concrete
+//! simulator (`bec-sim`) and the abstract transfer functions' constant
+//! folding (`bec-core`) call into it, so the abstract and the concrete
 //! worlds cannot drift apart.
 //!
 //! RISC-V conventions are followed for the corner cases: division by zero

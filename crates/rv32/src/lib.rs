@@ -11,7 +11,7 @@
 //!   and the vulnerability-aware scheduler — runs unchanged;
 //! * [`encode_program`] — an **encoder** lowering every IR instruction to
 //!   its 32-bit RV32I(+M) word (R/I/S/B/U/J formats), with canonical
-//!   pseudo-instruction expansion (`li` → `addi`/`lui`[`+addi`], `mv`,
+//!   pseudo-instruction expansion (`li` → `addi`/`lui`(+`addi`), `mv`,
 //!   `neg`, `seqz`, `snez`, `call`, `ret`, block terminators);
 //! * [`lift_image`]/[`lift_words`] — a **decoder/lifter** reconstructing a
 //!   program (functions, basic blocks, re-folded pseudos) from a flat

@@ -16,6 +16,36 @@ pub enum Criterion {
     WorstReliability,
 }
 
+impl Criterion {
+    /// Every criterion, baseline first — the variant set a reliability
+    /// study enumerates (`bec study` produces one schedule per entry).
+    pub const ALL: [Criterion; 3] =
+        [Criterion::Original, Criterion::BestReliability, Criterion::WorstReliability];
+
+    /// Stable lowercase name, used by the CLI flags and in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Criterion::Original => "original",
+            Criterion::BestReliability => "best",
+            Criterion::WorstReliability => "worst",
+        }
+    }
+
+    /// Inverse of [`Criterion::name`].
+    pub fn parse(name: &str) -> Option<Criterion> {
+        Criterion::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// Whether this criterion *promises* a reliability improvement over the
+    /// baseline schedule. The study's coverage gate applies only to these:
+    /// [`Criterion::WorstReliability`] deliberately grows the fault surface
+    /// (it bounds the improvement headroom, paper Table IV), so holding it
+    /// to the no-regression bar would be a contradiction.
+    pub fn improves_reliability(self) -> bool {
+        matches!(self, Criterion::BestReliability)
+    }
+}
+
 /// Static per-instruction reliability scores derived from the BEC analysis
 /// of the *original* program: how many live (non-masked) fault-site bits
 /// the instruction kills, and how many it creates.

@@ -7,6 +7,16 @@
 //! alive (Worst); re-running the BEC analysis and the fault-surface metric
 //! on the scheduled program quantifies the reliability change (Table IV).
 //!
+//! Two entry points:
+//!
+//! * [`schedule_program`] — one-shot scheduling under a single criterion
+//!   (analyzes the program internally);
+//! * [`Scheduler`] — the shared-analysis variant API: one [`bec_core`]
+//!   analysis of the original program scores *every* candidate criterion,
+//!   and each [`ScheduledVariant`] carries the per-point permutation that
+//!   reproduces its schedule. This is what the `bec study` reliability
+//!   pipeline (see `docs/scheduling.md`) builds on.
+//!
 //! ```
 //! use bec_sched::{schedule_program, Criterion};
 //! use bec_ir::parse_program;
@@ -29,7 +39,9 @@
 pub mod criteria;
 pub mod ddg;
 pub mod list;
+pub mod scheduler;
 
 pub use criteria::Criterion;
 pub use ddg::DepGraph;
 pub use list::{schedule_function, schedule_program};
+pub use scheduler::{ScheduledVariant, Scheduler};

@@ -10,16 +10,14 @@ use bec_ir::{Function, PointLayout, Program};
 ///
 /// The BEC analysis of the original program drives the reliability
 /// criteria; the caller is expected to re-analyze the result to measure the
-/// fault surface (that is what the Table IV harness does).
+/// fault surface (that is what the Table IV harness does). To score several
+/// criteria against *one* analysis, use [`crate::Scheduler`] instead — this
+/// convenience entry point pays for a fresh analysis per call.
 pub fn schedule_program(program: &Program, criterion: Criterion) -> Program {
-    let bec = (criterion != Criterion::Original)
-        .then(|| BecAnalysis::analyze(program, &BecOptions::paper()));
-    let mut out = program.clone();
-    for fi in 0..program.functions.len() {
-        let scores = bec.as_ref().map(|b| ReliabilityScores::compute(program, fi, b));
-        schedule_function_inner(program, &mut out.functions[fi], fi, criterion, scores.as_ref());
+    if criterion == Criterion::Original {
+        return program.clone();
     }
-    out
+    crate::Scheduler::new(program, &BecOptions::paper()).schedule(criterion).program
 }
 
 /// Schedules a single function in place (blocks keep their order; only the
@@ -29,27 +27,30 @@ pub fn schedule_function(program: &Program, func_index: usize, criterion: Criter
         .then(|| BecAnalysis::analyze(program, &BecOptions::paper()));
     let scores = bec.as_ref().map(|b| ReliabilityScores::compute(program, func_index, b));
     let mut f = program.functions[func_index].clone();
-    schedule_function_inner(program, &mut f, func_index, criterion, scores.as_ref());
+    schedule_function_with(program, &mut f, criterion, scores.as_ref());
     f
 }
 
-fn schedule_function_inner(
+/// Schedules `func` in place and returns the point permutation: entry `k`
+/// is the original point index of the instruction now at point `k` of the
+/// (unchanged-shape) layout. Terminators are fixed points of the map.
+pub(crate) fn schedule_function_with(
     program: &Program,
     func: &mut Function,
-    func_index: usize,
     criterion: Criterion,
     scores: Option<&ReliabilityScores>,
-) {
-    let _ = func_index;
+) -> Vec<u32> {
     let layout = PointLayout::of(func);
+    let mut permutation: Vec<u32> = (0..layout.len() as u32).collect();
     for (bi, block) in func.blocks.iter_mut().enumerate() {
         if block.insts.len() < 2 {
             continue;
         }
+        let block_id = bec_ir::BlockId(bi as u32);
         let g = DepGraph::build(program, &block.insts);
         let priorities: Vec<(i64, i64)> = (0..block.insts.len())
             .map(|off| {
-                let p = layout.point(bec_ir::BlockId(bi as u32), off);
+                let p = layout.point(block_id, off);
                 match (criterion, scores) {
                     (Criterion::Original, _) | (_, None) => (0, 0),
                     (Criterion::BestReliability, Some(s)) => s.priority(p),
@@ -63,7 +64,12 @@ fn schedule_function_inner(
         let order = list_schedule(&g, &priorities);
         debug_assert!(g.is_valid_order(&order));
         block.insts = order.iter().map(|&i| block.insts[i].clone()).collect();
+        for (new_off, &old_off) in order.iter().enumerate() {
+            permutation[layout.point(block_id, new_off).index()] =
+                layout.point(block_id, old_off).0;
+        }
     }
+    permutation
 }
 
 /// Core list scheduling: repeatedly pick the ready node with the highest

@@ -1,0 +1,242 @@
+//! Shared-analysis variant scheduling: one [`BecAnalysis`] of the original
+//! program drives every candidate schedule.
+//!
+//! [`crate::schedule_program`] is the one-shot entry point; a reliability
+//! study asks for *several* schedules of the same program (one per
+//! [`Criterion`]), and re-running the BEC analysis per candidate would pay
+//! the dominant cost of scheduling once per criterion. A [`Scheduler`]
+//! front-loads exactly one analysis and derives every variant from the
+//! precomputed per-function [`ReliabilityScores`]; [`Scheduler::analyses_run`]
+//! reports the count (always 1) so studies can record and gate it.
+//!
+//! ```
+//! use bec_sched::{Criterion, Scheduler};
+//! use bec_core::BecOptions;
+//! use bec_ir::parse_program;
+//!
+//! let p = parse_program(r#"
+//! func @main(args=0, ret=none) {
+//! entry:
+//!     li t0, 1
+//!     li t1, 2
+//!     add a0, t0, t1
+//!     print a0
+//!     exit
+//! }
+//! "#)?;
+//! let scheduler = Scheduler::new(&p, &BecOptions::paper());
+//! let variants = scheduler.variants(); // one per Criterion::ALL entry
+//! assert_eq!(variants.len(), Criterion::ALL.len());
+//! assert_eq!(scheduler.analyses_run(), 1); // all variants, one analysis
+//! assert_eq!(variants[0].criterion, Criterion::Original);
+//! assert_eq!(variants[0].program, p);
+//! # Ok::<(), bec_ir::IrError>(())
+//! ```
+
+use crate::criteria::{Criterion, ReliabilityScores};
+use crate::list::schedule_function_with;
+use bec_core::{BecAnalysis, BecOptions};
+use bec_ir::{PointLayout, Program};
+
+/// One scheduled variant of a program, with enough provenance to reproduce
+/// the schedule without re-running the scheduler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduledVariant {
+    /// The criterion that produced this schedule.
+    pub criterion: Criterion,
+    /// The rescheduled program.
+    pub program: Program,
+    /// Per-function point permutation: entry `k` of function `f` is the
+    /// *original* point index of the instruction now at point `k` of the
+    /// scheduled layout. Block structure is preserved, so terminators map
+    /// to themselves and each block's entries permute within the block.
+    pub permutation: Vec<Vec<u32>>,
+}
+
+impl ScheduledVariant {
+    /// Whether every function's permutation is the identity (the schedule
+    /// keeps the original order everywhere).
+    pub fn is_identity(&self) -> bool {
+        self.permutation.iter().all(|f| f.iter().enumerate().all(|(i, &p)| i as u32 == p))
+    }
+}
+
+/// A variant scheduler holding one shared [`BecAnalysis`] of the original
+/// program plus the per-function reliability scores derived from it.
+///
+/// Construction pays for the analysis once; every [`Scheduler::schedule`]
+/// call after that is pure list scheduling over the precomputed scores (no
+/// further analysis, whatever the number of candidate criteria).
+pub struct Scheduler<'p> {
+    program: &'p Program,
+    bec: BecAnalysis,
+    scores: Vec<ReliabilityScores>,
+    analyses: u64,
+}
+
+impl<'p> Scheduler<'p> {
+    /// Analyzes `program` once (single worker) and precomputes the
+    /// reliability scores of every function.
+    pub fn new(program: &'p Program, options: &BecOptions) -> Scheduler<'p> {
+        Scheduler::with_workers(program, options, 1)
+    }
+
+    /// [`Scheduler::new`] with the analysis run on `workers` threads
+    /// (verdicts and scores are identical at any worker count).
+    pub fn with_workers(
+        program: &'p Program,
+        options: &BecOptions,
+        workers: usize,
+    ) -> Scheduler<'p> {
+        let bec = BecAnalysis::analyze_with_workers(program, options, workers);
+        let scores = (0..program.functions.len())
+            .map(|fi| ReliabilityScores::compute(program, fi, &bec))
+            .collect();
+        Scheduler { program, bec, scores, analyses: 1 }
+    }
+
+    /// The program being scheduled.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The one shared analysis all candidate schedules are scored against.
+    pub fn analysis(&self) -> &BecAnalysis {
+        &self.bec
+    }
+
+    /// How many [`BecAnalysis`] runs this scheduler has performed — always
+    /// exactly 1, however many variants were produced. Studies record this
+    /// next to the analysis [`bec_core::AnalysisStats`] and CI gates it.
+    pub fn analyses_run(&self) -> u64 {
+        self.analyses
+    }
+
+    /// Schedules the program under `criterion` using the shared scores.
+    pub fn schedule(&self, criterion: Criterion) -> ScheduledVariant {
+        if criterion == Criterion::Original {
+            // The baseline is the input by definition — no dependency
+            // graphs, no reliance on list-schedule tie-break stability.
+            return ScheduledVariant {
+                criterion,
+                program: self.program.clone(),
+                permutation: Scheduler::identity_permutation(self.program),
+            };
+        }
+        let mut out = self.program.clone();
+        let mut permutation = Vec::with_capacity(out.functions.len());
+        for (fi, func) in out.functions.iter_mut().enumerate() {
+            permutation.push(schedule_function_with(
+                self.program,
+                func,
+                criterion,
+                Some(&self.scores[fi]),
+            ));
+        }
+        ScheduledVariant { criterion, program: out, permutation }
+    }
+
+    /// All variants, one per [`Criterion::ALL`] entry (baseline first).
+    pub fn variants(&self) -> Vec<ScheduledVariant> {
+        Criterion::ALL.iter().map(|&c| self.schedule(c)).collect()
+    }
+
+    /// The identity permutation of `program` (what [`Criterion::Original`]
+    /// produces), exposed so callers can label unscheduled baselines.
+    pub fn identity_permutation(program: &Program) -> Vec<Vec<u32>> {
+        program.functions.iter().map(|f| (0..PointLayout::of(f).len() as u32).collect()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bec_ir::parse_program;
+
+    fn motivating() -> Program {
+        parse_program(
+            r#"
+machine xlen=4 regs=4 zero=none
+func @main(args=0, ret=none) {
+entry:
+    li r0, 0
+    li r1, 7
+    j loop
+loop:
+    andi r2, r1, 1
+    andi r3, r1, 3
+    addi r1, r1, -1
+    seqz r2, r2
+    snez r3, r3
+    and  r2, r2, r3
+    add  r0, r0, r2
+    bnez r1, loop
+exit:
+    ret r0
+}
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scheduler_matches_one_shot_scheduling() {
+        let p = motivating();
+        let s = Scheduler::new(&p, &bec_core::BecOptions::paper());
+        for c in Criterion::ALL {
+            assert_eq!(s.schedule(c).program, crate::schedule_program(&p, c), "{c:?}");
+        }
+        assert_eq!(s.analyses_run(), 1);
+    }
+
+    #[test]
+    fn original_variant_is_identity() {
+        let p = motivating();
+        let s = Scheduler::new(&p, &bec_core::BecOptions::paper());
+        let v = s.schedule(Criterion::Original);
+        assert_eq!(v.program, p);
+        assert!(v.is_identity());
+        assert_eq!(v.permutation, Scheduler::identity_permutation(&p));
+    }
+
+    #[test]
+    fn permutation_maps_scheduled_points_to_original_instructions() {
+        let p = motivating();
+        let s = Scheduler::new(&p, &bec_core::BecOptions::paper());
+        for v in s.variants() {
+            for (fi, func) in v.program.functions.iter().enumerate() {
+                let layout = PointLayout::of(func);
+                let orig = &p.functions[fi];
+                assert_eq!(v.permutation[fi].len(), layout.len());
+                // A permutation: every original point appears exactly once.
+                let mut seen = vec![false; layout.len()];
+                for &o in &v.permutation[fi] {
+                    assert!(!std::mem::replace(&mut seen[o as usize], true));
+                }
+                // Each scheduled instruction is the original instruction the
+                // permutation names; terminators are fixed points.
+                for np in layout.iter() {
+                    let op = bec_ir::PointId(v.permutation[fi][np.index()]);
+                    let sched_pi = layout.resolve(func, np);
+                    let orig_pi = layout.resolve(orig, op);
+                    match (sched_pi.as_inst(), orig_pi.as_inst()) {
+                        (Some(a), Some(b)) => assert_eq!(a, b),
+                        (None, None) => assert_eq!(np, op, "terminators stay in place"),
+                        _ => panic!("instruction mapped to terminator"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn criterion_names_roundtrip() {
+        for c in Criterion::ALL {
+            assert_eq!(Criterion::parse(c.name()), Some(c));
+        }
+        assert_eq!(Criterion::parse("bogus"), None);
+        assert!(Criterion::BestReliability.improves_reliability());
+        assert!(!Criterion::WorstReliability.improves_reliability());
+        assert!(!Criterion::Original.improves_reliability());
+    }
+}

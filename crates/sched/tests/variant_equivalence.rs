@@ -1,0 +1,109 @@
+//! Scheduler correctness over the whole benchmark suite: every scheduled
+//! variant of every suite benchmark must be semantically equivalent to the
+//! baseline, and variant scoring must reuse exactly one analysis.
+//!
+//! Equivalence here is the schedule-invariant golden fingerprint: the
+//! observable outputs (checked against the suite oracle too), the terminal
+//! register file, the terminal memory digest and the cycle count. The full
+//! trace hash is *not* compared across schedules — it absorbs executed
+//! points in order, so any non-identity schedule legitimately changes it —
+//! but it IS compared across the RV32 re-encode round trip of the
+//! *motivating example*, whose instruction sequence survives encoding
+//! verbatim (no pseudo expansion), pinning that machine-code emission
+//! preserves the schedule exactly.
+
+use bec_core::BecOptions;
+use bec_sched::{Criterion, Scheduler};
+use bec_sim::{GoldenRun, SimLimits, Simulator};
+
+fn golden(p: &bec_ir::Program) -> GoldenRun {
+    let sim = Simulator::with_limits(p, SimLimits { max_cycles: 100_000_000 });
+    let g = sim.run_golden();
+    assert_eq!(g.result.outcome, bec_sim::ExecOutcome::Completed);
+    g
+}
+
+#[test]
+fn every_suite_variant_preserves_the_golden_fingerprint() {
+    for bench in bec_suite::all() {
+        let program = bench.compile().expect("benchmark compiles");
+        let scheduler = Scheduler::new(&program, &BecOptions::paper());
+        let base = golden(&program);
+        assert_eq!(base.outputs(), bench.expected.as_slice(), "{}: oracle", bench.name);
+
+        for variant in scheduler.variants() {
+            let name = format!("{}/{}", bench.name, variant.criterion.name());
+            bec_ir::verify_program(&variant.program).unwrap_or_else(|e| {
+                panic!("{name}: scheduler broke the program: {e}");
+            });
+            let g = golden(&variant.program);
+            assert_eq!(g.outputs(), bench.expected.as_slice(), "{name}: outputs");
+            assert_eq!(g.cycles(), base.cycles(), "{name}: cycle count");
+            assert_eq!(g.terminal_regs(), base.terminal_regs(), "{name}: terminal registers");
+            assert_eq!(g.mem_digest(), base.mem_digest(), "{name}: terminal memory");
+            if variant.criterion == Criterion::Original {
+                assert_eq!(variant.program, program, "{name}: baseline is the identity");
+                assert!(variant.is_identity(), "{name}: identity permutation");
+            }
+        }
+        // The shared-analysis invariant: all variants, one analysis.
+        assert_eq!(scheduler.analyses_run(), 1, "{}: scoring analyses", bench.name);
+    }
+}
+
+#[test]
+fn every_suite_variant_survives_rv32_reencoding() {
+    for bench in bec_suite::all() {
+        let program = bench.compile().expect("benchmark compiles");
+        let scheduler = Scheduler::new(&program, &BecOptions::paper());
+        for variant in scheduler.variants() {
+            let name = format!("{}/{}", bench.name, variant.criterion.name());
+            let image = bec_rv32::encode_program(&variant.program)
+                .unwrap_or_else(|e| panic!("{name}: encode: {e}"));
+            let mut lifted =
+                bec_rv32::lift_image(&image).unwrap_or_else(|e| panic!("{name}: lift: {e}"));
+            // A flat text image carries no data segment; reattach it (the
+            // rv32 round-trip contract).
+            lifted.globals = variant.program.globals.clone();
+            let g = golden(&lifted);
+            assert_eq!(g.outputs(), bench.expected.as_slice(), "{name}: lifted outputs");
+        }
+    }
+}
+
+#[test]
+fn motivating_example_reencodes_to_the_exact_schedule() {
+    // Hand-written RV32 countYears: every instruction encodes to one word,
+    // so the lifted program must replay the variant's trace hash exactly.
+    let src = r#"
+    .globl main
+main:
+    li   s0, 0
+    li   s1, 7
+loop:
+    andi t0, s1, 1
+    andi t1, s1, 3
+    addi s1, s1, -1
+    seqz t0, t0
+    snez t1, t1
+    and  t0, t0, t1
+    add  s0, s0, t0
+    bnez s1, loop
+    print s0
+    ecall
+"#;
+    let program = bec_rv32::parse_asm(src).expect("assembles");
+    let scheduler = Scheduler::new(&program, &BecOptions::paper());
+    for variant in scheduler.variants() {
+        let image = bec_rv32::encode_program(&variant.program).expect("encodes");
+        let lifted = bec_rv32::lift_image(&image).expect("lifts");
+        let a = golden(&variant.program);
+        let b = golden(&lifted);
+        assert_eq!(
+            a.result.hash,
+            b.result.hash,
+            "{}: re-encoded schedule must replay the identical trace",
+            variant.criterion.name()
+        );
+    }
+}

@@ -31,6 +31,34 @@
 //! component; it is 128 bits wide, and the baseline classifier already
 //! trusts 128-bit trace-hash equality for the same verdict (see
 //! `docs/oracle.md`).
+//!
+//! ```
+//! use bec_sim::{FaultSpec, Simulator};
+//! use bec_ir::{parse_program, Reg};
+//!
+//! let p = parse_program(r#"
+//! func @main(args=0, ret=none) {
+//! entry:
+//!     li t0, 5
+//!     li t1, 1
+//!     add t1, t1, t1
+//!     li t0, 7
+//!     print t0
+//!     exit
+//! }
+//! "#)?;
+//! let sim = Simulator::new(&p);
+//! let (golden, log) = sim.run_golden_checkpointed(2); // checkpoint every 2 cycles
+//! assert!(log.is_enabled());
+//! // Flip a bit of t0 while it is dead: the run converges with the golden
+//! // state at a checkpoint boundary and early-exits as Benign.
+//! let fault = FaultSpec { cycle: 1, reg: Reg::T0, bit: 0 };
+//! let run = sim.run_with_fault_checkpointed(&golden, &log, fault);
+//! assert_eq!(run.class, bec_sim::FaultClass::Benign);
+//! assert!(run.converged_at.is_some());
+//! assert!(run.simulated_cycles < golden.cycles());
+//! # Ok::<(), bec_ir::IrError>(())
+//! ```
 
 use crate::trace::TraceHash;
 use bec_ir::RegMask;

@@ -1,7 +1,7 @@
 //! The instruction interpreter.
 //!
 //! Programs are pre-decoded into a flat per-function step stream
-//! ([`FlatProgram`]): block bodies and terminators laid out contiguously,
+//! (`FlatProgram`): block bodies and terminators laid out contiguously,
 //! unconditional jumps turned into zero-cost gotos on flat indices, call
 //! targets and global addresses resolved to indices/addresses up front.
 //! Execution is a `(function index, flat pc)` walk with no per-step
@@ -171,6 +171,9 @@ pub(crate) struct RawRun {
     pub outputs: Vec<u64>,
     pub cycles: u64,
     pub hash: TraceHash,
+    /// Terminal memory digest relative to the initial image (0 unless the
+    /// run tracked it: recording/golden runs and checkpointed fault runs).
+    pub mem_digest: u128,
     pub profile: Option<ExecProfile>,
     pub cycle_map: Option<Vec<(u32, PointId, u32)>>,
     /// Per-cycle `(reads, writes)` register masks, recorded while
@@ -341,7 +344,10 @@ pub(crate) fn run(
     // play; plain runs skip the per-store mixing.
     let capturing = capture.is_some();
     let converging = resume.as_ref().is_some_and(|r| r.log.is_enabled());
-    let track_digest = capturing || converging;
+    // Recording (golden) runs track the digest too: the terminal digest is
+    // the memory-equality side of the scheduler's semantic-equivalence
+    // check (`bec study`), and golden runs happen once per campaign.
+    let track_digest = capturing || converging || record;
     // Watermark into `dirty` marking the start of the current checkpoint
     // interval (capture never drains the list — the caller owns it), plus
     // the running cumulative dirty-word image captured checkpoints store.
@@ -528,6 +534,7 @@ pub(crate) fn run(
                 outputs: st.outputs,
                 cycles: st.cycle,
                 hash: st.hash,
+                mem_digest: st.mem_digest,
                 profile,
                 cycle_map,
                 rw_map,

@@ -18,6 +18,10 @@
 //!   the nearest checkpoint before their injection cycle and early-exit as
 //!   soon as they provably re-converge with the golden run, making
 //!   exhaustive campaigns several times cheaper at byte-identical reports;
+//! * [`study`] — the scheduled-variant reliability study engine: one
+//!   differential campaign per program variant, aggregated into a
+//!   resumable, Table IV-style [`StudyReport`] with a static-verdict ×
+//!   dynamic-outcome cross-table per variant;
 //! * [`validate`] — the empirical soundness validation of §V / Table II:
 //!   fault sites in one equivalence class must produce identical traces.
 //!
@@ -51,6 +55,7 @@ pub mod machine;
 pub mod pool;
 pub mod runner;
 pub mod shard;
+pub mod study;
 pub mod trace;
 pub mod validate;
 
@@ -64,5 +69,6 @@ pub use shard::{
     site_fault_space, CampaignReport, CampaignSpec, FaultOutcome, ShardPlan, ShardResult,
     SitedFault,
 };
+pub use study::{CrossTable, StudyReport, StudySpec};
 pub use trace::{FaultClass, TraceHash};
 pub use validate::{validate_program, Mismatch, MismatchKind, ValidationReport};

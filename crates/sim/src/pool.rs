@@ -8,7 +8,32 @@
 //! until the machine runs out of cores. Determinism is preserved by
 //! construction: results are slotted by shard index and the per-fault
 //! classification is independent of the checkpoint interval, so any worker
-//! count, interleaving or interval assembles the same [`CampaignReport`].
+//! count, interleaving or interval assembles the same [`CampaignReport`]:
+//!
+//! ```
+//! use bec_sim::{pool, site_fault_space, CampaignSpec, CheckpointLog, ShardPlan, Simulator};
+//! use bec_core::{BecAnalysis, BecOptions};
+//! use bec_ir::parse_program;
+//!
+//! let p = parse_program(r#"
+//! func @main(args=0, ret=none) {
+//! entry:
+//!     li t0, 2
+//!     slli t0, t0, 1
+//!     print t0
+//!     exit
+//! }
+//! "#)?;
+//! let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+//! let sim = Simulator::new(&p);
+//! let golden = sim.run_golden();
+//! let plan = ShardPlan::build(site_fault_space(&p, &bec, &golden), CampaignSpec::exhaustive(4));
+//! let ck = CheckpointLog::disabled();
+//! let (one, _) = pool::run_sharded(&sim, &golden, &ck, &plan, 1, None, "ex").unwrap();
+//! let (four, _) = pool::run_sharded(&sim, &golden, &ck, &plan, 4, None, "ex").unwrap();
+//! assert_eq!(one, four); // report bytes never depend on the worker count
+//! # Ok::<(), bec_ir::IrError>(())
+//! ```
 
 use crate::checkpoint::CheckpointLog;
 use crate::runner::{GoldenRun, Simulator};

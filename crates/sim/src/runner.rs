@@ -81,6 +81,11 @@ pub struct GoldenRun {
     /// fault-space enumeration is O(trace) total instead of rescanning the
     /// cycle map per queried site.
     occurrence_index: HashMap<(usize, PointId), Vec<u64>>,
+    /// The register file at the end of the run.
+    terminal_regs: Vec<u64>,
+    /// Terminal memory digest relative to the initial image (XOR of
+    /// `mem_mix` over the words the run changed).
+    mem_digest: u128,
 }
 
 impl GoldenRun {
@@ -122,6 +127,24 @@ impl GoldenRun {
     /// the golden run is constructed.
     pub fn occurrence_index(&self) -> &HashMap<(usize, PointId), Vec<u64>> {
         &self.occurrence_index
+    }
+
+    /// The register file at the end of the run. Together with
+    /// [`GoldenRun::mem_digest`], the outputs and the cycle count this is
+    /// the semantic-equivalence fingerprint scheduled variants are checked
+    /// against (trace hashes are order-sensitive by design, so a legally
+    /// reordered program hashes differently while ending in the same
+    /// state).
+    pub fn terminal_regs(&self) -> &[u64] {
+        &self.terminal_regs
+    }
+
+    /// Terminal memory digest relative to the program's initial image: the
+    /// XOR of a per-word mix over every word the run changed (0 when the
+    /// run wrote nothing). Equal digests mean equal final memory, with the
+    /// same 128-bit confidence the trace hash already carries.
+    pub fn mem_digest(&self) -> u128 {
+        self.mem_digest
     }
 }
 
@@ -259,6 +282,8 @@ impl<'p> Simulator<'p> {
             cycle_map,
             next_same_depth,
             occurrence_index,
+            terminal_regs: machine.regs().to_vec(),
+            mem_digest: raw.mem_digest,
         }
     }
 

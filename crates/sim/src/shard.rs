@@ -14,6 +14,33 @@
 //! [`CampaignSpec`] (seed, sample size, shard count) and the simulator
 //! limits — never on worker count, scheduling order or wall-clock. The
 //! [`crate::pool`] executor preserves this by aggregating per shard.
+//!
+//! ```
+//! use bec_sim::{site_fault_space, CampaignSpec, ShardPlan, Simulator};
+//! use bec_core::{BecAnalysis, BecOptions};
+//! use bec_ir::parse_program;
+//!
+//! let p = parse_program(r#"
+//! func @main(args=0, ret=none) {
+//! entry:
+//!     li t0, 3
+//!     addi t0, t0, -1
+//!     print t0
+//!     exit
+//! }
+//! "#)?;
+//! let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+//! let golden = Simulator::new(&p).run_golden();
+//! // Every bit of every accessed (point, register) pair, every occurrence,
+//! // each carrying its static verdict (`masked`).
+//! let space = site_fault_space(&p, &bec, &golden);
+//! assert!(space.iter().any(|f| f.masked) && space.iter().any(|f| !f.masked));
+//! // A seeded sample is a reproducible subsequence, split into shards.
+//! let plan = ShardPlan::build(space.clone(), CampaignSpec::sampled(7, 10, 2));
+//! assert_eq!(plan.runs(), 10);
+//! assert_eq!(plan.shard_count(), 2);
+//! # Ok::<(), bec_ir::IrError>(())
+//! ```
 
 use crate::campaign::occurrence_map;
 use crate::json::Json;

@@ -1,0 +1,782 @@
+//! The scheduled-variant reliability study engine: checkpointed
+//! differential campaigns over a set of program variants, aggregated into
+//! one resumable, Table IV-style [`StudyReport`].
+//!
+//! A *study* runs the campaign oracle (see [`crate::shard`]) once per
+//! scheduled variant of each benchmark and records, next to every
+//! [`CampaignReport`], the variant's static provenance: its scheduling
+//! criterion, the per-point permutation that reproduces the schedule, its
+//! static masking coverage, and the semantic-equivalence evidence
+//! (outputs, terminal registers, memory digest, cycle count against the
+//! baseline golden run). The report answers the paper's Table IV question
+//! empirically — how does BEC-guided scheduling shift the masked /
+//! corrupting balance? — while simultaneously re-checking the soundness
+//! invariant (statically masked ⇒ never corrupting) on every variant.
+//!
+//! This module is deliberately scheduler-agnostic: variants arrive as
+//! plain programs plus metadata strings, so `bec-sim` stays independent of
+//! `bec-sched`. The orchestration that produces the variants lives in the
+//! root crate (`bec::study`); the driver here owns everything campaign:
+//! golden probing, budget derivation, checkpointing, sharded execution,
+//! and the report container with its JSON round-trip.
+//!
+//! ```
+//! use bec_sim::study::{run_campaign, StudySpec};
+//! use bec_core::{BecAnalysis, BecOptions};
+//! use bec_ir::parse_program;
+//!
+//! let p = parse_program(r#"
+//! func @main(args=0, ret=none) {
+//! entry:
+//!     li t0, 5
+//!     addi t0, t0, 1
+//!     print t0
+//!     exit
+//! }
+//! "#)?;
+//! let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+//! let spec = StudySpec { sample: Some(16), shards: 4, ..StudySpec::default() };
+//! let run = run_campaign("toy", &p, &bec, &spec, None).unwrap();
+//! assert!(run.report.is_complete());
+//! assert_eq!(run.report.runs(), 16);
+//! assert!(run.report.violations().is_empty());
+//! # Ok::<(), bec_ir::IrError>(())
+//! ```
+
+use crate::checkpoint::{default_checkpoint_interval, CheckpointLog};
+use crate::json::Json;
+use crate::pool::{self, PoolStats};
+use crate::runner::{GoldenRun, SimLimits, Simulator};
+use crate::shard::{site_fault_space, CampaignReport, CampaignSpec, ShardPlan};
+use crate::trace::FaultClass;
+use bec_core::BecAnalysis;
+use bec_ir::Program;
+
+/// Default sampling seed of studies (same as `bec campaign`).
+pub const DEFAULT_SEED: u64 = 0xbec;
+
+/// Default shard count (fixed so report bytes are host-independent).
+pub const DEFAULT_SHARDS: u32 = 64;
+
+/// The knobs of a study, applied identically to every variant campaign.
+///
+/// Only `seed`, `sample` and `shards` shape the report bytes; `workers`
+/// and `checkpoint_interval` are pure wall-clock levers, and `max_cycles`
+/// defaults to a budget derived per program from its golden trace length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StudySpec {
+    /// Seed of the per-variant fault-space sampling.
+    pub seed: u64,
+    /// `Some(n)`: sample `n` faults per variant; `None`: exhaustive.
+    pub sample: Option<u64>,
+    /// Shards per variant campaign.
+    pub shards: u32,
+    /// Worker threads (never influences report bytes).
+    pub workers: usize,
+    /// Per-run cycle budget; `None` derives `100 × golden + 10k`.
+    pub max_cycles: Option<u64>,
+    /// Checkpoint spacing; `None` derives from the trace length, 0 runs
+    /// the from-scratch engine. Never influences report bytes.
+    pub checkpoint_interval: Option<u64>,
+}
+
+impl Default for StudySpec {
+    fn default() -> StudySpec {
+        StudySpec {
+            seed: DEFAULT_SEED,
+            sample: None,
+            shards: DEFAULT_SHARDS,
+            workers: 1,
+            max_cycles: None,
+            checkpoint_interval: None,
+        }
+    }
+}
+
+/// The result of one variant campaign: the report plus the execution
+/// context a study wants to keep (golden run for surface accounting, pool
+/// stats for the progress line).
+pub struct CampaignRun {
+    /// The deterministic, resumable campaign report.
+    pub report: CampaignReport,
+    /// Pool execution metadata (wall time, workers, early exits).
+    pub stats: PoolStats,
+    /// The checkpoint interval the campaign ran with.
+    pub interval: u64,
+    /// The golden run of the program under campaign.
+    pub golden: GoldenRun,
+}
+
+/// Runs one differential campaign over `program`, labelled `label` in the
+/// report: golden probe, derived budget, checkpointed engine, sharded
+/// pool. This is the per-variant building block of a study and the same
+/// flow `bec campaign` runs for a single program.
+///
+/// # Errors
+///
+/// Fails when the program does not run to completion, or when `resume`
+/// disagrees with the campaign derived from (`label`, `program`, `spec`).
+pub fn run_campaign(
+    label: &str,
+    program: &Program,
+    bec: &BecAnalysis,
+    spec: &StudySpec,
+    resume: Option<CampaignReport>,
+) -> Result<CampaignRun, String> {
+    let probe = Simulator::with_limits(
+        program,
+        SimLimits { max_cycles: spec.max_cycles.unwrap_or(100_000_000) },
+    );
+    let (golden, ckpts, interval) = match spec.checkpoint_interval {
+        Some(0) => (probe.run_golden(), CheckpointLog::disabled(), 0),
+        Some(n) => {
+            let (golden, ckpts) = probe.run_golden_checkpointed(n);
+            (golden, ckpts, n)
+        }
+        None => {
+            let n = default_checkpoint_interval(probe.run_golden().cycles());
+            let (golden, ckpts) = probe.run_golden_checkpointed(n);
+            (golden, ckpts, n)
+        }
+    };
+    if golden.result.outcome != crate::ExecOutcome::Completed {
+        return Err(format!(
+            "{label}: program did not run to completion: {:?}",
+            golden.result.outcome
+        ));
+    }
+    let budget = spec
+        .max_cycles
+        .unwrap_or_else(|| golden.cycles().saturating_mul(100).saturating_add(10_000));
+    let sim = Simulator::with_limits(program, SimLimits { max_cycles: budget });
+
+    let cspec = CampaignSpec { seed: spec.seed, sample: spec.sample, shards: spec.shards };
+    let plan = ShardPlan::build(site_fault_space(program, bec, &golden), cspec);
+    let (report, stats) =
+        pool::run_sharded(&sim, &golden, &ckpts, &plan, spec.workers, resume, label)?;
+    Ok(CampaignRun { report, stats, interval, golden })
+}
+
+/// The static-verdict × dynamic-outcome cross-table of one campaign: row 0
+/// counts faults the analysis claimed masked, row 1 the live ones, columns
+/// follow [`FaultClass::ALL`]. Cell `(masked, non-benign)` being zero *is*
+/// the soundness invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrossTable {
+    counts: [[u64; 5]; 2],
+}
+
+impl CrossTable {
+    /// Tabulates every recorded outcome of `report`.
+    pub fn of_report(report: &CampaignReport) -> CrossTable {
+        let mut t = CrossTable::default();
+        for o in report.outcomes() {
+            t.counts[usize::from(!o.fault.masked)][o.class.index()] += 1;
+        }
+        t
+    }
+
+    /// Count of one cell.
+    pub fn count(&self, masked: bool, class: FaultClass) -> u64 {
+        self.counts[usize::from(!masked)][class.index()]
+    }
+
+    /// One row, in [`FaultClass::ALL`] order.
+    pub fn row(&self, masked: bool) -> [u64; 5] {
+        self.counts[usize::from(!masked)]
+    }
+
+    /// Total runs of one row.
+    pub fn row_total(&self, masked: bool) -> u64 {
+        self.row(masked).iter().sum()
+    }
+
+    /// Sums another table into this one (suite-level aggregation).
+    pub fn merge(&mut self, other: &CrossTable) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Statically-masked runs observed as anything but benign — must be 0.
+    pub fn masked_corrupting(&self) -> u64 {
+        self.row_total(true) - self.count(true, FaultClass::Benign)
+    }
+
+    /// JSON rendering: `{"masked": {...}, "live": {...}}` with one count
+    /// per fault class.
+    pub fn to_json(&self) -> Json {
+        let row = |masked: bool| {
+            Json::Obj(
+                FaultClass::ALL
+                    .iter()
+                    .map(|&c| (c.name().to_owned(), Json::UInt(self.count(masked, c))))
+                    .collect(),
+            )
+        };
+        Json::obj(vec![("masked", row(true)), ("live", row(false))])
+    }
+}
+
+/// Semantic-equivalence evidence of one variant against the baseline
+/// golden run. Trace hashes are order-sensitive (they absorb executed
+/// points), so a legally rescheduled program hashes differently while
+/// being semantically identical; equivalence is therefore established on
+/// the schedule-invariant fingerprint: observable outputs, terminal
+/// register file, terminal memory digest and cycle count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EquivalenceRecord {
+    /// The variant golden run's cycle count (must equal the baseline's —
+    /// scheduling permutes instructions, it never adds or removes any).
+    pub cycles: u64,
+    /// Observable outputs byte-equal to the baseline's.
+    pub outputs_match: bool,
+    /// Terminal register file equal to the baseline's.
+    pub terminal_regs_match: bool,
+    /// Terminal memory digest equal to the baseline's.
+    pub mem_digest_match: bool,
+    /// Whether the variant survived machine-code re-encoding: the program
+    /// was encoded to RV32 words, lifted back, re-run, and its observable
+    /// outputs still match (`None` when the variant's machine config has
+    /// no RV32 encoding).
+    pub reencode_outputs_match: Option<bool>,
+}
+
+impl EquivalenceRecord {
+    /// Whether every checked component matched.
+    pub fn holds(&self, baseline_cycles: u64) -> bool {
+        self.cycles == baseline_cycles
+            && self.outputs_match
+            && self.terminal_regs_match
+            && self.mem_digest_match
+            && self.reencode_outputs_match.unwrap_or(true)
+    }
+}
+
+/// One variant of one benchmark inside a study.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VariantRecord {
+    /// Criterion name (`original` / `best` / `worst`).
+    pub criterion: String,
+    /// Whether the coverage gate applies to this variant (set by the
+    /// orchestrator for reliability-improving criteria; the deliberately
+    /// pessimal `worst` bound is exempt).
+    pub coverage_gated: bool,
+    /// Per-function point permutations reproducing the schedule.
+    pub permutation: Vec<Vec<u32>>,
+    /// Static site-bit accounting of the variant's own analysis.
+    pub total_site_bits: u64,
+    /// Site bits the variant's analysis proved masked.
+    pub masked_site_bits: u64,
+    /// Dynamic fault surface (live site bits weighted over the trace).
+    pub live_surface: u64,
+    /// Total dynamic fault space (cycles × register-file bits).
+    pub total_surface: u64,
+    /// Semantic-equivalence evidence vs the baseline.
+    pub equivalence: EquivalenceRecord,
+    /// The variant's differential campaign.
+    pub campaign: CampaignReport,
+}
+
+impl VariantRecord {
+    /// The statically-proven masking coverage of the dynamic fault space,
+    /// in percent.
+    pub fn coverage_pct(&self) -> f64 {
+        if self.total_surface == 0 {
+            return 0.0;
+        }
+        100.0 * (self.total_surface - self.live_surface) as f64 / self.total_surface as f64
+    }
+
+    /// Fraction of campaign runs observed benign, in percent.
+    pub fn benign_pct(&self) -> f64 {
+        let runs = self.campaign.runs();
+        if runs == 0 {
+            return 0.0;
+        }
+        100.0 * self.campaign.outcome_counts()[FaultClass::Benign.index()] as f64 / runs as f64
+    }
+}
+
+/// Deterministic scoring statistics of the one shared analysis that scored
+/// every variant of a benchmark (a subset of [`bec_core::AnalysisStats`]:
+/// the worker count and wall time stay out of the report bytes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScoringRecord {
+    /// `BecAnalysis` runs performed for scoring — the study invariant
+    /// pins this to exactly 1.
+    pub analyses: u64,
+    /// Program points of the scoring analysis.
+    pub points: u64,
+    /// Bit-value solver worklist visits.
+    pub solver_visits: u64,
+    /// Coalescing fixpoint passes.
+    pub coalesce_passes: u64,
+    /// Union-find nodes allocated.
+    pub uf_nodes: u64,
+}
+
+/// One benchmark of a study: the scoring statistics plus one
+/// [`VariantRecord`] per criterion (baseline first).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchmarkStudy {
+    /// Benchmark name.
+    pub name: String,
+    /// Shared-analysis scoring statistics.
+    pub scoring: ScoringRecord,
+    /// Variants, baseline (`original`) first.
+    pub variants: Vec<VariantRecord>,
+}
+
+impl BenchmarkStudy {
+    /// The baseline (`original`) variant.
+    pub fn baseline(&self) -> Option<&VariantRecord> {
+        self.variants.iter().find(|v| v.criterion == "original")
+    }
+}
+
+/// A whole study: the deterministic spec header plus one
+/// [`BenchmarkStudy`] per benchmark. Serializes to the resumable JSON
+/// artifact `bec study --report` writes; bytes depend only on the
+/// benchmarks, the rule set and (seed, sample, shards, max-cycles) — never
+/// on worker count, checkpoint interval or timing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StudyReport {
+    /// Coalescing rule set name (`paper` / `extended` / `branches-only`).
+    pub rules: String,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Per-variant sample size (`None` = exhaustive).
+    pub sample: Option<u64>,
+    /// Shards per variant campaign.
+    pub shards: u32,
+    /// Per-benchmark results.
+    pub benchmarks: Vec<BenchmarkStudy>,
+}
+
+impl StudyReport {
+    /// An empty report carrying the deterministic spec header.
+    pub fn empty(rules: impl Into<String>, spec: &StudySpec) -> StudyReport {
+        StudyReport {
+            rules: rules.into(),
+            seed: spec.seed,
+            sample: spec.sample,
+            shards: spec.shards,
+            benchmarks: Vec::new(),
+        }
+    }
+
+    /// Whether `spec` (and `rules`) describe the same study this report
+    /// was recorded for — the resume precondition.
+    pub fn matches(&self, rules: &str, spec: &StudySpec) -> bool {
+        self.rules == rules
+            && self.seed == spec.seed
+            && self.sample == spec.sample
+            && self.shards == spec.shards
+    }
+
+    /// The record of `benchmark`, if present.
+    pub fn benchmark(&self, name: &str) -> Option<&BenchmarkStudy> {
+        self.benchmarks.iter().find(|b| b.name == name)
+    }
+
+    /// A previously recorded campaign for `(benchmark, criterion)` — the
+    /// per-variant resume seed.
+    pub fn prior_campaign(&self, benchmark: &str, criterion: &str) -> Option<&CampaignReport> {
+        self.benchmark(benchmark)?
+            .variants
+            .iter()
+            .find(|v| v.criterion == criterion)
+            .map(|v| &v.campaign)
+    }
+
+    /// Whether every variant campaign of every benchmark is complete.
+    pub fn is_complete(&self) -> bool {
+        self.benchmarks.iter().all(|b| b.variants.iter().all(|v| v.campaign.is_complete()))
+    }
+
+    /// Soundness violations across all variant campaigns, as
+    /// `(benchmark, criterion, count)` triples.
+    pub fn violations(&self) -> Vec<(String, String, u64)> {
+        let mut out = Vec::new();
+        for b in &self.benchmarks {
+            for v in &b.variants {
+                let n = v.campaign.violations().len() as u64;
+                if n > 0 {
+                    out.push((b.name.clone(), v.criterion.clone(), n));
+                }
+            }
+        }
+        out
+    }
+
+    /// Coverage-gate failures: gated variants whose statically-proven
+    /// masking coverage fell below the baseline's (i.e. the live fault
+    /// surface grew), as `(benchmark, criterion)` pairs.
+    pub fn coverage_regressions(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for b in &self.benchmarks {
+            let Some(base) = b.baseline() else { continue };
+            for v in &b.variants {
+                if v.coverage_gated && v.live_surface > base.live_surface {
+                    out.push((b.name.clone(), v.criterion.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Variants whose semantic-equivalence evidence does not hold against
+    /// their benchmark baseline, as `(benchmark, criterion)` pairs.
+    pub fn equivalence_failures(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for b in &self.benchmarks {
+            let Some(base) = b.baseline() else { continue };
+            for v in &b.variants {
+                if !v.equivalence.holds(base.equivalence.cycles) {
+                    out.push((b.name.clone(), v.criterion.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the report canonically (benchmarks and variants in
+    /// recorded order; equal reports render to identical bytes).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("version", Json::UInt(1)),
+            ("rules", Json::str(&self.rules)),
+            ("seed", Json::UInt(self.seed)),
+        ];
+        if let Some(n) = self.sample {
+            fields.push(("sample", Json::UInt(n)));
+        }
+        fields.push(("shards", Json::UInt(self.shards as u64)));
+        fields.push((
+            "benchmarks",
+            Json::Arr(self.benchmarks.iter().map(benchmark_to_json).collect()),
+        ));
+        Json::obj(fields)
+    }
+
+    /// Deserializes a report produced by [`StudyReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field.
+    pub fn from_json(doc: &Json) -> Result<StudyReport, String> {
+        let uint = |k: &str| {
+            doc.get(k).and_then(Json::as_u64).ok_or_else(|| format!("missing uint field `{k}`"))
+        };
+        if uint("version")? != 1 {
+            return Err("unsupported study report version".into());
+        }
+        let benchmarks = doc
+            .get("benchmarks")
+            .and_then(Json::as_arr)
+            .ok_or("missing field `benchmarks`")?
+            .iter()
+            .map(benchmark_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(StudyReport {
+            rules: doc
+                .get("rules")
+                .and_then(Json::as_str)
+                .ok_or("missing field `rules`")?
+                .to_owned(),
+            seed: uint("seed")?,
+            sample: match doc.get("sample") {
+                Some(v) => Some(v.as_u64().ok_or("field `sample` not a uint")?),
+                None => None,
+            },
+            shards: uint("shards")? as u32,
+            benchmarks,
+        })
+    }
+}
+
+fn benchmark_to_json(b: &BenchmarkStudy) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(&b.name)),
+        (
+            "scoring",
+            Json::obj(vec![
+                ("analyses", Json::UInt(b.scoring.analyses)),
+                ("points", Json::UInt(b.scoring.points)),
+                ("solver_visits", Json::UInt(b.scoring.solver_visits)),
+                ("coalesce_passes", Json::UInt(b.scoring.coalesce_passes)),
+                ("uf_nodes", Json::UInt(b.scoring.uf_nodes)),
+            ]),
+        ),
+        ("variants", Json::Arr(b.variants.iter().map(variant_to_json).collect())),
+    ])
+}
+
+fn variant_to_json(v: &VariantRecord) -> Json {
+    let eq = &v.equivalence;
+    let mut eq_fields = vec![
+        ("cycles", Json::UInt(eq.cycles)),
+        ("outputs_match", Json::Bool(eq.outputs_match)),
+        ("terminal_regs_match", Json::Bool(eq.terminal_regs_match)),
+        ("mem_digest_match", Json::Bool(eq.mem_digest_match)),
+    ];
+    if let Some(m) = eq.reencode_outputs_match {
+        eq_fields.push(("reencode_outputs_match", Json::Bool(m)));
+    }
+    Json::obj(vec![
+        ("criterion", Json::str(&v.criterion)),
+        ("coverage_gated", Json::Bool(v.coverage_gated)),
+        ("total_site_bits", Json::UInt(v.total_site_bits)),
+        ("masked_site_bits", Json::UInt(v.masked_site_bits)),
+        ("live_surface", Json::UInt(v.live_surface)),
+        ("total_surface", Json::UInt(v.total_surface)),
+        ("equivalence", Json::obj(eq_fields)),
+        (
+            "permutation",
+            Json::Arr(
+                v.permutation
+                    .iter()
+                    .map(|f| Json::Arr(f.iter().map(|&p| Json::UInt(p as u64)).collect()))
+                    .collect(),
+            ),
+        ),
+        ("campaign", v.campaign.to_json()),
+    ])
+}
+
+fn benchmark_from_json(doc: &Json) -> Result<BenchmarkStudy, String> {
+    let scoring = doc.get("scoring").ok_or("benchmark without `scoring`")?;
+    let suint = |k: &str| {
+        scoring.get(k).and_then(Json::as_u64).ok_or_else(|| format!("missing scoring field `{k}`"))
+    };
+    Ok(BenchmarkStudy {
+        name: doc.get("name").and_then(Json::as_str).ok_or("benchmark without `name`")?.to_owned(),
+        scoring: ScoringRecord {
+            analyses: suint("analyses")?,
+            points: suint("points")?,
+            solver_visits: suint("solver_visits")?,
+            coalesce_passes: suint("coalesce_passes")?,
+            uf_nodes: suint("uf_nodes")?,
+        },
+        variants: doc
+            .get("variants")
+            .and_then(Json::as_arr)
+            .ok_or("benchmark without `variants`")?
+            .iter()
+            .map(variant_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+fn variant_from_json(doc: &Json) -> Result<VariantRecord, String> {
+    let uint = |k: &str| {
+        doc.get(k).and_then(Json::as_u64).ok_or_else(|| format!("missing variant field `{k}`"))
+    };
+    let eq = doc.get("equivalence").ok_or("variant without `equivalence`")?;
+    let eq_bool = |k: &str| {
+        eq.get(k).and_then(Json::as_bool).ok_or_else(|| format!("missing equivalence field `{k}`"))
+    };
+    let permutation = doc
+        .get("permutation")
+        .and_then(Json::as_arr)
+        .ok_or("variant without `permutation`")?
+        .iter()
+        .map(|f| {
+            f.as_arr()
+                .ok_or("permutation entry not an array")?
+                .iter()
+                .map(|p| p.as_u64().map(|v| v as u32).ok_or("permutation point not a uint"))
+                .collect::<Result<Vec<u32>, &str>>()
+        })
+        .collect::<Result<Vec<Vec<u32>>, &str>>()
+        .map_err(str::to_owned)?;
+    Ok(VariantRecord {
+        criterion: doc
+            .get("criterion")
+            .and_then(Json::as_str)
+            .ok_or("variant without `criterion`")?
+            .to_owned(),
+        coverage_gated: doc
+            .get("coverage_gated")
+            .and_then(Json::as_bool)
+            .ok_or("variant without `coverage_gated`")?,
+        permutation,
+        total_site_bits: uint("total_site_bits")?,
+        masked_site_bits: uint("masked_site_bits")?,
+        live_surface: uint("live_surface")?,
+        total_surface: uint("total_surface")?,
+        equivalence: EquivalenceRecord {
+            cycles: eq
+                .get("cycles")
+                .and_then(Json::as_u64)
+                .ok_or("missing equivalence field `cycles`")?,
+            outputs_match: eq_bool("outputs_match")?,
+            terminal_regs_match: eq_bool("terminal_regs_match")?,
+            mem_digest_match: eq_bool("mem_digest_match")?,
+            reencode_outputs_match: match eq.get("reencode_outputs_match") {
+                Some(v) => Some(v.as_bool().ok_or("field `reencode_outputs_match` not a bool")?),
+                None => None,
+            },
+        },
+        campaign: CampaignReport::from_json(
+            doc.get("campaign").ok_or("variant without `campaign`")?,
+        )?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bec_core::BecOptions;
+    use bec_ir::parse_program;
+
+    fn toy() -> Program {
+        parse_program(
+            r#"
+machine xlen=4 regs=4 zero=none
+func @main(args=0, ret=none) {
+entry:
+    li r1, 6
+    j loop
+loop:
+    andi r2, r1, 1
+    add  r0, r0, r2
+    addi r1, r1, -1
+    bnez r1, loop
+exit:
+    ret r0
+}
+"#,
+        )
+        .unwrap()
+    }
+
+    fn toy_campaign(spec: &StudySpec) -> CampaignRun {
+        let p = toy();
+        let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+        run_campaign("toy", &p, &bec, spec, None).unwrap()
+    }
+
+    fn toy_record(criterion: &str, gated: bool, campaign: CampaignReport) -> VariantRecord {
+        VariantRecord {
+            criterion: criterion.to_owned(),
+            coverage_gated: gated,
+            permutation: vec![vec![0, 1, 2, 3, 4, 5, 6]],
+            total_site_bits: 40,
+            masked_site_bits: 12,
+            live_surface: 100,
+            total_surface: 400,
+            equivalence: EquivalenceRecord {
+                cycles: 26,
+                outputs_match: true,
+                terminal_regs_match: true,
+                mem_digest_match: true,
+                reencode_outputs_match: None,
+            },
+            campaign,
+        }
+    }
+
+    #[test]
+    fn campaign_driver_matches_interval_and_worker_variations() {
+        let base = StudySpec { sample: Some(30), shards: 5, ..StudySpec::default() };
+        let a = toy_campaign(&base);
+        let b = toy_campaign(&StudySpec { workers: 4, checkpoint_interval: Some(0), ..base });
+        let c = toy_campaign(&StudySpec { checkpoint_interval: Some(4), ..base });
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.report, c.report);
+        assert_eq!(a.report.to_json().render(), b.report.to_json().render());
+        assert!(a.report.is_complete());
+        assert_eq!(a.report.runs(), 30);
+    }
+
+    #[test]
+    fn campaign_driver_resumes_partial_reports() {
+        let spec = StudySpec { sample: Some(24), shards: 4, ..StudySpec::default() };
+        let full = toy_campaign(&spec);
+        let mut partial = full.report.clone();
+        partial.shards[2] = None;
+        let p = toy();
+        let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+        let resumed = run_campaign("toy", &p, &bec, &spec, Some(partial)).unwrap();
+        assert_eq!(resumed.report, full.report);
+        assert_eq!(resumed.stats.resumed_shards, 3);
+    }
+
+    #[test]
+    fn cross_table_tabulates_provenance_against_outcomes() {
+        let run = toy_campaign(&StudySpec { sample: Some(50), shards: 4, ..StudySpec::default() });
+        let t = CrossTable::of_report(&run.report);
+        assert_eq!(t.row_total(true) + t.row_total(false), 50);
+        assert_eq!(t.masked_corrupting(), 0, "soundness invariant");
+        let counts = run.report.outcome_counts();
+        for c in FaultClass::ALL {
+            assert_eq!(t.count(true, c) + t.count(false, c), counts[c.index()]);
+        }
+        let mut agg = t;
+        agg.merge(&t);
+        assert_eq!(agg.row_total(true), 2 * t.row_total(true));
+    }
+
+    #[test]
+    fn study_report_json_roundtrips() {
+        let spec = StudySpec { sample: Some(20), shards: 3, ..StudySpec::default() };
+        let run = toy_campaign(&spec);
+        let mut report = StudyReport::empty("paper", &spec);
+        report.benchmarks.push(BenchmarkStudy {
+            name: "toy".into(),
+            scoring: ScoringRecord {
+                analyses: 1,
+                points: 7,
+                solver_visits: 20,
+                coalesce_passes: 2,
+                uf_nodes: 100,
+            },
+            variants: vec![
+                toy_record("original", false, run.report.clone()),
+                toy_record("best", true, run.report.clone()),
+            ],
+        });
+        assert!(report.is_complete());
+        assert!(report.matches("paper", &spec));
+        assert!(!report.matches("extended", &spec));
+        let text = report.to_json().render();
+        let back = StudyReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json().render(), text);
+        assert_eq!(report.prior_campaign("toy", "best").map(|c| c.runs()), Some(run.report.runs()));
+        assert!(report.prior_campaign("toy", "worst").is_none());
+    }
+
+    #[test]
+    fn gates_report_regressions_and_equivalence_failures() {
+        let spec = StudySpec { sample: Some(10), shards: 2, ..StudySpec::default() };
+        let run = toy_campaign(&spec);
+        let mut report = StudyReport::empty("paper", &spec);
+        let base = toy_record("original", false, run.report.clone());
+        let mut good = toy_record("best", true, run.report.clone());
+        good.live_surface = 90;
+        let mut bad = toy_record("worst", true, run.report.clone());
+        bad.live_surface = 150;
+        let mut broken = toy_record("broken", false, run.report.clone());
+        broken.equivalence.cycles = 99;
+        broken.equivalence.outputs_match = false;
+        report.benchmarks.push(BenchmarkStudy {
+            name: "toy".into(),
+            scoring: ScoringRecord {
+                analyses: 1,
+                points: 7,
+                solver_visits: 20,
+                coalesce_passes: 2,
+                uf_nodes: 100,
+            },
+            variants: vec![base, good, bad, broken],
+        });
+        assert_eq!(report.coverage_regressions(), vec![("toy".to_owned(), "worst".to_owned())]);
+        assert_eq!(report.equivalence_failures(), vec![("toy".to_owned(), "broken".to_owned())]);
+        assert!(report.violations().is_empty());
+    }
+}

@@ -7,7 +7,7 @@
 //! ```
 
 use bec_core::{surface, BecAnalysis, BecOptions};
-use bec_sched::{schedule_program, Criterion};
+use bec_sched::{Criterion, Scheduler};
 use bec_sim::Simulator;
 
 fn measure(name: &str, program: &bec_ir::Program) -> u64 {
@@ -29,11 +29,14 @@ fn main() {
     let original = bench.compile().expect("compiles");
     println!("adpcm_dec under three scheduling policies:\n");
 
+    // One shared analysis scores every candidate schedule.
+    let scheduler = Scheduler::new(&original, &BecOptions::paper());
     let base = measure("original", &original);
-    let best_p = schedule_program(&original, Criterion::BestReliability);
+    let best_p = scheduler.schedule(Criterion::BestReliability).program;
     let best = measure("best reliability", &best_p);
-    let worst_p = schedule_program(&original, Criterion::WorstReliability);
+    let worst_p = scheduler.schedule(Criterion::WorstReliability).program;
     let worst = measure("worst reliability", &worst_p);
+    assert_eq!(scheduler.analyses_run(), 1, "both schedules, one scoring analysis");
 
     println!();
     println!(

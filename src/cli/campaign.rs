@@ -13,15 +13,9 @@
 use super::{input, CliError, CommonArgs};
 use bec_core::{report, BecAnalysis};
 use bec_sim::json::Json;
-use bec_sim::shard::{site_fault_space, CampaignReport, CampaignSpec, ShardPlan};
-use bec_sim::{default_checkpoint_interval, pool, CheckpointLog, FaultClass, SimLimits, Simulator};
-
-/// Default shard count: fixed (never derived from the machine) so the
-/// report bytes are reproducible across hosts.
-const DEFAULT_SHARDS: u32 = 64;
-
-/// Default sampling seed, used when `--sample` is given without `--seed`.
-const DEFAULT_SEED: u64 = 0xbec;
+use bec_sim::shard::CampaignReport;
+use bec_sim::study::{run_campaign, StudySpec, DEFAULT_SEED, DEFAULT_SHARDS};
+use bec_sim::FaultClass;
 
 struct Flags {
     sample: Option<u64>,
@@ -130,51 +124,23 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
     let flags = parse_flags(args)?;
     let program = input::load_program(&args.file)?;
     let bec = BecAnalysis::analyze(&program, &args.options);
-    let probe = Simulator::with_limits(
-        &program,
-        SimLimits { max_cycles: flags.max_cycles.unwrap_or(100_000_000) },
-    );
-    // Checkpointed engine: fault runs start at the nearest checkpoint
-    // before their injection cycle and early-exit on provable
-    // re-convergence. The interval never changes the report bytes. With an
-    // explicit interval one golden run suffices; the derived default needs
-    // a plain run first to know the trace length.
-    let (golden, ckpts, interval) = match flags.checkpoint_interval {
-        Some(0) => (probe.run_golden(), CheckpointLog::disabled(), 0),
-        Some(n) => {
-            let (golden, ckpts) = probe.run_golden_checkpointed(n);
-            (golden, ckpts, n)
-        }
-        None => {
-            let n = default_checkpoint_interval(probe.run_golden().cycles());
-            let (golden, ckpts) = probe.run_golden_checkpointed(n);
-            (golden, ckpts, n)
-        }
-    };
-    if golden.result.outcome != bec_sim::ExecOutcome::Completed {
-        return Err(CliError::failed(format!(
-            "program did not run to completion: {:?}",
-            golden.result.outcome
-        )));
-    }
-    // The injection budget defaults to a multiple of the golden length:
-    // masked runs are trace-identical and fit by construction, while a
-    // corrupted loop counter is classified as a hang after bounded work
-    // instead of burning the full 100M-cycle probe budget per fault.
-    let budget = flags
-        .max_cycles
-        .unwrap_or_else(|| golden.cycles().saturating_mul(100).saturating_add(10_000));
-    let sim = Simulator::with_limits(&program, SimLimits { max_cycles: budget });
-
-    let spec = CampaignSpec { seed: flags.seed, sample: flags.sample, shards: flags.shards };
-    let plan = ShardPlan::build(site_fault_space(&program, &bec, &golden), spec);
     let resume = match &flags.resume_path {
         Some(path) => load_resume(path)?,
         None => None,
     };
-    let (campaign, stats) =
-        pool::run_sharded(&sim, &golden, &ckpts, &plan, flags.workers, resume, &args.file)
-            .map_err(CliError::failed)?;
+    // The shared campaign driver (`bec_sim::study`): golden probe, derived
+    // injection budget, checkpointed engine, sharded pool. The checkpoint
+    // interval never changes the report bytes — it is a wall-clock lever.
+    let spec = StudySpec {
+        seed: flags.seed,
+        sample: flags.sample,
+        shards: flags.shards,
+        workers: flags.workers,
+        max_cycles: flags.max_cycles,
+        checkpoint_interval: flags.checkpoint_interval,
+    };
+    let run = run_campaign(&args.file, &program, &bec, &spec, resume).map_err(CliError::failed)?;
+    let (campaign, stats, interval) = (run.report, run.stats, run.interval);
 
     if let Some(path) = &flags.report_path {
         std::fs::write(path, campaign.to_json().render() + "\n")
@@ -197,7 +163,8 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
     if args.json {
         println!("{}", with_checkpoint_metadata(campaign.to_json(), interval).render());
     } else {
-        print_text(args, &campaign, plan.fault_space(), interval);
+        let fault_space = campaign.fault_space;
+        print_text(args, &campaign, fault_space, interval);
     }
 
     if violations.is_empty() {

@@ -7,6 +7,7 @@ mod input;
 mod prune;
 mod schedule;
 mod sim;
+mod study;
 
 use bec_core::BecOptions;
 
@@ -105,6 +106,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "prune" => prune::run(&parse_common(&args[1..])?),
         "schedule" => schedule::run(&parse_common(&args[1..])?),
         "sim" => sim::run(&parse_common(&args[1..])?),
+        // `study` takes no input file (its subjects are the built-in suite
+        // benchmarks), so it parses its own argument list.
+        "study" => study::run(&args[1..]),
         "encode" => encode::run(&parse_common(&args[1..])?),
         "help" | "--help" | "-h" => Err(CliError::Usage(String::new())),
         other => Err(CliError::usage(format!("unknown command `{other}`"))),

@@ -20,6 +20,10 @@
 //! * [`rv32`] — the RV32I machine-code layer: assembler frontend for
 //!   standard `.s` syntax, instruction encoder and decoder/lifter.
 //! * [`suite`] — the eight evaluation benchmarks.
+//! * [`study`] — the scheduled-variant reliability study pipeline
+//!   (`bec study`): shared-analysis scheduling, semantic-equivalence
+//!   verification, and a differential campaign per variant, reproducing
+//!   the paper's Table IV methodology empirically.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +44,8 @@ pub use bec_rv32 as rv32;
 pub use bec_sched as sched;
 pub use bec_sim as sim;
 pub use bec_suite as suite;
+
+pub mod study;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {

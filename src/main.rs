@@ -10,6 +10,8 @@
 //! bec schedule file.s              vulnerability-aware rescheduling
 //! bec sim      file.s              execute (optionally with a bit flip)
 //! bec campaign file.s              sharded differential fault campaign
+//! bec study                        scheduled-variant reliability study
+//!                                  over the built-in benchmark suite
 //! bec encode   file.s              RV32I machine-code emission
 //! ```
 //!
@@ -33,12 +35,17 @@ COMMANDS:
     campaign   sharded fault-injection campaign, cross-checked against the
                static analysis (statically-masked fault observed corrupting
                the run ⇒ soundness violation, exit 1)
+    study      scheduled-variant reliability study over the built-in suite
+               benchmarks: baseline + one schedule per criterion from ONE
+               shared analysis, a differential campaign per variant, and a
+               Table IV-style report (gate failures ⇒ exit 1)
     encode     emit RV32I machine code
 
 INPUT:
     *.s / *.asm        standard RV32I assembly (bec-rv32 frontend)
     *.bec / *.ir       block-structured IR dialect (bec-ir parser)
     anything else      sniffed by content
+    (`bec study` takes no file: its subjects are the built-in benchmarks)
 
 COMMON OPTIONS:
     --json                     machine-readable JSON on stdout
@@ -63,6 +70,12 @@ COMMAND OPTIONS:
               --checkpoint-interval <N>           checkpoint spacing in cycles
                                                   (0 = from-scratch engine;
                                                   default: trace length / 64)
+    study:    --bench <NAME[,NAME]>               benchmarks to study (repeat
+                                                  or comma-separate; default:
+                                                  all eight suite benchmarks)
+              --sample/--seed/--shards/--workers/--report/--resume/
+              --max-cycles/--checkpoint-interval  as for campaign, applied to
+                                                  every variant campaign
     encode:   --base <ADDR>                       text base address, decimal or
                                                   0x-prefixed hex (default 0)
               --raw                               bare hex words, one per line

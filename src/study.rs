@@ -1,0 +1,313 @@
+//! The scheduled-variant reliability study pipeline (`bec study`).
+//!
+//! This is the layer that finally connects the three subsystems the
+//! repository grew in PRs 1–4 into one experiment, the empirical
+//! counterpart of the paper's Table IV:
+//!
+//! 1. **Schedule** — each suite benchmark is compiled and handed to
+//!    [`bec_sched::Scheduler`], which runs *one* BEC analysis and derives
+//!    the baseline plus one scheduled variant per [`bec_sched::Criterion`]
+//!    from the shared scores ([`Scheduler::analyses_run`] is recorded in
+//!    the report and pinned to 1 by the tests and CI).
+//! 2. **Verify** — every variant must be semantically equivalent to the
+//!    baseline: same observable outputs (also checked against the suite
+//!    oracle), same terminal register file, same terminal memory digest,
+//!    same cycle count; RV32-configured programs are additionally encoded
+//!    to machine words, lifted back and re-run to prove the schedule
+//!    survives machine-code emission. Any mismatch aborts the study — an
+//!    inequivalent variant is a scheduler bug, not a study result.
+//! 3. **Measure** — each variant is re-analyzed (its own static verdicts
+//!    are the campaign provenance), its fault surface is computed, and a
+//!    checkpointed differential campaign runs over its classified fault
+//!    space ([`bec_sim::study::run_campaign`]).
+//!
+//! The resulting [`StudyReport`] is deterministic for a fixed
+//! (benchmarks, rules, seed, sample, shards, max-cycles) tuple and
+//! resumable per variant: re-running with a partially filled report
+//! re-executes only the missing campaign shards. Two gates ride on it:
+//!
+//! * **soundness** — no statically-masked fault may corrupt any variant's
+//!   execution ([`StudyReport::violations`]);
+//! * **coverage** — no reliability-improving variant may shrink the
+//!   statically-proven masking coverage, i.e. grow the live fault surface
+//!   over the baseline ([`StudyReport::coverage_regressions`]; the
+//!   deliberately pessimal `worst` bound is exempt).
+
+use bec_core::{BecAnalysis, BecOptions};
+use bec_ir::{MachineConfig, Program};
+use bec_sched::Scheduler;
+use bec_sim::study::{
+    run_campaign, BenchmarkStudy, EquivalenceRecord, ScoringRecord, StudyReport, StudySpec,
+    VariantRecord,
+};
+use bec_sim::{GoldenRun, SimLimits, Simulator};
+
+/// What to study: which benchmarks, under which rule set, with which
+/// campaign spec.
+#[derive(Clone, Debug)]
+pub struct StudyConfig {
+    /// Coalescing rule set.
+    pub options: BecOptions,
+    /// Name of the rule set, recorded in the report (`paper`, …).
+    pub rules: String,
+    /// Campaign knobs applied to every variant.
+    pub spec: StudySpec,
+    /// Suite benchmark names to study, in order. Empty = all eight, in
+    /// the paper's Table III column order.
+    pub benchmarks: Vec<String>,
+}
+
+impl StudyConfig {
+    /// The default study: all eight suite benchmarks under the paper rule
+    /// set and `spec`.
+    pub fn suite(spec: StudySpec) -> StudyConfig {
+        StudyConfig {
+            options: BecOptions::paper(),
+            rules: "paper".into(),
+            spec,
+            benchmarks: Vec::new(),
+        }
+    }
+
+    fn benchmark_names(&self) -> Vec<String> {
+        if self.benchmarks.is_empty() {
+            bec_suite::all().iter().map(|b| b.name.to_owned()).collect()
+        } else {
+            self.benchmarks.clone()
+        }
+    }
+}
+
+/// Runs the study described by `cfg`, resuming completed variant
+/// campaigns from `resume` when given. `progress` receives one
+/// human-readable line per variant (the CLI routes it to stderr — it
+/// carries timing and must stay out of deterministic stdout).
+///
+/// # Errors
+///
+/// Fails on unknown benchmark names, a resume report recorded for a
+/// different study spec, any semantic-equivalence failure of a scheduled
+/// variant, or a campaign-level error.
+pub fn run_study(
+    cfg: &StudyConfig,
+    resume: Option<&StudyReport>,
+    mut progress: impl FnMut(String),
+) -> Result<StudyReport, String> {
+    if let Some(prev) = resume {
+        if !prev.matches(&cfg.rules, &cfg.spec) {
+            return Err(
+                "resume report was recorded for a different study (rules/seed/sample/shards)"
+                    .into(),
+            );
+        }
+    }
+    let mut report = StudyReport::empty(&cfg.rules, &cfg.spec);
+    for name in cfg.benchmark_names() {
+        let bench = bec_suite::benchmark(&name)
+            .ok_or_else(|| format!("unknown suite benchmark `{name}`"))?;
+        let program =
+            bench.compile().map_err(|e| format!("{name}: benchmark failed to compile: {e}"))?;
+        report.benchmarks.push(study_benchmark(
+            cfg,
+            &name,
+            &bench.expected,
+            &program,
+            resume,
+            &mut progress,
+        )?);
+    }
+    Ok(report)
+}
+
+/// Studies one compiled benchmark: shared-analysis scheduling, per-variant
+/// equivalence verification, analysis, surface accounting and campaign.
+fn study_benchmark(
+    cfg: &StudyConfig,
+    name: &str,
+    expected: &[u64],
+    program: &Program,
+    resume: Option<&StudyReport>,
+    progress: &mut impl FnMut(String),
+) -> Result<BenchmarkStudy, String> {
+    // One BecAnalysis scores every candidate schedule (the shared-analysis
+    // refactor this pipeline exists to exercise).
+    let scheduler = Scheduler::new(program, &cfg.options);
+    let stats = scheduler.analysis().stats();
+    let scoring = ScoringRecord {
+        analyses: scheduler.analyses_run(),
+        points: stats.points,
+        solver_visits: stats.solver_visits,
+        coalesce_passes: stats.coalesce_passes,
+        uf_nodes: stats.uf_nodes,
+    };
+    debug_assert_eq!(scoring.analyses, 1, "variant scoring must reuse one analysis");
+
+    let mut variants = Vec::new();
+    // The baseline golden run everything is compared against; filled by
+    // the first (Original) variant.
+    let mut baseline: Option<GoldenRun> = None;
+    for variant in scheduler.variants() {
+        let criterion = variant.criterion;
+        bec_ir::verify_program(&variant.program).map_err(|e| {
+            format!("{name}/{}: scheduler broke the program: {e}", criterion.name())
+        })?;
+
+        // The variant's own analysis: its verdicts are the campaign's
+        // static provenance and its surface is the coverage-gate metric.
+        // The baseline variant IS the original program, so its analysis is
+        // the scheduler's shared one — only real reschedules re-analyze.
+        let fresh;
+        let vbec: &BecAnalysis = if criterion == bec_sched::Criterion::Original {
+            scheduler.analysis()
+        } else {
+            fresh = BecAnalysis::analyze(&variant.program, &cfg.options);
+            &fresh
+        };
+        let label = format!("study:{name}:{}", criterion.name());
+        let prior = resume.and_then(|r| r.prior_campaign(name, criterion.name())).cloned();
+        let crun = run_campaign(&label, &variant.program, vbec, &cfg.spec, prior)?;
+
+        let equivalence =
+            check_equivalence(expected, baseline.as_ref(), &variant.program, &crun.golden);
+        let baseline_cycles =
+            baseline.as_ref().map(GoldenRun::cycles).unwrap_or_else(|| crun.golden.cycles());
+        if !equivalence.holds(baseline_cycles) {
+            return Err(format!(
+                "{name}/{}: scheduled variant is not semantically equivalent to the baseline \
+                 ({equivalence:?})",
+                criterion.name()
+            ));
+        }
+
+        let counts = vbec.site_counts(&variant.program);
+        let surface =
+            bec_core::surface::surface_row(name, &variant.program, vbec, &crun.golden.profile);
+        progress(format!(
+            "{name}/{}: {} runs in {:.1} ms on {} workers ({} early-converged), surface {}",
+            criterion.name(),
+            crun.report.runs(),
+            crun.stats.wall.as_secs_f64() * 1e3,
+            crun.stats.workers,
+            crun.stats.early_exits,
+            surface.live_sites,
+        ));
+        if baseline.is_none() {
+            baseline = Some(crun.golden);
+        }
+        variants.push(VariantRecord {
+            criterion: criterion.name().to_owned(),
+            coverage_gated: criterion.improves_reliability(),
+            permutation: variant.permutation,
+            total_site_bits: counts.total_site_bits,
+            masked_site_bits: counts.masked_site_bits,
+            live_surface: surface.live_sites,
+            total_surface: surface.total_fault_space,
+            equivalence,
+            campaign: crun.report,
+        });
+    }
+    Ok(BenchmarkStudy { name: name.to_owned(), scoring, variants })
+}
+
+/// Establishes the semantic-equivalence evidence of one variant golden run
+/// against the baseline (and the suite oracle). `baseline` is `None` for
+/// the baseline variant itself, which is compared against the oracle only.
+fn check_equivalence(
+    expected: &[u64],
+    baseline: Option<&GoldenRun>,
+    program: &Program,
+    golden: &GoldenRun,
+) -> EquivalenceRecord {
+    let outputs_match = golden.outputs() == expected
+        && baseline.map(|b| golden.outputs() == b.outputs()).unwrap_or(true);
+    EquivalenceRecord {
+        cycles: golden.cycles(),
+        outputs_match,
+        terminal_regs_match: baseline
+            .map(|b| golden.terminal_regs() == b.terminal_regs())
+            .unwrap_or(true),
+        mem_digest_match: baseline.map(|b| golden.mem_digest() == b.mem_digest()).unwrap_or(true),
+        reencode_outputs_match: reencode_matches(program, expected),
+    }
+}
+
+/// Round-trips `program` through the RV32 machine-code layer — encode to
+/// words, lift back, re-run — and checks the lifted program still produces
+/// `expected`. The flat text image does not carry the data segment, so the
+/// original globals are reattached before running (the same contract the
+/// `bec-rv32` roundtrip property test uses). `None` strictly means the
+/// check does not apply (the machine config has no RV32 encoding, e.g. the
+/// 4-bit toy machine); an encode or lift failure on an RV32 program is a
+/// mismatch (`Some(false)`), never a silent pass.
+fn reencode_matches(program: &Program, expected: &[u64]) -> Option<bool> {
+    if program.config != MachineConfig::rv32() {
+        return None;
+    }
+    let Ok(image) = bec_rv32::encode_program(program) else { return Some(false) };
+    let Ok(mut lifted) = bec_rv32::lift_image(&image) else { return Some(false) };
+    lifted.globals = program.globals.clone();
+    // Pseudo expansion may lengthen the lifted trace; a generous fixed
+    // budget keeps this a pure correctness probe.
+    let sim = Simulator::with_limits(&lifted, SimLimits { max_cycles: 100_000_000 });
+    Some(sim.run_golden().outputs() == expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bec_sched::Criterion;
+
+    #[test]
+    fn crc32_study_end_to_end() {
+        let spec = StudySpec { sample: Some(120), shards: 8, ..StudySpec::default() };
+        let cfg = StudyConfig { benchmarks: vec!["crc32".into()], ..StudyConfig::suite(spec) };
+        let report = run_study(&cfg, None, |_| {}).unwrap();
+        assert!(report.is_complete());
+        assert!(report.violations().is_empty(), "{:?}", report.violations());
+        assert!(report.coverage_regressions().is_empty());
+        assert!(report.equivalence_failures().is_empty());
+        let b = report.benchmark("crc32").unwrap();
+        assert_eq!(b.scoring.analyses, 1, "one shared analysis per benchmark");
+        assert_eq!(b.variants.len(), Criterion::ALL.len());
+        assert_eq!(b.variants[0].criterion, "original");
+        // The fault space is schedule-invariant: every instruction keeps
+        // its accesses and execution counts.
+        let spaces: Vec<u64> = b.variants.iter().map(|v| v.campaign.fault_space).collect();
+        assert!(spaces.windows(2).all(|w| w[0] == w[1]), "{spaces:?}");
+        // The RV32 re-encode check ran on every variant.
+        assert!(b.variants.iter().all(|v| v.equivalence.reencode_outputs_match == Some(true)));
+        // The coverage gate applies to `best` only.
+        let gated: Vec<&str> =
+            b.variants.iter().filter(|v| v.coverage_gated).map(|v| v.criterion.as_str()).collect();
+        assert_eq!(gated, ["best"]);
+    }
+
+    #[test]
+    fn resume_reproduces_bytes_and_skips_completed_shards() {
+        let spec = StudySpec { sample: Some(60), shards: 6, ..StudySpec::default() };
+        let cfg = StudyConfig { benchmarks: vec!["crc32".into()], ..StudyConfig::suite(spec) };
+        let full = run_study(&cfg, None, |_| {}).unwrap();
+        // Drop some shards of one variant's campaign and resume.
+        let mut partial = full.clone();
+        partial.benchmarks[0].variants[1].campaign.shards[2] = None;
+        partial.benchmarks[0].variants[1].campaign.shards[4] = None;
+        let resumed = run_study(&cfg, Some(&partial), |_| {}).unwrap();
+        assert_eq!(resumed, full);
+        assert_eq!(resumed.to_json().render(), full.to_json().render());
+        // A mismatched spec is rejected.
+        let other = StudyConfig {
+            benchmarks: vec!["crc32".into()],
+            ..StudyConfig::suite(StudySpec { seed: 1, ..spec })
+        };
+        assert!(run_study(&other, Some(&full), |_| {}).is_err());
+    }
+
+    #[test]
+    fn unknown_benchmarks_are_rejected() {
+        let cfg = StudyConfig {
+            benchmarks: vec!["nope".into()],
+            ..StudyConfig::suite(StudySpec::default())
+        };
+        assert!(run_study(&cfg, None, |_| {}).unwrap_err().contains("unknown suite benchmark"));
+    }
+}

@@ -91,6 +91,20 @@ fn sim_checkpointed_fault_replay() {
 }
 
 #[test]
+fn study_text_and_json() {
+    let args = ["study", "--bench", "crc32", "--sample", "60", "--seed", "7", "--shards", "6"];
+    check("study_crc32.txt", &args);
+    // Worker count must not leak into the deterministic stdout: snapshot
+    // the same spec at two worker counts against one golden file.
+    let mut json1 = args.to_vec();
+    json1.extend(["--workers", "1", "--json"]);
+    let mut json3 = args.to_vec();
+    json3.extend(["--workers", "3", "--json"]);
+    check("study_crc32.json", &json1);
+    check("study_crc32.json", &json3);
+}
+
+#[test]
 fn encode_listing_and_raw() {
     check("encode_gcd.txt", &["encode", "examples/gcd.s"]);
     check("encode_gcd_raw.txt", &["encode", "examples/gcd.s", "--raw"]);
