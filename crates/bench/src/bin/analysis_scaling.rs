@@ -15,14 +15,16 @@
 //!     [--json BENCH_analysis.json] [--assert-speedup 3]
 //! ```
 //!
-//! `--json` writes a machine-readable baseline; `--assert-speedup X` exits
-//! non-zero unless the dense engine beats the reference by at least `X`×
-//! single-worker on the largest suite benchmark (the CI perf-smoke gate).
+//! `--json` writes a machine-readable baseline in the
+//! [`bec_telemetry::MetricsSnapshot`] schema shared with `bec
+//! --metrics-out`; `--assert-speedup X` exits non-zero unless the dense
+//! engine beats the reference by at least `X`× single-worker on the
+//! largest suite benchmark (the CI perf-smoke gate).
 
 use bec_core::report::{format_table, group_digits};
 use bec_core::{reference, BecAnalysis, BecOptions, SiteVerdict};
 use bec_ir::{PointId, Program, Reg};
-use bec_sim::json::Json;
+use bec_telemetry::Telemetry;
 use std::time::Instant;
 
 struct Row {
@@ -90,8 +92,11 @@ fn main() {
     for b in bec_suite::all() {
         let program = b.compile().expect("benchmark compiles");
 
-        // Correctness first: the engines must agree on every verdict.
-        let dense = BecAnalysis::analyze(&program, &options);
+        // Correctness first: the engines must agree on every verdict. The
+        // instrumented entry point feeds the shared metric registry, which
+        // is where the baseline's solver counters are read back from.
+        let tel = Telemetry::enabled();
+        let dense = BecAnalysis::analyze_instrumented(&program, &options, 1, &tel);
         let seed = reference::analyze_program(&program, &options);
         let mut sites = 0u64;
         for (fi, fa) in dense.functions().iter().enumerate() {
@@ -116,7 +121,7 @@ fn main() {
             std::hint::black_box(BecAnalysis::analyze(&program, &options));
         }) * 1e3;
 
-        let points = dense.stats().points;
+        let points = tel.snapshot().counter("analysis.points").expect("analysis.points recorded");
         rows.push(Row {
             name: b.name,
             points,
@@ -185,24 +190,18 @@ fn main() {
     );
 
     if let Some(path) = json_path {
-        let doc = Json::obj(vec![(
-            "benchmarks",
-            Json::Arr(
-                rows.iter()
-                    .map(|r| {
-                        Json::obj(vec![
-                            ("name", Json::str(r.name)),
-                            ("points", Json::UInt(r.points)),
-                            ("site_bits", Json::UInt(r.sites)),
-                            ("reference_ms", Json::str(format!("{:.3}", r.reference_ms))),
-                            ("dense_ms", Json::str(format!("{:.3}", r.dense_ms))),
-                            ("speedup", Json::str(format!("{:.2}", r.speedup))),
-                        ])
-                    })
-                    .collect(),
-            ),
-        )]);
-        std::fs::write(&path, doc.render() + "\n").expect("baseline written");
+        // The baseline is a MetricsSnapshot — the `--metrics-out` schema —
+        // with one `analysis_scaling.<benchmark>.*` family per benchmark.
+        // Timings are `time_ms` metrics (informational, not byte-gated).
+        let base = Telemetry::enabled();
+        for r in &rows {
+            let prefix = format!("analysis_scaling.{}", r.name);
+            base.gauge(&format!("{prefix}.points"), r.points);
+            base.gauge(&format!("{prefix}.site_bits"), r.sites);
+            base.time_ms(&format!("{prefix}.reference_wall_ms"), r.reference_ms);
+            base.time_ms(&format!("{prefix}.dense_wall_ms"), r.dense_ms);
+        }
+        base.write_metrics(&path).expect("baseline written");
         println!("\nwrote {path}");
     }
 

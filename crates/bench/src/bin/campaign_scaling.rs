@@ -11,16 +11,17 @@
 //!     [--json BENCH_campaign.json] [--assert-crc32-speedup 3]
 //! ```
 //!
-//! `--json` writes a machine-readable baseline; `--assert-crc32-speedup X`
-//! exits non-zero unless the checkpointed engine beats the from-scratch
-//! engine by at least `X`× on the exhaustive crc32 campaign (the CI
-//! perf-smoke gate).
+//! `--json` writes a machine-readable baseline in the
+//! [`bec_telemetry::MetricsSnapshot`] schema shared with `bec
+//! --metrics-out`; `--assert-crc32-speedup X` exits non-zero unless the
+//! checkpointed engine beats the from-scratch engine by at least `X`× on
+//! the exhaustive crc32 campaign (the CI perf-smoke gate).
 
 use bec_core::report::{format_table, group_digits};
 use bec_core::{BecAnalysis, BecOptions};
-use bec_sim::json::Json;
 use bec_sim::shard::{site_fault_space, CampaignSpec, ShardPlan};
 use bec_sim::{default_checkpoint_interval, pool, CheckpointLog, SimLimits, Simulator};
+use bec_telemetry::Telemetry;
 use std::time::Instant;
 
 struct EngineRow {
@@ -78,12 +79,19 @@ fn main() {
         );
 
         // Engine comparison at one worker: from-scratch vs checkpointed.
+        // Each run carries its own telemetry registry; the logical numbers
+        // (early exits here) are read back from the snapshot rather than
+        // from ad-hoc stats fields, so the baseline and `--metrics-out`
+        // agree by construction.
         let time_engine = |log: &CheckpointLog| {
+            let tel = Telemetry::enabled();
             let started = Instant::now();
-            let (report, stats) =
-                pool::run_sharded(&sim, &golden, log, &plan, 1, None, b.name).expect("pool runs");
+            let (report, _stats) =
+                pool::run_sharded_with(&sim, &golden, log, &plan, 1, None, b.name, &tel)
+                    .expect("pool runs");
             assert!(report.violations().is_empty(), "{}: soundness violation", b.name);
-            (started.elapsed().as_secs_f64(), report.to_json().render(), stats.early_exits)
+            let early = tel.snapshot().counter("campaign.early_exits").unwrap_or(0);
+            (started.elapsed().as_secs_f64(), report.to_json().render(), early)
         };
         let (scratch_wall, baseline, _) = time_engine(&CheckpointLog::disabled());
         let (ck_wall, ck_bytes, early_exits) = time_engine(&ckpts);
@@ -160,27 +168,23 @@ fn main() {
     );
 
     if let Some(path) = json_path {
-        let doc = Json::obj(vec![(
-            "benchmarks",
-            Json::Arr(
-                engine_rows
-                    .iter()
-                    .map(|r| {
-                        let rps = |ms: f64| Json::UInt((r.runs as f64 / (ms / 1e3)) as u64);
-                        Json::obj(vec![
-                            ("name", Json::str(r.name)),
-                            ("runs", Json::UInt(r.runs)),
-                            ("checkpoint_interval", Json::UInt(r.interval)),
-                            ("from_scratch_runs_per_sec", rps(r.scratch_ms)),
-                            ("checkpointed_runs_per_sec", rps(r.checkpointed_ms)),
-                            ("early_exits", Json::UInt(r.early_exits)),
-                            ("speedup", Json::str(format!("{:.2}", r.speedup))),
-                        ])
-                    })
-                    .collect(),
-            ),
-        )]);
-        std::fs::write(&path, doc.render() + "\n").expect("baseline written");
+        // The baseline is a MetricsSnapshot — the `--metrics-out` schema —
+        // with one `campaign_scaling.<benchmark>.*` family per workload.
+        // Timings are `time_ms` metrics (nondeterministic by nature; this
+        // baseline is informational, not byte-gated).
+        let base = Telemetry::enabled();
+        for r in &engine_rows {
+            let prefix = format!("campaign_scaling.{}", r.name);
+            let rps = |ms: f64| (r.runs as f64 / (ms / 1e3)) as u64;
+            base.gauge(&format!("{prefix}.runs"), r.runs);
+            base.gauge(&format!("{prefix}.checkpoint_interval"), r.interval);
+            base.gauge(&format!("{prefix}.early_exits"), r.early_exits);
+            base.gauge(&format!("{prefix}.from_scratch_runs_per_sec"), rps(r.scratch_ms));
+            base.gauge(&format!("{prefix}.checkpointed_runs_per_sec"), rps(r.checkpointed_ms));
+            base.time_ms(&format!("{prefix}.from_scratch_wall_ms"), r.scratch_ms);
+            base.time_ms(&format!("{prefix}.checkpointed_wall_ms"), r.checkpointed_ms);
+        }
+        base.write_metrics(&path).expect("baseline written");
         println!("\nwrote {path}");
     }
 

@@ -1,0 +1,90 @@
+//! CI validator for Chrome-trace exports: parses a `--trace-out` file,
+//! checks the trace header and the shape of every event, and asserts that
+//! the expected span names are present.
+//!
+//! ```text
+//! cargo run -p bec-bench --release --bin trace_check -- TRACE.json \
+//!     --expect golden,campaign,shard
+//! ```
+//!
+//! Exits non-zero with a diagnostic on stderr when the file does not
+//! parse, the header is malformed, a complete event lacks a required
+//! field, or an expected span never occurs — the CI telemetry-smoke gate.
+
+use bec_sim::json::Json;
+use std::collections::BTreeSet;
+
+fn fail(msg: String) -> ! {
+    eprintln!("trace_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut expect: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--expect" => {
+                let list = args
+                    .next()
+                    .unwrap_or_else(|| fail("--expect needs a comma-separated list".into()));
+                expect
+                    .extend(list.split(',').map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()));
+            }
+            other if path.is_none() => path = Some(other.to_owned()),
+            other => fail(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path =
+        path.unwrap_or_else(|| fail("usage: trace_check TRACE.json [--expect a,b,c]".into()));
+
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let doc = Json::parse(&text).unwrap_or_else(|e| fail(format!("{path} is not valid JSON: {e}")));
+    if doc.get("displayTimeUnit").and_then(Json::as_str) != Some("ms") {
+        fail(format!("{path}: missing `\"displayTimeUnit\":\"ms\"` trace header"));
+    }
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail(format!("{path}: missing `traceEvents` array")));
+
+    let mut spans: BTreeSet<&str> = BTreeSet::new();
+    let mut complete = 0usize;
+    for event in events {
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(format!("{path}: event without a name: {}", event.render())));
+        match event.get("ph").and_then(Json::as_str) {
+            // Complete events carry the span timings.
+            Some("X") => {
+                for field in ["ts", "dur", "pid", "tid"] {
+                    if event.get(field).and_then(Json::as_u64).is_none() {
+                        fail(format!("{path}: span `{name}` lacks `{field}`"));
+                    }
+                }
+                complete += 1;
+                spans.insert(name);
+            }
+            // Metadata events label the worker timelines.
+            Some("M") => {}
+            other => fail(format!("{path}: span `{name}` has unexpected phase {other:?}")),
+        }
+    }
+    if complete == 0 {
+        fail(format!("{path}: trace holds no complete (`ph:\"X\"`) events"));
+    }
+    for want in &expect {
+        if !spans.contains(want.as_str()) {
+            fail(format!("{path}: expected span `{want}` never occurs (saw {spans:?})"));
+        }
+    }
+    println!(
+        "{path}: OK — {} events, {} complete spans, names {:?}",
+        events.len(),
+        complete,
+        spans
+    );
+}

@@ -4,6 +4,13 @@
 //! scoring analysis each, a seeded sampled differential campaign per
 //! variant, and the committed `BENCH_study.json` baseline.
 //!
+//! The baseline is a [`bec_telemetry::MetricsSnapshot`] — the same
+//! `{"version":1,"metrics":{...}}` schema `bec --metrics-out` writes. The
+//! study engine's own registry supplies the aggregate metrics; the bin
+//! adds one `study.<benchmark>.<criterion>.*` gauge family per variant
+//! and filters out the nondeterministic entries (wall times and
+//! machine-dependent worker counts) so CI can byte-compare the file.
+//!
 //! ```text
 //! cargo run -p bec-bench --release --bin variant_study -- \
 //!     [--sample N] [--seed S] [--json BENCH_study.json] [--assert-gates]
@@ -22,9 +29,10 @@
 
 use bec::study::{run_study, StudyConfig};
 use bec_core::report::{format_table, group_digits};
-use bec_sim::json::Json;
 use bec_sim::study::StudySpec;
 use bec_sim::{CrossTable, FaultClass};
+use bec_telemetry::{Metric, Phase, Telemetry};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 fn main() {
@@ -57,7 +65,18 @@ fn main() {
     let cfg = StudyConfig::suite(spec);
 
     let started = Instant::now();
-    let report = run_study(&cfg, None, |line| eprintln!("  {line}")).expect("study runs");
+    let tel = Telemetry::enabled();
+    let mut early_exits: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let report = run_study(&cfg, None, &tel, |event| {
+        if event.phase == Phase::Campaign {
+            early_exits.insert(
+                (event.benchmark.clone(), event.variant.clone()),
+                event.counter("early_exits").unwrap_or(0),
+            );
+        }
+        eprintln!("  {}", event.render());
+    })
+    .expect("study runs");
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
 
     let mut rows = Vec::new();
@@ -109,48 +128,36 @@ fn main() {
     );
 
     if let Some(path) = json_path {
-        let benchmarks: Vec<Json> = report
-            .benchmarks
-            .iter()
-            .map(|b| {
-                let variants: Vec<Json> = b
-                    .variants
-                    .iter()
-                    .map(|v| {
-                        let counts = v.campaign.outcome_counts();
-                        Json::obj(vec![
-                            ("criterion", Json::str(&v.criterion)),
-                            ("live_surface", Json::UInt(v.live_surface)),
-                            ("coverage_pct", Json::str(format!("{:.2}", v.coverage_pct()))),
-                            (
-                                "outcomes",
-                                Json::Obj(
-                                    FaultClass::ALL
-                                        .iter()
-                                        .map(|c| {
-                                            (c.name().to_owned(), Json::UInt(counts[c.index()]))
-                                        })
-                                        .collect(),
-                                ),
-                            ),
-                            ("benign_pct", Json::str(format!("{:.2}", v.benign_pct()))),
-                        ])
-                    })
-                    .collect();
-                Json::obj(vec![
-                    ("name", Json::str(&b.name)),
-                    ("fault_space", Json::UInt(b.baseline().unwrap().campaign.fault_space)),
-                    ("scoring_analyses", Json::UInt(b.scoring.analyses)),
-                    ("variants", Json::Arr(variants)),
-                ])
-            })
-            .collect();
-        let doc = Json::obj(vec![
-            ("sample", Json::UInt(sample)),
-            ("seed", Json::UInt(seed)),
-            ("benchmarks", Json::Arr(benchmarks)),
-        ]);
-        std::fs::write(&path, doc.render() + "\n").expect("baseline written");
+        // Publish the per-variant Table IV numbers into the same registry
+        // the study engine populated, then write one filtered snapshot.
+        // Everything kept is a logical integer, so the file is
+        // byte-reproducible on any machine at any worker count.
+        tel.gauge("study.sample", sample);
+        tel.gauge("study.seed", seed);
+        for b in &report.benchmarks {
+            tel.gauge(
+                &format!("study.{}.fault_space", b.name),
+                b.baseline().unwrap().campaign.fault_space,
+            );
+            tel.gauge(&format!("study.{}.scoring_analyses", b.name), b.scoring.analyses);
+            for v in &b.variants {
+                let prefix = format!("study.{}.{}", b.name, v.criterion);
+                let counts = v.campaign.outcome_counts();
+                tel.gauge(&format!("{prefix}.runs"), v.campaign.runs());
+                tel.gauge(&format!("{prefix}.live_surface"), v.live_surface);
+                tel.gauge(
+                    &format!("{prefix}.early_exits"),
+                    early_exits.get(&(b.name.clone(), v.criterion.clone())).copied().unwrap_or(0),
+                );
+                for c in FaultClass::ALL {
+                    tel.gauge(&format!("{prefix}.outcome.{}", c.name()), counts[c.index()]);
+                }
+            }
+        }
+        let baseline = tel.snapshot().filtered(|name, metric| {
+            !matches!(metric, Metric::TimeMs(_)) && !name.ends_with(".workers")
+        });
+        std::fs::write(&path, baseline.to_json_string() + "\n").expect("baseline written");
         println!("wrote {path}");
     }
 

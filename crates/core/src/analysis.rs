@@ -10,6 +10,7 @@
 use crate::bitvalue::BitValues;
 use crate::coalesce::Coalescing;
 use bec_ir::{AccessTable, Cfg, DefUse, Function, Liveness, PointId, PointLayout, Program, Reg};
+use bec_telemetry::Telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -117,6 +118,22 @@ pub struct AnalysisStats {
     pub wall: Duration,
 }
 
+impl AnalysisStats {
+    /// Publishes the statistics onto the shared metric registry: the
+    /// deterministic solver counters as `analysis.*` counters, the worker
+    /// count as a gauge and the wall time as a (nondeterministic)
+    /// `analysis.wall_ms` timing. This is the one source every exporter,
+    /// bench bin and CLI report reads solver numbers from.
+    pub fn record(&self, tel: &Telemetry) {
+        tel.add("analysis.points", self.points);
+        tel.add("analysis.solver_visits", self.solver_visits);
+        tel.add("analysis.coalesce_passes", self.coalesce_passes);
+        tel.add("analysis.uf_nodes", self.uf_nodes);
+        tel.gauge("analysis.workers", self.workers as u64);
+        tel.time_ms("analysis.wall_ms", self.wall.as_secs_f64() * 1e3);
+    }
+}
+
 /// Whole-program BEC analysis results.
 #[derive(Clone, Debug)]
 pub struct BecAnalysis {
@@ -158,23 +175,50 @@ impl BecAnalysis {
         options: &BecOptions,
         workers: usize,
     ) -> BecAnalysis {
+        BecAnalysis::analyze_instrumented(program, options, workers, &Telemetry::disabled())
+    }
+
+    /// [`BecAnalysis::analyze_with_workers`] with instrumentation: records
+    /// an `analyze` span with one `analyze-fn` child span per function (on
+    /// the worker's trace timeline) and publishes [`AnalysisStats`] onto
+    /// `tel`'s shared metric registry under the `analysis.*` names. With a
+    /// disabled handle this is exactly `analyze_with_workers`.
+    pub fn analyze_instrumented(
+        program: &Program,
+        options: &BecOptions,
+        workers: usize,
+        tel: &Telemetry,
+    ) -> BecAnalysis {
         let started = Instant::now();
+        let span = tel.span("analyze").arg("functions", program.functions.len());
         let nf = program.functions.len();
         let workers = workers.max(1).min(nf.max(1));
         let functions: Vec<FunctionAnalysis> = if workers <= 1 {
-            program.functions.iter().map(|f| analyze_function(program, f, options)).collect()
+            program
+                .functions
+                .iter()
+                .map(|f| {
+                    let _fn_span = tel.span("analyze-fn").arg("name", &f.name);
+                    analyze_function(program, f, options)
+                })
+                .collect()
         } else {
             let next = AtomicUsize::new(0);
             let mut slots: Vec<Option<FunctionAnalysis>> = (0..nf).map(|_| None).collect();
             let (tx, rx) = std::sync::mpsc::channel::<(usize, FunctionAnalysis)>();
             std::thread::scope(|scope| {
-                for _ in 0..workers {
+                for w in 0..workers {
                     let tx = tx.clone();
                     let next = &next;
                     scope.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(f) = program.functions.get(i) else { break };
-                        if tx.send((i, analyze_function(program, f, options))).is_err() {
+                        let fa = {
+                            let _fn_span =
+                                tel.span_on(w as u32 + 1, "analyze-fn").arg("name", &f.name);
+                            analyze_function(program, f, options)
+                        };
+                        if tx.send((i, fa)).is_err() {
                             break;
                         }
                     });
@@ -196,6 +240,9 @@ impl BecAnalysis {
             workers,
             wall: started.elapsed(),
         };
+        stats.record(tel);
+        tel.add("analysis.functions", nf as u64);
+        drop(span);
         BecAnalysis { functions, options: *options, stats }
     }
 

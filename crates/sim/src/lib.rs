@@ -63,7 +63,7 @@ pub use campaign::{CampaignKind, CampaignSummary};
 pub use checkpoint::{default_checkpoint_interval, Checkpoint, CheckpointLog};
 pub use exec::{CrashKind, ExecOutcome};
 pub use machine::{FaultSpec, Machine, Memory};
-pub use pool::{run_sharded, PoolStats};
+pub use pool::{run_sharded, run_sharded_with, PoolStats};
 pub use runner::{FaultRun, GoldenRun, Injector, RunResult, SimLimits, Simulator};
 pub use shard::{
     site_fault_space, CampaignReport, CampaignSpec, FaultOutcome, ShardPlan, ShardResult,

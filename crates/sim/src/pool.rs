@@ -38,6 +38,7 @@
 use crate::checkpoint::CheckpointLog;
 use crate::runner::{GoldenRun, Simulator};
 use crate::shard::{CampaignReport, FaultOutcome, ShardPlan, ShardResult};
+use bec_telemetry::{Histogram, Telemetry};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -57,6 +58,18 @@ pub struct PoolStats {
     /// Runs that early-exited by converging with the golden run (always 0
     /// with a disabled checkpoint log).
     pub early_exits: u64,
+}
+
+impl PoolStats {
+    /// Publishes the execution metadata onto the metric registry. The
+    /// wall time goes in as a (nondeterministic) timing; everything else
+    /// is deterministic for a fixed plan and checkpoint interval.
+    pub fn record(&self, tel: &Telemetry) {
+        tel.time_ms("campaign.wall_ms", self.wall.as_secs_f64() * 1e3);
+        tel.gauge("pool.workers", self.workers as u64);
+        tel.gauge("pool.executed_shards", self.executed_shards as u64);
+        tel.gauge("pool.resumed_shards", self.resumed_shards as u64);
+    }
 }
 
 /// Executes `plan` on `workers` threads, resuming from `resume` when given
@@ -81,6 +94,25 @@ pub fn run_sharded(
     workers: usize,
     resume: Option<CampaignReport>,
     label: &str,
+) -> Result<(CampaignReport, PoolStats), String> {
+    run_sharded_with(sim, golden, ckpts, plan, workers, resume, label, &Telemetry::disabled())
+}
+
+/// The instrumented form of [`run_sharded`]: identical semantics and
+/// identical report bytes, plus spans (`campaign`, one `shard` span per
+/// executed shard on its worker's timeline), logical `campaign.*`
+/// counters/histograms merged worker-count-independently, `pool.*`
+/// gauges and a throttled live progress meter on stderr.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_with(
+    sim: &Simulator<'_>,
+    golden: &GoldenRun,
+    ckpts: &CheckpointLog,
+    plan: &ShardPlan,
+    workers: usize,
+    resume: Option<CampaignReport>,
+    label: &str,
+    tel: &Telemetry,
 ) -> Result<(CampaignReport, PoolStats), String> {
     let started = Instant::now();
     let workers = workers.max(1);
@@ -124,12 +156,23 @@ pub fn run_sharded(
 
     let pending = report.pending_shards();
     let resumed_shards = plan.shard_count() - pending.len();
+    let planned_runs: u64 = pending.iter().map(|&s| plan.shard(s).len() as u64).sum();
     let next = AtomicUsize::new(0);
     let early = AtomicU64::new(0);
     let (tx, rx) = std::sync::mpsc::channel::<ShardResult>();
 
+    let _span = tel
+        .span("campaign")
+        .arg("label", label)
+        .arg("shards", plan.shard_count())
+        .arg("runs", planned_runs);
+    tel.gauge("pool.pending_shards", pending.len() as u64);
+    tel.gauge("campaign.fault_space", plan.fault_space());
+    tel.gauge("campaign.golden_cycles", golden.cycles());
+    let mut meter = tel.meter(&format!("campaign {label}"), planned_runs);
+
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let early = &early;
@@ -137,20 +180,37 @@ pub fn run_sharded(
             scope.spawn(move || {
                 // One scratch machine per worker, reused across all runs.
                 let mut injector = sim.injector();
+                // Telemetry is aggregated locally and merged once per
+                // worker: the merge is associative and commutative, so the
+                // registry totals are independent of the worker count.
+                let tid = w as u32 + 1;
+                let mut run_cycles = Histogram::default();
+                let mut restore_distance = Histogram::default();
+                let mut exits = 0u64;
+                let mut saved = 0u64;
                 loop {
                     // Steal the next unclaimed shard.
                     let slot = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&shard) = pending.get(slot) else { break };
+                    let faults = plan.shard(shard);
+                    let _shard_span =
+                        tel.span_on(tid, "shard").arg("shard", shard).arg("runs", faults.len());
                     let mut converged = 0u64;
-                    let outcomes: Vec<FaultOutcome> = plan
-                        .shard(shard)
+                    let outcomes: Vec<FaultOutcome> = faults
                         .iter()
                         .map(|&fault| {
                             let run = injector.run_fault(golden, ckpts, fault.spec);
-                            converged += u64::from(run.converged_at.is_some());
+                            run_cycles.observe(run.simulated_cycles);
+                            restore_distance
+                                .observe(fault.spec.cycle.saturating_sub(run.restored_at));
+                            if run.converged_at.is_some() {
+                                converged += 1;
+                                saved += golden.cycles().saturating_sub(run.simulated_cycles);
+                            }
                             FaultOutcome { fault, class: run.class }
                         })
                         .collect();
+                    exits += converged;
                     early.fetch_add(converged, Ordering::Relaxed);
                     // One batched send per shard; a dropped receiver means
                     // the collector is gone and the worker just stops.
@@ -158,16 +218,31 @@ pub fn run_sharded(
                         break;
                     }
                 }
+                tel.merge_hist("campaign.run_cycles", &run_cycles);
+                tel.merge_hist("campaign.restore_distance", &restore_distance);
+                tel.add("campaign.runs", run_cycles.count);
+                tel.add("campaign.simulated_cycles", run_cycles.sum);
+                tel.add("campaign.early_exits", exits);
+                tel.add("campaign.saved_cycles", saved);
             });
         }
         drop(tx);
 
+        let mut done_runs = 0u64;
         for result in rx {
             let slot = result.shard as usize;
             debug_assert!(report.shards[slot].is_none(), "shard {slot} executed twice");
+            done_runs += result.outcomes.len() as u64;
             report.shards[slot] = Some(result);
+            meter.update(done_runs, &[("early_exits", early.load(Ordering::Relaxed))]);
         }
     });
+
+    // Outcome tallies cover the whole (possibly resumed) report, matching
+    // what the CLI prints — deterministic for a fixed plan.
+    for (i, &count) in report.outcome_counts().iter().enumerate() {
+        tel.add(&format!("campaign.outcome.{}", crate::FaultClass::ALL[i].name()), count);
+    }
 
     let stats = PoolStats {
         wall: started.elapsed(),
@@ -176,6 +251,7 @@ pub fn run_sharded(
         resumed_shards,
         early_exits: early.load(Ordering::Relaxed),
     };
+    stats.record(tel);
     Ok((report, stats))
 }
 
@@ -244,6 +320,58 @@ exit:
         assert_eq!(resumed, full);
         assert_eq!(stats.executed_shards, 2);
         assert_eq!(stats.resumed_shards, 3);
+    }
+
+    #[test]
+    fn telemetry_totals_are_worker_count_independent() {
+        let p = toy();
+        let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+        let sim = Simulator::new(&p);
+        let (golden, ckpts) = sim.run_golden_checkpointed(4);
+        let plan =
+            ShardPlan::build(site_fault_space(&p, &bec, &golden), CampaignSpec::exhaustive(6));
+
+        let snapshots: Vec<_> = [1usize, 2, 8]
+            .iter()
+            .map(|&w| {
+                let tel = Telemetry::enabled();
+                let (report, stats) =
+                    run_sharded_with(&sim, &golden, &ckpts, &plan, w, None, "toy", &tel).unwrap();
+                let snap = tel.snapshot();
+                // The registry agrees with the report and the pool stats.
+                assert_eq!(snap.counter("campaign.runs"), Some(report.runs()));
+                assert_eq!(snap.counter("campaign.early_exits"), Some(stats.early_exits));
+                assert_eq!(snap.gauge("pool.workers"), Some(w as u64));
+                snap
+            })
+            .collect();
+
+        // Every logical (worker-count-independent) metric must be
+        // byte-identical across worker counts; only the `pool.workers`
+        // gauge and the wall-time metric may differ.
+        for name in [
+            "campaign.runs",
+            "campaign.early_exits",
+            "campaign.simulated_cycles",
+            "campaign.saved_cycles",
+            "campaign.outcome.benign",
+            "campaign.outcome.sdc",
+            "campaign.outcome.crash",
+            "campaign.outcome.hang",
+            "campaign.fault_space",
+            "campaign.golden_cycles",
+            "pool.pending_shards",
+        ] {
+            let values: Vec<_> = snapshots.iter().map(|s| s.metric(name).cloned()).collect();
+            assert!(values[0].is_some(), "metric {name} missing");
+            assert!(values.windows(2).all(|w| w[0] == w[1]), "{name} varies: {values:?}");
+        }
+        let hists: Vec<_> =
+            snapshots.iter().map(|s| s.histogram("campaign.run_cycles").cloned()).collect();
+        assert!(hists[0].is_some());
+        assert!(hists.windows(2).all(|w| w[0] == w[1]), "run_cycles histogram varies");
+        // With checkpointing on, some runs restore mid-trace.
+        assert!(snapshots[0].histogram("campaign.restore_distance").unwrap().count > 0);
     }
 
     #[test]

@@ -159,6 +159,10 @@ pub struct FaultRun {
     /// Cycles actually simulated (suffix only when a checkpoint was
     /// restored).
     pub simulated_cycles: u64,
+    /// Cycle of the checkpoint this run restored from (0 when the
+    /// from-scratch engine ran). `fault.cycle - restored_at` is the
+    /// restore distance the telemetry histograms.
+    pub restored_at: u64,
     /// The completed run, `None` when the tail was skipped by convergence.
     pub result: Option<RunResult>,
 }
@@ -389,6 +393,7 @@ impl Injector<'_, '_> {
                 class: FaultClass::Benign,
                 converged_at: Some(cycle),
                 simulated_cycles: simulated,
+                restored_at: start_cycle,
                 result: None,
             },
             RunVerdict::Finished(raw) => {
@@ -402,6 +407,7 @@ impl Injector<'_, '_> {
                     class: result.classify(&golden.result),
                     converged_at: None,
                     simulated_cycles: result.cycles.saturating_sub(start_cycle),
+                    restored_at: start_cycle,
                     result: Some(result),
                 }
             }

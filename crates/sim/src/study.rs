@@ -51,6 +51,7 @@ use crate::shard::{site_fault_space, CampaignReport, CampaignSpec, ShardPlan};
 use crate::trace::FaultClass;
 use bec_core::BecAnalysis;
 use bec_ir::Program;
+use bec_telemetry::Telemetry;
 
 /// Default sampling seed of studies (same as `bec campaign`).
 pub const DEFAULT_SEED: u64 = 0xbec;
@@ -123,10 +124,26 @@ pub fn run_campaign(
     spec: &StudySpec,
     resume: Option<CampaignReport>,
 ) -> Result<CampaignRun, String> {
+    run_campaign_with(label, program, bec, spec, resume, &Telemetry::disabled())
+}
+
+/// The instrumented form of [`run_campaign`]: identical semantics and
+/// identical report bytes, plus a `golden` span around the probe/checkpoint
+/// phase, `campaign.checkpoint_interval` / `campaign.budget_cycles` gauges,
+/// and everything [`pool::run_sharded_with`] records.
+pub fn run_campaign_with(
+    label: &str,
+    program: &Program,
+    bec: &BecAnalysis,
+    spec: &StudySpec,
+    resume: Option<CampaignReport>,
+    tel: &Telemetry,
+) -> Result<CampaignRun, String> {
     let probe = Simulator::with_limits(
         program,
         SimLimits { max_cycles: spec.max_cycles.unwrap_or(100_000_000) },
     );
+    let golden_span = tel.span("golden").arg("label", label);
     let (golden, ckpts, interval) = match spec.checkpoint_interval {
         Some(0) => (probe.run_golden(), CheckpointLog::disabled(), 0),
         Some(n) => {
@@ -139,6 +156,7 @@ pub fn run_campaign(
             (golden, ckpts, n)
         }
     };
+    drop(golden_span);
     if golden.result.outcome != crate::ExecOutcome::Completed {
         return Err(format!(
             "{label}: program did not run to completion: {:?}",
@@ -149,11 +167,13 @@ pub fn run_campaign(
         .max_cycles
         .unwrap_or_else(|| golden.cycles().saturating_mul(100).saturating_add(10_000));
     let sim = Simulator::with_limits(program, SimLimits { max_cycles: budget });
+    tel.gauge("campaign.checkpoint_interval", interval);
+    tel.gauge("campaign.budget_cycles", budget);
 
     let cspec = CampaignSpec { seed: spec.seed, sample: spec.sample, shards: spec.shards };
     let plan = ShardPlan::build(site_fault_space(program, bec, &golden), cspec);
     let (report, stats) =
-        pool::run_sharded(&sim, &golden, &ckpts, &plan, spec.workers, resume, label)?;
+        pool::run_sharded_with(&sim, &golden, &ckpts, &plan, spec.workers, resume, label, tel)?;
     Ok(CampaignRun { report, stats, interval, golden })
 }
 

@@ -1,0 +1,322 @@
+//! The metric registry's value types and the exported snapshot.
+
+use crate::json_escape;
+use std::collections::BTreeMap;
+
+/// Number of log₂ histogram buckets: one for 0, one per possible
+/// `ilog2(value)` of a non-zero `u64` (0..=63).
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` observations.
+///
+/// Bucket 0 counts zero observations; bucket `i ≥ 1` counts observations
+/// with `ilog2(value) == i - 1` (i.e. values in `[2^(i-1), 2^i)`). Merging
+/// is bucket-wise addition plus min/max/sum/count combination — an
+/// associative, commutative operation, so any partition of the same
+/// observation multiset over any number of workers merges to the same
+/// histogram (the worker-count-independence property the campaign pool
+/// relies on).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { count: 0, sum: 0, min: 0, max: 0, buckets: [0; BUCKETS] }
+    }
+}
+
+impl Histogram {
+    /// The bucket index of `value`.
+    fn bucket_of(value: u64) -> usize {
+        match value {
+            0 => 0,
+            v => v.ilog2() as usize + 1,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.min = if self.count == 0 { value } else { self.min.min(value) };
+        self.max = self.max.max(value);
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[Histogram::bucket_of(value)] += 1;
+    }
+
+    /// Merges `other` into `self` (associative and commutative).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 { other.min } else { self.min.min(other.min) };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+
+    /// The mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The non-empty buckets as `(bucket index, count)` pairs, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i, c))
+    }
+
+    fn json_fields(&self) -> String {
+        let buckets: Vec<String> = self.buckets().map(|(i, c)| format!("[{i},{c}]")).collect();
+        format!(
+            "\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]",
+            self.count,
+            self.sum,
+            self.min,
+            self.max,
+            buckets.join(",")
+        )
+    }
+}
+
+/// One registered metric value.
+///
+/// The histogram variant dominates the enum's size, but registries hold
+/// at most a few dozen metrics and the hot paths mutate in place, so the
+/// indirection a box would add buys nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum Metric {
+    /// A monotonically accumulated logical count.
+    Counter(u64),
+    /// A last-write-wins level.
+    Gauge(u64),
+    /// A wall-clock measurement in milliseconds (nondeterministic; kept
+    /// out of every byte-compared artifact by the determinism contract).
+    TimeMs(f64),
+    /// A log₂-bucketed distribution.
+    Hist(Histogram),
+}
+
+impl Metric {
+    fn to_json(&self) -> String {
+        match self {
+            Metric::Counter(v) => format!("{{\"type\":\"counter\",\"value\":{v}}}"),
+            Metric::Gauge(v) => format!("{{\"type\":\"gauge\",\"value\":{v}}}"),
+            Metric::TimeMs(ms) => format!("{{\"type\":\"time_ms\",\"value\":{ms:.3}}}"),
+            Metric::Hist(h) => format!("{{\"type\":\"histogram\",{}}}", h.json_fields()),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`crate::Telemetry`] handle's metric
+/// registry, name-sorted. This is the one schema shared by `--metrics-out`
+/// snapshots and the committed `BENCH_*.json` baselines.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsSnapshot {
+    pub(crate) fn new(metrics: BTreeMap<String, Metric>) -> MetricsSnapshot {
+        MetricsSnapshot { metrics }
+    }
+
+    /// Whether the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// All metric names, ascending.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.metrics.keys().map(String::as_str)
+    }
+
+    /// The raw metric `name`.
+    pub fn metric(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    /// The counter `name`, if it exists and is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge `name`, if it exists and is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The timing `name` in milliseconds, if it exists and is a timing.
+    pub fn time_ms(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(Metric::TimeMs(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram `name`, if it exists and is a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.metrics.get(name) {
+            Some(Metric::Hist(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// A copy keeping only the metrics for which `keep` returns true.
+    ///
+    /// Byte-compared baselines (the committed `BENCH_*.json` files) use
+    /// this to drop the nondeterministic metrics — wall times and
+    /// machine-dependent worker counts — while keeping the shared
+    /// `--metrics-out` schema.
+    pub fn filtered(&self, mut keep: impl FnMut(&str, &Metric) -> bool) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: self
+                .metrics
+                .iter()
+                .filter(|(name, metric)| keep(name, metric))
+                .map(|(name, metric)| (name.clone(), metric.clone()))
+                .collect(),
+        }
+    }
+
+    /// Renders the snapshot as canonical JSON: metrics sorted by name,
+    /// `{"version":1,"metrics":{...}}`. Equal snapshots render to
+    /// identical bytes.
+    pub fn to_json_string(&self) -> String {
+        let body: Vec<String> = self
+            .metrics
+            .iter()
+            .map(|(name, m)| format!("\"{}\":{}", json_escape(name), m.to_json()))
+            .collect();
+        format!("{{\"version\":1,\"metrics\":{{{}}}}}", body.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_of(values: &[u64]) -> Histogram {
+        let mut h = Histogram::default();
+        for &v in values {
+            h.observe(v);
+        }
+        h
+    }
+
+    #[test]
+    fn histogram_buckets_values_by_log2() {
+        let h = hist_of(&[0, 1, 2, 3, 4, 1024, u64::MAX]);
+        assert_eq!(h.count, 7);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, u64::MAX);
+        let buckets: Vec<(usize, u64)> = h.buckets().collect();
+        // 0 → bucket 0; 1 → 1; 2,3 → 2; 4 → 3; 1024 → 11; u64::MAX → 64.
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (3, 1), (11, 1), (64, 1)]);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative() {
+        let a = hist_of(&[1, 5, 9]);
+        let b = hist_of(&[0, 2]);
+        let c = hist_of(&[1024, 7, 7]);
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // a ∪ b == b ∪ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        // Merging an empty histogram is the identity (including min).
+        let mut with_empty = a.clone();
+        with_empty.merge(&Histogram::default());
+        assert_eq!(with_empty, a);
+        let mut from_empty = Histogram::default();
+        from_empty.merge(&a);
+        assert_eq!(from_empty, a);
+    }
+
+    #[test]
+    fn histogram_merge_is_partition_independent() {
+        // The same observation multiset, partitioned three different ways
+        // (1, 2 and 5 "workers"), merges to one histogram.
+        let all: Vec<u64> = vec![0, 1, 3, 3, 8, 100, 4096, 4096, 9, 2];
+        let whole = hist_of(&all);
+        for parts in [2usize, 5] {
+            let mut merged = Histogram::default();
+            for w in 0..parts {
+                let mut local = Histogram::default();
+                for (i, &v) in all.iter().enumerate() {
+                    if i % parts == w {
+                        local.observe(v);
+                    }
+                }
+                merged.merge(&local);
+            }
+            assert_eq!(merged, whole, "{parts}-way partition diverged");
+        }
+        assert_eq!(whole.mean(), all.iter().sum::<u64>() as f64 / all.len() as f64);
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_stable() {
+        let mut m = BTreeMap::new();
+        m.insert("b.counter".to_owned(), Metric::Counter(2));
+        m.insert("a.gauge".to_owned(), Metric::Gauge(7));
+        m.insert("c.hist".to_owned(), Metric::Hist(hist_of(&[1, 1])));
+        m.insert("d.time".to_owned(), Metric::TimeMs(1.5));
+        let snap = MetricsSnapshot::new(m);
+        let json = snap.to_json_string();
+        assert_eq!(
+            json,
+            "{\"version\":1,\"metrics\":{\
+             \"a.gauge\":{\"type\":\"gauge\",\"value\":7},\
+             \"b.counter\":{\"type\":\"counter\",\"value\":2},\
+             \"c.hist\":{\"type\":\"histogram\",\"count\":2,\"sum\":2,\"min\":1,\"max\":1,\"buckets\":[[1,2]]},\
+             \"d.time\":{\"type\":\"time_ms\",\"value\":1.500}}}"
+        );
+        assert_eq!(snap.counter("b.counter"), Some(2));
+        assert_eq!(snap.gauge("a.gauge"), Some(7));
+        assert_eq!(snap.time_ms("d.time"), Some(1.5));
+        assert_eq!(snap.histogram("c.hist").map(|h| h.count), Some(2));
+        assert_eq!(snap.counter("a.gauge"), None, "type-checked accessors");
+
+        // A deterministic baseline view: drop the wall-time metric.
+        let logical = snap.filtered(|_, m| !matches!(m, Metric::TimeMs(_)));
+        assert_eq!(logical.names().collect::<Vec<_>>(), vec!["a.gauge", "b.counter", "c.hist"]);
+        assert_eq!(logical.time_ms("d.time"), None);
+    }
+}

@@ -1,0 +1,203 @@
+//! Live progress: a throttled stderr meter for long-running pools and the
+//! typed progress events orchestrators stream to their callers.
+
+use std::time::{Duration, Instant};
+
+/// Formats `n` with `,` thousands separators (`1234567` → `"1,234,567"`).
+pub fn group_digits(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a rate as `412`, `3.2k` or `1.5M` per second.
+fn rate(per_sec: f64) -> String {
+    if per_sec >= 1e6 {
+        format!("{:.1}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1}k", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.0}")
+    }
+}
+
+/// A throttled live progress line on stderr: at most one line per throttle
+/// interval, showing completion, throughput, an ETA and caller-supplied
+/// tallies. Timing never reaches stdout, so the meter is free under the
+/// determinism contract. Created via [`crate::Telemetry::meter`]; inert
+/// when the telemetry handle was disabled.
+pub struct ProgressMeter {
+    enabled: bool,
+    label: String,
+    total: u64,
+    started: Instant,
+    last_emit: Option<Instant>,
+    throttle: Duration,
+}
+
+impl ProgressMeter {
+    pub(crate) fn new(enabled: bool, label: &str, total: u64) -> ProgressMeter {
+        ProgressMeter {
+            enabled,
+            label: label.to_owned(),
+            total,
+            started: Instant::now(),
+            last_emit: None,
+            throttle: Duration::from_millis(200),
+        }
+    }
+
+    /// Reports `done` completed items plus extra `key value` tallies.
+    /// Emits at most one stderr line per throttle interval; quick
+    /// operations finish without printing anything.
+    pub fn update(&mut self, done: u64, extras: &[(&str, u64)]) {
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        let due = match self.last_emit {
+            Some(last) => now.duration_since(last) >= self.throttle,
+            // The first line is also throttled: nothing is printed before
+            // one interval has elapsed, keeping fast runs silent.
+            None => now.duration_since(self.started) >= self.throttle,
+        };
+        if !due || done == 0 {
+            return;
+        }
+        self.last_emit = Some(now);
+        let elapsed = now.duration_since(self.started).as_secs_f64();
+        let per_sec = done as f64 / elapsed.max(1e-9);
+        let eta = (self.total.saturating_sub(done)) as f64 / per_sec.max(1e-9);
+        let mut line = format!(
+            "{}: {}/{} ({:.0} %), {}/s, ETA {:.1} s",
+            self.label,
+            group_digits(done),
+            group_digits(self.total),
+            100.0 * done as f64 / (self.total.max(1)) as f64,
+            rate(per_sec),
+            eta,
+        );
+        for (k, v) in extras {
+            line.push_str(&format!(", {k} {}", group_digits(*v)));
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// The pipeline phase a [`ProgressEvent`] reports on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Variants were derived from the shared scoring analysis.
+    Schedule,
+    /// Semantic equivalence against the baseline was established.
+    Verify,
+    /// The variant's differential campaign completed.
+    Campaign,
+}
+
+impl Phase {
+    /// The phase's stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Schedule => "schedule",
+            Phase::Verify => "verify",
+            Phase::Campaign => "campaign",
+        }
+    }
+}
+
+/// One typed progress event of a study-style orchestrator: which
+/// benchmark/variant progressed, through which [`Phase`], with named
+/// counters (runs, early exits, wall milliseconds, …). The structured form
+/// exists so a future `bec serve` can serialize events onto a job stream;
+/// the CLI renders them to stderr lines via [`ProgressEvent::render`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgressEvent {
+    /// Benchmark (or program label) the event concerns.
+    pub benchmark: String,
+    /// Variant (scheduling criterion) within the benchmark; empty for
+    /// benchmark-level events.
+    pub variant: String,
+    /// Pipeline phase that completed.
+    pub phase: Phase,
+    /// Named counters. By convention `wall_ms` and `workers` are the only
+    /// nondeterministic entries; everything else is a logical count.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl ProgressEvent {
+    /// A human-readable one-line rendering, e.g.
+    /// `crc32/best campaign: runs 4,000, early_exits 1,203, wall_ms 12`.
+    pub fn render(&self) -> String {
+        let subject = if self.variant.is_empty() {
+            self.benchmark.clone()
+        } else {
+            format!("{}/{}", self.benchmark, self.variant)
+        };
+        let counters: Vec<String> =
+            self.counters.iter().map(|(k, v)| format!("{k} {}", group_digits(*v))).collect();
+        format!("{subject} {}: {}", self.phase.name(), counters.join(", "))
+    }
+
+    /// The counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| *k == name).map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_group_in_threes() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1000), "1,000");
+        assert_eq!(group_digits(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn rates_humanize() {
+        assert_eq!(rate(412.4), "412");
+        assert_eq!(rate(3_210.0), "3.2k");
+        assert_eq!(rate(1_500_000.0), "1.5M");
+    }
+
+    #[test]
+    fn events_render_and_query() {
+        let e = ProgressEvent {
+            benchmark: "crc32".into(),
+            variant: "best".into(),
+            phase: Phase::Campaign,
+            counters: vec![("runs", 4000), ("early_exits", 1203)],
+        };
+        assert_eq!(e.render(), "crc32/best campaign: runs 4,000, early_exits 1,203");
+        assert_eq!(e.counter("runs"), Some(4000));
+        assert_eq!(e.counter("nope"), None);
+        let b = ProgressEvent {
+            benchmark: "crc32".into(),
+            variant: String::new(),
+            phase: Phase::Schedule,
+            counters: vec![("variants", 3)],
+        };
+        assert_eq!(b.render(), "crc32 schedule: variants 3");
+    }
+
+    #[test]
+    fn meter_is_silent_when_disabled_or_fast() {
+        // Exercised for coverage; output goes to stderr and short runs
+        // never print (the first emit is throttled too).
+        let mut m = ProgressMeter::new(false, "x", 10);
+        m.update(5, &[("k", 1)]);
+        let mut m = ProgressMeter::new(true, "x", 10);
+        m.update(5, &[("k", 1)]);
+        assert!(m.last_emit.is_none(), "fast update must stay below the throttle");
+    }
+}

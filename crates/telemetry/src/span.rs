@@ -1,0 +1,128 @@
+//! Hierarchical wall-clock spans and the Chrome-trace-format exporter.
+
+use crate::{json_escape, Telemetry};
+use std::collections::BTreeSet;
+
+/// One completed span, in Chrome-trace "complete event" (`ph: "X"`) form.
+#[derive(Clone, Debug)]
+pub(crate) struct TraceEvent {
+    pub name: String,
+    pub tid: u32,
+    /// Start, microseconds since telemetry creation.
+    pub ts: u64,
+    /// Duration in microseconds.
+    pub dur: u64,
+    pub args: Vec<(String, String)>,
+}
+
+/// An open span: records its wall-clock interval into the telemetry handle
+/// when dropped. Obtained from [`Telemetry::span`] /
+/// [`Telemetry::span_on`]; on a disabled handle the span is inert.
+#[must_use = "a span records its interval when dropped — bind it to a `_span` local"]
+pub struct Span<'t> {
+    tel: &'t Telemetry,
+    /// `None` on a disabled handle.
+    open: Option<OpenSpan>,
+}
+
+struct OpenSpan {
+    name: String,
+    tid: u32,
+    start_us: u64,
+    args: Vec<(String, String)>,
+}
+
+impl<'t> Span<'t> {
+    pub(crate) fn begin(tel: &'t Telemetry, tid: u32, name: &str) -> Span<'t> {
+        let open = tel.is_enabled().then(|| OpenSpan {
+            name: name.to_owned(),
+            tid,
+            start_us: tel.now_us(),
+            args: Vec::new(),
+        });
+        Span { tel, open }
+    }
+
+    /// Attaches a key-value argument shown in the trace viewer's span
+    /// details. Returns `self` for chaining.
+    pub fn arg(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        if let Some(open) = &mut self.open {
+            open.args.push((key.to_owned(), value.to_string()));
+        }
+        self
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(open) = self.open.take() {
+            let end = self.tel.now_us();
+            self.tel.push_event(TraceEvent {
+                name: open.name,
+                tid: open.tid,
+                ts: open.start_us,
+                dur: end.saturating_sub(open.start_us),
+                args: open.args,
+            });
+        }
+    }
+}
+
+/// Renders `events` as a Chrome-trace JSON document: thread-name metadata
+/// for every timeline, then one complete event per span.
+pub(crate) fn render_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = Vec::new();
+    // Name the timelines so Perfetto shows "main" / "worker-N" lanes.
+    let tids: BTreeSet<u32> = events.iter().map(|e| e.tid).collect();
+    for tid in tids {
+        let label = if tid == 0 { "main".to_owned() } else { format!("worker-{tid}") };
+        out.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{label}\"}}}}"
+        ));
+    }
+    for e in events {
+        let args: Vec<String> = e
+            .args
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+            .collect();
+        out.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"bec\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{},\"dur\":{},\"args\":{{{}}}}}",
+            json_escape(&e.name),
+            e.tid,
+            e.ts,
+            e.dur,
+            args.join(",")
+        ));
+    }
+    format!("{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}", out.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_with_args() {
+        let tel = Telemetry::enabled();
+        {
+            let _outer = tel.span("outer").arg("file", "a.s");
+            let _inner = tel.span_on(3, "inner");
+        }
+        let json = tel.trace_json();
+        assert!(json.contains("\"outer\""), "{json}");
+        assert!(json.contains("\"inner\""), "{json}");
+        assert!(json.contains("\"file\":\"a.s\""), "{json}");
+        assert!(json.contains("\"worker-3\""), "{json}");
+        assert!(json.contains("\"main\""), "{json}");
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let tel = Telemetry::enabled();
+        assert_eq!(tel.trace_json(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+    }
+}

@@ -10,6 +10,7 @@
 use super::{input, CliError, CommonArgs};
 use bec_core::{report, BecAnalysis};
 use bec_sim::json::Json;
+use bec_telemetry::Telemetry;
 
 struct FuncStats {
     name: String,
@@ -74,7 +75,8 @@ fn parse_workers(rest: &[String]) -> Result<usize, CliError> {
 pub fn run(args: &CommonArgs) -> Result<(), CliError> {
     let workers = parse_workers(&args.rest)?;
     let program = input::load_program(&args.file)?;
-    let bec = BecAnalysis::analyze_with_workers(&program, &args.options, workers);
+    let tel = Telemetry::enabled();
+    let bec = BecAnalysis::analyze_instrumented(&program, &args.options, workers, &tel);
     let solver = *bec.stats();
     // Wall time and worker count are run parameters, not analysis results:
     // they go to stderr so stdout is byte-identical at any worker count.
@@ -84,6 +86,7 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
         solver.workers,
         if solver.workers == 1 { "" } else { "s" }
     );
+    args.export_telemetry(&tel)?;
     let rows = stats(&program, &bec);
 
     let total = |f: fn(&FuncStats) -> u64| -> u64 { rows.iter().map(f).sum() };

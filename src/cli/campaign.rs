@@ -14,8 +14,9 @@ use super::{input, CliError, CommonArgs};
 use bec_core::{report, BecAnalysis};
 use bec_sim::json::Json;
 use bec_sim::shard::CampaignReport;
-use bec_sim::study::{run_campaign, StudySpec, DEFAULT_SEED, DEFAULT_SHARDS};
-use bec_sim::FaultClass;
+use bec_sim::study::{run_campaign_with, StudySpec, DEFAULT_SEED, DEFAULT_SHARDS};
+use bec_sim::{FaultClass, PoolStats};
+use bec_telemetry::Telemetry;
 
 struct Flags {
     sample: Option<u64>,
@@ -139,7 +140,9 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
         max_cycles: flags.max_cycles,
         checkpoint_interval: flags.checkpoint_interval,
     };
-    let run = run_campaign(&args.file, &program, &bec, &spec, resume).map_err(CliError::failed)?;
+    let tel = Telemetry::enabled();
+    let run = run_campaign_with(&args.file, &program, &bec, &spec, resume, &tel)
+        .map_err(CliError::failed)?;
     let (campaign, stats, interval) = (run.report, run.stats, run.interval);
 
     if let Some(path) = &flags.report_path {
@@ -149,22 +152,18 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
 
     // Timing is real but nondeterministic — it goes to stderr so stdout
     // stays byte-reproducible for a fixed spec.
-    eprintln!(
-        "campaign: {} runs in {:.1} ms on {} workers ({} shards executed, {} resumed, {} early-converged)",
-        campaign.runs(),
-        stats.wall.as_secs_f64() * 1e3,
-        stats.workers,
-        stats.executed_shards,
-        stats.resumed_shards,
-        stats.early_exits,
-    );
+    eprintln!("campaign: {}", summary_line(campaign.runs(), &stats));
+    args.export_telemetry(&tel)?;
 
     let violations = campaign.violations();
     if args.json {
-        println!("{}", with_checkpoint_metadata(campaign.to_json(), interval).render());
+        println!(
+            "{}",
+            with_engine_metadata(campaign.to_json(), interval, stats.early_exits).render()
+        );
     } else {
         let fault_space = campaign.fault_space;
-        print_text(args, &campaign, fault_space, interval);
+        print_text(args, &campaign, fault_space, interval, stats.early_exits);
     }
 
     if violations.is_empty() {
@@ -177,21 +176,46 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
     }
 }
 
+/// The unified stderr execution summary every campaign-shaped command
+/// prints: runs, wall time, throughput, workers, shard and early-exit
+/// tallies. Nondeterministic by design, stderr-only.
+pub(super) fn summary_line(runs: u64, stats: &PoolStats) -> String {
+    let secs = stats.wall.as_secs_f64();
+    format!(
+        "{} runs in {:.1} ms ({:.0} runs/s) on {} workers ({} shards executed, {} resumed, {} early-converged)",
+        report::group_digits(runs),
+        secs * 1e3,
+        runs as f64 / secs.max(1e-9),
+        stats.workers,
+        stats.executed_shards,
+        stats.resumed_shards,
+        report::group_digits(stats.early_exits),
+    )
+}
+
 /// Appends the engine metadata to the stdout JSON. The `--report` file
 /// stays free of it: the report artifact must be byte-identical across
-/// intervals (and resumable between them), so the interval is presentation
-/// metadata only.
-fn with_checkpoint_metadata(doc: Json, interval: u64) -> Json {
+/// intervals (and resumable between them), so the interval — and the
+/// interval-dependent (but worker-independent) early-exit count — is
+/// presentation metadata only.
+fn with_engine_metadata(doc: Json, interval: u64, early_exits: u64) -> Json {
     match doc {
         Json::Obj(mut fields) => {
             fields.push(("checkpoint_interval".to_owned(), Json::UInt(interval)));
+            fields.push(("early_exits".to_owned(), Json::UInt(early_exits)));
             Json::Obj(fields)
         }
         other => other,
     }
 }
 
-fn print_text(args: &CommonArgs, campaign: &CampaignReport, fault_space: u64, interval: u64) {
+fn print_text(
+    args: &CommonArgs,
+    campaign: &CampaignReport,
+    fault_space: u64,
+    interval: u64,
+    early_exits: u64,
+) {
     let g = report::group_digits;
     println!("Differential fault-injection campaign for {}\n", args.file);
     let mode = match campaign.spec.sample {
@@ -212,6 +236,7 @@ fn print_text(args: &CommonArgs, campaign: &CampaignReport, fault_space: u64, in
                 vec!["engine".into(), engine],
                 vec!["shards".into(), g(campaign.spec.shards as u64)],
                 vec!["runs".into(), g(campaign.runs())],
+                vec!["early-converged runs".into(), g(early_exits)],
                 vec!["statically masked runs".into(), g(campaign.masked_runs())],
             ],
         )

@@ -10,6 +10,7 @@ mod sim;
 mod study;
 
 use bec_core::BecOptions;
+use bec_telemetry::Telemetry;
 
 /// CLI failure modes: usage errors print the help text, operational
 /// failures print the message alone.
@@ -39,19 +40,60 @@ pub struct CommonArgs {
     pub json: bool,
     /// Coalescing rule set.
     pub options: BecOptions,
+    /// Chrome-trace JSON destination (`--trace-out`).
+    pub trace_out: Option<String>,
+    /// Metrics snapshot destination (`--metrics-out`).
+    pub metrics_out: Option<String>,
     /// Remaining command-specific flags, in order.
     pub rest: Vec<String>,
+}
+
+impl CommonArgs {
+    /// Writes the trace/metrics exports requested by `--trace-out` /
+    /// `--metrics-out`. Exports carry timing and thread attribution; the
+    /// determinism contract keeps them out of stdout and report files, so
+    /// requesting them never changes any byte-compared artifact.
+    pub fn export_telemetry(&self, tel: &Telemetry) -> Result<(), CliError> {
+        write_exports(tel, self.trace_out.as_deref(), self.metrics_out.as_deref())
+    }
+}
+
+/// Shared export step for subcommands that parse their own argument lists.
+pub(crate) fn write_exports(
+    tel: &Telemetry,
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+) -> Result<(), CliError> {
+    if let Some(path) = trace_out {
+        tel.write_trace(path)
+            .map_err(|e| CliError::failed(format!("cannot write trace `{path}`: {e}")))?;
+    }
+    if let Some(path) = metrics_out {
+        tel.write_metrics(path)
+            .map_err(|e| CliError::failed(format!("cannot write metrics `{path}`: {e}")))?;
+    }
+    Ok(())
 }
 
 fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
     let mut file = None;
     let mut json = false;
     let mut options = BecOptions::paper();
+    let mut trace_out = None;
+    let mut metrics_out = None;
     let mut rest = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--trace-out" => {
+                let v = it.next().ok_or_else(|| CliError::usage("--trace-out needs a path"))?;
+                trace_out = Some(v.clone());
+            }
+            "--metrics-out" => {
+                let v = it.next().ok_or_else(|| CliError::usage("--metrics-out needs a path"))?;
+                metrics_out = Some(v.clone());
+            }
             "--rules" => {
                 let v = it.next().ok_or_else(|| CliError::usage("--rules needs a value"))?;
                 options = match v.as_str() {
@@ -91,6 +133,8 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
         file: file.ok_or_else(|| CliError::usage("missing input file"))?,
         json,
         options,
+        trace_out,
+        metrics_out,
         rest,
     })
 }

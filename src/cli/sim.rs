@@ -8,6 +8,7 @@
 use super::{input, CliError, CommonArgs};
 use bec_sim::json::Json;
 use bec_sim::{FaultSpec, SimLimits, Simulator};
+use bec_telemetry::Telemetry;
 
 fn parse_fault(spec: &str) -> Result<FaultSpec, CliError> {
     let parts: Vec<&str> = spec.split(':').collect();
@@ -70,8 +71,15 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
             )));
         }
     }
+    let tel = Telemetry::enabled();
     let sim = Simulator::with_limits(&program, SimLimits { max_cycles });
+    let golden_span = tel.span("golden").arg("file", &args.file);
     let (golden, ckpts) = sim.run_golden_checkpointed(interval);
+    drop(golden_span);
+    tel.gauge("sim.golden_cycles", golden.cycles());
+    tel.gauge("sim.checkpoint_interval", interval);
+    let fault_span = fault
+        .map(|f| tel.span("fault-run").arg("fault", format!("{}:{}:{}", f.cycle, f.reg, f.bit)));
     // (outcome, outputs, cycles, classification, (converged cycle, simulated)).
     let (outcome, outputs, cycles, classified, converged) = match fault {
         None => (
@@ -109,6 +117,9 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
             (format!("{:?}", run.outcome), run.outputs().to_vec(), run.cycles, Some(class), None)
         }
     };
+    drop(fault_span);
+    tel.add("sim.cycles", cycles);
+    args.export_telemetry(&tel)?;
 
     if args.json {
         let mut fields = vec![

@@ -17,18 +17,27 @@
 //! masked fault observed corrupting a variant) or a coverage regression
 //! (a reliability-improving schedule grew the live fault surface).
 
-use super::CliError;
+use super::{write_exports, CliError};
 use bec::study::{run_study, StudyConfig};
 use bec_core::{report, BecOptions};
 use bec_sim::json::Json;
 use bec_sim::study::{StudyReport, StudySpec, VariantRecord};
 use bec_sim::{CrossTable, FaultClass};
+use bec_telemetry::{Phase, Telemetry};
+use std::collections::BTreeMap;
+
+/// Per-(benchmark, criterion) early-exit counts, collected from the typed
+/// progress stream. Worker-count independent (each run detects its own
+/// convergence), so echoing them into stdout JSON is determinism-safe.
+type EarlyExits = BTreeMap<(String, String), u64>;
 
 struct Flags {
     cfg: StudyConfig,
     json: bool,
     report_path: Option<String>,
     resume_path: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -36,6 +45,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
     let mut json = false;
     let mut report_path = None;
     let mut resume_path = None;
+    let mut trace_out = None;
+    let mut metrics_out = None;
     let mut workers: Option<usize> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -105,6 +116,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             }
             "--report" => report_path = Some(value("--report")?),
             "--resume" => resume_path = Some(value("--resume")?),
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
             other => return Err(CliError::usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -113,7 +126,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
     // determinism-wise. An explicit value (including 1) is honored.
     cfg.spec.workers = workers
         .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
-    Ok(Flags { cfg, json, report_path, resume_path })
+    Ok(Flags { cfg, json, report_path, resume_path, trace_out, metrics_out })
 }
 
 fn load_resume(path: &str) -> Result<Option<StudyReport>, CliError> {
@@ -137,20 +150,31 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         Some(path) => load_resume(path)?,
         None => None,
     };
-    // Per-variant progress (with wall times) goes to stderr; stdout stays
-    // byte-reproducible.
-    let report = run_study(&flags.cfg, resume.as_ref(), |line| eprintln!("study: {line}"))
-        .map_err(CliError::failed)?;
+    // Typed progress events render to stderr (they carry wall times);
+    // stdout stays byte-reproducible. The campaign events also carry the
+    // per-variant early-exit counts the JSON summary includes.
+    let tel = Telemetry::enabled();
+    let mut early_exits = EarlyExits::new();
+    let report = run_study(&flags.cfg, resume.as_ref(), &tel, |event| {
+        if event.phase == Phase::Campaign {
+            if let Some(n) = event.counter("early_exits") {
+                early_exits.insert((event.benchmark.clone(), event.variant.clone()), n);
+            }
+        }
+        eprintln!("study: {}", event.render());
+    })
+    .map_err(CliError::failed)?;
 
     if let Some(path) = &flags.report_path {
         std::fs::write(path, report.to_json().render() + "\n")
             .map_err(|e| CliError::failed(format!("cannot write `{path}`: {e}")))?;
     }
+    write_exports(&tel, flags.trace_out.as_deref(), flags.metrics_out.as_deref())?;
 
     let violations = report.violations();
     let regressions = report.coverage_regressions();
     if flags.json {
-        println!("{}", summary_json(&report, &violations, &regressions).render());
+        println!("{}", summary_json(&report, &early_exits, &violations, &regressions).render());
     } else {
         print_text(&report, &violations, &regressions);
     }
@@ -292,6 +316,7 @@ fn print_text(
 /// `--report`; stdout omits the per-outcome rows).
 fn summary_json(
     report: &StudyReport,
+    early_exits: &EarlyExits,
     violations: &[(String, String, u64)],
     regressions: &[(String, String)],
 ) -> Json {
@@ -316,6 +341,15 @@ fn summary_json(
                         ("total_surface", Json::UInt(v.total_surface)),
                         ("coverage_pct", Json::Float(v.coverage_pct())),
                         ("runs", Json::UInt(v.campaign.runs())),
+                        (
+                            "early_exits",
+                            Json::UInt(
+                                early_exits
+                                    .get(&(b.name.clone(), v.criterion.clone()))
+                                    .copied()
+                                    .unwrap_or(0),
+                            ),
+                        ),
                         (
                             "outcomes",
                             Json::Obj(

@@ -37,10 +37,11 @@ use bec_core::{BecAnalysis, BecOptions};
 use bec_ir::{MachineConfig, Program};
 use bec_sched::Scheduler;
 use bec_sim::study::{
-    run_campaign, BenchmarkStudy, EquivalenceRecord, ScoringRecord, StudyReport, StudySpec,
+    run_campaign_with, BenchmarkStudy, EquivalenceRecord, ScoringRecord, StudyReport, StudySpec,
     VariantRecord,
 };
 use bec_sim::{GoldenRun, SimLimits, Simulator};
+use bec_telemetry::{Phase, ProgressEvent, Telemetry};
 
 /// What to study: which benchmarks, under which rule set, with which
 /// campaign spec.
@@ -79,9 +80,16 @@ impl StudyConfig {
 }
 
 /// Runs the study described by `cfg`, resuming completed variant
-/// campaigns from `resume` when given. `progress` receives one
-/// human-readable line per variant (the CLI routes it to stderr — it
-/// carries timing and must stay out of deterministic stdout).
+/// campaigns from `resume` when given.
+///
+/// `progress` receives typed [`ProgressEvent`]s as the pipeline advances:
+/// one [`Phase::Schedule`] event per benchmark (variant count, scoring
+/// counters) and one [`Phase::Verify`] plus one [`Phase::Campaign`] event
+/// per variant (runs, early exits, live surface, wall time, workers). The
+/// CLI renders them to stderr lines; by convention only the `wall_ms` and
+/// `workers` counters are nondeterministic, so everything else may be
+/// echoed into deterministic output. `tel` collects the study's spans and
+/// metrics; pass [`Telemetry::disabled`] when not instrumenting.
 ///
 /// # Errors
 ///
@@ -91,7 +99,8 @@ impl StudyConfig {
 pub fn run_study(
     cfg: &StudyConfig,
     resume: Option<&StudyReport>,
-    mut progress: impl FnMut(String),
+    tel: &Telemetry,
+    mut progress: impl FnMut(&ProgressEvent),
 ) -> Result<StudyReport, String> {
     if let Some(prev) = resume {
         if !prev.matches(&cfg.rules, &cfg.spec) {
@@ -101,8 +110,11 @@ pub fn run_study(
             );
         }
     }
+    let names = cfg.benchmark_names();
+    let _study_span = tel.span("study").arg("benchmarks", names.len());
+    tel.gauge("study.benchmarks", names.len() as u64);
     let mut report = StudyReport::empty(&cfg.rules, &cfg.spec);
-    for name in cfg.benchmark_names() {
+    for name in names {
         let bench = bec_suite::benchmark(&name)
             .ok_or_else(|| format!("unknown suite benchmark `{name}`"))?;
         let program =
@@ -113,6 +125,7 @@ pub fn run_study(
             &bench.expected,
             &program,
             resume,
+            tel,
             &mut progress,
         )?);
     }
@@ -121,16 +134,20 @@ pub fn run_study(
 
 /// Studies one compiled benchmark: shared-analysis scheduling, per-variant
 /// equivalence verification, analysis, surface accounting and campaign.
+#[allow(clippy::too_many_arguments)]
 fn study_benchmark(
     cfg: &StudyConfig,
     name: &str,
     expected: &[u64],
     program: &Program,
     resume: Option<&StudyReport>,
-    progress: &mut impl FnMut(String),
+    tel: &Telemetry,
+    progress: &mut impl FnMut(&ProgressEvent),
 ) -> Result<BenchmarkStudy, String> {
+    let _bench_span = tel.span("benchmark").arg("name", name);
     // One BecAnalysis scores every candidate schedule (the shared-analysis
     // refactor this pipeline exists to exercise).
+    let schedule_span = tel.span("schedule").arg("benchmark", name);
     let scheduler = Scheduler::new(program, &cfg.options);
     let stats = scheduler.analysis().stats();
     let scoring = ScoringRecord {
@@ -141,13 +158,28 @@ fn study_benchmark(
         uf_nodes: stats.uf_nodes,
     };
     debug_assert_eq!(scoring.analyses, 1, "variant scoring must reuse one analysis");
+    let scheduled = scheduler.variants();
+    drop(schedule_span);
+    tel.add("study.scoring_analyses", scoring.analyses);
+    progress(&ProgressEvent {
+        benchmark: name.to_owned(),
+        variant: String::new(),
+        phase: Phase::Schedule,
+        counters: vec![
+            ("variants", scheduled.len() as u64),
+            ("points", scoring.points),
+            ("solver_visits", scoring.solver_visits),
+        ],
+    });
 
     let mut variants = Vec::new();
     // The baseline golden run everything is compared against; filled by
     // the first (Original) variant.
     let mut baseline: Option<GoldenRun> = None;
-    for variant in scheduler.variants() {
+    for variant in scheduled {
         let criterion = variant.criterion;
+        let _variant_span =
+            tel.span("variant").arg("benchmark", name).arg("criterion", criterion.name());
         bec_ir::verify_program(&variant.program).map_err(|e| {
             format!("{name}/{}: scheduler broke the program: {e}", criterion.name())
         })?;
@@ -165,10 +197,13 @@ fn study_benchmark(
         };
         let label = format!("study:{name}:{}", criterion.name());
         let prior = resume.and_then(|r| r.prior_campaign(name, criterion.name())).cloned();
-        let crun = run_campaign(&label, &variant.program, vbec, &cfg.spec, prior)?;
+        let crun = run_campaign_with(&label, &variant.program, vbec, &cfg.spec, prior, tel)?;
 
+        let verify_span =
+            tel.span("verify").arg("benchmark", name).arg("criterion", criterion.name());
         let equivalence =
             check_equivalence(expected, baseline.as_ref(), &variant.program, &crun.golden);
+        drop(verify_span);
         let baseline_cycles =
             baseline.as_ref().map(GoldenRun::cycles).unwrap_or_else(|| crun.golden.cycles());
         if !equivalence.holds(baseline_cycles) {
@@ -178,19 +213,29 @@ fn study_benchmark(
                 criterion.name()
             ));
         }
+        progress(&ProgressEvent {
+            benchmark: name.to_owned(),
+            variant: criterion.name().to_owned(),
+            phase: Phase::Verify,
+            counters: vec![("cycles", equivalence.cycles)],
+        });
 
         let counts = vbec.site_counts(&variant.program);
         let surface =
             bec_core::surface::surface_row(name, &variant.program, vbec, &crun.golden.profile);
-        progress(format!(
-            "{name}/{}: {} runs in {:.1} ms on {} workers ({} early-converged), surface {}",
-            criterion.name(),
-            crun.report.runs(),
-            crun.stats.wall.as_secs_f64() * 1e3,
-            crun.stats.workers,
-            crun.stats.early_exits,
-            surface.live_sites,
-        ));
+        tel.add("study.variants", 1);
+        progress(&ProgressEvent {
+            benchmark: name.to_owned(),
+            variant: criterion.name().to_owned(),
+            phase: Phase::Campaign,
+            counters: vec![
+                ("runs", crun.report.runs()),
+                ("early_exits", crun.stats.early_exits),
+                ("surface", surface.live_sites),
+                ("wall_ms", crun.stats.wall.as_millis() as u64),
+                ("workers", crun.stats.workers as u64),
+            ],
+        });
         if baseline.is_none() {
             baseline = Some(crun.golden);
         }
@@ -261,7 +306,9 @@ mod tests {
     fn crc32_study_end_to_end() {
         let spec = StudySpec { sample: Some(120), shards: 8, ..StudySpec::default() };
         let cfg = StudyConfig { benchmarks: vec!["crc32".into()], ..StudyConfig::suite(spec) };
-        let report = run_study(&cfg, None, |_| {}).unwrap();
+        let mut events: Vec<ProgressEvent> = Vec::new();
+        let report =
+            run_study(&cfg, None, &Telemetry::disabled(), |e| events.push(e.clone())).unwrap();
         assert!(report.is_complete());
         assert!(report.violations().is_empty(), "{:?}", report.violations());
         assert!(report.coverage_regressions().is_empty());
@@ -280,18 +327,64 @@ mod tests {
         let gated: Vec<&str> =
             b.variants.iter().filter(|v| v.coverage_gated).map(|v| v.criterion.as_str()).collect();
         assert_eq!(gated, ["best"]);
+        // The typed progress stream: one schedule event per benchmark,
+        // then verify + campaign per variant, in pipeline order.
+        let schedules: Vec<&ProgressEvent> =
+            events.iter().filter(|e| e.phase == Phase::Schedule).collect();
+        assert_eq!(schedules.len(), 1);
+        assert_eq!(schedules[0].benchmark, "crc32");
+        assert_eq!(schedules[0].counter("variants"), Some(Criterion::ALL.len() as u64));
+        for phase in [Phase::Verify, Phase::Campaign] {
+            let per_variant: Vec<&ProgressEvent> =
+                events.iter().filter(|e| e.phase == phase).collect();
+            assert_eq!(per_variant.len(), Criterion::ALL.len(), "{phase:?}");
+        }
+        for e in events.iter().filter(|e| e.phase == Phase::Campaign) {
+            assert_eq!(e.counter("runs"), Some(120), "{}", e.render());
+            assert!(e.counter("early_exits").is_some());
+            assert!(e.counter("surface").is_some());
+        }
+    }
+
+    #[test]
+    fn study_telemetry_registers_spans_and_logical_counters() {
+        let spec = StudySpec { sample: Some(40), shards: 4, ..StudySpec::default() };
+        let cfg = StudyConfig { benchmarks: vec!["crc32".into()], ..StudyConfig::suite(spec) };
+        let tel = Telemetry::enabled();
+        let report = run_study(&cfg, None, &tel, |_| {}).unwrap();
+        let snap = tel.snapshot();
+        assert_eq!(snap.gauge("study.benchmarks"), Some(1));
+        assert_eq!(snap.counter("study.variants"), Some(Criterion::ALL.len() as u64));
+        assert_eq!(snap.counter("study.scoring_analyses"), Some(1));
+        let total_runs: u64 =
+            report.benchmarks.iter().flat_map(|b| &b.variants).map(|v| v.campaign.runs()).sum();
+        assert_eq!(snap.counter("campaign.runs"), Some(total_runs));
+        assert_eq!(snap.histogram("campaign.run_cycles").map(|h| h.count), Some(total_runs));
+        let trace = tel.trace_json();
+        for span in [
+            "\"study\"",
+            "\"benchmark\"",
+            "\"schedule\"",
+            "\"variant\"",
+            "\"verify\"",
+            "\"golden\"",
+            "\"campaign\"",
+            "\"shard\"",
+        ] {
+            assert!(trace.contains(span), "trace missing {span}");
+        }
     }
 
     #[test]
     fn resume_reproduces_bytes_and_skips_completed_shards() {
         let spec = StudySpec { sample: Some(60), shards: 6, ..StudySpec::default() };
         let cfg = StudyConfig { benchmarks: vec!["crc32".into()], ..StudyConfig::suite(spec) };
-        let full = run_study(&cfg, None, |_| {}).unwrap();
+        let full = run_study(&cfg, None, &Telemetry::disabled(), |_| {}).unwrap();
         // Drop some shards of one variant's campaign and resume.
         let mut partial = full.clone();
         partial.benchmarks[0].variants[1].campaign.shards[2] = None;
         partial.benchmarks[0].variants[1].campaign.shards[4] = None;
-        let resumed = run_study(&cfg, Some(&partial), |_| {}).unwrap();
+        let resumed = run_study(&cfg, Some(&partial), &Telemetry::disabled(), |_| {}).unwrap();
         assert_eq!(resumed, full);
         assert_eq!(resumed.to_json().render(), full.to_json().render());
         // A mismatched spec is rejected.
@@ -299,7 +392,7 @@ mod tests {
             benchmarks: vec!["crc32".into()],
             ..StudyConfig::suite(StudySpec { seed: 1, ..spec })
         };
-        assert!(run_study(&other, Some(&full), |_| {}).is_err());
+        assert!(run_study(&other, Some(&full), &Telemetry::disabled(), |_| {}).is_err());
     }
 
     #[test]
@@ -308,6 +401,8 @@ mod tests {
             benchmarks: vec!["nope".into()],
             ..StudyConfig::suite(StudySpec::default())
         };
-        assert!(run_study(&cfg, None, |_| {}).unwrap_err().contains("unknown suite benchmark"));
+        assert!(run_study(&cfg, None, &Telemetry::disabled(), |_| {})
+            .unwrap_err()
+            .contains("unknown suite benchmark"));
     }
 }
