@@ -1,26 +1,30 @@
 //! Scaling measurements of the sharded campaign engine: worker scaling and
-//! the from-scratch vs checkpointed engine comparison.
+//! the from-scratch vs checkpointed vs bitsliced engine comparison.
 //!
-//! Runs the exhaustive differential campaign on tiny suite workloads,
-//! asserts every report is byte-identical to the single-worker from-scratch
-//! bytes (worker count, checkpoint interval and early-exit never leak into
-//! the report), and prints wall time, runs/sec and speedups.
+//! Runs the differential campaign on tiny suite workloads, asserts every
+//! report is byte-identical to the single-worker from-scratch scalar bytes
+//! (worker count, checkpoint interval, engine and early-exit never leak
+//! into the report), and prints wall time, runs/sec and speedups.
 //!
 //! ```text
 //! cargo run -p bec-bench --release --bin campaign_scaling -- \
-//!     [--json BENCH_campaign.json] [--assert-crc32-speedup 3]
+//!     [--json BENCH_campaign.json] [--assert-crc32-speedup 3] \
+//!     [--assert-crc32-bitsliced-speedup 10]
 //! ```
 //!
 //! `--json` writes a machine-readable baseline in the
 //! [`bec_telemetry::MetricsSnapshot`] schema shared with `bec
 //! --metrics-out`; `--assert-crc32-speedup X` exits non-zero unless the
-//! checkpointed engine beats the from-scratch engine by at least `X`× on
-//! the exhaustive crc32 campaign (the CI perf-smoke gate).
+//! checkpointed scalar engine beats the from-scratch engine by at least
+//! `X`× on the exhaustive crc32 campaign, and
+//! `--assert-crc32-bitsliced-speedup X` does the same for the bitsliced
+//! engine against the from-scratch scalar engine (the CI perf-smoke
+//! gates).
 
 use bec_core::report::{format_table, group_digits};
 use bec_core::{BecAnalysis, BecOptions};
 use bec_sim::shard::{site_fault_space, CampaignSpec, ShardPlan};
-use bec_sim::{default_checkpoint_interval, pool, CheckpointLog, SimLimits, Simulator};
+use bec_sim::{default_checkpoint_interval, pool, CheckpointLog, Engine, SimLimits, Simulator};
 use bec_telemetry::Telemetry;
 use std::time::Instant;
 
@@ -30,13 +34,36 @@ struct EngineRow {
     interval: u64,
     scratch_ms: f64,
     checkpointed_ms: f64,
+    bitsliced_ms: f64,
     early_exits: u64,
-    speedup: f64,
+    batches: u64,
+    batched_lanes: u64,
+    forked_lanes: u64,
+}
+
+impl EngineRow {
+    /// Checkpointed scalar vs from-scratch scalar.
+    fn ckpt_speedup(&self) -> f64 {
+        self.scratch_ms / self.checkpointed_ms
+    }
+    /// Bitsliced vs from-scratch scalar — the headline engine gain.
+    fn bitsliced_speedup(&self) -> f64 {
+        self.scratch_ms / self.bitsliced_ms
+    }
+    /// Mean faults per 64-lane batch (64 = perfectly packed).
+    fn lane_occupancy(&self) -> f64 {
+        self.batched_lanes as f64 / self.batches.max(1) as f64
+    }
+    /// Fraction of lanes that diverged and fell back to a scalar tail.
+    fn fork_rate(&self) -> f64 {
+        self.forked_lanes as f64 / self.batched_lanes.max(1) as f64
+    }
 }
 
 fn main() {
     let mut json_path = None;
     let mut min_crc32_speedup = None;
+    let mut min_crc32_bitsliced = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -44,6 +71,10 @@ fn main() {
             "--assert-crc32-speedup" => {
                 let v = args.next().expect("--assert-crc32-speedup needs a value");
                 min_crc32_speedup = Some(v.parse::<f64>().expect("numeric speedup"));
+            }
+            "--assert-crc32-bitsliced-speedup" => {
+                let v = args.next().expect("--assert-crc32-bitsliced-speedup needs a value");
+                min_crc32_bitsliced = Some(v.parse::<f64>().expect("numeric speedup"));
             }
             other => panic!("unknown flag `{other}`"),
         }
@@ -58,11 +89,15 @@ fn main() {
     // 8-byte tiny variant's 92-cycle trace is all per-run fixed cost, which
     // measures the harness rather than the engine.
     let workloads = vec![
-        bec_suite::bitcount::scaled(2),
-        bec_suite::crc32::scaled(8),
-        bec_suite::rsa::scaled(3233, 65, 7),
+        (bec_suite::bitcount::scaled(2), CampaignSpec::exhaustive(64)),
+        (bec_suite::crc32::scaled(8), CampaignSpec::exhaustive(64)),
+        (bec_suite::rsa::scaled(3233, 65, 7), CampaignSpec::exhaustive(64)),
+        // aes's exhaustive space is ~910k sites — far past a smoke run. A
+        // seeded sample keeps the wall time bounded while still exercising
+        // the bitsliced engine on its 12.6k-cycle golden trace.
+        (bec_suite::aes::benchmark(), CampaignSpec::sampled(0, 10_000, 64)),
     ];
-    for b in workloads {
+    for (b, campaign_spec) in workloads {
         let program = b.compile().expect("benchmark compiles");
         let bec = BecAnalysis::analyze(&program, &BecOptions::paper());
         let probe = Simulator::new(&program);
@@ -73,40 +108,51 @@ fn main() {
         let sim = Simulator::with_limits(&program, SimLimits { max_cycles: budget });
         let interval = default_checkpoint_interval(golden.cycles());
         let (golden, ckpts) = sim.run_golden_checkpointed(interval);
-        let plan = ShardPlan::build(
-            site_fault_space(&program, &bec, &golden),
-            CampaignSpec::exhaustive(64),
-        );
+        let plan = ShardPlan::build(site_fault_space(&program, &bec, &golden), campaign_spec);
 
-        // Engine comparison at one worker: from-scratch vs checkpointed.
-        // Each run carries its own telemetry registry; the logical numbers
-        // (early exits here) are read back from the snapshot rather than
-        // from ad-hoc stats fields, so the baseline and `--metrics-out`
-        // agree by construction.
-        let time_engine = |log: &CheckpointLog| {
+        // Engine comparison at one worker: from-scratch scalar vs
+        // checkpointed scalar vs bitsliced. Each run carries its own
+        // telemetry registry; the logical numbers (early exits, lane
+        // counters) are read back from the snapshot rather than from
+        // ad-hoc stats fields, so the baseline and `--metrics-out` agree
+        // by construction.
+        let time_engine = |log: &CheckpointLog, engine: Engine| {
             let tel = Telemetry::enabled();
             let started = Instant::now();
             let (report, _stats) =
-                pool::run_sharded_with(&sim, &golden, log, &plan, 1, None, b.name, &tel)
+                pool::run_sharded_engine(&sim, &golden, log, &plan, 1, None, b.name, engine, &tel)
                     .expect("pool runs");
             assert!(report.violations().is_empty(), "{}: soundness violation", b.name);
-            let early = tel.snapshot().counter("campaign.early_exits").unwrap_or(0);
-            (started.elapsed().as_secs_f64(), report.to_json().render(), early)
+            (started.elapsed().as_secs_f64(), report.to_json().render(), tel.snapshot())
         };
-        let (scratch_wall, baseline, _) = time_engine(&CheckpointLog::disabled());
-        let (ck_wall, ck_bytes, early_exits) = time_engine(&ckpts);
+        let (scratch_wall, baseline, _) = time_engine(&CheckpointLog::disabled(), Engine::Scalar);
+        let (ck_wall, ck_bytes, ck_snap) = time_engine(&ckpts, Engine::Scalar);
+        let (bs_wall, bs_bytes, bs_snap) = time_engine(&ckpts, Engine::Bitsliced);
         assert_eq!(baseline, ck_bytes, "{}: engines disagree on report bytes", b.name);
+        assert_eq!(baseline, bs_bytes, "{}: bitsliced report bytes deviate", b.name);
+        let early_exits = ck_snap.counter("campaign.early_exits").unwrap_or(0);
+        // Early exits count individual faults on both engines, so the
+        // numbers must agree exactly.
+        assert_eq!(
+            bs_snap.counter("campaign.early_exits").unwrap_or(0),
+            early_exits,
+            "{}: early-exit counts disagree across engines",
+            b.name
+        );
         engine_rows.push(EngineRow {
             name: b.name,
             runs: plan.runs() as u64,
             interval,
             scratch_ms: scratch_wall * 1e3,
             checkpointed_ms: ck_wall * 1e3,
+            bitsliced_ms: bs_wall * 1e3,
             early_exits,
-            speedup: scratch_wall / ck_wall,
+            batches: bs_snap.counter("campaign.batches").unwrap_or(0),
+            batched_lanes: bs_snap.counter("campaign.batched_lanes").unwrap_or(0),
+            forked_lanes: bs_snap.counter("campaign.forked_lanes").unwrap_or(0),
         });
 
-        // Worker scaling of the checkpointed engine.
+        // Worker scaling of the default (bitsliced, checkpointed) engine.
         let mut serial_wall = 0.0;
         for workers in [1usize, 2, 4, 8] {
             let (report, stats) =
@@ -136,7 +182,7 @@ fn main() {
         "{}",
         format_table(&["Benchmark", "FI runs", "Workers", "Wall", "Speedup"], &worker_rows)
     );
-    println!("\nengine comparison (1 worker, exhaustive):\n");
+    println!("\nengine comparison (1 worker):\n");
     print!(
         "{}",
         format_table(
@@ -146,8 +192,12 @@ fn main() {
                 "Interval",
                 "From-scratch",
                 "Checkpointed",
+                "Bitsliced",
                 "Early exits",
-                "Speedup"
+                "Ckpt speedup",
+                "Lane speedup",
+                "Occupancy",
+                "Fork rate"
             ],
             &engine_rows
                 .iter()
@@ -157,14 +207,18 @@ fn main() {
                     r.interval.to_string(),
                     format!("{:.1} ms", r.scratch_ms),
                     format!("{:.1} ms", r.checkpointed_ms),
+                    format!("{:.1} ms", r.bitsliced_ms),
                     group_digits(r.early_exits),
-                    format!("{:.2}x", r.speedup),
+                    format!("{:.2}x", r.ckpt_speedup()),
+                    format!("{:.2}x", r.bitsliced_speedup()),
+                    format!("{:.1}/64", r.lane_occupancy()),
+                    format!("{:.1} %", r.fork_rate() * 1e2),
                 ])
                 .collect::<Vec<_>>(),
         )
     );
     println!(
-        "\nall reports byte-identical across engines and worker counts\n(expect ≥2x at 4 workers and ≥3x checkpointed-vs-scratch on an idle host)"
+        "\nall reports byte-identical across engines and worker counts\n(expect ≥2x at 4 workers, ≥3x checkpointed-vs-scratch and ≥10x\nbitsliced-vs-scratch on an idle host)"
     );
 
     if let Some(path) = json_path {
@@ -181,20 +235,35 @@ fn main() {
             base.gauge(&format!("{prefix}.early_exits"), r.early_exits);
             base.gauge(&format!("{prefix}.from_scratch_runs_per_sec"), rps(r.scratch_ms));
             base.gauge(&format!("{prefix}.checkpointed_runs_per_sec"), rps(r.checkpointed_ms));
+            base.gauge(&format!("{prefix}.bitsliced_runs_per_sec"), rps(r.bitsliced_ms));
+            base.gauge(&format!("{prefix}.batches"), r.batches);
+            base.gauge(&format!("{prefix}.batched_lanes"), r.batched_lanes);
+            base.gauge(&format!("{prefix}.forked_lanes"), r.forked_lanes);
             base.time_ms(&format!("{prefix}.from_scratch_wall_ms"), r.scratch_ms);
             base.time_ms(&format!("{prefix}.checkpointed_wall_ms"), r.checkpointed_ms);
+            base.time_ms(&format!("{prefix}.bitsliced_wall_ms"), r.bitsliced_ms);
         }
         base.write_metrics(&path).expect("baseline written");
         println!("\nwrote {path}");
     }
 
+    let crc32_row = || engine_rows.iter().find(|r| r.name == "crc32").expect("crc32 in tiny suite");
     if let Some(min) = min_crc32_speedup {
-        let crc = engine_rows.iter().find(|r| r.name == "crc32").expect("crc32 in tiny suite");
+        let crc = crc32_row();
         assert!(
-            crc.speedup >= min,
+            crc.ckpt_speedup() >= min,
             "checkpointed crc32 campaign only {:.2}x faster than from-scratch (need ≥{min}x)",
-            crc.speedup
+            crc.ckpt_speedup()
         );
-        println!("crc32 speedup gate passed: {:.2}x ≥ {min}x", crc.speedup);
+        println!("crc32 speedup gate passed: {:.2}x ≥ {min}x", crc.ckpt_speedup());
+    }
+    if let Some(min) = min_crc32_bitsliced {
+        let crc = crc32_row();
+        assert!(
+            crc.bitsliced_speedup() >= min,
+            "bitsliced crc32 campaign only {:.2}x faster than from-scratch scalar (need ≥{min}x)",
+            crc.bitsliced_speedup()
+        );
+        println!("crc32 bitsliced speedup gate passed: {:.2}x ≥ {min}x", crc.bitsliced_speedup());
     }
 }

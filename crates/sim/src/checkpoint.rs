@@ -23,11 +23,13 @@
 //! suffix — the executor is deterministic in exactly that state — so the
 //! run completes with the golden hash and is classified
 //! [`crate::FaultClass::Benign`] without executing the tail. The register
-//! comparison is modulo *dynamically dead* registers: each checkpoint
-//! carries the set of registers the golden suffix reads before
-//! overwriting, and a register outside that set is overwritten before any
-//! instruction can observe it, so a lingering faulted value there cannot
-//! change the suffix. The memory digest is the only probabilistic
+//! comparison is modulo *dynamically dead bits*: each checkpoint carries,
+//! per register, the mask of bits the golden suffix observes before
+//! overwriting them (bitwise operations propagate bit-for-bit, so e.g. an
+//! `andi` keeps only the immediate's bits live in its source), and a bit
+//! outside that mask is overwritten before any instruction can observe
+//! it, so a lingering faulted value there cannot change the suffix. The
+//! memory digest is the only probabilistic
 //! component; it is 128 bits wide, and the baseline classifier already
 //! trusts 128-bit trace-hash equality for the same verdict (see
 //! `docs/oracle.md`).
@@ -61,7 +63,6 @@
 //! ```
 
 use crate::trace::TraceHash;
-use bec_ir::RegMask;
 
 /// One call-stack frame as captured in a checkpoint (also the executor's
 /// runtime frame representation).
@@ -103,13 +104,14 @@ pub struct Checkpoint {
     /// image — O(distinct dirty words), independent of how many stores the
     /// prefix executed.
     pub(crate) mem_image: Vec<(u32, u32)>,
-    /// Bitmask of registers the golden *suffix* from this cycle reads
-    /// before overwriting (dynamic liveness, filled in by a backward pass
-    /// after the recording run). A faulted register outside this set is
-    /// overwritten before it can influence anything, so the convergence
-    /// check may ignore it. Initialized to all-ones (exact comparison)
-    /// until the pass runs; registers ≥ 64 are always compared exactly.
-    pub(crate) live_regs: RegMask,
+    /// Per-register mask of the *bits* the golden suffix from this cycle
+    /// observes before overwriting (per-bit dynamic liveness, filled in by
+    /// a backward pass after the recording run; one entry per register).
+    /// A faulted bit outside its register's mask is overwritten before it
+    /// can influence anything, so the convergence check may ignore it.
+    /// Initialized to all-ones (exact comparison) until the pass runs;
+    /// registers past the read/write mask width stay all-ones forever.
+    pub(crate) live_bits: Vec<u64>,
 }
 
 /// The checkpoint sequence of one golden run, plus the run's terminal

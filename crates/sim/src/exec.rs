@@ -31,7 +31,7 @@ use crate::machine::{FaultSpec, Machine};
 use crate::trace::TraceHash;
 use bec_core::ExecProfile;
 use bec_ir::semantics::{eval_alu, eval_cond};
-use bec_ir::{Cond, Inst, PointId, PointLayout, Program, Reg, RegMask, Terminator};
+use bec_ir::{AluOp, Cond, Inst, PointId, PointLayout, Program, Reg, RegMask, Terminator};
 
 /// Why a run trapped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -59,7 +59,7 @@ pub enum ExecOutcome {
 
 /// One pre-decoded execution step.
 #[derive(Clone, Debug)]
-enum FlatStep<'p> {
+pub(crate) enum FlatStep<'p> {
     /// An ordinary instruction (anything but calls and `la`, which are
     /// pre-resolved below).
     Inst { point: PointId, inst: &'p Inst },
@@ -80,7 +80,7 @@ enum FlatStep<'p> {
 
 impl FlatStep<'_> {
     /// The program point of a cycle-consuming step.
-    fn point(&self) -> PointId {
+    pub(crate) fn point(&self) -> PointId {
         match self {
             FlatStep::Inst { point, .. }
             | FlatStep::Call { point, .. }
@@ -95,16 +95,16 @@ impl FlatStep<'_> {
 
 /// One function, flattened.
 #[derive(Clone, Debug)]
-struct FlatFunc<'p> {
-    steps: Vec<FlatStep<'p>>,
-    entry_pc: u32,
+pub(crate) struct FlatFunc<'p> {
+    pub(crate) steps: Vec<FlatStep<'p>>,
+    pub(crate) entry_pc: u32,
 }
 
 /// The whole program, pre-decoded for the interpreter.
 #[derive(Clone, Debug)]
 pub(crate) struct FlatProgram<'p> {
-    funcs: Vec<FlatFunc<'p>>,
-    entry: u32,
+    pub(crate) funcs: Vec<FlatFunc<'p>>,
+    pub(crate) entry: u32,
 }
 
 impl<'p> FlatProgram<'p> {
@@ -176,9 +176,49 @@ pub(crate) struct RawRun {
     pub mem_digest: u128,
     pub profile: Option<ExecProfile>,
     pub cycle_map: Option<Vec<(u32, PointId, u32)>>,
-    /// Per-cycle `(reads, writes)` register masks, recorded while
-    /// capturing checkpoints (feeds the dynamic-liveness backward pass).
-    pub rw_map: Option<Vec<(RegMask, RegMask)>>,
+    /// Per-cycle read/write events, recorded while capturing checkpoints
+    /// (feeds the per-bit dynamic-liveness backward pass).
+    pub rw_map: Option<Vec<RwEvent>>,
+}
+
+/// How precisely one cycle's register reads propagate liveness backwards.
+///
+/// The conservative rule makes every read register fully live. Bitwise
+/// operations are refined to per-bit propagation: bit `i` of the result
+/// depends only on bit `i` of each source, so a source bit is live only
+/// when the corresponding destination bit is live *after* the instruction
+/// (and, for masking immediates, only when the immediate keeps it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ReadPrecision {
+    /// Every read register is live in all xlen bits.
+    Full,
+    /// The reads feed `rd` bit-for-bit under `mask`:
+    /// `live_in(src) ⊇ live_out(rd) & mask` and nothing more (bitwise
+    /// AND/OR/XOR with a register or immediate, and `mv`).
+    PerBit { rd: Reg, mask: u64 },
+    /// A store: the value register `rs` is observed only in its low
+    /// `width × 8` bits (`mask`); every other read (the base address)
+    /// stays fully live.
+    StoreValue { rs: Reg, mask: u64 },
+}
+
+/// Registers one executed cycle read and wrote, with the per-bit
+/// refinement used by the liveness backward pass.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RwEvent {
+    pub(crate) reads: RegMask,
+    pub(crate) writes: RegMask,
+    pub(crate) precision: ReadPrecision,
+}
+
+impl RwEvent {
+    fn full(reads: RegMask, writes: RegMask) -> RwEvent {
+        RwEvent { reads, writes, precision: ReadPrecision::Full }
+    }
+
+    fn empty() -> RwEvent {
+        RwEvent::full(RegMask::empty(), RegMask::empty())
+    }
 }
 
 /// How a run ended: normally, or by provable re-convergence with the
@@ -206,16 +246,20 @@ pub(crate) struct ResumeCtx<'a> {
 }
 
 /// The live executor state next to the caller-provided [`Machine`].
-struct ExecState {
-    hash: TraceHash,
-    outputs: Vec<u64>,
-    cycle: u64,
-    steps: u64,
-    func: u32,
-    pc: u32,
-    stack: Vec<FrameSnap>,
+///
+/// Crate-visible so the bitsliced engine (`crate::bitslice`) can maintain
+/// an identical replay state and hand a forked lane's state to
+/// [`run_tail`].
+pub(crate) struct ExecState {
+    pub(crate) hash: TraceHash,
+    pub(crate) outputs: Vec<u64>,
+    pub(crate) cycle: u64,
+    pub(crate) steps: u64,
+    pub(crate) func: u32,
+    pub(crate) pc: u32,
+    pub(crate) stack: Vec<FrameSnap>,
     /// Incremental memory digest relative to the initial image.
-    mem_digest: u128,
+    pub(crate) mem_digest: u128,
 }
 
 impl ExecState {
@@ -234,20 +278,21 @@ impl ExecState {
 
     /// Restores checkpoint `idx` of `log` into `machine` (which must be in
     /// initial state): applies the checkpoint's cumulative memory image
-    /// (recording the words in `dirty`), restores the captured registers,
-    /// and inherits the golden output prefix. `steps` is set one below the
-    /// boundary value so the loop-top increment reproduces it exactly.
-    fn restore(
+    /// (recording each word's previous value in `dirty`), restores the
+    /// captured registers, and inherits the golden output prefix. `steps`
+    /// is set one below the boundary value so the loop-top increment
+    /// reproduces it exactly.
+    pub(crate) fn restore(
         log: &CheckpointLog,
         idx: usize,
         golden_outputs: &[u64],
         machine: &mut Machine,
-        dirty: &mut Vec<u32>,
+        dirty: &mut Vec<(u32, u32)>,
     ) -> ExecState {
         let ck = &log.checkpoints[idx];
         for &(w, v) in &ck.mem_image {
+            dirty.push((w, machine.memory.word(w)));
             machine.memory.set_word(w, v);
-            dirty.push(w);
         }
         machine.restore_regs(&ck.regs);
         ExecState {
@@ -263,9 +308,9 @@ impl ExecState {
     }
 
     /// Whether this state equals the golden checkpoint `ck` in every
-    /// component the executor's future depends on. Registers the golden
-    /// suffix overwrites before reading (`ck.live_regs`) may differ — they
-    /// cannot influence anything before they die.
+    /// component the executor's future depends on. Register *bits* the
+    /// golden suffix overwrites before reading (`ck.live_bits`) may differ
+    /// — they cannot influence anything before they die.
     fn matches(&self, machine: &Machine, ck: &Checkpoint) -> bool {
         self.steps == ck.steps
             && (self.func, self.pc) == ck.pos
@@ -273,41 +318,112 @@ impl ExecState {
             && self.mem_digest == ck.mem_digest
             && self.outputs.len() == ck.outputs_len as usize
             && self.stack == ck.stack
-            && regs_match(machine.regs(), &ck.regs, ck.live_regs)
+            && regs_match(machine.regs(), &ck.regs, &ck.live_bits)
     }
 }
 
-/// Register-file equality modulo dynamically dead registers: index `i` may
-/// differ iff `i < 64` and bit `i` of `live` is clear (registers past the
-/// mask width are always compared exactly).
-fn regs_match(mine: &[u64], golden: &[u64], live: RegMask) -> bool {
+/// Register-file equality modulo dynamically dead *bits*: register `i` may
+/// differ exactly in the bits clear in `live[i]`.
+fn regs_match(mine: &[u64], golden: &[u64], live: &[u64]) -> bool {
     debug_assert_eq!(mine.len(), golden.len());
-    mine.iter()
-        .zip(golden)
-        .enumerate()
-        .all(|(i, (a, b))| a == b || (i < 64 && !live.contains(Reg::phys(i as u32))))
+    debug_assert_eq!(mine.len(), live.len());
+    mine.iter().zip(golden).zip(live).all(|((a, b), m)| (a ^ b) & m == 0)
 }
 
-/// The register mask of `r` in a liveness mask (registers past the mask
-/// width contribute nothing; they are compared exactly at convergence).
+/// The register mask of `r` in a read/write mask (registers past the mask
+/// width contribute nothing; the liveness pass keeps them fully live so
+/// convergence compares them exactly).
 fn reg_bit(r: Reg) -> RegMask {
     RegMask::of_saturating(r)
 }
 
-/// Registers read/written by one instruction, as bitmasks.
-fn inst_rw(inst: &Inst) -> (RegMask, RegMask) {
+/// The read/write event of one instruction: read/written register masks
+/// plus the per-bit refinement of how the reads feed the result.
+pub(crate) fn inst_rw(inst: &Inst, xlen_mask: u64) -> RwEvent {
+    let full = RwEvent::full;
+    let per_bit = |reads: RegMask, rd: Reg, mask: u64| RwEvent {
+        reads,
+        writes: reg_bit(rd),
+        precision: ReadPrecision::PerBit { rd, mask },
+    };
     match inst {
-        Inst::Alu { rd, rs1, rs2, .. } => (reg_bit(*rs1).union(reg_bit(*rs2)), reg_bit(*rd)),
-        Inst::AluImm { rd, rs1, .. } => (reg_bit(*rs1), reg_bit(*rd)),
-        Inst::Li { rd, .. } | Inst::La { rd, .. } => (RegMask::empty(), reg_bit(*rd)),
-        Inst::Mv { rd, rs }
-        | Inst::Neg { rd, rs }
-        | Inst::Seqz { rd, rs }
-        | Inst::Snez { rd, rs } => (reg_bit(*rs), reg_bit(*rd)),
-        Inst::Load { rd, base, .. } => (reg_bit(*base), reg_bit(*rd)),
-        Inst::Store { rs, base, .. } => (reg_bit(*rs).union(reg_bit(*base)), RegMask::empty()),
-        Inst::Print { rs } => (reg_bit(*rs), RegMask::empty()),
-        Inst::Call { .. } | Inst::Nop => (RegMask::empty(), RegMask::empty()),
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            let reads = reg_bit(*rs1).union(reg_bit(*rs2));
+            match op {
+                // Bit i of the result depends only on bit i of each source.
+                AluOp::And | AluOp::Or | AluOp::Xor => per_bit(reads, *rd, xlen_mask),
+                _ => full(reads, reg_bit(*rd)),
+            }
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            let reads = reg_bit(*rs1);
+            let imm = *imm as u64 & xlen_mask;
+            match op {
+                // `andi` keeps only the bits set in the immediate; `ori`
+                // forces the bits set in the immediate, so only the clear
+                // ones still come from the source.
+                AluOp::And => per_bit(reads, *rd, imm),
+                AluOp::Or => per_bit(reads, *rd, !imm & xlen_mask),
+                AluOp::Xor => per_bit(reads, *rd, xlen_mask),
+                _ => full(reads, reg_bit(*rd)),
+            }
+        }
+        Inst::Li { rd, .. } | Inst::La { rd, .. } => full(RegMask::empty(), reg_bit(*rd)),
+        Inst::Mv { rd, rs } => per_bit(reg_bit(*rs), *rd, xlen_mask),
+        Inst::Neg { rd, rs } | Inst::Seqz { rd, rs } | Inst::Snez { rd, rs } => {
+            full(reg_bit(*rs), reg_bit(*rd))
+        }
+        Inst::Load { rd, base, .. } => full(reg_bit(*base), reg_bit(*rd)),
+        Inst::Store { rs, base, width, .. } => {
+            let width_mask = match width.bytes() {
+                b if b >= 8 => xlen_mask,
+                b => (1u64 << (b * 8)) - 1,
+            };
+            RwEvent {
+                reads: reg_bit(*rs).union(reg_bit(*base)),
+                writes: RegMask::empty(),
+                // When the value register is also the base, the address
+                // needs all of it live — fall back to the full rule.
+                precision: if rs == base {
+                    ReadPrecision::Full
+                } else {
+                    ReadPrecision::StoreValue { rs: *rs, mask: width_mask & xlen_mask }
+                },
+            }
+        }
+        Inst::Print { rs } => full(reg_bit(*rs), RegMask::empty()),
+        Inst::Call { .. } | Inst::Nop => RwEvent::empty(),
+    }
+}
+
+/// Folds one executed cycle into the running backward-liveness vector
+/// (`live[i]` = bits of register `i` the suffix observes before
+/// overwriting). Gen masks derive from the liveness *after* the
+/// instruction, so they are computed before the kill — a register that is
+/// both read and written (e.g. `addi t0, t0, -1`) stays live.
+pub(crate) fn apply_rw_backward(live: &mut [u64], ev: &RwEvent, xlen_mask: u64) {
+    // The shared gen mask is derived from post-instruction liveness, so it
+    // is computed before the kill (PerBit writes exactly `rd`; the other
+    // precisions don't read `live` at all).
+    let shared_gen = match ev.precision {
+        ReadPrecision::Full | ReadPrecision::StoreValue { .. } => xlen_mask,
+        ReadPrecision::PerBit { rd, mask } => {
+            live.get(rd.index() as usize).copied().unwrap_or(u64::MAX) & mask
+        }
+    };
+    for w in ev.writes.iter() {
+        if let Some(m) = live.get_mut(w.index() as usize) {
+            *m = 0;
+        }
+    }
+    for r in ev.reads.iter() {
+        let g = match ev.precision {
+            ReadPrecision::StoreValue { rs, mask } if r == rs => mask,
+            _ => shared_gen,
+        };
+        if let Some(m) = live.get_mut(r.index() as usize) {
+            *m |= g;
+        }
     }
 }
 
@@ -323,7 +439,9 @@ fn inst_rw(inst: &Inst) -> (RegMask, RegMask) {
 /// profile and cycle→point map). `capture` records periodic checkpoints
 /// into the given log (golden runs). `resume` restores the nearest
 /// checkpoint at or before the fault cycle and enables the convergence
-/// early-exit (fault runs; requires `fault`).
+/// early-exit (fault runs; requires `fault`). `start` begins execution
+/// from an explicit mid-run state instead (forked bitsliced lanes; the
+/// machine must already hold that state).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run(
     flat: &FlatProgram<'_>,
@@ -332,8 +450,9 @@ pub(crate) fn run(
     record: bool,
     mut capture: Option<&mut CheckpointLog>,
     resume: Option<ResumeCtx<'_>>,
+    start: Option<ExecState>,
     machine: &mut Machine,
-    dirty: &mut Vec<u32>,
+    dirty: &mut Vec<(u32, u32)>,
 ) -> RunVerdict {
     let mut profile = record.then(ExecProfile::new);
     let mut cycle_map = record.then(Vec::new);
@@ -354,8 +473,9 @@ pub(crate) fn run(
     let mut delta_start = dirty.len();
     let mut cum_image: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
 
-    let mut st = match &resume {
-        Some(ctx) if ctx.log.is_enabled() => {
+    let mut st = match (start, &resume) {
+        (Some(state), _) => state,
+        (None, Some(ctx)) if ctx.log.is_enabled() => {
             let f = fault.expect("resumed runs inject a fault");
             let idx = ctx.log.nearest_at_or_before(f.cycle);
             ExecState::restore(ctx.log, idx, ctx.golden_outputs, machine, dirty)
@@ -394,7 +514,7 @@ pub(crate) fn run(
         // Canonical cycle boundary: the next step consumes a cycle.
         if let Some(log) = capture.as_deref_mut() {
             if log.interval > 0 && st.cycle == log.checkpoints.len() as u64 * log.interval {
-                for &w in &dirty[delta_start..] {
+                for &(w, _) in &dirty[delta_start..] {
                     cum_image.insert(w, machine.memory.word(w));
                 }
                 delta_start = dirty.len();
@@ -408,7 +528,8 @@ pub(crate) fn run(
                     mem_digest: st.mem_digest,
                     outputs_len: st.outputs.len() as u32,
                     mem_image: cum_image.iter().map(|(&w, &v)| (w, v)).collect(),
-                    live_regs: RegMask(u64::MAX),
+                    // Exact comparison until the liveness pass runs.
+                    live_bits: vec![u64::MAX; machine.regs().len()],
                 });
             }
         }
@@ -442,15 +563,16 @@ pub(crate) fn run(
         }
         st.cycle += 1;
 
-        // Per-cycle read/write masks feed the liveness backward pass; the
+        // Per-cycle read/write events feed the liveness backward pass; the
         // derivation is only paid on capturing (golden) runs — `track_rw`
         // is false in the campaign hot path.
         let track_rw = rw_map.is_some();
-        let rw: (RegMask, RegMask);
+        let xlen_mask = machine.config().truncate(u64::MAX);
+        let rw: RwEvent;
         match step {
             FlatStep::Goto { .. } => unreachable!("handled above"),
             FlatStep::Inst { inst, .. } => {
-                rw = if track_rw { inst_rw(inst) } else { (RegMask::empty(), RegMask::empty()) };
+                rw = if track_rw { inst_rw(inst, xlen_mask) } else { RwEvent::empty() };
                 let digest = track_digest.then_some(&mut st.mem_digest);
                 match step_inst(machine, inst, &mut st.hash, &mut st.outputs, digest, dirty) {
                     StepResult::Next => st.pc += 1,
@@ -458,12 +580,12 @@ pub(crate) fn run(
                 }
             }
             FlatStep::La { rd, addr, .. } => {
-                rw = (RegMask::empty(), reg_bit(*rd));
+                rw = RwEvent::full(RegMask::empty(), reg_bit(*rd));
                 machine.write(*rd, *addr);
                 st.pc += 1;
             }
             FlatStep::Call { callee, .. } => {
-                rw = (RegMask::empty(), reg_bit(Reg::RA));
+                rw = RwEvent::full(RegMask::empty(), reg_bit(Reg::RA));
                 if st.stack.len() >= 512 {
                     break LoopEnd::Outcome(ExecOutcome::Crashed(CrashKind::StackOverflow));
                 }
@@ -477,7 +599,10 @@ pub(crate) fn run(
                 st.pc = flat.funcs[*callee as usize].entry_pc;
             }
             FlatStep::Branch { cond, rs1, rs2, taken, fall, .. } => {
-                rw = (rs2.map(reg_bit).unwrap_or_default().union(reg_bit(*rs1)), RegMask::empty());
+                rw = RwEvent::full(
+                    rs2.map(reg_bit).unwrap_or_default().union(reg_bit(*rs1)),
+                    RegMask::empty(),
+                );
                 let a = machine.read(*rs1);
                 let b = rs2.map(|r| machine.read(r)).unwrap_or(0);
                 st.pc = if eval_cond(machine.config(), *cond, a, b) { *taken } else { *fall };
@@ -496,13 +621,13 @@ pub(crate) fn run(
                         st.outputs.push(v);
                     }
                     if let Some(m) = rw_map.as_mut() {
-                        m.push((r_mask, RegMask::empty()));
+                        m.push(RwEvent::full(r_mask, RegMask::empty()));
                     }
                     break LoopEnd::Outcome(ExecOutcome::Completed);
                 }
                 Some(frame) => {
                     let have_ra = machine.config().num_regs == 32;
-                    rw = (
+                    rw = RwEvent::full(
                         if have_ra { reg_bit(Reg::RA) } else { RegMask::empty() },
                         RegMask::empty(),
                     );
@@ -543,18 +668,36 @@ pub(crate) fn run(
     }
 }
 
-enum StepResult {
+/// Runs the tail of a forked bitsliced lane: `machine` and `state` hold
+/// the lane's exact mid-run state (as the scalar engine would have reached
+/// it), and the run executes to a terminal outcome with no convergence
+/// checks — a forked lane has already diverged from the golden trace, so
+/// it can never match a golden checkpoint again.
+pub(crate) fn run_tail(
+    flat: &FlatProgram<'_>,
+    max_cycles: u64,
+    state: ExecState,
+    machine: &mut Machine,
+    dirty: &mut Vec<(u32, u32)>,
+) -> RawRun {
+    match run(flat, max_cycles, None, false, None, None, Some(state), machine, dirty) {
+        RunVerdict::Finished(raw) => raw,
+        RunVerdict::Converged { .. } => unreachable!("tails run without a resume context"),
+    }
+}
+
+pub(crate) enum StepResult {
     Next,
     Trap(CrashKind),
 }
 
-fn step_inst(
+pub(crate) fn step_inst(
     m: &mut Machine,
     inst: &Inst,
     hash: &mut TraceHash,
     outputs: &mut Vec<u64>,
     digest: Option<&mut u128>,
-    dirty: &mut Vec<u32>,
+    dirty: &mut Vec<(u32, u32)>,
 ) -> StepResult {
     let c = *m.config();
     match inst {
@@ -607,12 +750,12 @@ fn step_inst(
             // A size-aligned store of ≤4 bytes never crosses a 32-bit word
             // boundary, so exactly one word's digest contribution changes.
             let widx = (addr >> 2) as u32;
-            let old = digest.is_some().then(|| m.memory.word(widx));
+            let old = m.memory.word(widx);
             if !m.memory.store(addr, size, value) {
                 return StepResult::Trap(CrashKind::MemOutOfBounds);
             }
-            dirty.push(widx);
-            if let (Some(d), Some(old)) = (digest, old) {
+            dirty.push((widx, old));
+            if let Some(d) = digest {
                 *d ^= mem_mix(widx, old) ^ mem_mix(widx, m.memory.word(widx));
             }
             hash.update(0x20 ^ addr.rotate_left(8));
@@ -651,15 +794,43 @@ mod tests {
             Inst::Snez { rd: r(14), rs: r(15) },
             Inst::Load { rd: r(16), base: r(17), offset: 0, width: MemWidth::Word, signed: false },
             Inst::Store { rs: r(18), base: r(19), offset: 4, width: MemWidth::Half },
+            Inst::Store { rs: r(21), base: r(21), offset: 0, width: MemWidth::Word },
             Inst::Call { callee: "f".into() },
             Inst::Print { rs: r(20) },
             Inst::Nop,
         ];
         let mask = |regs: &[Reg]| regs.iter().fold(RegMask::empty(), |m, &r| m.union(reg_bit(r)));
         for inst in &insts {
-            let (reads, writes) = inst_rw(inst);
-            assert_eq!(reads, mask(&inst.reads()), "{inst:?}: reads");
-            assert_eq!(writes, mask(&inst.writes()), "{inst:?}: writes");
+            let ev = inst_rw(inst, u64::MAX);
+            assert_eq!(ev.reads, mask(&inst.reads()), "{inst:?}: reads");
+            assert_eq!(ev.writes, mask(&inst.writes()), "{inst:?}: writes");
         }
+    }
+
+    /// The per-bit refinements: masking immediates propagate exactly the
+    /// surviving bits; a store observes only the stored width; a store
+    /// whose value doubles as the base falls back to fully-live.
+    #[test]
+    fn inst_rw_per_bit_precision() {
+        let r = Reg::phys;
+        let xlen = 0xffff_ffffu64;
+        let andi = Inst::AluImm { op: AluOp::And, rd: r(1), rs1: r(2), imm: 0b101 };
+        assert_eq!(inst_rw(&andi, xlen).precision, ReadPrecision::PerBit { rd: r(1), mask: 0b101 });
+        let ori = Inst::AluImm { op: AluOp::Or, rd: r(1), rs1: r(2), imm: 0xff };
+        assert_eq!(
+            inst_rw(&ori, xlen).precision,
+            ReadPrecision::PerBit { rd: r(1), mask: 0xffff_ff00 }
+        );
+        let xor = Inst::Alu { op: AluOp::Xor, rd: r(1), rs1: r(2), rs2: r(3) };
+        assert_eq!(inst_rw(&xor, xlen).precision, ReadPrecision::PerBit { rd: r(1), mask: xlen });
+        let sb = Inst::Store { rs: r(4), base: r(5), offset: 0, width: MemWidth::Byte };
+        assert_eq!(
+            inst_rw(&sb, xlen).precision,
+            ReadPrecision::StoreValue { rs: r(4), mask: 0xff }
+        );
+        let self_store = Inst::Store { rs: r(6), base: r(6), offset: 0, width: MemWidth::Byte };
+        assert_eq!(inst_rw(&self_store, xlen).precision, ReadPrecision::Full);
+        let add = Inst::Alu { op: AluOp::Add, rd: r(1), rs1: r(2), rs2: r(3) };
+        assert_eq!(inst_rw(&add, xlen).precision, ReadPrecision::Full);
     }
 }

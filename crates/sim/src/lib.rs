@@ -47,6 +47,7 @@
 //! # Ok::<(), bec_ir::IrError>(())
 //! ```
 
+pub mod bitslice;
 pub mod campaign;
 pub mod checkpoint;
 pub mod exec;
@@ -59,11 +60,12 @@ pub mod study;
 pub mod trace;
 pub mod validate;
 
+pub use bitslice::Engine;
 pub use campaign::{CampaignKind, CampaignSummary};
 pub use checkpoint::{default_checkpoint_interval, Checkpoint, CheckpointLog};
 pub use exec::{CrashKind, ExecOutcome};
 pub use machine::{FaultSpec, Machine, Memory};
-pub use pool::{run_sharded, run_sharded_with, PoolStats};
+pub use pool::{run_sharded, run_sharded_engine, run_sharded_with, PoolStats};
 pub use runner::{FaultRun, GoldenRun, Injector, RunResult, SimLimits, Simulator};
 pub use shard::{
     site_fault_space, CampaignReport, CampaignSpec, FaultOutcome, ShardPlan, ShardResult,

@@ -35,6 +35,7 @@
 //! # Ok::<(), bec_ir::IrError>(())
 //! ```
 
+use crate::bitslice::{batch_eligible, BatchCounters, BatchRunner, Engine, LaneRun};
 use crate::checkpoint::CheckpointLog;
 use crate::runner::{GoldenRun, Simulator};
 use crate::shard::{CampaignReport, FaultOutcome, ShardPlan, ShardResult};
@@ -55,9 +56,19 @@ pub struct PoolStats {
     pub executed_shards: usize,
     /// Shards reused from the resumed report.
     pub resumed_shards: usize,
-    /// Runs that early-exited by converging with the golden run (always 0
-    /// with a disabled checkpoint log).
+    /// Individual fault runs that early-exited by converging with the
+    /// golden run (always 0 with a disabled checkpoint log). Counted per
+    /// fault on both engines — a bitsliced batch with 32 converged lanes
+    /// contributes 32 — so scalar and bitsliced campaigns report the same
+    /// number.
     pub early_exits: u64,
+    /// Bitsliced batches executed (0 on the scalar engine).
+    pub batches: u64,
+    /// Faults executed as bitsliced lanes (0 on the scalar engine).
+    pub batched_lanes: u64,
+    /// Lanes forked out to a scalar tail on divergence (0 on the scalar
+    /// engine).
+    pub forked_lanes: u64,
 }
 
 impl PoolStats {
@@ -103,6 +114,9 @@ pub fn run_sharded(
 /// executed shard on its worker's timeline), logical `campaign.*`
 /// counters/histograms merged worker-count-independently, `pool.*`
 /// gauges and a throttled live progress meter on stderr.
+///
+/// Runs the default [`Engine`]; [`run_sharded_engine`] selects one
+/// explicitly.
 #[allow(clippy::too_many_arguments)]
 pub fn run_sharded_with(
     sim: &Simulator<'_>,
@@ -112,6 +126,28 @@ pub fn run_sharded_with(
     workers: usize,
     resume: Option<CampaignReport>,
     label: &str,
+    tel: &Telemetry,
+) -> Result<(CampaignReport, PoolStats), String> {
+    run_sharded_engine(sim, golden, ckpts, plan, workers, resume, label, Engine::default(), tel)
+}
+
+/// [`run_sharded_with`] with an explicit per-fault execution [`Engine`].
+///
+/// The engine is a wall-clock lever only: the report bytes are identical
+/// across engines and worker counts (`tests/bitslice_equivalence.rs`).
+/// The bitsliced engine silently falls back to the scalar one when the
+/// campaign cannot batch (disabled checkpoints, an incomplete or
+/// over-budget golden run, or more registers than lanes).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_engine(
+    sim: &Simulator<'_>,
+    golden: &GoldenRun,
+    ckpts: &CheckpointLog,
+    plan: &ShardPlan,
+    workers: usize,
+    resume: Option<CampaignReport>,
+    label: &str,
+    engine: Engine,
     tel: &Telemetry,
 ) -> Result<(CampaignReport, PoolStats), String> {
     let started = Instant::now();
@@ -159,6 +195,12 @@ pub fn run_sharded_with(
     let planned_runs: u64 = pending.iter().map(|&s| plan.shard(s).len() as u64).sum();
     let next = AtomicUsize::new(0);
     let early = AtomicU64::new(0);
+    let batches = AtomicU64::new(0);
+    let batched_lanes = AtomicU64::new(0);
+    let forked_lanes = AtomicU64::new(0);
+    // One decision for the whole pool: batching requires exactly the
+    // conditions the scalar convergence early-exit needs.
+    let use_batch = engine == Engine::Bitsliced && batch_eligible(sim, ckpts);
     let (tx, rx) = std::sync::mpsc::channel::<ShardResult>();
 
     let _span = tel
@@ -177,9 +219,16 @@ pub fn run_sharded_with(
             let next = &next;
             let early = &early;
             let pending = &pending;
+            let batches = &batches;
+            let batched_lanes = &batched_lanes;
+            let forked_lanes = &forked_lanes;
             scope.spawn(move || {
-                // One scratch machine per worker, reused across all runs.
-                let mut injector = sim.injector();
+                // One scratch machine per worker, reused across all runs —
+                // a scalar injector or a bitsliced batch runner.
+                let mut injector = (!use_batch).then(|| sim.injector());
+                let mut batcher = use_batch.then(|| BatchRunner::new(sim));
+                let mut lane_runs: Vec<LaneRun> = Vec::new();
+                let mut counters = BatchCounters::default();
                 // Telemetry is aggregated locally and merged once per
                 // worker: the merge is associative and commutative, so the
                 // registry totals are independent of the worker count.
@@ -196,20 +245,38 @@ pub fn run_sharded_with(
                     let _shard_span =
                         tel.span_on(tid, "shard").arg("shard", shard).arg("runs", faults.len());
                     let mut converged = 0u64;
-                    let outcomes: Vec<FaultOutcome> = faults
-                        .iter()
-                        .map(|&fault| {
-                            let run = injector.run_fault(golden, ckpts, fault.spec);
-                            run_cycles.observe(run.simulated_cycles);
-                            restore_distance
-                                .observe(fault.spec.cycle.saturating_sub(run.restored_at));
-                            if run.converged_at.is_some() {
-                                converged += 1;
-                                saved += golden.cycles().saturating_sub(run.simulated_cycles);
-                            }
-                            FaultOutcome { fault, class: run.class }
-                        })
-                        .collect();
+                    // Per-fault accounting is engine-independent: a lane
+                    // observes exactly what its scalar run would have.
+                    let mut observe = |fault: &crate::shard::SitedFault, run: &LaneRun| {
+                        run_cycles.observe(run.simulated_cycles);
+                        restore_distance.observe(fault.spec.cycle.saturating_sub(run.restored_at));
+                        if run.converged_at.is_some() {
+                            converged += 1;
+                            saved += golden.cycles().saturating_sub(run.simulated_cycles);
+                        }
+                        FaultOutcome { fault: *fault, class: run.class }
+                    };
+                    let outcomes: Vec<FaultOutcome> = if let Some(b) = batcher.as_mut() {
+                        b.run_shard(golden, ckpts, faults, &mut counters, &mut lane_runs);
+                        faults.iter().zip(&lane_runs).map(|(f, r)| observe(f, r)).collect()
+                    } else {
+                        let injector = injector.as_mut().expect("scalar worker");
+                        faults
+                            .iter()
+                            .map(|fault| {
+                                let run = injector.run_fault(golden, ckpts, fault.spec);
+                                observe(
+                                    fault,
+                                    &LaneRun {
+                                        class: run.class,
+                                        converged_at: run.converged_at,
+                                        simulated_cycles: run.simulated_cycles,
+                                        restored_at: run.restored_at,
+                                    },
+                                )
+                            })
+                            .collect()
+                    };
                     exits += converged;
                     early.fetch_add(converged, Ordering::Relaxed);
                     // One batched send per shard; a dropped receiver means
@@ -224,6 +291,15 @@ pub fn run_sharded_with(
                 tel.add("campaign.simulated_cycles", run_cycles.sum);
                 tel.add("campaign.early_exits", exits);
                 tel.add("campaign.saved_cycles", saved);
+                if use_batch {
+                    tel.merge_hist("campaign.lane_occupancy", &counters.occupancy);
+                    tel.add("campaign.batches", counters.batches);
+                    tel.add("campaign.batched_lanes", counters.batched_lanes);
+                    tel.add("campaign.forked_lanes", counters.forked_lanes);
+                    batches.fetch_add(counters.batches, Ordering::Relaxed);
+                    batched_lanes.fetch_add(counters.batched_lanes, Ordering::Relaxed);
+                    forked_lanes.fetch_add(counters.forked_lanes, Ordering::Relaxed);
+                }
             });
         }
         drop(tx);
@@ -250,6 +326,9 @@ pub fn run_sharded_with(
         executed_shards: pending.len(),
         resumed_shards,
         early_exits: early.load(Ordering::Relaxed),
+        batches: batches.load(Ordering::Relaxed),
+        batched_lanes: batched_lanes.load(Ordering::Relaxed),
+        forked_lanes: forked_lanes.load(Ordering::Relaxed),
     };
     stats.record(tel);
     Ok((report, stats))

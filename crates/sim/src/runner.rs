@@ -3,11 +3,11 @@
 //! [`crate::checkpoint`]).
 
 use crate::checkpoint::CheckpointLog;
-use crate::exec::{run, ExecOutcome, FlatProgram, ResumeCtx, RunVerdict};
-use crate::machine::{FaultSpec, Machine, Memory};
+use crate::exec::{apply_rw_backward, run, ExecOutcome, FlatProgram, ResumeCtx, RunVerdict};
+use crate::machine::{FaultSpec, Machine};
 use crate::trace::{FaultClass, TraceHash};
 use bec_core::ExecProfile;
-use bec_ir::{PointId, Program, RegMask};
+use bec_ir::{PointId, Program};
 use std::collections::HashMap;
 
 /// Resource limits for a run.
@@ -172,8 +172,8 @@ pub struct FaultRun {
 #[derive(Clone, Debug)]
 pub struct Simulator<'p> {
     program: &'p Program,
-    flat: FlatProgram<'p>,
-    limits: SimLimits,
+    pub(crate) flat: FlatProgram<'p>,
+    pub(crate) limits: SimLimits,
 }
 
 impl<'p> Simulator<'p> {
@@ -235,27 +235,42 @@ impl<'p> Simulator<'p> {
             true,
             capture.as_deref_mut(),
             None,
+            None,
             &mut machine,
             &mut dirty,
         );
         let RunVerdict::Finished(raw) = verdict else {
             unreachable!("golden runs cannot converge-exit")
         };
-        // Backward dynamic-liveness pass: which registers does the suffix
-        // from each checkpoint read before overwriting? Anything else may
-        // differ at convergence time without influencing the future.
+        // Backward dynamic-liveness pass, at bit granularity: which
+        // register *bits* does the suffix from each checkpoint observe
+        // before overwriting? Anything else may differ at convergence time
+        // without influencing the future. Walked once in reverse with the
+        // running live vector snapshotted at each checkpoint cycle, so the
+        // pass is O(trace) time and O(regs) extra space.
         if let Some(log) = capture {
             let rw = raw.rw_map.as_deref().unwrap_or(&[]);
-            let n = raw.cycles as usize;
-            let mut live_at = vec![RegMask::empty(); n + 1];
-            let mut live = RegMask::empty();
-            for c in (0..n).rev() {
-                let (reads, writes) = rw.get(c).copied().unwrap_or_default();
-                live = live.difference(writes).union(reads);
-                live_at[c] = live;
+            let nregs = machine.regs().len();
+            let xlen_mask = machine.config().truncate(u64::MAX);
+            let mut live = vec![0u64; nregs];
+            // Registers past the read/write mask width never appear in the
+            // events; keep them fully live (exact comparison), matching
+            // their all-ones initialization in the capture.
+            for m in live.iter_mut().skip(64) {
+                *m = u64::MAX;
             }
-            for ck in &mut log.checkpoints {
-                ck.live_regs = live_at[ck.cycle as usize];
+            let mut next_ck = log.checkpoints.len();
+            for c in (0..raw.cycles as usize).rev() {
+                if let Some(ev) = rw.get(c) {
+                    apply_rw_backward(&mut live, ev, xlen_mask);
+                }
+                // `live` now holds liveness at the boundary *before* the
+                // instruction at cycle `c` — exactly what a checkpoint
+                // captured at cycle `c` compares against.
+                while next_ck > 0 && log.checkpoints[next_ck - 1].cycle == c as u64 {
+                    next_ck -= 1;
+                    log.checkpoints[next_ck].live_bits.copy_from_slice(&live);
+                }
             }
         }
         let cycle_map = raw.cycle_map.expect("recording enabled");
@@ -302,6 +317,7 @@ impl<'p> Simulator<'p> {
             false,
             None,
             None,
+            None,
             &mut machine,
             &mut dirty,
         );
@@ -316,13 +332,7 @@ impl<'p> Simulator<'p> {
     /// of faults without re-allocating the address space.
     pub fn injector(&self) -> Injector<'p, '_> {
         let machine = Machine::new(self.program);
-        Injector {
-            sim: self,
-            initial_regs: machine.regs().to_vec(),
-            initial_mem: machine.memory.clone(),
-            machine,
-            dirty: Vec::new(),
-        }
+        Injector { sim: self, initial_regs: machine.regs().to_vec(), machine, dirty: Vec::new() }
     }
 
     /// Runs one fault through a fresh [`Injector`]; see
@@ -339,13 +349,14 @@ impl<'p> Simulator<'p> {
 }
 
 /// A reusable fault-injection context: one scratch [`Machine`] plus the
-/// pristine initial state, undone word-by-word between runs.
+/// pristine initial register file. Memory is undone through the dirty log,
+/// which records each written word's previous value — popping it in
+/// reverse restores the exact pre-run image with no pristine copy held.
 pub struct Injector<'p, 's> {
     sim: &'s Simulator<'p>,
     machine: Machine,
     initial_regs: Vec<u64>,
-    initial_mem: Memory,
-    dirty: Vec<u32>,
+    dirty: Vec<(u32, u32)>,
 }
 
 impl Injector<'_, '_> {
@@ -378,15 +389,16 @@ impl Injector<'_, '_> {
             false,
             None,
             Some(resume),
+            None,
             &mut self.machine,
             &mut self.dirty,
         );
-        // Undo the run: restore every dirtied word from the pristine image
-        // and reset the register file, leaving the scratch machine in
-        // initial state for the next fault.
+        // Undo the run: pop the dirty log in reverse, restoring each
+        // word's recorded previous value, and reset the register file,
+        // leaving the scratch machine in initial state for the next fault.
         self.machine.restore_regs(&self.initial_regs);
-        for w in self.dirty.drain(..) {
-            self.machine.memory.set_word(w, self.initial_mem.word(w));
+        while let Some((w, old)) = self.dirty.pop() {
+            self.machine.memory.set_word(w, old);
         }
         match verdict {
             RunVerdict::Converged { cycle, simulated } => FaultRun {

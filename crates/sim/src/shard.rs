@@ -85,11 +85,16 @@ impl FaultOutcome {
 }
 
 /// Enumerates the full statically-classified fault space of `program`, in
-/// canonical order (function, point, register, bit, occurrence).
+/// canonical order (function, point, occurrence, register, bit).
 ///
 /// Unlike [`crate::campaign::value_level_faults`], dead (statically masked)
 /// sites are included — they are exactly the claims a differential campaign
 /// must test.
+///
+/// Occurrence-major order keeps every fault of one injection cycle — all
+/// read registers, all bits — contiguous, so the contiguous shard split
+/// preserves whole same-cycle groups and the bitsliced engine packs full
+/// batches out of each shard.
 pub fn site_fault_space(
     program: &Program,
     bec: &BecAnalysis,
@@ -98,14 +103,31 @@ pub fn site_fault_space(
     let occs = occurrence_map(golden);
     let mut out = Vec::new();
     for (fi, fa) in bec.functions().iter().enumerate() {
+        // Regroup the (point, register) site pairs by point, preserving
+        // first-appearance order.
+        let mut points: Vec<(_, Vec<Reg>)> = Vec::new();
         for (p, r) in fa.coalescing.nodes().site_pairs() {
+            match points.last_mut() {
+                Some((lp, regs)) if *lp == p => regs.push(r),
+                _ => points.push((p, vec![r])),
+            }
+        }
+        for (p, regs) in points {
             let Some(cycles) = occs.get(&(fi, p)) else { continue };
-            for bit in 0..program.config.xlen {
-                let masked = bec
-                    .site_verdict(fi, p, r, bit)
-                    .expect("accessed site has a verdict")
-                    .is_masked();
-                for (k, &c) in cycles.iter().enumerate() {
+            // The per-(register, bit) verdicts are occurrence-independent;
+            // hoist them out of the occurrence loop.
+            let mut verdicts = Vec::with_capacity(regs.len() * program.config.xlen as usize);
+            for &r in &regs {
+                for bit in 0..program.config.xlen {
+                    let masked = bec
+                        .site_verdict(fi, p, r, bit)
+                        .expect("accessed site has a verdict")
+                        .is_masked();
+                    verdicts.push((r, bit, masked));
+                }
+            }
+            for (k, &c) in cycles.iter().enumerate() {
+                for &(r, bit, masked) in &verdicts {
                     out.push(SitedFault {
                         spec: FaultSpec { cycle: golden.window_open_cycle(c), reg: r, bit },
                         func: fi as u32,
@@ -501,8 +523,10 @@ exit:
         assert!(space.len() > 288, "{}", space.len());
         assert!(space.iter().any(|f| f.masked));
         assert!(space.iter().any(|f| !f.masked));
-        // Canonical order is strictly increasing on the provenance key.
-        let key = |f: &SitedFault| (f.func, f.point.0, f.spec.reg, f.spec.bit, f.occurrence);
+        // Canonical order is strictly increasing on the provenance key —
+        // occurrence-major, so every fault of one injection cycle is
+        // contiguous (full batches for the bitsliced engine).
+        let key = |f: &SitedFault| (f.func, f.point.0, f.occurrence, f.spec.reg, f.spec.bit);
         assert!(space.windows(2).all(|w| key(&w[0]) < key(&w[1])));
     }
 

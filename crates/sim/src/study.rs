@@ -43,6 +43,7 @@
 //! # Ok::<(), bec_ir::IrError>(())
 //! ```
 
+use crate::bitslice::Engine;
 use crate::checkpoint::{default_checkpoint_interval, CheckpointLog};
 use crate::json::Json;
 use crate::pool::{self, PoolStats};
@@ -79,6 +80,8 @@ pub struct StudySpec {
     /// Checkpoint spacing; `None` derives from the trace length, 0 runs
     /// the from-scratch engine. Never influences report bytes.
     pub checkpoint_interval: Option<u64>,
+    /// Per-fault execution engine. Never influences report bytes.
+    pub engine: Engine,
 }
 
 impl Default for StudySpec {
@@ -90,6 +93,7 @@ impl Default for StudySpec {
             workers: 1,
             max_cycles: None,
             checkpoint_interval: None,
+            engine: Engine::default(),
         }
     }
 }
@@ -172,8 +176,17 @@ pub fn run_campaign_with(
 
     let cspec = CampaignSpec { seed: spec.seed, sample: spec.sample, shards: spec.shards };
     let plan = ShardPlan::build(site_fault_space(program, bec, &golden), cspec);
-    let (report, stats) =
-        pool::run_sharded_with(&sim, &golden, &ckpts, &plan, spec.workers, resume, label, tel)?;
+    let (report, stats) = pool::run_sharded_engine(
+        &sim,
+        &golden,
+        &ckpts,
+        &plan,
+        spec.workers,
+        resume,
+        label,
+        spec.engine,
+        tel,
+    )?;
     Ok(CampaignRun { report, stats, interval, golden })
 }
 
@@ -706,8 +719,10 @@ exit:
         let a = toy_campaign(&base);
         let b = toy_campaign(&StudySpec { workers: 4, checkpoint_interval: Some(0), ..base });
         let c = toy_campaign(&StudySpec { checkpoint_interval: Some(4), ..base });
+        let d = toy_campaign(&StudySpec { engine: Engine::Scalar, ..base });
         assert_eq!(a.report, b.report);
         assert_eq!(a.report, c.report);
+        assert_eq!(a.report, d.report);
         assert_eq!(a.report.to_json().render(), b.report.to_json().render());
         assert!(a.report.is_complete());
         assert_eq!(a.report.runs(), 30);

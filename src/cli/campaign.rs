@@ -15,7 +15,7 @@ use bec_core::{report, BecAnalysis};
 use bec_sim::json::Json;
 use bec_sim::shard::CampaignReport;
 use bec_sim::study::{run_campaign_with, StudySpec, DEFAULT_SEED, DEFAULT_SHARDS};
-use bec_sim::{FaultClass, PoolStats};
+use bec_sim::{Engine, FaultClass, PoolStats};
 use bec_telemetry::Telemetry;
 
 struct Flags {
@@ -23,6 +23,10 @@ struct Flags {
     seed: u64,
     shards: u32,
     workers: usize,
+    /// Per-fault execution engine. Never influences the report bytes —
+    /// the bitsliced engine is a wall-clock lever, exactly like the
+    /// checkpoint interval.
+    engine: Engine,
     report_path: Option<String>,
     resume_path: Option<String>,
     /// Per-run cycle budget; `None` picks `100 × golden + 10k`, enough for
@@ -41,6 +45,7 @@ fn parse_flags(args: &CommonArgs) -> Result<Flags, CliError> {
         seed: DEFAULT_SEED,
         shards: DEFAULT_SHARDS,
         workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        engine: Engine::default(),
         report_path: None,
         resume_path: None,
         max_cycles: None,
@@ -84,6 +89,12 @@ fn parse_flags(args: &CommonArgs) -> Result<Flags, CliError> {
                     return Err(CliError::usage("--workers must be at least 1"));
                 }
                 flags.workers = n;
+            }
+            "--engine" => {
+                let v = value("--engine")?;
+                flags.engine = Engine::parse(&v).ok_or_else(|| {
+                    CliError::usage(format!("unknown engine `{v}` (expected scalar or bitsliced)"))
+                })?;
             }
             "--report" => flags.report_path = Some(value("--report")?),
             "--resume" => flags.resume_path = Some(value("--resume")?),
@@ -139,6 +150,7 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
         workers: flags.workers,
         max_cycles: flags.max_cycles,
         checkpoint_interval: flags.checkpoint_interval,
+        engine: flags.engine,
     };
     let tel = Telemetry::enabled();
     let run = run_campaign_with(&args.file, &program, &bec, &spec, resume, &tel)
@@ -159,11 +171,12 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
     if args.json {
         println!(
             "{}",
-            with_engine_metadata(campaign.to_json(), interval, stats.early_exits).render()
+            with_engine_metadata(campaign.to_json(), flags.engine, interval, stats.early_exits)
+                .render()
         );
     } else {
         let fault_space = campaign.fault_space;
-        print_text(args, &campaign, fault_space, interval, stats.early_exits);
+        print_text(args, &campaign, fault_space, flags.engine, interval, stats.early_exits);
     }
 
     if violations.is_empty() {
@@ -195,12 +208,13 @@ pub(super) fn summary_line(runs: u64, stats: &PoolStats) -> String {
 
 /// Appends the engine metadata to the stdout JSON. The `--report` file
 /// stays free of it: the report artifact must be byte-identical across
-/// intervals (and resumable between them), so the interval — and the
-/// interval-dependent (but worker-independent) early-exit count — is
-/// presentation metadata only.
-fn with_engine_metadata(doc: Json, interval: u64, early_exits: u64) -> Json {
+/// engines and intervals (and resumable between them), so the engine
+/// name, the interval and the interval-dependent (but worker- and
+/// engine-independent) early-exit count are presentation metadata only.
+fn with_engine_metadata(doc: Json, engine: Engine, interval: u64, early_exits: u64) -> Json {
     match doc {
         Json::Obj(mut fields) => {
+            fields.push(("engine".to_owned(), Json::str(engine.name())));
             fields.push(("checkpoint_interval".to_owned(), Json::UInt(interval)));
             fields.push(("early_exits".to_owned(), Json::UInt(early_exits)));
             Json::Obj(fields)
@@ -213,6 +227,7 @@ fn print_text(
     args: &CommonArgs,
     campaign: &CampaignReport,
     fault_space: u64,
+    engine: Engine,
     interval: u64,
     early_exits: u64,
 ) {
@@ -222,9 +237,11 @@ fn print_text(
         Some(n) => format!("seeded sample of {} (seed {})", g(n), campaign.spec.seed),
         None => "exhaustive".to_owned(),
     };
+    // Without checkpoints the bitsliced engine has nothing to batch from
+    // and silently degrades to scalar from-scratch runs — say so.
     let engine = match interval {
-        0 => "from-scratch (checkpointing disabled)".to_owned(),
-        n => format!("checkpointed every {} cycles", g(n)),
+        0 => "scalar, from-scratch (checkpointing disabled)".to_owned(),
+        n => format!("{}, checkpointed every {} cycles", engine.name(), g(n)),
     };
     print!(
         "{}",

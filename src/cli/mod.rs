@@ -119,6 +119,7 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
                         | "--report"
                         | "--resume"
                         | "--checkpoint-interval"
+                        | "--engine"
                 ) {
                     if let Some(v) = it.next() {
                         rest.push(v.clone());

@@ -22,7 +22,7 @@ use bec::study::{run_study, StudyConfig};
 use bec_core::{report, BecOptions};
 use bec_sim::json::Json;
 use bec_sim::study::{StudyReport, StudySpec, VariantRecord};
-use bec_sim::{CrossTable, FaultClass};
+use bec_sim::{CrossTable, Engine, FaultClass};
 use bec_telemetry::{Phase, Telemetry};
 use std::collections::BTreeMap;
 
@@ -113,6 +113,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                     v.parse()
                         .map_err(|_| CliError::usage(format!("bad checkpoint interval `{v}`")))?,
                 );
+            }
+            // Wall-clock lever only: the engine never reaches stdout, so
+            // scalar and bitsliced studies print byte-identical reports.
+            "--engine" => {
+                let v = value("--engine")?;
+                cfg.spec.engine = Engine::parse(&v).ok_or_else(|| {
+                    CliError::usage(format!("unknown engine `{v}` (expected scalar or bitsliced)"))
+                })?;
             }
             "--report" => report_path = Some(value("--report")?),
             "--resume" => resume_path = Some(value("--resume")?),

@@ -70,11 +70,15 @@ COMMAND OPTIONS:
               --checkpoint-interval <N>           checkpoint spacing in cycles
                                                   (0 = from-scratch engine;
                                                   default: trace length / 64)
+              --engine <scalar|bitsliced>         per-fault execution engine
+                                                  (default: bitsliced; never
+                                                  changes the report bytes)
     study:    --bench <NAME[,NAME]>               benchmarks to study (repeat
                                                   or comma-separate; default:
                                                   all eight suite benchmarks)
               --sample/--seed/--shards/--workers/--report/--resume/
-              --max-cycles/--checkpoint-interval  as for campaign, applied to
+              --max-cycles/--checkpoint-interval/
+              --engine                            as for campaign, applied to
                                                   every variant campaign
     encode:   --base <ADDR>                       text base address, decimal or
                                                   0x-prefixed hex (default 0)

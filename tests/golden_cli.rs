@@ -128,6 +128,14 @@ fn campaign_exhaustive_text() {
             "0",
         ],
     );
+    // Same for the scalar checkpointed engine. This also pins `--engine
+    // <value>` routing through the top-level parser: the value must stay
+    // adjacent to the flag in the subcommand's argument rest instead of
+    // being rejected as a stray positional.
+    check(
+        "campaign_gcd_scalar.txt",
+        &["campaign", "examples/gcd.s", "--shards", "8", "--workers", "2", "--engine", "scalar"],
+    );
 }
 
 #[test]
