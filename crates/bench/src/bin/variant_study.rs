@@ -13,7 +13,8 @@
 //!
 //! ```text
 //! cargo run -p bec-bench --release --bin variant_study -- \
-//!     [--sample N] [--seed S] [--json BENCH_study.json] [--assert-gates]
+//!     [--sample N] [--seed S] [--json BENCH_study.json] [--assert-gates] \
+//!     [--assert-substrate-speedup X]
 //! ```
 //!
 //! `--assert-gates` exits non-zero unless, on every benchmark:
@@ -26,18 +27,66 @@
 //!   (masking-coverage gate);
 //! * every variant's fault space equals the baseline's (schedules
 //!   permute instructions, they never change the access multiset).
+//!
+//! The bin always re-runs the study with `--no-golden-reuse` semantics and
+//! asserts the two reports render byte-identically — the substrate is a
+//! wall-clock lever, never a result lever. `--assert-substrate-speedup X`
+//! additionally times the golden phase in isolation (per benchmark: one
+//! independent aligned golden per variant vs. one substrate recording plus
+//! per-variant derivation) and exits non-zero unless shared goldens are at
+//! least X× faster. Timing ratios are printed, never written to the JSON
+//! baseline; only the deterministic `study.golden_substrate_hits` and
+//! `study.golden_replay_cycles` counters land there.
 
 use bec::study::{run_study, StudyConfig};
 use bec_core::report::{format_table, group_digits};
 use bec_sim::study::StudySpec;
-use bec_sim::{CrossTable, FaultClass};
+use bec_sim::{CrossTable, FaultClass, GoldenSubstrate, SimLimits, Simulator};
 use bec_telemetry::{Metric, Phase, Telemetry};
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// The golden-phase micro-benchmark: for every suite benchmark, time the
+/// per-variant independent aligned goldens against one substrate recording
+/// plus per-variant derivation. Rounds are interleaved and each side keeps
+/// its best round (the standard load-spike filter), summed across the
+/// suite. Returns `(independent, shared)` wall time.
+///
+/// Meaningful in release builds only: under `debug_assertions` every
+/// derivation re-simulates the variant as a self-check, which erases the
+/// very work the substrate exists to skip.
+fn time_golden_phase(rounds: u32) -> (Duration, Duration) {
+    // The same per-run budget the study's golden probe uses by default.
+    let limits = SimLimits { max_cycles: 100_000_000 };
+    let options = bec_core::BecOptions::paper();
+    let (mut independent, mut shared) = (Duration::ZERO, Duration::ZERO);
+    for bench in bec_suite::all() {
+        let program = bench.compile().expect("suite benchmark compiles");
+        let variants = bec_sched::Scheduler::new(&program, &options).variants();
+        let (mut best_i, mut best_s) = (Duration::MAX, Duration::MAX);
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            for v in &variants {
+                let _ = Simulator::with_limits(&v.program, limits).run_golden_aligned();
+            }
+            best_i = best_i.min(t0.elapsed());
+            let t0 = Instant::now();
+            let substrate = GoldenSubstrate::record(&program, limits).expect("baseline records");
+            for v in &variants {
+                substrate.derive(&v.program, &v.permutation).expect("suite variants derive");
+            }
+            best_s = best_s.min(t0.elapsed());
+        }
+        independent += best_i;
+        shared += best_s;
+    }
+    (independent, shared)
+}
 
 fn main() {
     let mut json_path = None;
     let mut assert_gates = false;
+    let mut assert_substrate_speedup: Option<f64> = None;
     let mut sample = 4000u64;
     let mut seed = 0xbec_u64;
     let mut args = std::env::args().skip(1);
@@ -45,6 +94,14 @@ fn main() {
         match a.as_str() {
             "--json" => json_path = Some(args.next().expect("--json needs a path")),
             "--assert-gates" => assert_gates = true,
+            "--assert-substrate-speedup" => {
+                assert_substrate_speedup = Some(
+                    args.next()
+                        .expect("--assert-substrate-speedup needs a factor")
+                        .parse()
+                        .expect("numeric speedup factor"),
+                );
+            }
             "--sample" => {
                 sample = args
                     .next()
@@ -78,6 +135,21 @@ fn main() {
     })
     .expect("study runs");
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Soundness pin: the identical study with per-variant independent
+    // goldens must render byte-identical report bytes. Its telemetry is
+    // discarded so the JSON baseline reflects the default (reuse) run.
+    let started_off = Instant::now();
+    let cfg_off =
+        StudyConfig { spec: StudySpec { golden_reuse: false, ..cfg.spec }, ..cfg.clone() };
+    let report_off = run_study(&cfg_off, None, &Telemetry::disabled(), |_| {})
+        .expect("independent-golden study runs");
+    let wall_off_ms = started_off.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        report.to_json().render(),
+        report_off.to_json().render(),
+        "golden reuse changed the study report bytes"
+    );
 
     let mut rows = Vec::new();
     let mut cross = CrossTable::default();
@@ -123,7 +195,9 @@ fn main() {
         )
     );
     println!(
-        "\nstudy wall time: {wall_ms:.0} ms; masked-corrupting runs (must be 0): {}",
+        "\nstudy wall time: {wall_ms:.0} ms (shared goldens) vs {wall_off_ms:.0} ms \
+         (independent goldens), byte-identical reports; \
+         masked-corrupting runs (must be 0): {}",
         cross.masked_corrupting()
     );
 
@@ -187,5 +261,19 @@ fn main() {
             report.equivalence_failures()
         );
         println!("all gates passed: 1 scoring analysis per benchmark, soundness + coverage hold");
+    }
+
+    if let Some(min) = assert_substrate_speedup {
+        let (independent, shared) = time_golden_phase(10);
+        let speedup = independent.as_secs_f64() / shared.as_secs_f64().max(1e-9);
+        println!(
+            "golden phase: {:.1} ms independent vs {:.1} ms shared substrate ({speedup:.2}x)",
+            independent.as_secs_f64() * 1e3,
+            shared.as_secs_f64() * 1e3,
+        );
+        assert!(
+            speedup >= min,
+            "shared-substrate golden phase speedup {speedup:.2}x below the {min}x gate"
+        );
     }
 }

@@ -866,6 +866,7 @@ impl<'p, 's> BatchRunner<'p, 's> {
             &mut st.hash,
             &mut st.outputs,
             Some(&mut st.mem_digest),
+            None,
             &mut self.dirty,
         );
         let StepResult::Next = step else {

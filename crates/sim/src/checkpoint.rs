@@ -64,6 +64,40 @@
 
 use crate::trace::TraceHash;
 
+/// How a capturing run decides which cycle boundaries get a checkpoint.
+///
+/// `Uniform` is the legacy fixed grid (`bec campaign
+/// --checkpoint-interval n`); checkpoint `i` sits exactly at cycle
+/// `i · n`, so lookups are a division. `Aligned` is the adaptive grid the
+/// default (interval-less) campaigns use: checkpoints are captured only at
+/// *block-entry* cycle boundaries, starting with a small spacing that
+/// doubles (thinning the recorded prefix) whenever the log would exceed
+/// its size cap. Block-entry boundaries matter because machine state there
+/// is invariant under in-block instruction scheduling — the property the
+/// shared golden substrate (`crate::substrate`) rests on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Spacing {
+    /// Fixed grid: checkpoint `i` at cycle `i · n`; 0 disables capture.
+    Uniform(u64),
+    /// Block-entry-aligned adaptive grid: capture at the first block-entry
+    /// boundary at or after `next`, then advance `next` by `spacing`.
+    Aligned {
+        /// Current minimum spacing between captures, in cycles.
+        spacing: u64,
+        /// Next cycle at or after which a capture is due.
+        next: u64,
+    },
+}
+
+/// Soft cap on recorded checkpoints in aligned mode: on overflow the log
+/// drops every odd-indexed checkpoint (keeping cycle 0) and doubles its
+/// spacing, bounding memory at ~2× the cap for arbitrarily long traces.
+const ALIGNED_CAP: usize = 128;
+
+/// Initial spacing of an aligned log (the same floor
+/// [`default_checkpoint_interval`] uses for uniform grids).
+const ALIGNED_INITIAL_SPACING: u64 = 16;
+
 /// One call-stack frame as captured in a checkpoint (also the executor's
 /// runtime frame representation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -77,7 +111,7 @@ pub struct FrameSnap {
 }
 
 /// A full executor snapshot at one cycle boundary.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Checkpoint {
     /// Cycle this checkpoint was captured at (state *before* the
     /// instruction at this cycle executes, and before any fault injected at
@@ -117,11 +151,13 @@ pub struct Checkpoint {
 /// The checkpoint sequence of one golden run, plus the run's terminal
 /// counters (needed to prove that a converged faulted run would also have
 /// finished within its own budget).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CheckpointLog {
-    /// Checkpoint spacing in cycles; 0 disables checkpointing entirely.
-    pub(crate) interval: u64,
-    /// Checkpoint `i` is at cycle `i * interval`.
+    /// The capture policy this log was (or is being) recorded under.
+    pub(crate) spacing: Spacing,
+    /// Recorded checkpoints, in cycle order. Uniform: checkpoint `i` is at
+    /// cycle `i · n`. Aligned: cycles are block-entry boundaries, looked up
+    /// by binary search.
     pub(crate) checkpoints: Vec<Checkpoint>,
     /// Total cycles of the recorded golden run.
     pub(crate) final_cycles: u64,
@@ -136,11 +172,22 @@ impl CheckpointLog {
     /// disable). Filled by `Simulator::run_golden_checkpointed`.
     pub(crate) fn new(interval: u64) -> CheckpointLog {
         CheckpointLog {
-            interval,
+            spacing: Spacing::Uniform(interval),
             checkpoints: Vec::new(),
             final_cycles: 0,
             final_steps: 0,
             completed: false,
+        }
+    }
+
+    /// An adaptive block-entry-aligned log (see [`Spacing::Aligned`]):
+    /// captures at block-entry cycle boundaries starting from cycle 0,
+    /// doubling its spacing whenever [`ALIGNED_CAP`] checkpoints would be
+    /// exceeded. Filled by `Simulator::run_golden_aligned`.
+    pub(crate) fn aligned() -> CheckpointLog {
+        CheckpointLog {
+            spacing: Spacing::Aligned { spacing: ALIGNED_INITIAL_SPACING, next: 0 },
+            ..CheckpointLog::new(0)
         }
     }
 
@@ -150,14 +197,26 @@ impl CheckpointLog {
         CheckpointLog::new(0)
     }
 
-    /// Whether this log can actually accelerate fault runs.
-    pub fn is_enabled(&self) -> bool {
-        self.interval > 0 && !self.checkpoints.is_empty()
+    /// Whether this log's policy records checkpoints at all (independent of
+    /// whether any were recorded yet).
+    pub(crate) fn captures(&self) -> bool {
+        !matches!(self.spacing, Spacing::Uniform(0))
     }
 
-    /// The checkpoint spacing in cycles (0 = disabled).
+    /// Whether this log can actually accelerate fault runs.
+    pub fn is_enabled(&self) -> bool {
+        self.captures() && !self.checkpoints.is_empty()
+    }
+
+    /// The characteristic checkpoint spacing in cycles (0 = disabled). For
+    /// an aligned log this is the *current minimum* spacing — captures sit
+    /// at the first block-entry boundary at or after each multiple, so the
+    /// realized gaps may be slightly wider.
     pub fn interval(&self) -> u64 {
-        self.interval
+        match self.spacing {
+            Spacing::Uniform(n) => n,
+            Spacing::Aligned { spacing, .. } => spacing,
+        }
     }
 
     /// Number of recorded checkpoints.
@@ -176,21 +235,65 @@ impl CheckpointLog {
         self.checkpoints.iter().map(|c| c.mem_image.len() as u64).sum()
     }
 
+    /// Whether the capturing run owes a checkpoint at this cycle boundary
+    /// (`at_block_entry` is consulted lazily, aligned mode only).
+    pub(crate) fn capture_due(&self, cycle: u64, at_block_entry: impl FnOnce() -> bool) -> bool {
+        match self.spacing {
+            Spacing::Uniform(0) => false,
+            Spacing::Uniform(n) => cycle == self.checkpoints.len() as u64 * n,
+            Spacing::Aligned { next, .. } => cycle >= next && at_block_entry(),
+        }
+    }
+
+    /// Advances the aligned capture policy after a checkpoint was pushed at
+    /// `cycle`: schedules the next capture one spacing ahead and, when the
+    /// cap is exceeded, drops every odd-indexed checkpoint (cycle 0 stays)
+    /// and doubles the spacing.
+    pub(crate) fn note_captured(&mut self, cycle: u64) {
+        let Spacing::Aligned { mut spacing, .. } = self.spacing else { return };
+        if self.checkpoints.len() > ALIGNED_CAP {
+            let mut i = 0usize;
+            self.checkpoints.retain(|_| {
+                let keep = i.is_multiple_of(2);
+                i += 1;
+                keep
+            });
+            spacing *= 2;
+        }
+        self.spacing = Spacing::Aligned { spacing, next: cycle + spacing };
+    }
+
     /// Index of the latest checkpoint at or before `cycle`.
     pub(crate) fn nearest_at_or_before(&self, cycle: u64) -> usize {
         debug_assert!(self.is_enabled());
-        ((cycle / self.interval) as usize).min(self.checkpoints.len() - 1)
+        match self.spacing {
+            Spacing::Uniform(n) => ((cycle / n) as usize).min(self.checkpoints.len() - 1),
+            // Aligned logs always open with a cycle-0 checkpoint, so the
+            // partition point is at least 1.
+            Spacing::Aligned { .. } => {
+                self.checkpoints.partition_point(|c| c.cycle <= cycle).max(1) - 1
+            }
+        }
     }
 
-    /// The checkpoint exactly at `cycle`, if `cycle` is aligned and within
-    /// the recorded range.
+    /// The checkpoint exactly at `cycle`, if one was recorded there.
     pub(crate) fn at_cycle(&self, cycle: u64) -> Option<&Checkpoint> {
-        if self.interval == 0 || !cycle.is_multiple_of(self.interval) {
-            return None;
+        match self.spacing {
+            Spacing::Uniform(0) => None,
+            Spacing::Uniform(n) => {
+                if !cycle.is_multiple_of(n) {
+                    return None;
+                }
+                let ck = self.checkpoints.get((cycle / n) as usize)?;
+                debug_assert_eq!(ck.cycle, cycle);
+                Some(ck)
+            }
+            Spacing::Aligned { .. } => self
+                .checkpoints
+                .binary_search_by_key(&cycle, |c| c.cycle)
+                .ok()
+                .map(|i| &self.checkpoints[i]),
         }
-        let ck = self.checkpoints.get((cycle / self.interval) as usize)?;
-        debug_assert_eq!(ck.cycle, cycle);
-        Some(ck)
     }
 }
 
@@ -250,5 +353,78 @@ mod tests {
         assert_eq!(log.interval(), 0);
         assert!(log.at_cycle(0).is_none());
         assert_eq!(log.delta_words(), 0);
+    }
+
+    fn ck(cycle: u64) -> Checkpoint {
+        Checkpoint {
+            cycle,
+            steps: 0,
+            pos: (0, 0),
+            stack: Vec::new(),
+            regs: Vec::new(),
+            hash: TraceHash::new(),
+            mem_digest: 0,
+            outputs_len: 0,
+            mem_image: Vec::new(),
+            live_bits: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn aligned_capture_waits_for_block_entries() {
+        let mut log = CheckpointLog::aligned();
+        assert!(log.captures());
+        // Due immediately, but only at a block-entry boundary.
+        assert!(!log.capture_due(0, || false));
+        assert!(log.capture_due(0, || true));
+        log.checkpoints.push(ck(0));
+        log.note_captured(0);
+        // Next capture one spacing ahead — not before, even at block entry.
+        assert!(!log.capture_due(ALIGNED_INITIAL_SPACING - 1, || true));
+        // At or *after* the due cycle: the first block entry wins.
+        assert!(log.capture_due(ALIGNED_INITIAL_SPACING + 3, || true));
+        log.checkpoints.push(ck(ALIGNED_INITIAL_SPACING + 3));
+        log.note_captured(ALIGNED_INITIAL_SPACING + 3);
+        assert_eq!(log.interval(), ALIGNED_INITIAL_SPACING);
+        assert_eq!(
+            log.spacing,
+            Spacing::Aligned {
+                spacing: ALIGNED_INITIAL_SPACING,
+                next: 2 * ALIGNED_INITIAL_SPACING + 3
+            }
+        );
+    }
+
+    #[test]
+    fn aligned_log_thins_and_doubles_on_overflow() {
+        let mut log = CheckpointLog::aligned();
+        for i in 0..=(ALIGNED_CAP as u64 + 1) {
+            log.checkpoints.push(ck(i * ALIGNED_INITIAL_SPACING));
+            log.note_captured(i * ALIGNED_INITIAL_SPACING);
+        }
+        // The overflow push triggered thinning: even indices survive, the
+        // cycle-0 checkpoint stays, spacing doubles (one more push landed
+        // after the thin).
+        assert_eq!(log.len(), ALIGNED_CAP / 2 + 2);
+        assert_eq!(log.checkpoints[0].cycle, 0);
+        assert_eq!(log.checkpoints[1].cycle, 2 * ALIGNED_INITIAL_SPACING);
+        assert_eq!(log.interval(), 2 * ALIGNED_INITIAL_SPACING);
+    }
+
+    #[test]
+    fn aligned_lookups_binary_search_irregular_grids() {
+        let mut log = CheckpointLog::aligned();
+        for &c in &[0u64, 17, 40, 99] {
+            log.checkpoints.push(ck(c));
+            log.note_captured(c);
+        }
+        assert!(log.is_enabled());
+        assert_eq!(log.nearest_at_or_before(0), 0);
+        assert_eq!(log.nearest_at_or_before(16), 0);
+        assert_eq!(log.nearest_at_or_before(17), 1);
+        assert_eq!(log.nearest_at_or_before(64), 2);
+        assert_eq!(log.nearest_at_or_before(1000), 3);
+        assert_eq!(log.at_cycle(40).map(|c| c.cycle), Some(40));
+        assert!(log.at_cycle(41).is_none());
     }
 }

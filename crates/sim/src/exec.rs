@@ -98,6 +98,17 @@ impl FlatStep<'_> {
 pub(crate) struct FlatFunc<'p> {
     pub(crate) steps: Vec<FlatStep<'p>>,
     pub(crate) entry_pc: u32,
+    /// Flat start index of each block, ascending — the block-entry grain
+    /// aligned checkpoint capture snaps to (machine state at a block-entry
+    /// boundary is invariant under in-block instruction scheduling).
+    pub(crate) block_starts: Vec<u32>,
+}
+
+impl FlatFunc<'_> {
+    /// Whether flat index `pc` is the first slot of a block.
+    pub(crate) fn is_block_entry(&self, pc: u32) -> bool {
+        self.block_starts.binary_search(&pc).is_ok()
+    }
 }
 
 /// The whole program, pre-decoded for the interpreter.
@@ -162,7 +173,39 @@ fn flatten<'p>(program: &'p Program, f: &'p bec_ir::Function) -> FlatFunc<'p> {
             Terminator::Ret { reads } => FlatStep::Ret { point, reads },
         });
     }
-    FlatFunc { steps, entry_pc: starts[f.entry().index()] }
+    FlatFunc { steps, entry_pc: starts[f.entry().index()], block_starts: starts }
+}
+
+/// The per-cycle word stream of a recording run's trace hash: everything
+/// the run fed into [`TraceHash::update`], segmented by cycle. Word 0 of
+/// each cycle is the executed point's token; the rest are the cycle's
+/// memory/output payload words. The shared golden substrate
+/// (`crate::substrate`) replays this tape in a scheduled variant's cycle
+/// order to derive the variant's hash states without re-simulating.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct HashTape {
+    /// All absorbed words, in absorption order.
+    pub(crate) words: Vec<u64>,
+    /// `starts[c]` = index into `words` where cycle `c`'s words begin
+    /// (cycle `c` spans `starts[c]..starts[c + 1]`, the last cycle runs to
+    /// `words.len()`).
+    pub(crate) starts: Vec<u32>,
+}
+
+impl HashTape {
+    /// The words cycle `c` absorbed (token first).
+    pub(crate) fn cycle_words(&self, c: usize) -> &[u64] {
+        let lo = self.starts[c] as usize;
+        let hi = self.starts.get(c + 1).map(|&i| i as usize).unwrap_or(self.words.len());
+        &self.words[lo..hi]
+    }
+}
+
+/// Appends `w` to the open cycle of a recording tape, if one is attached.
+fn tape_push(tape: &mut Option<&mut HashTape>, w: u64) {
+    if let Some(t) = tape.as_deref_mut() {
+        t.words.push(w);
+    }
 }
 
 /// Everything a single completed run produces.
@@ -436,12 +479,15 @@ pub(crate) fn apply_rw_backward(live: &mut [u64], ev: &RwEvent, xlen_mask: u64) 
 ///
 /// `fault` optionally injects one bit flip before the instruction at the
 /// given cycle. `record` enables the golden-run instrumentation (execution
-/// profile and cycle→point map). `capture` records periodic checkpoints
-/// into the given log (golden runs). `resume` restores the nearest
-/// checkpoint at or before the fault cycle and enables the convergence
-/// early-exit (fault runs; requires `fault`). `start` begins execution
-/// from an explicit mid-run state instead (forked bitsliced lanes; the
-/// machine must already hold that state).
+/// profile and cycle→point map). `capture` records checkpoints into the
+/// given log under its spacing policy (golden runs; a log with
+/// `Uniform(0)` spacing records nothing but still enables digest
+/// tracking). `tape` additionally records every absorbed trace-hash word,
+/// segmented per cycle (substrate recording runs). `resume` restores the
+/// nearest checkpoint at or before the fault cycle and enables the
+/// convergence early-exit (fault runs; requires `fault`). `start` begins
+/// execution from an explicit mid-run state instead (forked bitsliced
+/// lanes; the machine must already hold that state).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run(
     flat: &FlatProgram<'_>,
@@ -449,6 +495,7 @@ pub(crate) fn run(
     fault: Option<FaultSpec>,
     record: bool,
     mut capture: Option<&mut CheckpointLog>,
+    mut tape: Option<&mut HashTape>,
     resume: Option<ResumeCtx<'_>>,
     start: Option<ExecState>,
     machine: &mut Machine,
@@ -456,7 +503,7 @@ pub(crate) fn run(
 ) -> RunVerdict {
     let mut profile = record.then(ExecProfile::new);
     let mut cycle_map = record.then(Vec::new);
-    let mut rw_map = capture.is_some().then(Vec::new);
+    let mut rw_map = capture.as_deref().is_some_and(CheckpointLog::captures).then(Vec::new);
     let step_limit = max_cycles.saturating_mul(2) + 1024;
 
     // Maintain the incremental memory digest only when checkpoints are in
@@ -513,7 +560,8 @@ pub(crate) fn run(
 
         // Canonical cycle boundary: the next step consumes a cycle.
         if let Some(log) = capture.as_deref_mut() {
-            if log.interval > 0 && st.cycle == log.checkpoints.len() as u64 * log.interval {
+            let at_block_entry = || flat.funcs[st.func as usize].is_block_entry(st.pc);
+            if log.capture_due(st.cycle, at_block_entry) {
                 for &(w, _) in &dirty[delta_start..] {
                     cum_image.insert(w, machine.memory.word(w));
                 }
@@ -531,6 +579,7 @@ pub(crate) fn run(
                     // Exact comparison until the liveness pass runs.
                     live_bits: vec![u64::MAX; machine.regs().len()],
                 });
+                log.note_captured(st.cycle);
             }
         }
         if early_exit_ok {
@@ -554,7 +603,12 @@ pub(crate) fn run(
 
         // Trace: the executed point.
         let point = step.point();
-        st.hash.update((st.func as u64) << 32 | point.0 as u64);
+        let token = (st.func as u64) << 32 | point.0 as u64;
+        st.hash.update(token);
+        if let Some(t) = tape.as_deref_mut() {
+            t.starts.push(t.words.len() as u32);
+            t.words.push(token);
+        }
         if let Some(p) = profile.as_mut() {
             p.add(st.func as usize, point, 1);
         }
@@ -574,7 +628,8 @@ pub(crate) fn run(
             FlatStep::Inst { inst, .. } => {
                 rw = if track_rw { inst_rw(inst, xlen_mask) } else { RwEvent::empty() };
                 let digest = track_digest.then_some(&mut st.mem_digest);
-                match step_inst(machine, inst, &mut st.hash, &mut st.outputs, digest, dirty) {
+                let t = tape.as_deref_mut().map(|t| &mut t.words);
+                match step_inst(machine, inst, &mut st.hash, &mut st.outputs, digest, t, dirty) {
                     StepResult::Next => st.pc += 1,
                     StepResult::Trap(kind) => break LoopEnd::Outcome(ExecOutcome::Crashed(kind)),
                 }
@@ -618,6 +673,8 @@ pub(crate) fn run(
                         let v = machine.read(*r);
                         st.hash.update(0x40);
                         st.hash.update(v);
+                        tape_push(&mut tape, 0x40);
+                        tape_push(&mut tape, v);
                         st.outputs.push(v);
                     }
                     if let Some(m) = rw_map.as_mut() {
@@ -680,7 +737,7 @@ pub(crate) fn run_tail(
     machine: &mut Machine,
     dirty: &mut Vec<(u32, u32)>,
 ) -> RawRun {
-    match run(flat, max_cycles, None, false, None, None, Some(state), machine, dirty) {
+    match run(flat, max_cycles, None, false, None, None, None, Some(state), machine, dirty) {
         RunVerdict::Finished(raw) => raw,
         RunVerdict::Converged { .. } => unreachable!("tails run without a resume context"),
     }
@@ -697,8 +754,16 @@ pub(crate) fn step_inst(
     hash: &mut TraceHash,
     outputs: &mut Vec<u64>,
     digest: Option<&mut u128>,
+    mut tape: Option<&mut Vec<u64>>,
     dirty: &mut Vec<(u32, u32)>,
 ) -> StepResult {
+    // Mirrors every `hash.update` with a tape append (substrate recording).
+    let mut note = |hash: &mut TraceHash, w: u64| {
+        hash.update(w);
+        if let Some(t) = tape.as_deref_mut() {
+            t.push(w);
+        }
+    };
     let c = *m.config();
     match inst {
         Inst::Li { rd, imm } => m.write(*rd, *imm as u64),
@@ -736,8 +801,8 @@ pub(crate) fn step_inst(
             } else {
                 raw
             };
-            hash.update(0x10 ^ addr.rotate_left(8));
-            hash.update(raw);
+            note(hash, 0x10 ^ addr.rotate_left(8));
+            note(hash, raw);
             m.write(*rd, v);
         }
         Inst::Store { rs, base, offset, width } => {
@@ -758,13 +823,13 @@ pub(crate) fn step_inst(
             if let Some(d) = digest {
                 *d ^= mem_mix(widx, old) ^ mem_mix(widx, m.memory.word(widx));
             }
-            hash.update(0x20 ^ addr.rotate_left(8));
-            hash.update(value);
+            note(hash, 0x20 ^ addr.rotate_left(8));
+            note(hash, value);
         }
         Inst::Print { rs } => {
             let v = m.read(*rs);
-            hash.update(0x30);
-            hash.update(v);
+            note(hash, 0x30);
+            note(hash, v);
             outputs.push(v);
         }
         Inst::Nop => {}

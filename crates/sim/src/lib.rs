@@ -22,6 +22,10 @@
 //!   differential campaign per program variant, aggregated into a
 //!   resumable, Table IV-style [`StudyReport`] with a static-verdict ×
 //!   dynamic-outcome cross-table per variant;
+//! * [`substrate`] — the variant-shared golden substrate: the baseline's
+//!   golden run, aligned checkpoints and event streams recorded once per
+//!   benchmark, with every scheduled variant's campaign inputs *derived*
+//!   through the schedule permutation instead of re-simulated;
 //! * [`validate`] — the empirical soundness validation of §V / Table II:
 //!   fault sites in one equivalence class must produce identical traces.
 //!
@@ -57,6 +61,7 @@ pub mod pool;
 pub mod runner;
 pub mod shard;
 pub mod study;
+pub mod substrate;
 pub mod trace;
 pub mod validate;
 
@@ -71,6 +76,7 @@ pub use shard::{
     site_fault_space, CampaignReport, CampaignSpec, FaultOutcome, ShardPlan, ShardResult,
     SitedFault,
 };
-pub use study::{CrossTable, StudyReport, StudySpec};
+pub use study::{CrossTable, SharedGolden, StudyReport, StudySpec};
+pub use substrate::{DerivedGolden, GoldenSubstrate};
 pub use trace::{FaultClass, TraceHash};
 pub use validate::{validate_program, Mismatch, MismatchKind, ValidationReport};

@@ -3,7 +3,9 @@
 //! [`crate::checkpoint`]).
 
 use crate::checkpoint::CheckpointLog;
-use crate::exec::{apply_rw_backward, run, ExecOutcome, FlatProgram, ResumeCtx, RunVerdict};
+use crate::exec::{
+    apply_rw_backward, run, ExecOutcome, FlatProgram, HashTape, ResumeCtx, RunVerdict, RwEvent,
+};
 use crate::machine::{FaultSpec, Machine};
 use crate::trace::{FaultClass, TraceHash};
 use bec_core::ExecProfile;
@@ -70,22 +72,22 @@ pub struct GoldenRun {
     pub profile: ExecProfile,
     /// For each cycle, the `(function index, point, call depth)` that
     /// executed.
-    cycle_map: Vec<(u32, PointId, u32)>,
+    pub(crate) cycle_map: Vec<(u32, PointId, u32)>,
     /// For each cycle, the next cycle executing at the same call depth
     /// (`cycles()` when none) — the moment the fault-site window after that
     /// cycle's instruction opens. For ordinary instructions this is the
     /// next cycle; for calls it is the cycle execution returns to the
     /// caller.
-    next_same_depth: Vec<u64>,
+    pub(crate) next_same_depth: Vec<u64>,
     /// `(func, point) → cycles it executed at`, precomputed once so
     /// fault-space enumeration is O(trace) total instead of rescanning the
     /// cycle map per queried site.
-    occurrence_index: HashMap<(usize, PointId), Vec<u64>>,
+    pub(crate) occurrence_index: HashMap<(usize, PointId), Vec<u64>>,
     /// The register file at the end of the run.
-    terminal_regs: Vec<u64>,
+    pub(crate) terminal_regs: Vec<u64>,
     /// Terminal memory digest relative to the initial image (XOR of
     /// `mem_mix` over the words the run changed).
-    mem_digest: u128,
+    pub(crate) mem_digest: u128,
 }
 
 impl GoldenRun {
@@ -211,7 +213,7 @@ impl<'p> Simulator<'p> {
     /// Runs without faults, recording the execution profile and the
     /// cycle→point map.
     pub fn run_golden(&self) -> GoldenRun {
-        self.golden_run(None)
+        self.golden_run(None, None).0
     }
 
     /// Runs without faults like [`Simulator::run_golden`], additionally
@@ -221,11 +223,74 @@ impl<'p> Simulator<'p> {
     pub fn run_golden_checkpointed(&self, interval: u64) -> (GoldenRun, CheckpointLog) {
         let mut log = CheckpointLog::new(interval);
         let capture = (interval > 0).then_some(&mut log);
-        let golden = self.golden_run(capture);
+        let golden = self.golden_run(capture, None).0;
         (golden, log)
     }
 
-    fn golden_run(&self, mut capture: Option<&mut CheckpointLog>) -> GoldenRun {
+    /// Runs without faults with the adaptive block-boundary-aligned
+    /// checkpoint policy: spacing starts small and doubles whenever the log
+    /// outgrows its cap, and every checkpoint lands on a block-entry cycle.
+    /// Aligned grids are schedule-invariant across a benchmark's variants
+    /// (block entry cycles survive intra-block reordering), which is what
+    /// lets [`crate::substrate::GoldenSubstrate`] share one machine-state
+    /// log across every scheduled variant.
+    pub fn run_golden_aligned(&self) -> (GoldenRun, CheckpointLog) {
+        let mut log = CheckpointLog::aligned();
+        let golden = self.golden_run(Some(&mut log), None).0;
+        (golden, log)
+    }
+
+    /// [`Simulator::run_golden_aligned`] plus the raw per-cycle artifact a
+    /// [`crate::substrate::GoldenSubstrate`] needs to *derive* other
+    /// variants' golden state instead of re-simulating: the segmented
+    /// trace-hash word tape (order-sensitive hash replay).
+    pub(crate) fn run_golden_substrate(&self) -> (GoldenRun, CheckpointLog, HashTape) {
+        let mut log = CheckpointLog::aligned();
+        let mut tape = HashTape::default();
+        let (golden, _) = self.golden_run(Some(&mut log), Some(&mut tape));
+        (golden, log, tape)
+    }
+
+    /// A plain fault-free run that still tracks the memory digest:
+    /// `(result, terminal registers, mem digest)`. Debug-only verification
+    /// net for substrate-derived golden runs — cheaper than
+    /// [`Simulator::run_golden`] (no profile, no cycle map, no liveness).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    pub(crate) fn run_plain_verify(&self) -> (RunResult, Vec<u64>, u128) {
+        let mut machine = Machine::new(self.program);
+        let mut dirty = Vec::new();
+        // A disabled log records no checkpoints but switches digest
+        // tracking on (see `exec::run`).
+        let mut log = CheckpointLog::disabled();
+        let verdict = run(
+            &self.flat,
+            self.limits.max_cycles,
+            None,
+            false,
+            Some(&mut log),
+            None,
+            None,
+            None,
+            &mut machine,
+            &mut dirty,
+        );
+        let RunVerdict::Finished(raw) = verdict else {
+            unreachable!("fault-free runs cannot converge-exit")
+        };
+        let result = RunResult {
+            outcome: raw.outcome,
+            outputs: raw.outputs,
+            cycles: raw.cycles,
+            hash: raw.hash,
+        };
+        (result, machine.regs().to_vec(), raw.mem_digest)
+    }
+
+    fn golden_run(
+        &self,
+        mut capture: Option<&mut CheckpointLog>,
+        tape: Option<&mut HashTape>,
+    ) -> (GoldenRun, Vec<RwEvent>) {
         let mut machine = Machine::new(self.program);
         let mut dirty = Vec::new();
         let verdict = run(
@@ -234,12 +299,13 @@ impl<'p> Simulator<'p> {
             None,
             true,
             capture.as_deref_mut(),
+            tape,
             None,
             None,
             &mut machine,
             &mut dirty,
         );
-        let RunVerdict::Finished(raw) = verdict else {
+        let RunVerdict::Finished(mut raw) = verdict else {
             unreachable!("golden runs cannot converge-exit")
         };
         // Backward dynamic-liveness pass, at bit granularity: which
@@ -273,6 +339,7 @@ impl<'p> Simulator<'p> {
                 }
             }
         }
+        let rw_map = raw.rw_map.take().unwrap_or_default();
         let cycle_map = raw.cycle_map.expect("recording enabled");
         // Backward pass: next cycle at the same call depth.
         let n = cycle_map.len();
@@ -290,7 +357,7 @@ impl<'p> Simulator<'p> {
         for (c, &(f, p, _)) in cycle_map.iter().enumerate() {
             occurrence_index.entry((f as usize, p)).or_default().push(c as u64);
         }
-        GoldenRun {
+        let golden = GoldenRun {
             result: RunResult {
                 outcome: raw.outcome,
                 outputs: raw.outputs,
@@ -303,7 +370,8 @@ impl<'p> Simulator<'p> {
             occurrence_index,
             terminal_regs: machine.regs().to_vec(),
             mem_digest: raw.mem_digest,
-        }
+        };
+        (golden, rw_map)
     }
 
     /// Runs with a single injected bit flip, from scratch (cycle 0).
@@ -315,6 +383,7 @@ impl<'p> Simulator<'p> {
             self.limits.max_cycles,
             Some(fault),
             false,
+            None,
             None,
             None,
             None,
@@ -387,6 +456,7 @@ impl Injector<'_, '_> {
             sim.limits.max_cycles,
             Some(fault),
             false,
+            None,
             None,
             Some(resume),
             None,

@@ -44,11 +44,12 @@
 //! ```
 
 use crate::bitslice::Engine;
-use crate::checkpoint::{default_checkpoint_interval, CheckpointLog};
+use crate::checkpoint::CheckpointLog;
 use crate::json::Json;
 use crate::pool::{self, PoolStats};
 use crate::runner::{GoldenRun, SimLimits, Simulator};
 use crate::shard::{site_fault_space, CampaignReport, CampaignSpec, ShardPlan};
+use crate::substrate::GoldenSubstrate;
 use crate::trace::FaultClass;
 use bec_core::BecAnalysis;
 use bec_ir::Program;
@@ -77,11 +78,17 @@ pub struct StudySpec {
     pub workers: usize,
     /// Per-run cycle budget; `None` derives `100 × golden + 10k`.
     pub max_cycles: Option<u64>,
-    /// Checkpoint spacing; `None` derives from the trace length, 0 runs
-    /// the from-scratch engine. Never influences report bytes.
+    /// Checkpoint spacing; `None` runs the adaptive block-boundary-aligned
+    /// policy, 0 runs the from-scratch engine. Never influences report
+    /// bytes.
     pub checkpoint_interval: Option<u64>,
     /// Per-fault execution engine. Never influences report bytes.
     pub engine: Engine,
+    /// Whether a study may derive variant goldens from the benchmark's
+    /// shared [`GoldenSubstrate`] instead of re-recording each one (only
+    /// effective with the adaptive checkpoint policy). A pure wall-clock
+    /// lever: never influences report bytes.
+    pub golden_reuse: bool,
 }
 
 impl Default for StudySpec {
@@ -94,6 +101,7 @@ impl Default for StudySpec {
             max_cycles: None,
             checkpoint_interval: None,
             engine: Engine::default(),
+            golden_reuse: true,
         }
     }
 }
@@ -143,23 +151,59 @@ pub fn run_campaign_with(
     resume: Option<CampaignReport>,
     tel: &Telemetry,
 ) -> Result<CampaignRun, String> {
+    run_campaign_shared(label, program, bec, spec, resume, None, tel)
+}
+
+/// A benchmark's shared golden substrate plus the schedule permutation of
+/// the variant under campaign — what [`run_campaign_shared`] needs to
+/// derive the variant's golden run and checkpoint log instead of
+/// re-simulating them.
+#[derive(Clone, Copy)]
+pub struct SharedGolden<'a> {
+    /// The substrate recorded from the benchmark's baseline variant.
+    pub substrate: &'a GoldenSubstrate,
+    /// The per-function point permutation of the variant under campaign.
+    pub permutation: &'a [Vec<u32>],
+}
+
+/// [`run_campaign_with`] plus an optional shared golden substrate: when
+/// `shared` is given, the adaptive checkpoint policy is in effect and the
+/// variant passes the substrate's static admission check, the golden probe
+/// is *derived* through the schedule permutation (a cheap replay) instead
+/// of re-simulated — report bytes are identical either way (pinned by
+/// `tests/substrate_equivalence.rs`). Derivations count into the
+/// `study.golden_substrate_hits` / `study.golden_replay_cycles` telemetry
+/// counters.
+pub fn run_campaign_shared(
+    label: &str,
+    program: &Program,
+    bec: &BecAnalysis,
+    spec: &StudySpec,
+    resume: Option<CampaignReport>,
+    shared: Option<SharedGolden<'_>>,
+    tel: &Telemetry,
+) -> Result<CampaignRun, String> {
     let probe = Simulator::with_limits(
         program,
         SimLimits { max_cycles: spec.max_cycles.unwrap_or(100_000_000) },
     );
     let golden_span = tel.span("golden").arg("label", label);
-    let (golden, ckpts, interval) = match spec.checkpoint_interval {
-        Some(0) => (probe.run_golden(), CheckpointLog::disabled(), 0),
-        Some(n) => {
-            let (golden, ckpts) = probe.run_golden_checkpointed(n);
-            (golden, ckpts, n)
-        }
+    let (golden, ckpts) = match spec.checkpoint_interval {
+        Some(0) => (probe.run_golden(), CheckpointLog::disabled()),
+        Some(n) => probe.run_golden_checkpointed(n),
         None => {
-            let n = default_checkpoint_interval(probe.run_golden().cycles());
-            let (golden, ckpts) = probe.run_golden_checkpointed(n);
-            (golden, ckpts, n)
+            let derived = shared.and_then(|s| s.substrate.derive(program, s.permutation));
+            match derived {
+                Some(d) => {
+                    tel.add("study.golden_substrate_hits", 1);
+                    tel.add("study.golden_replay_cycles", d.replay_cycles);
+                    (d.golden, d.ckpts)
+                }
+                None => probe.run_golden_aligned(),
+            }
         }
     };
+    let interval = ckpts.interval();
     drop(golden_span);
     if golden.result.outcome != crate::ExecOutcome::Completed {
         return Err(format!(

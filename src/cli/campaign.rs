@@ -151,6 +151,9 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
         max_cycles: flags.max_cycles,
         checkpoint_interval: flags.checkpoint_interval,
         engine: flags.engine,
+        // Single-program campaigns have no variants to share a golden
+        // substrate across; the flag only matters to `bec study`.
+        golden_reuse: true,
     };
     let tel = Telemetry::enabled();
     let run = run_campaign_with(&args.file, &program, &bec, &spec, resume, &tel)
@@ -176,7 +179,16 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
         );
     } else {
         let fault_space = campaign.fault_space;
-        print_text(args, &campaign, fault_space, flags.engine, interval, stats.early_exits);
+        let adaptive = flags.checkpoint_interval.is_none();
+        print_text(
+            args,
+            &campaign,
+            fault_space,
+            flags.engine,
+            interval,
+            adaptive,
+            stats.early_exits,
+        );
     }
 
     if violations.is_empty() {
@@ -229,6 +241,7 @@ fn print_text(
     fault_space: u64,
     engine: Engine,
     interval: u64,
+    adaptive: bool,
     early_exits: u64,
 ) {
     let g = report::group_digits;
@@ -241,6 +254,9 @@ fn print_text(
     // and silently degrades to scalar from-scratch runs — say so.
     let engine = match interval {
         0 => "scalar, from-scratch (checkpointing disabled)".to_owned(),
+        n if adaptive => {
+            format!("{}, checkpointed at block boundaries (~{} cycle spacing)", engine.name(), g(n))
+        }
         n => format!("{}, checkpointed every {} cycles", engine.name(), g(n)),
     };
     print!(

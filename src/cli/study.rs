@@ -114,6 +114,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                         .map_err(|_| CliError::usage(format!("bad checkpoint interval `{v}`")))?,
                 );
             }
+            // Opt-out of the shared golden substrate: every variant runs
+            // its own golden probe. Wall-clock lever only — report bytes
+            // are pinned identical with reuse on or off.
+            "--no-golden-reuse" => cfg.spec.golden_reuse = false,
             // Wall-clock lever only: the engine never reaches stdout, so
             // scalar and bitsliced studies print byte-identical reports.
             "--engine" => {

@@ -19,7 +19,12 @@
 //! 3. **Measure** — each variant is re-analyzed (its own static verdicts
 //!    are the campaign provenance), its fault surface is computed, and a
 //!    checkpointed differential campaign runs over its classified fault
-//!    space ([`bec_sim::study::run_campaign`]).
+//!    space ([`bec_sim::study::run_campaign_shared`]). Under the default
+//!    adaptive checkpoint policy the baseline's golden run is recorded
+//!    once per benchmark as a [`bec_sim::GoldenSubstrate`] and every
+//!    scheduled variant's golden inputs are *derived* through its point
+//!    permutation instead of re-simulated — a pure wall-clock lever whose
+//!    report bytes are pinned identical either way.
 //!
 //! The resulting [`StudyReport`] is deterministic for a fixed
 //! (benchmarks, rules, seed, sample, shards, max-cycles) tuple and
@@ -37,10 +42,10 @@ use bec_core::{BecAnalysis, BecOptions};
 use bec_ir::{MachineConfig, Program};
 use bec_sched::Scheduler;
 use bec_sim::study::{
-    run_campaign_with, BenchmarkStudy, EquivalenceRecord, ScoringRecord, StudyReport, StudySpec,
+    run_campaign_shared, BenchmarkStudy, EquivalenceRecord, ScoringRecord, StudyReport, StudySpec,
     VariantRecord,
 };
-use bec_sim::{GoldenRun, SimLimits, Simulator};
+use bec_sim::{GoldenRun, GoldenSubstrate, SharedGolden, SimLimits, Simulator};
 use bec_telemetry::{Phase, ProgressEvent, Telemetry};
 
 /// What to study: which benchmarks, under which rule set, with which
@@ -172,6 +177,22 @@ fn study_benchmark(
         ],
     });
 
+    // The shared golden substrate: record the baseline's aligned-checkpoint
+    // golden run once and derive every variant's campaign inputs from it
+    // through the schedule permutation. Recording only pays off under the
+    // adaptive checkpoint policy (an explicit interval forces per-variant
+    // grids), and `--no-golden-reuse` opts out entirely; a benchmark whose
+    // baseline fails to record simply falls back to independent goldens.
+    let substrate = if cfg.spec.golden_reuse && cfg.spec.checkpoint_interval.is_none() {
+        let substrate_span = tel.span("substrate").arg("benchmark", name);
+        let limits = SimLimits { max_cycles: cfg.spec.max_cycles.unwrap_or(100_000_000) };
+        let recorded = GoldenSubstrate::record(program, limits).ok();
+        drop(substrate_span);
+        recorded
+    } else {
+        None
+    };
+
     let mut variants = Vec::new();
     // The baseline golden run everything is compared against; filled by
     // the first (Original) variant.
@@ -197,7 +218,11 @@ fn study_benchmark(
         };
         let label = format!("study:{name}:{}", criterion.name());
         let prior = resume.and_then(|r| r.prior_campaign(name, criterion.name())).cloned();
-        let crun = run_campaign_with(&label, &variant.program, vbec, &cfg.spec, prior, tel)?;
+        let shared = substrate
+            .as_ref()
+            .map(|s| SharedGolden { substrate: s, permutation: &variant.permutation });
+        let crun =
+            run_campaign_shared(&label, &variant.program, vbec, &cfg.spec, prior, shared, tel)?;
 
         let verify_span =
             tel.span("verify").arg("benchmark", name).arg("criterion", criterion.name());
@@ -356,6 +381,11 @@ mod tests {
         assert_eq!(snap.gauge("study.benchmarks"), Some(1));
         assert_eq!(snap.counter("study.variants"), Some(Criterion::ALL.len() as u64));
         assert_eq!(snap.counter("study.scoring_analyses"), Some(1));
+        // Golden reuse is on by default: all three variants (including the
+        // identity baseline) derive their golden from the shared substrate,
+        // and only the two real reschedules pay a (deterministic) replay.
+        assert_eq!(snap.counter("study.golden_substrate_hits"), Some(Criterion::ALL.len() as u64));
+        assert!(snap.counter("study.golden_replay_cycles").unwrap_or(0) > 0);
         let total_runs: u64 =
             report.benchmarks.iter().flat_map(|b| &b.variants).map(|v| v.campaign.runs()).sum();
         assert_eq!(snap.counter("campaign.runs"), Some(total_runs));
@@ -365,6 +395,7 @@ mod tests {
             "\"study\"",
             "\"benchmark\"",
             "\"schedule\"",
+            "\"substrate\"",
             "\"variant\"",
             "\"verify\"",
             "\"golden\"",

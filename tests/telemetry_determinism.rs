@@ -159,16 +159,59 @@ fn campaign_exports_never_change_stdout_or_reports() {
 
 #[test]
 fn study_exports_never_change_stdout_or_reports() {
+    let base =
+        ["study", "--bench", "crc32", "--sample", "40", "--seed", "7", "--shards", "4", "--json"];
     let snapshots = assert_invariant(
         "study",
-        &["study", "--bench", "crc32", "--sample", "40", "--seed", "7", "--shards", "4", "--json"],
-        &["study", "benchmark", "schedule", "variant", "verify", "golden", "campaign", "shard"],
+        &base,
+        &[
+            "study",
+            "benchmark",
+            "schedule",
+            "substrate",
+            "variant",
+            "verify",
+            "golden",
+            "campaign",
+            "shard",
+        ],
     );
     let logical: Vec<_> = snapshots.iter().map(|s| logical_metrics(s)).collect();
     assert!(
         logical.windows(2).all(|w| w[0] == w[1]),
         "study logical metrics vary with worker count:\n{logical:#?}"
     );
+    // The substrate counters are part of the logical (worker-independent)
+    // registry: every variant (including the identity baseline) derives
+    // from the shared substrate, and the replays are cycle-deterministic.
+    let doc = Json::parse(&snapshots[0]).unwrap();
+    let counter = |name: &str| {
+        doc.get("metrics")
+            .and_then(|m| m.get(name))
+            .and_then(|m| m.get("value"))
+            .and_then(Json::as_u64)
+    };
+    assert_eq!(counter("study.golden_substrate_hits"), Some(3));
+    assert!(counter("study.golden_replay_cycles").unwrap_or(0) > 0);
+
+    // Opting out of golden reuse re-simulates every variant's golden but
+    // must reproduce the identical stdout summary and report artifact.
+    let report_ref = tmp("study_reuse_ref.json");
+    let mut with_reuse = strs(&base);
+    with_reuse.extend(["--report".into(), report_ref.display().to_string()]);
+    let stdout_ref = run_bec(&with_reuse);
+    let report_no = tmp("study_noreuse.json");
+    let mut without = strs(&base);
+    without.extend([
+        "--no-golden-reuse".into(),
+        "--report".into(),
+        report_no.display().to_string(),
+    ]);
+    assert_eq!(run_bec(&without), stdout_ref, "--no-golden-reuse changed stdout");
+    assert_eq!(read(&report_no), read(&report_ref), "--no-golden-reuse changed the report");
+    for p in [&report_ref, &report_no] {
+        let _ = std::fs::remove_file(p);
+    }
 }
 
 #[test]
