@@ -1,0 +1,210 @@
+//! A minimal fixed-width little-endian byte codec for cache payloads.
+//!
+//! Every persisted artifact is encoded through [`ByteWriter`] and decoded
+//! through [`ByteReader`]. The format is deliberately dumb: fixed-width LE
+//! integers and length-prefixed byte runs, no tags, no padding — the cache
+//! key already pins the artifact kind and format version, so a reader
+//! always knows exactly what layout to expect. Decoding is total: every
+//! read is bounds-checked and returns an error instead of panicking, so a
+//! truncated or bit-flipped payload surfaces as a clean eviction upstream.
+
+/// An append-only encoder over a growable byte buffer.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u128`, little-endian.
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a length-prefixed byte run.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// The finished payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A bounds-checked decoder over a payload slice.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "payload truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u128`.
+    pub fn u128(&mut self) -> Result<u128, String> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`-encoded `usize`.
+    pub fn usize(&mut self) -> Result<usize, String> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| format!("length {v} does not fit this platform"))
+    }
+
+    /// Reads a length prefix for a run of `elem_size`-byte elements,
+    /// rejecting lengths the remaining payload cannot possibly hold — a
+    /// corrupted prefix must fail cleanly, not drive a huge allocation.
+    pub fn len_prefix(&mut self, elem_size: usize) -> Result<usize, String> {
+        let n = self.usize()?;
+        if n.checked_mul(elem_size.max(1)).is_none_or(|total| total > self.remaining()) {
+            return Err(format!("implausible length {n} at offset {}", self.pos));
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed byte run.
+    pub fn bytes(&mut self) -> Result<&'a [u8], String> {
+        let n = self.len_prefix(1)?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| "string payload not UTF-8".to_owned())
+    }
+
+    /// Asserts the payload was fully consumed — trailing garbage means the
+    /// artifact was not written by this codec.
+    pub fn done(&self) -> Result<(), String> {
+        if self.remaining() != 0 {
+            return Err(format!("{} trailing bytes after payload", self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_every_width() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.u128(1u128 << 100);
+        w.str("hello");
+        w.bytes(&[1, 2, 3]);
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.u128().unwrap(), 1u128 << 100);
+        assert_eq!(r.str().unwrap(), "hello");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_garbage_fail_cleanly() {
+        let mut w = ByteWriter::new();
+        w.u64(42);
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf[..5]);
+        assert!(r.u64().unwrap_err().contains("truncated"));
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u32().unwrap(), 42);
+        assert!(r.done().unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn implausible_lengths_are_rejected_before_allocation() {
+        let mut w = ByteWriter::new();
+        w.u64(u64::MAX); // length prefix far past any real payload
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        assert!(r.bytes().is_err());
+        let mut r = ByteReader::new(&buf);
+        assert!(r.len_prefix(16).is_err());
+    }
+}

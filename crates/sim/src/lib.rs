@@ -57,6 +57,7 @@ pub mod checkpoint;
 pub mod exec;
 pub mod json;
 pub mod machine;
+pub mod persist;
 pub mod pool;
 pub mod runner;
 pub mod shard;
@@ -70,13 +71,17 @@ pub use campaign::{CampaignKind, CampaignSummary};
 pub use checkpoint::{default_checkpoint_interval, Checkpoint, CheckpointLog};
 pub use exec::{CrashKind, ExecOutcome};
 pub use machine::{FaultSpec, Machine, Memory};
-pub use pool::{run_sharded, run_sharded_engine, run_sharded_with, PoolStats};
+pub use persist::{
+    decode_golden, decode_substrate, decode_verdicts, encode_golden, encode_substrate,
+    encode_verdicts, SiteVerdicts,
+};
+pub use pool::{run_sharded, run_sharded_engine, run_sharded_slice, run_sharded_with, PoolStats};
 pub use runner::{FaultRun, GoldenRun, Injector, RunResult, SimLimits, Simulator};
 pub use shard::{
     site_fault_space, CampaignReport, CampaignSpec, FaultOutcome, ShardPlan, ShardResult,
     SitedFault,
 };
-pub use study::{CrossTable, SharedGolden, StudyReport, StudySpec};
+pub use study::{CrossTable, PreparedCampaign, SharedGolden, StudyReport, StudySpec};
 pub use substrate::{DerivedGolden, GoldenSubstrate};
 pub use trace::{FaultClass, TraceHash};
 pub use validate::{validate_program, Mismatch, MismatchKind, ValidationReport};

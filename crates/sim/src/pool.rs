@@ -150,48 +150,74 @@ pub fn run_sharded_engine(
     engine: Engine,
     tel: &Telemetry,
 ) -> Result<(CampaignReport, PoolStats), String> {
-    let started = Instant::now();
-    let workers = workers.max(1);
-
-    let mut report = match resume {
+    let report = match resume {
         Some(prev) => {
-            if prev.program != label {
-                return Err(format!("resume report is for `{}`, not `{label}`", prev.program));
-            }
-            if prev.spec != plan.spec() || prev.fault_space != plan.fault_space() {
-                return Err("resume report disagrees with the campaign spec".into());
-            }
-            if prev.max_cycles != sim.limits().max_cycles {
-                return Err(format!(
-                    "resume report used a {}-cycle budget, this run uses {}",
-                    prev.max_cycles,
-                    sim.limits().max_cycles
-                ));
-            }
-            if prev.shards.len() != plan.shard_count() {
-                return Err("resume report has a different shard count".into());
-            }
+            prev.validate_resume(label, plan, sim.limits().max_cycles)?;
             prev
         }
         None => CampaignReport::empty(label, plan, sim.limits().max_cycles),
     };
+    run_report(sim, golden, ckpts, plan, workers, report, engine, tel, None, &mut |_, _| {})
+}
 
-    // Consistency guard: a resumed shard must contain exactly the planned
-    // faults — a stale report silently mixing campaigns would otherwise
-    // corrupt the differential verdict.
-    for (i, slot) in report.shards.iter().enumerate() {
-        if let Some(s) = slot {
-            let planned = plan.shard(i);
-            if s.outcomes.len() != planned.len()
-                || s.outcomes.iter().zip(planned).any(|(o, f)| o.fault != *f)
-            {
-                return Err(format!("resumed shard {i} does not match the plan"));
-            }
-        }
+/// Executes only the shards in `slice` and returns the *partial* report
+/// (non-slice slots stay `None`) — the worker half of `bec campaign
+/// --spawn`. `on_shard(index, runs)` fires as each shard completes, in
+/// completion order, so a spawned worker can stream progress to its parent.
+///
+/// The partial report merges slot-wise with any disjoint partial of the
+/// same plan into exactly the report a single in-process run produces:
+/// shard outcomes depend only on the plan, never on which process ran them.
+///
+/// # Errors
+///
+/// Fails when `slice` names a shard outside the plan.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_slice(
+    sim: &Simulator<'_>,
+    golden: &GoldenRun,
+    ckpts: &CheckpointLog,
+    plan: &ShardPlan,
+    workers: usize,
+    slice: &[usize],
+    label: &str,
+    engine: Engine,
+    tel: &Telemetry,
+    on_shard: &mut dyn FnMut(usize, usize),
+) -> Result<(CampaignReport, PoolStats), String> {
+    if let Some(&bad) = slice.iter().find(|&&s| s >= plan.shard_count()) {
+        return Err(format!("slice shard {bad} out of range (plan has {})", plan.shard_count()));
     }
+    let report = CampaignReport::empty(label, plan, sim.limits().max_cycles);
+    run_report(sim, golden, ckpts, plan, workers, report, engine, tel, Some(slice), on_shard)
+}
 
-    let pending = report.pending_shards();
-    let resumed_shards = plan.shard_count() - pending.len();
+/// The shared pool body: fills `report`'s pending slots (optionally
+/// restricted to `restrict`) on `workers` threads.
+#[allow(clippy::too_many_arguments)]
+fn run_report(
+    sim: &Simulator<'_>,
+    golden: &GoldenRun,
+    ckpts: &CheckpointLog,
+    plan: &ShardPlan,
+    workers: usize,
+    mut report: CampaignReport,
+    engine: Engine,
+    tel: &Telemetry,
+    restrict: Option<&[usize]>,
+    on_shard: &mut dyn FnMut(usize, usize),
+) -> Result<(CampaignReport, PoolStats), String> {
+    let started = Instant::now();
+    let workers = workers.max(1);
+    let label = report.program.clone();
+    let label = label.as_str();
+
+    let all_pending = report.pending_shards();
+    let resumed_shards = plan.shard_count() - all_pending.len();
+    let pending: Vec<usize> = match restrict {
+        Some(keep) => all_pending.into_iter().filter(|s| keep.contains(s)).collect(),
+        None => all_pending,
+    };
     let planned_runs: u64 = pending.iter().map(|&s| plan.shard(s).len() as u64).sum();
     let next = AtomicUsize::new(0);
     let early = AtomicU64::new(0);
@@ -308,8 +334,10 @@ pub fn run_sharded_engine(
         for result in rx {
             let slot = result.shard as usize;
             debug_assert!(report.shards[slot].is_none(), "shard {slot} executed twice");
-            done_runs += result.outcomes.len() as u64;
+            let runs = result.outcomes.len();
+            done_runs += runs as u64;
             report.shards[slot] = Some(result);
+            on_shard(slot, runs);
             meter.update(done_runs, &[("early_exits", early.load(Ordering::Relaxed))]);
         }
     });

@@ -62,6 +62,10 @@ impl RunResult {
     }
 }
 
+/// `(function index, point) → the cycles it executed at` — the golden
+/// run's precomputed site-occurrence index.
+pub type OccurrenceIndex = HashMap<(usize, PointId), Vec<u64>>;
+
 /// A golden (fault-free) run with full instrumentation.
 #[derive(Clone, Debug)]
 pub struct GoldenRun {
@@ -82,7 +86,7 @@ pub struct GoldenRun {
     /// `(func, point) → cycles it executed at`, precomputed once so
     /// fault-space enumeration is O(trace) total instead of rescanning the
     /// cycle map per queried site.
-    pub(crate) occurrence_index: HashMap<(usize, PointId), Vec<u64>>,
+    pub(crate) occurrence_index: OccurrenceIndex,
     /// The register file at the end of the run.
     pub(crate) terminal_regs: Vec<u64>,
     /// Terminal memory digest relative to the initial image (XOR of
@@ -127,7 +131,7 @@ impl GoldenRun {
 
     /// The full `(func, point) → occurrence cycles` index, built once when
     /// the golden run is constructed.
-    pub fn occurrence_index(&self) -> &HashMap<(usize, PointId), Vec<u64>> {
+    pub fn occurrence_index(&self) -> &OccurrenceIndex {
         &self.occurrence_index
     }
 
@@ -148,6 +152,34 @@ impl GoldenRun {
     pub fn mem_digest(&self) -> u128 {
         self.mem_digest
     }
+}
+
+/// Derives the two lookup structures a [`GoldenRun`] carries next to its
+/// raw cycle map: the next-cycle-at-same-depth vector (fault-site windows)
+/// and the `(func, point) → occurrence cycles` index. Shared between the
+/// recording path and the cache decoder (`crate::persist`), which persists
+/// only the cycle map and recomputes both indexes — they are pure functions
+/// of it.
+pub(crate) fn derive_cycle_indexes(
+    cycle_map: &[(u32, PointId, u32)],
+) -> (Vec<u64>, OccurrenceIndex) {
+    // Backward pass: next cycle at the same call depth.
+    let n = cycle_map.len();
+    let mut next_same_depth = vec![n as u64; n];
+    let mut last_at_depth: Vec<u64> = Vec::new();
+    let mut occurrence_index: OccurrenceIndex = HashMap::new();
+    for c in (0..n).rev() {
+        let d = cycle_map[c].2 as usize;
+        if last_at_depth.len() <= d {
+            last_at_depth.resize(d + 1, n as u64);
+        }
+        next_same_depth[c] = last_at_depth[d];
+        last_at_depth[d] = c as u64;
+    }
+    for (c, &(f, p, _)) in cycle_map.iter().enumerate() {
+        occurrence_index.entry((f as usize, p)).or_default().push(c as u64);
+    }
+    (next_same_depth, occurrence_index)
 }
 
 /// The outcome of one checkpointed fault-injection run.
@@ -341,22 +373,7 @@ impl<'p> Simulator<'p> {
         }
         let rw_map = raw.rw_map.take().unwrap_or_default();
         let cycle_map = raw.cycle_map.expect("recording enabled");
-        // Backward pass: next cycle at the same call depth.
-        let n = cycle_map.len();
-        let mut next_same_depth = vec![n as u64; n];
-        let mut last_at_depth: Vec<u64> = Vec::new();
-        let mut occurrence_index: HashMap<(usize, PointId), Vec<u64>> = HashMap::new();
-        for c in (0..n).rev() {
-            let d = cycle_map[c].2 as usize;
-            if last_at_depth.len() <= d {
-                last_at_depth.resize(d + 1, n as u64);
-            }
-            next_same_depth[c] = last_at_depth[d];
-            last_at_depth[d] = c as u64;
-        }
-        for (c, &(f, p, _)) in cycle_map.iter().enumerate() {
-            occurrence_index.entry((f as usize, p)).or_default().push(c as u64);
-        }
+        let (next_same_depth, occurrence_index) = derive_cycle_indexes(&cycle_map);
         let golden = GoldenRun {
             result: RunResult {
                 outcome: raw.outcome,

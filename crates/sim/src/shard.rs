@@ -42,7 +42,6 @@
 //! # Ok::<(), bec_ir::IrError>(())
 //! ```
 
-use crate::campaign::occurrence_map;
 use crate::json::Json;
 use crate::machine::FaultSpec;
 use crate::runner::GoldenRun;
@@ -100,46 +99,10 @@ pub fn site_fault_space(
     bec: &BecAnalysis,
     golden: &GoldenRun,
 ) -> Vec<SitedFault> {
-    let occs = occurrence_map(golden);
-    let mut out = Vec::new();
-    for (fi, fa) in bec.functions().iter().enumerate() {
-        // Regroup the (point, register) site pairs by point, preserving
-        // first-appearance order.
-        let mut points: Vec<(_, Vec<Reg>)> = Vec::new();
-        for (p, r) in fa.coalescing.nodes().site_pairs() {
-            match points.last_mut() {
-                Some((lp, regs)) if *lp == p => regs.push(r),
-                _ => points.push((p, vec![r])),
-            }
-        }
-        for (p, regs) in points {
-            let Some(cycles) = occs.get(&(fi, p)) else { continue };
-            // The per-(register, bit) verdicts are occurrence-independent;
-            // hoist them out of the occurrence loop.
-            let mut verdicts = Vec::with_capacity(regs.len() * program.config.xlen as usize);
-            for &r in &regs {
-                for bit in 0..program.config.xlen {
-                    let masked = bec
-                        .site_verdict(fi, p, r, bit)
-                        .expect("accessed site has a verdict")
-                        .is_masked();
-                    verdicts.push((r, bit, masked));
-                }
-            }
-            for (k, &c) in cycles.iter().enumerate() {
-                for &(r, bit, masked) in &verdicts {
-                    out.push(SitedFault {
-                        spec: FaultSpec { cycle: golden.window_open_cycle(c), reg: r, bit },
-                        func: fi as u32,
-                        point: p,
-                        occurrence: k as u32,
-                        masked,
-                    });
-                }
-            }
-        }
-    }
-    out
+    // The extraction and the enumeration are split so the verdict half can
+    // be persisted (`bec --cache-dir`) and replayed against a golden run
+    // without the analysis.
+    crate::persist::SiteVerdicts::of(program, bec).fault_space(golden)
 }
 
 /// The deterministic inputs of a campaign. Two campaigns with equal specs
@@ -284,6 +247,52 @@ impl CampaignReport {
         }
     }
 
+    /// Checks that this (possibly partial) report was recorded for exactly
+    /// the campaign described by `label`/`plan`/`max_cycles`, so its shards
+    /// may be reused by a resume or merged from a spawned worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first disagreement: label, spec,
+    /// fault-space size, cycle budget, shard count, or a completed shard
+    /// whose faults differ from the planned ones.
+    pub fn validate_resume(
+        &self,
+        label: &str,
+        plan: &ShardPlan,
+        max_cycles: u64,
+    ) -> Result<(), String> {
+        if self.program != label {
+            return Err(format!("resume report is for `{}`, not `{label}`", self.program));
+        }
+        if self.spec != plan.spec() || self.fault_space != plan.fault_space() {
+            return Err("resume report disagrees with the campaign spec".into());
+        }
+        if self.max_cycles != max_cycles {
+            return Err(format!(
+                "resume report used a {}-cycle budget, this run uses {max_cycles}",
+                self.max_cycles
+            ));
+        }
+        if self.shards.len() != plan.shard_count() {
+            return Err("resume report has a different shard count".into());
+        }
+        // Consistency guard: a resumed shard must contain exactly the
+        // planned faults — a stale report silently mixing campaigns would
+        // otherwise corrupt the differential verdict.
+        for (i, slot) in self.shards.iter().enumerate() {
+            if let Some(s) = slot {
+                let planned = plan.shard(i);
+                if s.outcomes.len() != planned.len()
+                    || s.outcomes.iter().zip(planned).any(|(o, f)| o.fault != *f)
+                {
+                    return Err(format!("resumed shard {i} does not match the plan"));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Whether every shard has completed.
     pub fn is_complete(&self) -> bool {
         self.shards.iter().all(Option::is_some)
@@ -349,6 +358,7 @@ impl CampaignReport {
             .collect();
         let mut fields = vec![
             ("version", Json::UInt(1)),
+            ("salt", Json::str(bec_cache::VERSION_SALT)),
             ("program", Json::str(&self.program)),
             ("seed", Json::UInt(self.spec.seed)),
         ];
@@ -387,6 +397,17 @@ impl CampaignReport {
         let uint = |k: &str| field(k)?.as_u64().ok_or_else(|| format!("field `{k}` not a uint"));
         if uint("version")? != 1 {
             return Err("unsupported report version".into());
+        }
+        // A report is only resumable/mergeable by a binary with the same
+        // artifact salt: outcomes classified by a different analysis or
+        // engine generation must be recomputed, not trusted.
+        let salt = doc.get("salt").and_then(Json::as_str).unwrap_or("<none>");
+        if salt != bec_cache::VERSION_SALT {
+            return Err(format!(
+                "report version salt `{salt}` does not match this binary's `{}`; \
+                 rerun the campaign instead of resuming",
+                bec_cache::VERSION_SALT
+            ));
         }
         let program = field("program")?.as_str().ok_or("field `program` not a string")?.to_owned();
         let shard_count = uint("shard_count")?;
@@ -592,12 +613,38 @@ exit:
     fn from_json_rejects_implausible_shard_counts() {
         for count in ["0", "4000000000"] {
             let text = format!(
-                "{{\"version\": 1, \"program\": \"x\", \"seed\": 0, \"shard_count\": {count}, \
-                 \"max_cycles\": 10, \"fault_space\": 1, \"shards\": []}}"
+                "{{\"version\": 1, \"salt\": \"{}\", \"program\": \"x\", \"seed\": 0, \
+                 \"shard_count\": {count}, \"max_cycles\": 10, \"fault_space\": 1, \
+                 \"shards\": []}}",
+                bec_cache::VERSION_SALT
             );
             let err = CampaignReport::from_json(&Json::parse(&text).unwrap()).unwrap_err();
             assert!(err.contains("implausible"), "{err}");
         }
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_or_missing_version_salts() {
+        // A report from a binary with a different artifact generation (or
+        // from before salting existed) must not be resumed: its outcomes
+        // were classified by a different analysis/engine version.
+        for salt in ["\"salt\": \"bec-artifacts-v0\", ", ""] {
+            let text = format!(
+                "{{\"version\": 1, {salt}\"program\": \"x\", \"seed\": 0, \"shard_count\": 1, \
+                 \"max_cycles\": 10, \"fault_space\": 1, \"shards\": []}}"
+            );
+            let err = CampaignReport::from_json(&Json::parse(&text).unwrap()).unwrap_err();
+            assert!(err.contains("salt"), "{err}");
+        }
+        let good = CampaignReport {
+            program: "x".into(),
+            spec: CampaignSpec::exhaustive(1),
+            max_cycles: 10,
+            fault_space: 1,
+            shards: vec![None],
+        };
+        let back = CampaignReport::from_json(&good.to_json()).unwrap();
+        assert_eq!(back, good);
     }
 
     #[test]

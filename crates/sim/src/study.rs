@@ -46,9 +46,10 @@
 use crate::bitslice::Engine;
 use crate::checkpoint::CheckpointLog;
 use crate::json::Json;
+use crate::persist::SiteVerdicts;
 use crate::pool::{self, PoolStats};
 use crate::runner::{GoldenRun, SimLimits, Simulator};
-use crate::shard::{site_fault_space, CampaignReport, CampaignSpec, ShardPlan};
+use crate::shard::{CampaignReport, CampaignSpec, ShardPlan};
 use crate::substrate::GoldenSubstrate;
 use crate::trace::FaultClass;
 use bec_core::BecAnalysis;
@@ -183,6 +184,53 @@ pub fn run_campaign_shared(
     shared: Option<SharedGolden<'_>>,
     tel: &Telemetry,
 ) -> Result<CampaignRun, String> {
+    let verdicts = SiteVerdicts::of(program, bec);
+    let prep = prepare_campaign(label, program, &verdicts, spec, None, shared, tel)?;
+    run_prepared(label, program, prep, spec, resume, tel)
+}
+
+/// Everything a campaign needs before the sharded pool starts: the golden
+/// pair, the derived per-run budget, and the shard plan. This is exactly
+/// the phase `bec --cache-dir` persists (its inputs are the analysis
+/// verdicts and the golden pair) and the phase a `bec campaign --spawn`
+/// parent runs once before shipping plan slices to worker processes.
+pub struct PreparedCampaign {
+    /// The golden (fault-free) run of the program under campaign.
+    pub golden: GoldenRun,
+    /// The golden run's checkpoint log.
+    pub ckpts: CheckpointLog,
+    /// The checkpoint interval in effect (0 = disabled).
+    pub interval: u64,
+    /// The per-run cycle budget.
+    pub budget: u64,
+    /// The sharded, possibly sampled fault plan.
+    pub plan: ShardPlan,
+}
+
+/// The pre-pool phase of [`run_campaign_shared`]: golden probe (or reuse),
+/// completion check, budget derivation and shard planning.
+///
+/// `golden_override` short-circuits the golden probe with a previously
+/// recorded pair — the cache layer's warm path. It is only consulted under
+/// the adaptive checkpoint policy (`spec.checkpoint_interval == None`),
+/// the policy it was recorded under; the caller guarantees the pair
+/// belongs to exactly this `program` (the cache keys it by program
+/// content). An explicit interval always re-probes, so `--cache-dir` plus
+/// `--checkpoint-interval` stays correct, merely uncached.
+///
+/// # Errors
+///
+/// Fails when the (possibly reused) golden run did not complete.
+#[allow(clippy::too_many_arguments)]
+pub fn prepare_campaign(
+    label: &str,
+    program: &Program,
+    verdicts: &SiteVerdicts,
+    spec: &StudySpec,
+    golden_override: Option<(GoldenRun, CheckpointLog)>,
+    shared: Option<SharedGolden<'_>>,
+    tel: &Telemetry,
+) -> Result<PreparedCampaign, String> {
     let probe = Simulator::with_limits(
         program,
         SimLimits { max_cycles: spec.max_cycles.unwrap_or(100_000_000) },
@@ -191,17 +239,20 @@ pub fn run_campaign_shared(
     let (golden, ckpts) = match spec.checkpoint_interval {
         Some(0) => (probe.run_golden(), CheckpointLog::disabled()),
         Some(n) => probe.run_golden_checkpointed(n),
-        None => {
-            let derived = shared.and_then(|s| s.substrate.derive(program, s.permutation));
-            match derived {
-                Some(d) => {
-                    tel.add("study.golden_substrate_hits", 1);
-                    tel.add("study.golden_replay_cycles", d.replay_cycles);
-                    (d.golden, d.ckpts)
+        None => match golden_override {
+            Some(pair) => pair,
+            None => {
+                let derived = shared.and_then(|s| s.substrate.derive(program, s.permutation));
+                match derived {
+                    Some(d) => {
+                        tel.add("study.golden_substrate_hits", 1);
+                        tel.add("study.golden_replay_cycles", d.replay_cycles);
+                        (d.golden, d.ckpts)
+                    }
+                    None => probe.run_golden_aligned(),
                 }
-                None => probe.run_golden_aligned(),
             }
-        }
+        },
     };
     let interval = ckpts.interval();
     drop(golden_span);
@@ -214,12 +265,30 @@ pub fn run_campaign_shared(
     let budget = spec
         .max_cycles
         .unwrap_or_else(|| golden.cycles().saturating_mul(100).saturating_add(10_000));
-    let sim = Simulator::with_limits(program, SimLimits { max_cycles: budget });
     tel.gauge("campaign.checkpoint_interval", interval);
     tel.gauge("campaign.budget_cycles", budget);
 
     let cspec = CampaignSpec { seed: spec.seed, sample: spec.sample, shards: spec.shards };
-    let plan = ShardPlan::build(site_fault_space(program, bec, &golden), cspec);
+    let plan = ShardPlan::build(verdicts.fault_space(&golden), cspec);
+    Ok(PreparedCampaign { golden, ckpts, interval, budget, plan })
+}
+
+/// The pool phase of [`run_campaign_shared`]: executes a prepared
+/// campaign's plan in-process on `spec.workers` threads.
+///
+/// # Errors
+///
+/// Fails when `resume` disagrees with the prepared campaign.
+pub fn run_prepared(
+    label: &str,
+    program: &Program,
+    prep: PreparedCampaign,
+    spec: &StudySpec,
+    resume: Option<CampaignReport>,
+    tel: &Telemetry,
+) -> Result<CampaignRun, String> {
+    let PreparedCampaign { golden, ckpts, interval, budget, plan } = prep;
+    let sim = Simulator::with_limits(program, SimLimits { max_cycles: budget });
     let (report, stats) = pool::run_sharded_engine(
         &sim,
         &golden,

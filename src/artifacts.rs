@@ -1,0 +1,136 @@
+//! The `--cache-dir` artifact store: content-addressed persistence of the
+//! pre-campaign phase (analysis verdicts, golden run + checkpoints, golden
+//! substrate, analysis reports) on top of [`bec_cache`].
+//!
+//! Every method is a load-or-compute: a warm entry is decoded and returned,
+//! a missing/corrupt/undecodable entry falls back to `compute` and the
+//! fresh artifact is stored for the next run. Failures never propagate —
+//! a broken cache degrades to a cold run, it cannot change results. Keys
+//! are content hashes over the program (raw input bytes for files, printed
+//! IR text for in-memory variants) plus every input that shapes the
+//! artifact, with [`bec_cache::VERSION_SALT`] folded in so stale artifact
+//! generations miss instead of being misread.
+
+use bec_cache::{content_key, Cache};
+use bec_ir::Program;
+use bec_sim::persist;
+use bec_sim::{CheckpointLog, ExecOutcome, GoldenRun, GoldenSubstrate, SimLimits, SiteVerdicts};
+use bec_telemetry::Telemetry;
+
+/// A handle on one `--cache-dir` store.
+pub struct ArtifactStore {
+    cache: Cache,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) the store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory cannot be created.
+    pub fn open(dir: &str) -> Result<ArtifactStore, String> {
+        Ok(ArtifactStore { cache: Cache::open(dir)? })
+    }
+
+    /// Loads a decodable artifact or falls back: corrupt and undecodable
+    /// entries are evicted so the recomputed artifact replaces them.
+    fn load<T>(
+        &self,
+        key: bec_cache::CacheKey,
+        tel: &Telemetry,
+        decode: impl FnOnce(&[u8]) -> Result<T, String>,
+    ) -> Option<T> {
+        let bytes = self.cache.load(key, tel)?;
+        match decode(&bytes) {
+            Ok(v) => Some(v),
+            Err(_) => {
+                self.cache.evict(key, tel);
+                None
+            }
+        }
+    }
+
+    /// The campaign verdicts of one analyzed program, keyed by rule set and
+    /// program content. A warm hit skips the entire `BecAnalysis`.
+    pub fn verdicts_or(
+        &self,
+        rules: &str,
+        program_bytes: &[u8],
+        tel: &Telemetry,
+        compute: impl FnOnce() -> SiteVerdicts,
+    ) -> SiteVerdicts {
+        let key = content_key("verdicts", &[rules], &[program_bytes]);
+        if let Some(v) = self.load(key, tel, persist::decode_verdicts) {
+            return v;
+        }
+        let v = compute();
+        let _ = self.cache.store(key, &persist::encode_verdicts(&v), tel);
+        v
+    }
+
+    /// The golden pair of one program under the adaptive checkpoint policy,
+    /// keyed by program content and probe budget. Only completed goldens
+    /// are persisted — a timeout under one budget must not be replayed as
+    /// a result under another.
+    pub fn golden_or(
+        &self,
+        program_bytes: &[u8],
+        probe_limit: u64,
+        tel: &Telemetry,
+        compute: impl FnOnce() -> (GoldenRun, CheckpointLog),
+    ) -> (GoldenRun, CheckpointLog) {
+        let key = content_key("golden", &[], &[program_bytes, &probe_limit.to_le_bytes()]);
+        if let Some(pair) = self.load(key, tel, persist::decode_golden) {
+            return pair;
+        }
+        let (golden, ckpts) = compute();
+        if golden.result.outcome == ExecOutcome::Completed {
+            let _ = self.cache.store(key, &persist::encode_golden(&golden, &ckpts), tel);
+        }
+        (golden, ckpts)
+    }
+
+    /// The shared golden substrate of one benchmark baseline, keyed by the
+    /// printed program and the recording budget. `compute` may decline
+    /// (`None`, e.g. the baseline does not complete); declines are not
+    /// cached.
+    pub fn substrate_or(
+        &self,
+        program: &Program,
+        limits: SimLimits,
+        tel: &Telemetry,
+        compute: impl FnOnce() -> Option<GoldenSubstrate>,
+    ) -> Option<GoldenSubstrate> {
+        let text = bec_ir::print_program(program);
+        let key =
+            content_key("substrate", &[], &[text.as_bytes(), &limits.max_cycles.to_le_bytes()]);
+        if let Some(s) = self.load(key, tel, |b| persist::decode_substrate(b, program, limits)) {
+            return Some(s);
+        }
+        let s = compute()?;
+        let _ = self.cache.store(key, &persist::encode_substrate(&s), tel);
+        Some(s)
+    }
+
+    /// A deterministic rendered report (e.g. the `bec analyze` stdout
+    /// document), keyed by `kind`, the given salts and the program content.
+    /// A warm hit replays the exact bytes without recomputing anything.
+    pub fn report_or(
+        &self,
+        kind: &str,
+        salts: &[&str],
+        program_bytes: &[u8],
+        tel: &Telemetry,
+        compute: impl FnOnce() -> String,
+    ) -> String {
+        let key = content_key(kind, salts, &[program_bytes]);
+        if let Some(text) =
+            self.load(key, tel, |b| String::from_utf8(b.to_vec()).map_err(|e| e.to_string()))
+        {
+            return text;
+        }
+        let text = compute();
+        let _ = self.cache.store(key, text.as_bytes(), tel);
+        text
+    }
+}

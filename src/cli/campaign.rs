@@ -11,11 +11,13 @@
 //! missing from an interrupted campaign.
 
 use super::{input, CliError, CommonArgs};
+use bec::artifacts::ArtifactStore;
+use bec::spawn::{run_spawned, SpawnConfig, WorkerSource};
 use bec_core::{report, BecAnalysis};
 use bec_sim::json::Json;
 use bec_sim::shard::CampaignReport;
-use bec_sim::study::{run_campaign_with, StudySpec, DEFAULT_SEED, DEFAULT_SHARDS};
-use bec_sim::{Engine, FaultClass, PoolStats};
+use bec_sim::study::{prepare_campaign, run_prepared, StudySpec, DEFAULT_SEED, DEFAULT_SHARDS};
+use bec_sim::{Engine, FaultClass, PoolStats, SimLimits, Simulator, SiteVerdicts};
 use bec_telemetry::Telemetry;
 
 struct Flags {
@@ -37,6 +39,10 @@ struct Flags {
     /// `None` derives a default from the golden trace length. The report
     /// bytes are identical for every setting — only wall-clock changes.
     checkpoint_interval: Option<u64>,
+    /// Worker *processes* to spawn (1 = in-process). Like `--workers` and
+    /// the engine, a pure wall-clock lever: the merged report is
+    /// byte-identical at any spawn count.
+    spawn: usize,
 }
 
 fn parse_flags(args: &CommonArgs) -> Result<Flags, CliError> {
@@ -50,6 +56,7 @@ fn parse_flags(args: &CommonArgs) -> Result<Flags, CliError> {
         resume_path: None,
         max_cycles: None,
         checkpoint_interval: None,
+        spawn: 1,
     };
     let mut it = args.rest.iter();
     while let Some(flag) = it.next() {
@@ -111,6 +118,15 @@ fn parse_flags(args: &CommonArgs) -> Result<Flags, CliError> {
                         .map_err(|_| CliError::usage(format!("bad checkpoint interval `{v}`")))?,
                 );
             }
+            "--spawn" => {
+                let v = value("--spawn")?;
+                let n: usize =
+                    v.parse().map_err(|_| CliError::usage(format!("bad spawn count `{v}`")))?;
+                if n == 0 {
+                    return Err(CliError::usage("--spawn must be at least 1"));
+                }
+                flags.spawn = n;
+            }
             other => return Err(CliError::usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -132,10 +148,47 @@ fn load_resume(path: &str) -> Result<Option<CampaignReport>, CliError> {
     Ok(Some(report))
 }
 
+/// The prepare phase with `--cache-dir` wired in: analysis verdicts and
+/// (under the adaptive checkpoint policy) the golden pair come from the
+/// artifact store when warm, so a warm run skips the whole analysis +
+/// golden phase. Cold or cacheless runs compute exactly what
+/// `run_campaign_with` always did — the prepared campaign, and therefore
+/// the report, is byte-identical either way.
+pub(super) fn prepare_cached(
+    file: &str,
+    program: &bec_ir::Program,
+    options: &bec_core::BecOptions,
+    rules: &str,
+    store: Option<&ArtifactStore>,
+    spec: &StudySpec,
+    tel: &Telemetry,
+) -> Result<bec_sim::PreparedCampaign, String> {
+    let compute_verdicts = || SiteVerdicts::of(program, &BecAnalysis::analyze(program, options));
+    let probe_limit = spec.max_cycles.unwrap_or(100_000_000);
+    let (verdicts, golden_override) = match store {
+        Some(s) => {
+            // `load_program` already read the file; raw bytes are the key.
+            let bytes = std::fs::read(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+            let verdicts = s.verdicts_or(rules, &bytes, tel, compute_verdicts);
+            // The golden pair is only cacheable under the adaptive policy
+            // it was recorded with; an explicit interval re-probes.
+            let golden = match spec.checkpoint_interval {
+                None => Some(s.golden_or(&bytes, probe_limit, tel, || {
+                    Simulator::with_limits(program, SimLimits { max_cycles: probe_limit })
+                        .run_golden_aligned()
+                })),
+                Some(_) => None,
+            };
+            (verdicts, golden)
+        }
+        None => (compute_verdicts(), None),
+    };
+    prepare_campaign(file, program, &verdicts, spec, golden_override, None, tel)
+}
+
 pub fn run(args: &CommonArgs) -> Result<(), CliError> {
     let flags = parse_flags(args)?;
     let program = input::load_program(&args.file)?;
-    let bec = BecAnalysis::analyze(&program, &args.options);
     let resume = match &flags.resume_path {
         Some(path) => load_resume(path)?,
         None => None,
@@ -156,8 +209,32 @@ pub fn run(args: &CommonArgs) -> Result<(), CliError> {
         golden_reuse: true,
     };
     let tel = Telemetry::enabled();
-    let run = run_campaign_with(&args.file, &program, &bec, &spec, resume, &tel)
-        .map_err(CliError::failed)?;
+    let store = match &args.cache_dir {
+        Some(dir) => Some(ArtifactStore::open(dir).map_err(CliError::failed)?),
+        None => None,
+    };
+    let prep = prepare_cached(
+        &args.file,
+        &program,
+        &args.options,
+        &args.rules,
+        store.as_ref(),
+        &spec,
+        &tel,
+    )
+    .map_err(CliError::failed)?;
+    let run = if flags.spawn > 1 {
+        let source = WorkerSource::File { path: args.file.clone() };
+        let cfg = SpawnConfig {
+            spawn: flags.spawn,
+            rules: &args.rules,
+            cache_dir: args.cache_dir.as_deref(),
+        };
+        run_spawned(&source, &args.file, prep, &spec, &cfg, resume, &tel)
+    } else {
+        run_prepared(&args.file, &program, prep, &spec, resume, &tel)
+    }
+    .map_err(CliError::failed)?;
     let (campaign, stats, interval) = (run.report, run.stats, run.interval);
 
     if let Some(path) = &flags.report_path {

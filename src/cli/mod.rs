@@ -8,6 +8,7 @@ mod prune;
 mod schedule;
 mod sim;
 mod study;
+mod worker;
 
 use bec_core::BecOptions;
 use bec_telemetry::Telemetry;
@@ -44,6 +45,11 @@ pub struct CommonArgs {
     pub trace_out: Option<String>,
     /// Metrics snapshot destination (`--metrics-out`).
     pub metrics_out: Option<String>,
+    /// Artifact cache directory (`--cache-dir`).
+    pub cache_dir: Option<String>,
+    /// Name of the selected rule set (salts cache keys, forwarded to
+    /// spawned workers).
+    pub rules: String,
     /// Remaining command-specific flags, in order.
     pub rest: Vec<String>,
 }
@@ -55,6 +61,17 @@ impl CommonArgs {
     /// requesting them never changes any byte-compared artifact.
     pub fn export_telemetry(&self, tel: &Telemetry) -> Result<(), CliError> {
         write_exports(tel, self.trace_out.as_deref(), self.metrics_out.as_deref())
+    }
+}
+
+/// Maps a `--rules` name to its option set (shared by every argument
+/// parser, so spawned workers resolve names exactly like their parent).
+pub(crate) fn rule_options(name: &str) -> Result<BecOptions, CliError> {
+    match name {
+        "paper" => Ok(BecOptions::paper()),
+        "extended" => Ok(BecOptions::extended()),
+        "branches-only" => Ok(BecOptions::branches_only()),
+        other => Err(CliError::usage(format!("unknown rule set `{other}`"))),
     }
 }
 
@@ -81,6 +98,8 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
     let mut options = BecOptions::paper();
     let mut trace_out = None;
     let mut metrics_out = None;
+    let mut cache_dir = None;
+    let mut rules = String::from("paper");
     let mut rest = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -96,12 +115,12 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
             }
             "--rules" => {
                 let v = it.next().ok_or_else(|| CliError::usage("--rules needs a value"))?;
-                options = match v.as_str() {
-                    "paper" => BecOptions::paper(),
-                    "extended" => BecOptions::extended(),
-                    "branches-only" => BecOptions::branches_only(),
-                    other => return Err(CliError::usage(format!("unknown rule set `{other}`"))),
-                };
+                options = rule_options(v)?;
+                rules = v.clone();
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or_else(|| CliError::usage("--cache-dir needs a path"))?;
+                cache_dir = Some(v.clone());
             }
             flag if flag.starts_with("--") => {
                 rest.push(a.clone());
@@ -120,6 +139,7 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
                         | "--resume"
                         | "--checkpoint-interval"
                         | "--engine"
+                        | "--spawn"
                 ) {
                     if let Some(v) = it.next() {
                         rest.push(v.clone());
@@ -136,6 +156,8 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
         options,
         trace_out,
         metrics_out,
+        cache_dir,
+        rules,
         rest,
     })
 }
@@ -154,6 +176,10 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         // `study` takes no input file (its subjects are the built-in suite
         // benchmarks), so it parses its own argument list.
         "study" => study::run(&args[1..]),
+        // Hidden: the worker half of `bec campaign --spawn`. Parses its own
+        // argument list (slice specs and partial-report paths are not
+        // user-facing flags).
+        "campaign-worker" => worker::run(&args[1..]),
         "encode" => encode::run(&parse_common(&args[1..])?),
         "help" | "--help" | "-h" => Err(CliError::Usage(String::new())),
         other => Err(CliError::usage(format!("unknown command `{other}`"))),

@@ -17,9 +17,9 @@
 //! masked fault observed corrupting a variant) or a coverage regression
 //! (a reliability-improving schedule grew the live fault surface).
 
-use super::{write_exports, CliError};
+use super::{rule_options, write_exports, CliError};
 use bec::study::{run_study, StudyConfig};
-use bec_core::{report, BecOptions};
+use bec_core::report;
 use bec_sim::json::Json;
 use bec_sim::study::{StudyReport, StudySpec, VariantRecord};
 use bec_sim::{CrossTable, Engine, FaultClass};
@@ -57,12 +57,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             "--json" => json = true,
             "--rules" => {
                 let v = value("--rules")?;
-                cfg.options = match v.as_str() {
-                    "paper" => BecOptions::paper(),
-                    "extended" => BecOptions::extended(),
-                    "branches-only" => BecOptions::branches_only(),
-                    other => return Err(CliError::usage(format!("unknown rule set `{other}`"))),
-                };
+                cfg.options = rule_options(&v)?;
                 cfg.rules = v;
             }
             "--bench" => {
@@ -126,6 +121,19 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                     CliError::usage(format!("unknown engine `{v}` (expected scalar or bitsliced)"))
                 })?;
             }
+            // Worker *processes* per variant campaign. Like --workers and
+            // --engine, a wall-clock lever: report bytes are identical at
+            // any spawn count.
+            "--spawn" => {
+                let v = value("--spawn")?;
+                let n: usize =
+                    v.parse().map_err(|_| CliError::usage(format!("bad spawn count `{v}`")))?;
+                if n == 0 {
+                    return Err(CliError::usage("--spawn must be at least 1"));
+                }
+                cfg.spawn = n;
+            }
+            "--cache-dir" => cfg.cache_dir = Some(value("--cache-dir")?),
             "--report" => report_path = Some(value("--report")?),
             "--resume" => resume_path = Some(value("--resume")?),
             "--trace-out" => trace_out = Some(value("--trace-out")?),

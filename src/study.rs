@@ -38,14 +38,16 @@
 //!   over the baseline ([`StudyReport::coverage_regressions`]; the
 //!   deliberately pessimal `worst` bound is exempt).
 
+use crate::artifacts::ArtifactStore;
+use crate::spawn::{run_spawned, SpawnConfig, WorkerSource};
 use bec_core::{BecAnalysis, BecOptions};
 use bec_ir::{MachineConfig, Program};
 use bec_sched::Scheduler;
 use bec_sim::study::{
-    run_campaign_shared, BenchmarkStudy, EquivalenceRecord, ScoringRecord, StudyReport, StudySpec,
-    VariantRecord,
+    prepare_campaign, run_prepared, BenchmarkStudy, EquivalenceRecord, ScoringRecord, StudyReport,
+    StudySpec, VariantRecord,
 };
-use bec_sim::{GoldenRun, GoldenSubstrate, SharedGolden, SimLimits, Simulator};
+use bec_sim::{GoldenRun, GoldenSubstrate, SharedGolden, SimLimits, Simulator, SiteVerdicts};
 use bec_telemetry::{Phase, ProgressEvent, Telemetry};
 
 /// What to study: which benchmarks, under which rule set, with which
@@ -61,6 +63,12 @@ pub struct StudyConfig {
     /// Suite benchmark names to study, in order. Empty = all eight, in
     /// the paper's Table III column order.
     pub benchmarks: Vec<String>,
+    /// Worker *processes* per variant campaign (1 = in-process). A pure
+    /// wall-clock lever: report bytes are identical at any spawn count.
+    pub spawn: usize,
+    /// `--cache-dir`: persist/reuse substrates across runs. Warm runs
+    /// skip the golden phase; report bytes are identical either way.
+    pub cache_dir: Option<String>,
 }
 
 impl StudyConfig {
@@ -72,6 +80,8 @@ impl StudyConfig {
             rules: "paper".into(),
             spec,
             benchmarks: Vec::new(),
+            spawn: 1,
+            cache_dir: None,
         }
     }
 
@@ -118,6 +128,10 @@ pub fn run_study(
     let names = cfg.benchmark_names();
     let _study_span = tel.span("study").arg("benchmarks", names.len());
     tel.gauge("study.benchmarks", names.len() as u64);
+    let store = match &cfg.cache_dir {
+        Some(dir) => Some(ArtifactStore::open(dir)?),
+        None => None,
+    };
     let mut report = StudyReport::empty(&cfg.rules, &cfg.spec);
     for name in names {
         let bench = bec_suite::benchmark(&name)
@@ -130,6 +144,7 @@ pub fn run_study(
             &bench.expected,
             &program,
             resume,
+            store.as_ref(),
             tel,
             &mut progress,
         )?);
@@ -146,6 +161,7 @@ fn study_benchmark(
     expected: &[u64],
     program: &Program,
     resume: Option<&StudyReport>,
+    store: Option<&ArtifactStore>,
     tel: &Telemetry,
     progress: &mut impl FnMut(&ProgressEvent),
 ) -> Result<BenchmarkStudy, String> {
@@ -186,7 +202,14 @@ fn study_benchmark(
     let substrate = if cfg.spec.golden_reuse && cfg.spec.checkpoint_interval.is_none() {
         let substrate_span = tel.span("substrate").arg("benchmark", name);
         let limits = SimLimits { max_cycles: cfg.spec.max_cycles.unwrap_or(100_000_000) };
-        let recorded = GoldenSubstrate::record(program, limits).ok();
+        // With a cache, a warm run loads the recorded substrate instead of
+        // re-simulating the baseline — the study's whole golden phase.
+        let recorded = match store {
+            Some(s) => s.substrate_or(program, limits, tel, || {
+                GoldenSubstrate::record(program, limits).ok()
+            }),
+            None => GoldenSubstrate::record(program, limits).ok(),
+        };
         drop(substrate_span);
         recorded
     } else {
@@ -221,8 +244,23 @@ fn study_benchmark(
         let shared = substrate
             .as_ref()
             .map(|s| SharedGolden { substrate: s, permutation: &variant.permutation });
-        let crun =
-            run_campaign_shared(&label, &variant.program, vbec, &cfg.spec, prior, shared, tel)?;
+        let verdicts = SiteVerdicts::of(&variant.program, vbec);
+        let prep =
+            prepare_campaign(&label, &variant.program, &verdicts, &cfg.spec, None, shared, tel)?;
+        let crun = if cfg.spawn > 1 {
+            let source = WorkerSource::Suite {
+                bench: name.to_owned(),
+                criterion: criterion.name().to_owned(),
+            };
+            let scfg = SpawnConfig {
+                spawn: cfg.spawn,
+                rules: &cfg.rules,
+                cache_dir: cfg.cache_dir.as_deref(),
+            };
+            run_spawned(&source, &label, prep, &cfg.spec, &scfg, prior, tel)?
+        } else {
+            run_prepared(&label, &variant.program, prep, &cfg.spec, prior, tel)?
+        };
 
         let verify_span =
             tel.span("verify").arg("benchmark", name).arg("criterion", criterion.name());
