@@ -294,6 +294,35 @@ impl BecAnalysis {
         })
     }
 
+    /// The masked claims of one function, in canonical site order: every
+    /// accessed `(point, register)` pair with at least one masked bit,
+    /// carrying the mask of bits proven masked (bit `b` set ⇔ the verdict
+    /// for bit `b` is `Masked`).
+    ///
+    /// This is the per-site re-verdict query the fuzzer's minimizer leans
+    /// on: after every candidate shrink it re-analyzes the program and
+    /// re-enumerates exactly the claims a violation witness must be drawn
+    /// from, without materializing a full fault space.
+    ///
+    /// Returns an empty list when `func` is out of range.
+    pub fn masked_sites(&self, program: &Program, func: usize) -> Vec<(PointId, Reg, u64)> {
+        let Some(fa) = self.functions.get(func) else { return Vec::new() };
+        let xlen = program.config.xlen;
+        let mut out = Vec::new();
+        for (p, r) in fa.coalescing.nodes().site_pairs() {
+            let mut mask = 0u64;
+            for bit in 0..xlen {
+                let masked =
+                    self.site_verdict(func, p, r, bit).expect("enumerated site").is_masked();
+                mask |= u64::from(masked) << bit;
+            }
+            if mask != 0 {
+                out.push((p, r, mask));
+            }
+        }
+        out
+    }
+
     /// Total number of equivalence classes across all functions (including
     /// each function's `[s0]`).
     pub fn class_count(&self) -> usize {

@@ -167,3 +167,37 @@ fn post_seqz_high_bits_are_masked_by_the_and() {
     assert_eq!(fa.coalescing.is_masked(seqz, r2, 3), Some(true));
     assert_eq!(fa.coalescing.is_masked(seqz, r2, 0), Some(false));
 }
+
+#[test]
+fn masked_sites_agrees_with_per_site_verdicts() {
+    // The minimizer's re-verdict query must be exactly the masked subset of
+    // `site_verdict`, site by site, bit by bit.
+    let p = original();
+    let bec = BecAnalysis::analyze(&p, &BecOptions::paper());
+    let sites = bec.masked_sites(&p, 0);
+    assert!(!sites.is_empty(), "the motivating example has masked claims");
+    for &(point, reg, mask) in &sites {
+        assert_ne!(mask, 0, "sites without masked bits are omitted");
+        for bit in 0..p.config.xlen {
+            let claimed = (mask >> bit) & 1 == 1;
+            let verdict = bec.site_verdict(0, point, reg, bit).unwrap();
+            assert_eq!(claimed, verdict.is_masked(), "{point} {reg} bit {bit}");
+        }
+    }
+    // Every masked verdict appears in the list.
+    let fa = bec.function_by_name("main").unwrap();
+    for (point, reg) in fa.coalescing.nodes().site_pairs() {
+        for bit in 0..p.config.xlen {
+            if bec.site_verdict(0, point, reg, bit).unwrap().is_masked() {
+                assert!(
+                    sites
+                        .iter()
+                        .any(|&(sp, sr, m)| sp == point && sr == reg && (m >> bit) & 1 == 1),
+                    "masked {point} {reg} bit {bit} missing from masked_sites"
+                );
+            }
+        }
+    }
+    // Out-of-range functions make no claims.
+    assert!(bec.masked_sites(&p, 99).is_empty());
+}

@@ -55,8 +55,10 @@ pub mod bitslice;
 pub mod campaign;
 pub mod checkpoint;
 pub mod exec;
+pub mod fuzz;
 pub mod json;
 pub mod machine;
+pub mod minimize;
 pub mod persist;
 pub mod pool;
 pub mod runner;
@@ -70,7 +72,9 @@ pub use bitslice::Engine;
 pub use campaign::{CampaignKind, CampaignSummary};
 pub use checkpoint::{default_checkpoint_interval, Checkpoint, CheckpointLog};
 pub use exec::{CrashKind, ExecOutcome};
+pub use fuzz::{run_fuzz, FuzzFinding, FuzzReport, FuzzSpec};
 pub use machine::{FaultSpec, Machine, Memory};
+pub use minimize::{Minimized, Minimizer, Oracle, Witness};
 pub use persist::{
     decode_golden, decode_substrate, decode_verdicts, encode_golden, encode_substrate,
     encode_verdicts, SiteVerdicts,

@@ -144,19 +144,19 @@ pub struct ShardPlan {
 
 impl ShardPlan {
     /// Builds the plan: samples `spec.sample` faults without replacement
-    /// (seeded Fisher–Yates, then restored to canonical order) and splits
-    /// the list into `spec.shards` contiguous chunks.
+    /// (seeded partial Fisher–Yates, then restored to canonical order) and
+    /// splits the list into `spec.shards` contiguous chunks.
+    ///
+    /// The sampling draws exactly `sample` values from the seeded PRNG
+    /// ([`Rng::partial_shuffle`]'s contract), which is what keeps report
+    /// bytes stable across releases for a fixed spec.
     pub fn build(all: Vec<SitedFault>, spec: CampaignSpec) -> ShardPlan {
         let fault_space = all.len() as u64;
         let faults = match spec.sample {
             Some(n) if (n as usize) < all.len() => {
                 let n = n as usize;
                 let mut idx: Vec<usize> = (0..all.len()).collect();
-                let mut rng = Rng::seeded(spec.seed);
-                for i in 0..n {
-                    let j = rng.range_u64(i as u64, idx.len() as u64) as usize;
-                    idx.swap(i, j);
-                }
+                Rng::seeded(spec.seed).partial_shuffle(&mut idx, n);
                 idx.truncate(n);
                 idx.sort_unstable();
                 idx.into_iter().map(|i| all[i]).collect()

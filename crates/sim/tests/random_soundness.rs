@@ -6,93 +6,74 @@
 //! initialization and the inter-instruction alignment guards against the
 //! ground truth of exhaustive injection.
 //!
-//! Programs are drawn from the deterministic [`bec_testutil::Rng`]; a
-//! failure prints the program text, which reproduces it exactly.
+//! Programs come from the [`bec_fuzzgen`] generator (branches, counted
+//! loops, calls, scratch-memory traffic), drawn from the deterministic
+//! [`bec_testutil::Rng`] seed sequence; a failure prints the seed and the
+//! program text, either of which reproduces it exactly
+//! (`bec_fuzzgen::generate(seed, &profile)`).
 
 use bec_core::BecOptions;
-use bec_ir::{parse_program, Program};
+use bec_fuzzgen::{generate, GenConfig};
 use bec_sim::validate_program;
-use bec_testutil::Rng;
 
-const CASES: u64 = 40;
-
-/// One random loop-body instruction over registers r1..r3 (r0 is the
-/// accumulator that the program returns).
-fn body_inst(rng: &mut Rng) -> String {
-    let reg = |rng: &mut Rng| rng.range_u64(0, 4);
-    let dst = |rng: &mut Rng| rng.range_u64(1, 4); // keep r0 as the accumulator
-    match rng.range_u64(0, 5) {
-        0 => {
-            let ops = ["add", "sub", "and", "or", "xor", "mul", "sltu", "slt", "divu", "remu"];
-            let (d, a, b) = (dst(rng), reg(rng), reg(rng));
-            format!("{} r{d}, r{a}, r{b}", rng.choose(&ops))
-        }
-        1 => {
-            let ops = ["addi", "andi", "ori", "xori"];
-            let (d, a, i) = (dst(rng), reg(rng), rng.range_i64(0, 256));
-            format!("{} r{d}, r{a}, {i}", rng.choose(&ops))
-        }
-        2 => {
-            let ops = ["slli", "srli", "srai"];
-            let (d, a, i) = (dst(rng), reg(rng), rng.range_i64(0, 8));
-            format!("{} r{d}, r{a}, {i}", rng.choose(&ops))
-        }
-        3 => {
-            let ops = ["mv", "seqz", "snez", "neg"];
-            let (d, a) = (dst(rng), reg(rng));
-            format!("{} r{d}, r{a}", rng.choose(&ops))
-        }
-        _ => {
-            let ops = ["sll", "srl"];
-            let (d, a) = (dst(rng), reg(rng));
-            format!("{} r{d}, r{d}, r{a}", rng.choose(&ops))
-        }
-    }
-}
-
-/// A random program: initializations, a counted loop with a random body
-/// that also accumulates into r0, and a `ret r0`.
-fn random_program(rng: &mut Rng) -> Program {
-    let trips = rng.range_i64(2, 5);
-    let mut src = String::from("machine xlen=8 regs=6 zero=none\n");
-    src.push_str("func @main(args=0, ret=none) {\nentry:\n    li r0, 0\n");
-    for i in 0..3 {
-        src.push_str(&format!("    li r{}, {}\n", i + 1, rng.range_i64(0, 256)));
-    }
-    src.push_str(&format!("    li r4, {trips}\n    j loop\nloop:\n"));
-    for _ in 0..rng.range_u64(1, 7) {
-        src.push_str(&format!("    {}\n", body_inst(rng)));
-    }
-    src.push_str("    add  r0, r0, r1\n    addi r4, r4, -1\n    bnez r4, loop\n");
-    src.push_str("exit:\n    ret r0\n}\n");
-    parse_program(&src).expect("generated program parses")
-}
-
-#[test]
-fn bec_is_empirically_sound_on_random_programs() {
-    let mut rng = Rng::seeded(0x51F7);
-    for _ in 0..CASES {
-        let p = random_program(&mut rng);
-        let report = validate_program(&p, &BecOptions::paper());
+/// Exhaustively validates `cases` generated programs drawn from
+/// `base_seed`, panicking with the replay seed and source on any unsound
+/// classification.
+fn validate_cases(base_seed: u64, cases: u64, cfg: &GenConfig, options: &BecOptions) {
+    for i in 0..cases {
+        let seed = base_seed + i;
+        let g = generate(seed, cfg);
+        let report = validate_program(&g.program, options);
         assert!(
             report.is_sound(),
-            "unsound classification: {report:?}\nprogram:\n{}",
-            bec_ir::print_program(&p)
+            "unsound classification: {report:?}\nseed {seed}\nprogram:\n{}",
+            g.source
         );
-        assert!(report.runs > 0);
+        assert!(report.runs > 0, "seed {seed} produced no value-live injection");
     }
 }
 
 #[test]
-fn extended_rules_are_also_sound() {
-    let mut rng = Rng::seeded(0x51F8);
-    for _ in 0..CASES {
-        let p = random_program(&mut rng);
-        let report = validate_program(&p, &BecOptions::extended());
-        assert!(
-            report.is_sound(),
-            "extended rules unsound: {report:?}\nprogram:\n{}",
-            bec_ir::print_program(&p)
-        );
+fn bec_is_empirically_sound_on_tiny_programs() {
+    // The historical profile: tiny machines, exhaustive fault spaces.
+    validate_cases(0x51F7, 40, &GenConfig::tiny(), &BecOptions::paper());
+}
+
+#[test]
+fn extended_rules_are_also_sound_on_tiny_programs() {
+    validate_cases(0x51F8, 40, &GenConfig::tiny(), &BecOptions::extended());
+}
+
+#[test]
+fn bec_is_empirically_sound_on_full_surface_programs() {
+    // Branches, loops, calls and memory on a 16-bit machine — the rules the
+    // straight-line profile never reaches (ABI call effects, branch
+    // liveness joins, load/store access sites).
+    validate_cases(0xB5C0, 12, &GenConfig::full(), &BecOptions::paper());
+}
+
+#[test]
+fn extended_rules_are_also_sound_on_full_surface_programs() {
+    validate_cases(0xB5C1, 12, &GenConfig::full(), &BecOptions::extended());
+}
+
+#[test]
+fn generated_goldens_terminate_within_budget() {
+    // The generator's termination argument, checked empirically across both
+    // profiles: every golden run completes (no hang, no crash) in a small
+    // cycle budget.
+    use bec_sim::{SimLimits, Simulator};
+    for seed in 0..40 {
+        for cfg in [GenConfig::tiny(), GenConfig::full()] {
+            let g = generate(seed, &cfg);
+            let sim = Simulator::with_limits(&g.program, SimLimits { max_cycles: 100_000 });
+            let golden = sim.run_golden();
+            assert!(
+                matches!(golden.result.outcome, bec_sim::ExecOutcome::Completed),
+                "golden run did not complete: {:?}\nseed {seed}\n{}",
+                golden.result.outcome,
+                g.source
+            );
+        }
     }
 }

@@ -97,6 +97,56 @@ impl Rng {
     pub fn bool(&mut self) -> bool {
         self.next_u64() & 1 != 0
     }
+
+    /// An index into `weights`, drawn with probability proportional to its
+    /// weight. Zero-weight entries are never chosen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or all weights are zero.
+    pub fn choose_weighted(&mut self, weights: &[u64]) -> usize {
+        let total: u64 = weights.iter().sum();
+        assert!(total > 0, "choose_weighted needs a positive total weight");
+        let mut roll = self.range_u64(0, total);
+        for (i, &w) in weights.iter().enumerate() {
+            if roll < w {
+                return i;
+            }
+            roll -= w;
+        }
+        unreachable!("roll below total weight")
+    }
+
+    /// Shuffles `items` in place (Fisher–Yates over the whole slice).
+    ///
+    /// Draws exactly `items.len()` values from the generator — the same
+    /// sequence as `partial_shuffle(items, items.len())` — so a shuffle is
+    /// replayable from the seed alone.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        let n = items.len();
+        self.partial_shuffle(items, n);
+    }
+
+    /// Moves a uniform random sample of `n` elements (without replacement)
+    /// into `items[..n]`, in sampled order: the first `n` steps of a
+    /// Fisher–Yates shuffle. The tail `items[n..]` holds the unsampled rest
+    /// in unspecified order.
+    ///
+    /// Draws exactly `n` values from the generator regardless of the slice
+    /// length (one `range_u64` per sampled slot), which is what lets seeded
+    /// consumers — campaign fault sampling, the fuzzer's program generator —
+    /// keep their historical byte-for-byte output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > items.len()`.
+    pub fn partial_shuffle<T>(&mut self, items: &mut [T], n: usize) {
+        assert!(n <= items.len(), "cannot sample {n} of {}", items.len());
+        for i in 0..n {
+            let j = self.range_u64(i as u64, items.len() as u64) as usize;
+            items.swap(i, j);
+        }
+    }
 }
 
 impl Default for Rng {
@@ -139,5 +189,74 @@ mod tests {
             seen[*rng.choose(&items) as usize] = true;
         }
         assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn choose_weighted_respects_weights() {
+        let mut rng = Rng::seeded(11);
+        let weights = [1, 0, 7, 2];
+        let mut counts = [0u32; 4];
+        for _ in 0..10_000 {
+            counts[rng.choose_weighted(&weights)] += 1;
+        }
+        // Zero-weight entries are impossible; heavy entries dominate.
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] && counts[2] > counts[3], "{counts:?}");
+        assert!(counts[0] > 0 && counts[3] > 0, "{counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn choose_weighted_rejects_all_zero() {
+        Rng::new().choose_weighted(&[0, 0]);
+    }
+
+    #[test]
+    fn shuffle_is_a_seeded_permutation() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b = a.clone();
+        Rng::seeded(3).shuffle(&mut a);
+        Rng::seeded(3).shuffle(&mut b);
+        assert_eq!(a, b, "same seed, same permutation");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>(), "a permutation");
+        assert_ne!(a, sorted, "and (at 50 elements) virtually never the identity");
+        let mut c = sorted.clone();
+        Rng::seeded(4).shuffle(&mut c);
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn partial_shuffle_prefix_is_a_uniform_sample() {
+        // Every element must appear in the sampled prefix eventually, and
+        // the prefix must never contain duplicates.
+        let mut hit = [false; 10];
+        let mut rng = Rng::seeded(9);
+        for _ in 0..300 {
+            let mut items: Vec<usize> = (0..10).collect();
+            rng.partial_shuffle(&mut items, 3);
+            let prefix = &items[..3];
+            assert!(prefix.iter().all(|&v| prefix.iter().filter(|&&w| w == v).count() == 1));
+            for &v in prefix {
+                hit[v] = true;
+            }
+            items.sort_unstable();
+            assert_eq!(items, (0..10).collect::<Vec<_>>(), "still a permutation");
+        }
+        assert!(hit.iter().all(|h| *h), "{hit:?}");
+    }
+
+    #[test]
+    fn partial_shuffle_draw_count_is_exactly_n() {
+        // The determinism contract consumers rely on: n draws, no more.
+        let mut rng = Rng::seeded(21);
+        let mut items: Vec<u32> = (0..100).collect();
+        rng.partial_shuffle(&mut items, 5);
+        let mut replay = Rng::seeded(21);
+        for _ in 0..5 {
+            replay.next_u64();
+        }
+        assert_eq!(rng.state(), replay.state());
     }
 }

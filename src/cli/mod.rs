@@ -3,6 +3,7 @@
 mod analyze;
 mod campaign;
 mod encode;
+mod fuzz;
 mod input;
 mod prune;
 mod schedule;
@@ -176,6 +177,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         // `study` takes no input file (its subjects are the built-in suite
         // benchmarks), so it parses its own argument list.
         "study" => study::run(&args[1..]),
+        // `fuzz` generates its own subjects; it parses its own argument
+        // list too.
+        "fuzz" => fuzz::run(&args[1..]),
         // Hidden: the worker half of `bec campaign --spawn`. Parses its own
         // argument list (slice specs and partial-report paths are not
         // user-facing flags).

@@ -39,13 +39,17 @@ COMMANDS:
                benchmarks: baseline + one schedule per criterion from ONE
                shared analysis, a differential campaign per variant, and a
                Table IV-style report (gate failures ⇒ exit 1)
+    fuzz       differential fuzzing: generated seeded programs fed through
+               the analyze → campaign → cross-check loop; any finding is a
+               soundness bug (findings ⇒ exit 1)
     encode     emit RV32I machine code
 
 INPUT:
     *.s / *.asm        standard RV32I assembly (bec-rv32 frontend)
     *.bec / *.ir       block-structured IR dialect (bec-ir parser)
     anything else      sniffed by content
-    (`bec study` takes no file: its subjects are the built-in benchmarks)
+    (`bec study` and `bec fuzz` take no file: their subjects are the
+    built-in benchmarks and generated programs respectively)
 
 COMMON OPTIONS:
     --json                     machine-readable JSON on stdout
@@ -87,6 +91,24 @@ COMMAND OPTIONS:
               --max-cycles/--checkpoint-interval/
               --engine/--spawn                    as for campaign, applied to
                                                   every variant campaign
+    fuzz:     --seed <S>                          master seed (default 3052)
+              --budget <N>                        programs to generate
+                                                  (default 16)
+              --profile <tiny|full>               generator profile
+                                                  (default: full surface)
+              --sample/--exhaustive/--shards/
+              --workers/--engine                  as for campaign, applied to
+                                                  every per-program campaign
+              --class-checks <N>                  class-equivalence probes per
+                                                  program (default 8)
+              --corpus-dir <DIR>                  persist programs, findings
+                                                  log and reproducers
+              --minimize                          shrink findings to minimal
+                                                  replayable reproducers
+              --demo-unsound                      swap in the deliberately
+                                                  unsound oracle (guaranteed
+                                                  findings; demonstrates the
+                                                  minimizer pipeline)
     encode:   --base <ADDR>                       text base address, decimal or
                                                   0x-prefixed hex (default 0)
               --raw                               bare hex words, one per line

@@ -1,0 +1,128 @@
+//! End-to-end tests of `bec fuzz`: the clean path must exit 0 with a
+//! reproducible corpus, and the `--demo-unsound` path must exit 1 with
+//! minimized reproducers that replay through `bec sim --fault`.
+
+use bec_sim::json::Json;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bec(args: &[&str]) -> Output {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    Command::new(env!("CARGO_BIN_EXE_bec"))
+        .current_dir(root)
+        .args(args)
+        .output()
+        .expect("bec binary runs")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bec-fuzz-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Sorted (name, bytes) listing of a corpus directory.
+fn dir_contents(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut entries: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (e.file_name().into_string().unwrap(), std::fs::read(e.path()).unwrap())
+        })
+        .collect();
+    entries.sort();
+    entries
+}
+
+#[test]
+fn clean_session_exits_zero_with_a_reproducible_corpus() {
+    let dir_a = temp_dir("clean-a");
+    let dir_b = temp_dir("clean-b");
+    let base = [
+        "fuzz",
+        "--seed",
+        "5",
+        "--budget",
+        "2",
+        "--sample",
+        "48",
+        "--shards",
+        "8",
+        "--class-checks",
+        "2",
+        "--corpus-dir",
+    ];
+    let mut args_a = base.to_vec();
+    args_a.push(dir_a.to_str().unwrap());
+    let mut args_b = base.to_vec();
+    args_b.push(dir_b.to_str().unwrap());
+    // Different worker counts on the two runs: the corpus must not notice.
+    args_b.extend(["--workers", "3", "--engine", "scalar"]);
+
+    let out = bec(&args_a);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out_b = bec(&args_b);
+    assert!(out_b.status.success(), "{}", String::from_utf8_lossy(&out_b.stderr));
+
+    let contents = dir_contents(&dir_a);
+    let names: Vec<&str> = contents.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, ["findings.json", "fuzz-0000.bec", "fuzz-0001.bec"]);
+    assert_eq!(contents, dir_contents(&dir_b), "corpus bytes moved across workers/engine");
+
+    let log = std::fs::read_to_string(dir_a.join("findings.json")).unwrap();
+    let doc = Json::parse(&log).expect("findings log parses");
+    assert_eq!(doc.get("programs").and_then(Json::as_u64), Some(2));
+    match doc.get("findings") {
+        Some(Json::Arr(findings)) => assert!(findings.is_empty(), "clean run logged findings"),
+        other => panic!("findings not an array: {other:?}"),
+    }
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn demo_unsound_findings_minimize_and_replay() {
+    let dir = temp_dir("demo");
+    let out = bec(&[
+        "fuzz",
+        "--seed",
+        "5",
+        "--budget",
+        "2",
+        "--demo-unsound",
+        "--minimize",
+        "--json",
+        "--corpus-dir",
+        dir.to_str().unwrap(),
+    ]);
+    // Findings are a gate failure: exit code 1, not a usage error.
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc = Json::parse(&String::from_utf8(out.stdout).unwrap()).expect("summary parses");
+    let Some(Json::Arr(findings)) = doc.get("findings") else { panic!("no findings array") };
+    assert!(!findings.is_empty(), "demo oracle must produce findings");
+
+    for f in findings {
+        let label = f.get("label").and_then(Json::as_str).expect("label");
+        let min = f.get("minimized").expect("demo findings are minimized");
+        let instructions = min.get("instructions").and_then(Json::as_u64).expect("count");
+        assert!(instructions <= 20, "{label}: {instructions} instructions");
+
+        // The reproducer replays through the documented command and the
+        // fault is observably non-benign.
+        let repro = min.get("reproducer").and_then(Json::as_str).expect("reproducer");
+        let path = dir.join(repro);
+        assert!(path.exists(), "missing {}", path.display());
+        let replay = min.get("replay").and_then(Json::as_str).expect("replay");
+        let sim = bec(&["sim", path.to_str().unwrap(), "--fault", replay]);
+        assert!(sim.status.success(), "{}", String::from_utf8_lossy(&sim.stderr));
+        let sim_out = String::from_utf8(sim.stdout).unwrap();
+        let class = sim_out
+            .lines()
+            .find_map(|l| l.strip_prefix("classification vs golden run: "))
+            .expect("sim prints a classification");
+        assert_ne!(class, "Benign", "{label}: reproducer fault was benign\n{sim_out}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

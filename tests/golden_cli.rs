@@ -152,3 +152,34 @@ fn campaign_sampled_text_and_json() {
     check("campaign_countyears_sampled.json", &json1);
     check("campaign_countyears_sampled.json", &json3);
 }
+
+#[test]
+fn fuzz_text_and_json() {
+    let args = [
+        "fuzz",
+        "--seed",
+        "5",
+        "--budget",
+        "2",
+        "--sample",
+        "64",
+        "--shards",
+        "8",
+        "--class-checks",
+        "2",
+    ];
+    check("fuzz_seeded.txt", &args);
+    let mut json = args.to_vec();
+    json.push("--json");
+    check("fuzz_seeded.json", &json);
+
+    // The findings log and summary are pinned byte-identical at any worker
+    // count and under both engines: snapshot the same session with explicit
+    // worker/engine overrides against the same golden files.
+    let mut scalar1 = args.to_vec();
+    scalar1.extend(["--workers", "1", "--engine", "scalar"]);
+    check("fuzz_seeded.txt", &scalar1);
+    let mut sliced3 = args.to_vec();
+    sliced3.extend(["--workers", "3", "--engine", "bitsliced", "--json"]);
+    check("fuzz_seeded.json", &sliced3);
+}
